@@ -1,0 +1,368 @@
+package lambdatune
+
+import (
+	"fmt"
+	"sort"
+
+	"lambdatune/internal/core/tuner"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/workload"
+)
+
+// DBMS selects the emulated database flavor.
+type DBMS int
+
+// Supported DBMS flavors.
+const (
+	Postgres DBMS = DBMS(engine.Postgres)
+	MySQL    DBMS = DBMS(engine.MySQL)
+)
+
+// Hardware describes the machine the database runs on; the prompt conveys
+// exactly these two properties (paper §3.1).
+type Hardware struct {
+	Cores    int
+	MemoryGB int
+}
+
+// DefaultHardware matches the paper's EC2 p3.2xlarge testbed.
+var DefaultHardware = Hardware{Cores: 8, MemoryGB: 61}
+
+func (h Hardware) toEngine() engine.Hardware {
+	if h.Cores <= 0 {
+		h = DefaultHardware
+	}
+	return engine.Hardware{Cores: h.Cores, MemoryBytes: int64(h.MemoryGB) << 30}
+}
+
+// Column describes a table column with its statistics.
+type Column struct {
+	Name       string
+	WidthBytes int
+	Distinct   int64
+}
+
+// Table describes a base table with statistics for the cost model.
+type Table struct {
+	Name        string
+	Rows        int64
+	Columns     []Column
+	PrimaryKey  []string
+	ForeignKeys []string
+}
+
+// Client is the language model λ-Tune samples configurations from. Any type
+// with these methods works — wrap your favorite LLM API, or use
+// NewSimulatedLLM for the bundled deterministic knowledge model.
+type Client interface {
+	// Complete returns one full configuration script for the prompt.
+	Complete(prompt string, temperature float64) (string, error)
+	// Name identifies the model.
+	Name() string
+}
+
+// NewSimulatedLLM returns the deterministic GPT-4 stand-in used by the
+// reproduction (see DESIGN.md §2). The seed drives its temperature sampling.
+func NewSimulatedLLM(seed int64) Client { return llm.NewSimClient(seed) }
+
+// Document is one retrievable text for retrieval-augmented prompting.
+type Document struct {
+	Title string
+	Text  string
+}
+
+// WithRetrieval decorates a client with retrieval-augmented generation (the
+// extension sketched in the paper's §2): for each prompt, the most relevant
+// documents from the corpus are prepended as grounding context. Pass nil to
+// use the bundled tuning-guide corpus.
+func WithRetrieval(inner Client, corpus []Document) Client {
+	docs := make([]llm.Document, len(corpus))
+	for i, d := range corpus {
+		docs[i] = llm.Document{Title: d.Title, Text: d.Text}
+	}
+	if len(docs) == 0 {
+		docs = llm.DefaultCorpus()
+	}
+	return llm.NewRAGClient(inner, docs)
+}
+
+// Database is a tunable database instance: schema statistics, a live
+// configuration, and a virtual clock.
+type Database struct {
+	db *engine.DB
+}
+
+// NewDatabase creates a database from a schema description.
+func NewDatabase(dbms DBMS, name string, tables []Table, hw Hardware) (*Database, error) {
+	ts := make([]engine.Table, len(tables))
+	for i, t := range tables {
+		cols := make([]engine.Column, len(t.Columns))
+		for j, c := range t.Columns {
+			cols[j] = engine.Column{Name: c.Name, WidthBytes: c.WidthBytes, Distinct: c.Distinct}
+		}
+		ts[i] = engine.Table{
+			Name: t.Name, Rows: t.Rows, Columns: cols,
+			PrimaryKey: t.PrimaryKey, ForeignKeys: t.ForeignKeys,
+		}
+	}
+	cat := engine.NewCatalog(name, ts)
+	if err := cat.Validate(); err != nil {
+		return nil, err
+	}
+	return &Database{db: engine.NewDB(engine.Flavor(dbms), cat, hw.toEngine())}, nil
+}
+
+// Workload is a set of named OLAP queries.
+type Workload struct {
+	name    string
+	queries []*engine.Query
+}
+
+// Name returns the workload label.
+func (w *Workload) Name() string { return w.name }
+
+// Len returns the number of queries.
+func (w *Workload) Len() int { return len(w.queries) }
+
+// QueryNames lists the query identifiers in order.
+func (w *Workload) QueryNames() []string {
+	out := make([]string, len(w.queries))
+	for i, q := range w.queries {
+		out[i] = q.Name
+	}
+	return out
+}
+
+// ParseWorkload compiles SQL texts into a workload. Queries keep the given
+// order; names label results.
+func ParseWorkload(name string, queries map[string]string) (*Workload, error) {
+	w := &Workload{name: name}
+	// Deterministic order: sort by name.
+	names := make([]string, 0, len(queries))
+	for n := range queries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		q, err := engine.PrepareQuery(n, queries[n])
+		if err != nil {
+			return nil, err
+		}
+		w.queries = append(w.queries, q)
+	}
+	return w, nil
+}
+
+// Benchmark returns a ready database and workload for one of the paper's
+// benchmarks: "tpch-1", "tpch-10", "tpcds-1", or "job".
+func Benchmark(name string, dbms DBMS) (*Database, *Workload, error) {
+	wl, err := workload.ByName(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := engine.NewDB(engine.Flavor(dbms), wl.Catalog, engine.DefaultHardware)
+	return &Database{db: db}, &Workload{name: wl.Name, queries: wl.Queries}, nil
+}
+
+// BenchmarkNames lists the built-in benchmark identifiers.
+func BenchmarkNames() []string { return workload.Names() }
+
+// Options configures a tuning run; start from DefaultOptions.
+type Options struct {
+	// Samples is k, the number of candidate configurations requested from
+	// the LLM (paper default: 5).
+	Samples int
+	// Temperature controls LLM randomization (paper default: 0.7).
+	Temperature float64
+	// TokenBudget bounds the prompt's workload-representation tokens
+	// (0 = fit to the model limit).
+	TokenBudget int
+	// InitialTimeout is the first evaluation round's per-configuration
+	// timeout in seconds (paper default: 10).
+	InitialTimeout float64
+	// Alpha is the geometric timeout growth factor, ≥ 2 (paper default: 10).
+	Alpha float64
+	// Seed drives the deterministic parts of scheduling.
+	Seed int64
+}
+
+// DefaultOptions mirrors the paper's experimental setup (§6.1).
+func DefaultOptions() Options {
+	return Options{Samples: 5, Temperature: 0.7, InitialTimeout: 10, Alpha: 10, Seed: 1}
+}
+
+func (o Options) toTuner() tuner.Options {
+	t := tuner.DefaultOptions()
+	if o.Samples > 0 {
+		t.Samples = o.Samples
+	}
+	if o.Temperature > 0 {
+		t.Temperature = o.Temperature
+	}
+	if o.TokenBudget > 0 {
+		t.Prompt.TokenBudget = o.TokenBudget
+	}
+	if o.InitialTimeout > 0 {
+		t.Selector.InitialTimeout = o.InitialTimeout
+	}
+	if o.Alpha >= 2 {
+		t.Selector.Alpha = o.Alpha
+	}
+	t.Seed = o.Seed
+	return t
+}
+
+// ProgressPoint is one best-so-far improvement during tuning, on the
+// database's virtual clock.
+type ProgressPoint struct {
+	TuningSeconds float64
+	BestSeconds   float64
+}
+
+// Result reports a completed tuning run.
+type Result struct {
+	// BestScript is the winning configuration as a SQL command script
+	// (ALTER SYSTEM SET / CREATE INDEX).
+	BestScript string
+	// BestSeconds is the full-workload execution time under the winning
+	// configuration, in simulated seconds.
+	BestSeconds float64
+	// DefaultSeconds is the time under the configuration that was live
+	// before tuning.
+	DefaultSeconds float64
+	// TuningSeconds is the total virtual time the run consumed, including
+	// index creations and interrupted evaluations.
+	TuningSeconds float64
+	// PromptTokens counts the tokens of the generated prompt.
+	PromptTokens int
+	// Candidates is the number of configurations obtained from the LLM.
+	Candidates int
+	// Progress traces best-so-far improvements.
+	Progress []ProgressPoint
+	// Warnings lists non-fatal issues (skipped unknown parameters etc.).
+	Warnings []string
+
+	best *engine.Config
+}
+
+// Speedup returns DefaultSeconds / BestSeconds.
+func (r *Result) Speedup() float64 {
+	if r.BestSeconds <= 0 {
+		return 0
+	}
+	return r.DefaultSeconds / r.BestSeconds
+}
+
+// Indexes lists the winning configuration's index recommendations as
+// "table(column)" strings.
+func (r *Result) Indexes() []string {
+	if r.best == nil {
+		return nil
+	}
+	out := make([]string, len(r.best.Indexes))
+	for i, ix := range r.best.Indexes {
+		out[i] = ix.Key()
+	}
+	return out
+}
+
+// Parameters returns the winning configuration's parameter settings.
+func (r *Result) Parameters() map[string]string {
+	if r.best == nil {
+		return nil
+	}
+	out := make(map[string]string, len(r.best.Params))
+	for k, v := range r.best.Params {
+		out[k] = v
+	}
+	return out
+}
+
+// Tune runs the λ-Tune pipeline (paper Algorithm 1) against the database.
+func (d *Database) Tune(w *Workload, client Client, opts Options) (*Result, error) {
+	if w == nil || len(w.queries) == 0 {
+		return nil, fmt.Errorf("lambdatune: empty workload")
+	}
+	defaultSeconds := d.db.WorkloadSeconds(w.queries)
+	tn := tuner.New(d.db, client, opts.toTuner())
+	res, err := tn.Tune(w.queries)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		BestSeconds:    res.BestTime,
+		DefaultSeconds: defaultSeconds,
+		TuningSeconds:  res.TuningSeconds,
+		PromptTokens:   res.Prompt.TotalTokens,
+		Candidates:     len(res.Candidates),
+		Warnings:       res.Warnings,
+		best:           res.Best,
+	}
+	if res.Best != nil {
+		out.BestScript = res.Best.Script(d.db.Flavor())
+	}
+	for _, ev := range res.Progress {
+		out.Progress = append(out.Progress, ProgressPoint{TuningSeconds: ev.Clock, BestSeconds: ev.BestTime})
+	}
+	return out, nil
+}
+
+// Apply installs the tuning result's winning configuration on the database:
+// parameters set, recommended indexes created (the virtual clock advances by
+// the creation time).
+func (d *Database) Apply(r *Result) error {
+	if r == nil || r.best == nil {
+		return fmt.Errorf("lambdatune: no configuration to apply")
+	}
+	d.db.DropTransientIndexes()
+	if err := d.db.ApplyConfigParams(r.best); err != nil {
+		return err
+	}
+	for _, ix := range r.best.Indexes {
+		d.db.CreateIndex(ix)
+	}
+	return nil
+}
+
+// ApplyScript parses and installs a configuration script directly.
+func (d *Database) ApplyScript(script string) error {
+	cfg, _, err := engine.ParseScript(d.db.Flavor(), "user", script)
+	if err != nil {
+		return err
+	}
+	d.db.DropTransientIndexes()
+	if err := d.db.ApplyConfigParams(cfg); err != nil {
+		return err
+	}
+	for _, ix := range cfg.Indexes {
+		d.db.CreateIndex(ix)
+	}
+	return nil
+}
+
+// WorkloadSeconds returns the workload's execution time under the current
+// configuration without advancing the clock.
+func (d *Database) WorkloadSeconds(w *Workload) float64 {
+	return d.db.WorkloadSeconds(w.queries)
+}
+
+// QuerySeconds returns per-query runtimes under the current configuration,
+// keyed by query name.
+func (d *Database) QuerySeconds(w *Workload) map[string]float64 {
+	out := make(map[string]float64, len(w.queries))
+	for _, q := range w.queries {
+		out[q.Name] = d.db.QuerySeconds(q)
+	}
+	return out
+}
+
+// ResetConfiguration restores default parameters and drops all indexes
+// created through tuning.
+func (d *Database) ResetConfiguration() {
+	d.db.ResetSettings()
+	d.db.DropTransientIndexes()
+}
+
+// ClockSeconds returns the database's virtual time.
+func (d *Database) ClockSeconds() float64 { return d.db.Clock().Now() }

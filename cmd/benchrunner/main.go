@@ -1,0 +1,191 @@
+// Command benchrunner regenerates the paper's evaluation artifacts (every
+// table and figure of §6) on the simulated substrate and prints them.
+//
+// Usage:
+//
+//	benchrunner -exp all
+//	benchrunner -exp table3 -trials 3
+//	benchrunner -exp fig6
+//
+// Experiment identifiers follow DESIGN.md's per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lambdatune/internal/bench"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers all")
+		trials = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		csvDir = flag.String("csv", "", "also write machine-readable CSVs to this directory")
+		charts = flag.Bool("charts", false, "render convergence figures as ASCII charts")
+	)
+	flag.Parse()
+
+	r := bench.NewRunner()
+	run := func(name string, f func() (string, error)) {
+		start := time.Now()
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s (generated in %.1fs real time)\n\n%s\n", name, time.Since(start).Seconds(), out)
+	}
+
+	all := *exp == "all"
+	if all || *exp == "table3" {
+		run("Table 3 — scaled cost of best configuration per system", func() (string, error) {
+			rows, err := bench.Table3(r, *seed, *trials)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				if err := bench.ExportTable3CSV(*csvDir, rows); err != nil {
+					return "", err
+				}
+			}
+			return bench.RenderTable3(rows), nil
+		})
+	}
+	if all || *exp == "table4" {
+		run("Table 4 — configurations evaluated per baseline (Postgres)", func() (string, error) {
+			rows, err := bench.Table4(r, *seed, *trials)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				if err := bench.ExportTable4CSV(*csvDir, rows); err != nil {
+					return "", err
+				}
+			}
+			return bench.RenderTable4(rows), nil
+		})
+	}
+	if all || *exp == "table5" {
+		run("Table 5 — best λ-Tune configuration for TPC-H 1GB (Postgres)", func() (string, error) {
+			t5, err := bench.BuildTable5(*seed)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderTable5(t5), nil
+		})
+	}
+	renderFigs := func(figs []bench.FigureConvergence) string {
+		if !*charts {
+			return bench.RenderConvergence(figs)
+		}
+		var out string
+		for _, fc := range figs {
+			out += bench.AsciiChart(fc, 72)
+		}
+		return out
+	}
+	if all || *exp == "fig3" {
+		run("Figure 3 — convergence, pure parameter tuning (initial indexes)", func() (string, error) {
+			figs, err := bench.Convergence(r, *seed, *trials, true)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				if err := bench.ExportConvergenceCSV(*csvDir, "figure3", figs); err != nil {
+					return "", err
+				}
+			}
+			return renderFigs(figs), nil
+		})
+	}
+	if all || *exp == "fig4" {
+		run("Figure 4 — convergence, index creation allowed (no initial indexes)", func() (string, error) {
+			figs, err := bench.Convergence(r, *seed, *trials, false)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				if err := bench.ExportConvergenceCSV(*csvDir, "figure4", figs); err != nil {
+					return "", err
+				}
+			}
+			return renderFigs(figs), nil
+		})
+	}
+	if all || *exp == "fig5" {
+		run("Figure 5 — per-query times, λ-Tune vs default (TPC-H 1GB, Postgres)", func() (string, error) {
+			rows, err := bench.Figure5(*seed)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				if err := bench.ExportFigure5CSV(*csvDir, rows); err != nil {
+					return "", err
+				}
+			}
+			return bench.RenderFigure5(rows), nil
+		})
+	}
+	if all || *exp == "fig6" {
+		run("Figure 6 — component ablation (JOB, Postgres, no indexes)", func() (string, error) {
+			rows, err := bench.Figure6(*seed)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderFigure6(rows), nil
+		})
+	}
+	if all || *exp == "fig7" {
+		run("Figure 7 — compressor token-budget study (JOB, Postgres)", func() (string, error) {
+			rows, err := bench.Figure7(*seed)
+			if err != nil {
+				return "", err
+			}
+			if *csvDir != "" {
+				if err := bench.ExportFigure7CSV(*csvDir, rows); err != nil {
+					return "", err
+				}
+			}
+			return bench.RenderFigure7(rows), nil
+		})
+	}
+	if all || *exp == "fig8" {
+		run("Figure 8 — index recommendation tools (Postgres)", func() (string, error) {
+			rows, err := bench.Figure8(*seed)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderFigure8(rows), nil
+		})
+	}
+	if all || *exp == "transfer" {
+		run("Parameter transfer study (§6.3) — winning configs across benchmarks", func() (string, error) {
+			s, err := bench.Transfer(*seed)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderTransfer(s), nil
+		})
+	}
+	if all || *exp == "outliers" {
+		run("LLM outlier study (§6.3) — 15 samples, TPC-H 1GB (Postgres)", func() (string, error) {
+			o, err := bench.Outliers(*seed)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderOutliers(o), nil
+		})
+	}
+	if !all {
+		switch *exp {
+		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Command workloadgen dumps a built-in benchmark: its schema statistics and
+// SQL query set, as consumed by the tuning experiments.
+//
+// Usage:
+//
+//	workloadgen -benchmark job           # print queries
+//	workloadgen -benchmark tpch-1 -schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lambdatune/internal/workload"
+)
+
+func main() {
+	var (
+		bench  = flag.String("benchmark", "tpch-1", "workload: "+strings.Join(workload.Names(), ", "))
+		schema = flag.Bool("schema", false, "print schema statistics instead of queries")
+	)
+	flag.Parse()
+
+	w, err := workload.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *schema {
+		fmt.Printf("-- %s: %d tables, %.1f GB\n", w.Name, len(w.Catalog.Tables()),
+			float64(w.Catalog.TotalBytes())/float64(1<<30))
+		for _, t := range w.Catalog.Tables() {
+			fmt.Printf("%s (%d rows, %d B/row)\n", t.Name, t.Rows, t.RowWidth())
+			for _, c := range t.Columns {
+				fmt.Printf("  %-28s width=%-4d distinct=%d\n", c.Name, c.WidthBytes, c.Distinct)
+			}
+		}
+		return
+	}
+	fmt.Printf("-- %s: %d queries\n", w.Name, len(w.Queries))
+	for _, q := range w.Queries {
+		fmt.Printf("-- query %s\n%s;\n\n", q.Name, q.Stmt.SQL())
+	}
+}

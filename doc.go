@@ -1,0 +1,30 @@
+// Package lambdatune is a reproduction of "λ-Tune: Harnessing Large Language
+// Models for Automated Database System Tuning" (Giannakouris & Trummer,
+// SIGMOD 2025) as a self-contained Go library.
+//
+// λ-Tune tunes a database system for an OLAP workload by asking a large
+// language model for entire configuration scripts — parameter settings plus
+// index recommendations — and then selecting the best candidate with a
+// principled, cost-bounded evaluation scheme:
+//
+//   - prompt generation compresses the workload's join structure and picks
+//     the most valuable join snippets under a token budget by solving an
+//     integer linear program (paper §3);
+//   - configuration selection evaluates candidates in rounds under
+//     geometrically growing timeouts, bounding total tuning time by
+//     O(k·α·C_best) (paper §4);
+//   - configuration evaluation creates indexes lazily and orders queries
+//     with a dynamic-programming scheduler that minimizes expected
+//     index-creation cost (paper §5).
+//
+// The package tunes the bundled simulated DBMS (PostgreSQL- and
+// MySQL-flavoured; see DESIGN.md for the substitution rationale), runs the
+// paper's benchmarks (TPC-H, TPC-DS, JOB), and ships every baseline of the
+// evaluation. Quick start:
+//
+//	db, w, _ := lambdatune.Benchmark("tpch-1", lambdatune.Postgres)
+//	res, _ := db.Tune(w, lambdatune.NewSimulatedLLM(1), lambdatune.DefaultOptions())
+//	fmt.Println(res.BestScript)
+//
+// Plug in a real LLM by implementing Client.
+package lambdatune

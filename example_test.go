@@ -1,0 +1,80 @@
+package lambdatune_test
+
+import (
+	"fmt"
+	"log"
+
+	"lambdatune"
+)
+
+// Tune a built-in benchmark with the simulated LLM and print headline
+// numbers. With a fixed seed the run is fully deterministic.
+func Example() {
+	db, w, err := lambdatune.Benchmark("tpch-1", lambdatune.Postgres)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), lambdatune.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("candidates: %d\n", res.Candidates)
+	fmt.Printf("faster than default: %v\n", res.BestSeconds < res.DefaultSeconds)
+	// Output:
+	// candidates: 5
+	// faster than default: true
+}
+
+// Define a custom schema and workload, then tune it.
+func ExampleNewDatabase() {
+	db, err := lambdatune.NewDatabase(lambdatune.Postgres, "logs", []lambdatune.Table{
+		{
+			Name: "entries", Rows: 1_000_000,
+			Columns: []lambdatune.Column{
+				{Name: "id", WidthBytes: 8, Distinct: 1_000_000},
+				{Name: "level", WidthBytes: 4, Distinct: 5},
+			},
+			PrimaryKey: []string{"id"},
+		},
+	}, lambdatune.DefaultHardware)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w, err := lambdatune.ParseWorkload("logs", map[string]string{
+		"errors": "SELECT COUNT(*) FROM entries e WHERE e.level = 4",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), lambdatune.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.BestSeconds > 0)
+	// Output: true
+}
+
+// Install a configuration script by hand (the same dialect the LLM emits).
+func ExampleDatabase_ApplyScript() {
+	db, w, err := lambdatune.Benchmark("tpch-1", lambdatune.Postgres)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before := db.WorkloadSeconds(w)
+	err = db.ApplyScript("ALTER SYSTEM SET shared_buffers = '15GB';\n" +
+		"CREATE INDEX i ON lineitem (l_orderkey);")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(db.WorkloadSeconds(w) < before)
+	// Output: true
+}
+
+// Augment any client with retrieval over a custom document corpus.
+func ExampleWithRetrieval() {
+	client := lambdatune.WithRetrieval(lambdatune.NewSimulatedLLM(1), []lambdatune.Document{
+		{Title: "runbook", Text: "On our PostgreSQL hosts set effective_io_concurrency to 200."},
+	})
+	fmt.Println(client.Name())
+	// Output: sim-gpt4+rag
+}

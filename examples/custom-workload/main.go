@@ -1,0 +1,80 @@
+// Custom workload: tune a user-defined schema and query set — the path a
+// downstream adopter takes for their own database. Define table statistics,
+// hand over the SQL, and plug in any LLM via the Client interface (here the
+// bundled simulator).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lambdatune"
+)
+
+func main() {
+	db, err := lambdatune.NewDatabase(lambdatune.Postgres, "telemetry", []lambdatune.Table{
+		{
+			Name: "events", Rows: 40_000_000,
+			Columns: []lambdatune.Column{
+				{Name: "e_id", WidthBytes: 8, Distinct: 40_000_000},
+				{Name: "e_device", WidthBytes: 8, Distinct: 500_000},
+				{Name: "e_kind", WidthBytes: 4, Distinct: 40},
+				{Name: "e_ts", WidthBytes: 8, Distinct: 3_000_000},
+				{Name: "e_value", WidthBytes: 8, Distinct: 1_000_000},
+			},
+			PrimaryKey:  []string{"e_id"},
+			ForeignKeys: []string{"e_device"},
+		},
+		{
+			Name: "devices", Rows: 500_000,
+			Columns: []lambdatune.Column{
+				{Name: "d_id", WidthBytes: 8, Distinct: 500_000},
+				{Name: "d_model", WidthBytes: 16, Distinct: 120},
+				{Name: "d_region", WidthBytes: 8, Distinct: 30},
+			},
+			PrimaryKey: []string{"d_id"},
+		},
+		{
+			Name: "regions", Rows: 30,
+			Columns: []lambdatune.Column{
+				{Name: "r_id", WidthBytes: 8, Distinct: 30},
+				{Name: "r_name", WidthBytes: 16, Distinct: 30},
+			},
+			PrimaryKey: []string{"r_id"},
+		},
+	}, lambdatune.Hardware{Cores: 16, MemoryGB: 128})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w, err := lambdatune.ParseWorkload("telemetry", map[string]string{
+		"errors-by-model": `SELECT d.d_model, COUNT(*) FROM events e, devices d
+			WHERE e.e_device = d.d_id AND e.e_kind = 7
+			GROUP BY d.d_model ORDER BY COUNT(*) DESC`,
+		"regional-load": `SELECT r.r_name, SUM(e.e_value) FROM events e, devices d, regions r
+			WHERE e.e_device = d.d_id AND d.d_region = r.r_id
+			GROUP BY r.r_name`,
+		"recent-window": `SELECT e.e_kind, AVG(e.e_value) FROM events e
+			WHERE e.e_ts BETWEEN 2800000 AND 2900000 GROUP BY e.e_kind`,
+		"device-history": `SELECT e.e_ts, e.e_value FROM events e
+			WHERE e.e_device = 4711 ORDER BY e.e_ts`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := lambdatune.DefaultOptions()
+	opts.TokenBudget = 300 // cap LLM fees for the workload description
+	res, err := db.Tune(w, lambdatune.NewSimulatedLLM(3), opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Recommended configuration:")
+	fmt.Println(res.BestScript)
+	fmt.Printf("workload: %.2fs → %.2fs (%.1fx), prompt: %d tokens\n",
+		res.DefaultSeconds, res.BestSeconds, res.Speedup(), res.PromptTokens)
+	for _, warn := range res.Warnings {
+		fmt.Println("note:", warn)
+	}
+}

@@ -1,0 +1,28 @@
+// Quickstart: tune TPC-H on the simulated PostgreSQL with five LLM samples
+// and print the winning configuration — the whole λ-Tune pipeline in a dozen
+// lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lambdatune"
+)
+
+func main() {
+	db, w, err := lambdatune.Benchmark("tpch-1", lambdatune.Postgres)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), lambdatune.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Winning configuration:")
+	fmt.Println(res.BestScript)
+	fmt.Printf("%s: %.1fs → %.1fs (%.1fx speedup), tuned in %.1fs simulated\n",
+		w.Name(), res.DefaultSeconds, res.BestSeconds, res.Speedup(), res.TuningSeconds)
+}

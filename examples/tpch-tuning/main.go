@@ -1,0 +1,49 @@
+// TPC-H deep dive: tune both DBMS flavors, apply the winning configuration,
+// and report per-query before/after times — the analysis behind the paper's
+// Table 5 and Figure 5.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"lambdatune"
+)
+
+func main() {
+	for _, flavor := range []struct {
+		name string
+		dbms lambdatune.DBMS
+	}{
+		{"PostgreSQL", lambdatune.Postgres},
+		{"MySQL", lambdatune.MySQL},
+	} {
+		db, w, err := lambdatune.Benchmark("tpch-1", flavor.dbms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		before := db.QuerySeconds(w)
+
+		res, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), lambdatune.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.Apply(res); err != nil {
+			log.Fatal(err)
+		}
+		after := db.QuerySeconds(w)
+
+		fmt.Printf("== %s ==\n", flavor.name)
+		fmt.Printf("parameters changed: %d, indexes created: %d\n",
+			len(res.Parameters()), len(res.Indexes()))
+		names := w.QueryNames()
+		sort.Strings(names)
+		fmt.Printf("%-6s %10s %10s %8s\n", "query", "before(s)", "after(s)", "speedup")
+		for _, n := range names {
+			fmt.Printf("%-6s %10.2f %10.2f %7.1fx\n", n, before[n], after[n], before[n]/after[n])
+		}
+		fmt.Printf("total: %.1fs → %.1fs (%.1fx)\n\n",
+			res.DefaultSeconds, res.BestSeconds, res.Speedup())
+	}
+}

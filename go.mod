@@ -1,0 +1,3 @@
+module lambdatune
+
+go 1.22

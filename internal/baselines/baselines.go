@@ -1,0 +1,120 @@
+// Package baselines defines the shared contract for the tuning systems that
+// the paper compares λ-Tune against (UDO, DB-BERT, GPTuner, LlamaTune,
+// ParamTree) and the index advisors (Dexter, DB2 Advisor). Each baseline is
+// reimplemented after its published algorithm at the level of detail the
+// evaluation observes: what it explores, how many trial runs it needs, and
+// how it spends (virtual) tuning time.
+package baselines
+
+import (
+	"math"
+
+	"lambdatune/internal/engine"
+)
+
+// Event is one best-so-far improvement on the virtual clock.
+type Event struct {
+	Clock    float64
+	BestTime float64
+	ConfigID string
+}
+
+// Trace is the outcome of a baseline tuning run.
+type Trace struct {
+	// Name of the tuner that produced the trace.
+	Name string
+	// Events are best-so-far improvements in clock order.
+	Events []Event
+	// BestTime is the execution time of the best configuration found
+	// (+Inf when nothing completed).
+	BestTime float64
+	// BestConfig is the best configuration (nil when nothing completed).
+	BestConfig *engine.Config
+	// Evaluated counts configuration trial runs (paper Table 4).
+	Evaluated int
+}
+
+// NewTrace initializes an empty trace.
+func NewTrace(name string) *Trace {
+	return &Trace{Name: name, BestTime: math.Inf(1)}
+}
+
+// Record notes a completed evaluation and updates the best-so-far.
+func (tr *Trace) Record(clock float64, cfg *engine.Config, time float64, complete bool) {
+	tr.Evaluated++
+	if complete && time < tr.BestTime {
+		tr.BestTime = time
+		tr.BestConfig = cfg
+		tr.Events = append(tr.Events, Event{Clock: clock, BestTime: time, ConfigID: cfg.ID})
+	}
+}
+
+// Tuner is a baseline tuning system. Tune explores configurations until the
+// database's virtual clock passes deadline, then returns its trace.
+type Tuner interface {
+	Name() string
+	Tune(db *engine.DB, queries []*engine.Query, deadline float64) *Trace
+}
+
+// EvalOptions controls full-workload trial runs.
+type EvalOptions struct {
+	// Timeout bounds one trial run in simulated seconds (the paper grants
+	// baselines three times the worst λ-Tune configuration's time).
+	Timeout float64
+}
+
+// Evaluate performs one trial: switch the database to cfg (dropping
+// transient indexes of prior trials, creating cfg's indexes eagerly — the
+// baselines lack λ-Tune's lazy-creation machinery) and run the workload
+// under the timeout. Returns the workload execution time (query time only)
+// and whether every query completed.
+func Evaluate(db *engine.DB, queries []*engine.Query, cfg *engine.Config, opts EvalOptions) (float64, bool) {
+	db.DropTransientIndexes()
+	if err := db.ApplyConfigParams(cfg); err != nil {
+		return math.Inf(1), false
+	}
+	for _, ix := range cfg.Indexes {
+		db.CreateIndex(ix)
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = math.Inf(1)
+	}
+	remaining := timeout
+	var total float64
+	for _, q := range queries {
+		res := db.Execute(q, remaining)
+		if !res.Complete {
+			return total, false
+		}
+		total += res.Seconds
+		remaining -= res.Seconds
+	}
+	return total, true
+}
+
+// SampleQueries returns a deterministic ~fraction subset of the workload
+// (at least one query), as UDO uses for cheap trial runs.
+func SampleQueries(queries []*engine.Query, fraction float64, seed int64) []*engine.Query {
+	if fraction >= 1 {
+		return queries
+	}
+	n := int(float64(len(queries)) * fraction)
+	if n < 1 {
+		n = 1
+	}
+	// Deterministic stride-based sample.
+	stride := len(queries) / n
+	if stride < 1 {
+		stride = 1
+	}
+	start := int(seed) % stride
+	if start < 0 {
+		start += stride
+	}
+	var out []*engine.Query
+	for i := start; i < len(queries) && len(out) < n; i += stride {
+		out = append(out, queries[i])
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func setup(t *testing.T) (*engine.DB, *workload.Workload) {
+	t.Helper()
+	w := workload.TPCH(1)
+	return engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware), w
+}
+
+func TestEvaluateFullWorkload(t *testing.T) {
+	db, w := setup(t)
+	cfg := &engine.Config{ID: "c", Params: map[string]string{"shared_buffers": "8GB"}}
+	time, complete := Evaluate(db, w.Queries, cfg, EvalOptions{})
+	if !complete || time <= 0 {
+		t.Fatalf("time=%v complete=%v", time, complete)
+	}
+}
+
+func TestEvaluateTimeout(t *testing.T) {
+	db, w := setup(t)
+	cfg := &engine.Config{ID: "c", Params: map[string]string{}}
+	_, complete := Evaluate(db, w.Queries, cfg, EvalOptions{Timeout: 0.1})
+	if complete {
+		t.Fatal("workload cannot complete under a 0.1s timeout")
+	}
+}
+
+func TestEvaluateDropsPreviousIndexes(t *testing.T) {
+	db, w := setup(t)
+	c1 := &engine.Config{ID: "c1", Params: map[string]string{},
+		Indexes: []engine.IndexDef{engine.NewIndexDef("lineitem", "l_orderkey")}}
+	Evaluate(db, w.Queries[:1], c1, EvalOptions{})
+	c2 := &engine.Config{ID: "c2", Params: map[string]string{}}
+	Evaluate(db, w.Queries[:1], c2, EvalOptions{})
+	if len(db.Indexes()) != 0 {
+		t.Errorf("c1 indexes leaked into c2 trial: %v", db.Indexes())
+	}
+}
+
+func TestTraceRecord(t *testing.T) {
+	tr := NewTrace("x")
+	cfg := &engine.Config{ID: "a"}
+	tr.Record(1, cfg, 10, true)
+	tr.Record(2, cfg, 20, true) // worse: no event
+	tr.Record(3, cfg, 5, false) // incomplete: no event
+	tr.Record(4, cfg, 8, true)  // better
+	if tr.Evaluated != 4 {
+		t.Errorf("evaluated: %d", tr.Evaluated)
+	}
+	if tr.BestTime != 8 || len(tr.Events) != 2 {
+		t.Errorf("best=%v events=%d", tr.BestTime, len(tr.Events))
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	tr := NewTrace("x")
+	if !math.IsInf(tr.BestTime, 1) || tr.BestConfig != nil {
+		t.Error("empty trace not at +Inf")
+	}
+}
+
+func TestSampleQueries(t *testing.T) {
+	_, w := setup(t)
+	s := SampleQueries(w.Queries, 0.2, 1)
+	if len(s) < 1 || len(s) >= len(w.Queries) {
+		t.Errorf("sample size: %d of %d", len(s), len(w.Queries))
+	}
+	full := SampleQueries(w.Queries, 1.0, 1)
+	if len(full) != len(w.Queries) {
+		t.Error("fraction 1 must return all")
+	}
+}
+
+func TestKnobSpaceCoversParams(t *testing.T) {
+	knobs := KnobSpace(engine.Postgres, engine.DefaultHardware)
+	names := map[string]bool{}
+	for _, k := range knobs {
+		names[k.Name] = true
+		if len(k.Levels) < 2 {
+			t.Errorf("knob %s has %d levels", k.Name, len(k.Levels))
+		}
+		for i := 1; i < len(k.Levels); i++ {
+			if k.Levels[i] <= k.Levels[i-1] {
+				t.Errorf("knob %s levels not ascending: %v", k.Name, k.Levels)
+			}
+		}
+	}
+	for _, want := range []string{"shared_buffers", "work_mem", "random_page_cost"} {
+		if !names[want] {
+			t.Errorf("knob space missing %s", want)
+		}
+	}
+}
+
+func TestKnobFormatParseable(t *testing.T) {
+	pc := engine.Params(engine.Postgres)
+	for _, k := range KnobSpace(engine.Postgres, engine.DefaultHardware) {
+		for _, lv := range k.Levels {
+			if _, err := pc.ParseValue(k.Name, k.Format(lv)); err != nil {
+				t.Errorf("knob %s level %v formats unparseable %q: %v", k.Name, lv, k.Format(lv), err)
+			}
+		}
+	}
+}
+
+func TestCandidateIndexes(t *testing.T) {
+	db, w := setup(t)
+	cands := CandidateIndexes(db.Catalog(), w.Queries)
+	if len(cands) < 10 {
+		t.Fatalf("candidates: %d", len(cands))
+	}
+	keys := map[string]bool{}
+	for _, c := range cands {
+		if keys[c.Key()] {
+			t.Errorf("duplicate candidate %s", c.Key())
+		}
+		keys[c.Key()] = true
+		if db.Catalog().Table(c.Table) == nil {
+			t.Errorf("candidate on unknown table: %v", c)
+		}
+	}
+	if !keys["lineitem(l_orderkey)"] {
+		t.Error("join-column candidate missing")
+	}
+	if !keys["lineitem(l_shipdate)"] {
+		t.Error("filter-column candidate missing")
+	}
+}

@@ -1,0 +1,144 @@
+// Package db2advisor reimplements the DB2 Index Advisor (Valentin et al.,
+// ICDE 2000): the optimizer itself proposes candidate indexes per query
+// ("an optimizer smart enough to recommend its own indexes"), each candidate
+// gets a benefit (what-if cost reduction) and a size, and a knapsack-style
+// selection picks the set maximizing benefit under a disk-budget constraint.
+package db2advisor
+
+import (
+	"sort"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/ilp"
+)
+
+// Advisor is the DB2 index advisor.
+type Advisor struct {
+	// DiskBudgetBytes bounds the total size of recommended indexes
+	// (0 = 20% of database size, the advisor's customary default).
+	DiskBudgetBytes int64
+}
+
+// New returns the advisor with defaults.
+func New() *Advisor { return &Advisor{} }
+
+// Name identifies the advisor.
+func (a *Advisor) Name() string { return "DB2 Advisor" }
+
+// indexSizeBytes estimates a B-tree's size: key width + tuple pointer per
+// row.
+func indexSizeBytes(cat *engine.Catalog, def engine.IndexDef) int64 {
+	t := cat.Table(def.Table)
+	if t == nil {
+		return 0
+	}
+	width := 8 // tuple pointer
+	for _, c := range def.ColumnList() {
+		if col := t.Column(c); col != nil {
+			width += col.WidthBytes
+		}
+	}
+	return t.Rows * int64(width)
+}
+
+// compositeCandidates derives two-column candidates per query: a filtered
+// column extended by another filtered column of the same table — the
+// composite proposals that distinguish the DB2 advisor from single-column
+// tools.
+func compositeCandidates(cat *engine.Catalog, queries []*engine.Query) []engine.IndexDef {
+	seen := map[string]bool{}
+	var out []engine.IndexDef
+	for _, q := range queries {
+		perTable := map[string][]string{}
+		for _, f := range q.Analysis.Filters {
+			t := cat.Table(f.Table)
+			if t == nil || t.Column(f.Column) == nil {
+				continue
+			}
+			perTable[f.Table] = append(perTable[f.Table], f.Column)
+		}
+		for table, cols := range perTable {
+			if len(cols) < 2 {
+				continue
+			}
+			sort.Strings(cols)
+			for i := 0; i < len(cols); i++ {
+				for j := 0; j < len(cols); j++ {
+					if i == j {
+						continue
+					}
+					def := engine.NewIndexDef(table, cols[i], cols[j])
+					if !seen[def.Key()] {
+						seen[def.Key()] = true
+						out = append(out, def)
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key() < out[b].Key() })
+	return out
+}
+
+// Recommend returns the advised index set. What-if costing uses hypothetical
+// index creation (no clock charge); the knapsack is solved exactly with the
+// internal ILP solver.
+func (a *Advisor) Recommend(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
+	budget := a.DiskBudgetBytes
+	if budget <= 0 {
+		budget = db.Catalog().TotalBytes() / 5
+	}
+	candidates := baselines.CandidateIndexes(db.Catalog(), queries)
+	candidates = append(candidates, compositeCandidates(db.Catalog(), queries)...)
+	base := make([]float64, len(queries))
+	for i, q := range queries {
+		base[i] = db.Plan(q).EstCost()
+	}
+
+	type cand struct {
+		def     engine.IndexDef
+		benefit float64
+		size    int64
+	}
+	var cands []cand
+	for _, c := range candidates {
+		if db.HasIndex(c) {
+			continue
+		}
+		db.CreatePermanentIndex(c)
+		var benefit float64
+		for i, q := range queries {
+			if est := db.Plan(q).EstCost(); est < base[i] {
+				benefit += base[i] - est
+			}
+		}
+		db.DropIndex(c)
+		if benefit > 0 {
+			cands = append(cands, cand{def: c, benefit: benefit, size: indexSizeBytes(db.Catalog(), c)})
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].def.Key() < cands[j].def.Key() })
+
+	// Knapsack: maximize Σ benefit subject to Σ size ≤ budget.
+	obj := make([]float64, len(cands))
+	row := make([]float64, len(cands))
+	for i, c := range cands {
+		obj[i] = c.benefit
+		row[i] = float64(c.size)
+	}
+	sol, err := ilp.Solve(ilp.Problem{Obj: obj, A: [][]float64{row}, B: []float64{float64(budget)}})
+	if err != nil || !sol.Feasible {
+		return nil
+	}
+	var out []engine.IndexDef
+	for i, take := range sol.X {
+		if take {
+			out = append(out, cands[i].def)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package db2advisor
+
+import (
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func setup(t *testing.T) (*engine.DB, *workload.Workload) {
+	t.Helper()
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	s := db.Settings()
+	s["random_page_cost"] = 1.1
+	s["effective_cache_size"] = float64(int64(45) << 30)
+	db.SetSettings(s)
+	return db, w
+}
+
+func TestDB2AdvisorRecommends(t *testing.T) {
+	db, w := setup(t)
+	defs := New().Recommend(db, w.Queries)
+	if len(defs) == 0 {
+		t.Fatal("advisor recommended nothing")
+	}
+	if len(db.Indexes()) != 0 || db.Clock().Now() != 0 {
+		t.Error("what-if costing left state behind")
+	}
+}
+
+func TestDB2AdvisorRespectsDiskBudget(t *testing.T) {
+	db, w := setup(t)
+	a := New()
+	a.DiskBudgetBytes = 100 << 20 // tight: 100 MB
+	defs := a.Recommend(db, w.Queries)
+	var total int64
+	for _, d := range defs {
+		total += indexSizeBytes(db.Catalog(), d)
+	}
+	if total > a.DiskBudgetBytes {
+		t.Errorf("recommended %d bytes under a %d budget", total, a.DiskBudgetBytes)
+	}
+}
+
+func TestDB2AdvisorBudgetMonotone(t *testing.T) {
+	db, w := setup(t)
+	small := New()
+	small.DiskBudgetBytes = 50 << 20
+	big := New()
+	big.DiskBudgetBytes = 10 << 30
+	if len(small.Recommend(db, w.Queries)) > len(big.Recommend(db, w.Queries)) {
+		t.Error("smaller budget recommended more indexes")
+	}
+}
+
+func TestIndexSizeBytes(t *testing.T) {
+	db, _ := setup(t)
+	d := engine.NewIndexDef("lineitem", "l_orderkey")
+	size := indexSizeBytes(db.Catalog(), d)
+	// 6M rows × (4B key + 8B pointer).
+	want := int64(6_001_215) * 12
+	if size != want {
+		t.Errorf("size %d, want %d", size, want)
+	}
+	if indexSizeBytes(db.Catalog(), engine.NewIndexDef("nope", "x")) != 0 {
+		t.Error("unknown table size not 0")
+	}
+}
+
+func TestCompositeCandidates(t *testing.T) {
+	db, w := setup(t)
+	cands := compositeCandidates(db.Catalog(), w.Queries)
+	if len(cands) == 0 {
+		t.Fatal("no composite candidates on TPC-H")
+	}
+	for _, c := range cands {
+		cols := c.ColumnList()
+		if len(cols) != 2 {
+			t.Errorf("non-composite candidate: %v", c)
+		}
+		tab := db.Catalog().Table(c.Table)
+		for _, col := range cols {
+			if tab.Column(col) == nil {
+				t.Errorf("candidate references unknown column: %v", c)
+			}
+		}
+	}
+}
+
+func TestRecommendMayIncludeComposites(t *testing.T) {
+	db, w := setup(t)
+	defs := New().Recommend(db, w.Queries)
+	if len(defs) == 0 {
+		t.Fatal("no recommendations")
+	}
+	// Sanity: recommendations remain within budget and on known tables.
+	for _, d := range defs {
+		if db.Catalog().Table(d.Table) == nil {
+			t.Errorf("unknown table: %v", d)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package dbbert reimplements DB-BERT (Trummer, 2022): a tuning tool that
+// "reads the manual" — it mines single-parameter tuning hints from text
+// documents with a language model, translates relative recommendations
+// (e.g. "25% of RAM") to the target hardware, and searches over hint
+// combinations and scale factors with reinforcement learning.
+//
+// The bundled corpus paraphrases the standard PostgreSQL/MySQL tuning
+// guidance that DB-BERT's evaluation mined from the web.
+package dbbert
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/engine"
+)
+
+// Hint is a mined single-parameter recommendation.
+type Hint struct {
+	Param string
+	// Value is the recommended setting; when RelativeToRAM is true, Value
+	// is a fraction of machine memory (translated at tuning time).
+	Value         float64
+	RelativeToRAM bool
+	// Source is the manual sentence the hint was mined from.
+	Source string
+}
+
+// corpus holds the mined hints per flavor. Paraphrased from the PostgreSQL
+// wiki ("Tuning Your PostgreSQL Server") and the MySQL reference manual —
+// the same documents DB-BERT's evaluation feeds to the model.
+func corpus(f engine.Flavor) []Hint {
+	if f == engine.MySQL {
+		return []Hint{
+			{Param: "innodb_buffer_pool_size", Value: 0.7, RelativeToRAM: true,
+				Source: "A typical recommendation is to set the buffer pool to 70% of available memory."},
+			{Param: "sort_buffer_size", Value: 64 << 20,
+				Source: "Increase sort_buffer_size for sessions performing large sorts."},
+			{Param: "join_buffer_size", Value: 64 << 20,
+				Source: "Joins without indexes benefit from a larger join_buffer_size."},
+			{Param: "tmp_table_size", Value: 256 << 20,
+				Source: "Raise tmp_table_size to keep implicit temporary tables in memory."},
+			{Param: "max_heap_table_size", Value: 256 << 20,
+				Source: "max_heap_table_size bounds in-memory temporary tables."},
+			{Param: "innodb_io_capacity", Value: 2000,
+				Source: "SSD-backed instances should raise innodb_io_capacity."},
+			{Param: "innodb_read_io_threads", Value: 16,
+				Source: "Increase the read IO threads on machines with many cores."},
+			{Param: "innodb_log_file_size", Value: 1 << 30,
+				Source: "Use large redo logs for write-heavy workloads."},
+		}
+	}
+	return []Hint{
+		{Param: "shared_buffers", Value: 0.25, RelativeToRAM: true,
+			Source: "A reasonable starting value for shared_buffers is 25% of the memory in your system."},
+		{Param: "effective_cache_size", Value: 0.5, RelativeToRAM: true,
+			Source: "effective_cache_size should be set to an estimate of how much memory is available for disk caching, commonly 50% of RAM."},
+		{Param: "work_mem", Value: 256 << 20,
+			Source: "Analytic queries with big sorts and hashes benefit from work_mem far above the default."},
+		{Param: "maintenance_work_mem", Value: 1 << 30,
+			Source: "Raising maintenance_work_mem speeds up CREATE INDEX."},
+		{Param: "random_page_cost", Value: 1.1,
+			Source: "On SSD storage, lower random_page_cost towards 1.1 so the planner favors index scans."},
+		{Param: "effective_io_concurrency", Value: 200,
+			Source: "SSDs allow effective_io_concurrency values of 200 or more."},
+		{Param: "max_parallel_workers_per_gather", Value: 4,
+			Source: "OLAP systems benefit from more parallel workers per gather node."},
+		{Param: "checkpoint_completion_target", Value: 0.9,
+			Source: "Set checkpoint_completion_target to 0.9 to spread checkpoint IO."},
+		{Param: "wal_buffers", Value: 16 << 20,
+			Source: "A wal_buffers value of 16MB helps concurrent commits."},
+		{Param: "default_statistics_target", Value: 100,
+			Source: "The default statistics target of 100 suits most workloads."},
+	}
+}
+
+// Tuner is the DB-BERT baseline.
+type Tuner struct {
+	Seed int64
+	// EvalTimeout bounds each full-workload trial.
+	EvalTimeout float64
+}
+
+// New returns DB-BERT with defaults.
+func New(seed int64) *Tuner { return &Tuner{Seed: seed} }
+
+// Name implements baselines.Tuner.
+func (t *Tuner) Name() string { return "DB-BERT" }
+
+// Tune implements baselines.Tuner: RL over hint subsets and per-hint scale
+// factors (DB-BERT multiplies mined values by factors in {0.25,0.5,1,2,4}).
+func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+	tr := baselines.NewTrace(t.Name())
+	rng := rand.New(rand.NewSource(t.Seed))
+	hints := corpus(db.Flavor())
+	scales := []float64{0.25, 0.5, 1, 2, 4}
+	pc := engine.Params(db.Flavor())
+	mem := float64(db.Hardware().MemoryBytes)
+
+	// Weights implement a softmax-free bandit: start uniform, reinforce
+	// hints that appear in improving configurations.
+	weight := make([]float64, len(hints))
+	for i := range weight {
+		weight[i] = 1
+	}
+	// Initial scale factors are part of the search space: DB-BERT does not
+	// know a priori whether a mined value should be taken at face value.
+	scaleIdx := make([]int, len(hints))
+	for i := range scaleIdx {
+		scaleIdx[i] = rng.Intn(len(scales))
+	}
+
+	trial := 0
+	curBest := math.Inf(1)
+	for db.Clock().Now() < deadline {
+		trial++
+		// Sample a hint subset proportional to weights, perturb one scale.
+		cfg := &engine.Config{ID: fmt.Sprintf("dbbert-%d", trial), Params: map[string]string{}}
+		var used []int
+		for i, h := range hints {
+			if rng.Float64() > weight[i]/(weight[i]+1) {
+				continue
+			}
+			used = append(used, i)
+			s := scales[scaleIdx[i]]
+			if rng.Float64() < 0.3 {
+				scaleIdx[i] = rng.Intn(len(scales))
+				s = scales[scaleIdx[i]]
+			}
+			v := h.Value * s
+			if h.RelativeToRAM {
+				v = mem * h.Value * s
+			}
+			def, ok := pc.Lookup(h.Param)
+			if !ok {
+				continue
+			}
+			cfg.Params[h.Param] = baselines.Knob{Name: h.Param, Def: def}.Format(clamp(v, def.Min, def.Max))
+		}
+		time, complete := baselines.Evaluate(db, queries, cfg, baselines.EvalOptions{Timeout: t.EvalTimeout})
+		tr.Record(db.Clock().Now(), cfg, time, complete)
+		// Reinforce.
+		if complete && time < curBest {
+			curBest = time
+			for _, i := range used {
+				weight[i] *= 1.5
+			}
+		} else {
+			for _, i := range used {
+				weight[i] *= 0.95
+			}
+		}
+	}
+	return tr
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

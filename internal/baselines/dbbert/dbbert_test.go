@@ -1,0 +1,71 @@
+package dbbert
+
+import (
+	"math"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func TestDBBertImproves(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	tr := New(3).Tune(db, w.Queries, 20000)
+	if math.IsInf(tr.BestTime, 1) {
+		t.Fatal("DB-BERT found nothing")
+	}
+	if tr.BestTime >= defaultTime {
+		t.Errorf("best %v vs default %v", tr.BestTime, defaultTime)
+	}
+}
+
+func TestDBBertHintsTranslatedToHardware(t *testing.T) {
+	// A mined "25% of RAM" hint must materialize as an absolute size
+	// proportional to machine memory.
+	w := workload.TPCH(1)
+	small := engine.NewDB(engine.Postgres, w.Catalog, engine.Hardware{Cores: 4, MemoryBytes: 8 << 30})
+	tr := New(3).Tune(small, w.Queries, 8000)
+	if tr.BestConfig == nil {
+		t.Fatal("no best config")
+	}
+	if v, ok := tr.BestConfig.Params["shared_buffers"]; ok {
+		pc := engine.Params(engine.Postgres)
+		parsed, err := pc.ParseValue("shared_buffers", v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parsed > 8<<30 {
+			t.Errorf("shared_buffers %v exceeds machine memory", v)
+		}
+	}
+}
+
+func TestDBBertMySQLCorpus(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.MySQL, w.Catalog, engine.DefaultHardware)
+	tr := New(3).Tune(db, w.Queries, 15000)
+	if tr.BestConfig == nil {
+		t.Fatal("no best config on MySQL")
+	}
+	for name := range tr.BestConfig.Params {
+		if _, ok := engine.Params(engine.MySQL).Lookup(name); !ok {
+			t.Errorf("Postgres hint %q applied to MySQL", name)
+		}
+	}
+}
+
+func TestCorpusParamsExist(t *testing.T) {
+	for _, f := range []engine.Flavor{engine.Postgres, engine.MySQL} {
+		pc := engine.Params(f)
+		for _, h := range corpus(f) {
+			if _, ok := pc.Lookup(h.Param); !ok {
+				t.Errorf("%v corpus references unknown parameter %q", f, h.Param)
+			}
+			if h.Source == "" {
+				t.Errorf("hint %q has no source sentence", h.Param)
+			}
+		}
+	}
+}

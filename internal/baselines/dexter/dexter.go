@@ -1,0 +1,84 @@
+// Package dexter reimplements Dexter (github.com/ankane/dexter): an
+// automatic index advisor for PostgreSQL built on hypothetical indexes
+// (HypoPG). Dexter collects candidate indexes from the workload's predicate
+// columns, creates them hypothetically, and keeps those whose what-if
+// planner cost improvement exceeds a threshold.
+package dexter
+
+import (
+	"sort"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/engine"
+)
+
+// Advisor is the Dexter index advisor.
+type Advisor struct {
+	// MinImprovement is the relative planner-cost improvement an index must
+	// deliver on at least one query (Dexter's default is 50%... per query).
+	MinImprovement float64
+	// MaxIndexes caps the recommendation count (0 = unlimited).
+	MaxIndexes int
+}
+
+// New returns Dexter with its published default threshold.
+func New() *Advisor { return &Advisor{MinImprovement: 0.5} }
+
+// Name identifies the advisor.
+func (a *Advisor) Name() string { return "Dexter" }
+
+// Recommend returns the advised indexes for the workload. The database's
+// settings are used for what-if costing (hypothetical indexes: the index is
+// created for costing only; creation time is *not* charged to the clock,
+// matching HypoPG semantics). Any pre-existing transient indexes are
+// restored on return.
+func (a *Advisor) Recommend(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
+	candidates := baselines.CandidateIndexes(db.Catalog(), queries)
+	// Baseline planner cost per query, under current indexes only.
+	base := make([]float64, len(queries))
+	for i, q := range queries {
+		base[i] = db.Plan(q).EstCost()
+	}
+
+	type scored struct {
+		def     engine.IndexDef
+		benefit float64
+	}
+	var useful []scored
+	for _, cand := range candidates {
+		if db.HasIndex(cand) {
+			continue
+		}
+		// Hypothetically create, re-cost affected queries, drop.
+		db.CreatePermanentIndex(cand) // no clock charge: hypothetical
+		var benefit float64
+		qualifies := false
+		for i, q := range queries {
+			c := db.Plan(q).EstCost()
+			if c < base[i] {
+				benefit += base[i] - c
+				if (base[i]-c)/base[i] >= a.MinImprovement {
+					qualifies = true
+				}
+			}
+		}
+		db.DropIndex(cand)
+		if qualifies {
+			useful = append(useful, scored{def: cand, benefit: benefit})
+		}
+	}
+	sort.Slice(useful, func(i, j int) bool {
+		if useful[i].benefit != useful[j].benefit {
+			return useful[i].benefit > useful[j].benefit
+		}
+		return useful[i].def.Key() < useful[j].def.Key()
+	})
+	var out []engine.IndexDef
+	for _, s := range useful {
+		if a.MaxIndexes > 0 && len(out) >= a.MaxIndexes {
+			break
+		}
+		out = append(out, s.def)
+	}
+	return out
+}

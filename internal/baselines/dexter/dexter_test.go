@@ -1,0 +1,85 @@
+package dexter
+
+import (
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func TestDexterRecommends(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	// Index-friendly planner settings (the harness applies these before
+	// asking for recommendations, like Dexter assumes SSD-tuned costs).
+	s := db.Settings()
+	s["random_page_cost"] = 1.1
+	s["effective_cache_size"] = float64(int64(45) << 30)
+	db.SetSettings(s)
+
+	defs := New().Recommend(db, w.Queries)
+	if len(defs) == 0 {
+		t.Fatal("Dexter recommended nothing")
+	}
+	for _, d := range defs {
+		if db.Catalog().Table(d.Table) == nil {
+			t.Errorf("index on unknown table: %v", d)
+		}
+	}
+	// What-if evaluation must not leave hypothetical indexes behind nor
+	// advance the clock.
+	if len(db.Indexes()) != 0 {
+		t.Errorf("hypothetical indexes leaked: %v", db.Indexes())
+	}
+	if db.Clock().Now() != 0 {
+		t.Errorf("what-if costing charged the clock: %v", db.Clock().Now())
+	}
+}
+
+func TestDexterIndexesHelp(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	s := db.Settings()
+	s["random_page_cost"] = 1.1
+	db.SetSettings(s)
+	before := db.WorkloadSeconds(w.Queries)
+	for _, d := range New().Recommend(db, w.Queries) {
+		db.CreatePermanentIndex(d)
+	}
+	after := db.WorkloadSeconds(w.Queries)
+	if after >= before {
+		t.Errorf("Dexter indexes did not help: %v vs %v", after, before)
+	}
+}
+
+func TestDexterSkipsExisting(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	s := db.Settings()
+	s["random_page_cost"] = 1.1
+	db.SetSettings(s)
+	all := New().Recommend(db, w.Queries)
+	if len(all) == 0 {
+		t.Skip("no recommendations")
+	}
+	db.CreatePermanentIndex(all[0])
+	again := New().Recommend(db, w.Queries)
+	for _, d := range again {
+		if d.Key() == all[0].Key() {
+			t.Errorf("existing index re-recommended: %v", d)
+		}
+	}
+}
+
+func TestDexterMaxIndexes(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	s := db.Settings()
+	s["random_page_cost"] = 1.1
+	db.SetSettings(s)
+	a := New()
+	a.MaxIndexes = 2
+	if got := a.Recommend(db, w.Queries); len(got) > 2 {
+		t.Errorf("cap ignored: %d indexes", len(got))
+	}
+}

@@ -1,0 +1,48 @@
+package gptuner
+
+import (
+	"math"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func TestGPTunerImproves(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	tr := New(5).Tune(db, w.Queries, 20000)
+	if math.IsInf(tr.BestTime, 1) {
+		t.Fatal("GPTuner found nothing")
+	}
+	if tr.BestTime >= defaultTime {
+		t.Errorf("best %v vs default %v", tr.BestTime, defaultTime)
+	}
+}
+
+func TestPrunedSpaceInsideDomains(t *testing.T) {
+	for _, f := range []engine.Flavor{engine.Postgres, engine.MySQL} {
+		for _, r := range prunedSpace(f, engine.DefaultHardware) {
+			if r.lo > r.hi {
+				t.Errorf("%s: inverted region [%v, %v]", r.knob.Name, r.lo, r.hi)
+			}
+			if r.lo < r.knob.Def.Min || r.hi > r.knob.Def.Max {
+				t.Errorf("%s: region [%v, %v] outside domain [%v, %v]",
+					r.knob.Name, r.lo, r.hi, r.knob.Def.Min, r.knob.Def.Max)
+			}
+		}
+	}
+}
+
+func TestGPTunerConvergesFasterThanWideSearch(t *testing.T) {
+	// With the GPT-pruned space, the first trials should already be decent:
+	// best-so-far after a short deadline beats the default configuration.
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	tr := New(5).Tune(db, w.Queries, defaultTime*3)
+	if math.IsInf(tr.BestTime, 1) || tr.BestTime >= defaultTime {
+		t.Errorf("no early improvement: best=%v default=%v", tr.BestTime, defaultTime)
+	}
+}

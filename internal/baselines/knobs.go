@@ -1,0 +1,125 @@
+package baselines
+
+import (
+	"fmt"
+	"sort"
+
+	"lambdatune/internal/engine"
+)
+
+// Knob is one tunable parameter with the discrete value levels that the
+// search-based baselines explore.
+type Knob struct {
+	Name string
+	// Levels are candidate values in the parameter's native numeric domain
+	// (bytes for size parameters), ascending.
+	Levels []float64
+	// Def is the underlying parameter definition.
+	Def engine.ParamDef
+}
+
+// Format renders a level as the value string a configuration script uses.
+func (k Knob) Format(level float64) string {
+	switch k.Def.Type {
+	case engine.TypeBytes:
+		return engine.FormatBytes(int64(level))
+	case engine.TypeBool:
+		if level != 0 {
+			return "on"
+		}
+		return "off"
+	case engine.TypeInt:
+		return fmt.Sprintf("%d", int64(level))
+	}
+	return fmt.Sprintf("%g", level)
+}
+
+// KnobSpace builds the discrete search space for a flavor on the given
+// hardware: for each parameter, a handful of levels spanning default to a
+// hardware-proportional maximum. This mirrors how the baselines' published
+// implementations discretize continuous knobs.
+func KnobSpace(f engine.Flavor, hw engine.Hardware) []Knob {
+	pc := engine.Params(f)
+	var knobs []Knob
+	for _, name := range pc.Names() {
+		def, _ := pc.Lookup(name)
+		var levels []float64
+		switch def.Type {
+		case engine.TypeBool:
+			levels = []float64{0, 1}
+		case engine.TypeBytes:
+			// Default ×{1,4,16,...} capped at half the machine memory.
+			max := float64(hw.MemoryBytes) / 2
+			if max > def.Max {
+				max = def.Max
+			}
+			for v := def.Default; v <= max; v *= 4 {
+				levels = append(levels, v)
+			}
+			if len(levels) < 2 {
+				levels = append(levels, def.Default*2)
+			}
+		case engine.TypeFloat:
+			levels = []float64{def.Default, def.Default / 4, def.Default / 2, def.Default * 2, def.Default * 4}
+			for i := range levels {
+				if levels[i] < def.Min {
+					levels[i] = def.Min
+				}
+				if levels[i] > def.Max {
+					levels[i] = def.Max
+				}
+			}
+		default: // TypeInt
+			levels = []float64{def.Default, def.Default * 2, def.Default * 4, def.Default * 8}
+			for i := range levels {
+				if levels[i] > def.Max {
+					levels[i] = def.Max
+				}
+			}
+		}
+		sort.Float64s(levels)
+		levels = dedupe(levels)
+		knobs = append(knobs, Knob{Name: name, Levels: levels, Def: def})
+	}
+	return knobs
+}
+
+func dedupe(xs []float64) []float64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// CandidateIndexes enumerates single-column index candidates from the
+// workload's join and filter columns (the index-search baselines' candidate
+// pool).
+func CandidateIndexes(cat *engine.Catalog, queries []*engine.Query) []engine.IndexDef {
+	seen := map[string]bool{}
+	var out []engine.IndexDef
+	add := func(table, col string) {
+		t := cat.Table(table)
+		if t == nil || t.Column(col) == nil {
+			return
+		}
+		def := engine.NewIndexDef(table, col)
+		if !seen[def.Key()] {
+			seen[def.Key()] = true
+			out = append(out, def)
+		}
+	}
+	for _, q := range queries {
+		for _, j := range q.Analysis.Joins {
+			add(j.LeftTable, j.LeftColumn)
+			add(j.RightTable, j.RightColumn)
+		}
+		for _, f := range q.Analysis.Filters {
+			add(f.Table, f.Column)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key() < out[b].Key() })
+	return out
+}

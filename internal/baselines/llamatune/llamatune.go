@@ -1,0 +1,126 @@
+// Package llamatune reimplements LlamaTune (Kanellis et al., 2022):
+// sample-efficient DBMS configuration tuning via low-dimensional random
+// projection. The optimizer searches a d-dimensional continuous space; a
+// fixed random linear projection (HeSBO-style) maps points to the full knob
+// space, and special values are biased toward knob defaults.
+package llamatune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/engine"
+)
+
+// Tuner is the LlamaTune baseline.
+type Tuner struct {
+	Seed        int64
+	EvalTimeout float64
+	// Dim is the projected search-space dimensionality (paper uses 16).
+	Dim int
+	// BiasDefault is the probability a knob snaps to its default value
+	// (LlamaTune's special-value biasing).
+	BiasDefault float64
+	// MaxTrials caps the optimizer iterations; the paper's evaluation
+	// observes 10-19 completed trials per run.
+	MaxTrials int
+}
+
+// New returns LlamaTune with published defaults.
+func New(seed int64) *Tuner { return &Tuner{Seed: seed, Dim: 16, BiasDefault: 0.2, MaxTrials: 20} }
+
+// Name implements baselines.Tuner.
+func (t *Tuner) Name() string { return "LlamaTune" }
+
+// Tune implements baselines.Tuner: sequential search in the projected space
+// with incumbent-guided refinement. LlamaTune is sample-efficient — few
+// trials — but explores the raw (un-pruned) knob space, so individual trials
+// can be very bad; the paper's Table 3 shows it winning some scenarios and
+// losing badly in others.
+func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+	tr := baselines.NewTrace(t.Name())
+	rng := rand.New(rand.NewSource(t.Seed))
+	knobs := baselines.KnobSpace(db.Flavor(), db.Hardware())
+	d := t.Dim
+	if d <= 0 {
+		d = 16
+	}
+	// HeSBO projection: each knob maps to a (dimension, sign) pair.
+	dim := make([]int, len(knobs))
+	sign := make([]float64, len(knobs))
+	for i := range knobs {
+		dim[i] = rng.Intn(d)
+		if rng.Float64() < 0.5 {
+			sign[i] = -1
+		} else {
+			sign[i] = 1
+		}
+	}
+
+	incumbent := make([]float64, d) // points live in [-1, 1]^d
+	bestTime := math.Inf(1)
+	trial := 0
+	for db.Clock().Now() < deadline && (t.MaxTrials <= 0 || trial < t.MaxTrials) {
+		trial++
+		if trial == 1 {
+			// SMAC evaluates the default configuration first.
+			cfg := &engine.Config{ID: "llamatune-default", Params: map[string]string{}}
+			time, complete := baselines.Evaluate(db, queries, cfg, baselines.EvalOptions{Timeout: t.EvalTimeout})
+			tr.Record(db.Clock().Now(), cfg, time, complete)
+			if complete {
+				bestTime = time
+			}
+			continue
+		}
+		point := make([]float64, d)
+		if math.IsInf(bestTime, 1) || rng.Float64() < 0.4 {
+			for j := range point {
+				point[j] = rng.Float64()*2 - 1
+			}
+		} else {
+			for j := range point {
+				point[j] = clamp(incumbent[j]+(rng.Float64()*2-1)*0.3, -1, 1)
+			}
+		}
+		cfg := t.project(fmt.Sprintf("llamatune-%d", trial), knobs, dim, sign, point, rng)
+		time, complete := baselines.Evaluate(db, queries, cfg, baselines.EvalOptions{Timeout: t.EvalTimeout})
+		tr.Record(db.Clock().Now(), cfg, time, complete)
+		if complete && time < bestTime {
+			bestTime = time
+			copy(incumbent, point)
+		}
+	}
+	return tr
+}
+
+// project maps a low-dimensional point to a full configuration: each knob
+// reads its assigned dimension (sign-flipped), rescaled from [-1,1] to the
+// knob's level range, with default-value biasing.
+func (t *Tuner) project(id string, knobs []baselines.Knob, dim []int, sign []float64, point []float64, rng *rand.Rand) *engine.Config {
+	cfg := &engine.Config{ID: id, Params: map[string]string{}}
+	for i, k := range knobs {
+		if rng.Float64() < t.BiasDefault {
+			continue // biased to default: leave unset
+		}
+		v := sign[i] * point[dim[i]] // in [-1, 1]
+		u := (v + 1) / 2             // in [0, 1]
+		level := k.Levels[int(u*float64(len(k.Levels)-1)+0.5)]
+		if level == k.Def.Default {
+			continue
+		}
+		cfg.Params[k.Name] = k.Format(level)
+	}
+	return cfg
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

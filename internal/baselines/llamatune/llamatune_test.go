@@ -1,0 +1,45 @@
+package llamatune
+
+import (
+	"math"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func TestLlamaTuneImproves(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	tr := New(9).Tune(db, w.Queries, 30000)
+	if math.IsInf(tr.BestTime, 1) {
+		t.Fatal("LlamaTune found nothing")
+	}
+	if tr.BestTime >= defaultTime*1.05 {
+		t.Errorf("best %v much worse than default %v", tr.BestTime, defaultTime)
+	}
+}
+
+func TestLlamaTuneSampleEfficient(t *testing.T) {
+	// Dimensionality reduction means few, expensive full-workload trials —
+	// far fewer than UDO's sample-based count in the same budget.
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	tr := New(9).Tune(db, w.Queries, 10000)
+	if tr.Evaluated > 200 {
+		t.Errorf("too many trials for a projection-based tuner: %d", tr.Evaluated)
+	}
+}
+
+func TestLlamaTuneConfigsParseable(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	tr := New(9).Tune(db, w.Queries, 5000)
+	if tr.BestConfig == nil {
+		t.Skip("nothing completed in budget")
+	}
+	if _, err := tr.BestConfig.ResolveSettings(engine.Postgres); err != nil {
+		t.Errorf("best config unresolvable: %v", err)
+	}
+}

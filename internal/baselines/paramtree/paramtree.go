@@ -1,0 +1,83 @@
+// Package paramtree reimplements the ParamTree method (Yang et al., 2023):
+// regression trees over operator-level features recalibrate the five
+// PostgreSQL optimizer cost constants (cpu_tuple_cost, cpu_operator_cost,
+// cpu_index_tuple_cost, seq_page_cost, random_page_cost). ParamTree can
+// produce per-operator constants; since PostgreSQL accepts a single value
+// per parameter, the paper averages the operator-specific recommendations —
+// we do the same. One full-workload evaluation verifies the recommendation
+// (Table 4 reports exactly one trial).
+package paramtree
+
+import (
+	"fmt"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/engine"
+)
+
+// Tuner is the ParamTree baseline. It only applies to the Postgres flavor
+// (MySQL exposes no equivalent cost constants); on MySQL it recommends the
+// empty configuration.
+type Tuner struct {
+	EvalTimeout float64
+	// CalibrationError is the relative error of the learned constants
+	// (regression trees fit the true hardware costs imperfectly).
+	CalibrationError float64
+}
+
+// New returns ParamTree with a realistic ~10% calibration error.
+func New() *Tuner { return &Tuner{CalibrationError: 0.10} }
+
+// Name implements baselines.Tuner.
+func (t *Tuner) Name() string { return "ParamTree" }
+
+// operatorEstimates simulates the per-operator regression-tree outputs: each
+// operator class yields a slightly different constant estimate around the
+// machine's true cost; the final recommendation averages them.
+func (t *Tuner) operatorEstimates(truth float64) []float64 {
+	e := t.CalibrationError
+	// Three operator classes (scan-heavy, join-heavy, aggregate-heavy) with
+	// deterministic alternating errors.
+	return []float64{truth * (1 + e), truth * (1 - e/2), truth * (1 + e/4)}
+}
+
+func avg(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Recommend produces the single calibrated configuration.
+func (t *Tuner) Recommend(db *engine.DB) *engine.Config {
+	cfg := &engine.Config{ID: "paramtree", Params: map[string]string{}}
+	if db.Flavor() != engine.Postgres {
+		return cfg
+	}
+	// True per-operation costs of the simulated machine, expressed in
+	// planner units (seq_page_cost ≡ 1.0): see internal/engine's hardware
+	// truth constants. ParamTree's regressions recover these from observed
+	// operator runtimes.
+	truths := map[string]float64{
+		"seq_page_cost":        1.0,
+		"random_page_cost":     2.5,
+		"cpu_tuple_cost":       0.005,
+		"cpu_operator_cost":    0.0015,
+		"cpu_index_tuple_cost": 0.003,
+	}
+	for name, truth := range truths {
+		cfg.Params[name] = fmt.Sprintf("%g", avg(t.operatorEstimates(truth)))
+	}
+	return cfg
+}
+
+// Tune implements baselines.Tuner: one recommendation, one verification run.
+func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+	tr := baselines.NewTrace(t.Name())
+	cfg := t.Recommend(db)
+	time, complete := baselines.Evaluate(db, queries, cfg, baselines.EvalOptions{Timeout: t.EvalTimeout})
+	tr.Record(db.Clock().Now(), cfg, time, complete)
+	_ = deadline
+	return tr
+}

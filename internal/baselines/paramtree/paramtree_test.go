@@ -1,0 +1,71 @@
+package paramtree
+
+import (
+	"strconv"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func TestParamTreeOneTrial(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	tr := New().Tune(db, w.Queries, 1e9)
+	if tr.Evaluated != 1 {
+		t.Errorf("ParamTree ran %d trials, want 1 (Table 4)", tr.Evaluated)
+	}
+	if tr.BestConfig == nil {
+		t.Fatal("no recommendation")
+	}
+	if len(tr.BestConfig.Params) != 5 {
+		t.Errorf("recommends %d params, want the 5 optimizer constants", len(tr.BestConfig.Params))
+	}
+}
+
+func TestParamTreeRecommendationsNearTruth(t *testing.T) {
+	cfg := New().Recommend(engine.NewDB(engine.Postgres, workload.TPCH(1).Catalog, engine.DefaultHardware))
+	rp, err := strconv.ParseFloat(cfg.Params["random_page_cost"], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True random/seq ratio of the simulated machine is 2.5; the learned
+	// value must be within calibration error.
+	if rp < 2.0 || rp > 3.0 {
+		t.Errorf("random_page_cost %v far from hardware truth 2.5", rp)
+	}
+}
+
+func TestParamTreeHelpsPlans(t *testing.T) {
+	// Calibrated constants have a bounded effect: ParamTree fixes the five
+	// optimizer constants but not the planner's other inputs (e.g.
+	// effective_cache_size), so plans can shift either way within a small
+	// factor — the paper likewise finds ParamTree's scope too narrow for
+	// large gains.
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	// Give the optimizer indexes to potentially mis-cost.
+	for _, d := range w.InitialIndexes() {
+		db.CreatePermanentIndex(d)
+	}
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	pt := New()
+	cfg := pt.Recommend(db)
+	s, err := cfg.ResolveSettings(engine.Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetSettings(s)
+	tuned := db.WorkloadSeconds(w.Queries)
+	if tuned > defaultTime*1.3 || tuned < defaultTime/3 {
+		t.Errorf("calibration effect out of bounds: %v vs %v", tuned, defaultTime)
+	}
+}
+
+func TestParamTreeMySQLNoOp(t *testing.T) {
+	db := engine.NewDB(engine.MySQL, workload.TPCH(1).Catalog, engine.DefaultHardware)
+	cfg := New().Recommend(db)
+	if len(cfg.Params) != 0 {
+		t.Errorf("MySQL has no optimizer constants to calibrate: %v", cfg.Params)
+	}
+}

@@ -1,0 +1,192 @@
+// Package udo reimplements UDO (Wang et al., 2021), the universal database
+// optimizer: reinforcement learning over both system parameters and index
+// choices. Following the paper's evaluation setup, UDO evaluates candidate
+// configurations on workload *samples* (cheap trials, hence its large trial
+// counts in Table 4) and the harness re-runs its incumbents on the full
+// workload to make results comparable.
+package udo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/engine"
+)
+
+// Tuner is the UDO baseline.
+type Tuner struct {
+	// Seed drives exploration.
+	Seed int64
+	// SampleFraction is the share of the workload used per cheap trial.
+	SampleFraction float64
+	// Epsilon is the exploration rate of the ε-greedy policy.
+	Epsilon float64
+	// EvalTimeout bounds each full-workload verification run.
+	EvalTimeout float64
+	// TuneIndexes enables physical-design actions (scenario 2); when false
+	// UDO only changes parameters (scenario 1).
+	TuneIndexes bool
+}
+
+// New returns UDO with the published defaults.
+func New(seed int64) *Tuner {
+	return &Tuner{Seed: seed, SampleFraction: 0.1, Epsilon: 0.3, TuneIndexes: true}
+}
+
+// Name implements baselines.Tuner.
+func (t *Tuner) Name() string { return "UDO" }
+
+// state is UDO's current configuration: one level index per knob plus an
+// index subset.
+type state struct {
+	levels  []int
+	indexes []bool
+}
+
+func (s state) clone() state {
+	ls := append([]int(nil), s.levels...)
+	ix := append([]bool(nil), s.indexes...)
+	return state{levels: ls, indexes: ix}
+}
+
+// Tune implements baselines.Tuner: ε-greedy hill climbing with RL-style
+// sample-based reward, verifying improved incumbents on the full workload.
+func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+	tr := baselines.NewTrace(t.Name())
+	rng := rand.New(rand.NewSource(t.Seed))
+	knobs := baselines.KnobSpace(db.Flavor(), db.Hardware())
+	var candidates []engine.IndexDef
+	if t.TuneIndexes {
+		candidates = baselines.CandidateIndexes(db.Catalog(), queries)
+	}
+	sample := baselines.SampleQueries(queries, t.SampleFraction, t.Seed)
+
+	cur := state{levels: make([]int, len(knobs)), indexes: make([]bool, len(candidates))}
+	for i, k := range knobs {
+		// Start at each knob's default level.
+		for li, v := range k.Levels {
+			if v == k.Def.Default {
+				cur.levels[i] = li
+			}
+		}
+	}
+	curReward := math.Inf(1)
+	trial := 0
+
+	// UDO manages the physical design incrementally: toggling one index
+	// costs one creation (or a free drop), never a full rebuild.
+	db.DropTransientIndexes()
+	applyState := func(s state) error {
+		for i, on := range s.indexes {
+			if on && !db.HasIndex(candidates[i]) {
+				db.CreateIndex(candidates[i])
+			} else if !on && db.HasIndex(candidates[i]) {
+				db.DropIndex(candidates[i])
+			}
+		}
+		cfg := t.config("state", knobs, candidates, s)
+		return db.ApplyConfigParams(cfg)
+	}
+
+	runQueries := func(qs []*engine.Query, timeout float64) (float64, bool) {
+		if timeout <= 0 {
+			timeout = math.Inf(1)
+		}
+		remaining := timeout
+		var total float64
+		for _, q := range qs {
+			res := db.Execute(q, remaining)
+			if !res.Complete {
+				return total, false
+			}
+			total += res.Seconds
+			remaining -= res.Seconds
+		}
+		return total, true
+	}
+
+	for db.Clock().Now() < deadline {
+		trial++
+		next := cur.clone()
+		// Episode: one to three actions, each mutating a knob level or
+		// toggling an index (UDO's MDP applies several actions per
+		// episode). The learned policy quickly acquires directionality —
+		// memory/size knobs pay off upward, candidate indexes pay off
+		// switched on — so actions are biased accordingly (a stand-in for
+		// UDO's converged Q-values).
+		for a := rng.Intn(3) + 1; a > 0; a-- {
+			if t.TuneIndexes && len(candidates) > 0 && rng.Float64() < 0.4 {
+				i := rng.Intn(len(candidates))
+				if rng.Float64() < 0.7 {
+					next.indexes[i] = true
+				} else {
+					next.indexes[i] = !next.indexes[i]
+				}
+			} else {
+				i := rng.Intn(len(knobs))
+				if rng.Float64() < 0.7 && next.levels[i] < len(knobs[i].Levels)-1 {
+					next.levels[i]++
+				} else {
+					next.levels[i] = rng.Intn(len(knobs[i].Levels))
+				}
+			}
+		}
+		if err := applyState(next); err != nil {
+			continue
+		}
+		// Cheap trial on the sample.
+		sampleTime, complete := runQueries(sample, t.EvalTimeout)
+		tr.Evaluated++
+		if db.Clock().Now() >= deadline {
+			break
+		}
+		accept := complete && sampleTime < curReward
+		if !accept && rng.Float64() < t.Epsilon {
+			accept = complete
+		}
+		if !accept {
+			// Revert (index drops are free; creations linger as state UDO
+			// explored — it keeps the design of the accepted state).
+			if err := applyState(cur); err != nil {
+				continue
+			}
+			continue
+		}
+		cur = next
+		curReward = sampleTime
+		// Full-workload measurement of the new incumbent. The paper
+		// re-executes configurations tried by UDO to make its results
+		// comparable; this measurement happens outside UDO's tuning budget,
+		// so it does not advance the clock.
+		cfg := t.config(fmt.Sprintf("udo-%d", trial), knobs, candidates, cur)
+		fullTime := db.WorkloadSeconds(queries)
+		if fullTime < tr.BestTime {
+			tr.BestTime = fullTime
+			tr.BestConfig = cfg
+			tr.Events = append(tr.Events, baselines.Event{
+				Clock: db.Clock().Now(), BestTime: fullTime, ConfigID: cfg.ID,
+			})
+		}
+	}
+	return tr
+}
+
+// config materializes a state as a configuration.
+func (t *Tuner) config(id string, knobs []baselines.Knob, candidates []engine.IndexDef, s state) *engine.Config {
+	cfg := &engine.Config{ID: id, Params: map[string]string{}}
+	for i, k := range knobs {
+		level := k.Levels[s.levels[i]]
+		if level == k.Def.Default {
+			continue // leave defaults unset
+		}
+		cfg.Params[k.Name] = k.Format(level)
+	}
+	for i, on := range s.indexes {
+		if on {
+			cfg.Indexes = append(cfg.Indexes, candidates[i])
+		}
+	}
+	return cfg
+}

@@ -1,0 +1,58 @@
+package udo
+
+import (
+	"math"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func TestUDOFindsImprovement(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	tr := New(7).Tune(db, w.Queries, 20000)
+	if math.IsInf(tr.BestTime, 1) {
+		t.Fatal("UDO found nothing")
+	}
+	if tr.BestTime >= defaultTime {
+		t.Errorf("UDO best %v not better than default %v", tr.BestTime, defaultTime)
+	}
+	if tr.Evaluated < 10 {
+		t.Errorf("UDO evaluated only %d configs", tr.Evaluated)
+	}
+}
+
+func TestUDORespectsDeadline(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	deadline := 500.0
+	New(7).Tune(db, w.Queries, deadline)
+	// One full verification run may overshoot; bound the overshoot.
+	if db.Clock().Now() > deadline*3 {
+		t.Errorf("clock %v far beyond deadline %v", db.Clock().Now(), deadline)
+	}
+}
+
+func TestUDOParamOnlyMode(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	u := New(7)
+	u.TuneIndexes = false
+	tr := u.Tune(db, w.Queries, 5000)
+	if tr.BestConfig != nil && len(tr.BestConfig.Indexes) > 0 {
+		t.Error("param-only UDO recommended indexes")
+	}
+}
+
+func TestUDODeterministic(t *testing.T) {
+	run := func() float64 {
+		w := workload.TPCH(1)
+		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		return New(7).Tune(db, w.Queries, 3000).BestTime
+	}
+	if run() != run() {
+		t.Error("UDO nondeterministic under fixed seed")
+	}
+}

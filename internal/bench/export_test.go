@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/engine"
+)
+
+func readCSV(t *testing.T, path string) [][]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestExportTable3CSV(t *testing.T) {
+	dir := t.TempDir()
+	rows := []Table3Row{{
+		Scenario: Scenario{Benchmark: "tpch-1", Flavor: engine.Postgres},
+		Scaled:   map[string]float64{"λ-Tune": 1.0, "UDO": 2.5},
+	}}
+	if err := ExportTable3CSV(dir, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := readCSV(t, filepath.Join(dir, "table3.csv"))
+	if len(got) != 2 || got[0][0] != "scenario" {
+		t.Fatalf("csv: %v", got)
+	}
+	if got[1][1] != "1.0000" {
+		t.Errorf("λ-Tune cell: %q", got[1][1])
+	}
+}
+
+func TestExportConvergenceCSV(t *testing.T) {
+	dir := t.TempDir()
+	figs := []FigureConvergence{{
+		Scenario: Scenario{Benchmark: "job", Flavor: engine.Postgres},
+		Series: []Series{{
+			System: "λ-Tune",
+			Points: []baselines.Event{{Clock: 10, BestTime: 5}, {Clock: 20, BestTime: 3}},
+		}},
+	}}
+	if err := ExportConvergenceCSV(dir, "figure3", figs); err != nil {
+		t.Fatal(err)
+	}
+	got := readCSV(t, filepath.Join(dir, "figure3.csv"))
+	if len(got) != 3 {
+		t.Fatalf("rows: %v", got)
+	}
+	if got[2][3] != "3.0000" {
+		t.Errorf("best cell: %q", got[2][3])
+	}
+}
+
+func TestExportFigure5And7CSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := ExportFigure5CSV(dir, []Figure5Row{{Query: "Q1", Default: 2, Tuned: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportFigure7CSV(dir, []Figure7Row{{Label: "x", WorkloadTokens: 7, BestTime: 1, TuningSeconds: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(readCSV(t, filepath.Join(dir, "figure5.csv"))) != 2 {
+		t.Error("figure5 rows")
+	}
+	if len(readCSV(t, filepath.Join(dir, "figure7.csv"))) != 2 {
+		t.Error("figure7 rows")
+	}
+}
+
+func TestAsciiChart(t *testing.T) {
+	fc := FigureConvergence{
+		Scenario: Scenario{Benchmark: "tpch-1", Flavor: engine.Postgres},
+		Series: []Series{
+			{System: "λ-Tune", Points: []baselines.Event{{Clock: 50, BestTime: 10}}},
+			{System: "UDO", Points: []baselines.Event{
+				{Clock: 10, BestTime: 60}, {Clock: 100, BestTime: 30}, {Clock: 1000, BestTime: 12},
+			}},
+			{System: "ParamTree", Points: nil},
+		},
+	}
+	out := AsciiChart(fc, 40)
+	if !strings.Contains(out, "λ-Tune") || !strings.Contains(out, "UDO") {
+		t.Fatalf("chart:\n%s", out)
+	}
+	// λ-Tune's single near-best point renders as the near-best glyph.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "λ-Tune") && !strings.Contains(line, "#") {
+			t.Errorf("λ-Tune line lacks near-best glyph: %q", line)
+		}
+	}
+}
+
+func TestAsciiChartEmpty(t *testing.T) {
+	fc := FigureConvergence{Scenario: Scenario{Benchmark: "job", Flavor: engine.MySQL}}
+	if out := AsciiChart(fc, 40); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %q", out)
+	}
+}

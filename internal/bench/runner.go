@@ -1,0 +1,236 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/core/tuner"
+	"lambdatune/internal/engine"
+)
+
+// SystemNames lists the compared tuners in the paper's column order.
+var SystemNames = []string{"λ-Tune", "UDO", "DB-BERT", "GPTuner", "LlamaTune", "ParamTree"}
+
+// TrialResult holds one seed's traces for every system.
+type TrialResult struct {
+	Seed   int64
+	Traces map[string]*baselines.Trace
+	Lambda *tuner.Result
+	// DefaultTime is the workload time under the scenario's initial state.
+	DefaultTime float64
+	// Deadline is the tuning budget granted to the baselines.
+	Deadline float64
+}
+
+// ScenarioResult aggregates the scenario's trials.
+type ScenarioResult struct {
+	Scenario Scenario
+	Trials   []*TrialResult
+}
+
+// BestTimes returns, per system, the average best execution time across
+// trials (+Inf when a system never completed in any trial).
+func (r *ScenarioResult) BestTimes() map[string]float64 {
+	out := map[string]float64{}
+	for _, name := range SystemNames {
+		var sum float64
+		n := 0
+		for _, tr := range r.Trials {
+			t := tr.Traces[name]
+			if t != nil && !math.IsInf(t.BestTime, 1) {
+				sum += t.BestTime
+				n++
+			}
+		}
+		if n == 0 {
+			out[name] = math.Inf(1)
+		} else {
+			out[name] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// EvalCounts returns, per system, the average number of evaluated
+// configurations (paper Table 4).
+func (r *ScenarioResult) EvalCounts() map[string]float64 {
+	out := map[string]float64{}
+	for _, name := range SystemNames {
+		var sum float64
+		n := 0
+		for _, tr := range r.Trials {
+			if t := tr.Traces[name]; t != nil {
+				sum += float64(t.Evaluated)
+				n++
+			}
+		}
+		if n > 0 {
+			out[name] = sum / float64(n)
+		}
+	}
+	return out
+}
+
+// Runner executes scenarios, caching results so multiple tables/figures can
+// share the same runs.
+type Runner struct {
+	cache map[string]*ScenarioResult
+	// BudgetSeconds is the absolute tuning budget granted to the search
+	// baselines, in simulated seconds — the same for every scenario, as in
+	// the paper's fixed-wall-clock evaluation. Scenarios whose single trial
+	// runs are longer get proportionally fewer trials (the SF10 and MySQL
+	// effect behind Table 3's spread). λ-Tune bounds its own cost and
+	// ignores it.
+	BudgetSeconds float64
+}
+
+// NewRunner creates a runner with default budgets.
+func NewRunner() *Runner {
+	return &Runner{cache: map[string]*ScenarioResult{}, BudgetSeconds: 3600}
+}
+
+// Run executes (or returns the cached) scenario result.
+func (r *Runner) Run(sc Scenario) (*ScenarioResult, error) {
+	key := sc.Label() + fmt.Sprint(sc.Trials, sc.Seed)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	trials := sc.Trials
+	if trials <= 0 {
+		trials = 3
+	}
+	res := &ScenarioResult{Scenario: sc}
+	for t := 0; t < trials; t++ {
+		seed := sc.Seed + int64(t)*101
+		tr, err := r.runTrial(sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		res.Trials = append(res.Trials, tr)
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// runTrial runs λ-Tune and every baseline once with the given seed, each on
+// a fresh database instance of the scenario.
+func (r *Runner) runTrial(sc Scenario, seed int64) (*TrialResult, error) {
+	tr := &TrialResult{Seed: seed, Traces: map[string]*baselines.Trace{}}
+
+	// λ-Tune first: its tuning time and worst candidate define the
+	// baselines' budgets (paper §6.1).
+	db, w, err := sc.NewDB()
+	if err != nil {
+		return nil, err
+	}
+	tr.DefaultTime = db.WorkloadSeconds(w.Queries)
+	lt := &LambdaTune{Seed: seed, ParamsOnly: sc.InitialIndexes}
+	res, err := lt.RunLambdaTune(db, w.Queries)
+	if err != nil {
+		return nil, err
+	}
+	tr.Lambda = res
+	ltTrace := baselines.NewTrace("λ-Tune")
+	ltTrace.Evaluated = len(res.Candidates)
+	for _, ev := range res.Progress {
+		ltTrace.Events = append(ltTrace.Events, baselines.Event{Clock: ev.Clock, BestTime: ev.BestTime, ConfigID: ev.ConfigID})
+	}
+	if res.Best != nil {
+		ltTrace.BestTime = res.BestTime
+		ltTrace.BestConfig = res.Best
+	}
+	tr.Traces["λ-Tune"] = ltTrace
+
+	// Worst fully evaluated λ-Tune candidate → per-trial timeout ×3.
+	worst := res.BestTime
+	for _, m := range res.Metas {
+		if m.IsComplete && m.Time > worst {
+			worst = m.Time
+		}
+	}
+	if worst < tr.DefaultTime || math.IsInf(worst, 1) {
+		worst = tr.DefaultTime
+	}
+	trialTimeout := 3 * worst
+	tr.Deadline = r.BudgetSeconds
+	if min := 3 * tr.DefaultTime; tr.Deadline < min {
+		// Guarantee a handful of trials even where a single default-speed
+		// run exceeds the budget.
+		tr.Deadline = min
+	}
+
+	for _, b := range baselineSet(seed, sc.InitialIndexes, trialTimeout) {
+		bdb, bw, err := sc.NewDB()
+		if err != nil {
+			return nil, err
+		}
+		// Scenario 2 methodology: parameter-only baselines receive Dexter's
+		// index recommendations before tuning starts (§6.2). UDO tunes its
+		// own physical design.
+		if !sc.InitialIndexes && b.Name() != "UDO" {
+			for _, d := range DexterIndexes(bdb, bw.Queries) {
+				bdb.CreatePermanentIndex(d)
+			}
+		}
+		trace := b.Tune(bdb, bw.Queries, tr.Deadline)
+		if math.IsInf(trace.BestTime, 1) {
+			// The paper charges systems that never evaluate a configuration
+			// successfully with the trial timeout (their Table 3 shows the
+			// capped value; their figures a dashed line).
+			trace.BestTime = trialTimeout
+		}
+		tr.Traces[b.Name()] = trace
+	}
+	return tr, nil
+}
+
+// Table3Scenarios lists the paper's 14 Table-3 rows in order.
+func Table3Scenarios(seed int64, trials int) []Scenario {
+	mk := func(bench string, f engine.Flavor, idx bool) Scenario {
+		return Scenario{Benchmark: bench, Flavor: f, InitialIndexes: idx, Trials: trials, Seed: seed}
+	}
+	return []Scenario{
+		mk("tpch-1", engine.Postgres, true),
+		mk("tpch-1", engine.MySQL, true),
+		mk("tpch-10", engine.Postgres, true),
+		mk("tpch-10", engine.MySQL, true),
+		mk("job", engine.Postgres, true),
+		mk("job", engine.MySQL, true),
+		mk("tpch-1", engine.Postgres, false),
+		mk("tpch-1", engine.MySQL, false),
+		mk("tpch-10", engine.Postgres, false),
+		mk("tpch-10", engine.MySQL, false),
+		mk("job", engine.Postgres, false),
+		mk("job", engine.MySQL, false),
+		mk("tpcds-1", engine.Postgres, false),
+		mk("tpcds-1", engine.MySQL, false),
+	}
+}
+
+// minFinite returns the smallest finite value (or +Inf).
+func minFinite(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// sortedSystemTimes flattens a BestTimes map in SystemNames order.
+func sortedSystemTimes(times map[string]float64) []float64 {
+	out := make([]float64, len(SystemNames))
+	for i, n := range SystemNames {
+		out[i] = times[n]
+	}
+	return out
+}
+
+// sortEventsByClock orders trace events (defensive; traces are appended in
+// clock order already).
+func sortEventsByClock(evs []baselines.Event) {
+	sort.Slice(evs, func(a, b int) bool { return evs[a].Clock < evs[b].Clock })
+}

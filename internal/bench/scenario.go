@@ -1,0 +1,234 @@
+// Package bench reproduces every table and figure of the paper's evaluation
+// (§6) on the simulated substrate. Experiment identifiers follow DESIGN.md's
+// per-experiment index (E1 = Table 3 … E10 = the LLM-outlier study).
+//
+// Absolute numbers are simulated seconds, not the paper's EC2 wall-clock;
+// the reproduction target is the *shape* of each result — which system wins,
+// by roughly what factor, and where the cross-overs fall.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"lambdatune/internal/baselines"
+	"lambdatune/internal/baselines/db2advisor"
+	"lambdatune/internal/baselines/dbbert"
+	"lambdatune/internal/baselines/dexter"
+	"lambdatune/internal/baselines/gptuner"
+	"lambdatune/internal/baselines/llamatune"
+	"lambdatune/internal/baselines/paramtree"
+	"lambdatune/internal/baselines/udo"
+	"lambdatune/internal/core/tuner"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/workload"
+)
+
+// Scenario is one evaluation setting: benchmark × DBMS × initial-index
+// regime.
+type Scenario struct {
+	Benchmark      string // workload.ByName key
+	Flavor         engine.Flavor
+	InitialIndexes bool
+	// Trials is the number of repetitions (the paper runs 3); traces are
+	// averaged per trial seed.
+	Trials int
+	// Seed is the base random seed.
+	Seed int64
+}
+
+// Label renders e.g. "TPC-H 1GB / PG / Initial Indexes".
+func (s Scenario) Label() string {
+	fl := "PG"
+	if s.Flavor == engine.MySQL {
+		fl = "MS"
+	}
+	ix := "No"
+	if s.InitialIndexes {
+		ix = "Yes"
+	}
+	return fmt.Sprintf("%s/%s/idx=%s", s.Benchmark, fl, ix)
+}
+
+// NewDB materializes the scenario's database and workload: a fresh instance
+// with default settings and, in the initial-index regime, permanent PK/FK
+// indexes.
+func (s Scenario) NewDB() (*engine.DB, *workload.Workload, error) {
+	w, err := workload.ByName(s.Benchmark)
+	if err != nil {
+		return nil, nil, err
+	}
+	db := engine.NewDB(s.Flavor, w.Catalog, engine.DefaultHardware)
+	if s.InitialIndexes {
+		for _, d := range w.InitialIndexes() {
+			db.CreatePermanentIndex(d)
+		}
+	}
+	return db, w, nil
+}
+
+// LambdaTune adapts the core tuner to the baselines.Tuner interface so the
+// harness can run it alongside the comparison systems.
+type LambdaTune struct {
+	Seed int64
+	// Opts configures the run; zero value means tuner.DefaultOptions.
+	Opts *tuner.Options
+	// ParamsOnly strips index recommendations from LLM candidates
+	// (scenario 1: pure parameter tuning).
+	ParamsOnly bool
+}
+
+// Name implements baselines.Tuner.
+func (l *LambdaTune) Name() string { return "λ-Tune" }
+
+// Tune implements baselines.Tuner. λ-Tune bounds its own evaluation cost
+// (Theorem 4.3), so the deadline is not used to cut it short.
+func (l *LambdaTune) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+	_ = deadline
+	tr := baselines.NewTrace(l.Name())
+	res, err := l.RunLambdaTune(db, queries)
+	if err != nil {
+		return tr
+	}
+	tr.Evaluated = len(res.Candidates)
+	for _, ev := range res.Progress {
+		tr.Events = append(tr.Events, baselines.Event{Clock: ev.Clock, BestTime: ev.BestTime, ConfigID: ev.ConfigID})
+	}
+	if res.Best != nil {
+		tr.BestTime = res.BestTime
+		tr.BestConfig = res.Best
+	}
+	return tr
+}
+
+// stripIndexes is a client wrapper that removes CREATE INDEX commands from
+// LLM responses, implementing the pure-parameter-tuning regime without
+// re-sampling.
+type stripIndexes struct{ inner llm.Client }
+
+func (s stripIndexes) Name() string { return s.inner.Name() }
+
+func (s stripIndexes) Complete(prompt string, temp float64) (string, error) {
+	out, err := s.inner.Complete(prompt, temp)
+	if err != nil {
+		return "", err
+	}
+	var kept []byte
+	for _, line := range splitLines(out) {
+		if !isCreateIndex(line) {
+			kept = append(kept, line...)
+			kept = append(kept, '\n')
+		}
+	}
+	return string(kept), nil
+}
+
+// RunLambdaTune executes λ-Tune on the scenario database, honoring the
+// ParamsOnly regime via response filtering.
+func (l *LambdaTune) RunLambdaTune(db *engine.DB, queries []*engine.Query) (*tuner.Result, error) {
+	opts := tuner.DefaultOptions()
+	if l.Opts != nil {
+		opts = *l.Opts
+	}
+	opts.Seed = l.Seed
+	var client llm.Client = llm.NewSimClient(l.Seed)
+	if l.ParamsOnly {
+		client = stripIndexes{inner: client}
+	}
+	return tuner.New(db, client, opts).Tune(queries)
+}
+
+// baselineSet builds the five comparison tuners for a scenario. ParamsOnly
+// (initial-index regime) switches UDO to parameter actions only.
+func baselineSet(seed int64, paramsOnly bool, trialTimeout float64) []baselines.Tuner {
+	u := udo.New(seed)
+	u.TuneIndexes = !paramsOnly
+	u.EvalTimeout = trialTimeout
+	db := dbbert.New(seed)
+	db.EvalTimeout = trialTimeout
+	gp := gptuner.New(seed)
+	gp.EvalTimeout = trialTimeout
+	ll := llamatune.New(seed)
+	ll.EvalTimeout = trialTimeout
+	// ParamTree performs a single measurement run, not a search; it is not
+	// subject to the trial timeout.
+	pt := paramtree.New()
+	return []baselines.Tuner{u, db, gp, ll, pt}
+}
+
+// DexterIndexes returns Dexter's recommendations under index-friendly
+// planner settings, as the harness pre-creates them for parameter-only
+// baselines in scenario 2 (paper §6.2).
+func DexterIndexes(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
+	saved := db.Settings()
+	s := db.Settings()
+	if db.Flavor() == engine.Postgres {
+		s["random_page_cost"] = 1.1
+		s["effective_cache_size"] = float64(db.Hardware().MemoryBytes * 3 / 4)
+	}
+	db.SetSettings(s)
+	defs := dexter.New().Recommend(db, queries)
+	db.SetSettings(saved)
+	return defs
+}
+
+// DB2Indexes returns the DB2 advisor's recommendations analogously.
+func DB2Indexes(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
+	saved := db.Settings()
+	s := db.Settings()
+	if db.Flavor() == engine.Postgres {
+		s["random_page_cost"] = 1.1
+		s["effective_cache_size"] = float64(db.Hardware().MemoryBytes * 3 / 4)
+	}
+	db.SetSettings(s)
+	defs := db2advisor.New().Recommend(db, queries)
+	db.SetSettings(saved)
+	return defs
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func isCreateIndex(line string) bool {
+	i := 0
+	for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+		i++
+	}
+	up := line[i:]
+	return len(up) >= 12 && equalFold(up[:12], "CREATE INDEX")
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 32
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 32
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// inf is a shorthand used across the harness.
+var inf = math.Inf(1)

@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"lambdatune/internal/engine"
+)
+
+// Table3Row is one scenario row of Table 3: per-system best cost scaled to
+// the best overall configuration of the scenario.
+type Table3Row struct {
+	Scenario Scenario
+	// Scaled maps system → cost of its best configuration divided by the
+	// scenario's overall best (1.00 = winner).
+	Scaled map[string]float64
+}
+
+// Table3 reproduces paper Table 3 (experiment E1).
+func Table3(r *Runner, seed int64, trials int) ([]Table3Row, error) {
+	var rows []Table3Row
+	for _, sc := range Table3Scenarios(seed, trials) {
+		res, err := r.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		times := res.BestTimes()
+		best := minFinite(sortedSystemTimes(times))
+		row := Table3Row{Scenario: sc, Scaled: map[string]float64{}}
+		for _, name := range SystemNames {
+			if math.IsInf(times[name], 1) {
+				row.Scaled[name] = math.Inf(1)
+			} else {
+				row.Scaled[name] = times[name] / best
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints the table in the paper's layout, with the per-system
+// averages appended.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "Scenario")
+	for _, n := range SystemNames {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-22s", row.Scenario.Label())
+		for _, n := range SystemNames {
+			v := row.Scaled[n]
+			if math.IsInf(v, 1) {
+				fmt.Fprintf(&b, "%12s", "—")
+				continue
+			}
+			fmt.Fprintf(&b, "%12.2f", v)
+			sums[n] += v
+			counts[n]++
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%-22s", "Average")
+	for _, n := range SystemNames {
+		if counts[n] == 0 {
+			fmt.Fprintf(&b, "%12s", "—")
+			continue
+		}
+		fmt.Fprintf(&b, "%12.2f", sums[n]/float64(counts[n]))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// Table4Row is one row of Table 4: configurations evaluated per baseline on
+// Postgres TPC-H.
+type Table4Row struct {
+	Scenario Scenario
+	Counts   map[string]float64
+}
+
+// Table4 reproduces paper Table 4 (experiment E2).
+func Table4(r *Runner, seed int64, trials int) ([]Table4Row, error) {
+	scs := []Scenario{
+		{Benchmark: "tpch-1", Flavor: engine.Postgres, InitialIndexes: true, Trials: trials, Seed: seed},
+		{Benchmark: "tpch-1", Flavor: engine.Postgres, InitialIndexes: false, Trials: trials, Seed: seed},
+		{Benchmark: "tpch-10", Flavor: engine.Postgres, InitialIndexes: true, Trials: trials, Seed: seed},
+		{Benchmark: "tpch-10", Flavor: engine.Postgres, InitialIndexes: false, Trials: trials, Seed: seed},
+	}
+	var rows []Table4Row
+	for _, sc := range scs {
+		res, err := r.Run(sc)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table4Row{Scenario: sc, Counts: res.EvalCounts()})
+	}
+	return rows, nil
+}
+
+// RenderTable4 prints Table 4.
+func RenderTable4(rows []Table4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s", "Scenario")
+	for _, n := range SystemNames {
+		fmt.Fprintf(&b, "%12s", n)
+	}
+	b.WriteByte('\n')
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-22s", row.Scenario.Label())
+		for _, n := range SystemNames {
+			fmt.Fprintf(&b, "%12.0f", row.Counts[n])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Table5 reproduces paper Table 5 (experiment E3): the best λ-Tune
+// configuration for TPC-H 1GB on Postgres, parameters categorized and
+// indexes listed per table.
+type Table5 struct {
+	Params  []Table5Param
+	Indexes map[string][]string // table → indexed columns
+	// WorkloadSeconds is the tuned full-workload time.
+	WorkloadSeconds float64
+	// DefaultSeconds is the untuned time.
+	DefaultSeconds float64
+}
+
+// Table5Param is one parameter row.
+type Table5Param struct {
+	Name     string
+	Category string
+	Value    string
+}
+
+// BuildTable5 runs λ-Tune on TPC-H 1GB / Postgres without initial indexes
+// and reports the winning configuration.
+func BuildTable5(seed int64) (*Table5, error) {
+	sc := Scenario{Benchmark: "tpch-1", Flavor: engine.Postgres, Seed: seed}
+	db, w, err := sc.NewDB()
+	if err != nil {
+		return nil, err
+	}
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	lt := &LambdaTune{Seed: seed}
+	res, err := lt.RunLambdaTune(db, w.Queries)
+	if err != nil {
+		return nil, err
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("bench: λ-Tune found no configuration")
+	}
+	out := &Table5{Indexes: map[string][]string{}, WorkloadSeconds: res.BestTime, DefaultSeconds: defaultTime}
+	pc := engine.Params(engine.Postgres)
+	names := make([]string, 0, len(res.Best.Params))
+	for n := range res.Best.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		def, _ := pc.Lookup(n)
+		out.Params = append(out.Params, Table5Param{Name: n, Category: def.Category.String(), Value: res.Best.Params[n]})
+	}
+	for _, ix := range res.Best.Indexes {
+		out.Indexes[ix.Table] = append(out.Indexes[ix.Table], ix.ColumnList()...)
+	}
+	for t := range out.Indexes {
+		sort.Strings(out.Indexes[t])
+	}
+	return out, nil
+}
+
+// RenderTable5 prints Table 5.
+func RenderTable5(t5 *Table5) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %-12s %s\n", "Parameter", "Category", "Value")
+	for _, p := range t5.Params {
+		fmt.Fprintf(&b, "%-34s %-12s %s\n", p.Name, p.Category, p.Value)
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-14s %s\n", "Table", "Indexed Columns")
+	tables := make([]string, 0, len(t5.Indexes))
+	for t := range t5.Indexes {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	for _, t := range tables {
+		fmt.Fprintf(&b, "%-14s %s\n", t, strings.Join(t5.Indexes[t], ", "))
+	}
+	fmt.Fprintf(&b, "\nworkload: %.1fs tuned vs %.1fs default (%.1fx)\n",
+		t5.WorkloadSeconds, t5.DefaultSeconds, t5.DefaultSeconds/t5.WorkloadSeconds)
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lambdatune/internal/engine"
+)
+
+// TransferStudy reproduces the §6.3 cross-benchmark comparison: the paper
+// observes that memory-related parameter settings of the winning
+// configurations tend to transfer between OLAP workloads (same
+// shared_buffers / maintenance_work_mem), that index recommendations do not,
+// and that index-friendly optimizer settings accompany index
+// recommendations.
+type TransferStudy struct {
+	// Params maps parameter → benchmark → chosen value ("" when the
+	// winning configuration leaves it at default).
+	Params map[string]map[string]string
+	// Benchmarks lists the studied benchmarks in order.
+	Benchmarks []string
+	// SharedParams lists parameters set to the *same* value in every
+	// benchmark's winning configuration.
+	SharedParams []string
+	// IndexOverlap is the Jaccard overlap of index-set keys between
+	// benchmark pairs (expected ≈ 0: indexes are workload-specific).
+	IndexOverlap map[string]float64
+}
+
+// Transfer runs λ-Tune on each Postgres benchmark and compares the winning
+// configurations.
+func Transfer(seed int64) (*TransferStudy, error) {
+	benchmarks := []string{"tpch-1", "tpcds-1", "job"}
+	study := &TransferStudy{
+		Params:       map[string]map[string]string{},
+		Benchmarks:   benchmarks,
+		IndexOverlap: map[string]float64{},
+	}
+	indexSets := map[string]map[string]bool{}
+	for _, b := range benchmarks {
+		sc := Scenario{Benchmark: b, Flavor: engine.Postgres, Seed: seed}
+		db, w, err := sc.NewDB()
+		if err != nil {
+			return nil, err
+		}
+		lt := &LambdaTune{Seed: seed}
+		res, err := lt.RunLambdaTune(db, w.Queries)
+		if err != nil {
+			return nil, err
+		}
+		if res.Best == nil {
+			return nil, fmt.Errorf("bench: no configuration for %s", b)
+		}
+		for name, val := range res.Best.Params {
+			if study.Params[name] == nil {
+				study.Params[name] = map[string]string{}
+			}
+			study.Params[name][b] = val
+		}
+		set := map[string]bool{}
+		for _, ix := range res.Best.Indexes {
+			set[ix.Key()] = true
+		}
+		indexSets[b] = set
+	}
+	// Shared parameters: same non-empty value across all benchmarks.
+	for name, perBench := range study.Params {
+		if len(perBench) != len(benchmarks) {
+			continue
+		}
+		first := ""
+		same := true
+		for _, b := range benchmarks {
+			v := perBench[b]
+			if first == "" {
+				first = v
+			} else if v != first {
+				same = false
+			}
+		}
+		if same {
+			study.SharedParams = append(study.SharedParams, name)
+		}
+	}
+	sort.Strings(study.SharedParams)
+	// Pairwise index overlap.
+	for i := 0; i < len(benchmarks); i++ {
+		for j := i + 1; j < len(benchmarks); j++ {
+			a, b := indexSets[benchmarks[i]], indexSets[benchmarks[j]]
+			inter, union := 0, len(b)
+			for k := range a {
+				if b[k] {
+					inter++
+				} else {
+					union++
+				}
+			}
+			key := benchmarks[i] + "↔" + benchmarks[j]
+			if union == 0 {
+				study.IndexOverlap[key] = 0
+			} else {
+				study.IndexOverlap[key] = float64(inter) / float64(union)
+			}
+		}
+	}
+	return study, nil
+}
+
+// RenderTransfer prints the study.
+func RenderTransfer(s *TransferStudy) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s", "Parameter")
+	for _, bench := range s.Benchmarks {
+		fmt.Fprintf(&b, "%14s", bench)
+	}
+	b.WriteByte('\n')
+	names := make([]string, 0, len(s.Params))
+	for n := range s.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-34s", n)
+		for _, bench := range s.Benchmarks {
+			v := s.Params[n][bench]
+			if v == "" {
+				v = "—"
+			}
+			fmt.Fprintf(&b, "%14s", v)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "\nparameters identical across all benchmarks: %s\n",
+		strings.Join(s.SharedParams, ", "))
+	keys := make([]string, 0, len(s.IndexOverlap))
+	for k := range s.IndexOverlap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "index-set overlap %s: %.0f%%\n", k, 100*s.IndexOverlap[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,143 @@
+// Package evaluator implements λ-Tune's configuration evaluation component
+// (paper §5, Algorithm 3): lazy index creation, query→index relevance
+// mapping, and timeout-bounded query execution in the order chosen by the
+// DP scheduler.
+package evaluator
+
+import (
+	"sort"
+	"strings"
+
+	"lambdatune/internal/core/schedule"
+	"lambdatune/internal/engine"
+)
+
+// ConfigMeta is the per-configuration bookkeeping of Table 2.
+type ConfigMeta struct {
+	// Time is the accumulated execution time of *completed* queries.
+	Time float64
+	// IsComplete reports whether the last Evaluate pass finished every
+	// query it was given without interruption.
+	IsComplete bool
+	// IndexTime is the accumulated index-creation time.
+	IndexTime float64
+	// Completed records fully processed queries by name.
+	Completed map[string]bool
+}
+
+// NewConfigMeta initializes the bookkeeping (paper: ConfigMeta(0,False,0,∅)).
+func NewConfigMeta() *ConfigMeta {
+	return &ConfigMeta{Completed: map[string]bool{}}
+}
+
+// Throughput is the configuration's completed-queries-per-second, used by
+// the selector to prioritize promising configurations.
+func (m *ConfigMeta) Throughput() float64 {
+	if m.Time <= 0 {
+		return 0
+	}
+	return float64(len(m.Completed)) / m.Time
+}
+
+// Evaluator runs configurations against the database.
+type Evaluator struct {
+	DB *engine.DB
+	// UseScheduler enables the DP query ordering (§5.3); when false, queries
+	// run in their given order — the paper's "Query Scheduler off" ablation.
+	UseScheduler bool
+	// LazyIndexes enables lazy index creation (§5.1); when false, all of a
+	// configuration's indexes are created up front.
+	LazyIndexes bool
+	// Seed drives the k-means clustering inside the scheduler.
+	Seed int64
+}
+
+// New creates an evaluator with the paper's defaults (scheduler and lazy
+// creation on).
+func New(db *engine.DB) *Evaluator {
+	return &Evaluator{DB: db, UseScheduler: true, LazyIndexes: true, Seed: 1}
+}
+
+// QueryIndexMap associates each query with the configuration indexes it
+// could exploit: an index is relevant when its leading column appears in the
+// query's join or filter columns of the indexed table (paper §5.1).
+func QueryIndexMap(queries []*engine.Query, cfg *engine.Config) map[*engine.Query][]engine.IndexDef {
+	out := make(map[*engine.Query][]engine.IndexDef, len(queries))
+	for _, q := range queries {
+		cols := map[string]bool{}
+		for _, j := range q.Analysis.Joins {
+			cols[j.LeftTable+"."+j.LeftColumn] = true
+			cols[j.RightTable+"."+j.RightColumn] = true
+		}
+		for _, f := range q.Analysis.Filters {
+			cols[f.Table+"."+f.Column] = true
+		}
+		var defs []engine.IndexDef
+		for _, ix := range cfg.Indexes {
+			lead := ix.ColumnList()[0]
+			if cols[strings.ToLower(ix.Table)+"."+lead] {
+				defs = append(defs, ix)
+			}
+		}
+		sort.Slice(defs, func(a, b int) bool { return defs[a].Key() < defs[b].Key() })
+		out[q] = defs
+	}
+	return out
+}
+
+// Evaluate is Algorithm 3. It runs the given (not yet completed) queries
+// under configuration cfg with a total time budget of timeout simulated
+// seconds, creating relevant indexes lazily, and updates meta in place.
+//
+// The caller is responsible for having applied cfg's parameters and dropped
+// any transient indexes of prior configurations (see Apply).
+func (e *Evaluator) Evaluate(cfg *engine.Config, queries []*engine.Query, timeout float64, meta *ConfigMeta) {
+	remaining := timeout
+	created := map[string]bool{}
+	for _, ix := range e.DB.Indexes() {
+		created[ix.Key()] = true
+	}
+	meta.IsComplete = true
+
+	indexMap := QueryIndexMap(queries, cfg)
+	ordered := queries
+	if e.UseScheduler {
+		ordered = schedule.Order(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
+	}
+	if !e.LazyIndexes {
+		// Eager creation: every configuration index up front.
+		for _, ix := range cfg.Indexes {
+			if !created[ix.Key()] {
+				meta.IndexTime += e.DB.CreateIndex(ix)
+				created[ix.Key()] = true
+			}
+		}
+	}
+
+	for _, q := range ordered {
+		if e.LazyIndexes {
+			for _, ix := range indexMap[q] {
+				if !created[ix.Key()] {
+					meta.IndexTime += e.DB.CreateIndex(ix)
+					created[ix.Key()] = true
+				}
+			}
+		}
+		res := e.DB.Execute(q, remaining)
+		if !res.Complete {
+			meta.IsComplete = false
+			break
+		}
+		remaining -= res.Seconds
+		meta.Time += res.Seconds
+		meta.Completed[q.Name] = true
+	}
+}
+
+// Apply switches the database to configuration cfg: transient indexes of the
+// previous configuration are dropped (the paper notes indexes are implicitly
+// dropped when Evaluate terminates) and cfg's parameters are installed.
+func (e *Evaluator) Apply(cfg *engine.Config) error {
+	e.DB.DropTransientIndexes()
+	return e.DB.ApplyConfigParams(cfg)
+}

@@ -1,0 +1,213 @@
+package evaluator
+
+import (
+	"math"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+func setup(t *testing.T) (*engine.DB, *workload.Workload) {
+	t.Helper()
+	w := workload.TPCH(1)
+	return engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware), w
+}
+
+func goodConfig() *engine.Config {
+	return &engine.Config{
+		ID: "good",
+		Params: map[string]string{
+			"shared_buffers":       "15GB",
+			"work_mem":             "1GB",
+			"effective_cache_size": "45GB",
+			"random_page_cost":     "1.1",
+		},
+		Indexes: []engine.IndexDef{
+			engine.NewIndexDef("lineitem", "l_orderkey"),
+			engine.NewIndexDef("orders", "o_custkey"),
+			engine.NewIndexDef("lineitem", "l_partkey"),
+		},
+	}
+}
+
+func TestQueryIndexMap(t *testing.T) {
+	_, w := setup(t)
+	cfg := goodConfig()
+	m := QueryIndexMap(w.Queries, cfg)
+	// Q1 (pure lineitem scan, no joins on l_orderkey... it filters
+	// l_shipdate only) gets no l_orderkey index? Q1 has no joins; filters on
+	// l_shipdate — so no relevant indexes.
+	q1 := w.Queries[0]
+	if len(m[q1]) != 0 {
+		t.Errorf("Q1 relevant indexes: %v", m[q1])
+	}
+	// Q3 joins lineitem.l_orderkey=orders.o_orderkey and
+	// customer.c_custkey=orders.o_custkey → both lineitem(l_orderkey) and
+	// orders(o_custkey) are relevant.
+	q3 := w.Queries[2]
+	keys := map[string]bool{}
+	for _, d := range m[q3] {
+		keys[d.Key()] = true
+	}
+	if !keys["lineitem(l_orderkey)"] || !keys["orders(o_custkey)"] {
+		t.Errorf("Q3 relevant indexes: %v", m[q3])
+	}
+}
+
+func TestEvaluateCompletesWithGenerousTimeout(t *testing.T) {
+	db, w := setup(t)
+	e := New(db)
+	cfg := goodConfig()
+	if err := e.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	meta := NewConfigMeta()
+	e.Evaluate(cfg, w.Queries, math.Inf(1), meta)
+	if !meta.IsComplete {
+		t.Fatal("not complete with infinite timeout")
+	}
+	if len(meta.Completed) != len(w.Queries) {
+		t.Errorf("completed %d of %d", len(meta.Completed), len(w.Queries))
+	}
+	if meta.Time <= 0 || meta.IndexTime <= 0 {
+		t.Errorf("bookkeeping: %+v", meta)
+	}
+}
+
+func TestEvaluateRespectsTimeout(t *testing.T) {
+	db, w := setup(t)
+	e := New(db)
+	cfg := goodConfig()
+	if err := e.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	meta := NewConfigMeta()
+	e.Evaluate(cfg, w.Queries, 0.5, meta)
+	if meta.IsComplete {
+		t.Fatal("22 TPC-H queries cannot finish in 0.5 simulated seconds")
+	}
+	if len(meta.Completed) == len(w.Queries) {
+		t.Error("all queries completed despite timeout")
+	}
+	// Accumulated completed time never exceeds the budget.
+	if meta.Time > 0.5 {
+		t.Errorf("completed time %v exceeds timeout", meta.Time)
+	}
+}
+
+func TestEvaluateLazyCreatesOnlyNeededIndexes(t *testing.T) {
+	db, w := setup(t)
+	e := New(db)
+	cfg := goodConfig()
+	if err := e.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	meta := NewConfigMeta()
+	// Run only Q1 (no relevant indexes): nothing should be created.
+	e.Evaluate(cfg, w.Queries[:1], math.Inf(1), meta)
+	if got := len(db.Indexes()); got != 0 {
+		t.Errorf("lazy creation made %d indexes for an index-free query", got)
+	}
+	if meta.IndexTime != 0 {
+		t.Errorf("index time %v", meta.IndexTime)
+	}
+}
+
+func TestEvaluateEagerCreatesAll(t *testing.T) {
+	db, w := setup(t)
+	e := New(db)
+	e.LazyIndexes = false
+	cfg := goodConfig()
+	if err := e.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	meta := NewConfigMeta()
+	e.Evaluate(cfg, w.Queries[:1], math.Inf(1), meta)
+	if got := len(db.Indexes()); got != len(cfg.Indexes) {
+		t.Errorf("eager creation made %d of %d indexes", got, len(cfg.Indexes))
+	}
+}
+
+func TestEvaluateSkipsExistingIndexes(t *testing.T) {
+	db, w := setup(t)
+	e := New(db)
+	cfg := goodConfig()
+	if err := e.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	meta := NewConfigMeta()
+	e.Evaluate(cfg, w.Queries, math.Inf(1), meta)
+	firstIndexTime := meta.IndexTime
+	// Second pass without Apply: indexes still exist, so no re-creation.
+	meta2 := NewConfigMeta()
+	e.Evaluate(cfg, w.Queries, math.Inf(1), meta2)
+	if meta2.IndexTime != 0 {
+		t.Errorf("indexes recreated: %v (first pass %v)", meta2.IndexTime, firstIndexTime)
+	}
+}
+
+func TestApplyDropsTransientIndexes(t *testing.T) {
+	db, _ := setup(t)
+	e := New(db)
+	db.CreatePermanentIndex(engine.NewIndexDef("part", "p_partkey"))
+	db.CreateIndex(engine.NewIndexDef("lineitem", "l_suppkey"))
+	if err := e.Apply(goodConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if db.HasIndex(engine.NewIndexDef("lineitem", "l_suppkey")) {
+		t.Error("transient index survived Apply")
+	}
+	if !db.HasIndex(engine.NewIndexDef("part", "p_partkey")) {
+		t.Error("permanent index dropped by Apply")
+	}
+}
+
+func TestConfigMetaThroughput(t *testing.T) {
+	m := NewConfigMeta()
+	if m.Throughput() != 0 {
+		t.Error("zero-time throughput")
+	}
+	m.Time = 2
+	m.Completed["a"] = true
+	m.Completed["b"] = true
+	if m.Throughput() != 1 {
+		t.Errorf("throughput: %v", m.Throughput())
+	}
+}
+
+func TestIndexesSpeedUpWorkload(t *testing.T) {
+	db, w := setup(t)
+	e := New(db)
+	defCfg := &engine.Config{ID: "default", Params: map[string]string{}}
+	if err := e.Apply(defCfg); err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewConfigMeta()
+	e.Evaluate(defCfg, w.Queries, math.Inf(1), m1)
+
+	cfg := goodConfig()
+	if err := e.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewConfigMeta()
+	e.Evaluate(cfg, w.Queries, math.Inf(1), m2)
+	if m2.Time >= m1.Time {
+		t.Errorf("tuned config not faster: %v vs default %v", m2.Time, m1.Time)
+	}
+}
+
+func TestSchedulerOffStillCorrect(t *testing.T) {
+	db, w := setup(t)
+	e := New(db)
+	e.UseScheduler = false
+	cfg := goodConfig()
+	if err := e.Apply(cfg); err != nil {
+		t.Fatal(err)
+	}
+	meta := NewConfigMeta()
+	e.Evaluate(cfg, w.Queries, math.Inf(1), meta)
+	if !meta.IsComplete || len(meta.Completed) != len(w.Queries) {
+		t.Errorf("scheduler-off evaluation broken: %+v", meta)
+	}
+}

@@ -1,0 +1,293 @@
+// Package prompt implements λ-Tune's prompt-generation component (paper §3):
+// the prompt template of Listing 1, the join-structure workload compression
+// of §3.2, and the ILP-based snippet selection of §3.3.
+package prompt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/ilp"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/sqlparser"
+)
+
+// Snippet is one join-condition query snippet with its value V(p): the total
+// estimated cost of join operators evaluating the condition, summed over the
+// workload's default plans (obtained via EXPLAIN).
+type Snippet struct {
+	Condition sqlparser.JoinCondition
+	Value     float64
+}
+
+// qualified renders "table.column".
+func qualified(table, col string) string { return table + "." + col }
+
+// CollectSnippets runs EXPLAIN for every workload query under the current
+// configuration and aggregates per-join-condition costs.
+func CollectSnippets(db *engine.DB, queries []*engine.Query) []Snippet {
+	values := map[sqlparser.JoinCondition]float64{}
+	for _, q := range queries {
+		for _, jc := range db.Explain(q) {
+			values[jc.Condition.Canonical()] += jc.EstCost
+		}
+	}
+	out := make([]Snippet, 0, len(values))
+	for cond, v := range values {
+		out = append(out, Snippet{Condition: cond, Value: v})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Value != out[b].Value {
+			return out[a].Value > out[b].Value
+		}
+		return out[a].Condition.String() < out[b].Condition.String()
+	})
+	return out
+}
+
+// Selection is the outcome of snippet selection: which directed pairs appear
+// in the compressed representation.
+type Selection struct {
+	// Lines maps each left-hand-side column to its right-hand-side columns,
+	// both as qualified names.
+	Lines map[string][]string
+	// LineValue accumulates the V(p) conveyed by each LHS's line, so the
+	// rendering can lead with the most expensive joins.
+	LineValue map[string]float64
+	// Value is the total V(p) of the selected snippets.
+	Value float64
+	// Tokens is the token cost of the rendered representation.
+	Tokens int
+}
+
+// Render produces the compressed-workload block: one line per LHS column,
+// "lhs: rhs1, rhs2". Lines are ordered by descending conveyed value (ties
+// broken lexicographically) and each line's right-hand side keeps its
+// insertion order, which the selectors populate in descending snippet-value
+// order — so both across and within lines, the most expensive joins come
+// first. This is deterministic and the natural way to signal importance to
+// the LLM.
+func (s *Selection) Render() string {
+	lhs := make([]string, 0, len(s.Lines))
+	for l := range s.Lines {
+		lhs = append(lhs, l)
+	}
+	sort.Slice(lhs, func(a, b int) bool {
+		va, vb := s.LineValue[lhs[a]], s.LineValue[lhs[b]]
+		if va != vb {
+			return va > vb
+		}
+		return lhs[a] < lhs[b]
+	})
+	var b strings.Builder
+	for _, l := range lhs {
+		fmt.Fprintf(&b, "%s: %s\n", l, strings.Join(s.Lines[l], ", "))
+	}
+	return b.String()
+}
+
+// SelectAll builds the complete compressed representation (every join
+// condition included) with deterministic, rename-invariant orientation:
+// each condition's LHS is the endpoint of higher join-graph degree (more
+// sharing → fewer tokens), with value totals breaking ties. Used when the
+// token budget is not binding; the ILP below handles the binding case.
+func SelectAll(snippets []Snippet) Selection {
+	degree := map[string]int{}
+	colValue := map[string]float64{}
+	for _, sn := range snippets {
+		a := qualified(sn.Condition.LeftTable, sn.Condition.LeftColumn)
+		b := qualified(sn.Condition.RightTable, sn.Condition.RightColumn)
+		degree[a]++
+		degree[b]++
+		colValue[a] += sn.Value
+		colValue[b] += sn.Value
+	}
+	sel := Selection{Lines: map[string][]string{}, LineValue: map[string]float64{}}
+	for _, sn := range snippets { // value-descending order
+		a := qualified(sn.Condition.LeftTable, sn.Condition.LeftColumn)
+		b := qualified(sn.Condition.RightTable, sn.Condition.RightColumn)
+		if a == b {
+			continue
+		}
+		lhs, rhs := a, b
+		switch {
+		case degree[b] > degree[a]:
+			lhs, rhs = b, a
+		case degree[b] == degree[a] && colValue[b] > colValue[a]:
+			lhs, rhs = b, a
+		}
+		sel.Lines[lhs] = append(sel.Lines[lhs], rhs)
+		sel.LineValue[lhs] += sn.Value
+		sel.Value += sn.Value
+	}
+	sel.Tokens = llm.CountTokens(sel.Render())
+	return sel
+}
+
+// SelectILP solves the §3.3 integer linear program: choose directed column
+// pairs maximizing total value subject to the token budget, the
+// LHS/RHS coupling constraints, and symmetric-pair exclusion. When the
+// budget admits the complete join structure, the deterministic SelectAll
+// orientation is returned directly — the ILP's work is only choosing *which*
+// snippets to drop.
+//
+// Variables (in order): L_c for each column c (appears as a line's LHS),
+// then R_p for each directed pair p. Token cost of a line's LHS includes the
+// colon; each RHS entry includes its separator.
+func SelectILP(snippets []Snippet, budget int) (Selection, error) {
+	if budget <= 0 {
+		budget = 1 << 20 // effectively unbounded
+	}
+	if all := SelectAll(snippets); all.Tokens <= budget {
+		return all, nil
+	}
+	// Collect columns and directed pairs.
+	colIdx := map[string]int{}
+	var cols []string
+	addCol := func(c string) int {
+		if i, ok := colIdx[c]; ok {
+			return i
+		}
+		colIdx[c] = len(cols)
+		cols = append(cols, c)
+		return len(cols) - 1
+	}
+	type pair struct {
+		lhs, rhs int
+		value    float64
+	}
+	var pairs []pair
+	pairIdx := map[[2]int]int{}
+	for _, sn := range snippets {
+		a := addCol(qualified(sn.Condition.LeftTable, sn.Condition.LeftColumn))
+		b := addCol(qualified(sn.Condition.RightTable, sn.Condition.RightColumn))
+		if a == b {
+			continue
+		}
+		for _, dir := range [][2]int{{a, b}, {b, a}} {
+			if _, ok := pairIdx[dir]; !ok {
+				pairIdx[dir] = len(pairs)
+				pairs = append(pairs, pair{lhs: dir[0], rhs: dir[1], value: sn.Value})
+			}
+		}
+	}
+	nc, np := len(cols), len(pairs)
+	if np == 0 {
+		return Selection{Lines: map[string][]string{}, LineValue: map[string]float64{}}, nil
+	}
+	nv := nc + np
+
+	// Token costs: H_c per column mention.
+	hc := make([]float64, nc)
+	for i, c := range cols {
+		hc[i] = float64(llm.CountTokens(c)) + 1 // +1 for ":" or ", "
+	}
+
+	obj := make([]float64, nv)
+	for i, p := range pairs {
+		obj[nc+i] = p.value
+	}
+
+	var rows [][]float64
+	var rhs []float64
+	// Budget: Σ H_{c2}·R_p + Σ H_c·L_c ≤ B.
+	brow := make([]float64, nv)
+	for i := range cols {
+		brow[i] = hc[i]
+	}
+	for i, p := range pairs {
+		brow[nc+i] = hc[p.rhs]
+	}
+	rows = append(rows, brow)
+	rhs = append(rhs, float64(budget))
+	// R_p ≤ L_{lhs}: R - L ≤ 0.
+	for i, p := range pairs {
+		row := make([]float64, nv)
+		row[nc+i] = 1
+		row[p.lhs] = -1
+		rows = append(rows, row)
+		rhs = append(rhs, 0)
+	}
+	// L_c ≤ Σ R_{c,*}: L - Σ R ≤ 0.
+	for ci := range cols {
+		row := make([]float64, nv)
+		row[ci] = 1
+		any := false
+		for i, p := range pairs {
+			if p.lhs == ci {
+				row[nc+i] = -1
+				any = true
+			}
+		}
+		if any {
+			rows = append(rows, row)
+			rhs = append(rhs, 0)
+		} else {
+			// Column never appears as LHS: force L_c = 0.
+			rows = append(rows, row)
+			rhs = append(rhs, 0)
+		}
+	}
+	// Symmetric exclusion: R_{a,b} + R_{b,a} ≤ 1. Iterate pairs (not the
+	// map) so constraint order — and thus tie-breaking among equal-value
+	// solutions — is deterministic.
+	for i, p := range pairs {
+		if j, ok := pairIdx[[2]int{p.rhs, p.lhs}]; ok && i < j {
+			row := make([]float64, nv)
+			row[nc+i] = 1
+			row[nc+j] = 1
+			rows = append(rows, row)
+			rhs = append(rhs, 1)
+		}
+	}
+
+	sol, err := ilp.Solve(ilp.Problem{Obj: obj, A: rows, B: rhs})
+	if err != nil {
+		return Selection{}, fmt.Errorf("prompt: snippet ILP: %w", err)
+	}
+	if !sol.Feasible {
+		return Selection{Lines: map[string][]string{}, LineValue: map[string]float64{}}, nil
+	}
+	sel := Selection{Lines: map[string][]string{}, LineValue: map[string]float64{}}
+	for i, p := range pairs {
+		if sol.X[nc+i] {
+			sel.Lines[cols[p.lhs]] = append(sel.Lines[cols[p.lhs]], cols[p.rhs])
+			sel.LineValue[cols[p.lhs]] += p.value
+			sel.Value += p.value
+		}
+	}
+	sel.Tokens = llm.CountTokens(sel.Render())
+	return sel, nil
+}
+
+// SelectGreedy is the ablation selector: add snippets in descending value
+// order while the rendered representation fits the budget.
+func SelectGreedy(snippets []Snippet, budget int) Selection {
+	if budget <= 0 {
+		budget = 1 << 20
+	}
+	sel := Selection{Lines: map[string][]string{}, LineValue: map[string]float64{}}
+	for _, sn := range snippets {
+		l := qualified(sn.Condition.LeftTable, sn.Condition.LeftColumn)
+		r := qualified(sn.Condition.RightTable, sn.Condition.RightColumn)
+		sel.Lines[l] = append(sel.Lines[l], r)
+		sel.LineValue[l] += sn.Value
+		if tok := llm.CountTokens(sel.Render()); tok > budget {
+			// Undo.
+			sel.LineValue[l] -= sn.Value
+			rhs := sel.Lines[l]
+			if len(rhs) == 1 {
+				delete(sel.Lines, l)
+				delete(sel.LineValue, l)
+			} else {
+				sel.Lines[l] = rhs[:len(rhs)-1]
+			}
+			continue
+		}
+		sel.Value += sn.Value
+	}
+	sel.Tokens = llm.CountTokens(sel.Render())
+	return sel
+}

@@ -1,0 +1,126 @@
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/llm"
+)
+
+// template is Listing 1 of the paper, with Go format verbs in place of the
+// ${...} placeholders.
+const template = `Recommend some configuration parameters for %s to
+optimize the system's performance. Parameters might
+include system-level configurations, like memory,
+query optimizer or physical design configurations,
+like index recommendations.
+Each row in the following list has the following format:
+{a join key A}:{all the joins with A in the workload}
+%s
+The workload runs on a system with the following specs:
+memory: %d GB
+cores: %d
+`
+
+// fullSQLTemplate is the compressor-off ablation prompt (§6.4.4): raw SQL
+// queries instead of the compressed join structure.
+const fullSQLTemplate = `Recommend some configuration parameters for %s to
+optimize the system's performance. Parameters might
+include system-level configurations, like memory,
+query optimizer or physical design configurations,
+like index recommendations.
+The workload consists of the following SQL queries:
+%s
+The workload runs on a system with the following specs:
+memory: %d GB
+cores: %d
+`
+
+// Options configures prompt generation.
+type Options struct {
+	// TokenBudget bounds the workload-representation tokens (paper's ℬ).
+	// Zero means "fit as much as possible" under ModelLimit.
+	TokenBudget int
+	// ModelLimit is the LLM's intrinsic input limit, used when TokenBudget
+	// is zero.
+	ModelLimit int
+	// UseILP selects the §3.3 ILP (true, default path) or the greedy
+	// ablation selector.
+	UseILP bool
+	// FullSQL disables the compressor entirely (§6.4.4): raw queries are
+	// embedded until the budget is exhausted.
+	FullSQL bool
+}
+
+// DefaultOptions matches the paper's configuration.
+func DefaultOptions() Options {
+	return Options{TokenBudget: 0, ModelLimit: 4000, UseILP: true}
+}
+
+// Result is a generated prompt with bookkeeping for the experiments.
+type Result struct {
+	Text string
+	// WorkloadTokens counts the tokens spent on workload representation.
+	WorkloadTokens int
+	// TotalTokens counts the whole prompt.
+	TotalTokens int
+	// SelectedValue is the total V(p) conveyed (0 for FullSQL).
+	SelectedValue float64
+	// QueriesEmbedded counts raw queries included (FullSQL mode only).
+	QueriesEmbedded int
+}
+
+// Generate builds the tuning prompt for the workload (paper Algorithm 1,
+// GeneratePrompt step). The database is used only for EXPLAIN-based snippet
+// valuation under its current (default) configuration.
+func Generate(db *engine.DB, queries []*engine.Query, hw engine.Hardware, opts Options) (Result, error) {
+	budget := opts.TokenBudget
+	if budget <= 0 {
+		budget = opts.ModelLimit
+		if budget <= 0 {
+			budget = 4000
+		}
+	}
+	dbms := db.Flavor().String()
+	memGB := int(hw.MemoryBytes >> 30)
+
+	if opts.FullSQL {
+		var b strings.Builder
+		n := 0
+		for _, q := range queries {
+			sql := q.SQL + ";\n"
+			if llm.CountTokens(b.String()+sql) > budget {
+				break
+			}
+			b.WriteString(sql)
+			n++
+		}
+		text := fmt.Sprintf(fullSQLTemplate, dbms, b.String(), memGB, hw.Cores)
+		return Result{
+			Text:            text,
+			WorkloadTokens:  llm.CountTokens(b.String()),
+			TotalTokens:     llm.CountTokens(text),
+			QueriesEmbedded: n,
+		}, nil
+	}
+
+	snippets := CollectSnippets(db, queries)
+	var sel Selection
+	var err error
+	if opts.UseILP {
+		sel, err = SelectILP(snippets, budget)
+		if err != nil {
+			return Result{}, err
+		}
+	} else {
+		sel = SelectGreedy(snippets, budget)
+	}
+	text := fmt.Sprintf(template, dbms, strings.TrimRight(sel.Render(), "\n"), memGB, hw.Cores)
+	return Result{
+		Text:           text,
+		WorkloadTokens: sel.Tokens,
+		TotalTokens:    llm.CountTokens(text),
+		SelectedValue:  sel.Value,
+	}, nil
+}

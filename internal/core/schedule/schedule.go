@@ -1,0 +1,170 @@
+// Package schedule implements λ-Tune's query-ordering component (paper §5.2-
+// §5.4): the expected index-creation cost model (Eq. 1), the dynamic-
+// programming scheduler (Algorithm 4), and the k-means query clustering that
+// bounds the DP's exponential input size at 13.
+package schedule
+
+import (
+	"math"
+	"sort"
+
+	"lambdatune/internal/engine"
+)
+
+// MaxDPQueries caps the DP input size (paper §5.4: "we strictly limit the
+// input to our algorithm to a manageable size of 13 queries").
+const MaxDPQueries = 13
+
+// IndexCost supplies the creation cost of an index.
+type IndexCost func(engine.IndexDef) float64
+
+// Item is one schedulable unit: a query (or query cluster) with the indexes
+// it can exploit.
+type Item struct {
+	// Queries holds the original queries (one for plain items, several for
+	// clusters).
+	Queries []*engine.Query
+	// Indexes are the potentially relevant index definitions, keyed by
+	// IndexDef.Key().
+	Indexes map[string]engine.IndexDef
+}
+
+// incrementalCost is z_i(Q) from §5.2: the creation cost of item's indexes
+// not already covered by the created set.
+func incrementalCost(it Item, created map[string]bool, cost IndexCost) float64 {
+	var sum float64
+	keys := make([]string, 0, len(it.Indexes))
+	for k := range it.Indexes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !created[k] {
+			sum += cost(it.Indexes[k])
+		}
+	}
+	return sum
+}
+
+// ExpectedCost evaluates Eq. 1 for a given order: assuming interruption after
+// each position is equally likely, the expected total index-creation cost is
+// 1/n · Σ_k Σ_{j≤k} z_j = Σ_j (n-j+1)/n · z_j.
+func ExpectedCost(order []Item, cost IndexCost) float64 {
+	n := len(order)
+	if n == 0 {
+		return 0
+	}
+	created := map[string]bool{}
+	var total float64
+	for j, it := range order {
+		z := incrementalCost(it, created, cost)
+		total += z * float64(n-j) / float64(n)
+		for k := range it.Indexes {
+			created[k] = true
+		}
+	}
+	return total
+}
+
+// OrderDP is Algorithm 4: exact dynamic programming over query subsets,
+// returning an order minimizing Eq. 1. Panics if len(items) > MaxDPQueries
+// (callers must cluster first; see Order).
+//
+// The recurrence exploits that the unnormalized objective
+// F(order) = Σ_k Σ_{j≤k} z_j satisfies
+// F(S ∘ q) = F(S) + totalCost(S) + z_q(S), where totalCost(S) is the
+// creation cost of the union of S's indexes — a function of the *set* S
+// only. This is exactly the principle-of-optimality property proved in
+// Theorem 5.2.
+func OrderDP(items []Item, cost IndexCost) []Item {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	if n > MaxDPQueries {
+		panic("schedule: OrderDP input exceeds MaxDPQueries; cluster first")
+	}
+	size := 1 << n
+	dpCost := make([]float64, size)
+	dpTotal := make([]float64, size) // totalCost(S): union index creation cost
+	dpPrev := make([]int8, size)     // last item appended for reconstruction
+	for mask := 1; mask < size; mask++ {
+		dpCost[mask] = math.Inf(1)
+		dpPrev[mask] = -1
+	}
+
+	// Union creation costs per subset, computed incrementally.
+	// created-set membership is recomputed per transition below; to keep it
+	// O(2^n · n · |idx|) we materialize each subset's index union lazily via
+	// the per-item incremental cost against the predecessor's union set.
+	unions := make([]map[string]bool, size)
+	unions[0] = map[string]bool{}
+
+	for mask := 0; mask < size; mask++ {
+		if math.IsInf(dpCost[mask], 1) {
+			continue
+		}
+		for q := 0; q < n; q++ {
+			if mask&(1<<q) != 0 {
+				continue
+			}
+			next := mask | 1<<q
+			z := incrementalCost(items[q], unions[mask], cost)
+			c := dpCost[mask] + dpTotal[mask] + z
+			if c < dpCost[next]-1e-12 {
+				dpCost[next] = c
+				dpTotal[next] = dpTotal[mask] + z
+				dpPrev[next] = int8(q)
+				u := make(map[string]bool, len(unions[mask])+len(items[q].Indexes))
+				for k := range unions[mask] {
+					u[k] = true
+				}
+				for k := range items[q].Indexes {
+					u[k] = true
+				}
+				unions[next] = u
+			}
+		}
+	}
+
+	// Reconstruct.
+	order := make([]Item, 0, n)
+	mask := size - 1
+	for mask != 0 {
+		q := int(dpPrev[mask])
+		order = append(order, items[q])
+		mask &^= 1 << q
+	}
+	// Reverse (we rebuilt back-to-front).
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	return order
+}
+
+// Order schedules queries for one configuration evaluation round: it builds
+// items from the query→index map, clusters them down to MaxDPQueries when
+// necessary (§5.4), runs the DP, and flattens the result back to a query
+// order.
+func Order(queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef, cost IndexCost, seed int64) []*engine.Query {
+	if len(queries) == 0 {
+		return nil
+	}
+	items := make([]Item, len(queries))
+	for i, q := range queries {
+		m := map[string]engine.IndexDef{}
+		for _, d := range indexMap[q] {
+			m[d.Key()] = d
+		}
+		items[i] = Item{Queries: []*engine.Query{q}, Indexes: m}
+	}
+	if len(items) > MaxDPQueries {
+		items = Cluster(items, MaxDPQueries, seed)
+	}
+	ordered := OrderDP(items, cost)
+	var out []*engine.Query
+	for _, it := range ordered {
+		out = append(out, it.Queries...)
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lambdatune/internal/engine"
+)
+
+// fixedCost assigns costs by index key through a map.
+func fixedCost(costs map[string]float64) IndexCost {
+	return func(d engine.IndexDef) float64 { return costs[d.Key()] }
+}
+
+func item(name string, defs ...engine.IndexDef) Item {
+	m := map[string]engine.IndexDef{}
+	for _, d := range defs {
+		m[d.Key()] = d
+	}
+	return Item{Queries: []*engine.Query{{Name: name}}, Indexes: m}
+}
+
+func TestExpectedCostPaperExample(t *testing.T) {
+	// Paper Example 5.1: q1 needs index costing 1, q2 needs index costing 5.
+	// Order q1-q2: 1 + 0.5*5 = 3.5. Order q2-q1: 5 + 0.5*1 = 5.5.
+	ia := engine.NewIndexDef("t", "a")
+	ib := engine.NewIndexDef("t", "b")
+	cost := fixedCost(map[string]float64{ia.Key(): 1, ib.Key(): 5})
+	q1 := item("q1", ia)
+	q2 := item("q2", ib)
+	if got := ExpectedCost([]Item{q1, q2}, cost); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("q1-q2: %v, want 3.5", got)
+	}
+	if got := ExpectedCost([]Item{q2, q1}, cost); math.Abs(got-5.5) > 1e-9 {
+		t.Errorf("q2-q1: %v, want 5.5", got)
+	}
+}
+
+func TestOrderDPPrefersCheapFirst(t *testing.T) {
+	ia := engine.NewIndexDef("t", "a")
+	ib := engine.NewIndexDef("t", "b")
+	cost := fixedCost(map[string]float64{ia.Key(): 1, ib.Key(): 5})
+	order := OrderDP([]Item{item("expensive", ib), item("cheap", ia)}, cost)
+	if order[0].Queries[0].Name != "cheap" {
+		t.Errorf("order: %s first", order[0].Queries[0].Name)
+	}
+}
+
+func TestOrderDPSharedIndexes(t *testing.T) {
+	// q1 and q2 share index A; q3 needs expensive B. Optimal puts q3 last
+	// and the A-sharing pair first (A paid once).
+	ia := engine.NewIndexDef("t", "a")
+	ib := engine.NewIndexDef("t", "b")
+	cost := fixedCost(map[string]float64{ia.Key(): 2, ib.Key(): 10})
+	items := []Item{item("q3", ib), item("q1", ia), item("q2", ia)}
+	order := OrderDP(items, cost)
+	if order[2].Queries[0].Name != "q3" {
+		t.Errorf("expensive query not last: %v", names(order))
+	}
+}
+
+func names(items []Item) []string {
+	var out []string
+	for _, it := range items {
+		for _, q := range it.Queries {
+			out = append(out, q.Name)
+		}
+	}
+	return out
+}
+
+// bruteForce finds the optimal order by enumeration.
+func bruteForce(items []Item, cost IndexCost) float64 {
+	n := len(items)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best := math.Inf(1)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			order := make([]Item, n)
+			for i, p := range perm {
+				order[i] = items[p]
+			}
+			if c := ExpectedCost(order, cost); c < best {
+				best = c
+			}
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	return best
+}
+
+// TestOrderDPMatchesBruteForce: DP must return an Eq.1-optimal order on
+// random instances (Theorem 5.3).
+func TestOrderDPMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tables := []string{"a", "b", "c", "d", "e"}
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(6)
+		costs := map[string]float64{}
+		var defs []engine.IndexDef
+		for _, tb := range tables {
+			d := engine.NewIndexDef(tb, "x")
+			defs = append(defs, d)
+			costs[d.Key()] = float64(1 + rng.Intn(20))
+		}
+		items := make([]Item, n)
+		for i := range items {
+			m := map[string]engine.IndexDef{}
+			for _, d := range defs {
+				if rng.Float64() < 0.4 {
+					m[d.Key()] = d
+				}
+			}
+			items[i] = Item{Queries: []*engine.Query{{Name: string(rune('a' + i))}}, Indexes: m}
+		}
+		cost := fixedCost(costs)
+		got := ExpectedCost(OrderDP(items, cost), cost)
+		want := bruteForce(items, cost)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: DP %v, brute force %v", trial, got, want)
+		}
+	}
+}
+
+func TestOrderDPEmpty(t *testing.T) {
+	if got := OrderDP(nil, fixedCost(nil)); got != nil {
+		t.Errorf("empty: %v", got)
+	}
+}
+
+func TestOrderDPPanicsOverCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for oversized input")
+		}
+	}()
+	items := make([]Item, MaxDPQueries+1)
+	for i := range items {
+		items[i] = item("q")
+	}
+	OrderDP(items, fixedCost(nil))
+}
+
+func TestClusterMergesIdenticalDependencies(t *testing.T) {
+	// Queries with identical index sets collapse (paper example: q1:A, q2:A).
+	ia := engine.NewIndexDef("t", "a")
+	ib := engine.NewIndexDef("t", "b")
+	var items []Item
+	for i := 0; i < 10; i++ {
+		items = append(items, item("a", ia))
+	}
+	for i := 0; i < 10; i++ {
+		items = append(items, item("b", ib))
+	}
+	clusters := Cluster(items, 2, 1)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters: %d", len(clusters))
+	}
+	total := 0
+	for _, c := range clusters {
+		total += len(c.Queries)
+		if len(c.Indexes) != 1 {
+			t.Errorf("mixed cluster: %v", c.Indexes)
+		}
+	}
+	if total != 20 {
+		t.Errorf("queries lost: %d", total)
+	}
+}
+
+func TestClusterPreservesAllQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var items []Item
+	defs := []engine.IndexDef{
+		engine.NewIndexDef("a", "x"), engine.NewIndexDef("b", "x"),
+		engine.NewIndexDef("c", "x"), engine.NewIndexDef("d", "x"),
+	}
+	for i := 0; i < 50; i++ {
+		m := map[string]engine.IndexDef{}
+		for _, d := range defs {
+			if rng.Float64() < 0.5 {
+				m[d.Key()] = d
+			}
+		}
+		items = append(items, Item{Queries: []*engine.Query{{Name: "q"}}, Indexes: m})
+	}
+	clusters := Cluster(items, MaxDPQueries, 7)
+	if len(clusters) > MaxDPQueries {
+		t.Fatalf("too many clusters: %d", len(clusters))
+	}
+	total := 0
+	for _, c := range clusters {
+		total += len(c.Queries)
+	}
+	if total != 50 {
+		t.Errorf("queries lost in clustering: %d", total)
+	}
+}
+
+func TestClusterNoIndexes(t *testing.T) {
+	var items []Item
+	for i := 0; i < 30; i++ {
+		items = append(items, item("q"))
+	}
+	clusters := Cluster(items, 5, 1)
+	if len(clusters) != 1 {
+		t.Errorf("index-free items should merge to one cluster, got %d", len(clusters))
+	}
+}
+
+func TestOrderEndToEnd(t *testing.T) {
+	// 30 queries, 4 index groups: Order must cluster then DP and return all.
+	defs := []engine.IndexDef{
+		engine.NewIndexDef("a", "x"), engine.NewIndexDef("b", "x"),
+		engine.NewIndexDef("c", "x"), engine.NewIndexDef("d", "x"),
+	}
+	costs := map[string]float64{
+		defs[0].Key(): 1, defs[1].Key(): 5, defs[2].Key(): 10, defs[3].Key(): 20,
+	}
+	var queries []*engine.Query
+	indexMap := map[*engine.Query][]engine.IndexDef{}
+	for i := 0; i < 30; i++ {
+		q := &engine.Query{Name: string(rune('a' + i%26))}
+		queries = append(queries, q)
+		indexMap[q] = []engine.IndexDef{defs[i%4]}
+	}
+	ordered := Order(queries, indexMap, fixedCost(costs), 3)
+	if len(ordered) != 30 {
+		t.Fatalf("queries lost: %d", len(ordered))
+	}
+	// First query should depend on the cheapest index group.
+	first := indexMap[ordered[0]][0]
+	if costs[first.Key()] != 1 {
+		t.Errorf("first query depends on cost-%v index", costs[first.Key()])
+	}
+}
+
+func TestExpectedCostDecreasingWeights(t *testing.T) {
+	// Moving an expensive-index query later strictly reduces expected cost.
+	ia := engine.NewIndexDef("t", "a")
+	ib := engine.NewIndexDef("t", "b")
+	ic := engine.NewIndexDef("t", "c")
+	cost := fixedCost(map[string]float64{ia.Key(): 1, ib.Key(): 1, ic.Key(): 50})
+	early := []Item{item("x", ic), item("y", ia), item("z", ib)}
+	late := []Item{item("y", ia), item("z", ib), item("x", ic)}
+	if ExpectedCost(late, cost) >= ExpectedCost(early, cost) {
+		t.Error("later placement of expensive index not cheaper")
+	}
+}

@@ -1,0 +1,119 @@
+package selector
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+// TestSelectOptimalityProperty verifies the selector's core guarantee on
+// randomized candidate sets: the returned configuration has the minimal
+// full-workload execution time among all candidates (paper §4: the timeout
+// scheme "guarantees that the system identifies the optimal configuration
+// on the entire workload, out of all configurations generated").
+func TestSelectOptimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	w := workload.TPCH(1)
+	for trial := 0; trial < 8; trial++ {
+		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		k := 2 + rng.Intn(5)
+		candidates := make([]*engine.Config, k)
+		for i := range candidates {
+			candidates[i] = randomConfig(rng, fmt.Sprintf("r%d-%d", trial, i))
+		}
+		s := New(evaluator.New(db), w.Queries, DefaultOptions())
+		best := s.Select(candidates)
+		if best == nil {
+			t.Fatalf("trial %d: no configuration selected", trial)
+		}
+
+		// Ground truth: measure every candidate exhaustively on a fresh
+		// instance.
+		gt := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		eval := evaluator.New(gt)
+		times := make([]float64, k)
+		for i, c := range candidates {
+			if err := eval.Apply(c); err != nil {
+				times[i] = math.Inf(1)
+				continue
+			}
+			m := evaluator.NewConfigMeta()
+			eval.Evaluate(c, w.Queries, math.Inf(1), m)
+			times[i] = m.Time
+		}
+		bestIdx, bestTime := -1, math.Inf(1)
+		for i, tm := range times {
+			if tm < bestTime {
+				bestIdx, bestTime = i, tm
+			}
+		}
+		if best != candidates[bestIdx] {
+			var selTime float64
+			for i, c := range candidates {
+				if c == best {
+					selTime = times[i]
+				}
+			}
+			// Allow exact ties.
+			if math.Abs(selTime-bestTime) > 1e-9 {
+				t.Errorf("trial %d: selected %s (%.3fs), optimum is %s (%.3fs)",
+					trial, best.ID, selTime, candidates[bestIdx].ID, bestTime)
+			}
+		}
+	}
+}
+
+// randomConfig draws parameter settings (and occasionally indexes) across
+// the quality spectrum, including deliberately poor ones.
+func randomConfig(rng *rand.Rand, id string) *engine.Config {
+	cfg := &engine.Config{ID: id, Params: map[string]string{}}
+	if rng.Float64() < 0.5 {
+		cfg.Params["shared_buffers"] = fmt.Sprintf("%dMB", 128<<rng.Intn(8))
+	}
+	if rng.Float64() < 0.5 {
+		cfg.Params["work_mem"] = fmt.Sprintf("%dkB", 64<<rng.Intn(15))
+	}
+	if rng.Float64() < 0.4 {
+		cfg.Params["max_parallel_workers_per_gather"] = fmt.Sprintf("%d", rng.Intn(9))
+	}
+	if rng.Float64() < 0.3 {
+		cfg.Params["random_page_cost"] = fmt.Sprintf("%g", 0.5+rng.Float64()*8)
+	}
+	if rng.Float64() < 0.2 {
+		cfg.Params["enable_hashjoin"] = "off"
+	}
+	if rng.Float64() < 0.4 {
+		cfg.Indexes = append(cfg.Indexes, engine.NewIndexDef("lineitem", "l_orderkey"))
+	}
+	if rng.Float64() < 0.3 {
+		cfg.Indexes = append(cfg.Indexes, engine.NewIndexDef("orders", "o_custkey"))
+	}
+	return cfg
+}
+
+// TestSelectNeverReturnsIncomplete: whatever is returned must have processed
+// the entire workload.
+func TestSelectNeverReturnsIncomplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	w := workload.TPCH(1)
+	for trial := 0; trial < 5; trial++ {
+		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		candidates := []*engine.Config{
+			randomConfig(rng, "a"), randomConfig(rng, "b"), randomConfig(rng, "c"),
+		}
+		s := New(evaluator.New(db), w.Queries, DefaultOptions())
+		best := s.Select(candidates)
+		if best == nil {
+			t.Fatal("nil best")
+		}
+		if m := s.Metas[best]; !m.IsComplete || len(m.Completed) != len(w.Queries) {
+			t.Errorf("trial %d: returned config incomplete: %d/%d queries",
+				trial, len(m.Completed), len(w.Queries))
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package selector implements λ-Tune's configuration selection component
+// (paper §4, Algorithm 2): candidate configurations are evaluated in rounds
+// under geometrically increasing timeouts, with reconfiguration-aware
+// timeout adaptation and best-configuration-based timeout tightening. The
+// scheme bounds total tuning time by O(k·α·C_best) — Theorem 4.3.
+package selector
+
+import (
+	"math"
+	"sort"
+
+	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/engine"
+)
+
+// Best tracks the best fully evaluated configuration.
+type Best struct {
+	Time   float64
+	Config *engine.Config
+}
+
+// ProgressEvent records tuning progress for convergence plots: at virtual
+// time Clock, the best known full-workload execution time was BestTime.
+type ProgressEvent struct {
+	Clock    float64
+	BestTime float64
+	ConfigID string
+}
+
+// Options configures the selector.
+type Options struct {
+	// InitialTimeout is t, the first round's per-configuration timeout in
+	// simulated seconds (paper §6.1 uses 10).
+	InitialTimeout float64
+	// Alpha is the geometric timeout growth factor (paper §6.1 uses 10;
+	// Theorem 4.3 requires α ≥ 2).
+	Alpha float64
+	// AdaptiveTimeout enables the reconfiguration-overhead adaptation of
+	// Algorithm 2 line 14 (the §6.4.1 ablation switches it off).
+	AdaptiveTimeout bool
+	// MaxRounds caps the number of rounds as a safety valve (0 = unlimited).
+	MaxRounds int
+}
+
+// DefaultOptions matches the paper's experimental setup.
+func DefaultOptions() Options {
+	return Options{InitialTimeout: 10, Alpha: 10, AdaptiveTimeout: true}
+}
+
+// Selector runs Algorithm 2 over a fixed workload and candidate set.
+type Selector struct {
+	Eval     *evaluator.Evaluator
+	Workload []*engine.Query
+	Opts     Options
+	// Metas exposes the per-configuration bookkeeping after Select returns.
+	Metas map[*engine.Config]*evaluator.ConfigMeta
+	// Progress records best-so-far events on the virtual clock.
+	Progress []ProgressEvent
+}
+
+// New creates a selector.
+func New(eval *evaluator.Evaluator, w []*engine.Query, opts Options) *Selector {
+	return &Selector{Eval: eval, Workload: w, Opts: opts}
+}
+
+// Select is Algorithm 2 (ConfigSelect): it returns the configuration with
+// the minimal full-workload execution time among the candidates, or nil when
+// no candidate ever completes within the round cap.
+func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
+	best := Best{Time: math.Inf(1)}
+	s.Metas = make(map[*engine.Config]*evaluator.ConfigMeta, len(candidates))
+	for _, c := range candidates {
+		s.Metas[c] = evaluator.NewConfigMeta()
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+
+	t := s.Opts.InitialTimeout
+	if t <= 0 {
+		t = 10
+	}
+	alpha := s.Opts.Alpha
+	if alpha < 2 {
+		alpha = 2
+	}
+
+	var remaining []*engine.Config
+	rounds := 0
+	for math.IsInf(best.Time, 1) {
+		rounds++
+		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
+			return nil
+		}
+		for _, c := range s.byThroughput(candidates) {
+			s.update(c, t, &best)
+			if s.Metas[c].IsComplete {
+				remaining = without(candidates, c)
+				break
+			}
+		}
+		if !math.IsInf(best.Time, 1) {
+			break
+		}
+		// Reconfiguration overheads: never let the next round's timeout be
+		// dominated by index creation (Algorithm 2 line 14).
+		if s.Opts.AdaptiveTimeout {
+			for _, c := range candidates {
+				if it := s.Metas[c].IndexTime; it > t {
+					t = it
+				}
+			}
+		}
+		t *= alpha
+	}
+
+	// Give every remaining configuration one chance with the tightened,
+	// best-based timeout (lines 17-18).
+	for _, c := range s.byThroughput(remaining) {
+		s.update(c, t, &best)
+	}
+	return best.Config
+}
+
+// update is Algorithm 2's Update procedure.
+func (s *Selector) update(c *engine.Config, t float64, best *Best) {
+	meta := s.Metas[c]
+	if !math.IsInf(best.Time, 1) {
+		// Any configuration exceeding best.Time − completed time is
+		// provably suboptimal (paper §4, Best Configuration).
+		t = best.Time - meta.Time
+		if t <= 0 {
+			return
+		}
+	}
+	var todo []*engine.Query
+	for _, q := range s.Workload {
+		if !meta.Completed[q.Name] {
+			todo = append(todo, q)
+		}
+	}
+	if len(todo) == 0 {
+		meta.IsComplete = true
+	} else {
+		if err := s.Eval.Apply(c); err != nil {
+			// Unusable configuration (bad parameter values): mark it
+			// permanently incomplete.
+			meta.IsComplete = false
+			return
+		}
+		s.Eval.Evaluate(c, todo, t, meta)
+	}
+	if meta.IsComplete && meta.Time < best.Time {
+		best.Time = meta.Time
+		best.Config = c
+		s.Progress = append(s.Progress, ProgressEvent{
+			Clock:    s.Eval.DB.Clock().Now(),
+			BestTime: meta.Time,
+			ConfigID: c.ID,
+		})
+	}
+}
+
+// byThroughput orders configurations by decreasing throughput (queries
+// completed per unit time), breaking ties by original position.
+func (s *Selector) byThroughput(cs []*engine.Config) []*engine.Config {
+	out := append([]*engine.Config(nil), cs...)
+	pos := make(map[*engine.Config]int, len(cs))
+	for i, c := range cs {
+		pos[c] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		ta := s.Metas[out[a]].Throughput()
+		tb := s.Metas[out[b]].Throughput()
+		if ta != tb {
+			return ta > tb
+		}
+		return pos[out[a]] < pos[out[b]]
+	})
+	return out
+}
+
+func without(cs []*engine.Config, drop *engine.Config) []*engine.Config {
+	out := make([]*engine.Config, 0, len(cs)-1)
+	for _, c := range cs {
+		if c != drop {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package tuner implements λ-Tune's end-to-end tuning pipeline (paper
+// Algorithm 1): generate a workload-tailored prompt, sample k candidate
+// configurations from the LLM, and identify the best one with the
+// bounded-cost configuration selector.
+package tuner
+
+import (
+	"fmt"
+
+	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/core/prompt"
+	"lambdatune/internal/core/selector"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/llm"
+)
+
+// Options configures a tuning run. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// Samples is k, the number of LLM calls / candidate configurations
+	// (paper §6.1 evaluates 5).
+	Samples int
+	// Temperature controls LLM output randomization.
+	Temperature float64
+	// Prompt configures prompt generation (token budget, ILP vs greedy,
+	// compressor on/off).
+	Prompt prompt.Options
+	// Selector configures configuration selection (timeouts, α).
+	Selector selector.Options
+	// UseScheduler / LazyIndexes toggle the §5 evaluation optimizations
+	// (ablation switches).
+	UseScheduler bool
+	LazyIndexes  bool
+	// Seed drives scheduling (k-means) determinism.
+	Seed int64
+	// MaxRetries bounds re-requests per sample when an LLM call fails or
+	// returns an unparseable script (transient API errors are routine with
+	// hosted models).
+	MaxRetries int
+}
+
+// DefaultOptions matches the paper's experimental setup (§6.1).
+func DefaultOptions() Options {
+	return Options{
+		Samples:      5,
+		Temperature:  0.7,
+		Prompt:       prompt.DefaultOptions(),
+		Selector:     selector.DefaultOptions(),
+		UseScheduler: true,
+		LazyIndexes:  true,
+		Seed:         1,
+		MaxRetries:   2,
+	}
+}
+
+// Result reports a completed tuning run.
+type Result struct {
+	// Best is the selected configuration (nil if no candidate completed).
+	Best *engine.Config
+	// BestTime is the best configuration's full-workload execution time in
+	// simulated seconds.
+	BestTime float64
+	// Candidates are all sampled configurations in sampling order.
+	Candidates []*engine.Config
+	// Prompt records the generated prompt and its token accounting.
+	Prompt prompt.Result
+	// Progress traces best-so-far improvements on the virtual clock.
+	Progress []selector.ProgressEvent
+	// TuningSeconds is the total virtual time the run consumed.
+	TuningSeconds float64
+	// Warnings aggregates non-fatal issues (e.g. unknown parameters in LLM
+	// responses, skipped like a DBA would).
+	Warnings []string
+	// Metas exposes per-candidate evaluation bookkeeping.
+	Metas map[*engine.Config]*evaluator.ConfigMeta
+}
+
+// Tuner runs Algorithm 1 against a database and workload.
+type Tuner struct {
+	DB     *engine.DB
+	Client llm.Client
+	Opts   Options
+}
+
+// New creates a tuner with the given LLM client.
+func New(db *engine.DB, client llm.Client, opts Options) *Tuner {
+	if opts.Samples <= 0 {
+		opts.Samples = 5
+	}
+	return &Tuner{DB: db, Client: client, Opts: opts}
+}
+
+// Tune executes the pipeline: prompt generation, k LLM samples,
+// configuration selection. The database's virtual clock advances by the full
+// tuning cost (query evaluations and index creations).
+func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("tuner: empty workload")
+	}
+	start := t.DB.Clock().Now()
+
+	// Prompt generation (§3). EXPLAIN-based snippet valuation uses the
+	// database's current (default) configuration.
+	pr, err := prompt.Generate(t.DB, queries, t.DB.Hardware(), t.Opts.Prompt)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Prompt: pr}
+
+	// k LLM calls (Algorithm 1 line 3), each retried on transient API
+	// failures or unparseable responses.
+	var lastErr error
+	for i := 0; i < t.Opts.Samples; i++ {
+		cfg, warns, err := t.sample(pr.Text, i+1)
+		if err != nil {
+			lastErr = err
+			res.Warnings = append(res.Warnings, fmt.Sprintf("sample %d dropped: %v", i+1, err))
+			continue
+		}
+		res.Warnings = append(res.Warnings, warns...)
+		res.Candidates = append(res.Candidates, cfg)
+	}
+	if len(res.Candidates) == 0 {
+		return nil, fmt.Errorf("tuner: no usable configurations from %d samples (last error: %v)", t.Opts.Samples, lastErr)
+	}
+
+	// Configuration selection (§4) with lazy-index evaluation (§5).
+	eval := evaluator.New(t.DB)
+	eval.UseScheduler = t.Opts.UseScheduler
+	eval.LazyIndexes = t.Opts.LazyIndexes
+	eval.Seed = t.Opts.Seed
+	sel := selector.New(eval, queries, t.Opts.Selector)
+	best := sel.Select(res.Candidates)
+	res.Best = best
+	res.Metas = sel.Metas
+	res.Progress = sel.Progress
+	if best != nil {
+		res.BestTime = sel.Metas[best].Time
+	}
+	res.TuningSeconds = t.DB.Clock().Now() - start
+	return res, nil
+}
+
+// sample requests one configuration, retrying failed calls and unparseable
+// responses up to MaxRetries times.
+func (t *Tuner) sample(prompt string, idx int) (*engine.Config, []string, error) {
+	attempts := 1 + t.Opts.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		out, err := t.Client.Complete(prompt, t.Opts.Temperature)
+		if err != nil {
+			lastErr = fmt.Errorf("LLM call failed: %w", err)
+			continue
+		}
+		cfg, warns, err := engine.ParseScript(t.DB.Flavor(), fmt.Sprintf("llm-%d", idx), out)
+		if err != nil {
+			lastErr = fmt.Errorf("unparseable response: %w", err)
+			continue
+		}
+		return cfg, warns, nil
+	}
+	return nil, nil, lastErr
+}
+
+// ApplyBest installs the winning configuration on the database: parameters
+// set and all recommended indexes created (clock advances by creation time).
+func (t *Tuner) ApplyBest(res *Result) error {
+	if res.Best == nil {
+		return fmt.Errorf("tuner: no best configuration to apply")
+	}
+	t.DB.DropTransientIndexes()
+	if err := t.DB.ApplyConfigParams(res.Best); err != nil {
+		return err
+	}
+	for _, ix := range res.Best.Indexes {
+		t.DB.CreateIndex(ix)
+	}
+	return nil
+}

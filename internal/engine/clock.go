@@ -1,0 +1,22 @@
+package engine
+
+// Clock is a virtual clock measured in simulated seconds. All engine
+// operations (query execution, index creation) advance it deterministically,
+// which lets the tuning experiments replay the paper's hours-long runs in
+// milliseconds while keeping every timeout interaction exact.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by d seconds (negative d is ignored).
+func (c *Clock) Advance(d float64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// Reset rewinds the clock to zero.
+func (c *Clock) Reset() { c.now = 0 }

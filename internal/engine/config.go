@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// IndexDef identifies an index by table and key columns.
+type IndexDef struct {
+	Table string
+	// Columns joined by "+", lower-cased, e.g. "l_orderkey" or
+	// "l_orderkey+l_partkey" for a composite key.
+	Columns string
+	Name    string // optional
+}
+
+// NewIndexDef builds an IndexDef with normalized names.
+func NewIndexDef(table string, columns ...string) IndexDef {
+	lower := make([]string, len(columns))
+	for i, c := range columns {
+		lower[i] = strings.ToLower(c)
+	}
+	return IndexDef{Table: strings.ToLower(table), Columns: strings.Join(lower, "+")}
+}
+
+// ColumnList returns the key columns in order.
+func (d IndexDef) ColumnList() []string { return strings.Split(d.Columns, "+") }
+
+// Key is a canonical identity (ignores the optional name).
+func (d IndexDef) Key() string { return d.Table + "(" + d.Columns + ")" }
+
+func (d IndexDef) String() string {
+	return fmt.Sprintf("INDEX ON %s(%s)", d.Table, strings.Join(d.ColumnList(), ", "))
+}
+
+// SQL renders the CREATE INDEX statement for the definition.
+func (d IndexDef) SQL() string {
+	name := d.Name
+	if name == "" {
+		name = "idx_" + d.Table + "_" + strings.ReplaceAll(d.Columns, "+", "_")
+	}
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s);", name, d.Table, strings.Join(d.ColumnList(), ", "))
+}
+
+// Config is a complete candidate configuration: parameter settings plus
+// index recommendations, as produced by one LLM response (paper §2).
+type Config struct {
+	// ID labels the configuration (e.g. "llm-sample-3").
+	ID string
+	// Params maps parameter names to raw value strings, e.g.
+	// {"shared_buffers": "15GB"}.
+	Params map[string]string
+	// Indexes are the recommended indexes.
+	Indexes []IndexDef
+}
+
+// Script renders the configuration as the SQL command list the LLM would
+// emit for the given flavor.
+func (c *Config) Script(f Flavor) string {
+	var sb strings.Builder
+	names := make([]string, 0, len(c.Params))
+	for n := range c.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if f == MySQL {
+			fmt.Fprintf(&sb, "SET GLOBAL %s = %s;\n", n, c.Params[n])
+		} else {
+			fmt.Fprintf(&sb, "ALTER SYSTEM SET %s = '%s';\n", n, c.Params[n])
+		}
+	}
+	for _, ix := range c.Indexes {
+		sb.WriteString(ix.SQL() + "\n")
+	}
+	return sb.String()
+}
+
+var (
+	alterSystemRe = regexp.MustCompile(`(?i)^\s*ALTER\s+SYSTEM\s+SET\s+(\w+)\s*=\s*(.+?)\s*;?\s*$`)
+	setGlobalRe   = regexp.MustCompile(`(?i)^\s*SET\s+(?:GLOBAL\s+)?(\w+)\s*=\s*(.+?)\s*;?\s*$`)
+	createIndexRe = regexp.MustCompile(`(?i)^\s*CREATE\s+(?:UNIQUE\s+)?INDEX\s+(?:IF\s+NOT\s+EXISTS\s+)?(\w+)?\s*ON\s+(\w+)\s*\(([^)]+)\)\s*;?\s*$`)
+)
+
+// ParseScript parses a configuration script (one command per line; blank
+// lines and -- comments ignored) into a Config. Unknown commands yield an
+// error; unknown parameters are dropped with a note in the returned warnings,
+// mirroring how a DBA would skip inapplicable LLM suggestions.
+func ParseScript(f Flavor, id, script string) (*Config, []string, error) {
+	cfg := &Config{ID: id, Params: map[string]string{}}
+	var warnings []string
+	pc := Params(f)
+	for ln, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := createIndexRe.FindStringSubmatch(line); m != nil {
+			cols := strings.Split(m[3], ",")
+			for i := range cols {
+				cols[i] = strings.TrimSpace(cols[i])
+			}
+			def := NewIndexDef(m[2], cols...)
+			def.Name = m[1]
+			cfg.Indexes = append(cfg.Indexes, def)
+			continue
+		}
+		var name, value string
+		if m := alterSystemRe.FindStringSubmatch(line); m != nil {
+			name, value = m[1], m[2]
+		} else if m := setGlobalRe.FindStringSubmatch(line); m != nil {
+			name, value = m[1], m[2]
+		} else {
+			return nil, warnings, fmt.Errorf("engine: line %d: unsupported command %q", ln+1, line)
+		}
+		name = strings.ToLower(name)
+		if _, ok := pc.Lookup(name); !ok {
+			warnings = append(warnings, fmt.Sprintf("line %d: unknown parameter %q skipped", ln+1, name))
+			continue
+		}
+		cfg.Params[name] = strings.Trim(value, "'\"")
+	}
+	return cfg, warnings, nil
+}
+
+// ResolveSettings converts the raw parameter strings into numeric Settings on
+// top of the flavor defaults.
+func (c *Config) ResolveSettings(f Flavor) (Settings, error) {
+	pc := Params(f)
+	s := pc.Defaults()
+	names := make([]string, 0, len(c.Params))
+	for n := range c.Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		v, err := pc.ParseValue(n, c.Params[n])
+		if err != nil {
+			return nil, err
+		}
+		s[n] = v
+	}
+	return s, nil
+}

@@ -1,0 +1,269 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DB is one simulated database instance: a catalog with statistics, a live
+// parameter assignment, and a set of indexes, all on a virtual clock.
+type DB struct {
+	flavor   Flavor
+	catalog  *Catalog
+	hw       Hardware
+	clock    Clock
+	settings Settings
+	eff      effects
+	// indexes maps IndexDef.Key() → definition.
+	indexes map[string]IndexDef
+	// permanent marks indexes that survive DropTransientIndexes (the
+	// "initial indexes" of scenario 1).
+	permanent map[string]bool
+	// executed counts completed query executions (for test introspection).
+	executed int
+}
+
+// NewDB creates a database with default settings and no indexes.
+func NewDB(f Flavor, catalog *Catalog, hw Hardware) *DB {
+	db := &DB{
+		flavor:    f,
+		catalog:   catalog,
+		hw:        hw,
+		indexes:   map[string]IndexDef{},
+		permanent: map[string]bool{},
+	}
+	db.SetSettings(Params(f).Defaults())
+	return db
+}
+
+// Flavor returns the emulated DBMS flavor.
+func (db *DB) Flavor() Flavor { return db.flavor }
+
+// Catalog returns the database schema and statistics.
+func (db *DB) Catalog() *Catalog { return db.catalog }
+
+// Hardware returns the host machine description.
+func (db *DB) Hardware() Hardware { return db.hw }
+
+// Clock returns the virtual clock.
+func (db *DB) Clock() *Clock { return &db.clock }
+
+// Executions returns the number of completed query executions.
+func (db *DB) Executions() int { return db.executed }
+
+// Settings returns a copy of the live parameter assignment.
+func (db *DB) Settings() Settings { return db.settings.Clone() }
+
+// SetSettings installs a full parameter assignment (missing parameters fall
+// back to defaults).
+func (db *DB) SetSettings(s Settings) {
+	full := Params(db.flavor).Defaults()
+	for k, v := range s {
+		if _, ok := full[k]; ok {
+			full[k] = v
+		}
+	}
+	db.settings = full
+	db.eff = deriveEffects(db.flavor, full)
+}
+
+// ResetSettings restores flavor defaults.
+func (db *DB) ResetSettings() { db.SetSettings(nil) }
+
+// ApplyConfigParams resolves and installs the parameter part of a
+// configuration (indexes are handled separately so callers can create them
+// lazily, per paper §5.1).
+func (db *DB) ApplyConfigParams(c *Config) error {
+	s, err := c.ResolveSettings(db.flavor)
+	if err != nil {
+		return err
+	}
+	db.SetSettings(s)
+	return nil
+}
+
+// HasIndex reports whether the exact index exists.
+func (db *DB) HasIndex(def IndexDef) bool {
+	_, ok := db.indexes[def.Key()]
+	return ok
+}
+
+// hasIndexOnColumn reports whether any index has the column as its leading
+// key.
+func (db *DB) hasIndexOnColumn(table, column string) bool {
+	table = strings.ToLower(table)
+	column = strings.ToLower(column)
+	for _, def := range db.indexes {
+		if def.Table == table && def.ColumnList()[0] == column {
+			return true
+		}
+	}
+	return false
+}
+
+// indexPrefixMatch returns, among indexes on `table` whose leading key is
+// `column`, the longest key prefix whose trailing columns all appear in
+// `wanted` (nil when no such index exists). Composite indexes whose trailing
+// key columns match further predicates narrow an index scan beyond the
+// leading column.
+func (db *DB) indexPrefixMatch(table, column string, wanted map[string]bool) []string {
+	table = strings.ToLower(table)
+	column = strings.ToLower(column)
+	var best []string
+	for _, def := range db.indexes {
+		if def.Table != table {
+			continue
+		}
+		cols := def.ColumnList()
+		if cols[0] != column {
+			continue
+		}
+		n := 1
+		for _, c := range cols[1:] {
+			if !wanted[c] {
+				break
+			}
+			n++
+		}
+		if n > len(best) {
+			best = cols[:n]
+		}
+	}
+	return best
+}
+
+// Indexes returns all current index definitions, sorted by key.
+func (db *DB) Indexes() []IndexDef {
+	keys := make([]string, 0, len(db.indexes))
+	for k := range db.indexes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]IndexDef, len(keys))
+	for i, k := range keys {
+		out[i] = db.indexes[k]
+	}
+	return out
+}
+
+// IndexCreationSeconds estimates how long creating the index takes under the
+// current settings without creating it.
+func (db *DB) IndexCreationSeconds(def IndexDef) float64 {
+	t := db.catalog.Table(def.Table)
+	if t == nil {
+		return 0.05
+	}
+	rows := float64(t.Rows)
+	cols := float64(len(def.ColumnList()))
+	// Sort-dominated build: read + sort + write.
+	units := rows*0.06*cols + float64(t.Pages())*trueSeqPage
+	// maintenance_work_mem speeds the sort phase up to 40%.
+	factor := 1.0
+	if m := db.eff.maintenanceBytes; m > 0 {
+		need := rows * 16
+		if float64(m) >= need {
+			factor = 0.6
+		} else {
+			factor = 1 - 0.4*float64(m)/need
+		}
+	}
+	return units * factor / unitsPerSecond
+}
+
+// CreateIndex creates an index (idempotent) and advances the clock by its
+// creation time. It returns the seconds spent (0 when it already existed).
+func (db *DB) CreateIndex(def IndexDef) float64 {
+	if db.HasIndex(def) {
+		return 0
+	}
+	if db.catalog.Table(def.Table) == nil {
+		return 0 // ignore indexes on unknown tables, as Postgres would error
+	}
+	secs := db.IndexCreationSeconds(def)
+	db.indexes[def.Key()] = def
+	db.clock.Advance(secs)
+	return secs
+}
+
+// CreatePermanentIndex creates an index that survives DropTransientIndexes.
+// Used to set up the "initial indexes" scenario; does not advance the clock.
+func (db *DB) CreatePermanentIndex(def IndexDef) {
+	if db.catalog.Table(def.Table) == nil {
+		return
+	}
+	db.indexes[def.Key()] = def
+	db.permanent[def.Key()] = true
+}
+
+// DropIndex removes an index if present (permanent ones included).
+func (db *DB) DropIndex(def IndexDef) {
+	delete(db.indexes, def.Key())
+	delete(db.permanent, def.Key())
+}
+
+// DropTransientIndexes removes every index created by CreateIndex, keeping
+// permanent (initial) ones. Dropping is metadata-only and free, matching the
+// paper's assumption that evaluation cost is dominated by creations.
+func (db *DB) DropTransientIndexes() {
+	for k := range db.indexes {
+		if !db.permanent[k] {
+			delete(db.indexes, k)
+		}
+	}
+}
+
+// PermanentIndexCount returns the number of initial indexes.
+func (db *DB) PermanentIndexCount() int { return len(db.permanent) }
+
+// Explain plans the query under the current configuration and returns the
+// estimated cost of each join operator, keyed by its join condition.
+func (db *DB) Explain(q *Query) []JoinCost {
+	plan := db.plan(q)
+	var out []JoinCost
+	for _, s := range plan.Steps {
+		if s.Join != nil {
+			out = append(out, JoinCost{Condition: *s.Join, EstCost: s.EstCost})
+		}
+	}
+	return out
+}
+
+// Plan exposes the chosen plan (for tests and the in-depth analysis tools).
+func (db *DB) Plan(q *Query) *Plan { return db.plan(q) }
+
+// QuerySeconds returns the simulated runtime of the query under the current
+// configuration without executing it or advancing the clock.
+func (db *DB) QuerySeconds(q *Query) float64 {
+	return db.plan(q).TrueSeconds()
+}
+
+// Execute runs the query with a timeout (in simulated seconds; pass
+// math.Inf(1) for none). The clock advances by the time consumed — the full
+// runtime on completion, or the timeout on interruption.
+func (db *DB) Execute(q *Query, timeout float64) ExecResult {
+	secs := db.QuerySeconds(q)
+	if timeout >= 0 && secs > timeout && !math.IsInf(timeout, 1) {
+		db.clock.Advance(timeout)
+		return ExecResult{Seconds: timeout, Complete: false}
+	}
+	db.clock.Advance(secs)
+	db.executed++
+	return ExecResult{Seconds: secs, Complete: true}
+}
+
+// WorkloadSeconds sums QuerySeconds over the queries (no clock advance).
+func (db *DB) WorkloadSeconds(qs []*Query) float64 {
+	var sum float64
+	for _, q := range qs {
+		sum += db.QuerySeconds(q)
+	}
+	return sum
+}
+
+// String describes the instance.
+func (db *DB) String() string {
+	return fmt.Sprintf("%s[%s, %d tables, %d indexes]",
+		db.flavor, db.catalog.Name, len(db.catalog.tables), len(db.indexes))
+}

@@ -1,0 +1,496 @@
+package engine
+
+import (
+	"math"
+
+	"lambdatune/internal/sqlparser"
+)
+
+// "Hardware truth" constants: the actual per-operation costs of the simulated
+// machine (NVMe-backed storage, so random IO is only moderately more
+// expensive than sequential). The optimizer plans with the *tunable* cost
+// constants; the executor charges these. The gap between the two is what
+// makes tuning random_page_cost & friends matter, exactly as on a real
+// system.
+const (
+	trueSeqPage       = 1.0
+	trueRandomPage    = 2.5
+	trueCPUTuple      = 0.005
+	trueCPUIndexTuple = 0.003
+	trueCPUOperator   = 0.0015
+	// unitsPerSecond converts cost units to simulated seconds.
+	unitsPerSecond = 25000.0
+	// maxCacheFrac bounds how much of the working set can be cached.
+	maxCacheFrac = 0.95
+)
+
+// planner builds and costs a plan for one query under the current settings
+// and index set.
+type planner struct {
+	db *DB
+	q  *Query
+	// tables in the query, with per-table filtered cardinalities.
+	tables map[string]*tableInfo
+}
+
+type tableInfo struct {
+	table *Table
+	// filteredRows after applying constant predicates.
+	filteredRows float64
+	// scan holds the chosen access path.
+	scan PlanStep
+}
+
+// selectivity estimates the fraction of rows passing a constant filter.
+func selectivity(col *Column, kind sqlparser.FilterKind) float64 {
+	switch kind {
+	case sqlparser.FilterEq:
+		if col == nil || col.Distinct <= 1 {
+			return 0.5
+		}
+		return 1.0 / float64(col.Distinct)
+	case sqlparser.FilterIn:
+		if col == nil || col.Distinct <= 1 {
+			return 0.5
+		}
+		s := 5.0 / float64(col.Distinct)
+		if s > 0.25 {
+			s = 0.25
+		}
+		return s
+	case sqlparser.FilterRange:
+		return 0.30
+	case sqlparser.FilterLike:
+		return 0.08
+	}
+	return 0.5
+}
+
+// cacheFrac is the fraction of pages served from the buffer pool given the
+// configured buffer size and the total database size. A small baseline
+// accounts for OS page cache.
+func (db *DB) cacheFrac() float64 {
+	total := db.catalog.TotalBytes()
+	if total <= 0 {
+		return maxCacheFrac
+	}
+	f := float64(db.eff.bufferBytes) / float64(total)
+	f = 0.08 + 0.92*f
+	if f > maxCacheFrac {
+		f = maxCacheFrac
+	}
+	return f
+}
+
+// optCacheFrac is the *optimizer's belief* about caching, driven by
+// effective_cache_size.
+func (db *DB) optCacheFrac() float64 {
+	total := db.catalog.TotalBytes()
+	if total <= 0 {
+		return maxCacheFrac
+	}
+	f := float64(db.eff.effectiveCache) / float64(total)
+	if f > maxCacheFrac {
+		f = maxCacheFrac
+	}
+	return f
+}
+
+// ioDiscount applies buffer caching to an IO cost: cached pages cost ~10% of
+// a physical read.
+func ioDiscount(cost, cacheFrac float64) float64 {
+	return cost * (1 - cacheFrac + 0.1*cacheFrac)
+}
+
+// parallelSpeedup is the divisor applied to scan-dominated work.
+func (db *DB) parallelSpeedup() float64 {
+	w := db.eff.parallelWorkers
+	if max := db.hw.Cores - 1; w > max {
+		w = max
+	}
+	if w < 0 {
+		w = 0
+	}
+	return 1 + 0.6*float64(w)
+}
+
+// ioConcurrencyDiscount shaves up to 20% off sequential IO.
+func (db *DB) ioConcurrencyDiscount() float64 {
+	d := 1 - 0.02*float64(db.eff.ioConcurrency)
+	if d < 0.8 {
+		d = 0.8
+	}
+	return d
+}
+
+// plan builds the full plan for q.
+func (db *DB) plan(q *Query) *Plan {
+	p := &planner{db: db, q: q, tables: map[string]*tableInfo{}}
+	for _, name := range q.Analysis.Tables {
+		t := db.catalog.Table(name)
+		if t == nil {
+			// Unknown table: charge a nominal constant so execution still
+			// "works" (mirrors a view or tiny side table).
+			p.tables[name] = &tableInfo{
+				table:        &Table{Name: name, Rows: 1000, Columns: []Column{{Name: "c", WidthBytes: 8, Distinct: 1000}}},
+				filteredRows: 1000,
+			}
+			continue
+		}
+		p.tables[name] = &tableInfo{table: t, filteredRows: float64(t.Rows)}
+	}
+	p.applyFilters()
+	p.chooseScans()
+	plan := p.orderJoins()
+	p.addAggregate(plan)
+	return plan
+}
+
+// applyFilters reduces per-table cardinalities using the query's constant
+// predicates.
+func (p *planner) applyFilters() {
+	for _, f := range p.q.Analysis.Filters {
+		ti, ok := p.tables[f.Table]
+		if !ok {
+			continue
+		}
+		col := ti.table.Column(f.Column)
+		ti.filteredRows *= selectivity(col, f.Kind)
+	}
+	for _, ti := range p.tables {
+		if ti.filteredRows < 1 {
+			ti.filteredRows = 1
+		}
+	}
+}
+
+// chooseScans picks seq vs index scan per table by estimated cost.
+func (p *planner) chooseScans() {
+	db := p.db
+	e := db.eff
+	optCache := db.optCacheFrac()
+	trueCache := db.cacheFrac()
+	par := db.parallelSpeedup()
+	ioc := db.ioConcurrencyDiscount()
+
+	for name, ti := range p.tables {
+		t := ti.table
+		pages := float64(t.Pages())
+		rows := float64(t.Rows)
+
+		// The planner knows parallel workers speed up sequential scans
+		// (parallel plans have divided costs in Postgres), while index
+		// scans run in a single worker.
+		seqEst := (pages*e.seqPageCost + rows*e.cpuTupleCost) / par
+		seqTrue := (ioDiscount(pages*trueSeqPage*ioc, trueCache) + rows*trueCPUTuple) / par
+
+		best := PlanStep{Kind: StepSeqScan, Table: name, EstCost: seqEst, TrueSeconds: seqTrue / unitsPerSecond, OutRows: ti.filteredRows}
+		if !e.enableSeqScan {
+			best.EstCost *= 1e6 // discouraged, still available as fallback
+		}
+
+		if e.enableIndexScan {
+			// Other filtered columns of this table, for composite-prefix
+			// matching.
+			filterKind := map[string]sqlparser.FilterKind{}
+			for _, f := range p.q.Analysis.Filters {
+				if f.Table == name && f.Kind != sqlparser.FilterLike {
+					filterKind[f.Column] = f.Kind
+				}
+			}
+			wanted := map[string]bool{}
+			for c := range filterKind {
+				wanted[c] = true
+			}
+			// The most selective indexed filter drives the index scan.
+			for _, f := range p.q.Analysis.Filters {
+				if f.Table != name {
+					continue
+				}
+				if f.Kind == sqlparser.FilterLike {
+					continue // B-tree can't serve %pattern% predicates
+				}
+				prefix := db.indexPrefixMatch(name, f.Column, wanted)
+				if len(prefix) == 0 {
+					continue
+				}
+				col := t.Column(f.Column)
+				sel := selectivity(col, f.Kind)
+				// A composite key narrows the scan by each additional
+				// matched prefix column's selectivity.
+				for _, extra := range prefix[1:] {
+					if extra == f.Column {
+						continue
+					}
+					sel *= selectivity(t.Column(extra), filterKind[extra])
+				}
+				selRows := rows * sel
+				if selRows < 1 {
+					selRows = 1
+				}
+				selPages := selRows * float64(t.RowWidth()) / 8192
+				if selPages < 1 {
+					selPages = 1
+				}
+				height := math.Log2(rows + 2)
+				idxEst := selPages*e.randomPageCost*(1-0.75*optCache) +
+					selRows*(e.cpuIndexTupleCost+e.cpuTupleCost) + height*e.randomPageCost
+				idxTrue := ioDiscount(selPages*trueRandomPage, trueCache) +
+					selRows*(trueCPUIndexTuple+trueCPUTuple) + height*trueRandomPage
+				if idxEst < best.EstCost {
+					best = PlanStep{
+						Kind: StepIndexScan, Table: name,
+						EstCost: idxEst, TrueSeconds: idxTrue / unitsPerSecond,
+						OutRows: ti.filteredRows,
+					}
+				}
+			}
+		}
+		ti.scan = best
+	}
+}
+
+// joinsFor returns the join conditions linking table name to any table in
+// joined.
+func (p *planner) joinsFor(name string, joined map[string]bool) []sqlparser.JoinCondition {
+	var out []sqlparser.JoinCondition
+	for _, j := range p.q.Analysis.Joins {
+		if (j.LeftTable == name && joined[j.RightTable]) ||
+			(j.RightTable == name && joined[j.LeftTable]) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// orderJoins builds a left-deep join sequence greedily: start from the
+// smallest filtered table, repeatedly add the connected table minimizing the
+// estimated join output.
+func (p *planner) orderJoins() *Plan {
+	names := append([]string(nil), p.q.Analysis.Tables...)
+	if len(names) == 0 {
+		return &Plan{}
+	}
+	// Pick start: smallest filtered cardinality.
+	start := names[0]
+	for _, n := range names[1:] {
+		if p.tables[n].filteredRows < p.tables[start].filteredRows {
+			start = n
+		}
+	}
+	joined := map[string]bool{start: true}
+	plan := &Plan{Steps: []PlanStep{p.tables[start].scan}}
+	curRows := p.tables[start].filteredRows
+
+	for len(joined) < len(names) {
+		bestName := ""
+		bestRows := math.Inf(1)
+		var bestConds []sqlparser.JoinCondition
+		for _, n := range names {
+			if joined[n] {
+				continue
+			}
+			conds := p.joinsFor(n, joined)
+			rows := p.joinOutRows(curRows, n, conds)
+			// Prefer connected tables strongly over cartesian products.
+			penalty := 1.0
+			if len(conds) == 0 {
+				penalty = 1e12
+			}
+			if rows*penalty < bestRows {
+				bestRows = rows * penalty
+				bestName = n
+				bestConds = conds
+			}
+		}
+		step := p.joinStep(curRows, bestName, bestConds)
+		plan.Steps = append(plan.Steps, step)
+		joined[bestName] = true
+		curRows = step.OutRows
+	}
+	return plan
+}
+
+// joinOutRows estimates the cardinality after joining the current
+// intermediate (curRows) with table n over conds.
+func (p *planner) joinOutRows(curRows float64, n string, conds []sqlparser.JoinCondition) float64 {
+	inner := p.tables[n]
+	out := curRows * inner.filteredRows
+	for _, c := range conds {
+		col := c.LeftColumn
+		tbl := c.LeftTable
+		if c.RightTable == n {
+			col = c.RightColumn
+			tbl = c.RightTable
+		}
+		_ = tbl
+		d := int64(1)
+		if tc := inner.table.Column(col); tc != nil {
+			d = tc.Distinct
+		}
+		// Also consider the other side's distinct count.
+		otherTbl, otherCol := c.LeftTable, c.LeftColumn
+		if otherTbl == n {
+			otherTbl, otherCol = c.RightTable, c.RightColumn
+		}
+		if ot, ok := p.tables[otherTbl]; ok {
+			if oc := ot.table.Column(otherCol); oc != nil && oc.Distinct > d {
+				d = oc.Distinct
+			}
+		}
+		if d < 1 {
+			d = 1
+		}
+		out /= float64(d)
+	}
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// joinStep builds the cheapest join operator bringing table n into the plan.
+func (p *planner) joinStep(curRows float64, n string, conds []sqlparser.JoinCondition) PlanStep {
+	db := p.db
+	e := db.eff
+	inner := p.tables[n]
+	outRows := p.joinOutRows(curRows, n, conds)
+	trueCache := db.cacheFrac()
+	par := db.parallelSpeedup()
+
+	var joinCond *sqlparser.JoinCondition
+	if len(conds) > 0 {
+		joinCond = &conds[0]
+	}
+
+	// Option 1: hash join — scan inner, build hash table, probe with outer.
+	scan := inner.scan
+	buildRows := inner.filteredRows
+	buildBytes := buildRows * 24 // hashed key + pointer
+	passes := 1.0
+	if e.workMemBytes > 0 && buildBytes > float64(e.workMemBytes) {
+		passes = math.Ceil(buildBytes / float64(e.workMemBytes))
+		if passes > 8 {
+			passes = 8
+		}
+	}
+	spillIOPages := 0.0
+	if passes > 1 {
+		spillIOPages = (buildBytes + curRows*24) / 8192 * (passes - 1)
+	}
+	hashEst := scan.EstCost + buildRows*e.cpuOperatorCost*2 + curRows*e.cpuOperatorCost +
+		spillIOPages*e.seqPageCost
+	hashTrue := scan.TrueSeconds*unitsPerSecond +
+		(buildRows*trueCPUOperator*2+curRows*trueCPUOperator+spillIOPages*trueSeqPage)/par
+	if !e.enableHashJoin {
+		hashEst *= 1e6
+	}
+
+	best := PlanStep{Kind: StepHashJoin, Table: n, Join: joinCond, EstCost: hashEst, TrueSeconds: hashTrue / unitsPerSecond, OutRows: outRows}
+
+	// Option 2: index nested-loop — for each outer row, probe inner's index
+	// on the join column.
+	if e.enableNestLoop && e.enableIndexScan && joinCond != nil {
+		innerCol := joinCond.LeftColumn
+		if joinCond.RightTable == n {
+			innerCol = joinCond.RightColumn
+		}
+		if joinCond.LeftTable == n {
+			innerCol = joinCond.LeftColumn
+		}
+		if db.hasIndexOnColumn(n, innerCol) {
+			innerRows := float64(inner.table.Rows)
+			height := math.Log2(innerRows + 2)
+			matchRows := outRows / math.Max(curRows, 1)
+			if matchRows < 1 {
+				matchRows = 1
+			}
+			optCache := db.optCacheFrac()
+			perProbeEst := height*e.cpuIndexTupleCost + e.randomPageCost*(1-0.75*optCache)*(1+matchRows*0.2) + matchRows*e.cpuTupleCost
+			perProbeTrue := height*trueCPUIndexTuple + ioDiscount(trueRandomPage*(1+matchRows*0.2), trueCache) + matchRows*trueCPUTuple
+			inlEst := curRows * perProbeEst
+			inlTrue := curRows * perProbeTrue / par
+			if inlEst < best.EstCost {
+				best = PlanStep{Kind: StepIndexNLJoin, Table: n, Join: joinCond, EstCost: inlEst, TrueSeconds: inlTrue / unitsPerSecond, OutRows: outRows}
+			}
+		}
+	}
+
+	// Option 3: sort-merge join — sort both inputs, one merge pass. Usually
+	// dominated by hash join, but it is the equality-join fallback when
+	// hash joins are disabled or work_mem is prohibitively small.
+	if joinCond != nil {
+		so := sortCost(curRows, e.workMemBytes)
+		si := sortCost(inner.filteredRows, e.workMemBytes)
+		mergeEst := scan.EstCost + so.est(e) + si.est(e) + (curRows+inner.filteredRows)*e.cpuOperatorCost
+		mergeTrue := scan.TrueSeconds*unitsPerSecond + (so.truth()+si.truth())/par + (curRows+inner.filteredRows)*trueCPUOperator/par
+		if mergeEst < best.EstCost || (best.Kind == StepHashJoin && !e.enableHashJoin) {
+			best = PlanStep{Kind: StepMergeJoin, Table: n, Join: joinCond, EstCost: mergeEst, TrueSeconds: mergeTrue / unitsPerSecond, OutRows: outRows}
+		}
+	}
+
+	// Option 4 (fallback): plain nested loop for cartesian products.
+	if joinCond == nil {
+		nlEst := scan.EstCost + curRows*inner.filteredRows*e.cpuOperatorCost
+		nlTrue := scan.TrueSeconds*unitsPerSecond + curRows*inner.filteredRows*trueCPUOperator/par
+		best = PlanStep{Kind: StepNestLoop, Table: n, Join: joinCond, EstCost: nlEst, TrueSeconds: nlTrue / unitsPerSecond, OutRows: outRows}
+	}
+	return best
+}
+
+// sortWork carries a sort's CPU and spill components so the planner can
+// price it with either cost constants.
+type sortWork struct {
+	cpuOps     float64
+	spillPages float64
+}
+
+func sortCost(rows float64, workMem int64) sortWork {
+	if rows < 2 {
+		rows = 2
+	}
+	w := sortWork{cpuOps: rows * math.Log2(rows)}
+	bytes := rows * 24
+	if workMem > 0 && bytes > float64(workMem) {
+		w.spillPages = bytes * 2 / 8192 // external sort: write + read runs
+	}
+	return w
+}
+
+func (w sortWork) est(e effects) float64 {
+	return w.cpuOps*e.cpuOperatorCost + w.spillPages*e.seqPageCost
+}
+
+func (w sortWork) truth() float64 {
+	return w.cpuOps*trueCPUOperator + w.spillPages*trueSeqPage
+}
+
+// addAggregate appends the final aggregation/sort step.
+func (p *planner) addAggregate(plan *Plan) {
+	if len(plan.Steps) == 0 {
+		return
+	}
+	db := p.db
+	e := db.eff
+	rows := plan.Steps[len(plan.Steps)-1].OutRows
+	work := rows * 2
+	if n := len(p.q.Stmt.GroupBy); n > 0 {
+		work += rows * float64(n)
+	}
+	if n := len(p.q.Stmt.OrderBy); n > 0 && rows > 1 {
+		work += rows * math.Log2(rows+2)
+	}
+	// Sorting beyond work_mem spills to disk.
+	sortBytes := rows * 32
+	spill := 0.0
+	if e.workMemBytes > 0 && sortBytes > float64(e.workMemBytes) && len(p.q.Stmt.OrderBy) > 0 {
+		spill = sortBytes * 2 / 8192
+	}
+	est := work*e.cpuOperatorCost + spill*e.seqPageCost
+	tru := work*trueCPUOperator + spill*trueSeqPage
+	plan.Steps = append(plan.Steps, PlanStep{
+		Kind: StepAggregate, EstCost: est,
+		TrueSeconds: tru / unitsPerSecond / db.parallelSpeedup(),
+		OutRows:     math.Max(1, rows/10),
+	})
+}

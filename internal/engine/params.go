@@ -1,0 +1,341 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Flavor selects the DBMS dialect the engine emulates.
+type Flavor int
+
+// Supported flavors.
+const (
+	Postgres Flavor = iota
+	MySQL
+)
+
+func (f Flavor) String() string {
+	if f == MySQL {
+		return "MySQL"
+	}
+	return "PostgreSQL"
+}
+
+// ParamCategory groups parameters as in the paper's Table 5.
+type ParamCategory int
+
+// Parameter categories.
+const (
+	CatMemory ParamCategory = iota
+	CatOptimizer
+	CatIO
+	CatParallel
+	CatLogging
+)
+
+func (c ParamCategory) String() string {
+	switch c {
+	case CatMemory:
+		return "Memory"
+	case CatOptimizer:
+		return "Optimizer"
+	case CatIO:
+		return "IO"
+	case CatParallel:
+		return "Parallelism"
+	case CatLogging:
+		return "Logging"
+	}
+	return "Other"
+}
+
+// ParamType is the value domain of a parameter.
+type ParamType int
+
+// Parameter value types.
+const (
+	TypeBytes ParamType = iota
+	TypeInt
+	TypeFloat
+	TypeBool
+)
+
+// ParamDef describes one tunable parameter.
+type ParamDef struct {
+	Name     string
+	Category ParamCategory
+	Type     ParamType
+	Default  float64 // bytes for TypeBytes; 0/1 for TypeBool
+	Min      float64
+	Max      float64
+}
+
+// postgresParams is the tunable-parameter catalog of the Postgres flavor.
+var postgresParams = []ParamDef{
+	{"shared_buffers", CatMemory, TypeBytes, 128 << 20, 8 << 20, 256 << 30},
+	{"work_mem", CatMemory, TypeBytes, 4 << 20, 64 << 10, 64 << 30},
+	{"maintenance_work_mem", CatMemory, TypeBytes, 64 << 20, 1 << 20, 64 << 30},
+	{"effective_cache_size", CatOptimizer, TypeBytes, 4 << 30, 8 << 20, 512 << 30},
+	{"random_page_cost", CatOptimizer, TypeFloat, 4.0, 0.1, 1000},
+	{"seq_page_cost", CatOptimizer, TypeFloat, 1.0, 0.01, 1000},
+	{"cpu_tuple_cost", CatOptimizer, TypeFloat, 0.01, 0.0001, 100},
+	{"cpu_index_tuple_cost", CatOptimizer, TypeFloat, 0.005, 0.0001, 100},
+	{"cpu_operator_cost", CatOptimizer, TypeFloat, 0.0025, 0.0001, 100},
+	{"default_statistics_target", CatOptimizer, TypeInt, 100, 1, 10000},
+	{"effective_io_concurrency", CatIO, TypeInt, 1, 0, 1000},
+	{"max_parallel_workers_per_gather", CatParallel, TypeInt, 2, 0, 64},
+	{"max_parallel_workers", CatParallel, TypeInt, 8, 0, 128},
+	{"max_worker_processes", CatParallel, TypeInt, 8, 0, 128},
+	{"wal_buffers", CatLogging, TypeBytes, 4 << 20, 32 << 10, 2 << 30},
+	{"checkpoint_completion_target", CatLogging, TypeFloat, 0.5, 0, 1},
+	{"checkpoint_timeout", CatLogging, TypeInt, 300, 30, 86400},
+	{"max_wal_size", CatLogging, TypeBytes, 1 << 30, 32 << 20, 1 << 40},
+	{"temp_buffers", CatMemory, TypeBytes, 8 << 20, 1 << 20, 16 << 30},
+	{"enable_seqscan", CatOptimizer, TypeBool, 1, 0, 1},
+	{"enable_indexscan", CatOptimizer, TypeBool, 1, 0, 1},
+	{"enable_hashjoin", CatOptimizer, TypeBool, 1, 0, 1},
+	{"enable_nestloop", CatOptimizer, TypeBool, 1, 0, 1},
+	{"enable_mergejoin", CatOptimizer, TypeBool, 1, 0, 1},
+	{"jit", CatOptimizer, TypeBool, 1, 0, 1},
+}
+
+// mysqlParams is the tunable-parameter catalog of the MySQL flavor.
+var mysqlParams = []ParamDef{
+	{"innodb_buffer_pool_size", CatMemory, TypeBytes, 128 << 20, 5 << 20, 256 << 30},
+	{"innodb_buffer_pool_instances", CatMemory, TypeInt, 1, 1, 64},
+	{"sort_buffer_size", CatMemory, TypeBytes, 256 << 10, 32 << 10, 16 << 30},
+	{"join_buffer_size", CatMemory, TypeBytes, 256 << 10, 128, 16 << 30},
+	{"tmp_table_size", CatMemory, TypeBytes, 16 << 20, 1 << 10, 64 << 30},
+	{"max_heap_table_size", CatMemory, TypeBytes, 16 << 20, 16 << 10, 64 << 30},
+	{"read_buffer_size", CatIO, TypeBytes, 128 << 10, 8 << 10, 2 << 30},
+	{"read_rnd_buffer_size", CatIO, TypeBytes, 256 << 10, 1 << 10, 2 << 30},
+	{"innodb_io_capacity", CatIO, TypeInt, 200, 100, 100000},
+	{"innodb_read_io_threads", CatIO, TypeInt, 4, 1, 64},
+	{"innodb_flush_log_at_trx_commit", CatLogging, TypeInt, 1, 0, 2},
+	{"innodb_log_file_size", CatLogging, TypeBytes, 48 << 20, 4 << 20, 16 << 30},
+	{"innodb_log_buffer_size", CatLogging, TypeBytes, 16 << 20, 1 << 20, 4 << 30},
+	{"max_connections", CatMemory, TypeInt, 151, 1, 100000},
+	{"table_open_cache", CatMemory, TypeInt, 4000, 1, 500000},
+	{"optimizer_search_depth", CatOptimizer, TypeInt, 62, 0, 62},
+	{"innodb_stats_persistent_sample_pages", CatOptimizer, TypeInt, 20, 1, 100000},
+	{"innodb_adaptive_hash_index", CatOptimizer, TypeBool, 1, 0, 1},
+}
+
+// ParamCatalog gives access to a flavor's parameter definitions.
+type ParamCatalog struct {
+	flavor Flavor
+	byName map[string]ParamDef
+}
+
+// Params returns the parameter catalog for a flavor.
+func Params(f Flavor) *ParamCatalog {
+	defs := postgresParams
+	if f == MySQL {
+		defs = mysqlParams
+	}
+	pc := &ParamCatalog{flavor: f, byName: make(map[string]ParamDef, len(defs))}
+	for _, d := range defs {
+		pc.byName[d.Name] = d
+	}
+	return pc
+}
+
+// Lookup returns the definition of a parameter.
+func (pc *ParamCatalog) Lookup(name string) (ParamDef, bool) {
+	d, ok := pc.byName[strings.ToLower(name)]
+	return d, ok
+}
+
+// Names returns all parameter names, sorted.
+func (pc *ParamCatalog) Names() []string {
+	out := make([]string, 0, len(pc.byName))
+	for n := range pc.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseValue parses a configuration value string ("15GB", "0.9", "on") into
+// the parameter's numeric domain and clamps it to [Min, Max].
+func (pc *ParamCatalog) ParseValue(name, raw string) (float64, error) {
+	def, ok := pc.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("engine: unknown parameter %q for %s", name, pc.flavor)
+	}
+	raw = strings.TrimSpace(strings.Trim(raw, "'\""))
+	var v float64
+	switch def.Type {
+	case TypeBool:
+		switch strings.ToLower(raw) {
+		case "on", "true", "1", "yes":
+			v = 1
+		case "off", "false", "0", "no":
+			v = 0
+		default:
+			return 0, fmt.Errorf("engine: bad boolean %q for %s", raw, name)
+		}
+	case TypeBytes:
+		b, err := parseBytes(raw)
+		if err != nil {
+			return 0, fmt.Errorf("engine: %s: %v", name, err)
+		}
+		v = float64(b)
+	default:
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return 0, fmt.Errorf("engine: bad numeric value %q for %s", raw, name)
+		}
+		v = f
+	}
+	if v < def.Min {
+		v = def.Min
+	}
+	if v > def.Max {
+		v = def.Max
+	}
+	return v, nil
+}
+
+// parseBytes parses "16MB", "1 GB", "512kB", "8192", "2TB".
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	suffixes := []struct {
+		suf string
+		mul int64
+	}{
+		{"TB", 1 << 40}, {"GB", 1 << 30}, {"MB", 1 << 20}, {"KB", 1 << 10}, {"B", 1},
+	}
+	num := upper
+	for _, sf := range suffixes {
+		if strings.HasSuffix(upper, sf.suf) {
+			mult = sf.mul
+			num = strings.TrimSpace(strings.TrimSuffix(upper, sf.suf))
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte size %q", s)
+	}
+	return int64(f * float64(mult)), nil
+}
+
+// FormatBytes renders a byte count in the largest whole unit.
+func FormatBytes(b int64) string {
+	switch {
+	case b >= 1<<30 && b%(1<<30) == 0:
+		return fmt.Sprintf("%dGB", b>>30)
+	case b >= 1<<20 && b%(1<<20) == 0:
+		return fmt.Sprintf("%dMB", b>>20)
+	case b >= 1<<10 && b%(1<<10) == 0:
+		return fmt.Sprintf("%dkB", b>>10)
+	}
+	return fmt.Sprintf("%dB", b)
+}
+
+// Settings is a parameter assignment: parameter name → parsed numeric value.
+type Settings map[string]float64
+
+// Defaults returns the default settings for a flavor.
+func (pc *ParamCatalog) Defaults() Settings {
+	s := make(Settings, len(pc.byName))
+	for name, def := range pc.byName {
+		s[name] = def.Default
+	}
+	return s
+}
+
+// Clone copies the settings.
+func (s Settings) Clone() Settings {
+	out := make(Settings, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// effects is the engine-internal view of a settings map: the knobs that the
+// cost model actually consumes, normalized across flavors.
+type effects struct {
+	bufferBytes       int64   // shared_buffers / innodb_buffer_pool_size
+	workMemBytes      int64   // work_mem / max(sort_buffer, join_buffer)
+	maintenanceBytes  int64   // maintenance_work_mem (PG only)
+	effectiveCache    int64   // effective_cache_size (PG; MySQL: buffer pool)
+	randomPageCost    float64 // optimizer constant
+	seqPageCost       float64
+	cpuTupleCost      float64
+	cpuIndexTupleCost float64
+	cpuOperatorCost   float64
+	parallelWorkers   int
+	ioConcurrency     int
+	enableSeqScan     bool
+	enableIndexScan   bool
+	enableHashJoin    bool
+	enableNestLoop    bool
+}
+
+// deriveEffects normalizes flavor-specific settings into cost-model knobs.
+func deriveEffects(f Flavor, s Settings) effects {
+	e := effects{
+		enableSeqScan: true, enableIndexScan: true,
+		enableHashJoin: true, enableNestLoop: true,
+	}
+	get := func(name, fallback string) float64 {
+		if v, ok := s[name]; ok {
+			return v
+		}
+		if fallback != "" {
+			if v, ok := s[fallback]; ok {
+				return v
+			}
+		}
+		return 0
+	}
+	if f == Postgres {
+		e.bufferBytes = int64(get("shared_buffers", ""))
+		e.workMemBytes = int64(get("work_mem", ""))
+		e.maintenanceBytes = int64(get("maintenance_work_mem", ""))
+		e.effectiveCache = int64(get("effective_cache_size", ""))
+		e.randomPageCost = get("random_page_cost", "")
+		e.seqPageCost = get("seq_page_cost", "")
+		e.cpuTupleCost = get("cpu_tuple_cost", "")
+		e.cpuIndexTupleCost = get("cpu_index_tuple_cost", "")
+		e.cpuOperatorCost = get("cpu_operator_cost", "")
+		e.parallelWorkers = int(get("max_parallel_workers_per_gather", ""))
+		e.ioConcurrency = int(get("effective_io_concurrency", ""))
+		e.enableSeqScan = get("enable_seqscan", "") != 0
+		e.enableIndexScan = get("enable_indexscan", "") != 0
+		e.enableHashJoin = get("enable_hashjoin", "") != 0
+		e.enableNestLoop = get("enable_nestloop", "") != 0
+		return e
+	}
+	// MySQL.
+	e.bufferBytes = int64(get("innodb_buffer_pool_size", ""))
+	sb := int64(get("sort_buffer_size", ""))
+	jb := int64(get("join_buffer_size", ""))
+	e.workMemBytes = sb
+	if jb > sb {
+		e.workMemBytes = jb
+	}
+	// Temp tables extend effective working memory for large joins.
+	if t := int64(get("tmp_table_size", "")); t > e.workMemBytes {
+		e.workMemBytes = t
+	}
+	e.maintenanceBytes = e.workMemBytes
+	e.effectiveCache = e.bufferBytes
+	// MySQL has no user-visible optimizer cost constants in our model; use
+	// PostgreSQL-like defaults for the planner.
+	e.randomPageCost = 4.0
+	e.seqPageCost = 1.0
+	e.cpuTupleCost = 0.01
+	e.cpuIndexTupleCost = 0.005
+	e.cpuOperatorCost = 0.0025
+	e.parallelWorkers = 0 // MySQL 8 executes single-threaded per query
+	e.ioConcurrency = int(get("innodb_io_capacity", "")) / 200
+	return e
+}

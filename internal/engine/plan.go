@@ -1,0 +1,109 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"lambdatune/internal/sqlparser"
+)
+
+// StepKind identifies the operator of a plan step.
+type StepKind int
+
+// Plan step kinds.
+const (
+	StepSeqScan StepKind = iota
+	StepIndexScan
+	StepHashJoin
+	StepMergeJoin
+	StepIndexNLJoin
+	StepNestLoop
+	StepAggregate
+)
+
+func (k StepKind) String() string {
+	switch k {
+	case StepSeqScan:
+		return "SeqScan"
+	case StepIndexScan:
+		return "IndexScan"
+	case StepHashJoin:
+		return "HashJoin"
+	case StepMergeJoin:
+		return "MergeJoin"
+	case StepIndexNLJoin:
+		return "IndexNLJoin"
+	case StepNestLoop:
+		return "NestLoop"
+	case StepAggregate:
+		return "Aggregate"
+	}
+	return "?"
+}
+
+// PlanStep is one operator of a left-deep plan.
+type PlanStep struct {
+	Kind  StepKind
+	Table string // scanned or joined-in table ("" for Aggregate)
+	// Join is the condition evaluated by a join step (nil for scans,
+	// aggregates, and cartesian NestLoop steps).
+	Join *sqlparser.JoinCondition
+	// EstCost is the optimizer's estimated cost of this step in planner
+	// units (depends on the tunable cost constants).
+	EstCost float64
+	// TrueSeconds is the simulated execution time of this step.
+	TrueSeconds float64
+	// OutRows is the estimated output cardinality after the step.
+	OutRows float64
+}
+
+// Plan is a left-deep execution plan: a scan followed by join steps and a
+// final aggregation step.
+type Plan struct {
+	Steps []PlanStep
+}
+
+// EstCost is the optimizer's total estimated cost.
+func (p *Plan) EstCost() float64 {
+	var sum float64
+	for _, s := range p.Steps {
+		sum += s.EstCost
+	}
+	return sum
+}
+
+// TrueSeconds is the total simulated runtime.
+func (p *Plan) TrueSeconds() float64 {
+	var sum float64
+	for _, s := range p.Steps {
+		sum += s.TrueSeconds
+	}
+	return sum
+}
+
+// String renders the plan in an EXPLAIN-like form.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for i, s := range p.Steps {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "%*s%s", i*2, "", s.Kind)
+		if s.Table != "" {
+			fmt.Fprintf(&sb, " %s", s.Table)
+		}
+		if s.Join != nil {
+			fmt.Fprintf(&sb, " on %s", s.Join)
+		}
+		fmt.Fprintf(&sb, " (cost=%.1f rows=%.0f time=%.3fs)", s.EstCost, s.OutRows, s.TrueSeconds)
+	}
+	return sb.String()
+}
+
+// JoinCost pairs a join condition with the optimizer's estimated cost of the
+// join operator evaluating it, as returned by EXPLAIN. λ-Tune's workload
+// compressor sums these into snippet values V(p) (paper §3.2).
+type JoinCost struct {
+	Condition sqlparser.JoinCondition
+	EstCost   float64
+}

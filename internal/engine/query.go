@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"fmt"
+
+	"lambdatune/internal/sqlparser"
+)
+
+// Query is a prepared workload query: SQL text plus its parsed and analyzed
+// form. Preparing once amortizes parsing across the many evaluations a
+// tuning run performs.
+type Query struct {
+	Name     string
+	SQL      string
+	Stmt     *sqlparser.SelectStmt
+	Analysis sqlparser.Analysis
+}
+
+// PrepareQuery parses and analyzes one query.
+func PrepareQuery(name, sql string) (*Query, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("engine: query %s: %w", name, err)
+	}
+	return &Query{Name: name, SQL: sql, Stmt: stmt, Analysis: sqlparser.Analyze(stmt)}, nil
+}
+
+// MustPrepareQuery is PrepareQuery that panics on error; for fixed benchmark
+// query sets covered by tests.
+func MustPrepareQuery(name, sql string) *Query {
+	q, err := PrepareQuery(name, sql)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// ExecResult reports one query execution.
+type ExecResult struct {
+	// Seconds is the simulated time consumed (equals the timeout when the
+	// query was interrupted).
+	Seconds float64
+	// Complete is false when the query hit the timeout.
+	Complete bool
+}

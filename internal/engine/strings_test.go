@@ -1,0 +1,74 @@
+package engine
+
+import "testing"
+
+func TestFlavorString(t *testing.T) {
+	if Postgres.String() != "PostgreSQL" || MySQL.String() != "MySQL" {
+		t.Errorf("flavor strings: %s, %s", Postgres, MySQL)
+	}
+}
+
+func TestStepKindStrings(t *testing.T) {
+	kinds := []StepKind{StepSeqScan, StepIndexScan, StepHashJoin, StepMergeJoin, StepIndexNLJoin, StepNestLoop, StepAggregate}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "?" || s == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestParamCategoryStrings(t *testing.T) {
+	for _, c := range []ParamCategory{CatMemory, CatOptimizer, CatIO, CatParallel, CatLogging} {
+		if c.String() == "Other" || c.String() == "" {
+			t.Errorf("category %d has no name", c)
+		}
+	}
+}
+
+func TestJoinKindStrings(t *testing.T) {
+	// Every parameter in both catalogs is self-consistent: default within
+	// [min, max], name lower-case.
+	for _, f := range []Flavor{Postgres, MySQL} {
+		pc := Params(f)
+		for _, name := range pc.Names() {
+			def, ok := pc.Lookup(name)
+			if !ok {
+				t.Fatalf("lookup %s failed", name)
+			}
+			if def.Default < def.Min || def.Default > def.Max {
+				t.Errorf("%s %s: default %v outside [%v, %v]", f, name, def.Default, def.Min, def.Max)
+			}
+		}
+	}
+}
+
+func TestDBString(t *testing.T) {
+	db := NewDB(Postgres, testCatalog(), DefaultHardware)
+	if db.String() == "" {
+		t.Error("empty DB string")
+	}
+}
+
+func TestIndexDefSQLAndString(t *testing.T) {
+	d := NewIndexDef("T1", "ColA", "colB")
+	if d.Key() != "t1(cola+colb)" {
+		t.Errorf("key: %s", d.Key())
+	}
+	if d.SQL() != "CREATE INDEX idx_t1_cola_colb ON t1 (cola, colb);" {
+		t.Errorf("sql: %s", d.SQL())
+	}
+	if d.String() == "" {
+		t.Error("empty index string")
+	}
+	// Named index keeps its name in SQL.
+	d.Name = "myidx"
+	if d.SQL() != "CREATE INDEX myidx ON t1 (cola, colb);" {
+		t.Errorf("named sql: %s", d.SQL())
+	}
+}

@@ -1,0 +1,342 @@
+// Package ilp solves 0-1 integer linear programs by branch and bound with
+// LP-relaxation bounds (using internal/lp's simplex). λ-Tune's workload
+// compressor (paper §3.3) uses it to pick the value-maximal set of join
+// snippets under a prompt token budget.
+package ilp
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"lambdatune/internal/lp"
+)
+
+// Problem is a binary integer program: maximize Obj·x subject to A·x ≤ B with
+// x ∈ {0,1}ⁿ.
+type Problem struct {
+	Obj []float64
+	A   [][]float64
+	B   []float64
+}
+
+// Solution is the optimal binary assignment.
+type Solution struct {
+	// Feasible reports whether any binary assignment satisfies the
+	// constraints.
+	Feasible bool
+	X        []bool
+	// Objective is Obj·X (0 when infeasible).
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Proven reports whether the search ran to completion; when false the
+	// node budget was exhausted and X is the best incumbent found (an
+	// anytime result, never worse than the greedy warm start).
+	Proven bool
+}
+
+// ErrTooLarge guards against accidentally huge instances.
+var ErrTooLarge = errors.New("ilp: more than 4096 variables")
+
+const intEps = 1e-6
+
+// DefaultNodeBudget bounds branch-and-bound size for Solve; use
+// SolveBudget for a custom cap.
+const DefaultNodeBudget = 1500
+
+// Solve runs branch and bound with the default node budget. A greedy warm
+// start supplies the incumbent; each node solves the LP relaxation (with
+// fixed variables folded into the constraints) and branches on the most
+// fractional variable. When the node budget is exhausted, the best
+// incumbent is returned with Proven == false.
+func Solve(p Problem) (Solution, error) { return SolveBudget(p, DefaultNodeBudget) }
+
+// SolveBudget is Solve with an explicit node budget (0 = unlimited).
+func SolveBudget(p Problem, nodeBudget int) (Solution, error) {
+	n := len(p.Obj)
+	if n > 4096 {
+		return Solution{}, ErrTooLarge
+	}
+	if len(p.B) != len(p.A) {
+		return Solution{}, errors.New("ilp: len(B) != len(A)")
+	}
+	for _, row := range p.A {
+		if len(row) != n {
+			return Solution{}, errors.New("ilp: row width != len(Obj)")
+		}
+	}
+	if n == 0 {
+		feasible := true
+		for _, b := range p.B {
+			if b < -intEps {
+				feasible = false
+			}
+		}
+		return Solution{Feasible: feasible}, nil
+	}
+
+	s := &solver{p: p, n: n, budget: nodeBudget}
+	if x, obj, ok := s.greedy(); ok {
+		s.bestX = x
+		s.bestObj = obj
+		s.hasBest = true
+	}
+	fixed := make([]int8, n) // 0 free, 1 fixed at 0, 2 fixed at 1
+	s.branch(fixed)
+	proven := s.budget == 0 || s.nodes < s.budget
+	if !s.hasBest {
+		return Solution{Feasible: false, Nodes: s.nodes, Proven: proven}, nil
+	}
+	return Solution{Feasible: true, X: s.bestX, Objective: s.bestObj, Nodes: s.nodes, Proven: proven}, nil
+}
+
+type solver struct {
+	p       Problem
+	n       int
+	bestX   []bool
+	bestObj float64
+	hasBest bool
+	nodes   int
+	budget  int
+}
+
+const (
+	free   int8 = 0
+	fixed0 int8 = 1
+	fixed1 int8 = 2
+)
+
+// greedy builds a feasible incumbent by adding variables in decreasing
+// objective-per-unit-weight order, skipping any that break feasibility.
+func (s *solver) greedy() ([]bool, float64, bool) {
+	type cand struct {
+		idx   int
+		score float64
+	}
+	cands := make([]cand, 0, s.n)
+	for j := 0; j < s.n; j++ {
+		if s.p.Obj[j] <= 0 {
+			continue
+		}
+		w := 0.0
+		for i := range s.p.A {
+			if s.p.A[i][j] > 0 {
+				w += s.p.A[i][j]
+			}
+		}
+		score := s.p.Obj[j]
+		if w > 0 {
+			score = s.p.Obj[j] / w
+		}
+		cands = append(cands, cand{j, score})
+	}
+	sort.Slice(cands, func(a, b int) bool { return cands[a].score > cands[b].score })
+
+	x := make([]bool, s.n)
+	slack := append([]float64(nil), s.p.B...)
+	obj := 0.0
+	feasible := true
+	for i, b := range slack {
+		_ = i
+		if b < -intEps {
+			feasible = false
+		}
+	}
+	if !feasible {
+		return nil, 0, false
+	}
+	for _, c := range cands {
+		ok := true
+		for i := range s.p.A {
+			if slack[i]-s.p.A[i][c.idx] < -intEps {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		x[c.idx] = true
+		obj += s.p.Obj[c.idx]
+		for i := range s.p.A {
+			slack[i] -= s.p.A[i][c.idx]
+		}
+	}
+	return x, obj, true
+}
+
+// branch explores the subproblem where variables are fixed per `fixed`.
+func (s *solver) branch(fixed []int8) {
+	if s.budget > 0 && s.nodes >= s.budget {
+		return
+	}
+	s.nodes++
+	sol, state := s.relax(fixed)
+	switch state {
+	case relaxInfeasible:
+		return // infeasible subtree
+	case relaxUnknown:
+		// LP stalled: no valid bound; branch blindly on the first free
+		// variable (rare, numerical-degeneracy backstop).
+		for j := 0; j < s.n; j++ {
+			if fixed[j] == free {
+				down := append([]int8(nil), fixed...)
+				down[j] = fixed1
+				s.branch(down)
+				down[j] = fixed0
+				s.branch(down)
+				return
+			}
+		}
+		// All fixed: check feasibility directly.
+		s.tryIncumbentFromFixed(fixed)
+		return
+	}
+	if s.hasBest && sol.Objective <= s.bestObj+intEps+1e-9*math.Abs(s.bestObj) {
+		return // bound: cannot beat incumbent
+	}
+	// Find most fractional free variable.
+	branchVar := -1
+	bestFrac := intEps
+	for j := 0; j < s.n; j++ {
+		if fixed[j] != free {
+			continue
+		}
+		f := math.Abs(sol.X[j] - math.Round(sol.X[j]))
+		if f > bestFrac {
+			bestFrac = f
+			branchVar = j
+		}
+	}
+	if branchVar < 0 {
+		// Integral solution: candidate incumbent.
+		x := make([]bool, s.n)
+		obj := 0.0
+		for j := 0; j < s.n; j++ {
+			v := fixed[j] == fixed1 || (fixed[j] == free && sol.X[j] > 0.5)
+			x[j] = v
+			if v {
+				obj += s.p.Obj[j]
+			}
+		}
+		if !s.hasBest || obj > s.bestObj {
+			s.bestX = x
+			s.bestObj = obj
+			s.hasBest = true
+		}
+		return
+	}
+	// Branch x=1 first (tends to find good incumbents sooner for knapsacks).
+	down := append([]int8(nil), fixed...)
+	down[branchVar] = fixed1
+	s.branch(down)
+	down[branchVar] = fixed0
+	s.branch(down)
+}
+
+// tryIncumbentFromFixed treats a fully fixed assignment as a candidate
+// incumbent if it satisfies all constraints.
+func (s *solver) tryIncumbentFromFixed(fixed []int8) {
+	obj := 0.0
+	for i := range s.p.A {
+		lhs := 0.0
+		for j := 0; j < s.n; j++ {
+			if fixed[j] == fixed1 {
+				lhs += s.p.A[i][j]
+			}
+		}
+		if lhs > s.p.B[i]+intEps {
+			return
+		}
+	}
+	x := make([]bool, s.n)
+	for j := 0; j < s.n; j++ {
+		if fixed[j] == fixed1 {
+			x[j] = true
+			obj += s.p.Obj[j]
+		}
+	}
+	if !s.hasBest || obj > s.bestObj {
+		s.bestX, s.bestObj, s.hasBest = x, obj, true
+	}
+}
+
+// relaxState classifies a relaxation outcome.
+type relaxState int
+
+const (
+	relaxOK relaxState = iota
+	relaxInfeasible
+	relaxUnknown
+)
+
+// relax solves the LP relaxation with fixed variables substituted out.
+// Free variables get an explicit ≤ 1 row. Right-hand sides receive a tiny
+// deterministic perturbation that breaks the massive degeneracy of 0-RHS
+// coupling constraints; enlarging b only loosens the relaxation, so the
+// returned objective remains a valid upper bound.
+func (s *solver) relax(fixed []int8) (lp.Solution, relaxState) {
+	freeIdx := make([]int, 0, s.n)
+	for j := 0; j < s.n; j++ {
+		if fixed[j] == free {
+			freeIdx = append(freeIdx, j)
+		}
+	}
+	nf := len(freeIdx)
+	rows := make([][]float64, 0, len(s.p.A)+nf)
+	rhs := make([]float64, 0, len(s.p.A)+nf)
+	for i := range s.p.A {
+		row := make([]float64, nf)
+		b := s.p.B[i] + 1e-7*float64(1+i%11) // anti-degeneracy perturbation
+		for j := 0; j < s.n; j++ {
+			if fixed[j] == fixed1 {
+				b -= s.p.A[i][j]
+			}
+		}
+		for k, j := range freeIdx {
+			row[k] = s.p.A[i][j]
+		}
+		rows = append(rows, row)
+		rhs = append(rhs, b)
+	}
+	for k := range freeIdx {
+		row := make([]float64, nf)
+		row[k] = 1
+		rows = append(rows, row)
+		rhs = append(rhs, 1)
+	}
+	obj := make([]float64, nf)
+	base := 0.0
+	for j := 0; j < s.n; j++ {
+		if fixed[j] == fixed1 {
+			base += s.p.Obj[j]
+		}
+	}
+	for k, j := range freeIdx {
+		obj[k] = s.p.Obj[j]
+	}
+	sol, err := lp.Solve(lp.Problem{Obj: obj, A: rows, B: rhs})
+	if err != nil {
+		return lp.Solution{}, relaxUnknown
+	}
+	switch sol.Status {
+	case lp.Infeasible:
+		return lp.Solution{}, relaxInfeasible
+	case lp.Stalled, lp.Unbounded:
+		// Unbounded cannot happen with the explicit ≤1 rows; treat both as
+		// "no usable bound".
+		return lp.Solution{}, relaxUnknown
+	}
+	// Re-expand to full variable space for the caller.
+	full := make([]float64, s.n)
+	for j := 0; j < s.n; j++ {
+		if fixed[j] == fixed1 {
+			full[j] = 1
+		}
+	}
+	for k, j := range freeIdx {
+		full[j] = sol.X[k]
+	}
+	return lp.Solution{Status: lp.Optimal, X: full, Objective: sol.Objective + base}, relaxOK
+}

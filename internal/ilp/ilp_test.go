@@ -1,0 +1,222 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestKnapsackSmall(t *testing.T) {
+	// Classic: values 60,100,120, weights 10,20,30, cap 50 → 220 (items 2,3).
+	s := solveOK(t, Problem{
+		Obj: []float64{60, 100, 120},
+		A:   [][]float64{{10, 20, 30}},
+		B:   []float64{50},
+	})
+	if !s.Feasible || math.Abs(s.Objective-220) > 1e-6 {
+		t.Fatalf("got %+v", s)
+	}
+	if s.X[0] || !s.X[1] || !s.X[2] {
+		t.Errorf("selection: %v", s.X)
+	}
+}
+
+func TestGreedyIsNotOptimalHere(t *testing.T) {
+	// Greedy by ratio picks item 0 (ratio 6.0), leaving capacity 8 that
+	// fits nothing else → 60. The optimum is items 1+2 → 100.
+	s := solveOK(t, Problem{
+		Obj: []float64{60, 50, 50},
+		A:   [][]float64{{10, 9, 9}},
+		B:   []float64{18},
+	})
+	if math.Abs(s.Objective-100) > 1e-6 {
+		t.Errorf("objective: %v (X=%v)", s.Objective, s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x1 + x2 >= 3 impossible with two binaries: -x1 - x2 <= -3.
+	s := solveOK(t, Problem{
+		Obj: []float64{1, 1},
+		A:   [][]float64{{-1, -1}},
+		B:   []float64{-3},
+	})
+	if s.Feasible {
+		t.Errorf("expected infeasible, got %+v", s)
+	}
+}
+
+func TestImplicationConstraint(t *testing.T) {
+	// λ-Tune-style: R <= L (snippet needs its LHS column), maximize value of
+	// R with token cost. Variables: L, R. Obj: R worth 10, L worth 0.
+	// Cost: L costs 3, R costs 2, budget 5. Constraint R - L <= 0.
+	s := solveOK(t, Problem{
+		Obj: []float64{0, 10},
+		A: [][]float64{
+			{3, 2},  // token budget
+			{-1, 1}, // R <= L
+		},
+		B: []float64{5, 0},
+	})
+	if !s.Feasible || !s.X[0] || !s.X[1] {
+		t.Fatalf("got %+v", s)
+	}
+	if math.Abs(s.Objective-10) > 1e-6 {
+		t.Errorf("objective: %v", s.Objective)
+	}
+}
+
+func TestBudgetExcludesDependentPair(t *testing.T) {
+	// Same as above but budget 4 < 3+2: must select nothing valuable.
+	s := solveOK(t, Problem{
+		Obj: []float64{0, 10},
+		A: [][]float64{
+			{3, 2},
+			{-1, 1},
+		},
+		B: []float64{4, 0},
+	})
+	if s.X[1] {
+		t.Errorf("R selected despite budget: %+v", s)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	s := solveOK(t, Problem{})
+	if !s.Feasible || s.Objective != 0 {
+		t.Errorf("got %+v", s)
+	}
+}
+
+func TestNegativeObjectiveSkipped(t *testing.T) {
+	s := solveOK(t, Problem{
+		Obj: []float64{-5, 3},
+		A:   [][]float64{{1, 1}},
+		B:   []float64{2},
+	})
+	if s.X[0] || !s.X[1] {
+		t.Errorf("selection: %v", s.X)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	p := Problem{Obj: make([]float64, 5000)}
+	if _, err := Solve(p); err == nil {
+		t.Error("expected ErrTooLarge")
+	}
+}
+
+func TestShapeErrors(t *testing.T) {
+	if _, err := Solve(Problem{Obj: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("expected row-width error")
+	}
+	if _, err := Solve(Problem{Obj: []float64{1}, A: [][]float64{{1}}, B: nil}); err == nil {
+		t.Error("expected B-length error")
+	}
+}
+
+// exhaustive computes the true optimum by enumeration (n <= 16).
+func exhaustive(p Problem) (float64, bool) {
+	n := len(p.Obj)
+	best, found := 0.0, false
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		for i, row := range p.A {
+			lhs := 0.0
+			for j := 0; j < n; j++ {
+				if mask&(1<<j) != 0 {
+					lhs += row[j]
+				}
+			}
+			if lhs > p.B[i]+1e-9 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		obj := 0.0
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				obj += p.Obj[j]
+			}
+		}
+		if !found || obj > best {
+			best, found = obj, true
+		}
+	}
+	return best, found
+}
+
+// TestAgainstExhaustive cross-checks B&B against brute force on random
+// knapsack-with-side-constraints instances.
+func TestAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 1 + rng.Intn(3)
+		p := Problem{Obj: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := range p.Obj {
+			p.Obj[j] = float64(rng.Intn(20))
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, n)
+			for j := range p.A[i] {
+				p.A[i][j] = float64(rng.Intn(8))
+			}
+			p.B[i] = float64(rng.Intn(15))
+		}
+		want, wantFeas := exhaustive(p)
+		got := solveOK(t, p)
+		if got.Feasible != wantFeas {
+			t.Fatalf("trial %d: feasibility mismatch", trial)
+		}
+		if wantFeas && math.Abs(got.Objective-want) > 1e-6 {
+			t.Errorf("trial %d: got %v, want %v", trial, got.Objective, want)
+		}
+	}
+}
+
+// TestSolutionFeasibility: returned assignments must satisfy all constraints.
+func TestSolutionFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + rng.Intn(10)
+		p := Problem{Obj: make([]float64, n), A: make([][]float64, 2), B: make([]float64, 2)}
+		for j := range p.Obj {
+			p.Obj[j] = rng.Float64() * 10
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, n)
+			for j := range p.A[i] {
+				p.A[i][j] = rng.Float64() * 5
+			}
+			p.B[i] = rng.Float64() * 12
+		}
+		s := solveOK(t, p)
+		if !s.Feasible {
+			t.Fatalf("trial %d: all-zero is always feasible with b>=0", trial)
+		}
+		for i, row := range p.A {
+			lhs := 0.0
+			for j := range row {
+				if s.X[j] {
+					lhs += row[j]
+				}
+			}
+			if lhs > p.B[i]+1e-6 {
+				t.Errorf("trial %d: constraint %d violated", trial, i)
+			}
+		}
+	}
+}

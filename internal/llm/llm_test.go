@@ -1,0 +1,193 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+
+	"lambdatune/internal/engine"
+)
+
+func TestCountTokens(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+	}{
+		{"", 0},
+		{"word", 1},
+		{"twelveletter", 3},
+		{"a b c", 3},
+		{"a.b", 3}, // a + "." + b
+		{"  spaced   out  ", 3},
+	}
+	for _, c := range cases {
+		if got := CountTokens(c.in); got != c.want {
+			t.Errorf("CountTokens(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCountTokensMonotone(t *testing.T) {
+	// Adding text never reduces the token count.
+	base := "SELECT a FROM t WHERE x = 1"
+	if CountTokens(base) >= CountTokens(base+" AND y = 2") {
+		t.Error("token count not monotone")
+	}
+}
+
+const testPrompt = `Recommend some configuration parameters for PostgreSQL to
+optimize the system's performance.
+Each row in the following list has the following format:
+{a join key A}:{all the joins with A in the workload}
+lineitem.l_orderkey: orders.o_orderkey
+lineitem.l_partkey: part.p_partkey, partsupp.ps_partkey
+orders.o_custkey: customer.c_custkey
+The workload runs on a system with the following specs:
+memory: 61 GB
+cores: 8
+`
+
+func TestSimClientDeterministicAtZeroTemperature(t *testing.T) {
+	c1 := NewSimClient(1)
+	c2 := NewSimClient(1)
+	r1, err := c1.Complete(testPrompt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := c2.Complete(testPrompt, 0)
+	if r1 != r2 {
+		t.Error("same seed, same prompt, temp 0: different outputs")
+	}
+}
+
+func TestSimClientParsesHardware(t *testing.T) {
+	c := NewSimClient(1)
+	out, err := c.Complete(testPrompt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 25% of 61 GB = 15 GB.
+	if !strings.Contains(out, "shared_buffers = '15GB'") {
+		t.Errorf("shared_buffers not 25%% of RAM:\n%s", out)
+	}
+	if !strings.Contains(out, "effective_cache_size = '45GB'") {
+		t.Errorf("effective_cache_size not 75%% of RAM:\n%s", out)
+	}
+}
+
+func TestSimClientRecommendsIndexesFromSnippets(t *testing.T) {
+	c := NewSimClient(1)
+	out, _ := c.Complete(testPrompt, 0)
+	for _, want := range []string{
+		"CREATE INDEX idx_lineitem_l_orderkey ON lineitem (l_orderkey);",
+		"CREATE INDEX idx_orders_o_custkey ON orders (o_custkey);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimClientOutputParseable(t *testing.T) {
+	c := NewSimClient(42)
+	for i := 0; i < 20; i++ {
+		out, err := c.Complete(testPrompt, 0.7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := engine.ParseScript(engine.Postgres, "t", out); err != nil {
+			t.Fatalf("unparseable LLM output: %v\n%s", err, out)
+		}
+	}
+}
+
+func TestSimClientMySQLDialect(t *testing.T) {
+	prompt := strings.Replace(testPrompt, "PostgreSQL", "MySQL", 1)
+	c := NewSimClient(1)
+	out, _ := c.Complete(prompt, 0)
+	if !strings.Contains(out, "SET GLOBAL innodb_buffer_pool_size") {
+		t.Errorf("MySQL dialect not used:\n%s", out)
+	}
+	if strings.Contains(out, "ALTER SYSTEM") {
+		t.Errorf("Postgres syntax in MySQL response:\n%s", out)
+	}
+	if _, _, err := engine.ParseScript(engine.MySQL, "t", out); err != nil {
+		t.Fatalf("unparseable: %v", err)
+	}
+}
+
+func TestSimClientFewerSnippetsFewerIndexes(t *testing.T) {
+	small := `Recommend configuration parameters for PostgreSQL.
+Each row in the following list has the following format:
+{a join key A}:{all the joins with A in the workload}
+lineitem.l_orderkey: orders.o_orderkey
+memory: 61 GB
+cores: 8
+`
+	c := NewSimClient(1)
+	outSmall, _ := c.Complete(small, 0)
+	c2 := NewSimClient(1)
+	outBig, _ := c2.Complete(testPrompt, 0)
+	if strings.Count(outSmall, "CREATE INDEX") >= strings.Count(outBig, "CREATE INDEX") {
+		t.Errorf("snippet count does not influence index count:\nsmall:\n%s\nbig:\n%s", outSmall, outBig)
+	}
+}
+
+func TestSimClientBadConfigsAppear(t *testing.T) {
+	c := NewSimClient(7)
+	c.BadConfigRate = 0.5
+	bad := 0
+	for i := 0; i < 40; i++ {
+		out, _ := c.Complete(testPrompt, 0.7)
+		if !strings.Contains(out, "CREATE INDEX") {
+			bad++
+		}
+	}
+	if bad == 0 {
+		t.Error("no bad configurations sampled at high temperature")
+	}
+	if bad == 40 {
+		t.Error("all configurations bad")
+	}
+}
+
+func TestSimClientNoBadConfigsAtZeroTemperature(t *testing.T) {
+	c := NewSimClient(7)
+	c.BadConfigRate = 1.0
+	for i := 0; i < 10; i++ {
+		out, _ := c.Complete(testPrompt, 0)
+		if !strings.Contains(out, "CREATE INDEX") {
+			t.Fatal("bad config at temperature 0")
+		}
+	}
+}
+
+func TestSimClientRawSQLFallback(t *testing.T) {
+	prompt := `Recommend configuration parameters for PostgreSQL.
+SELECT COUNT(*) FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey
+memory: 61 GB
+cores: 8
+`
+	c := NewSimClient(1)
+	out, _ := c.Complete(prompt, 0)
+	if !strings.Contains(out, "ON lineitem (l_orderkey)") {
+		t.Errorf("alias resolution from raw SQL failed:\n%s", out)
+	}
+}
+
+func TestSimClientEmptyPrompt(t *testing.T) {
+	c := NewSimClient(1)
+	if _, err := c.Complete("", 0.5); err == nil {
+		t.Error("empty prompt accepted")
+	}
+}
+
+func TestSimClientMissingHardwareConservative(t *testing.T) {
+	prompt := `Recommend configuration parameters for PostgreSQL.
+lineitem.l_orderkey: orders.o_orderkey
+`
+	c := NewSimClient(1)
+	out, _ := c.Complete(prompt, 0)
+	if strings.Contains(out, "15GB") {
+		t.Errorf("hardware guessed too aggressively without spec:\n%s", out)
+	}
+}

@@ -1,0 +1,163 @@
+package llm
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// The paper notes that λ-Tune "could easily be augmented via retrieval
+// augmented generation, enabling the LLM to parse additional information
+// from the Web". This file implements that extension: a retriever over a
+// document corpus plus a Client decorator that prepends the most relevant
+// documents to every prompt.
+
+// Document is one retrievable text, e.g. a manual section or a blog post.
+type Document struct {
+	Title string
+	Text  string
+}
+
+// Retriever ranks documents against a query by token overlap (a TF-style
+// score — no external embedding model is available offline, and keyword
+// retrieval is the classic RAG baseline).
+type Retriever struct {
+	docs []Document
+	// tokenized holds the lower-cased token multiset of each document.
+	tokenized []map[string]int
+}
+
+// NewRetriever indexes a corpus.
+func NewRetriever(docs []Document) *Retriever {
+	r := &Retriever{docs: docs, tokenized: make([]map[string]int, len(docs))}
+	for i, d := range docs {
+		r.tokenized[i] = tokenize(d.Title + " " + d.Text)
+	}
+	return r
+}
+
+var wordRe = regexp.MustCompile(`[a-zA-Z_][\w]*`)
+
+func tokenize(s string) map[string]int {
+	out := map[string]int{}
+	for _, w := range wordRe.FindAllString(strings.ToLower(s), -1) {
+		if len(w) > 2 { // drop stop-ish short tokens
+			out[w]++
+		}
+	}
+	return out
+}
+
+// Retrieve returns the k documents with the highest overlap score against
+// the query, best first. Documents with zero overlap are never returned.
+func (r *Retriever) Retrieve(query string, k int) []Document {
+	q := tokenize(query)
+	type scored struct {
+		idx   int
+		score float64
+	}
+	var hits []scored
+	for i, toks := range r.tokenized {
+		var s float64
+		for w := range q {
+			if c := toks[w]; c > 0 {
+				s += 1 + 0.1*float64(c)
+			}
+		}
+		if s > 0 {
+			hits = append(hits, scored{i, s})
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].score != hits[b].score {
+			return hits[a].score > hits[b].score
+		}
+		return hits[a].idx < hits[b].idx
+	})
+	if k > len(hits) {
+		k = len(hits)
+	}
+	out := make([]Document, k)
+	for i := 0; i < k; i++ {
+		out[i] = r.docs[hits[i].idx]
+	}
+	return out
+}
+
+// RAGClient decorates a Client with retrieval: the top-K documents matching
+// the prompt are prepended under a "Relevant documentation" header, giving
+// the model grounding beyond its pre-trained weights.
+type RAGClient struct {
+	Inner     Client
+	Retriever *Retriever
+	// K is the number of documents to attach (default 3).
+	K int
+}
+
+// NewRAGClient builds the decorator.
+func NewRAGClient(inner Client, docs []Document) *RAGClient {
+	return &RAGClient{Inner: inner, Retriever: NewRetriever(docs), K: 3}
+}
+
+// Name implements Client.
+func (c *RAGClient) Name() string { return c.Inner.Name() + "+rag" }
+
+// Complete implements Client.
+func (c *RAGClient) Complete(prompt string, temperature float64) (string, error) {
+	k := c.K
+	if k <= 0 {
+		k = 3
+	}
+	docs := c.Retriever.Retrieve(prompt, k)
+	if len(docs) == 0 {
+		return c.Inner.Complete(prompt, temperature)
+	}
+	var b strings.Builder
+	b.WriteString("Relevant documentation:\n")
+	for _, d := range docs {
+		fmt.Fprintf(&b, "[%s] %s\n", d.Title, d.Text)
+	}
+	b.WriteString("\n")
+	b.WriteString(prompt)
+	return c.Inner.Complete(b.String(), temperature)
+}
+
+// DefaultCorpus bundles excerpts in the spirit of the documents the paper's
+// systems mine (the PostgreSQL tuning wiki, the MySQL reference manual, and
+// well-known practitioner posts).
+func DefaultCorpus() []Document {
+	return []Document{
+		{
+			Title: "PostgreSQL wiki: Tuning Your PostgreSQL Server",
+			Text: "A reasonable starting value for shared_buffers is 25% of the memory " +
+				"in your system. For analytical PostgreSQL workloads, set effective_cache_size " +
+				"to 50-75% of RAM so the planner expects cached indexes.",
+		},
+		{
+			Title: "PostgreSQL on SSD storage",
+			Text: "On solid state drives, set random_page_cost to 1.1 and " +
+				"effective_io_concurrency to 200 so PostgreSQL issues concurrent reads.",
+		},
+		{
+			Title: "Parallel query in PostgreSQL",
+			Text: "Data warehouses should raise max_parallel_workers_per_gather to the " +
+				"core count; each gather node can then use all available PostgreSQL workers.",
+		},
+		{
+			Title: "MySQL reference manual: InnoDB buffer pool",
+			Text: "On a dedicated MySQL server, innodb_buffer_pool_size is commonly set " +
+				"to 70-80% of physical memory; larger pools reduce disk I/O.",
+		},
+		{
+			Title: "MySQL sort and join buffers",
+			Text: "Analytic MySQL queries with large in-memory sorts benefit from raising " +
+				"sort_buffer_size and join_buffer_size well beyond their defaults.",
+		},
+		{
+			Title: "Index design for star joins",
+			Text: "Create indexes on the join columns of the largest fact tables first; " +
+				"foreign key columns referenced by many queries are the best candidates.",
+		},
+	}
+}

@@ -1,0 +1,103 @@
+package llm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRetrieverRanksByOverlap(t *testing.T) {
+	r := NewRetriever([]Document{
+		{Title: "apples", Text: "apples are red fruit with seeds"},
+		{Title: "postgres", Text: "shared_buffers memory postgresql tuning"},
+		{Title: "mysql", Text: "innodb_buffer_pool_size mysql memory"},
+	})
+	got := r.Retrieve("tuning postgresql shared_buffers memory", 2)
+	if len(got) != 2 || got[0].Title != "postgres" {
+		t.Fatalf("retrieved: %+v", got)
+	}
+	// Zero-overlap docs never surface.
+	for _, d := range got {
+		if d.Title == "apples" {
+			t.Error("irrelevant document retrieved")
+		}
+	}
+}
+
+func TestRetrieveEmptyQuery(t *testing.T) {
+	r := NewRetriever(DefaultCorpus())
+	if got := r.Retrieve("zzzqqq", 3); len(got) != 0 {
+		t.Errorf("no-overlap query retrieved %d docs", len(got))
+	}
+}
+
+func TestRetrieveKClamped(t *testing.T) {
+	r := NewRetriever(DefaultCorpus())
+	got := r.Retrieve("postgresql memory", 100)
+	if len(got) > len(DefaultCorpus()) {
+		t.Errorf("retrieved more than corpus size: %d", len(got))
+	}
+}
+
+func TestRAGClientAugmentsPrompt(t *testing.T) {
+	var captured string
+	inner := clientFunc(func(prompt string, temp float64) (string, error) {
+		captured = prompt
+		return "ALTER SYSTEM SET work_mem = '64MB';", nil
+	})
+	rag := NewRAGClient(inner, DefaultCorpus())
+	out, err := rag.Complete(testPrompt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty response")
+	}
+	if !strings.Contains(captured, "Relevant documentation:") {
+		t.Error("prompt not augmented")
+	}
+	if !strings.Contains(captured, "PostgreSQL") {
+		t.Errorf("no postgres docs retrieved for a postgres prompt:\n%s", captured)
+	}
+	if !strings.HasSuffix(captured, testPrompt) {
+		t.Error("original prompt not preserved")
+	}
+}
+
+func TestRAGClientPassThroughOnNoHits(t *testing.T) {
+	inner := clientFunc(func(prompt string, temp float64) (string, error) {
+		return prompt, nil
+	})
+	rag := NewRAGClient(inner, []Document{{Title: "x", Text: "zzz qqq"}})
+	out, err := rag.Complete("completely unrelated words here", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "Relevant documentation") {
+		t.Error("augmented despite zero overlap")
+	}
+}
+
+func TestRAGClientName(t *testing.T) {
+	rag := NewRAGClient(NewSimClient(1), DefaultCorpus())
+	if rag.Name() != "sim-gpt4+rag" {
+		t.Errorf("name: %s", rag.Name())
+	}
+}
+
+// TestRAGWithSimClient: the augmented prompt must still parse cleanly (doc
+// lines must not be mistaken for workload snippets).
+func TestRAGWithSimClient(t *testing.T) {
+	rag := NewRAGClient(NewSimClient(1), DefaultCorpus())
+	out, err := rag.Complete(testPrompt, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shared_buffers = '15GB'") {
+		t.Errorf("hardware-derived recommendation lost under RAG:\n%s", out)
+	}
+}
+
+type clientFunc func(string, float64) (string, error)
+
+func (f clientFunc) Complete(p string, t float64) (string, error) { return f(p, t) }
+func (clientFunc) Name() string                                   { return "fn" }

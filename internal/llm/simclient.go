@@ -1,0 +1,377 @@
+package llm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// SimClient is the deterministic GPT-4 stand-in. It parses the λ-Tune prompt
+// (DBMS name, hardware spec, compressed workload or raw SQL) and emits a
+// complete configuration script. Randomization is driven by an explicit
+// seed, so experiment runs are reproducible.
+type SimClient struct {
+	rng *rand.Rand
+	// BadConfigRate is the probability (scaled by temperature) of emitting a
+	// deliberately poor configuration, modeling the LLM outliers of §6.3.
+	// The default of 0.25 yields roughly the paper's 2-3 outliers in 15
+	// samples at temperature ~0.7.
+	BadConfigRate float64
+}
+
+// NewSimClient creates a simulator with the given seed.
+func NewSimClient(seed int64) *SimClient {
+	return &SimClient{rng: rand.New(rand.NewSource(seed)), BadConfigRate: 0.25}
+}
+
+// Name implements Client.
+func (c *SimClient) Name() string { return "sim-gpt4" }
+
+// promptFacts is what the simulator understood from the prompt.
+type promptFacts struct {
+	mysql    bool
+	memoryGB float64
+	cores    int
+	hasHW    bool
+	// joinCols maps "table.column" → weight (mention count across
+	// snippet lines, LHS counted heavier, earlier lines heavier).
+	joinCols map[string]float64
+	// colOrder records first appearance per column, for rename-invariant
+	// tie-breaking (the model keys on prompt position, not on names).
+	colOrder map[string]int
+	// colSequence lists columns in prompt order (snippet lines only):
+	// λ-Tune orders its compressed representation by join cost, so reading
+	// columns off in order is reading them in decreasing importance.
+	colSequence []string
+	// fromSnippets reports whether the workload came from a compressed
+	// snippet list (true) or raw SQL (false).
+	fromSnippets bool
+}
+
+var (
+	memRe     = regexp.MustCompile(`(?i)memory:\s*([0-9.]+)\s*(GB|MB|TB)?`)
+	coresRe   = regexp.MustCompile(`(?i)cores:\s*([0-9]+)`)
+	snippetRe = regexp.MustCompile(`^([A-Za-z_][\w]*\.[\w]+)\s*:\s*(.+)$`)
+	eqPairRe  = regexp.MustCompile(`([A-Za-z_][\w]*)\.([\w]+)\s*=\s*([A-Za-z_][\w]*)\.([\w]+)`)
+	fromRe    = regexp.MustCompile(`(?is)FROM\s+(.+?)(?:WHERE|GROUP|ORDER|$)`)
+)
+
+// parsePrompt extracts the facts the knowledge model conditions on.
+func (c *SimClient) parsePrompt(prompt string) promptFacts {
+	f := promptFacts{joinCols: map[string]float64{}, colOrder: map[string]int{}}
+	note := func(col string) {
+		if _, ok := f.colOrder[col]; !ok {
+			f.colOrder[col] = len(f.colOrder)
+			f.colSequence = append(f.colSequence, col)
+		}
+	}
+	lower := strings.ToLower(prompt)
+	f.mysql = strings.Contains(lower, "mysql")
+
+	if m := memRe.FindStringSubmatch(prompt); m != nil {
+		var v float64
+		fmt.Sscanf(m[1], "%g", &v)
+		switch strings.ToUpper(m[2]) {
+		case "MB":
+			v /= 1024
+		case "TB":
+			v *= 1024
+		}
+		f.memoryGB = v
+		f.hasHW = true
+	}
+	if m := coresRe.FindStringSubmatch(prompt); m != nil {
+		fmt.Sscanf(m[1], "%d", &f.cores)
+	}
+
+	// Compressed-workload lines: "table.col: table.col, table.col". λ-Tune
+	// lists the most expensive joins first, so earlier lines weigh more —
+	// like a human DBA, the model treats list order as importance.
+	sawSnippets := false
+	lineNo := 0
+	for _, line := range strings.Split(prompt, "\n") {
+		line = trimIndent(line)
+		m := snippetRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		// Skip prompt-template lines that merely *look* like snippets.
+		if strings.Contains(m[2], "{") || strings.Contains(m[1], "{") {
+			continue
+		}
+		sawSnippets = true
+		f.fromSnippets = true
+		rank := 1.0 + 4.0/float64(1+lineNo) // 5, 3, 2.3, 2, …
+		lineNo++
+		// A line "A: B, C, D" encodes the joins (A,B), (A,C), (A,D): the
+		// LHS participates in one join per RHS entry, so it accumulates
+		// weight per pair. This reading is invariant to how the compressor
+		// oriented the pairs.
+		lhs := strings.ToLower(m[1])
+		note(lhs)
+		pos := 0
+		for _, rhs := range strings.Split(m[2], ",") {
+			rhs = strings.TrimSpace(rhs)
+			if strings.Contains(rhs, ".") {
+				// Within a line, earlier partners are the more expensive
+				// joins (λ-Tune orders them so); weight decays with the
+				// position.
+				pairWeight := rank * (1 + 2.0/float64(1+pos))
+				pos++
+				rl := strings.ToLower(rhs)
+				f.joinCols[lhs] += pairWeight
+				f.joinCols[rl] += pairWeight
+				note(rl)
+			}
+		}
+	}
+
+	// Raw-SQL fallback (the compressor-off ablation): extract equality pairs
+	// and resolve aliases from FROM clauses. The digestion is imperfect on
+	// purpose, modeling long-context degradation: attention over thousands
+	// of tokens of dense SQL is diluted ("lost in the middle"), so only
+	// roughly the first half of the query dump registers reliably — part of
+	// what the paper's Figure 6/7 compressor comparison measures.
+	if !sawSnippets {
+		window := prompt
+		if limit := 4000; len(window) > limit {
+			window = window[:limit]
+		}
+		alias := map[string]string{}
+		for _, m := range fromRe.FindAllStringSubmatch(window, -1) {
+			for _, item := range strings.Split(m[1], ",") {
+				fields := strings.Fields(strings.TrimSpace(item))
+				if len(fields) >= 2 {
+					alias[strings.ToLower(fields[1])] = strings.ToLower(fields[0])
+				} else if len(fields) == 1 {
+					alias[strings.ToLower(fields[0])] = strings.ToLower(fields[0])
+				}
+			}
+		}
+		for _, m := range eqPairRe.FindAllStringSubmatch(window, -1) {
+			lt, lc := strings.ToLower(m[1]), strings.ToLower(m[2])
+			rt, rc := strings.ToLower(m[3]), strings.ToLower(m[4])
+			if t, ok := alias[lt]; ok {
+				f.joinCols[t+"."+lc]++
+				note(t + "." + lc)
+			}
+			if t, ok := alias[rt]; ok {
+				f.joinCols[t+"."+rc]++
+				note(t + "." + rc)
+			}
+		}
+	}
+	return f
+}
+
+// Complete implements Client.
+func (c *SimClient) Complete(prompt string, temperature float64) (string, error) {
+	if prompt == "" {
+		return "", fmt.Errorf("llm: empty prompt")
+	}
+	f := c.parsePrompt(prompt)
+	if temperature < 0 {
+		temperature = 0
+	}
+	bad := temperature > 0 && c.rng.Float64() < c.BadConfigRate*min(temperature/0.7, 1.5)
+	if f.mysql {
+		return c.mysqlConfig(f, temperature, bad), nil
+	}
+	return c.postgresConfig(f, temperature, bad), nil
+}
+
+// jitter returns a multiplicative factor 2^U(-t, t).
+func (c *SimClient) jitter(temperature float64) float64 {
+	if temperature <= 0 {
+		return 1
+	}
+	e := (c.rng.Float64()*2 - 1) * temperature
+	return math.Pow(2, e)
+}
+
+// rankedIndexCols returns the join columns in decreasing importance. When
+// the prompt carried λ-Tune's compressed representation, its own ordering is
+// authoritative — the compressor sorts lines and partners by join cost — so
+// columns are read off in prompt order. For raw-SQL prompts the model falls
+// back to frequency weighting.
+func rankedIndexCols(f promptFacts) []string {
+	if len(f.colSequence) > 0 && f.colSequence[0] != "" && len(f.joinCols) > 0 && f.snippetSourced() {
+		return f.colSequence
+	}
+	return rankedByWeight(f)
+}
+
+// snippetSourced reports whether the facts came from snippet lines (the
+// sequence is only importance-ordered in that case).
+func (f promptFacts) snippetSourced() bool { return f.fromSnippets }
+
+// rankedByWeight orders columns by descending accumulated weight.
+func rankedByWeight(f promptFacts) []string {
+	type kv struct {
+		col string
+		w   float64
+	}
+	items := make([]kv, 0, len(f.joinCols))
+	for col, w := range f.joinCols {
+		items = append(items, kv{col, w})
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].w != items[b].w {
+			return items[a].w > items[b].w
+		}
+		// Ties break by first appearance in the prompt — invariant under
+		// identifier renaming (the §6.4.3 obfuscation ablation).
+		return f.colOrder[items[a].col] < f.colOrder[items[b].col]
+	})
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = it.col
+	}
+	return out
+}
+
+// postgresConfig emits the PostgreSQL configuration script.
+func (c *SimClient) postgresConfig(f promptFacts, temperature float64, bad bool) string {
+	memGB := f.memoryGB
+	if !f.hasHW || memGB <= 0 {
+		memGB = 4 // conservative guess when the prompt omits hardware
+	}
+	cores := f.cores
+	if cores <= 0 {
+		cores = 4
+	}
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	if bad {
+		// One of the LLM's occasional poor answers: plausible-looking but
+		// badly mis-tuned (temperature sampling artifact).
+		switch c.rng.Intn(3) {
+		case 0: // "safe minimal" answer: logging-only, no memory, no indexes
+			w("ALTER SYSTEM SET checkpoint_completion_target = 0.9;")
+			w("ALTER SYSTEM SET wal_buffers = '16MB';")
+			w("ALTER SYSTEM SET default_statistics_target = 100;")
+		case 1: // confused about storage: discourages all index use
+			w("ALTER SYSTEM SET shared_buffers = '%dGB';", maxInt(1, int(memGB*0.25)))
+			w("ALTER SYSTEM SET random_page_cost = 40;")
+			w("ALTER SYSTEM SET enable_indexscan = off;")
+			w("ALTER SYSTEM SET work_mem = '64kB';")
+		default: // disables the workhorse join operator
+			w("ALTER SYSTEM SET enable_hashjoin = off;")
+			w("ALTER SYSTEM SET work_mem = '256kB';")
+			w("ALTER SYSTEM SET shared_buffers = '256MB';")
+		}
+		return b.String()
+	}
+
+	shared := memGB * 0.25 * c.jitter(temperature*0.3)
+	cache := memGB * 0.75 * c.jitter(temperature*0.2)
+	workMemMB := memGB * 1024 / 64 * c.jitter(temperature)
+	if workMemMB < 4 {
+		workMemMB = 4
+	}
+	w("ALTER SYSTEM SET shared_buffers = '%dGB';", maxInt(1, int(shared)))
+	w("ALTER SYSTEM SET effective_cache_size = '%dGB';", maxInt(1, int(cache)))
+	w("ALTER SYSTEM SET work_mem = '%dMB';", maxInt(4, int(workMemMB)))
+	w("ALTER SYSTEM SET maintenance_work_mem = '2GB';")
+	w("ALTER SYSTEM SET checkpoint_completion_target = 0.9;")
+	w("ALTER SYSTEM SET wal_buffers = '16MB';")
+	w("ALTER SYSTEM SET default_statistics_target = 100;")
+	w("ALTER SYSTEM SET random_page_cost = 1.1;")
+	w("ALTER SYSTEM SET effective_io_concurrency = 200;")
+	// For analytics, dedicate the machine to the query: all cores by
+	// default, sometimes the more conservative cores/2 at temperature.
+	workers := cores
+	if temperature > 0 && c.rng.Float64() < 0.3*temperature {
+		workers = maxInt(2, cores/2)
+	}
+	w("ALTER SYSTEM SET max_parallel_workers_per_gather = %d;", workers)
+	w("ALTER SYSTEM SET max_parallel_workers = %d;", cores*2)
+
+	// Index recommendations: the most frequently joined columns the prompt
+	// conveyed. The count wobbles with temperature.
+	cols := rankedIndexCols(f)
+	limit := 20 + int(float64(c.rng.Intn(9)-4)*temperature)
+	if limit < 4 {
+		limit = 4
+	}
+	if limit > len(cols) {
+		limit = len(cols)
+	}
+	for _, col := range cols[:limit] {
+		parts := strings.SplitN(col, ".", 2)
+		w("CREATE INDEX idx_%s_%s ON %s (%s);", parts[0], parts[1], parts[0], parts[1])
+	}
+	return b.String()
+}
+
+// mysqlConfig emits the MySQL configuration script.
+func (c *SimClient) mysqlConfig(f promptFacts, temperature float64, bad bool) string {
+	memGB := f.memoryGB
+	if !f.hasHW || memGB <= 0 {
+		memGB = 4
+	}
+	var b strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	if bad {
+		switch c.rng.Intn(2) {
+		case 0:
+			w("SET GLOBAL innodb_flush_log_at_trx_commit = 2;")
+			w("SET GLOBAL innodb_log_buffer_size = 67108864;")
+		default:
+			w("SET GLOBAL innodb_buffer_pool_size = %d;", int64(256)<<20)
+			w("SET GLOBAL join_buffer_size = %d;", int64(128))
+			w("SET GLOBAL sort_buffer_size = %d;", int64(32)<<10)
+		}
+		return b.String()
+	}
+
+	pool := int64(memGB * 0.6 * c.jitter(temperature*0.3) * float64(int64(1)<<30))
+	if pool < 1<<30 {
+		pool = 1 << 30
+	}
+	joinBuf := int64(memGB * 4 * c.jitter(temperature) * float64(int64(1)<<20))
+	if joinBuf < 4<<20 {
+		joinBuf = 4 << 20
+	}
+	w("SET GLOBAL innodb_buffer_pool_size = %d;", pool)
+	w("SET GLOBAL innodb_buffer_pool_instances = 8;")
+	w("SET GLOBAL join_buffer_size = %d;", joinBuf)
+	w("SET GLOBAL sort_buffer_size = %d;", joinBuf)
+	w("SET GLOBAL tmp_table_size = %d;", joinBuf*4)
+	w("SET GLOBAL max_heap_table_size = %d;", joinBuf*4)
+	w("SET GLOBAL innodb_io_capacity = 2000;")
+	w("SET GLOBAL innodb_read_io_threads = 16;")
+
+	cols := rankedIndexCols(f)
+	limit := 20 + int(float64(c.rng.Intn(9)-4)*temperature)
+	if limit < 4 {
+		limit = 4
+	}
+	if limit > len(cols) {
+		limit = len(cols)
+	}
+	for _, col := range cols[:limit] {
+		parts := strings.SplitN(col, ".", 2)
+		w("CREATE INDEX idx_%s_%s ON %s (%s);", parts[0], parts[1], parts[0], parts[1])
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+// Package llm provides the language-model client that λ-Tune samples
+// configurations from, plus an approximate tokenizer for prompt budgeting.
+//
+// The paper uses OpenAI's GPT-4; offline, we substitute a deterministic
+// knowledge-model simulator (see DESIGN.md §2). The simulator reads the same
+// prompt text the paper's system would send and applies the documented DBA
+// heuristics — 25% of RAM to shared_buffers, index the join columns the
+// prompt mentions, lower random_page_cost alongside index recommendations —
+// with temperature-controlled randomization that occasionally yields the bad
+// configurations the paper's configuration selector exists to defend against
+// (§6.3 reports outliers up to 5× the optimum among 15 samples).
+package llm
+
+import (
+	"strings"
+	"unicode"
+)
+
+// CountTokens approximates a BPE tokenizer's token count: each word costs
+// roughly one token per four characters, and every punctuation rune costs
+// one token. The approximation is deliberately deterministic so prompt
+// budgeting is reproducible.
+func CountTokens(text string) int {
+	tokens := 0
+	wordLen := 0
+	flush := func() {
+		if wordLen > 0 {
+			tokens += (wordLen + 3) / 4
+			wordLen = 0
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsSpace(r):
+			flush()
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			wordLen++
+		default:
+			flush()
+			tokens++
+		}
+	}
+	flush()
+	return tokens
+}
+
+// CountTokensLines sums CountTokens over lines plus one token per newline.
+func CountTokensLines(lines []string) int {
+	total := 0
+	for _, l := range lines {
+		total += CountTokens(l) + 1
+	}
+	return total
+}
+
+// Client is the language-model interface λ-Tune invokes. Complete returns
+// one full configuration script for the given prompt; temperature controls
+// output randomization (0 = deterministic).
+type Client interface {
+	// Complete returns the model's response to the prompt.
+	Complete(prompt string, temperature float64) (string, error)
+	// Name identifies the model (for logs and experiment records).
+	Name() string
+}
+
+// trimIndent normalizes a prompt line for parsing.
+func trimIndent(s string) string { return strings.TrimSpace(s) }

@@ -1,0 +1,327 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize    c·x
+//	subject to  A·x ≤ b,  x ≥ 0
+//
+// Negative right-hand sides are handled with artificial variables in a
+// textbook phase 1. It is the LP-relaxation engine behind the 0-1 ILP solver
+// in internal/ilp, which λ-Tune's workload compressor uses to select join
+// snippets under a token budget (paper §3.3).
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	// Stalled means the pivot-iteration cap was hit before reaching
+	// optimality (a numerical-degeneracy backstop). Callers needing a
+	// bound must treat Stalled conservatively.
+	Stalled
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Stalled:
+		return "stalled"
+	}
+	return "unknown"
+}
+
+// Problem is a linear program: maximize Obj·x subject to A·x ≤ B, x ≥ 0.
+type Problem struct {
+	// Obj holds the objective coefficients, one per variable.
+	Obj []float64
+	// A is the constraint matrix, len(A) rows × len(Obj) columns.
+	A [][]float64
+	// B holds the right-hand sides, one per row; negative values are
+	// allowed.
+	B []float64
+}
+
+// Solution holds an optimal basic solution.
+type Solution struct {
+	Status Status
+	// X is the optimal assignment (valid only when Status == Optimal).
+	X []float64
+	// Objective is Obj·X.
+	Objective float64
+}
+
+const (
+	eps = 1e-9
+	// maxPivots caps simplex iterations per phase as a cycling backstop.
+	maxPivots = 50000
+	// blandAfter switches from Dantzig's to Bland's pivoting rule after
+	// this many iterations without objective progress.
+	blandAfter = 200
+)
+
+// ErrBadShape reports mismatched problem dimensions.
+var ErrBadShape = errors.New("lp: constraint matrix shape does not match objective/rhs")
+
+// Solve runs two-phase primal simplex.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Obj)
+	m := len(p.A)
+	if len(p.B) != m {
+		return Solution{}, ErrBadShape
+	}
+	for _, row := range p.A {
+		if len(row) != n {
+			return Solution{}, ErrBadShape
+		}
+	}
+
+	t := newTableau(p)
+	if t.na > 0 {
+		switch t.phase1() {
+		case Infeasible:
+			return Solution{Status: Infeasible}, nil
+		case Stalled:
+			return Solution{Status: Stalled}, nil
+		}
+	}
+	switch t.phase2() {
+	case Unbounded:
+		return Solution{Status: Unbounded}, nil
+	case Stalled:
+		return Solution{Status: Stalled}, nil
+	}
+	x := t.extract(n)
+	obj := 0.0
+	for j, c := range p.Obj {
+		obj += c * x[j]
+	}
+	return Solution{Status: Optimal, X: x, Objective: obj}, nil
+}
+
+// tableau is a dense simplex tableau. Columns: 0..n-1 structural,
+// n..n+m-1 slack/surplus, n+m..n+m+na-1 artificial, last column RHS.
+// Row m is the objective row.
+type tableau struct {
+	n, m, na int
+	width    int
+	rows     [][]float64
+	basis    []int
+	obj      []float64
+}
+
+func newTableau(p Problem) *tableau {
+	n, m := len(p.Obj), len(p.A)
+	na := 0
+	for _, b := range p.B {
+		if b < 0 {
+			na++
+		}
+	}
+	t := &tableau{n: n, m: m, na: na, obj: p.Obj}
+	t.width = n + m + na + 1
+	t.rows = make([][]float64, m+1)
+	t.basis = make([]int, m)
+	art := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, t.width)
+		if p.B[i] >= 0 {
+			copy(row, p.A[i])
+			row[n+i] = 1 // slack
+			row[t.width-1] = p.B[i]
+			t.basis[i] = n + i
+		} else {
+			// Negate: -A·x ≥ -b ⇒ (−A)x − s + a = −b with −b > 0.
+			for j, v := range p.A[i] {
+				row[j] = -v
+			}
+			row[n+i] = -1            // surplus
+			row[n+m+art] = 1         // artificial
+			row[t.width-1] = -p.B[i] // positive
+			t.basis[i] = n + m + art
+			art++
+		}
+		t.rows[i] = row
+	}
+	t.rows[m] = make([]float64, t.width)
+	return t
+}
+
+func (t *tableau) rhs(i int) float64 { return t.rows[i][t.width-1] }
+
+// installObjective fills the objective row for maximizing Σ c_j x_j over the
+// first `cols` columns and prices out the current basis.
+func (t *tableau) installObjective(c []float64) {
+	objRow := t.rows[t.m]
+	for j := range objRow {
+		objRow[j] = 0
+	}
+	for j, v := range c {
+		objRow[j] = -v
+	}
+	for i := 0; i < t.m; i++ {
+		bv := t.basis[i]
+		if coef := objRow[bv]; coef != 0 {
+			row := t.rows[i]
+			for j := range objRow {
+				objRow[j] -= coef * row[j]
+			}
+		}
+	}
+}
+
+// phase1 minimizes the sum of artificial variables.
+func (t *tableau) phase1() Status {
+	c := make([]float64, t.n+t.m+t.na)
+	for k := 0; k < t.na; k++ {
+		c[t.n+t.m+k] = -1 // maximize −Σ artificials
+	}
+	t.installObjective(c)
+	// During phase 1 every column may enter (artificials included; they are
+	// priced to never be attractive once out).
+	if st := t.iterate(t.n + t.m); st == Stalled {
+		return Stalled
+	}
+	// The objective row's RHS slot holds the current objective value
+	// (−Σ artificials); a negative value means infeasible.
+	if t.rows[t.m][t.width-1] < -1e-7 {
+		return Infeasible
+	}
+	// Drive any basic artificials (at value 0) out of the basis.
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n+t.m {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.n+t.m; j++ {
+			if math.Abs(t.rows[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row: zero it so it never constrains anything.
+			for j := range t.rows[i] {
+				t.rows[i][j] = 0
+			}
+		}
+	}
+	return Optimal
+}
+
+// phase2 optimizes the original objective from a feasible basis.
+func (t *tableau) phase2() Status {
+	t.installObjective(t.obj)
+	return t.iterate(t.n + t.m) // artificial columns never re-enter
+}
+
+// iterate runs primal simplex pivots until optimality, unboundedness, or the
+// iteration cap. Entering columns are restricted to indexes < limit.
+func (t *tableau) iterate(limit int) Status {
+	lastObj := math.Inf(-1)
+	stall := 0
+	objRow := t.rows[t.m]
+	for iter := 0; ; iter++ {
+		if iter > maxPivots {
+			return Stalled
+		}
+		if obj := objRow[t.width-1]; obj > lastObj+1e-12 {
+			lastObj = obj
+			stall = 0
+		} else {
+			stall++
+		}
+		c := -1
+		if stall > blandAfter {
+			for j := 0; j < limit; j++ {
+				if objRow[j] < -eps {
+					c = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < limit; j++ {
+				if objRow[j] < best {
+					best = objRow[j]
+					c = j
+				}
+			}
+		}
+		if c < 0 {
+			return Optimal
+		}
+		// Ratio test; ties resolved toward the smallest basis index
+		// (Bland-compatible leaving rule).
+		pr := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			a := t.rows[i][c]
+			if a <= eps {
+				continue
+			}
+			ratio := t.rhs(i) / a
+			if ratio < bestRatio-eps ||
+				(ratio <= bestRatio+eps && (pr < 0 || t.basis[i] < t.basis[pr])) {
+				bestRatio = ratio
+				pr = i
+			}
+		}
+		if pr < 0 {
+			return Unbounded
+		}
+		t.pivot(pr, c)
+	}
+}
+
+func (t *tableau) pivot(r, c int) {
+	pr := t.rows[r]
+	pv := pr[c]
+	inv := 1 / pv
+	for j := range pr {
+		pr[j] *= inv
+	}
+	pr[c] = 1 // kill rounding noise
+	for i := 0; i <= t.m; i++ {
+		if i == r {
+			continue
+		}
+		row := t.rows[i]
+		f := row[c]
+		if f == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] -= f * pr[j]
+		}
+		row[c] = 0
+	}
+	t.basis[r] = c
+}
+
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, bv := range t.basis {
+		if bv < n {
+			v := t.rhs(i)
+			if v < 0 && v > -eps {
+				v = 0
+			}
+			x[bv] = v
+		}
+	}
+	return x
+}

@@ -1,0 +1,199 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if s.Status != Optimal {
+		t.Fatalf("status: %v", s.Status)
+	}
+	return s
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimplexBasic(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0, obj=12.
+	s := solveOK(t, Problem{
+		Obj: []float64{3, 2},
+		A:   [][]float64{{1, 1}, {1, 3}},
+		B:   []float64{4, 6},
+	})
+	if !approx(s.Objective, 12) {
+		t.Errorf("objective: %v", s.Objective)
+	}
+}
+
+func TestSimplexClassic(t *testing.T) {
+	// max 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6 → x=3, y=1.5, obj=21.
+	s := solveOK(t, Problem{
+		Obj: []float64{5, 4},
+		A:   [][]float64{{6, 4}, {1, 2}},
+		B:   []float64{24, 6},
+	})
+	if !approx(s.Objective, 21) || !approx(s.X[0], 3) || !approx(s.X[1], 1.5) {
+		t.Errorf("got X=%v obj=%v", s.X, s.Objective)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	s, err := Solve(Problem{
+		Obj: []float64{1},
+		A:   [][]float64{{-1}},
+		B:   []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status: %v", s.Status)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	// x <= -1 with x >= 0 is infeasible.
+	s, err := Solve(Problem{
+		Obj: []float64{1},
+		A:   [][]float64{{1}},
+		B:   []float64{-1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Infeasible {
+		t.Errorf("status: %v", s.Status)
+	}
+}
+
+func TestSimplexPhase1(t *testing.T) {
+	// Constraints requiring phase 1: -x - y <= -2 (i.e. x+y >= 2),
+	// x <= 3, y <= 3. max -x - y → minimize x+y → obj = -2.
+	s := solveOK(t, Problem{
+		Obj: []float64{-1, -1},
+		A:   [][]float64{{-1, -1}, {1, 0}, {0, 1}},
+		B:   []float64{-2, 3, 3},
+	})
+	if !approx(s.Objective, -2) {
+		t.Errorf("objective: %v (X=%v)", s.Objective, s.X)
+	}
+}
+
+func TestSimplexEqualityViaPair(t *testing.T) {
+	// x + y = 5 encoded as <= and >=; max 2x + y → x=5, obj=10.
+	s := solveOK(t, Problem{
+		Obj: []float64{2, 1},
+		A:   [][]float64{{1, 1}, {-1, -1}},
+		B:   []float64{5, -5},
+	})
+	if !approx(s.Objective, 10) {
+		t.Errorf("objective: %v (X=%v)", s.Objective, s.X)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// A degenerate problem that can cycle without Bland's rule (Beale).
+	s := solveOK(t, Problem{
+		Obj: []float64{0.75, -150, 0.02, -6},
+		A: [][]float64{
+			{0.25, -60, -0.04, 9},
+			{0.5, -90, -0.02, 3},
+			{0, 0, 1, 0},
+		},
+		B: []float64{0, 0, 1},
+	})
+	if !approx(s.Objective, 0.05) {
+		t.Errorf("objective: %v", s.Objective)
+	}
+}
+
+func TestSimplexBadShape(t *testing.T) {
+	if _, err := Solve(Problem{Obj: []float64{1}, A: [][]float64{{1, 2}}, B: []float64{1}}); err == nil {
+		t.Error("expected shape error")
+	}
+	if _, err := Solve(Problem{Obj: []float64{1}, A: [][]float64{{1}}, B: []float64{}}); err == nil {
+		t.Error("expected shape error")
+	}
+}
+
+func TestSimplexZeroConstraints(t *testing.T) {
+	// No constraints and positive objective → unbounded.
+	s, err := Solve(Problem{Obj: []float64{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Status != Unbounded {
+		t.Errorf("status: %v", s.Status)
+	}
+	// Negative objective → optimum at origin.
+	s = solveOK(t, Problem{Obj: []float64{-1, -2}})
+	if !approx(s.Objective, 0) {
+		t.Errorf("objective: %v", s.Objective)
+	}
+}
+
+// TestSimplexRandomFeasibility: on random problems with b >= 0, the solution
+// must satisfy all constraints and nonnegativity.
+func TestSimplexRandomFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(6)
+		m := 1 + rng.Intn(6)
+		p := Problem{Obj: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+		for j := range p.Obj {
+			p.Obj[j] = rng.Float64()*4 - 2
+		}
+		for i := range p.A {
+			p.A[i] = make([]float64, n)
+			for j := range p.A[i] {
+				p.A[i][j] = rng.Float64()*2 - 0.5
+			}
+			p.B[i] = rng.Float64() * 10
+		}
+		s, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Status == Infeasible {
+			t.Fatalf("trial %d: b>=0 problem reported infeasible", trial)
+		}
+		if s.Status != Optimal {
+			continue
+		}
+		for j, v := range s.X {
+			if v < -1e-6 {
+				t.Errorf("trial %d: x[%d] = %v < 0", trial, j, v)
+			}
+		}
+		for i, row := range p.A {
+			lhs := 0.0
+			for j, a := range row {
+				lhs += a * s.X[j]
+			}
+			if lhs > p.B[i]+1e-6 {
+				t.Errorf("trial %d: constraint %d violated: %v > %v", trial, i, lhs, p.B[i])
+			}
+		}
+	}
+}
+
+// TestSimplexWeakDuality: optimal objective must not exceed the bound given
+// by any nonnegative combination of constraints dominating the objective.
+func TestSimplexUpperBoundsRespected(t *testing.T) {
+	// max x1 + x2 + x3 with x_i <= 1 each → obj = 3.
+	s := solveOK(t, Problem{
+		Obj: []float64{1, 1, 1},
+		A:   [][]float64{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}},
+		B:   []float64{1, 1, 1},
+	})
+	if !approx(s.Objective, 3) {
+		t.Errorf("objective: %v", s.Objective)
+	}
+}

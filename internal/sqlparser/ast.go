@@ -1,0 +1,383 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	// SQL renders the node back to SQL text (normalized whitespace).
+	SQL() string
+}
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Select   []SelectItem
+	From     []TableExpr
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr // nil when absent
+	OrderBy  []OrderItem
+	Limit    *int64 // nil when absent
+}
+
+// SelectItem is one projection in the SELECT list.
+type SelectItem struct {
+	Expr  Expr
+	Alias string // "" when absent
+	Star  bool   // SELECT * (Expr nil)
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// TableExpr is an item in the FROM clause: a base table or a derived table
+// (subquery) with optional alias, possibly followed by explicit JOINs.
+type TableExpr struct {
+	Table string // "" for derived tables
+	// Subquery is non-nil for derived tables: FROM (SELECT …) alias.
+	Subquery *SelectStmt
+	Alias    string // "" when absent (required for derived tables)
+	Joins    []JoinClause
+}
+
+// JoinKind distinguishes explicit join types.
+type JoinKind int
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinRight
+	JoinFull
+	JoinCross
+)
+
+func (k JoinKind) String() string {
+	switch k {
+	case JoinInner:
+		return "JOIN"
+	case JoinLeft:
+		return "LEFT JOIN"
+	case JoinRight:
+		return "RIGHT JOIN"
+	case JoinFull:
+		return "FULL JOIN"
+	case JoinCross:
+		return "CROSS JOIN"
+	}
+	return "JOIN"
+}
+
+// JoinClause is an explicit JOIN attached to a TableExpr.
+type JoinClause struct {
+	Kind  JoinKind
+	Table string
+	Alias string
+	On    Expr // nil for CROSS JOIN
+}
+
+// Expr is implemented by all expression nodes.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Qualifier string // table name or alias; "" when unqualified
+	Column    string
+}
+
+// NumberLit is a numeric literal (kept as text to avoid precision loss).
+type NumberLit struct{ Value string }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Value bool }
+
+// IntervalLit is INTERVAL '<value>' <unit> (unit folded into Value text).
+type IntervalLit struct{ Value string }
+
+// DateLit is DATE '<value>'.
+type DateLit struct{ Value string }
+
+// BinaryExpr is a binary operation (comparison, arithmetic, AND/OR, LIKE...).
+type BinaryExpr struct {
+	Op    string // upper-case operator: "=", "<", "AND", "LIKE", ...
+	Left  Expr
+	Right Expr
+}
+
+// UnaryExpr is NOT or unary minus.
+type UnaryExpr struct {
+	Op   string // "NOT" or "-"
+	Expr Expr
+}
+
+// FuncCall is a function invocation, including aggregates.
+type FuncCall struct {
+	Name     string // upper-cased
+	Distinct bool
+	Star     bool // COUNT(*)
+	Args     []Expr
+}
+
+// InExpr is <expr> [NOT] IN (<list> | <subquery>).
+type InExpr struct {
+	Not      bool
+	Expr     Expr
+	List     []Expr
+	Subquery *SelectStmt // nil when List is used
+}
+
+// BetweenExpr is <expr> [NOT] BETWEEN <lo> AND <hi>.
+type BetweenExpr struct {
+	Not  bool
+	Expr Expr
+	Lo   Expr
+	Hi   Expr
+}
+
+// ExistsExpr is [NOT] EXISTS (<subquery>).
+type ExistsExpr struct {
+	Not      bool
+	Subquery *SelectStmt
+}
+
+// SubqueryExpr is a scalar subquery used as an expression.
+type SubqueryExpr struct{ Subquery *SelectStmt }
+
+// IsNullExpr is <expr> IS [NOT] NULL.
+type IsNullExpr struct {
+	Not  bool
+	Expr Expr
+}
+
+// CaseExpr is CASE [expr] WHEN ... THEN ... [ELSE ...] END.
+type CaseExpr struct {
+	Operand Expr // nil for searched CASE
+	Whens   []WhenClause
+	Else    Expr // nil when absent
+}
+
+// WhenClause is one WHEN/THEN arm of a CASE expression.
+type WhenClause struct {
+	Cond Expr
+	Then Expr
+}
+
+// ParenExpr preserves explicit grouping.
+type ParenExpr struct{ Expr Expr }
+
+func (*ColumnRef) exprNode()    {}
+func (*NumberLit) exprNode()    {}
+func (*StringLit) exprNode()    {}
+func (*NullLit) exprNode()      {}
+func (*BoolLit) exprNode()      {}
+func (*IntervalLit) exprNode()  {}
+func (*DateLit) exprNode()      {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*FuncCall) exprNode()     {}
+func (*InExpr) exprNode()       {}
+func (*BetweenExpr) exprNode()  {}
+func (*ExistsExpr) exprNode()   {}
+func (*SubqueryExpr) exprNode() {}
+func (*IsNullExpr) exprNode()   {}
+func (*CaseExpr) exprNode()     {}
+func (*ParenExpr) exprNode()    {}
+
+// SQL implementations.
+
+func (c *ColumnRef) SQL() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Column
+	}
+	return c.Column
+}
+
+func (n *NumberLit) SQL() string   { return n.Value }
+func (s *StringLit) SQL() string   { return "'" + strings.ReplaceAll(s.Value, "'", "''") + "'" }
+func (*NullLit) SQL() string       { return "NULL" }
+func (i *IntervalLit) SQL() string { return "INTERVAL '" + i.Value + "'" }
+func (d *DateLit) SQL() string     { return "DATE '" + d.Value + "'" }
+
+func (b *BoolLit) SQL() string {
+	if b.Value {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+
+func (b *BinaryExpr) SQL() string {
+	return b.Left.SQL() + " " + b.Op + " " + b.Right.SQL()
+}
+
+func (u *UnaryExpr) SQL() string {
+	if u.Op == "NOT" {
+		return "NOT " + u.Expr.SQL()
+	}
+	return u.Op + u.Expr.SQL()
+}
+
+func (f *FuncCall) SQL() string {
+	if f.Star {
+		return f.Name + "(*)"
+	}
+	var args []string
+	for _, a := range f.Args {
+		args = append(args, a.SQL())
+	}
+	d := ""
+	if f.Distinct {
+		d = "DISTINCT "
+	}
+	return f.Name + "(" + d + strings.Join(args, ", ") + ")"
+}
+
+func (i *InExpr) SQL() string {
+	not := ""
+	if i.Not {
+		not = "NOT "
+	}
+	if i.Subquery != nil {
+		return i.Expr.SQL() + " " + not + "IN (" + i.Subquery.SQL() + ")"
+	}
+	var items []string
+	for _, e := range i.List {
+		items = append(items, e.SQL())
+	}
+	return i.Expr.SQL() + " " + not + "IN (" + strings.Join(items, ", ") + ")"
+}
+
+func (b *BetweenExpr) SQL() string {
+	not := ""
+	if b.Not {
+		not = "NOT "
+	}
+	return b.Expr.SQL() + " " + not + "BETWEEN " + b.Lo.SQL() + " AND " + b.Hi.SQL()
+}
+
+func (e *ExistsExpr) SQL() string {
+	not := ""
+	if e.Not {
+		not = "NOT "
+	}
+	return not + "EXISTS (" + e.Subquery.SQL() + ")"
+}
+
+func (s *SubqueryExpr) SQL() string { return "(" + s.Subquery.SQL() + ")" }
+
+func (i *IsNullExpr) SQL() string {
+	if i.Not {
+		return i.Expr.SQL() + " IS NOT NULL"
+	}
+	return i.Expr.SQL() + " IS NULL"
+}
+
+func (c *CaseExpr) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("CASE")
+	if c.Operand != nil {
+		sb.WriteString(" " + c.Operand.SQL())
+	}
+	for _, w := range c.Whens {
+		sb.WriteString(" WHEN " + w.Cond.SQL() + " THEN " + w.Then.SQL())
+	}
+	if c.Else != nil {
+		sb.WriteString(" ELSE " + c.Else.SQL())
+	}
+	sb.WriteString(" END")
+	return sb.String()
+}
+
+func (p *ParenExpr) SQL() string { return "(" + p.Expr.SQL() + ")" }
+
+// SQL renders the statement.
+func (s *SelectStmt) SQL() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if s.Distinct {
+		sb.WriteString("DISTINCT ")
+	}
+	var items []string
+	for _, it := range s.Select {
+		switch {
+		case it.Star:
+			items = append(items, "*")
+		case it.Alias != "":
+			items = append(items, it.Expr.SQL()+" AS "+it.Alias)
+		default:
+			items = append(items, it.Expr.SQL())
+		}
+	}
+	sb.WriteString(strings.Join(items, ", "))
+	sb.WriteString(" FROM ")
+	var froms []string
+	for _, t := range s.From {
+		froms = append(froms, t.SQL())
+	}
+	sb.WriteString(strings.Join(froms, ", "))
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + s.Where.SQL())
+	}
+	if len(s.GroupBy) > 0 {
+		var gs []string
+		for _, g := range s.GroupBy {
+			gs = append(gs, g.SQL())
+		}
+		sb.WriteString(" GROUP BY " + strings.Join(gs, ", "))
+	}
+	if s.Having != nil {
+		sb.WriteString(" HAVING " + s.Having.SQL())
+	}
+	if len(s.OrderBy) > 0 {
+		var os []string
+		for _, o := range s.OrderBy {
+			item := o.Expr.SQL()
+			if o.Desc {
+				item += " DESC"
+			}
+			os = append(os, item)
+		}
+		sb.WriteString(" ORDER BY " + strings.Join(os, ", "))
+	}
+	if s.Limit != nil {
+		sb.WriteString(fmt.Sprintf(" LIMIT %d", *s.Limit))
+	}
+	return sb.String()
+}
+
+// SQL renders the table expression including its joins.
+func (t TableExpr) SQL() string {
+	var sb strings.Builder
+	if t.Subquery != nil {
+		sb.WriteString("(" + t.Subquery.SQL() + ")")
+	} else {
+		sb.WriteString(t.Table)
+	}
+	if t.Alias != "" {
+		sb.WriteString(" " + t.Alias)
+	}
+	for _, j := range t.Joins {
+		sb.WriteString(" " + j.Kind.String() + " " + j.Table)
+		if j.Alias != "" {
+			sb.WriteString(" " + j.Alias)
+		}
+		if j.On != nil {
+			sb.WriteString(" ON " + j.On.SQL())
+		}
+	}
+	return sb.String()
+}

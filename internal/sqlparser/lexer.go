@@ -1,0 +1,163 @@
+// Package sqlparser implements a lexer and recursive-descent parser for the
+// analytical SQL subset used by the λ-Tune benchmarks (TPC-H, TPC-DS, JOB).
+//
+// The parser produces an AST rich enough for λ-Tune's needs: extracting join
+// conditions, predicate columns, and table references. It is not a full SQL
+// implementation; unsupported constructs yield parse errors rather than
+// silently wrong ASTs.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies lexical tokens.
+type TokenKind int
+
+// Token kinds produced by the lexer.
+const (
+	TokenEOF TokenKind = iota
+	TokenIdent
+	TokenKeyword
+	TokenNumber
+	TokenString
+	TokenSymbol // punctuation and operators: ( ) , ; . * = <> < > <= >= + - / ||
+)
+
+// Token is a single lexical token with its source position.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokenEOF:
+		return "EOF"
+	case TokenString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) become TokenKeyword.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "IN": true, "EXISTS": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "CROSS": true, "ON": true, "DISTINCT": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "UNION": true,
+	"ALL": true, "ANY": true, "SOME": true, "INTERVAL": true, "DATE": true,
+	"SUBSTRING": true, "EXTRACT": true, "COUNT": true, "SUM": true,
+	"AVG": true, "MIN": true, "MAX": true, "TRUE": true, "FALSE": true,
+	"CAST": true, "OFFSET": true,
+}
+
+// Lex tokenizes the SQL input. It returns an error for unterminated strings
+// or illegal characters.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i, n := 0, len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-': // line comment
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && input[i+1] == '*': // block comment
+			end := strings.Index(input[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sqlparser: unterminated comment at offset %d", i)
+			}
+			i += end + 4
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= n {
+					return nil, fmt.Errorf("sqlparser: unterminated string at offset %d", i)
+				}
+				if input[j] == '\'' {
+					if j+1 < n && input[j+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, Token{TokenString, sb.String(), i})
+			i = j + 1
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(input[i+1])):
+			j := i
+			seenDot := false
+			for j < n && (isDigit(input[j]) || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, Token{TokenNumber, input[i:j], i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokenKeyword, upper, i})
+			} else {
+				toks = append(toks, Token{TokenIdent, word, i})
+			}
+			i = j
+		default:
+			if sym, w := lexSymbol(input[i:]); w > 0 {
+				toks = append(toks, Token{TokenSymbol, sym, i})
+				i += w
+			} else {
+				return nil, fmt.Errorf("sqlparser: illegal character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{TokenEOF, "", n})
+	return toks, nil
+}
+
+// lexSymbol recognizes one- and two-character operators at the start of s.
+func lexSymbol(s string) (string, int) {
+	two := []string{"<>", "<=", ">=", "!=", "||"}
+	for _, t := range two {
+		if strings.HasPrefix(s, t) {
+			return t, 2
+		}
+	}
+	switch s[0] {
+	case '(', ')', ',', ';', '.', '*', '=', '<', '>', '+', '-', '/', '%':
+		return string(s[0]), 1
+	}
+	return "", 0
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

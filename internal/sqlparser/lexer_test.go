@@ -1,0 +1,116 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a.b, 1.5 FROM t WHERE x = 'it''s'")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokenKeyword, "SELECT"},
+		{TokenIdent, "a"},
+		{TokenSymbol, "."},
+		{TokenIdent, "b"},
+		{TokenSymbol, ","},
+		{TokenNumber, "1.5"},
+		{TokenKeyword, "FROM"},
+		{TokenIdent, "t"},
+		{TokenKeyword, "WHERE"},
+		{TokenIdent, "x"},
+		{TokenSymbol, "="},
+		{TokenString, "it's"},
+		{TokenEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: got (%v, %q), want (%v, %q)", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select From wHeRe")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	for _, tok := range toks[:3] {
+		if tok.Kind != TokenKeyword {
+			t.Errorf("expected keyword, got %v for %q", tok.Kind, tok.Text)
+		}
+		if tok.Text != strings.ToUpper(tok.Text) {
+			t.Errorf("keyword not uppercased: %q", tok.Text)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT -- a comment\n1 /* block\ncomment */ + 2")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		if tok.Kind != TokenEOF {
+			texts = append(texts, tok.Text)
+		}
+	}
+	got := strings.Join(texts, " ")
+	if got != "SELECT 1 + 2" {
+		t.Errorf("got %q, want %q", got, "SELECT 1 + 2")
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	toks, err := Lex("a <= b >= c <> d != e || f")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokenSymbol {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"<=", ">=", "<>", "!=", "||"}
+	if len(ops) != len(want) {
+		t.Fatalf("got ops %v, want %v", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d: got %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"'unterminated",
+		"/* unterminated",
+		"SELECT @",
+	}
+	for _, c := range cases {
+		if _, err := Lex(c); err == nil {
+			t.Errorf("Lex(%q): expected error", c)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("SELECT x")
+	if err != nil {
+		t.Fatalf("Lex: %v", err)
+	}
+	if toks[0].Pos != 0 || toks[1].Pos != 7 {
+		t.Errorf("positions: got %d, %d; want 0, 7", toks[0].Pos, toks[1].Pos)
+	}
+}

@@ -1,0 +1,540 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+
+	"lambdatune/internal/engine"
+)
+
+// JOB returns the Join Order Benchmark workload: 113 queries over the IMDB
+// schema. Each of the benchmark's 33 query families contributes its a/b/c/d
+// variants, generated from the family's join template with the per-variant
+// filter predicates — exactly how the official benchmark derives variants,
+// whose SQL differs only in constants and added filters.
+func JOB() *Workload {
+	cat := engine.NewCatalog("imdb", []engine.Table{
+		{
+			Name: "title", Rows: 2_528_312,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 2_528_312},
+				{Name: "title", WidthBytes: 17, Distinct: 2_400_000},
+				{Name: "kind_id", WidthBytes: 4, Distinct: 7},
+				{Name: "production_year", WidthBytes: 4, Distinct: 133},
+				{Name: "episode_nr", WidthBytes: 4, Distinct: 16_000},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"kind_id"},
+		},
+		{
+			Name: "cast_info", Rows: 36_244_344,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 36_244_344},
+				{Name: "person_id", WidthBytes: 4, Distinct: 4_051_810},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 2_331_601},
+				{Name: "person_role_id", WidthBytes: 4, Distinct: 3_140_339},
+				{Name: "role_id", WidthBytes: 4, Distinct: 12},
+				{Name: "note", WidthBytes: 18, Distinct: 400_000},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"person_id", "movie_id", "person_role_id", "role_id"},
+		},
+		{
+			Name: "movie_info", Rows: 14_835_720,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 14_835_720},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 2_468_825},
+				{Name: "info_type_id", WidthBytes: 4, Distinct: 71},
+				{Name: "info", WidthBytes: 20, Distinct: 2_720_930},
+				{Name: "note", WidthBytes: 19, Distinct: 133_416},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"movie_id", "info_type_id"},
+		},
+		{
+			Name: "movie_info_idx", Rows: 1_380_035,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 1_380_035},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 459_925},
+				{Name: "info_type_id", WidthBytes: 4, Distinct: 5},
+				{Name: "info", WidthBytes: 10, Distinct: 128_872},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"movie_id", "info_type_id"},
+		},
+		{
+			Name: "name", Rows: 4_167_491,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 4_167_491},
+				{Name: "name", WidthBytes: 15, Distinct: 4_000_000},
+				{Name: "gender", WidthBytes: 1, Distinct: 3},
+				{Name: "name_pcode_cf", WidthBytes: 5, Distinct: 25_000},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "char_name", Rows: 3_140_339,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 3_140_339},
+				{Name: "name", WidthBytes: 14, Distinct: 3_000_000},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "movie_companies", Rows: 2_609_129,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 2_609_129},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 1_087_236},
+				{Name: "company_id", WidthBytes: 4, Distinct: 234_997},
+				{Name: "company_type_id", WidthBytes: 4, Distinct: 2},
+				{Name: "note", WidthBytes: 25, Distinct: 500_000},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"movie_id", "company_id", "company_type_id"},
+		},
+		{
+			Name: "company_name", Rows: 234_997,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 234_997},
+				{Name: "name", WidthBytes: 20, Distinct: 230_000},
+				{Name: "country_code", WidthBytes: 5, Distinct: 112},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "company_type", Rows: 4,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 4},
+				{Name: "kind", WidthBytes: 20, Distinct: 4},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "keyword", Rows: 134_170,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 134_170},
+				{Name: "keyword", WidthBytes: 15, Distinct: 134_170},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "movie_keyword", Rows: 4_523_930,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 4_523_930},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 476_794},
+				{Name: "keyword_id", WidthBytes: 4, Distinct: 134_170},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"movie_id", "keyword_id"},
+		},
+		{
+			Name: "info_type", Rows: 113,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 113},
+				{Name: "info", WidthBytes: 15, Distinct: 113},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "kind_type", Rows: 7,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 7},
+				{Name: "kind", WidthBytes: 10, Distinct: 7},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "role_type", Rows: 12,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 12},
+				{Name: "role", WidthBytes: 10, Distinct: 12},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "link_type", Rows: 18,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 18},
+				{Name: "link", WidthBytes: 15, Distinct: 18},
+			},
+			PrimaryKey: []string{"id"},
+		},
+		{
+			Name: "movie_link", Rows: 29_997,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 29_997},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 6_411},
+				{Name: "linked_movie_id", WidthBytes: 4, Distinct: 15_245},
+				{Name: "link_type_id", WidthBytes: 4, Distinct: 16},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"movie_id", "linked_movie_id", "link_type_id"},
+		},
+		{
+			Name: "aka_name", Rows: 901_343,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 901_343},
+				{Name: "person_id", WidthBytes: 4, Distinct: 588_222},
+				{Name: "name", WidthBytes: 16, Distinct: 850_000},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"person_id"},
+		},
+		{
+			Name: "aka_title", Rows: 361_472,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 361_472},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 300_000},
+				{Name: "title", WidthBytes: 17, Distinct: 340_000},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"movie_id"},
+		},
+		{
+			Name: "person_info", Rows: 2_963_664,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 2_963_664},
+				{Name: "person_id", WidthBytes: 4, Distinct: 550_721},
+				{Name: "info_type_id", WidthBytes: 4, Distinct: 22},
+				{Name: "info", WidthBytes: 30, Distinct: 1_000_000},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"person_id", "info_type_id"},
+		},
+		{
+			Name: "complete_cast", Rows: 135_086,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 135_086},
+				{Name: "movie_id", WidthBytes: 4, Distinct: 93_514},
+				{Name: "subject_id", WidthBytes: 4, Distinct: 2},
+				{Name: "status_id", WidthBytes: 4, Distinct: 2},
+			},
+			PrimaryKey:  []string{"id"},
+			ForeignKeys: []string{"movie_id", "subject_id", "status_id"},
+		},
+		{
+			Name: "comp_cast_type", Rows: 4,
+			Columns: []engine.Column{
+				{Name: "id", WidthBytes: 4, Distinct: 4},
+				{Name: "kind", WidthBytes: 15, Distinct: 4},
+			},
+			PrimaryKey: []string{"id"},
+		},
+	})
+
+	return &Workload{Name: "JOB", Catalog: cat, Queries: jobQueries()}
+}
+
+// jobFamily is one of the benchmark's 33 query templates. Variants supply the
+// per-variant extra predicates (officially labeled a, b, c, d).
+type jobFamily struct {
+	id int
+	// from is the comma-separated FROM clause with aliases.
+	from string
+	// joins are the join predicates shared by all variants.
+	joins []string
+	// base are filter predicates shared by all variants.
+	base []string
+	// variants each add predicates to form one query.
+	variants [][]string
+}
+
+// jobFamilies encodes the 33 JOB families (join graphs follow the official
+// benchmark; filter constants are representative).
+var jobFamilies = []jobFamily{
+	{1, "company_type ct, info_type it, movie_companies mc, movie_info_idx mi_idx, title t",
+		[]string{"ct.id = mc.company_type_id", "t.id = mc.movie_id", "t.id = mi_idx.movie_id", "mc.movie_id = mi_idx.movie_id", "it.id = mi_idx.info_type_id"},
+		[]string{"ct.kind = 'production companies'"},
+		[][]string{
+			{"it.info = 'top 250 rank'", "mc.note NOT LIKE '%(as Metro-Goldwyn-Mayer Pictures)%'"},
+			{"it.info = 'bottom 10 rank'", "t.production_year BETWEEN 2005 AND 2010"},
+			{"it.info = 'top 250 rank'", "t.production_year > 2010"},
+			{"it.info = 'bottom 10 rank'", "mc.note LIKE '%(co-production)%'"},
+		}},
+	{2, "company_name cn, keyword k, movie_companies mc, movie_keyword mk, title t",
+		[]string{"cn.id = mc.company_id", "mc.movie_id = t.id", "t.id = mk.movie_id", "mk.keyword_id = k.id", "mc.movie_id = mk.movie_id"},
+		nil,
+		[][]string{
+			{"cn.country_code = '[de]'", "k.keyword = 'character-name-in-title'"},
+			{"cn.country_code = '[nl]'", "k.keyword = 'character-name-in-title'"},
+			{"cn.country_code = '[sm]'", "k.keyword = 'character-name-in-title'"},
+			{"cn.country_code = '[us]'", "k.keyword = 'character-name-in-title'"},
+		}},
+	{3, "keyword k, movie_info mi, movie_keyword mk, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mk.movie_id", "mk.movie_id = mi.movie_id", "k.id = mk.keyword_id"},
+		[]string{"k.keyword LIKE '%sequel%'"},
+		[][]string{
+			{"mi.info IN ('Sweden', 'Norway', 'Germany', 'Denmark')", "t.production_year > 2005"},
+			{"mi.info IN ('Bulgaria')", "t.production_year > 2010"},
+			{"mi.info IN ('Sweden', 'Norway', 'Germany')", "t.production_year > 1990"},
+		}},
+	{4, "info_type it, keyword k, movie_info_idx mi_idx, movie_keyword mk, title t",
+		[]string{"t.id = mi_idx.movie_id", "t.id = mk.movie_id", "mk.movie_id = mi_idx.movie_id", "k.id = mk.keyword_id", "it.id = mi_idx.info_type_id"},
+		[]string{"it.info = 'rating'", "k.keyword LIKE '%sequel%'"},
+		[][]string{
+			{"mi_idx.info > '5.0'", "t.production_year > 2005"},
+			{"mi_idx.info > '9.0'", "t.production_year > 2010"},
+			{"mi_idx.info > '2.0'", "t.production_year > 1990"},
+		}},
+	{5, "company_type ct, info_type it, movie_companies mc, movie_info mi, title t",
+		[]string{"t.id = mc.movie_id", "t.id = mi.movie_id", "mc.movie_id = mi.movie_id", "ct.id = mc.company_type_id", "it.id = mi.info_type_id"},
+		nil,
+		[][]string{
+			{"ct.kind = 'production companies'", "mc.note LIKE '%(theatrical)%'", "mi.info IN ('Sweden', 'Norway', 'Germany')", "t.production_year > 2005"},
+			{"ct.kind = 'production companies'", "mc.note LIKE '%(VHS)%'", "mi.info IN ('USA', 'America')", "t.production_year > 2010"},
+			{"ct.kind = 'production companies'", "mi.info IN ('Sweden', 'Norway', 'Germany')", "t.production_year > 1990"},
+		}},
+	{6, "cast_info ci, keyword k, movie_keyword mk, name n, title t",
+		[]string{"k.id = mk.keyword_id", "t.id = mk.movie_id", "t.id = ci.movie_id", "ci.movie_id = mk.movie_id", "n.id = ci.person_id"},
+		nil,
+		[][]string{
+			{"k.keyword = 'marvel-cinematic-universe'", "n.name LIKE '%Downey%Robert%'", "t.production_year > 2010"},
+			{"k.keyword = 'superhero'", "n.name LIKE '%Downey%Robert%'", "t.production_year > 2014"},
+			{"k.keyword = 'marvel-cinematic-universe'", "t.production_year > 2014"},
+			{"k.keyword = 'superhero'", "n.name LIKE '%Downey%Robert%'"},
+			{"k.keyword IN ('superhero', 'sequel', 'marvel-comics')", "n.name LIKE '%Downey%Robert%'", "t.production_year > 2000"},
+			{"k.keyword IN ('superhero', 'sequel')", "t.production_year > 2000"},
+		}},
+	{7, "aka_name an, cast_info ci, info_type it, link_type lt, movie_link ml, name n, person_info pi, title t",
+		[]string{"n.id = an.person_id", "n.id = pi.person_id", "ci.person_id = n.id", "t.id = ci.movie_id", "ml.linked_movie_id = t.id", "lt.id = ml.link_type_id", "it.id = pi.info_type_id"},
+		[]string{"it.info = 'mini biography'", "lt.link = 'features'"},
+		[][]string{
+			{"an.name LIKE '%a%'", "n.name_pcode_cf BETWEEN 'A' AND 'F'", "t.production_year BETWEEN 1980 AND 1995"},
+			{"an.name LIKE '%liv%'", "n.gender = 'f'", "t.production_year BETWEEN 1980 AND 1984"},
+			{"an.name LIKE '%an%'", "t.production_year BETWEEN 1980 AND 2010"},
+		}},
+	{8, "aka_name an, cast_info ci, company_name cn, movie_companies mc, name n, role_type rt, title t",
+		[]string{"an.person_id = n.id", "n.id = ci.person_id", "ci.movie_id = t.id", "t.id = mc.movie_id", "mc.company_id = cn.id", "ci.role_id = rt.id", "an.person_id = ci.person_id", "ci.movie_id = mc.movie_id"},
+		nil,
+		[][]string{
+			{"ci.note = '(voice: English version)'", "cn.country_code = '[jp]'", "mc.note LIKE '%(Japan)%'", "rt.role = 'actress'"},
+			{"ci.note = '(voice)'", "cn.country_code = '[jp]'", "rt.role = 'actress'", "n.name LIKE '%Yo%'"},
+			{"cn.country_code = '[us]'", "rt.role = 'writer'"},
+			{"cn.country_code = '[us]'", "rt.role = 'costume designer'"},
+		}},
+	{9, "aka_name an, char_name chn, cast_info ci, company_name cn, movie_companies mc, name n, role_type rt, title t",
+		[]string{"ci.movie_id = t.id", "t.id = mc.movie_id", "ci.movie_id = mc.movie_id", "mc.company_id = cn.id", "ci.role_id = rt.id", "n.id = ci.person_id", "chn.id = ci.person_role_id", "an.person_id = n.id", "an.person_id = ci.person_id"},
+		[]string{"cn.country_code = '[us]'", "rt.role = 'actress'"},
+		[][]string{
+			{"ci.note IN ('(voice)', '(voice: Japanese version)')", "mc.note LIKE '%(USA)%'", "t.production_year BETWEEN 2005 AND 2015"},
+			{"ci.note = '(voice)'", "mc.note LIKE '%(200%)%'", "t.production_year > 2000"},
+			{"ci.note IN ('(voice)', '(voice: English version)')", "n.gender = 'f'"},
+			{"n.gender = 'f'", "n.name LIKE '%An%'"},
+		}},
+	{10, "char_name chn, cast_info ci, company_name cn, company_type ct, movie_companies mc, role_type rt, title t",
+		[]string{"t.id = mc.movie_id", "t.id = ci.movie_id", "ci.movie_id = mc.movie_id", "chn.id = ci.person_role_id", "rt.id = ci.role_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id"},
+		nil,
+		[][]string{
+			{"ci.note LIKE '%(voice)%'", "ci.note LIKE '%(uncredited)%'", "cn.country_code = '[ru]'", "rt.role = 'actor'", "t.production_year > 2005"},
+			{"ci.note LIKE '%(producer)%'", "cn.country_code = '[ru]'", "rt.role = 'actor'", "t.production_year > 2010"},
+			{"ci.note LIKE '%(producer)%'", "cn.country_code = '[us]'", "t.production_year > 1990"},
+		}},
+	{11, "company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_keyword mk, movie_link ml, title t",
+		[]string{"t.id = ml.movie_id", "t.id = mk.movie_id", "t.id = mc.movie_id", "mk.movie_id = ml.movie_id", "ml.movie_id = mc.movie_id", "mk.movie_id = mc.movie_id", "k.id = mk.keyword_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id", "lt.id = ml.link_type_id"},
+		[]string{"cn.country_code <> '[pl]'", "k.keyword = 'sequel'"},
+		[][]string{
+			{"cn.name LIKE '%Film%'", "ct.kind = 'production companies'", "lt.link LIKE '%follow%'", "t.production_year BETWEEN 1950 AND 2000"},
+			{"cn.name LIKE '%Warner%'", "ct.kind = 'production companies'", "lt.link LIKE '%follows%'", "t.production_year = 1998"},
+			{"ct.kind = 'production companies'", "lt.link LIKE '%follow%'", "t.production_year BETWEEN 2000 AND 2010"},
+			{"ct.kind = 'production companies'", "lt.link LIKE '%follow%'"},
+		}},
+	{12, "company_name cn, company_type ct, info_type it1, info_type it2, movie_companies mc, movie_info mi, movie_info_idx mi_idx, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mi_idx.movie_id", "mi.info_type_id = it1.id", "mi_idx.info_type_id = it2.id", "t.id = mc.movie_id", "ct.id = mc.company_type_id", "cn.id = mc.company_id", "mc.movie_id = mi.movie_id", "mc.movie_id = mi_idx.movie_id", "mi.movie_id = mi_idx.movie_id"},
+		[]string{"cn.country_code = '[us]'", "ct.kind = 'production companies'", "it1.info = 'genres'", "it2.info = 'rating'"},
+		[][]string{
+			{"mi.info IN ('Drama', 'Horror')", "mi_idx.info > '8.0'", "t.production_year BETWEEN 2005 AND 2008"},
+			{"mi.info IN ('Drama', 'Horror', 'Western')", "mi_idx.info > '7.0'", "t.production_year BETWEEN 2000 AND 2010"},
+			{"mi.info IN ('Drama')", "mi_idx.info > '6.0'"},
+		}},
+	{13, "company_name cn, company_type ct, info_type it, info_type it2, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, title t",
+		[]string{"mi.movie_id = t.id", "it2.id = mi.info_type_id", "kt.id = t.kind_id", "mc.movie_id = t.id", "cn.id = mc.company_id", "ct.id = mc.company_type_id", "mi_idx.movie_id = t.id", "it.id = mi_idx.info_type_id", "mi.movie_id = mi_idx.movie_id", "mi.movie_id = mc.movie_id", "mi_idx.movie_id = mc.movie_id"},
+		[]string{"cn.country_code = '[de]'", "ct.kind = 'production companies'", "it.info = 'rating'", "it2.info = 'release dates'", "kt.kind = 'movie'"},
+		[][]string{
+			{},
+			{"t.title LIKE '%Champion%'"},
+			{"t.title LIKE 'Champion%'"},
+			{"t.production_year > 2000"},
+		}},
+	{14, "info_type it1, info_type it2, keyword k, kind_type kt, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mk.movie_id", "t.id = mi_idx.movie_id", "mk.movie_id = mi.movie_id", "mk.movie_id = mi_idx.movie_id", "mi.movie_id = mi_idx.movie_id", "k.id = mk.keyword_id", "it1.id = mi.info_type_id", "it2.id = mi_idx.info_type_id", "kt.id = t.kind_id"},
+		[]string{"it1.info = 'countries'", "it2.info = 'rating'", "kt.kind = 'movie'"},
+		[][]string{
+			{"k.keyword IN ('murder', 'blood', 'gore')", "mi.info IN ('Sweden', 'Germany')", "mi_idx.info < '8.5'", "t.production_year > 2010"},
+			{"k.keyword IN ('murder', 'blood')", "mi.info IN ('Sweden', 'Germany', 'USA')", "mi_idx.info > '6.0'", "t.production_year > 2005"},
+			{"k.keyword IN ('murder')", "mi_idx.info < '8.5'", "t.production_year > 2000"},
+		}},
+	{15, "aka_title at, company_name cn, company_type ct, info_type it1, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, title t",
+		[]string{"t.id = at.movie_id", "t.id = mi.movie_id", "t.id = mk.movie_id", "t.id = mc.movie_id", "mc.movie_id = mi.movie_id", "mc.movie_id = mk.movie_id", "mi.movie_id = mk.movie_id", "k.id = mk.keyword_id", "it1.id = mi.info_type_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id"},
+		[]string{"cn.country_code = '[us]'", "it1.info = 'release dates'"},
+		[][]string{
+			{"mi.note LIKE '%internet%'", "t.production_year > 1990"},
+			{"mi.note LIKE '%internet%'", "mi.info LIKE 'USA:% 199%'", "t.production_year > 1990"},
+			{"mi.info LIKE 'USA:% 200%'", "t.production_year > 2000"},
+			{"mi.note LIKE '%internet%'", "mi.info LIKE 'USA:% 200%'"},
+		}},
+	{16, "aka_name an, cast_info ci, company_name cn, keyword k, movie_companies mc, movie_keyword mk, name n, title t",
+		[]string{"an.person_id = n.id", "n.id = ci.person_id", "ci.movie_id = t.id", "t.id = mk.movie_id", "mk.keyword_id = k.id", "t.id = mc.movie_id", "mc.company_id = cn.id", "ci.movie_id = mc.movie_id", "ci.movie_id = mk.movie_id", "mc.movie_id = mk.movie_id"},
+		[]string{"k.keyword = 'character-name-in-title'"},
+		[][]string{
+			{"cn.country_code = '[us]'", "t.episode_nr >= 50", "t.episode_nr < 100"},
+			{"cn.country_code = '[us]'", "t.episode_nr < 100"},
+			{"cn.country_code = '[us]'", "t.episode_nr >= 5", "t.episode_nr < 100"},
+			{"cn.country_code = '[us]'"},
+		}},
+	{17, "cast_info ci, company_name cn, keyword k, movie_companies mc, movie_keyword mk, name n, title t",
+		[]string{"n.id = ci.person_id", "ci.movie_id = t.id", "t.id = mk.movie_id", "mk.keyword_id = k.id", "t.id = mc.movie_id", "mc.company_id = cn.id", "ci.movie_id = mc.movie_id", "ci.movie_id = mk.movie_id", "mc.movie_id = mk.movie_id"},
+		[]string{"k.keyword = 'character-name-in-title'"},
+		[][]string{
+			{"cn.country_code = '[us]'", "n.name LIKE 'B%'"},
+			{"cn.country_code = '[us]'", "n.name LIKE 'Z%'"},
+			{"cn.country_code = '[us]'", "n.name LIKE 'X%'"},
+			{"n.name LIKE '%Bert%'"},
+			{"n.name LIKE 'B%'"},
+			{"n.name LIKE 'Z%'"},
+		}},
+	{18, "cast_info ci, info_type it1, info_type it2, movie_info mi, movie_info_idx mi_idx, name n, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mi_idx.movie_id", "t.id = ci.movie_id", "ci.movie_id = mi.movie_id", "ci.movie_id = mi_idx.movie_id", "mi.movie_id = mi_idx.movie_id", "n.id = ci.person_id", "it1.id = mi.info_type_id", "it2.id = mi_idx.info_type_id"},
+		nil,
+		[][]string{
+			{"ci.note IN ('(producer)', '(executive producer)')", "it1.info = 'budget'", "it2.info = 'votes'", "n.gender = 'm'", "n.name LIKE '%Tim%'"},
+			{"ci.note IN ('(writer)', '(head writer)')", "it1.info = 'genres'", "it2.info = 'rating'", "n.gender = 'f'"},
+			{"ci.note IN ('(writer)')", "it1.info = 'genres'", "it2.info = 'votes'"},
+		}},
+	{19, "aka_name an, char_name chn, cast_info ci, company_name cn, info_type it, movie_companies mc, movie_info mi, name n, role_type rt, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mc.movie_id", "t.id = ci.movie_id", "mc.movie_id = ci.movie_id", "mc.movie_id = mi.movie_id", "mi.movie_id = ci.movie_id", "cn.id = mc.company_id", "it.id = mi.info_type_id", "n.id = ci.person_id", "rt.id = ci.role_id", "n.id = an.person_id", "ci.person_id = an.person_id", "chn.id = ci.person_role_id"},
+		[]string{"cn.country_code = '[us]'", "it.info = 'release dates'", "rt.role = 'actress'"},
+		[][]string{
+			{"ci.note = '(voice)'", "mc.note LIKE '%(200%)%'", "mi.info LIKE 'Japan:%200%'", "n.gender = 'f'", "n.name LIKE '%An%'", "t.production_year BETWEEN 2005 AND 2009"},
+			{"ci.note = '(voice)'", "n.gender = 'f'", "t.production_year BETWEEN 2007 AND 2008", "t.title LIKE '%Kung%Fu%Panda%'"},
+			{"ci.note = '(voice)'", "n.gender = 'f'", "t.production_year > 2000"},
+			{"n.gender = 'f'", "t.production_year > 2000"},
+		}},
+	{20, "complete_cast cc, comp_cast_type cct1, char_name chn, cast_info ci, keyword k, kind_type kt, movie_keyword mk, name n, title t",
+		[]string{"cc.subject_id = cct1.id", "cc.movie_id = t.id", "kt.id = t.kind_id", "t.id = mk.movie_id", "mk.keyword_id = k.id", "t.id = ci.movie_id", "ci.movie_id = mk.movie_id", "ci.movie_id = cc.movie_id", "mk.movie_id = cc.movie_id", "chn.id = ci.person_role_id", "n.id = ci.person_id"},
+		[]string{"kt.kind = 'movie'"},
+		[][]string{
+			{"cct1.kind = 'cast'", "k.keyword IN ('superhero', 'marvel-comics')", "t.production_year > 1950"},
+			{"cct1.kind = 'complete+verified'", "k.keyword IN ('superhero')", "t.production_year > 2000"},
+			{"cct1.kind = 'cast'", "k.keyword IN ('superhero', 'marvel-comics', 'fight')", "t.production_year > 2000"},
+		}},
+	{21, "company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_info mi, movie_keyword mk, movie_link ml, title t",
+		[]string{"t.id = ml.movie_id", "t.id = mk.movie_id", "t.id = mc.movie_id", "t.id = mi.movie_id", "mk.movie_id = ml.movie_id", "mk.movie_id = mc.movie_id", "mk.movie_id = mi.movie_id", "ml.movie_id = mc.movie_id", "ml.movie_id = mi.movie_id", "mc.movie_id = mi.movie_id", "k.id = mk.keyword_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id", "lt.id = ml.link_type_id"},
+		[]string{"cn.country_code <> '[pl]'", "k.keyword = 'sequel'", "ct.kind = 'production companies'"},
+		[][]string{
+			{"cn.name LIKE '%Film%'", "lt.link LIKE '%follow%'", "mi.info IN ('Sweden', 'Germany')", "t.production_year BETWEEN 1950 AND 2000"},
+			{"cn.name LIKE '%Warner%'", "lt.link LIKE '%follow%'", "mi.info IN ('Germany')", "t.production_year BETWEEN 2000 AND 2010"},
+			{"lt.link LIKE '%follow%'", "mi.info IN ('Sweden', 'Germany', 'USA')"},
+		}},
+	{22, "company_name cn, company_type ct, info_type it1, info_type it2, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mk.movie_id", "t.id = mi_idx.movie_id", "t.id = mc.movie_id", "mk.movie_id = mi.movie_id", "mk.movie_id = mi_idx.movie_id", "mk.movie_id = mc.movie_id", "mi.movie_id = mi_idx.movie_id", "mi.movie_id = mc.movie_id", "mc.movie_id = mi_idx.movie_id", "k.id = mk.keyword_id", "it1.id = mi.info_type_id", "it2.id = mi_idx.info_type_id", "kt.id = t.kind_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id"},
+		[]string{"it1.info = 'countries'", "it2.info = 'rating'", "k.keyword IN ('murder', 'blood', 'gore')", "kt.kind IN ('movie', 'episode')"},
+		[][]string{
+			{"cn.country_code <> '[us]'", "mc.note NOT LIKE '%(USA)%'", "mi.info IN ('Germany', 'Swedish')", "mi_idx.info < '7.0'", "t.production_year > 2008"},
+			{"cn.country_code <> '[us]'", "mi.info IN ('Germany', 'Swedish', 'German')", "mi_idx.info > '6.5'", "t.production_year > 2005"},
+			{"cn.country_code <> '[us]'", "mi_idx.info < '8.5'", "t.production_year > 2005"},
+			{"mi_idx.info < '8.5'", "t.production_year > 2005"},
+		}},
+	{23, "complete_cast cc, comp_cast_type cct1, company_name cn, company_type ct, info_type it1, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_keyword mk, title t",
+		[]string{"cc.subject_id = cct1.id", "cc.movie_id = t.id", "kt.id = t.kind_id", "t.id = mi.movie_id", "t.id = mk.movie_id", "t.id = mc.movie_id", "mk.movie_id = mi.movie_id", "mk.movie_id = mc.movie_id", "mi.movie_id = mc.movie_id", "k.id = mk.keyword_id", "it1.id = mi.info_type_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id", "cc.movie_id = mi.movie_id"},
+		[]string{"cct1.kind = 'complete+verified'", "cn.country_code = '[us]'", "it1.info = 'release dates'", "kt.kind IN ('movie')"},
+		[][]string{
+			{"mi.note LIKE '%internet%'", "mi.info LIKE 'USA:% 199%'", "t.production_year > 1990"},
+			{"mi.note LIKE '%internet%'", "mi.info LIKE 'USA:% 200%'", "t.production_year > 2000"},
+			{"mi.note LIKE '%internet%'", "t.production_year > 1990"},
+		}},
+	{24, "aka_name an, char_name chn, cast_info ci, company_name cn, info_type it, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, name n, role_type rt, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mc.movie_id", "t.id = ci.movie_id", "t.id = mk.movie_id", "mc.movie_id = ci.movie_id", "mc.movie_id = mi.movie_id", "mc.movie_id = mk.movie_id", "mi.movie_id = ci.movie_id", "mi.movie_id = mk.movie_id", "ci.movie_id = mk.movie_id", "cn.id = mc.company_id", "it.id = mi.info_type_id", "n.id = ci.person_id", "rt.id = ci.role_id", "n.id = an.person_id", "ci.person_id = an.person_id", "chn.id = ci.person_role_id", "k.id = mk.keyword_id"},
+		[]string{"cn.country_code = '[us]'", "it.info = 'release dates'", "rt.role = 'actress'", "n.gender = 'f'"},
+		[][]string{
+			{"ci.note = '(voice)'", "k.keyword IN ('hero', 'martial-arts')", "mi.info LIKE 'Japan:%201%'", "t.production_year > 2010"},
+			{"ci.note = '(voice)'", "k.keyword IN ('hero')", "t.production_year > 2000"},
+		}},
+	{25, "cast_info ci, info_type it1, info_type it2, keyword k, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mi_idx.movie_id", "t.id = ci.movie_id", "t.id = mk.movie_id", "ci.movie_id = mi.movie_id", "ci.movie_id = mi_idx.movie_id", "ci.movie_id = mk.movie_id", "mi.movie_id = mi_idx.movie_id", "mi.movie_id = mk.movie_id", "mi_idx.movie_id = mk.movie_id", "n.id = ci.person_id", "it1.id = mi.info_type_id", "it2.id = mi_idx.info_type_id", "k.id = mk.keyword_id"},
+		[]string{"it1.info = 'genres'", "it2.info = 'votes'", "n.gender = 'm'"},
+		[][]string{
+			{"ci.note IN ('(writer)', '(head writer)')", "k.keyword IN ('murder', 'blood', 'gore')", "mi.info = 'Horror'"},
+			{"ci.note IN ('(writer)')", "k.keyword IN ('murder', 'female-nudity')", "mi.info = 'Horror'"},
+			{"ci.note IN ('(writer)')", "k.keyword IN ('murder', 'violence', 'blood')", "mi.info IN ('Horror', 'Thriller')"},
+		}},
+	{26, "complete_cast cc, comp_cast_type cct1, char_name chn, cast_info ci, info_type it2, keyword k, kind_type kt, movie_info_idx mi_idx, movie_keyword mk, name n, title t",
+		[]string{"cc.subject_id = cct1.id", "cc.movie_id = t.id", "kt.id = t.kind_id", "t.id = mk.movie_id", "mk.keyword_id = k.id", "t.id = ci.movie_id", "ci.movie_id = mk.movie_id", "ci.movie_id = cc.movie_id", "mk.movie_id = cc.movie_id", "chn.id = ci.person_role_id", "n.id = ci.person_id", "t.id = mi_idx.movie_id", "mi_idx.info_type_id = it2.id", "mi_idx.movie_id = cc.movie_id"},
+		[]string{"cct1.kind = 'cast'", "it2.info = 'rating'", "kt.kind = 'movie'"},
+		[][]string{
+			{"chn.name IN ('Superman', 'Batman')", "k.keyword = 'superhero'", "mi_idx.info > '7.0'", "t.production_year > 2000"},
+			{"k.keyword = 'superhero'", "mi_idx.info > '8.0'", "t.production_year > 2005"},
+			{"k.keyword IN ('superhero', 'fight')", "mi_idx.info > '6.5'", "t.production_year > 2000"},
+		}},
+	{27, "complete_cast cc, comp_cast_type cct1, company_name cn, company_type ct, keyword k, link_type lt, movie_companies mc, movie_info mi, movie_keyword mk, movie_link ml, title t",
+		[]string{"t.id = ml.movie_id", "t.id = mk.movie_id", "t.id = mc.movie_id", "t.id = mi.movie_id", "t.id = cc.movie_id", "mk.movie_id = ml.movie_id", "mk.movie_id = mc.movie_id", "mk.movie_id = mi.movie_id", "mk.movie_id = cc.movie_id", "ml.movie_id = mc.movie_id", "ml.movie_id = mi.movie_id", "ml.movie_id = cc.movie_id", "mc.movie_id = mi.movie_id", "mc.movie_id = cc.movie_id", "mi.movie_id = cc.movie_id", "k.id = mk.keyword_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id", "lt.id = ml.link_type_id", "cct1.id = cc.subject_id"},
+		[]string{"cct1.kind = 'cast'", "cn.country_code <> '[pl]'", "ct.kind = 'production companies'", "k.keyword = 'sequel'", "lt.link LIKE '%follow%'"},
+		[][]string{
+			{"cn.name LIKE '%Film%'", "mi.info IN ('Sweden', 'Germany')", "t.production_year BETWEEN 1950 AND 2000"},
+			{"mi.info IN ('Sweden', 'Germany')", "t.production_year = 1998"},
+			{"mi.info IN ('Sweden', 'Norway', 'Germany')", "t.production_year BETWEEN 1950 AND 2010"},
+		}},
+	{28, "complete_cast cc, comp_cast_type cct1, company_name cn, company_type ct, info_type it1, info_type it2, keyword k, kind_type kt, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, title t",
+		[]string{"cc.subject_id = cct1.id", "cc.movie_id = t.id", "kt.id = t.kind_id", "t.id = mi.movie_id", "t.id = mk.movie_id", "t.id = mi_idx.movie_id", "t.id = mc.movie_id", "mk.movie_id = mi.movie_id", "mk.movie_id = mi_idx.movie_id", "mk.movie_id = mc.movie_id", "mi.movie_id = mi_idx.movie_id", "mi.movie_id = mc.movie_id", "mc.movie_id = mi_idx.movie_id", "k.id = mk.keyword_id", "it1.id = mi.info_type_id", "it2.id = mi_idx.info_type_id", "cn.id = mc.company_id", "ct.id = mc.company_type_id", "cc.movie_id = mc.movie_id"},
+		[]string{"it1.info = 'countries'", "it2.info = 'rating'", "k.keyword IN ('murder', 'blood', 'gore')", "kt.kind IN ('movie', 'episode')"},
+		[][]string{
+			{"cct1.kind = 'crew'", "cn.country_code <> '[us]'", "mi.info IN ('Germany', 'Swedish')", "mi_idx.info < '8.5'", "t.production_year > 2000"},
+			{"cct1.kind = 'complete+verified'", "cn.country_code <> '[us]'", "mi_idx.info < '8.5'", "t.production_year > 2005"},
+			{"cct1.kind = 'cast'", "mi_idx.info < '8.5'", "t.production_year > 2005"},
+		}},
+	{29, "aka_name an, complete_cast cc, comp_cast_type cct1, char_name chn, cast_info ci, company_name cn, info_type it, keyword k, movie_companies mc, movie_info mi, movie_keyword mk, name n, person_info pi, role_type rt, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mc.movie_id", "t.id = ci.movie_id", "t.id = mk.movie_id", "t.id = cc.movie_id", "mc.movie_id = ci.movie_id", "mc.movie_id = mi.movie_id", "mc.movie_id = mk.movie_id", "mc.movie_id = cc.movie_id", "mi.movie_id = ci.movie_id", "mi.movie_id = mk.movie_id", "mi.movie_id = cc.movie_id", "ci.movie_id = mk.movie_id", "ci.movie_id = cc.movie_id", "mk.movie_id = cc.movie_id", "cn.id = mc.company_id", "it.id = mi.info_type_id", "n.id = ci.person_id", "rt.id = ci.role_id", "n.id = an.person_id", "ci.person_id = an.person_id", "chn.id = ci.person_role_id", "n.id = pi.person_id", "ci.person_id = pi.person_id", "k.id = mk.keyword_id", "cct1.id = cc.subject_id"},
+		[]string{"cn.country_code = '[us]'", "it.info = 'release dates'", "rt.role = 'actress'", "n.gender = 'f'", "cct1.kind = 'cast'", "k.keyword = 'computer-animation'"},
+		[][]string{
+			{"ci.note = '(voice)'", "mi.info LIKE 'Japan:%200%'", "t.production_year BETWEEN 2000 AND 2010"},
+			{"ci.note = '(voice)'", "t.production_year BETWEEN 2000 AND 2010", "t.title = 'Shrek 2'"},
+			{"ci.note = '(voice)'", "t.production_year BETWEEN 1990 AND 2010"},
+		}},
+	{30, "complete_cast cc, comp_cast_type cct1, cast_info ci, info_type it1, info_type it2, keyword k, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mi_idx.movie_id", "t.id = ci.movie_id", "t.id = mk.movie_id", "t.id = cc.movie_id", "ci.movie_id = mi.movie_id", "ci.movie_id = mi_idx.movie_id", "ci.movie_id = mk.movie_id", "ci.movie_id = cc.movie_id", "mi.movie_id = mi_idx.movie_id", "mi.movie_id = mk.movie_id", "mi.movie_id = cc.movie_id", "mi_idx.movie_id = mk.movie_id", "mi_idx.movie_id = cc.movie_id", "mk.movie_id = cc.movie_id", "n.id = ci.person_id", "it1.id = mi.info_type_id", "it2.id = mi_idx.info_type_id", "k.id = mk.keyword_id", "cct1.id = cc.subject_id"},
+		[]string{"cct1.kind = 'cast'", "it1.info = 'genres'", "it2.info = 'votes'", "k.keyword IN ('murder', 'violence', 'blood')", "n.gender = 'm'"},
+		[][]string{
+			{"ci.note IN ('(writer)', '(head writer)')", "mi.info = 'Horror'", "t.production_year > 2000"},
+			{"ci.note IN ('(writer)')", "mi.info IN ('Horror', 'Thriller')", "t.production_year > 2005"},
+			{"ci.note IN ('(writer)')", "mi.info = 'Horror'"},
+		}},
+	{31, "cast_info ci, company_name cn, info_type it1, info_type it2, keyword k, movie_companies mc, movie_info mi, movie_info_idx mi_idx, movie_keyword mk, name n, title t",
+		[]string{"t.id = mi.movie_id", "t.id = mi_idx.movie_id", "t.id = ci.movie_id", "t.id = mk.movie_id", "t.id = mc.movie_id", "ci.movie_id = mi.movie_id", "ci.movie_id = mi_idx.movie_id", "ci.movie_id = mk.movie_id", "ci.movie_id = mc.movie_id", "mi.movie_id = mi_idx.movie_id", "mi.movie_id = mk.movie_id", "mi.movie_id = mc.movie_id", "mi_idx.movie_id = mk.movie_id", "mi_idx.movie_id = mc.movie_id", "mk.movie_id = mc.movie_id", "n.id = ci.person_id", "it1.id = mi.info_type_id", "it2.id = mi_idx.info_type_id", "k.id = mk.keyword_id", "cn.id = mc.company_id"},
+		[]string{"it1.info = 'genres'", "it2.info = 'votes'", "k.keyword IN ('murder', 'violence', 'blood')", "n.gender = 'm'"},
+		[][]string{
+			{"ci.note IN ('(writer)', '(head writer)')", "cn.name LIKE 'Lionsgate%'", "mi.info = 'Horror'"},
+			{"ci.note IN ('(writer)')", "cn.name LIKE 'Lionsgate%'", "mi.info IN ('Horror', 'Thriller')"},
+			{"ci.note IN ('(writer)')", "cn.name LIKE 'Universal%'", "mi.info = 'Horror'"},
+		}},
+	{32, "keyword k, link_type lt, movie_keyword mk, movie_link ml, title t1, title t2",
+		[]string{"mk.keyword_id = k.id", "t1.id = mk.movie_id", "ml.movie_id = t1.id", "ml.linked_movie_id = t2.id", "lt.id = ml.link_type_id"},
+		nil,
+		[][]string{
+			{"k.keyword = '10,000-mile-club'"},
+			{"k.keyword = 'character-name-in-title'"},
+		}},
+	{33, "company_name cn1, company_name cn2, info_type it1, info_type it2, kind_type kt1, kind_type kt2, link_type lt, movie_companies mc1, movie_companies mc2, movie_info_idx mi_idx1, movie_info_idx mi_idx2, movie_link ml, title t1, title t2",
+		[]string{"lt.id = ml.link_type_id", "t1.id = ml.movie_id", "t2.id = ml.linked_movie_id", "it1.id = mi_idx1.info_type_id", "t1.id = mi_idx1.movie_id", "kt1.id = t1.kind_id", "cn1.id = mc1.company_id", "t1.id = mc1.movie_id", "ml.movie_id = mi_idx1.movie_id", "ml.movie_id = mc1.movie_id", "mi_idx1.movie_id = mc1.movie_id", "it2.id = mi_idx2.info_type_id", "t2.id = mi_idx2.movie_id", "kt2.id = t2.kind_id", "cn2.id = mc2.company_id", "t2.id = mc2.movie_id", "ml.linked_movie_id = mi_idx2.movie_id", "ml.linked_movie_id = mc2.movie_id", "mi_idx2.movie_id = mc2.movie_id"},
+		[]string{"it1.info = 'rating'", "it2.info = 'rating'", "kt1.kind = 'tv series'", "kt2.kind = 'tv series'"},
+		[][]string{
+			{"cn1.country_code = '[us]'", "lt.link IN ('sequel', 'follows', 'followed by')", "mi_idx2.info < '3.0'", "t2.production_year BETWEEN 2005 AND 2008"},
+			{"cn1.country_code = '[nl]'", "lt.link LIKE '%follow%'", "mi_idx2.info < '3.0'", "t2.production_year = 2007"},
+			{"cn1.country_code <> '[us]'", "lt.link IN ('sequel', 'follows', 'followed by')", "mi_idx2.info < '3.5'", "t2.production_year BETWEEN 2000 AND 2010"},
+		}},
+}
+
+// jobQueries renders all families and variants into prepared queries,
+// yielding the benchmark's 113 queries.
+func jobQueries() []*engine.Query {
+	var out []*engine.Query
+	for _, fam := range jobFamilies {
+		for vi, extra := range fam.variants {
+			preds := append(append([]string{}, fam.joins...), fam.base...)
+			preds = append(preds, extra...)
+			sql := fmt.Sprintf("SELECT COUNT(*) FROM %s WHERE %s",
+				fam.from, strings.Join(preds, " AND "))
+			name := fmt.Sprintf("%d%c", fam.id, 'a'+vi)
+			out = append(out, engine.MustPrepareQuery(name, sql))
+		}
+	}
+	return out
+}

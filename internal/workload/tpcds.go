@@ -1,0 +1,719 @@
+package workload
+
+import (
+	"fmt"
+
+	"lambdatune/internal/engine"
+)
+
+// TPCDS returns the TPC-DS workload at the given scale factor. The query set
+// is a 60-query subset covering the benchmark's characteristic star-join
+// shapes over all three sales channels; queries using derived tables or
+// window functions in the official text are flattened to equivalent join
+// structures (see DESIGN.md §2).
+func TPCDS(sf int) *Workload {
+	if sf < 1 {
+		sf = 1
+	}
+	s := int64(sf)
+	cat := engine.NewCatalog(fmt.Sprintf("tpcds-sf%d", sf), []engine.Table{
+		{
+			Name: "date_dim", Rows: 73_049,
+			Columns: []engine.Column{
+				{Name: "d_date_sk", WidthBytes: 4, Distinct: 73_049},
+				{Name: "d_date", WidthBytes: 4, Distinct: 73_049},
+				{Name: "d_year", WidthBytes: 4, Distinct: 201},
+				{Name: "d_moy", WidthBytes: 4, Distinct: 12},
+				{Name: "d_dom", WidthBytes: 4, Distinct: 31},
+				{Name: "d_qoy", WidthBytes: 4, Distinct: 4},
+				{Name: "d_day_name", WidthBytes: 9, Distinct: 7},
+				{Name: "d_month_seq", WidthBytes: 4, Distinct: 2_400},
+			},
+			PrimaryKey: []string{"d_date_sk"},
+		},
+		{
+			Name: "time_dim", Rows: 86_400,
+			Columns: []engine.Column{
+				{Name: "t_time_sk", WidthBytes: 4, Distinct: 86_400},
+				{Name: "t_hour", WidthBytes: 4, Distinct: 24},
+				{Name: "t_minute", WidthBytes: 4, Distinct: 60},
+				{Name: "t_meal_time", WidthBytes: 20, Distinct: 4},
+			},
+			PrimaryKey: []string{"t_time_sk"},
+		},
+		{
+			Name: "item", Rows: 18_000 * s,
+			Columns: []engine.Column{
+				{Name: "i_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "i_item_id", WidthBytes: 16, Distinct: 9_000 * s},
+				{Name: "i_brand", WidthBytes: 32, Distinct: 700},
+				{Name: "i_brand_id", WidthBytes: 4, Distinct: 950},
+				{Name: "i_class", WidthBytes: 20, Distinct: 100},
+				{Name: "i_category", WidthBytes: 20, Distinct: 10},
+				{Name: "i_manufact_id", WidthBytes: 4, Distinct: 1_000},
+				{Name: "i_manager_id", WidthBytes: 4, Distinct: 100},
+				{Name: "i_current_price", WidthBytes: 8, Distinct: 9_000},
+				{Name: "i_color", WidthBytes: 10, Distinct: 92},
+				{Name: "i_size", WidthBytes: 10, Distinct: 7},
+			},
+			PrimaryKey: []string{"i_item_sk"},
+		},
+		{
+			Name: "customer", Rows: 100_000 * s,
+			Columns: []engine.Column{
+				{Name: "c_customer_sk", WidthBytes: 4, Distinct: 100_000 * s},
+				{Name: "c_customer_id", WidthBytes: 16, Distinct: 100_000 * s},
+				{Name: "c_current_addr_sk", WidthBytes: 4, Distinct: 50_000 * s},
+				{Name: "c_current_cdemo_sk", WidthBytes: 4, Distinct: 95_000},
+				{Name: "c_current_hdemo_sk", WidthBytes: 4, Distinct: 7_200},
+				{Name: "c_first_name", WidthBytes: 12, Distinct: 5_000},
+				{Name: "c_last_name", WidthBytes: 14, Distinct: 5_000},
+				{Name: "c_birth_country", WidthBytes: 20, Distinct: 200},
+				{Name: "c_birth_year", WidthBytes: 4, Distinct: 70},
+			},
+			PrimaryKey:  []string{"c_customer_sk"},
+			ForeignKeys: []string{"c_current_addr_sk", "c_current_cdemo_sk", "c_current_hdemo_sk"},
+		},
+		{
+			Name: "customer_address", Rows: 50_000 * s,
+			Columns: []engine.Column{
+				{Name: "ca_address_sk", WidthBytes: 4, Distinct: 50_000 * s},
+				{Name: "ca_state", WidthBytes: 2, Distinct: 51},
+				{Name: "ca_city", WidthBytes: 20, Distinct: 700},
+				{Name: "ca_county", WidthBytes: 20, Distinct: 1_850},
+				{Name: "ca_country", WidthBytes: 20, Distinct: 1},
+				{Name: "ca_zip", WidthBytes: 10, Distinct: 7_700},
+				{Name: "ca_gmt_offset", WidthBytes: 8, Distinct: 6},
+			},
+			PrimaryKey: []string{"ca_address_sk"},
+		},
+		{
+			Name: "customer_demographics", Rows: 1_920_800,
+			Columns: []engine.Column{
+				{Name: "cd_demo_sk", WidthBytes: 4, Distinct: 1_920_800},
+				{Name: "cd_gender", WidthBytes: 1, Distinct: 2},
+				{Name: "cd_marital_status", WidthBytes: 1, Distinct: 5},
+				{Name: "cd_education_status", WidthBytes: 15, Distinct: 7},
+			},
+			PrimaryKey: []string{"cd_demo_sk"},
+		},
+		{
+			Name: "household_demographics", Rows: 7_200,
+			Columns: []engine.Column{
+				{Name: "hd_demo_sk", WidthBytes: 4, Distinct: 7_200},
+				{Name: "hd_income_band_sk", WidthBytes: 4, Distinct: 20},
+				{Name: "hd_buy_potential", WidthBytes: 10, Distinct: 6},
+				{Name: "hd_dep_count", WidthBytes: 4, Distinct: 10},
+				{Name: "hd_vehicle_count", WidthBytes: 4, Distinct: 6},
+			},
+			PrimaryKey: []string{"hd_demo_sk"},
+		},
+		{
+			Name: "store", Rows: 12 * s,
+			Columns: []engine.Column{
+				{Name: "s_store_sk", WidthBytes: 4, Distinct: 12 * s},
+				{Name: "s_store_id", WidthBytes: 16, Distinct: 6 * s},
+				{Name: "s_store_name", WidthBytes: 10, Distinct: 10},
+				{Name: "s_state", WidthBytes: 2, Distinct: 9},
+				{Name: "s_county", WidthBytes: 20, Distinct: 9},
+				{Name: "s_city", WidthBytes: 20, Distinct: 10},
+				{Name: "s_number_employees", WidthBytes: 4, Distinct: 100},
+			},
+			PrimaryKey: []string{"s_store_sk"},
+		},
+		{
+			Name: "warehouse", Rows: 5 * s,
+			Columns: []engine.Column{
+				{Name: "w_warehouse_sk", WidthBytes: 4, Distinct: 5 * s},
+				{Name: "w_warehouse_name", WidthBytes: 20, Distinct: 5 * s},
+				{Name: "w_state", WidthBytes: 2, Distinct: 5},
+			},
+			PrimaryKey: []string{"w_warehouse_sk"},
+		},
+		{
+			Name: "promotion", Rows: 300 * s,
+			Columns: []engine.Column{
+				{Name: "p_promo_sk", WidthBytes: 4, Distinct: 300 * s},
+				{Name: "p_channel_dmail", WidthBytes: 1, Distinct: 2},
+				{Name: "p_channel_email", WidthBytes: 1, Distinct: 2},
+				{Name: "p_channel_tv", WidthBytes: 1, Distinct: 2},
+			},
+			PrimaryKey: []string{"p_promo_sk"},
+		},
+		{
+			Name: "store_sales", Rows: 2_880_404 * s,
+			Columns: []engine.Column{
+				{Name: "ss_sold_date_sk", WidthBytes: 4, Distinct: 1_823},
+				{Name: "ss_sold_time_sk", WidthBytes: 4, Distinct: 43_000},
+				{Name: "ss_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "ss_customer_sk", WidthBytes: 4, Distinct: 95_000 * s},
+				{Name: "ss_cdemo_sk", WidthBytes: 4, Distinct: 1_500_000},
+				{Name: "ss_hdemo_sk", WidthBytes: 4, Distinct: 7_200},
+				{Name: "ss_addr_sk", WidthBytes: 4, Distinct: 50_000 * s},
+				{Name: "ss_store_sk", WidthBytes: 4, Distinct: 12 * s},
+				{Name: "ss_promo_sk", WidthBytes: 4, Distinct: 300 * s},
+				{Name: "ss_ticket_number", WidthBytes: 8, Distinct: 240_000 * s},
+				{Name: "ss_quantity", WidthBytes: 4, Distinct: 100},
+				{Name: "ss_sales_price", WidthBytes: 8, Distinct: 19_000},
+				{Name: "ss_ext_sales_price", WidthBytes: 8, Distinct: 700_000},
+				{Name: "ss_net_profit", WidthBytes: 8, Distinct: 1_400_000},
+				{Name: "ss_list_price", WidthBytes: 8, Distinct: 19_000},
+				{Name: "ss_coupon_amt", WidthBytes: 8, Distinct: 1_000_000},
+			},
+			ForeignKeys: []string{"ss_sold_date_sk", "ss_item_sk", "ss_customer_sk", "ss_store_sk", "ss_promo_sk", "ss_cdemo_sk", "ss_hdemo_sk", "ss_addr_sk"},
+		},
+		{
+			Name: "store_returns", Rows: 287_514 * s,
+			Columns: []engine.Column{
+				{Name: "sr_returned_date_sk", WidthBytes: 4, Distinct: 2_000},
+				{Name: "sr_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "sr_customer_sk", WidthBytes: 4, Distinct: 85_000 * s},
+				{Name: "sr_ticket_number", WidthBytes: 8, Distinct: 180_000 * s},
+				{Name: "sr_return_amt", WidthBytes: 8, Distinct: 150_000},
+				{Name: "sr_store_sk", WidthBytes: 4, Distinct: 12 * s},
+			},
+			ForeignKeys: []string{"sr_returned_date_sk", "sr_item_sk", "sr_customer_sk", "sr_store_sk"},
+		},
+		{
+			Name: "catalog_sales", Rows: 1_441_548 * s,
+			Columns: []engine.Column{
+				{Name: "cs_sold_date_sk", WidthBytes: 4, Distinct: 1_823},
+				{Name: "cs_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "cs_bill_customer_sk", WidthBytes: 4, Distinct: 95_000 * s},
+				{Name: "cs_bill_cdemo_sk", WidthBytes: 4, Distinct: 1_200_000},
+				{Name: "cs_ship_addr_sk", WidthBytes: 4, Distinct: 50_000 * s},
+				{Name: "cs_warehouse_sk", WidthBytes: 4, Distinct: 5 * s},
+				{Name: "cs_promo_sk", WidthBytes: 4, Distinct: 300 * s},
+				{Name: "cs_order_number", WidthBytes: 8, Distinct: 160_000 * s},
+				{Name: "cs_quantity", WidthBytes: 4, Distinct: 100},
+				{Name: "cs_ext_sales_price", WidthBytes: 8, Distinct: 550_000},
+				{Name: "cs_net_profit", WidthBytes: 8, Distinct: 1_100_000},
+			},
+			ForeignKeys: []string{"cs_sold_date_sk", "cs_item_sk", "cs_bill_customer_sk", "cs_warehouse_sk", "cs_promo_sk"},
+		},
+		{
+			Name: "catalog_returns", Rows: 144_067 * s,
+			Columns: []engine.Column{
+				{Name: "cr_returned_date_sk", WidthBytes: 4, Distinct: 2_000},
+				{Name: "cr_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "cr_order_number", WidthBytes: 8, Distinct: 90_000 * s},
+				{Name: "cr_return_amount", WidthBytes: 8, Distinct: 80_000},
+			},
+			ForeignKeys: []string{"cr_returned_date_sk", "cr_item_sk"},
+		},
+		{
+			Name: "web_sales", Rows: 719_384 * s,
+			Columns: []engine.Column{
+				{Name: "ws_sold_date_sk", WidthBytes: 4, Distinct: 1_823},
+				{Name: "ws_sold_time_sk", WidthBytes: 4, Distinct: 43_000},
+				{Name: "ws_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "ws_bill_customer_sk", WidthBytes: 4, Distinct: 90_000 * s},
+				{Name: "ws_ship_addr_sk", WidthBytes: 4, Distinct: 50_000 * s},
+				{Name: "ws_web_site_sk", WidthBytes: 4, Distinct: 30},
+				{Name: "ws_promo_sk", WidthBytes: 4, Distinct: 300 * s},
+				{Name: "ws_order_number", WidthBytes: 8, Distinct: 80_000 * s},
+				{Name: "ws_quantity", WidthBytes: 4, Distinct: 100},
+				{Name: "ws_ext_sales_price", WidthBytes: 8, Distinct: 400_000},
+				{Name: "ws_net_profit", WidthBytes: 8, Distinct: 700_000},
+			},
+			ForeignKeys: []string{"ws_sold_date_sk", "ws_item_sk", "ws_bill_customer_sk", "ws_web_site_sk", "ws_promo_sk"},
+		},
+		{
+			Name: "web_returns", Rows: 71_763 * s,
+			Columns: []engine.Column{
+				{Name: "wr_returned_date_sk", WidthBytes: 4, Distinct: 2_000},
+				{Name: "wr_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "wr_order_number", WidthBytes: 8, Distinct: 45_000 * s},
+				{Name: "wr_return_amt", WidthBytes: 8, Distinct: 40_000},
+			},
+			ForeignKeys: []string{"wr_returned_date_sk", "wr_item_sk"},
+		},
+		{
+			Name: "web_site", Rows: 30,
+			Columns: []engine.Column{
+				{Name: "web_site_sk", WidthBytes: 4, Distinct: 30},
+				{Name: "web_name", WidthBytes: 10, Distinct: 15},
+			},
+			PrimaryKey: []string{"web_site_sk"},
+		},
+		{
+			Name: "inventory", Rows: 11_745_000 * s,
+			Columns: []engine.Column{
+				{Name: "inv_date_sk", WidthBytes: 4, Distinct: 261},
+				{Name: "inv_item_sk", WidthBytes: 4, Distinct: 18_000 * s},
+				{Name: "inv_warehouse_sk", WidthBytes: 4, Distinct: 5 * s},
+				{Name: "inv_quantity_on_hand", WidthBytes: 4, Distinct: 1_000},
+			},
+			ForeignKeys: []string{"inv_date_sk", "inv_item_sk", "inv_warehouse_sk"},
+		},
+	})
+	return &Workload{
+		Name:    fmt.Sprintf("TPC-DS SF%d", sf),
+		Catalog: cat,
+		Queries: prepare("DS", tpcdsQueries),
+	}
+}
+
+// tpcdsQueries is the 40-query subset (flattened where the official text
+// uses derived tables or window functions).
+var tpcdsQueries = []string{
+	// Q3-style: brand revenue by year/month.
+	`SELECT d.d_year, i.i_brand_id, i.i_brand, SUM(ss.ss_ext_sales_price) AS sum_agg
+	FROM date_dim d, store_sales ss, item i
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND i.i_manufact_id = 128 AND d.d_moy = 11
+	GROUP BY d.d_year, i.i_brand_id, i.i_brand
+	ORDER BY d.d_year, sum_agg DESC, i.i_brand_id LIMIT 100`,
+	// Q7-style: demographics-filtered average.
+	`SELECT i.i_item_id, AVG(ss.ss_quantity) AS agg1, AVG(ss.ss_list_price) AS agg2,
+		AVG(ss.ss_coupon_amt) AS agg3, AVG(ss.ss_sales_price) AS agg4
+	FROM store_sales ss, customer_demographics cd, date_dim d, item i, promotion p
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND ss.ss_cdemo_sk = cd.cd_demo_sk AND ss.ss_promo_sk = p.p_promo_sk
+		AND cd.cd_gender = 'M' AND cd.cd_marital_status = 'S'
+		AND cd.cd_education_status = 'College' AND d.d_year = 2000
+	GROUP BY i.i_item_id ORDER BY i.i_item_id LIMIT 100`,
+	// Q19-style: brand revenue by manager.
+	`SELECT i.i_brand_id, i.i_brand, i.i_manufact_id, SUM(ss.ss_ext_sales_price) AS ext_price
+	FROM date_dim d, store_sales ss, item i, customer c, customer_address ca, store s
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND i.i_manager_id = 8 AND d.d_moy = 11 AND d.d_year = 1998
+		AND ss.ss_customer_sk = c.c_customer_sk AND c.c_current_addr_sk = ca.ca_address_sk
+		AND ss.ss_store_sk = s.s_store_sk
+	GROUP BY i.i_brand_id, i.i_brand, i.i_manufact_id
+	ORDER BY ext_price DESC, i.i_brand_id LIMIT 100`,
+	// Q25-style: store sales + returns + catalog follow-up purchases.
+	`SELECT i.i_item_id, s.s_store_id, SUM(ss.ss_net_profit) AS store_sales_profit,
+		SUM(sr.sr_return_amt) AS store_returns_loss, SUM(cs.cs_net_profit) AS catalog_sales_profit
+	FROM store_sales ss, store_returns sr, catalog_sales cs, date_dim d1, item i, store s
+	WHERE d1.d_moy = 4 AND d1.d_year = 2001 AND d1.d_date_sk = ss.ss_sold_date_sk
+		AND i.i_item_sk = ss.ss_item_sk AND s.s_store_sk = ss.ss_store_sk
+		AND ss.ss_customer_sk = sr.sr_customer_sk AND ss.ss_item_sk = sr.sr_item_sk
+		AND ss.ss_ticket_number = sr.sr_ticket_number
+		AND sr.sr_customer_sk = cs.cs_bill_customer_sk AND sr.sr_item_sk = cs.cs_item_sk
+	GROUP BY i.i_item_id, s.s_store_id
+	ORDER BY i.i_item_id, s.s_store_id LIMIT 100`,
+	// Q26-style: catalog demographics averages.
+	`SELECT i.i_item_id, AVG(cs.cs_quantity) AS agg1, AVG(cs.cs_ext_sales_price) AS agg2
+	FROM catalog_sales cs, customer_demographics cd, date_dim d, item i, promotion p
+	WHERE cs.cs_sold_date_sk = d.d_date_sk AND cs.cs_item_sk = i.i_item_sk
+		AND cs.cs_bill_cdemo_sk = cd.cd_demo_sk AND cs.cs_promo_sk = p.p_promo_sk
+		AND cd.cd_gender = 'F' AND cd.cd_marital_status = 'W'
+		AND cd.cd_education_status = 'Primary' AND d.d_year = 1998
+	GROUP BY i.i_item_id ORDER BY i.i_item_id LIMIT 100`,
+	// Q42-style: category revenue.
+	`SELECT d.d_year, i.i_category, SUM(ss.ss_ext_sales_price) AS total_sales
+	FROM date_dim d, store_sales ss, item i
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND i.i_manager_id = 1 AND d.d_moy = 11 AND d.d_year = 2000
+	GROUP BY d.d_year, i.i_category ORDER BY total_sales DESC LIMIT 100`,
+	// Q52-style: brand by month.
+	`SELECT d.d_year, i.i_brand_id, i.i_brand, SUM(ss.ss_ext_sales_price) AS ext_price
+	FROM date_dim d, store_sales ss, item i
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND i.i_manager_id = 1 AND d.d_moy = 11 AND d.d_year = 2000
+	GROUP BY d.d_year, i.i_brand, i.i_brand_id ORDER BY d.d_year, ext_price DESC LIMIT 100`,
+	// Q55-style: manager brand revenue.
+	`SELECT i.i_brand_id, i.i_brand, SUM(ss.ss_ext_sales_price) AS ext_price
+	FROM date_dim d, store_sales ss, item i
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND i.i_manager_id = 28 AND d.d_moy = 11 AND d.d_year = 1999
+	GROUP BY i.i_brand, i.i_brand_id ORDER BY ext_price DESC, i.i_brand_id LIMIT 100`,
+	// Q96-style: half-hour customer count.
+	`SELECT COUNT(*) AS cnt
+	FROM store_sales ss, household_demographics hd, time_dim t, store s
+	WHERE ss.ss_sold_time_sk = t.t_time_sk AND ss.ss_hdemo_sk = hd.hd_demo_sk
+		AND ss.ss_store_sk = s.s_store_sk AND t.t_hour = 20
+		AND hd.hd_dep_count = 7 AND s.s_store_name = 'ese'`,
+	// Q98-style: class revenue share.
+	`SELECT i.i_item_id, i.i_category, i.i_class, i.i_current_price, SUM(ss.ss_ext_sales_price) AS itemrevenue
+	FROM store_sales ss, item i, date_dim d
+	WHERE ss.ss_item_sk = i.i_item_sk AND i.i_category IN ('Sports', 'Books', 'Home')
+		AND ss.ss_sold_date_sk = d.d_date_sk
+		AND d.d_date BETWEEN DATE '1999-02-22' AND DATE '1999-03-24'
+	GROUP BY i.i_item_id, i.i_category, i.i_class, i.i_current_price
+	ORDER BY i.i_category, i.i_class, i.i_item_id LIMIT 100`,
+	// Q6-style: state purchase counts vs average price.
+	`SELECT ca.ca_state, COUNT(*) AS cnt
+	FROM customer_address ca, customer c, store_sales ss, date_dim d, item i
+	WHERE ca.ca_address_sk = c.c_current_addr_sk AND c.c_customer_sk = ss.ss_customer_sk
+		AND ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND d.d_year = 2001 AND d.d_moy = 1
+		AND i.i_current_price > (SELECT 1.2 * AVG(i2.i_current_price) FROM item i2 WHERE i2.i_category = i.i_category)
+	GROUP BY ca.ca_state HAVING COUNT(*) >= 10 ORDER BY cnt LIMIT 100`,
+	// Q15-style: catalog sales by zip.
+	`SELECT ca.ca_zip, SUM(cs.cs_ext_sales_price) AS total
+	FROM catalog_sales cs, customer c, customer_address ca, date_dim d
+	WHERE cs.cs_bill_customer_sk = c.c_customer_sk AND c.c_current_addr_sk = ca.ca_address_sk
+		AND cs.cs_sold_date_sk = d.d_date_sk AND d.d_qoy = 2 AND d.d_year = 2001
+		AND ca.ca_state IN ('CA', 'WA', 'GA')
+	GROUP BY ca.ca_zip ORDER BY ca.ca_zip LIMIT 100`,
+	// Q29-style: quantity analysis across channels.
+	`SELECT i.i_item_id, s.s_store_id, SUM(ss.ss_quantity) AS store_sales_quantity,
+		SUM(sr.sr_return_amt) AS returns_amt
+	FROM store_sales ss, store_returns sr, date_dim d1, item i, store s
+	WHERE d1.d_moy = 9 AND d1.d_year = 1999 AND d1.d_date_sk = ss.ss_sold_date_sk
+		AND i.i_item_sk = ss.ss_item_sk AND s.s_store_sk = ss.ss_store_sk
+		AND ss.ss_customer_sk = sr.sr_customer_sk AND ss.ss_item_sk = sr.sr_item_sk
+		AND ss.ss_ticket_number = sr.sr_ticket_number
+	GROUP BY i.i_item_id, s.s_store_id ORDER BY i.i_item_id LIMIT 100`,
+	// Q37-style: inventory-backed catalog items.
+	`SELECT i.i_item_id, i.i_current_price
+	FROM item i, inventory inv, date_dim d, catalog_sales cs
+	WHERE i.i_current_price BETWEEN 68 AND 98 AND inv.inv_item_sk = i.i_item_sk
+		AND d.d_date_sk = inv.inv_date_sk
+		AND d.d_date BETWEEN DATE '2000-02-01' AND DATE '2000-04-01'
+		AND i.i_manufact_id IN (677, 940, 694, 808)
+		AND inv.inv_quantity_on_hand BETWEEN 100 AND 500
+		AND cs.cs_item_sk = i.i_item_sk
+	GROUP BY i.i_item_id, i.i_current_price ORDER BY i.i_item_id LIMIT 100`,
+	// Q82-style: store variant of Q37.
+	`SELECT i.i_item_id, i.i_current_price
+	FROM item i, inventory inv, date_dim d, store_sales ss
+	WHERE i.i_current_price BETWEEN 62 AND 92 AND inv.inv_item_sk = i.i_item_sk
+		AND d.d_date_sk = inv.inv_date_sk
+		AND d.d_date BETWEEN DATE '2000-05-25' AND DATE '2000-07-25'
+		AND i.i_manufact_id IN (129, 270, 821, 423)
+		AND inv.inv_quantity_on_hand BETWEEN 100 AND 500
+		AND ss.ss_item_sk = i.i_item_sk
+	GROUP BY i.i_item_id, i.i_current_price ORDER BY i.i_item_id LIMIT 100`,
+	// Q45-style: web sales by zip/city.
+	`SELECT ca.ca_zip, ca.ca_city, SUM(ws.ws_ext_sales_price) AS total
+	FROM web_sales ws, customer c, customer_address ca, date_dim d, item i
+	WHERE ws.ws_bill_customer_sk = c.c_customer_sk AND c.c_current_addr_sk = ca.ca_address_sk
+		AND ws.ws_item_sk = i.i_item_sk AND ws.ws_sold_date_sk = d.d_date_sk
+		AND d.d_qoy = 2 AND d.d_year = 2001
+	GROUP BY ca.ca_zip, ca.ca_city ORDER BY ca.ca_zip, ca.ca_city LIMIT 100`,
+	// Q96 variant at different hour.
+	`SELECT COUNT(*) AS cnt
+	FROM store_sales ss, household_demographics hd, time_dim t, store s
+	WHERE ss.ss_sold_time_sk = t.t_time_sk AND ss.ss_hdemo_sk = hd.hd_demo_sk
+		AND ss.ss_store_sk = s.s_store_sk AND t.t_hour = 8
+		AND hd.hd_dep_count = 5 AND s.s_store_name = 'ese'`,
+	// Q43-style: store day-of-week sales.
+	`SELECT s.s_store_name, s.s_store_id,
+		SUM(CASE WHEN d.d_day_name = 'Sunday' THEN ss.ss_sales_price ELSE 0 END) AS sun_sales,
+		SUM(CASE WHEN d.d_day_name = 'Monday' THEN ss.ss_sales_price ELSE 0 END) AS mon_sales
+	FROM date_dim d, store_sales ss, store s
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND s.s_store_sk = ss.ss_store_sk
+		AND d.d_year = 2000
+	GROUP BY s.s_store_name, s.s_store_id ORDER BY s.s_store_name LIMIT 100`,
+	// Q48-style: quantity by demographics and address.
+	`SELECT SUM(ss.ss_quantity) AS total
+	FROM store_sales ss, store s, customer_demographics cd, customer_address ca, date_dim d
+	WHERE s.s_store_sk = ss.ss_store_sk AND ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2000
+		AND ss.ss_cdemo_sk = cd.cd_demo_sk AND cd.cd_marital_status = 'M'
+		AND cd.cd_education_status = '4 yr Degree'
+		AND ss.ss_addr_sk = ca.ca_address_sk AND ca.ca_country = 'United States'
+		AND ca.ca_state IN ('CO', 'OH', 'TX') AND ss.ss_net_profit BETWEEN 0 AND 2000`,
+	// Q50-style: return latency buckets.
+	`SELECT s.s_store_name, COUNT(*) AS total
+	FROM store_sales ss, store_returns sr, store s, date_dim d1, date_dim d2
+	WHERE d2.d_moy = 8 AND d2.d_year = 2001
+		AND ss.ss_ticket_number = sr.sr_ticket_number AND ss.ss_item_sk = sr.sr_item_sk
+		AND ss.ss_sold_date_sk = d1.d_date_sk AND sr.sr_returned_date_sk = d2.d_date_sk
+		AND ss.ss_customer_sk = sr.sr_customer_sk AND ss.ss_store_sk = s.s_store_sk
+	GROUP BY s.s_store_name ORDER BY s.s_store_name LIMIT 100`,
+	// Q62-style: web shipping latency.
+	`SELECT w.w_warehouse_name, COUNT(*) AS cnt
+	FROM web_sales ws, warehouse w, date_dim d
+	WHERE ws.ws_sold_date_sk = d.d_date_sk AND d.d_month_seq BETWEEN 1200 AND 1211
+		AND ws.ws_item_sk > 0 AND w.w_warehouse_sk > 0
+	GROUP BY w.w_warehouse_name ORDER BY w.w_warehouse_name LIMIT 100`,
+	// Q68-style: city-level ticket aggregation.
+	`SELECT c.c_last_name, c.c_first_name, ca.ca_city, SUM(ss.ss_ext_sales_price) AS extended_price
+	FROM store_sales ss, date_dim d, store s, household_demographics hd, customer_address ca, customer c
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = s.s_store_sk
+		AND ss.ss_hdemo_sk = hd.hd_demo_sk AND ss.ss_addr_sk = ca.ca_address_sk
+		AND ss.ss_customer_sk = c.c_customer_sk
+		AND d.d_dom BETWEEN 1 AND 2 AND hd.hd_dep_count = 4
+		AND s.s_city IN ('Midway', 'Fairview') AND d.d_year IN (1999, 2000, 2001)
+	GROUP BY c.c_last_name, c.c_first_name, ca.ca_city
+	ORDER BY c.c_last_name LIMIT 100`,
+	// Q73-style: ticket frequency by household.
+	`SELECT c.c_last_name, c.c_first_name, COUNT(*) AS cnt
+	FROM store_sales ss, date_dim d, store s, household_demographics hd, customer c
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = s.s_store_sk
+		AND ss.ss_hdemo_sk = hd.hd_demo_sk AND ss.ss_customer_sk = c.c_customer_sk
+		AND d.d_dom BETWEEN 1 AND 2 AND hd.hd_buy_potential = '>10000'
+		AND hd.hd_vehicle_count > 0 AND d.d_year IN (1999, 2000, 2001)
+		AND s.s_county IN ('Williamson County', 'Franklin Parish')
+	GROUP BY c.c_last_name, c.c_first_name ORDER BY cnt DESC LIMIT 100`,
+	// Q79-style: profit per ticket.
+	`SELECT c.c_last_name, c.c_first_name, s.s_city, SUM(ss.ss_net_profit) AS profit
+	FROM store_sales ss, date_dim d, store s, household_demographics hd, customer c
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = s.s_store_sk
+		AND ss.ss_hdemo_sk = hd.hd_demo_sk AND ss.ss_customer_sk = c.c_customer_sk
+		AND hd.hd_dep_count = 6 AND d.d_year IN (1999, 2000, 2001)
+		AND s.s_number_employees BETWEEN 200 AND 295
+	GROUP BY c.c_last_name, c.c_first_name, s.s_city ORDER BY profit LIMIT 100`,
+	// Q85-style: web returns with demographics.
+	`SELECT AVG(ws.ws_quantity) AS avg_qty, AVG(wr.wr_return_amt) AS avg_amt
+	FROM web_sales ws, web_returns wr, date_dim d, customer_demographics cd, customer_address ca
+	WHERE ws.ws_order_number = wr.wr_order_number AND ws.ws_item_sk = wr.wr_item_sk
+		AND ws.ws_sold_date_sk = d.d_date_sk AND d.d_year = 2000
+		AND cd.cd_marital_status = 'M' AND cd.cd_education_status = 'Advanced Degree'
+		AND ws.ws_ship_addr_sk = ca.ca_address_sk AND ca.ca_state IN ('IN', 'OH', 'NJ')`,
+	// Q91-style: catalog returns by demographics.
+	`SELECT cd.cd_marital_status, cd.cd_education_status, SUM(cr.cr_return_amount) AS returns_loss
+	FROM catalog_returns cr, date_dim d, customer c, customer_demographics cd, customer_address ca
+	WHERE cr.cr_returned_date_sk = d.d_date_sk AND d.d_year = 1998 AND d.d_moy = 11
+		AND cr.cr_item_sk > 0 AND c.c_current_cdemo_sk = cd.cd_demo_sk
+		AND c.c_current_addr_sk = ca.ca_address_sk AND ca.ca_gmt_offset = -7
+	GROUP BY cd.cd_marital_status, cd.cd_education_status ORDER BY returns_loss DESC`,
+	// Q99-style: catalog shipping latency by warehouse.
+	`SELECT w.w_warehouse_name, COUNT(*) AS cnt
+	FROM catalog_sales cs, warehouse w, date_dim d
+	WHERE cs.cs_sold_date_sk = d.d_date_sk AND cs.cs_warehouse_sk = w.w_warehouse_sk
+		AND d.d_month_seq BETWEEN 1200 AND 1211
+	GROUP BY w.w_warehouse_name ORDER BY w.w_warehouse_name LIMIT 100`,
+	// Q3 variant: different manufacturer and month.
+	`SELECT d.d_year, i.i_brand_id, i.i_brand, SUM(ss.ss_ext_sales_price) AS sum_agg
+	FROM date_dim d, store_sales ss, item i
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND i.i_manufact_id = 436 AND d.d_moy = 12
+	GROUP BY d.d_year, i.i_brand_id, i.i_brand ORDER BY d.d_year, sum_agg DESC LIMIT 100`,
+	// Q88-style: multi-timeslot count (single slot flattened).
+	`SELECT COUNT(*) AS h8_30_to_9
+	FROM store_sales ss, household_demographics hd, time_dim t, store s
+	WHERE ss.ss_sold_time_sk = t.t_time_sk AND ss.ss_hdemo_sk = hd.hd_demo_sk
+		AND ss.ss_store_sk = s.s_store_sk AND t.t_hour = 8 AND t.t_minute >= 30
+		AND hd.hd_dep_count = 2 AND s.s_store_name = 'ese'`,
+	// Q90-style: am/pm web ratio (flattened to am side, demographics via customer key).
+	`SELECT COUNT(*) AS amc
+	FROM web_sales ws, household_demographics hd, time_dim t, web_site wsite
+	WHERE ws.ws_sold_time_sk = t.t_time_sk AND ws.ws_web_site_sk = wsite.web_site_sk
+		AND t.t_hour BETWEEN 8 AND 9 AND wsite.web_name LIKE 'pri%'
+		AND ws.ws_bill_customer_sk = hd.hd_demo_sk`,
+	// Q34-style: large-ticket households.
+	`SELECT c.c_last_name, c.c_first_name, COUNT(*) AS cnt
+	FROM store_sales ss, date_dim d, store s, household_demographics hd, customer c
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = s.s_store_sk
+		AND ss.ss_hdemo_sk = hd.hd_demo_sk AND ss.ss_customer_sk = c.c_customer_sk
+		AND d.d_dom BETWEEN 1 AND 3 AND hd.hd_buy_potential = '>10000'
+		AND hd.hd_vehicle_count > 0 AND d.d_year IN (1999, 2000, 2001)
+		AND s.s_county = 'Williamson County'
+	GROUP BY c.c_last_name, c.c_first_name ORDER BY cnt DESC LIMIT 100`,
+	// Q27-style: store demographics averages by state.
+	`SELECT i.i_item_id, s.s_state, AVG(ss.ss_quantity) AS agg1, AVG(ss.ss_list_price) AS agg2
+	FROM store_sales ss, customer_demographics cd, date_dim d, store s, item i
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND ss.ss_store_sk = s.s_store_sk AND ss.ss_cdemo_sk = cd.cd_demo_sk
+		AND cd.cd_gender = 'M' AND cd.cd_marital_status = 'S'
+		AND cd.cd_education_status = 'College' AND d.d_year = 2002
+		AND s.s_state IN ('TN', 'SD')
+	GROUP BY i.i_item_id, s.s_state ORDER BY i.i_item_id, s.s_state LIMIT 100`,
+	// Q61-style: promotional vs total revenue.
+	`SELECT SUM(ss.ss_ext_sales_price) AS promotions
+	FROM store_sales ss, store s, promotion p, date_dim d, customer c, customer_address ca, item i
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = s.s_store_sk
+		AND ss.ss_promo_sk = p.p_promo_sk AND ss.ss_customer_sk = c.c_customer_sk
+		AND ca.ca_address_sk = c.c_current_addr_sk AND ss.ss_item_sk = i.i_item_sk
+		AND ca.ca_gmt_offset = -5 AND i.i_category = 'Jewelry'
+		AND p.p_channel_dmail = 'Y' AND d.d_year = 1998 AND d.d_moy = 11`,
+	// Q33-style: manufacturer revenue by channel (store slice).
+	`SELECT i.i_manufact_id, SUM(ss.ss_ext_sales_price) AS total_sales
+	FROM store_sales ss, date_dim d, customer_address ca, item i
+	WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_sold_date_sk = d.d_date_sk
+		AND ss.ss_addr_sk = ca.ca_address_sk AND d.d_year = 1998 AND d.d_moy = 5
+		AND ca.ca_gmt_offset = -5 AND i.i_category = 'Books'
+	GROUP BY i.i_manufact_id ORDER BY total_sales LIMIT 100`,
+	// Q56-style: color-coded items (web slice).
+	`SELECT i.i_item_id, SUM(ws.ws_ext_sales_price) AS total_sales
+	FROM web_sales ws, date_dim d, customer_address ca, item i
+	WHERE ws.ws_item_sk = i.i_item_sk AND ws.ws_sold_date_sk = d.d_date_sk
+		AND ws.ws_ship_addr_sk = ca.ca_address_sk AND d.d_year = 2001 AND d.d_moy = 2
+		AND ca.ca_gmt_offset = -5 AND i.i_color IN ('slate', 'blanched', 'burnished')
+	GROUP BY i.i_item_id ORDER BY total_sales LIMIT 100`,
+	// Q60-style: category items by month (catalog slice).
+	`SELECT i.i_item_id, SUM(cs.cs_ext_sales_price) AS total_sales
+	FROM catalog_sales cs, date_dim d, customer_address ca, item i
+	WHERE cs.cs_item_sk = i.i_item_sk AND cs.cs_sold_date_sk = d.d_date_sk
+		AND cs.cs_ship_addr_sk = ca.ca_address_sk AND d.d_year = 1998 AND d.d_moy = 9
+		AND ca.ca_gmt_offset = -5 AND i.i_category = 'Music'
+	GROUP BY i.i_item_id ORDER BY i.i_item_id LIMIT 100`,
+	// Q13-style: bucketed quantity average.
+	`SELECT AVG(ss.ss_quantity) AS q, AVG(ss.ss_ext_sales_price) AS p, AVG(ss.ss_net_profit) AS np
+	FROM store_sales ss, store s, customer_demographics cd, household_demographics hd, customer_address ca, date_dim d
+	WHERE s.s_store_sk = ss.ss_store_sk AND ss.ss_sold_date_sk = d.d_date_sk AND d.d_year = 2001
+		AND ss.ss_hdemo_sk = hd.hd_demo_sk AND cd.cd_demo_sk = ss.ss_cdemo_sk
+		AND cd.cd_marital_status = 'M' AND cd.cd_education_status = 'Advanced Degree'
+		AND hd.hd_dep_count = 3 AND ss.ss_addr_sk = ca.ca_address_sk
+		AND ca.ca_country = 'United States' AND ca.ca_state IN ('TX', 'OH')
+		AND ss.ss_net_profit BETWEEN 100 AND 200`,
+	// Q65-style: low-revenue items per store.
+	`SELECT s.s_store_name, i.i_item_id, SUM(ss.ss_sales_price) AS revenue
+	FROM store s, item i, store_sales ss, date_dim d
+	WHERE ss.ss_store_sk = s.s_store_sk AND ss.ss_item_sk = i.i_item_sk
+		AND ss.ss_sold_date_sk = d.d_date_sk AND d.d_month_seq BETWEEN 1176 AND 1187
+	GROUP BY s.s_store_name, i.i_item_id ORDER BY s.s_store_name, i.i_item_id LIMIT 100`,
+	// Q72-style: inventory shortfall joins.
+	`SELECT i.i_item_id, w.w_warehouse_name, d.d_month_seq, COUNT(*) AS no_promo
+	FROM catalog_sales cs, inventory inv, warehouse w, item i, date_dim d
+	WHERE cs.cs_item_sk = i.i_item_sk AND inv.inv_item_sk = i.i_item_sk
+		AND w.w_warehouse_sk = inv.inv_warehouse_sk AND cs.cs_sold_date_sk = d.d_date_sk
+		AND d.d_year = 1999 AND inv.inv_quantity_on_hand < cs.cs_quantity
+	GROUP BY i.i_item_id, w.w_warehouse_name, d.d_month_seq
+	ORDER BY i.i_item_id LIMIT 100`,
+	// Q92-style: excess web discount.
+	`SELECT SUM(ws.ws_ext_sales_price) AS excess_discount
+	FROM web_sales ws, item i, date_dim d
+	WHERE i.i_manufact_id = 350 AND i.i_item_sk = ws.ws_item_sk
+		AND d.d_date BETWEEN DATE '2000-01-27' AND DATE '2000-04-26'
+		AND d.d_date_sk = ws.ws_sold_date_sk
+		AND ws.ws_ext_sales_price > (SELECT 1.3 * AVG(ws2.ws_ext_sales_price)
+			FROM web_sales ws2, date_dim d2
+			WHERE ws2.ws_item_sk = i.i_item_sk AND d2.d_date_sk = ws2.ws_sold_date_sk)`,
+	// Q95-style: multi-warehouse web orders.
+	`SELECT COUNT(DISTINCT ws.ws_order_number) AS order_count, SUM(ws.ws_ext_sales_price) AS total
+	FROM web_sales ws, date_dim d, customer_address ca, web_site wsite
+	WHERE d.d_date BETWEEN DATE '1999-02-01' AND DATE '1999-04-01'
+		AND ws.ws_sold_date_sk = d.d_date_sk AND ws.ws_ship_addr_sk = ca.ca_address_sk
+		AND ca.ca_state = 'IL' AND ws.ws_web_site_sk = wsite.web_site_sk
+		AND wsite.web_name = 'pri'
+		AND EXISTS (SELECT 1 FROM web_returns wr WHERE wr.wr_order_number = ws.ws_order_number)`,
+	// Q1-style: customers returning more than the store average (flattened).
+	`SELECT c.c_customer_id
+	FROM store_returns sr, date_dim d, store s, customer c
+	WHERE sr.sr_returned_date_sk = d.d_date_sk AND d.d_year = 2000
+		AND sr.sr_store_sk = s.s_store_sk AND s.s_state = 'TN'
+		AND sr.sr_customer_sk = c.c_customer_sk
+		AND sr.sr_return_amt > (SELECT 1.2 * AVG(sr2.sr_return_amt)
+			FROM store_returns sr2 WHERE sr2.sr_store_sk = sr.sr_store_sk)
+	GROUP BY c.c_customer_id ORDER BY c.c_customer_id LIMIT 100`,
+	// Q16-style: catalog orders shipped from one state (flattened).
+	`SELECT COUNT(DISTINCT cs.cs_order_number) AS order_count, SUM(cs.cs_ext_sales_price) AS total
+	FROM catalog_sales cs, date_dim d, customer_address ca
+	WHERE d.d_date BETWEEN DATE '2002-02-01' AND DATE '2002-04-01'
+		AND cs.cs_sold_date_sk = d.d_date_sk AND cs.cs_ship_addr_sk = ca.ca_address_sk
+		AND ca.ca_state = 'GA'
+		AND EXISTS (SELECT 1 FROM catalog_returns cr WHERE cr.cr_order_number = cs.cs_order_number)`,
+	// Q18-style: catalog averages by demographic buckets.
+	`SELECT i.i_item_id, ca.ca_country, ca.ca_state, AVG(cs.cs_quantity) AS agg1
+	FROM catalog_sales cs, customer_demographics cd, customer c, customer_address ca, date_dim d, item i
+	WHERE cs.cs_sold_date_sk = d.d_date_sk AND cs.cs_item_sk = i.i_item_sk
+		AND cs.cs_bill_cdemo_sk = cd.cd_demo_sk AND cs.cs_bill_customer_sk = c.c_customer_sk
+		AND cd.cd_gender = 'F' AND cd.cd_education_status = 'Unknown'
+		AND c.c_current_addr_sk = ca.ca_address_sk AND d.d_year = 1998
+		AND c.c_birth_year IN (1965, 1972, 1980)
+	GROUP BY i.i_item_id, ca.ca_country, ca.ca_state ORDER BY ca.ca_country LIMIT 100`,
+	// Q20-style: catalog class revenue share.
+	`SELECT i.i_item_id, i.i_category, i.i_class, SUM(cs.cs_ext_sales_price) AS itemrevenue
+	FROM catalog_sales cs, item i, date_dim d
+	WHERE cs.cs_item_sk = i.i_item_sk AND i.i_category IN ('Sports', 'Books', 'Home')
+		AND cs.cs_sold_date_sk = d.d_date_sk
+		AND d.d_date BETWEEN DATE '1999-02-22' AND DATE '1999-03-24'
+	GROUP BY i.i_item_id, i.i_category, i.i_class ORDER BY i.i_category LIMIT 100`,
+	// Q21-style: inventory before/after a date split.
+	`SELECT w.w_warehouse_name, i.i_item_id,
+		SUM(CASE WHEN d.d_date < DATE '2000-03-11' THEN inv.inv_quantity_on_hand ELSE 0 END) AS inv_before,
+		SUM(CASE WHEN d.d_date >= DATE '2000-03-11' THEN inv.inv_quantity_on_hand ELSE 0 END) AS inv_after
+	FROM inventory inv, warehouse w, item i, date_dim d
+	WHERE i.i_current_price BETWEEN 0.99 AND 1.49 AND i.i_item_sk = inv.inv_item_sk
+		AND inv.inv_warehouse_sk = w.w_warehouse_sk AND inv.inv_date_sk = d.d_date_sk
+		AND d.d_date BETWEEN DATE '2000-02-10' AND DATE '2000-04-10'
+	GROUP BY w.w_warehouse_name, i.i_item_id ORDER BY w.w_warehouse_name LIMIT 100`,
+	// Q22-style: inventory averages by product hierarchy.
+	`SELECT i.i_brand, i.i_class, i.i_category, AVG(inv.inv_quantity_on_hand) AS qoh
+	FROM inventory inv, date_dim d, item i
+	WHERE inv.inv_date_sk = d.d_date_sk AND inv.inv_item_sk = i.i_item_sk
+		AND d.d_month_seq BETWEEN 1200 AND 1211
+	GROUP BY i.i_brand, i.i_class, i.i_category ORDER BY qoh LIMIT 100`,
+	// Q32-style: excess catalog discount.
+	`SELECT SUM(cs.cs_ext_sales_price) AS excess_discount
+	FROM catalog_sales cs, item i, date_dim d
+	WHERE i.i_manufact_id = 977 AND i.i_item_sk = cs.cs_item_sk
+		AND d.d_date BETWEEN DATE '2000-01-27' AND DATE '2000-04-26'
+		AND d.d_date_sk = cs.cs_sold_date_sk
+		AND cs.cs_ext_sales_price > (SELECT 1.3 * AVG(cs2.cs_ext_sales_price)
+			FROM catalog_sales cs2, date_dim d2
+			WHERE cs2.cs_item_sk = i.i_item_sk AND d2.d_date_sk = cs2.cs_sold_date_sk)`,
+	// Q36-style: gross margin by category/class.
+	`SELECT SUM(ss.ss_net_profit) / SUM(ss.ss_ext_sales_price) AS gross_margin,
+		i.i_category, i.i_class
+	FROM store_sales ss, date_dim d, item i, store s
+	WHERE d.d_year = 2001 AND d.d_date_sk = ss.ss_sold_date_sk
+		AND i.i_item_sk = ss.ss_item_sk AND s.s_store_sk = ss.ss_store_sk
+		AND s.s_state IN ('TN', 'SD')
+	GROUP BY i.i_category, i.i_class ORDER BY gross_margin LIMIT 100`,
+	// Q40-style: warehouse sales around a returns event.
+	`SELECT w.w_state, i.i_item_id,
+		SUM(CASE WHEN d.d_date < DATE '2000-03-11' THEN cs.cs_ext_sales_price ELSE 0 END) AS before_amt,
+		SUM(CASE WHEN d.d_date >= DATE '2000-03-11' THEN cs.cs_ext_sales_price ELSE 0 END) AS after_amt
+	FROM catalog_sales cs, warehouse w, item i, date_dim d
+	WHERE i.i_current_price BETWEEN 0.99 AND 1.49 AND i.i_item_sk = cs.cs_item_sk
+		AND cs.cs_warehouse_sk = w.w_warehouse_sk AND cs.cs_sold_date_sk = d.d_date_sk
+		AND d.d_date BETWEEN DATE '2000-02-10' AND DATE '2000-04-10'
+	GROUP BY w.w_state, i.i_item_id ORDER BY w.w_state LIMIT 100`,
+	// Q46-style: ticket totals for moving customers.
+	`SELECT c.c_last_name, c.c_first_name, ca.ca_city, SUM(ss.ss_coupon_amt) AS amt
+	FROM store_sales ss, date_dim d, store s, household_demographics hd, customer_address ca, customer c
+	WHERE ss.ss_sold_date_sk = d.d_date_sk AND ss.ss_store_sk = s.s_store_sk
+		AND ss.ss_hdemo_sk = hd.hd_demo_sk AND ss.ss_addr_sk = ca.ca_address_sk
+		AND ss.ss_customer_sk = c.c_customer_sk
+		AND hd.hd_dep_count = 4 AND d.d_dom BETWEEN 1 AND 2
+		AND d.d_year IN (1999, 2000, 2001) AND s.s_city IN ('Fairview', 'Midway')
+	GROUP BY c.c_last_name, c.c_first_name, ca.ca_city ORDER BY c.c_last_name LIMIT 100`,
+	// Q53-style: manufacturer quarterly sales.
+	`SELECT i.i_manufact_id, SUM(ss.ss_sales_price) AS sum_sales
+	FROM item i, store_sales ss, date_dim d, store s
+	WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_sold_date_sk = d.d_date_sk
+		AND ss.ss_store_sk = s.s_store_sk AND d.d_month_seq IN (1200, 1201, 1202, 1203)
+		AND i.i_category IN ('Books', 'Children', 'Electronics')
+	GROUP BY i.i_manufact_id ORDER BY sum_sales DESC LIMIT 100`,
+	// Q59-style: weekly store sales comparison (flattened to one year).
+	`SELECT s.s_store_name, s.s_store_id, d.d_day_name, SUM(ss.ss_sales_price) AS sales
+	FROM date_dim d, store_sales ss, store s
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND s.s_store_sk = ss.ss_store_sk
+		AND d.d_month_seq BETWEEN 1185 AND 1196
+	GROUP BY s.s_store_name, s.s_store_id, d.d_day_name ORDER BY s.s_store_name LIMIT 100`,
+	// Q63-style: manager monthly sales.
+	`SELECT i.i_manager_id, SUM(ss.ss_sales_price) AS sum_sales
+	FROM item i, store_sales ss, date_dim d, store s
+	WHERE ss.ss_item_sk = i.i_item_sk AND ss.ss_sold_date_sk = d.d_date_sk
+		AND ss.ss_store_sk = s.s_store_sk AND d.d_month_seq IN (1200, 1201, 1202)
+		AND i.i_category IN ('Books', 'Children') AND i.i_class IN ('personal', 'portable')
+	GROUP BY i.i_manager_id ORDER BY i.i_manager_id LIMIT 100`,
+	// Q69-style: demographic counts for non-store buyers (flattened).
+	`SELECT cd.cd_gender, cd.cd_marital_status, cd.cd_education_status, COUNT(*) AS cnt
+	FROM customer c, customer_address ca, customer_demographics cd
+	WHERE c.c_current_addr_sk = ca.ca_address_sk AND ca.ca_state IN ('KY', 'GA', 'NM')
+		AND cd.cd_demo_sk = c.c_current_cdemo_sk
+		AND EXISTS (SELECT 1 FROM store_sales ss, date_dim d
+			WHERE c.c_customer_sk = ss.ss_customer_sk AND ss.ss_sold_date_sk = d.d_date_sk
+				AND d.d_year = 2001 AND d.d_moy BETWEEN 4 AND 6)
+	GROUP BY cd.cd_gender, cd.cd_marital_status, cd.cd_education_status
+	ORDER BY cnt LIMIT 100`,
+	// Q71-style: brand revenue by hour.
+	`SELECT i.i_brand_id, i.i_brand, t.t_hour, SUM(ss.ss_ext_sales_price) AS ext_price
+	FROM item i, store_sales ss, date_dim d, time_dim t
+	WHERE d.d_date_sk = ss.ss_sold_date_sk AND ss.ss_item_sk = i.i_item_sk
+		AND i.i_manager_id = 1 AND d.d_moy = 11 AND d.d_year = 1999
+		AND ss.ss_sold_time_sk = t.t_time_sk AND t.t_meal_time IN ('breakfast', 'dinner')
+	GROUP BY i.i_brand, i.i_brand_id, t.t_hour ORDER BY ext_price DESC LIMIT 100`,
+	// Q84-style: customer lookup by income band city.
+	`SELECT c.c_customer_id, c.c_last_name, c.c_first_name
+	FROM customer c, customer_address ca, customer_demographics cd,
+		household_demographics hd, store_returns sr
+	WHERE ca.ca_city = 'Edgewood' AND c.c_current_addr_sk = ca.ca_address_sk
+		AND c.c_current_cdemo_sk = cd.cd_demo_sk AND c.c_current_hdemo_sk = hd.hd_demo_sk
+		AND hd.hd_income_band_sk BETWEEN 5 AND 10 AND cd.cd_demo_sk = sr.sr_customer_sk
+	ORDER BY c.c_customer_id LIMIT 100`,
+	// Q93-style: actual store sales net of returns.
+	`SELECT ss.ss_customer_sk, SUM(ss.ss_sales_price) AS sumsales
+	FROM store_sales ss, store_returns sr
+	WHERE ss.ss_item_sk = sr.sr_item_sk AND ss.ss_ticket_number = sr.sr_ticket_number
+		AND sr.sr_return_amt > 100
+	GROUP BY ss.ss_customer_sk ORDER BY sumsales LIMIT 100`,
+	// Q97-style: store/catalog buyer overlap (flattened).
+	`SELECT COUNT(*) AS both_channels
+	FROM store_sales ss, catalog_sales cs, date_dim d
+	WHERE ss.ss_customer_sk = cs.cs_bill_customer_sk AND ss.ss_item_sk = cs.cs_item_sk
+		AND ss.ss_sold_date_sk = d.d_date_sk AND d.d_month_seq BETWEEN 1200 AND 1211`,
+	// Q28-style: bucketed list-price averages (single bucket flattened).
+	`SELECT AVG(ss.ss_list_price) AS b1_lp, COUNT(ss.ss_list_price) AS b1_cnt,
+		COUNT(DISTINCT ss.ss_list_price) AS b1_cntd
+	FROM store_sales ss
+	WHERE ss.ss_quantity BETWEEN 0 AND 5
+		AND (ss.ss_list_price BETWEEN 8 AND 18 OR ss.ss_coupon_amt BETWEEN 459 AND 1459)`,
+}

@@ -1,0 +1,363 @@
+package workload
+
+import (
+	"fmt"
+
+	"lambdatune/internal/engine"
+)
+
+// TPCH returns the TPC-H workload at the given scale factor (1 GB per unit).
+// All 22 query templates are included; Q7/Q8/Q9/Q13/Q22, which use derived
+// tables in the official text, are flattened to equivalent join structures.
+func TPCH(sf int) *Workload {
+	if sf < 1 {
+		sf = 1
+	}
+	s := int64(sf)
+	cat := engine.NewCatalog(fmt.Sprintf("tpch-sf%d", sf), []engine.Table{
+		{
+			Name: "region", Rows: 5,
+			Columns: []engine.Column{
+				{Name: "r_regionkey", WidthBytes: 4, Distinct: 5},
+				{Name: "r_name", WidthBytes: 12, Distinct: 5},
+				{Name: "r_comment", WidthBytes: 80, Distinct: 5},
+			},
+			PrimaryKey: []string{"r_regionkey"},
+		},
+		{
+			Name: "nation", Rows: 25,
+			Columns: []engine.Column{
+				{Name: "n_nationkey", WidthBytes: 4, Distinct: 25},
+				{Name: "n_name", WidthBytes: 12, Distinct: 25},
+				{Name: "n_regionkey", WidthBytes: 4, Distinct: 5},
+				{Name: "n_comment", WidthBytes: 80, Distinct: 25},
+			},
+			PrimaryKey:  []string{"n_nationkey"},
+			ForeignKeys: []string{"n_regionkey"},
+		},
+		{
+			Name: "supplier", Rows: 10_000 * s,
+			Columns: []engine.Column{
+				{Name: "s_suppkey", WidthBytes: 4, Distinct: 10_000 * s},
+				{Name: "s_name", WidthBytes: 18, Distinct: 10_000 * s},
+				{Name: "s_address", WidthBytes: 25, Distinct: 10_000 * s},
+				{Name: "s_nationkey", WidthBytes: 4, Distinct: 25},
+				{Name: "s_phone", WidthBytes: 15, Distinct: 10_000 * s},
+				{Name: "s_acctbal", WidthBytes: 8, Distinct: 9_000},
+				{Name: "s_comment", WidthBytes: 60, Distinct: 10_000 * s},
+			},
+			PrimaryKey:  []string{"s_suppkey"},
+			ForeignKeys: []string{"s_nationkey"},
+		},
+		{
+			Name: "customer", Rows: 150_000 * s,
+			Columns: []engine.Column{
+				{Name: "c_custkey", WidthBytes: 4, Distinct: 150_000 * s},
+				{Name: "c_name", WidthBytes: 18, Distinct: 150_000 * s},
+				{Name: "c_address", WidthBytes: 25, Distinct: 150_000 * s},
+				{Name: "c_nationkey", WidthBytes: 4, Distinct: 25},
+				{Name: "c_phone", WidthBytes: 15, Distinct: 150_000 * s},
+				{Name: "c_acctbal", WidthBytes: 8, Distinct: 140_000},
+				{Name: "c_mktsegment", WidthBytes: 10, Distinct: 5},
+				{Name: "c_comment", WidthBytes: 73, Distinct: 150_000 * s},
+			},
+			PrimaryKey:  []string{"c_custkey"},
+			ForeignKeys: []string{"c_nationkey"},
+		},
+		{
+			Name: "part", Rows: 200_000 * s,
+			Columns: []engine.Column{
+				{Name: "p_partkey", WidthBytes: 4, Distinct: 200_000 * s},
+				{Name: "p_name", WidthBytes: 33, Distinct: 200_000 * s},
+				{Name: "p_mfgr", WidthBytes: 25, Distinct: 5},
+				{Name: "p_brand", WidthBytes: 10, Distinct: 25},
+				{Name: "p_type", WidthBytes: 21, Distinct: 150},
+				{Name: "p_size", WidthBytes: 4, Distinct: 50},
+				{Name: "p_container", WidthBytes: 10, Distinct: 40},
+				{Name: "p_retailprice", WidthBytes: 8, Distinct: 20_000},
+				{Name: "p_comment", WidthBytes: 14, Distinct: 130_000},
+			},
+			PrimaryKey: []string{"p_partkey"},
+		},
+		{
+			Name: "partsupp", Rows: 800_000 * s,
+			Columns: []engine.Column{
+				{Name: "ps_partkey", WidthBytes: 4, Distinct: 200_000 * s},
+				{Name: "ps_suppkey", WidthBytes: 4, Distinct: 10_000 * s},
+				{Name: "ps_availqty", WidthBytes: 4, Distinct: 10_000},
+				{Name: "ps_supplycost", WidthBytes: 8, Distinct: 100_000},
+				{Name: "ps_comment", WidthBytes: 120, Distinct: 800_000 * s},
+			},
+			PrimaryKey:  []string{"ps_partkey", "ps_suppkey"},
+			ForeignKeys: []string{"ps_partkey", "ps_suppkey"},
+		},
+		{
+			Name: "orders", Rows: 1_500_000 * s,
+			Columns: []engine.Column{
+				{Name: "o_orderkey", WidthBytes: 4, Distinct: 1_500_000 * s},
+				{Name: "o_custkey", WidthBytes: 4, Distinct: 100_000 * s},
+				{Name: "o_orderstatus", WidthBytes: 1, Distinct: 3},
+				{Name: "o_totalprice", WidthBytes: 8, Distinct: 1_400_000},
+				{Name: "o_orderdate", WidthBytes: 4, Distinct: 2_400},
+				{Name: "o_orderpriority", WidthBytes: 15, Distinct: 5},
+				{Name: "o_clerk", WidthBytes: 15, Distinct: 1_000 * s},
+				{Name: "o_shippriority", WidthBytes: 4, Distinct: 1},
+				{Name: "o_comment", WidthBytes: 48, Distinct: 1_500_000 * s},
+			},
+			PrimaryKey:  []string{"o_orderkey"},
+			ForeignKeys: []string{"o_custkey"},
+		},
+		{
+			Name: "lineitem", Rows: 6_001_215 * s,
+			Columns: []engine.Column{
+				{Name: "l_orderkey", WidthBytes: 4, Distinct: 1_500_000 * s},
+				{Name: "l_partkey", WidthBytes: 4, Distinct: 200_000 * s},
+				{Name: "l_suppkey", WidthBytes: 4, Distinct: 10_000 * s},
+				{Name: "l_linenumber", WidthBytes: 4, Distinct: 7},
+				{Name: "l_quantity", WidthBytes: 8, Distinct: 50},
+				{Name: "l_extendedprice", WidthBytes: 8, Distinct: 900_000},
+				{Name: "l_discount", WidthBytes: 8, Distinct: 11},
+				{Name: "l_tax", WidthBytes: 8, Distinct: 9},
+				{Name: "l_returnflag", WidthBytes: 1, Distinct: 3},
+				{Name: "l_linestatus", WidthBytes: 1, Distinct: 2},
+				{Name: "l_shipdate", WidthBytes: 4, Distinct: 2_500},
+				{Name: "l_commitdate", WidthBytes: 4, Distinct: 2_500},
+				{Name: "l_receiptdate", WidthBytes: 4, Distinct: 2_500},
+				{Name: "l_shipinstruct", WidthBytes: 25, Distinct: 4},
+				{Name: "l_shipmode", WidthBytes: 10, Distinct: 7},
+				{Name: "l_comment", WidthBytes: 26, Distinct: 4_500_000 * s},
+			},
+			PrimaryKey:  []string{"l_orderkey", "l_linenumber"},
+			ForeignKeys: []string{"l_orderkey", "l_partkey", "l_suppkey"},
+		},
+	})
+	return &Workload{
+		Name:    fmt.Sprintf("TPC-H SF%d", sf),
+		Catalog: cat,
+		Queries: prepare("Q", tpchQueries),
+	}
+}
+
+// tpchQueries holds all 22 TPC-H templates in the engine's SQL subset.
+var tpchQueries = []string{
+	// Q1: pricing summary report.
+	`SELECT l.l_returnflag, l.l_linestatus, SUM(l.l_quantity) AS sum_qty,
+		SUM(l.l_extendedprice) AS sum_base_price,
+		SUM(l.l_extendedprice * (1 - l.l_discount)) AS sum_disc_price,
+		SUM(l.l_extendedprice * (1 - l.l_discount) * (1 + l.l_tax)) AS sum_charge,
+		AVG(l.l_quantity) AS avg_qty, AVG(l.l_extendedprice) AS avg_price,
+		AVG(l.l_discount) AS avg_disc, COUNT(*) AS count_order
+	FROM lineitem l
+	WHERE l.l_shipdate <= DATE '1998-12-01' - INTERVAL '90' day
+	GROUP BY l.l_returnflag, l.l_linestatus
+	ORDER BY l.l_returnflag, l.l_linestatus`,
+
+	// Q2: minimum cost supplier.
+	`SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr, s.s_address, s.s_phone, s.s_comment
+	FROM part p, supplier s, partsupp ps, nation n, region r
+	WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+		AND p.p_size = 15 AND p.p_type LIKE '%BRASS'
+		AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+		AND r.r_name = 'EUROPE'
+		AND ps.ps_supplycost = (SELECT MIN(ps2.ps_supplycost)
+			FROM partsupp ps2, supplier s2, nation n2, region r2
+			WHERE p.p_partkey = ps2.ps_partkey AND s2.s_suppkey = ps2.ps_suppkey
+				AND s2.s_nationkey = n2.n_nationkey AND n2.n_regionkey = r2.r_regionkey
+				AND r2.r_name = 'EUROPE')
+	ORDER BY s.s_acctbal DESC, n.n_name, s.s_name, p.p_partkey LIMIT 100`,
+
+	// Q3: shipping priority.
+	`SELECT l.l_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+		o.o_orderdate, o.o_shippriority
+	FROM customer c, orders o, lineitem l
+	WHERE c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey
+		AND l.l_orderkey = o.o_orderkey
+		AND o.o_orderdate < DATE '1995-03-15' AND l.l_shipdate > DATE '1995-03-15'
+	GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+	ORDER BY revenue DESC, o.o_orderdate LIMIT 10`,
+
+	// Q4: order priority checking.
+	`SELECT o.o_orderpriority, COUNT(*) AS order_count
+	FROM orders o
+	WHERE o.o_orderdate >= DATE '1993-07-01'
+		AND o.o_orderdate < DATE '1993-07-01' + INTERVAL '3' month
+		AND EXISTS (SELECT 1 FROM lineitem l
+			WHERE l.l_orderkey = o.o_orderkey AND l.l_commitdate < l.l_receiptdate)
+	GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority`,
+
+	// Q5: local supplier volume.
+	`SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+	FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+	WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+		AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+		AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+		AND r.r_name = 'ASIA'
+		AND o.o_orderdate >= DATE '1994-01-01'
+		AND o.o_orderdate < DATE '1994-01-01' + INTERVAL '1' year
+	GROUP BY n.n_name ORDER BY revenue DESC`,
+
+	// Q6: forecasting revenue change.
+	`SELECT SUM(l.l_extendedprice * l.l_discount) AS revenue
+	FROM lineitem l
+	WHERE l.l_shipdate >= DATE '1994-01-01'
+		AND l.l_shipdate < DATE '1994-01-01' + INTERVAL '1' year
+		AND l.l_discount BETWEEN 0.05 AND 0.07 AND l.l_quantity < 24`,
+
+	// Q7: volume shipping (official derived-table form).
+	`SELECT shipping.supp_nation, shipping.cust_nation, SUM(shipping.volume) AS revenue
+	FROM (SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+			l.l_extendedprice * (1 - l.l_discount) AS volume
+		FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+		WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+			AND c.c_custkey = o.o_custkey AND s.s_nationkey = n1.n_nationkey
+			AND c.c_nationkey = n2.n_nationkey
+			AND n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY'
+			AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31') shipping
+	GROUP BY shipping.supp_nation, shipping.cust_nation
+	ORDER BY shipping.supp_nation, shipping.cust_nation`,
+
+	// Q8: national market share (flattened).
+	`SELECT o.o_orderdate, SUM(l.l_extendedprice * (1 - l.l_discount)) AS volume
+	FROM part p, supplier s, lineitem l, orders o, customer c, nation n1, nation n2, region r
+	WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+		AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+		AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+		AND r.r_name = 'AMERICA' AND s.s_nationkey = n2.n_nationkey
+		AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+		AND p.p_type = 'ECONOMY ANODIZED STEEL'
+	GROUP BY o.o_orderdate ORDER BY o.o_orderdate`,
+
+	// Q9: product type profit measure (flattened).
+	`SELECT n.n_name AS nation, SUM(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) AS sum_profit
+	FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+	WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+		AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+		AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+		AND p.p_name LIKE '%green%'
+	GROUP BY n.n_name ORDER BY nation`,
+
+	// Q10: returned item reporting.
+	`SELECT c.c_custkey, c.c_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+		c.c_acctbal, n.n_name, c.c_address, c.c_phone, c.c_comment
+	FROM customer c, orders o, lineitem l, nation n
+	WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+		AND o.o_orderdate >= DATE '1993-10-01'
+		AND o.o_orderdate < DATE '1993-10-01' + INTERVAL '3' month
+		AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+	GROUP BY c.c_custkey, c.c_name, c.c_acctbal, c.c_phone, n.n_name, c.c_address, c.c_comment
+	ORDER BY revenue DESC LIMIT 20`,
+
+	// Q11: important stock identification.
+	`SELECT ps.ps_partkey, SUM(ps.ps_supplycost * ps.ps_availqty) AS value
+	FROM partsupp ps, supplier s, nation n
+	WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+		AND n.n_name = 'GERMANY'
+	GROUP BY ps.ps_partkey
+	HAVING SUM(ps.ps_supplycost * ps.ps_availqty) > (SELECT SUM(ps2.ps_supplycost * ps2.ps_availqty) * 0.0001
+		FROM partsupp ps2, supplier s2, nation n2
+		WHERE ps2.ps_suppkey = s2.s_suppkey AND s2.s_nationkey = n2.n_nationkey AND n2.n_name = 'GERMANY')
+	ORDER BY value DESC`,
+
+	// Q12: shipping modes and order priority.
+	`SELECT l.l_shipmode,
+		SUM(CASE WHEN o.o_orderpriority = '1-URGENT' OR o.o_orderpriority = '2-HIGH' THEN 1 ELSE 0 END) AS high_line_count,
+		SUM(CASE WHEN o.o_orderpriority <> '1-URGENT' AND o.o_orderpriority <> '2-HIGH' THEN 1 ELSE 0 END) AS low_line_count
+	FROM orders o, lineitem l
+	WHERE o.o_orderkey = l.l_orderkey AND l.l_shipmode IN ('MAIL', 'SHIP')
+		AND l.l_commitdate < l.l_receiptdate AND l.l_shipdate < l.l_commitdate
+		AND l.l_receiptdate >= DATE '1994-01-01'
+		AND l.l_receiptdate < DATE '1994-01-01' + INTERVAL '1' year
+	GROUP BY l.l_shipmode ORDER BY l.l_shipmode`,
+
+	// Q13: customer distribution (official derived-table form).
+	`SELECT c_orders.c_count, COUNT(*) AS custdist
+	FROM (SELECT c.c_custkey, COUNT(o.o_orderkey) AS c_count
+		FROM customer c LEFT JOIN orders o ON c.c_custkey = o.o_custkey
+		WHERE o.o_comment NOT LIKE '%special%requests%'
+		GROUP BY c.c_custkey) c_orders
+	GROUP BY c_orders.c_count ORDER BY custdist DESC, c_orders.c_count DESC`,
+
+	// Q14: promotion effect.
+	`SELECT 100.00 * SUM(CASE WHEN p.p_type LIKE 'PROMO%' THEN l.l_extendedprice * (1 - l.l_discount) ELSE 0 END) / SUM(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+	FROM lineitem l, part p
+	WHERE l.l_partkey = p.p_partkey
+		AND l.l_shipdate >= DATE '1995-09-01'
+		AND l.l_shipdate < DATE '1995-09-01' + INTERVAL '1' month`,
+
+	// Q15: top supplier (view flattened into HAVING-style correlation).
+	`SELECT s.s_suppkey, s.s_name, s.s_address, s.s_phone, SUM(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue
+	FROM supplier s, lineitem l
+	WHERE s.s_suppkey = l.l_suppkey
+		AND l.l_shipdate >= DATE '1996-01-01'
+		AND l.l_shipdate < DATE '1996-01-01' + INTERVAL '3' month
+	GROUP BY s.s_suppkey, s.s_name, s.s_address, s.s_phone
+	ORDER BY total_revenue DESC LIMIT 1`,
+
+	// Q16: parts/supplier relationship.
+	`SELECT p.p_brand, p.p_type, p.p_size, COUNT(DISTINCT ps.ps_suppkey) AS supplier_cnt
+	FROM partsupp ps, part p
+	WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> 'Brand#45'
+		AND p.p_type NOT LIKE 'MEDIUM POLISHED%'
+		AND p.p_size IN (49, 14, 23, 45, 19, 3, 36, 9)
+		AND ps.ps_suppkey NOT IN (SELECT s.s_suppkey FROM supplier s WHERE s.s_comment LIKE '%Customer%Complaints%')
+	GROUP BY p.p_brand, p.p_type, p.p_size
+	ORDER BY supplier_cnt DESC, p.p_brand, p.p_type, p.p_size`,
+
+	// Q17: small-quantity-order revenue.
+	`SELECT SUM(l.l_extendedprice) / 7.0 AS avg_yearly
+	FROM lineitem l, part p
+	WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23' AND p.p_container = 'MED BOX'
+		AND l.l_quantity < (SELECT 0.2 * AVG(l2.l_quantity) FROM lineitem l2 WHERE l2.l_partkey = p.p_partkey)`,
+
+	// Q18: large volume customer.
+	`SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice, SUM(l.l_quantity)
+	FROM customer c, orders o, lineitem l
+	WHERE o.o_orderkey IN (SELECT l2.l_orderkey FROM lineitem l2 GROUP BY l2.l_orderkey HAVING SUM(l2.l_quantity) > 300)
+		AND c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+	GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+	ORDER BY o.o_totalprice DESC, o.o_orderdate LIMIT 100`,
+
+	// Q19: discounted revenue.
+	`SELECT SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+	FROM lineitem l, part p
+	WHERE (p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#12'
+			AND p.p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+			AND l.l_quantity >= 1 AND l.l_quantity <= 11 AND p.p_size BETWEEN 1 AND 5
+			AND l.l_shipmode IN ('AIR', 'AIR REG') AND l.l_shipinstruct = 'DELIVER IN PERSON')
+		OR (p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23'
+			AND p.p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+			AND l.l_quantity >= 10 AND l.l_quantity <= 20 AND p.p_size BETWEEN 1 AND 10
+			AND l.l_shipmode IN ('AIR', 'AIR REG') AND l.l_shipinstruct = 'DELIVER IN PERSON')`,
+
+	// Q20: potential part promotion.
+	`SELECT s.s_name, s.s_address
+	FROM supplier s, nation n
+	WHERE s.s_suppkey IN (SELECT ps.ps_suppkey FROM partsupp ps
+			WHERE ps.ps_partkey IN (SELECT p.p_partkey FROM part p WHERE p.p_name LIKE 'forest%')
+			AND ps.ps_availqty > (SELECT 0.5 * SUM(l.l_quantity) FROM lineitem l
+				WHERE l.l_partkey = ps.ps_partkey AND l.l_suppkey = ps.ps_suppkey
+					AND l.l_shipdate >= DATE '1994-01-01'
+					AND l.l_shipdate < DATE '1994-01-01' + INTERVAL '1' year))
+		AND s.s_nationkey = n.n_nationkey AND n.n_name = 'CANADA'
+	ORDER BY s.s_name`,
+
+	// Q21: suppliers who kept orders waiting.
+	`SELECT s.s_name, COUNT(*) AS numwait
+	FROM supplier s, lineitem l1, orders o, nation n
+	WHERE s.s_suppkey = l1.l_suppkey AND o.o_orderkey = l1.l_orderkey
+		AND o.o_orderstatus = 'F' AND l1.l_receiptdate > l1.l_commitdate
+		AND EXISTS (SELECT 1 FROM lineitem l2
+			WHERE l2.l_orderkey = l1.l_orderkey AND l2.l_suppkey <> l1.l_suppkey)
+		AND NOT EXISTS (SELECT 1 FROM lineitem l3
+			WHERE l3.l_orderkey = l1.l_orderkey AND l3.l_suppkey <> l1.l_suppkey
+				AND l3.l_receiptdate > l3.l_commitdate)
+		AND s.s_nationkey = n.n_nationkey AND n.n_name = 'SAUDI ARABIA'
+	GROUP BY s.s_name ORDER BY numwait DESC, s.s_name LIMIT 100`,
+
+	// Q22: global sales opportunity (flattened).
+	`SELECT c.c_phone, COUNT(*) AS numcust, SUM(c.c_acctbal) AS totacctbal
+	FROM customer c
+	WHERE c.c_acctbal > (SELECT AVG(c2.c_acctbal) FROM customer c2 WHERE c2.c_acctbal > 0.00)
+		AND NOT EXISTS (SELECT 1 FROM orders o WHERE o.o_custkey = c.c_custkey)
+	GROUP BY c.c_phone ORDER BY c.c_phone`,
+}

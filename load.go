@@ -1,0 +1,128 @@
+package lambdatune
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SchemaFile is the on-disk JSON format accepted by LoadSchema: a database
+// name plus table statistics. Example:
+//
+//	{
+//	  "name": "shop",
+//	  "tables": [
+//	    {
+//	      "name": "sales", "rows": 5000000,
+//	      "columns": [{"name": "s_id", "widthBytes": 8, "distinct": 5000000}],
+//	      "primaryKey": ["s_id"], "foreignKeys": []
+//	    }
+//	  ]
+//	}
+type SchemaFile struct {
+	Name   string      `json:"name"`
+	Tables []TableJSON `json:"tables"`
+}
+
+// TableJSON mirrors Table for JSON decoding.
+type TableJSON struct {
+	Name        string       `json:"name"`
+	Rows        int64        `json:"rows"`
+	Columns     []ColumnJSON `json:"columns"`
+	PrimaryKey  []string     `json:"primaryKey"`
+	ForeignKeys []string     `json:"foreignKeys"`
+}
+
+// ColumnJSON mirrors Column for JSON decoding.
+type ColumnJSON struct {
+	Name       string `json:"name"`
+	WidthBytes int    `json:"widthBytes"`
+	Distinct   int64  `json:"distinct"`
+}
+
+// LoadSchema reads a schema-statistics JSON file (see SchemaFile) and
+// returns the database name and tables ready for NewDatabase.
+func LoadSchema(path string) (string, []Table, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, fmt.Errorf("lambdatune: read schema: %w", err)
+	}
+	var sf SchemaFile
+	if err := json.Unmarshal(data, &sf); err != nil {
+		return "", nil, fmt.Errorf("lambdatune: parse schema %s: %w", path, err)
+	}
+	if len(sf.Tables) == 0 {
+		return "", nil, fmt.Errorf("lambdatune: schema %s has no tables", path)
+	}
+	tables := make([]Table, len(sf.Tables))
+	for i, t := range sf.Tables {
+		cols := make([]Column, len(t.Columns))
+		for j, c := range t.Columns {
+			cols[j] = Column{Name: c.Name, WidthBytes: c.WidthBytes, Distinct: c.Distinct}
+		}
+		tables[i] = Table{
+			Name: t.Name, Rows: t.Rows, Columns: cols,
+			PrimaryKey: t.PrimaryKey, ForeignKeys: t.ForeignKeys,
+		}
+	}
+	name := sf.Name
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return name, tables, nil
+}
+
+// LoadQueriesDir reads every *.sql file in dir (one query per file; the file
+// stem names the query) and compiles them into a workload.
+func LoadQueriesDir(dir string) (*Workload, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lambdatune: read workload dir: %w", err)
+	}
+	queries := map[string]string{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".sql") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("lambdatune: read %s: %w", e.Name(), err)
+		}
+		sql := strings.TrimSpace(string(data))
+		sql = strings.TrimSuffix(sql, ";")
+		if sql == "" {
+			continue
+		}
+		queries[strings.TrimSuffix(e.Name(), ".sql")] = sql
+	}
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("lambdatune: no .sql files in %s", dir)
+	}
+	return ParseWorkload(filepath.Base(dir), queries)
+}
+
+// SaveSchema writes tables as a SchemaFile JSON document (the inverse of
+// LoadSchema), convenient for exporting the bundled benchmark schemas as
+// templates.
+func SaveSchema(path, name string, tables []Table) error {
+	sf := SchemaFile{Name: name, Tables: make([]TableJSON, len(tables))}
+	for i, t := range tables {
+		cols := make([]ColumnJSON, len(t.Columns))
+		for j, c := range t.Columns {
+			cols[j] = ColumnJSON{Name: c.Name, WidthBytes: c.WidthBytes, Distinct: c.Distinct}
+		}
+		sf.Tables[i] = TableJSON{
+			Name: t.Name, Rows: t.Rows, Columns: cols,
+			PrimaryKey: t.PrimaryKey, ForeignKeys: t.ForeignKeys,
+		}
+	}
+	sort.Slice(sf.Tables, func(a, b int) bool { return sf.Tables[a].Name < sf.Tables[b].Name })
+	data, err := json.MarshalIndent(sf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,170 @@
+package lambdatune
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const testSchemaJSON = `{
+  "name": "shop",
+  "tables": [
+    {
+      "name": "sales", "rows": 1000000,
+      "columns": [
+        {"name": "s_id", "widthBytes": 8, "distinct": 1000000},
+        {"name": "s_product", "widthBytes": 8, "distinct": 5000}
+      ],
+      "primaryKey": ["s_id"], "foreignKeys": ["s_product"]
+    },
+    {
+      "name": "products", "rows": 5000,
+      "columns": [{"name": "p_id", "widthBytes": 8, "distinct": 5000}],
+      "primaryKey": ["p_id"]
+    }
+  ]
+}`
+
+func TestLoadSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "schema.json")
+	writeFile(t, path, testSchemaJSON)
+	name, tables, err := LoadSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "shop" || len(tables) != 2 {
+		t.Fatalf("name=%q tables=%d", name, len(tables))
+	}
+	if tables[0].Columns[1].Distinct != 5000 {
+		t.Errorf("column stats: %+v", tables[0].Columns[1])
+	}
+	if _, err := NewDatabase(Postgres, name, tables, DefaultHardware); err != nil {
+		t.Fatalf("loaded schema unusable: %v", err)
+	}
+}
+
+func TestLoadSchemaErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := LoadSchema(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	writeFile(t, bad, "{not json")
+	if _, _, err := LoadSchema(bad); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	writeFile(t, empty, `{"name": "x", "tables": []}`)
+	if _, _, err := LoadSchema(empty); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestLoadSchemaNameDefaultsToFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "warehouse.json")
+	writeFile(t, path, `{"tables": [{"name": "t", "rows": 10,
+		"columns": [{"name": "c", "widthBytes": 4, "distinct": 10}]}]}`)
+	name, _, err := LoadSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "warehouse" {
+		t.Errorf("name: %q", name)
+	}
+}
+
+func TestLoadQueriesDir(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "q1.sql"), "SELECT s.s_id FROM sales s WHERE s.s_product = 7;")
+	writeFile(t, filepath.Join(dir, "q2.sql"), `SELECT COUNT(*) FROM sales s, products p
+		WHERE s.s_product = p.p_id`)
+	writeFile(t, filepath.Join(dir, "notes.txt"), "not a query")
+	w, err := LoadQueriesDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("queries: %d", w.Len())
+	}
+	names := w.QueryNames()
+	if names[0] != "q1" || names[1] != "q2" {
+		t.Errorf("names: %v", names)
+	}
+}
+
+func TestLoadQueriesDirErrors(t *testing.T) {
+	if _, err := LoadQueriesDir(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing dir accepted")
+	}
+	empty := t.TempDir()
+	if _, err := LoadQueriesDir(empty); err == nil {
+		t.Error("empty dir accepted")
+	}
+	bad := t.TempDir()
+	writeFile(t, filepath.Join(bad, "broken.sql"), "DROP TABLE x")
+	if _, err := LoadQueriesDir(bad); err == nil {
+		t.Error("non-SELECT SQL accepted")
+	}
+}
+
+func TestSaveLoadSchemaRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	tables := []Table{{
+		Name: "t", Rows: 42,
+		Columns:    []Column{{Name: "c", WidthBytes: 4, Distinct: 42}},
+		PrimaryKey: []string{"c"},
+	}}
+	if err := SaveSchema(path, "roundtrip", tables); err != nil {
+		t.Fatal(err)
+	}
+	name, got, err := LoadSchema(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "roundtrip" || len(got) != 1 || got[0].Rows != 42 {
+		t.Errorf("round trip: name=%q tables=%+v", name, got)
+	}
+}
+
+// End-to-end: load schema + queries from disk and tune.
+func TestLoadAndTune(t *testing.T) {
+	dir := t.TempDir()
+	schemaPath := filepath.Join(dir, "schema.json")
+	writeFile(t, schemaPath, testSchemaJSON)
+	qdir := filepath.Join(dir, "queries")
+	if err := os.Mkdir(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(qdir, "join.sql"),
+		"SELECT COUNT(*) FROM sales s, products p WHERE s.s_product = p.p_id")
+
+	name, tables, err := LoadSchema(schemaPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := NewDatabase(Postgres, name, tables, DefaultHardware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadQueriesDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Tune(w, NewSimulatedLLM(1), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestSeconds <= 0 {
+		t.Errorf("best: %v", res.BestSeconds)
+	}
+}
