@@ -6,6 +6,7 @@ import (
 
 	"lambdatune/internal/core/tuner"
 	"lambdatune/internal/engine"
+	"lambdatune/internal/faults"
 	"lambdatune/internal/llm"
 	"lambdatune/internal/workload"
 )
@@ -168,12 +169,77 @@ func Benchmark(name string, dbms DBMS) (*Database, *Workload, error) {
 // BenchmarkNames lists the built-in benchmark identifiers.
 func BenchmarkNames() []string { return workload.Names() }
 
+// ResilienceOptions hardens the LLM boundary of a tuning run: retries with
+// exponential backoff and seeded jitter, per-call deadlines, a circuit
+// breaker, and an optional fallback client. All waiting is charged to the
+// database's virtual clock, so resilience costs show up in
+// Result.TuningSeconds exactly as real wall-clock retries would. Zero-valued
+// fields fall back to production defaults.
+type ResilienceOptions struct {
+	// MaxRetries is the number of re-attempts after a failed LLM call
+	// (default 3; negative disables retries).
+	MaxRetries int
+	// InitialBackoffSeconds is the virtual wait before the first retry
+	// (default 1); each further retry multiplies it by BackoffFactor
+	// (default 2) up to MaxBackoffSeconds (default 30), randomized by
+	// ±Jitter fraction (default 0.25, seeded — runs stay reproducible).
+	InitialBackoffSeconds float64
+	BackoffFactor         float64
+	MaxBackoffSeconds     float64
+	Jitter                float64
+	// CallTimeoutSeconds is the per-call deadline (default 60): a failed
+	// call never costs more virtual time than this.
+	CallTimeoutSeconds float64
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive failed calls (default 4; negative disables it);
+	// BreakerCooldownSeconds is how long it stays open (default 120).
+	BreakerThreshold       int
+	BreakerCooldownSeconds float64
+	// Fallback is consulted when retries are exhausted or the breaker is
+	// open (optional; e.g. a second model or a canned-config client).
+	Fallback Client
+}
+
+func (r *ResilienceOptions) toLLM() *llm.ResilienceOptions {
+	if r == nil {
+		return nil
+	}
+	return &llm.ResilienceOptions{
+		MaxRetries:       r.MaxRetries,
+		InitialBackoff:   r.InitialBackoffSeconds,
+		BackoffFactor:    r.BackoffFactor,
+		MaxBackoff:       r.MaxBackoffSeconds,
+		Jitter:           r.Jitter,
+		CallTimeout:      r.CallTimeoutSeconds,
+		BreakerThreshold: r.BreakerThreshold,
+		BreakerCooldown:  r.BreakerCooldownSeconds,
+		Fallback:         r.Fallback,
+	}
+}
+
+// FaultPlan injects deterministic faults into a tuning run, for resilience
+// testing (see internal/faults for the taxonomy). Rates are probabilities
+// in [0,1]; the aggregate LLM rate is spread over transient errors,
+// rate-limit bursts, truncated scripts, and garbage completions, the engine
+// rate over query aborts and index-build failures.
+type FaultPlan struct {
+	// LLMRate is the per-call probability of an injected LLM fault.
+	LLMRate float64
+	// EngineRate is the per-operation probability of an injected engine
+	// fault (query abort, index-build failure).
+	EngineRate float64
+	// Seed drives the injected fault sequence (0 = Options.Seed).
+	Seed int64
+}
+
 // Options configures a tuning run; start from DefaultOptions.
 type Options struct {
 	// Samples is k, the number of candidate configurations requested from
 	// the LLM (paper default: 5).
 	Samples int
-	// Temperature controls LLM randomization (paper default: 0.7).
+	// Temperature controls LLM randomization. 0 is a valid setting and
+	// means greedy decoding; set a negative value to inherit the paper
+	// default (0.7), which DefaultOptions does for you.
 	Temperature float64
 	// TokenBudget bounds the prompt's workload-representation tokens
 	// (0 = fit to the model limit).
@@ -185,6 +251,11 @@ type Options struct {
 	Alpha float64
 	// Seed drives the deterministic parts of scheduling.
 	Seed int64
+	// Resilience, when set, hardens the LLM boundary (retries, backoff,
+	// circuit breaker, fallback). Nil leaves the client unwrapped.
+	Resilience *ResilienceOptions
+	// Faults, when set, injects deterministic faults into the run.
+	Faults *FaultPlan
 }
 
 // DefaultOptions mirrors the paper's experimental setup (§6.1).
@@ -197,7 +268,9 @@ func (o Options) toTuner() tuner.Options {
 	if o.Samples > 0 {
 		t.Samples = o.Samples
 	}
-	if o.Temperature > 0 {
+	// Temperature 0 is meaningful (greedy decoding); only a negative value
+	// falls back to the default.
+	if o.Temperature >= 0 {
 		t.Temperature = o.Temperature
 	}
 	if o.TokenBudget > 0 {
@@ -210,6 +283,7 @@ func (o Options) toTuner() tuner.Options {
 		t.Selector.Alpha = o.Alpha
 	}
 	t.Seed = o.Seed
+	t.Resilience = o.Resilience.toLLM()
 	return t
 }
 
@@ -219,6 +293,43 @@ type ProgressPoint struct {
 	TuningSeconds float64
 	BestSeconds   float64
 }
+
+// FaultReport is a tuning run's resilience telemetry: what failed, what the
+// failures cost in virtual time, and how the pipeline degraded. All fields
+// are zero on a clean run.
+type FaultReport struct {
+	// LLMCalls / LLMFailures / LLMRetries count attempts against the LLM,
+	// their failures, and backoff re-attempts (populated when
+	// Options.Resilience is set).
+	LLMCalls    int
+	LLMFailures int
+	LLMRetries  int
+	// BreakerTrips counts circuit-breaker openings; FallbackCalls counts
+	// requests served by the fallback client.
+	BreakerTrips  int
+	FallbackCalls int
+	// BackoffSeconds / BreakerWaitSeconds / FailedCallSeconds are the
+	// virtual time spent between retries, waiting out open breaker windows,
+	// and inside failed calls — all included in Result.TuningSeconds.
+	BackoffSeconds     float64
+	BreakerWaitSeconds float64
+	FailedCallSeconds  float64
+	// DroppedSamples counts LLM samples abandoned after per-sample retries.
+	DroppedSamples int
+	// QueryAborts / IndexFailures count engine faults survived during
+	// configuration selection.
+	QueryAborts   int
+	IndexFailures int
+	// DegradedToDefault reports that no LLM candidate beat the default
+	// configuration and the returned best is the pre-tuning baseline.
+	DegradedToDefault bool
+}
+
+// Any reports whether the run observed any fault or degradation.
+func (r FaultReport) Any() bool { return tuner.FaultReport(r).Any() }
+
+// String summarizes the report in one line.
+func (r FaultReport) String() string { return tuner.FaultReport(r).String() }
 
 // Result reports a completed tuning run.
 type Result struct {
@@ -242,6 +353,8 @@ type Result struct {
 	Progress []ProgressPoint
 	// Warnings lists non-fatal issues (skipped unknown parameters etc.).
 	Warnings []string
+	// Faults is the run's resilience telemetry (zero-valued on a clean run).
+	Faults FaultReport
 
 	best *engine.Config
 }
@@ -285,7 +398,21 @@ func (d *Database) Tune(w *Workload, client Client, opts Options) (*Result, erro
 		return nil, fmt.Errorf("lambdatune: empty workload")
 	}
 	defaultSeconds := d.db.WorkloadSeconds(w.queries)
-	tn := tuner.New(d.db, client, opts.toTuner())
+	var inner llm.Client = client
+	if opts.Faults != nil {
+		seed := opts.Faults.Seed
+		if seed == 0 {
+			seed = opts.Seed
+		}
+		plan := faults.NewPlan(opts.Faults.LLMRate, opts.Faults.EngineRate)
+		inj := faults.NewInjector(plan, seed, d.db.Clock())
+		d.db.SetFaultInjector(inj)
+		defer d.db.SetFaultInjector(nil)
+		// The injector wraps the raw client, so the resilience layer (added
+		// by the tuner on top) sees the injected faults as transport errors.
+		inner = llm.WithInterceptor(inner, inj)
+	}
+	tn := tuner.New(d.db, inner, opts.toTuner())
 	res, err := tn.Tune(w.queries)
 	if err != nil {
 		return nil, err
@@ -297,6 +424,7 @@ func (d *Database) Tune(w *Workload, client Client, opts Options) (*Result, erro
 		PromptTokens:   res.Prompt.TotalTokens,
 		Candidates:     len(res.Candidates),
 		Warnings:       res.Warnings,
+		Faults:         FaultReport(res.Faults),
 		best:           res.Best,
 	}
 	if res.Best != nil {

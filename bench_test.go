@@ -193,6 +193,29 @@ func BenchmarkOutliers(b *testing.B) {
 	}
 }
 
+// BenchmarkRobustness regenerates the robustness study (E12): λ-Tune under
+// injected LLM and engine faults with the resilience layer enabled. The
+// reported metric is the worst speedup across the fault grid (graceful
+// degradation: it should stay ≥ 1).
+func BenchmarkRobustness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Robustness(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bench.RenderRobustness(rows))
+			worst := math.Inf(1)
+			for _, r := range rows {
+				if r.Err == "" && r.Speedup < worst {
+					worst = r.Speedup
+				}
+			}
+			b.ReportMetric(worst, "min-speedup")
+		}
+	}
+}
+
 // BenchmarkSchedulerAblation measures the DP scheduler's benefit directly:
 // expected index-creation cost of the DP order vs the naive workload order
 // on JOB with a typical LLM index set.

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers all")
+		exp    = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness all")
 		trials = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
 		seed   = flag.Int64("seed", 1, "base random seed")
 		csvDir = flag.String("csv", "", "also write machine-readable CSVs to this directory")
@@ -180,9 +180,18 @@ func main() {
 			return bench.RenderOutliers(o), nil
 		})
 	}
+	if all || *exp == "robustness" {
+		run("Robustness study (E12) — injected LLM/engine faults, resilient pipeline", func() (string, error) {
+			rows, err := bench.Robustness(*seed)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderRobustness(rows), nil
+		})
+	}
 	if !all {
 		switch *exp {
-		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers":
+		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)

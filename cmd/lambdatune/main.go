@@ -26,6 +26,11 @@ func main() {
 		budget    = flag.Int("token-budget", 0, "prompt token budget for the workload representation (0 = model limit)")
 		seed      = flag.Int64("seed", 1, "random seed for the simulated LLM")
 		rag       = flag.Bool("rag", false, "augment the LLM with the bundled tuning-guide corpus (RAG)")
+		temp      = flag.Float64("temperature", 0.7, "LLM sampling temperature (0 = greedy decoding)")
+		llmFault  = flag.Float64("llm-fault-rate", 0, "injected LLM fault probability per call, 0..1")
+		engFault  = flag.Float64("engine-fault-rate", 0, "injected engine fault probability per operation, 0..1")
+		retries   = flag.Int("llm-retries", 3, "LLM retry attempts with exponential backoff (-1 disables)")
+		breaker   = flag.Int("llm-breaker", 4, "consecutive LLM failures that trip the circuit breaker (-1 disables)")
 		verbose   = flag.Bool("v", false, "print progress events")
 	)
 	flag.Parse()
@@ -71,6 +76,11 @@ func main() {
 	opts.Samples = *samples
 	opts.TokenBudget = *budget
 	opts.Seed = *seed
+	opts.Temperature = *temp
+	if *llmFault > 0 || *engFault > 0 {
+		opts.Faults = &lambdatune.FaultPlan{LLMRate: *llmFault, EngineRate: *engFault, Seed: *seed}
+		opts.Resilience = &lambdatune.ResilienceOptions{MaxRetries: *retries, BreakerThreshold: *breaker}
+	}
 
 	client := lambdatune.NewSimulatedLLM(*seed)
 	if *rag {
@@ -88,6 +98,9 @@ func main() {
 	fmt.Printf("workload: %.1fs default → %.1fs tuned (%.1fx speedup)\n",
 		res.DefaultSeconds, res.BestSeconds, res.Speedup())
 	fmt.Printf("tuning cost: %.1fs simulated (bounded by Theorem 4.3)\n", res.TuningSeconds)
+	if res.Faults.Any() {
+		fmt.Printf("faults survived: %s\n", res.Faults)
+	}
 	if *verbose {
 		fmt.Println("\nprogress:")
 		for _, p := range res.Progress {

@@ -115,6 +115,9 @@ func TestFigure5PerQueryNoRegressions(t *testing.T) {
 }
 
 func TestFigure7BudgetShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates the full token-budget study (~20s)")
+	}
 	rows, err := Figure7(1)
 	if err != nil {
 		t.Fatal(err)

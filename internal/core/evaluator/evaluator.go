@@ -23,6 +23,9 @@ type ConfigMeta struct {
 	IndexTime float64
 	// Completed records fully processed queries by name.
 	Completed map[string]bool
+	// Aborts counts query executions killed by injected engine faults;
+	// aborted queries stay un-completed and are retried in a later round.
+	Aborts int
 }
 
 // NewConfigMeta initializes the bookkeeping (paper: ConfigMeta(0,False,0,∅)).
@@ -124,6 +127,19 @@ func (e *Evaluator) Evaluate(cfg *engine.Config, queries []*engine.Query, timeou
 			}
 		}
 		res := e.DB.Execute(q, remaining)
+		if res.Aborted {
+			// Injected engine fault: the wasted time still counts against
+			// the round's budget, but the round degrades gracefully — the
+			// remaining queries keep running and the aborted one is retried
+			// in a later round (meta.Completed is the resume checkpoint).
+			meta.Aborts++
+			meta.IsComplete = false
+			remaining -= res.Seconds
+			if remaining <= 0 {
+				break
+			}
+			continue
+		}
 		if !res.Complete {
 			meta.IsComplete = false
 			break

@@ -1,0 +1,118 @@
+package selector
+
+import (
+	"testing"
+
+	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/engine"
+)
+
+// TestCheckpointAfterRounds verifies a finished run leaves a usable
+// checkpoint behind: round count, next timeout, and per-config progress.
+func TestCheckpointAfterRounds(t *testing.T) {
+	db, qs := setup(t)
+	s := New(evaluator.New(db), qs, DefaultOptions())
+	g, b := good(), bad()
+	if s.Select([]*engine.Config{b, g}) != g {
+		t.Fatal("selection failed")
+	}
+	st := s.Checkpoint()
+	if st == nil {
+		t.Fatal("no checkpoint after Select")
+	}
+	if st.Round < 1 || st.Timeout <= 0 {
+		t.Fatalf("checkpoint = round %d timeout %v", st.Round, st.Timeout)
+	}
+	if st.Metas["good"] == nil || st.Metas["bad"] == nil {
+		t.Fatalf("checkpoint metas missing entries: %v", st.Metas)
+	}
+	if st.Metas["good"] != s.Metas[g] {
+		t.Fatal("checkpoint must share the live bookkeeping")
+	}
+}
+
+// TestResumeSkipsCompletedWork is the aborted-round scenario: a first run is
+// cut off by MaxRounds, its checkpoint feeds a second selector, and the
+// second run finishes without re-executing the queries the first one
+// completed.
+func TestResumeSkipsCompletedWork(t *testing.T) {
+	db, qs := setup(t)
+	g, b := good(), bad()
+
+	// First run: far too few rounds to complete any configuration.
+	opts := DefaultOptions()
+	opts.MaxRounds = 1
+	s1 := New(evaluator.New(db), qs, opts)
+	if best := s1.Select([]*engine.Config{b, g}); best != nil {
+		t.Fatalf("round-capped run should not finish, got %v", best)
+	}
+	st := s1.Checkpoint()
+	if st == nil || st.Round != 1 {
+		t.Fatalf("checkpoint = %+v", st)
+	}
+	doneBefore := len(st.Metas["good"].Completed) + len(st.Metas["bad"].Completed)
+	execBefore := db.Executions()
+
+	// Second run resumes on the same database with re-parsed candidates
+	// (fresh pointers, same IDs — matching is by ID).
+	g2, b2 := good(), bad()
+	s2 := New(evaluator.New(db), qs, DefaultOptions())
+	s2.Resume(st)
+	best := s2.Select([]*engine.Config{b2, g2})
+	if best != g2 {
+		t.Fatalf("resumed run selected %v", best)
+	}
+	// Progress carried over: the resumed metas are the checkpointed ones.
+	if s2.Metas[g2] != st.Metas["good"] {
+		t.Fatal("resumed run did not adopt checkpointed bookkeeping")
+	}
+	if doneBefore > 0 && db.Executions() == execBefore {
+		t.Fatal("resumed run executed nothing, yet queries were still open")
+	}
+}
+
+// TestResumeMatchesFreshRunResult checks resuming does not change the
+// selected winner compared to an uninterrupted run.
+func TestResumeMatchesFreshRunResult(t *testing.T) {
+	// Uninterrupted reference run.
+	dbA, qsA := setup(t)
+	sA := New(evaluator.New(dbA), qsA, DefaultOptions())
+	gA, bA := good(), bad()
+	bestA := sA.Select([]*engine.Config{bA, gA})
+
+	// Interrupted-and-resumed run.
+	dbB, qsB := setup(t)
+	opts := DefaultOptions()
+	opts.MaxRounds = 1
+	s1 := New(evaluator.New(dbB), qsB, opts)
+	g1, b1 := good(), bad()
+	s1.Select([]*engine.Config{b1, g1})
+	s2 := New(evaluator.New(dbB), qsB, DefaultOptions())
+	s2.Resume(s1.Checkpoint())
+	bestB := s2.Select([]*engine.Config{b1, g1})
+
+	if bestA.ID != bestB.ID {
+		t.Fatalf("fresh run picked %s, resumed run picked %s", bestA.ID, bestB.ID)
+	}
+	if tA, tB := sA.Metas[bestA].Time, s2.Metas[bestB].Time; tA != tB {
+		t.Fatalf("winner times differ: %v vs %v", tA, tB)
+	}
+}
+
+// TestResumeRestoresTimeoutSchedule verifies the resumed run continues the
+// geometric schedule instead of restarting at InitialTimeout.
+func TestResumeRestoresTimeoutSchedule(t *testing.T) {
+	db, qs := setup(t)
+	opts := DefaultOptions()
+	opts.MaxRounds = 2
+	s1 := New(evaluator.New(db), qs, opts)
+	s1.Select([]*engine.Config{bad()})
+	st := s1.Checkpoint()
+	if st == nil {
+		t.Fatal("no checkpoint")
+	}
+	if st.Timeout <= opts.InitialTimeout {
+		t.Fatalf("checkpoint timeout %v should exceed the initial %v",
+			st.Timeout, opts.InitialTimeout)
+	}
+}

@@ -47,6 +47,21 @@ func DefaultOptions() Options {
 	return Options{InitialTimeout: 10, Alpha: 10, AdaptiveTimeout: true}
 }
 
+// RoundState is the selector's resumable checkpoint: the bookkeeping of a
+// run that was interrupted (round cap, crash, injected faults). Feeding it
+// back via Resume continues evaluation from the last finished round instead
+// of restarting — completed queries are never re-executed, and the timeout
+// schedule picks up where it stopped.
+type RoundState struct {
+	// Round is the number of evaluation rounds already finished.
+	Round int
+	// Timeout is the next round's per-configuration timeout.
+	Timeout float64
+	// Metas carries per-configuration progress, keyed by Config.ID (IDs,
+	// not pointers, so a checkpoint survives re-parsing the candidates).
+	Metas map[string]*evaluator.ConfigMeta
+}
+
 // Selector runs Algorithm 2 over a fixed workload and candidate set.
 type Selector struct {
 	Eval     *evaluator.Evaluator
@@ -56,11 +71,33 @@ type Selector struct {
 	Metas map[*engine.Config]*evaluator.ConfigMeta
 	// Progress records best-so-far events on the virtual clock.
 	Progress []ProgressEvent
+
+	resume *RoundState
+	state  *RoundState
 }
 
 // New creates a selector.
 func New(eval *evaluator.Evaluator, w []*engine.Query, opts Options) *Selector {
 	return &Selector{Eval: eval, Workload: w, Opts: opts}
+}
+
+// Resume installs a checkpoint from an earlier interrupted run; the next
+// Select call continues from it. Candidates are matched to checkpointed
+// progress by Config.ID.
+func (s *Selector) Resume(st *RoundState) { s.resume = st }
+
+// Checkpoint returns the selector's current round state (nil before any
+// round ran). It shares the live ConfigMeta bookkeeping, so it reflects all
+// progress up to the moment Select returned.
+func (s *Selector) Checkpoint() *RoundState { return s.state }
+
+// saveState records the checkpoint after a finished round.
+func (s *Selector) saveState(candidates []*engine.Config, rounds int, timeout float64) {
+	st := &RoundState{Round: rounds, Timeout: timeout, Metas: map[string]*evaluator.ConfigMeta{}}
+	for _, c := range candidates {
+		st.Metas[c.ID] = s.Metas[c]
+	}
+	s.state = st
 }
 
 // Select is Algorithm 2 (ConfigSelect): it returns the configuration with
@@ -70,6 +107,12 @@ func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
 	best := Best{Time: math.Inf(1)}
 	s.Metas = make(map[*engine.Config]*evaluator.ConfigMeta, len(candidates))
 	for _, c := range candidates {
+		if s.resume != nil {
+			if m, ok := s.resume.Metas[c.ID]; ok && m != nil {
+				s.Metas[c] = m
+				continue
+			}
+		}
 		s.Metas[c] = evaluator.NewConfigMeta()
 	}
 	if len(candidates) == 0 {
@@ -84,9 +127,17 @@ func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
 	if alpha < 2 {
 		alpha = 2
 	}
+	rounds := 0
+	if s.resume != nil {
+		// Continue the interrupted run's timeout schedule instead of
+		// replaying the finished rounds.
+		if s.resume.Timeout > 0 {
+			t = s.resume.Timeout
+		}
+		rounds = s.resume.Round
+	}
 
 	var remaining []*engine.Config
-	rounds := 0
 	for math.IsInf(best.Time, 1) {
 		rounds++
 		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
@@ -100,6 +151,7 @@ func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
 			}
 		}
 		if !math.IsInf(best.Time, 1) {
+			s.saveState(candidates, rounds, t)
 			break
 		}
 		// Reconfiguration overheads: never let the next round's timeout be
@@ -112,6 +164,7 @@ func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
 			}
 		}
 		t *= alpha
+		s.saveState(candidates, rounds, t)
 	}
 
 	// Give every remaining configuration one chance with the tightened,

@@ -1,0 +1,187 @@
+package tuner
+
+import (
+	"strings"
+	"testing"
+
+	"lambdatune/internal/engine"
+	"lambdatune/internal/faults"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/workload"
+)
+
+// TestTuneAggregatedSampleErrors pins the all-samples-dropped error contract:
+// the returned error wraps every per-sample failure, not just the last one.
+func TestTuneAggregatedSampleErrors(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	tn := New(db, errClient{}, DefaultOptions())
+	_, err := tn.Tune(w.Queries)
+	if err == nil {
+		t.Fatal("want error when every sample drops")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "no usable configurations from 5 samples") {
+		t.Fatalf("missing summary: %v", msg)
+	}
+	for _, want := range []string{"sample 1:", "sample 3:", "sample 5:"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error does not wrap %q: %v", want, msg)
+		}
+	}
+}
+
+// TestTuneMixedFailuresKeepsSurvivors: when some samples drop and others
+// survive, tuning proceeds with the survivors and reports the drops.
+type failEveryOther struct {
+	inner llm.Client
+	n     int
+}
+
+func (f *failEveryOther) Complete(prompt string, temp float64) (string, error) {
+	f.n++
+	if f.n%2 == 1 {
+		return "", &faults.Error{Kind: faults.LLMTransient}
+	}
+	return f.inner.Complete(prompt, temp)
+}
+func (f *failEveryOther) Name() string { return "every-other" }
+
+func TestTuneMixedFailuresKeepsSurvivors(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	opts := DefaultOptions()
+	opts.MaxRetries = 0 // every odd call drops its sample outright
+	tn := New(db, &failEveryOther{inner: llm.NewSimClient(42)}, opts)
+	res, err := tn.Tune(w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best despite surviving samples")
+	}
+	if res.Faults.DroppedSamples != 3 {
+		t.Fatalf("DroppedSamples = %d, want 3 (calls 1,3,5)", res.Faults.DroppedSamples)
+	}
+	if len(res.Candidates) != 2 {
+		t.Fatalf("candidates = %d, want 2", len(res.Candidates))
+	}
+	if !res.Faults.Any() {
+		t.Fatal("FaultReport.Any() should be true")
+	}
+}
+
+// TestTuneSeedDefaultFloor: with a client whose only parseable output is
+// worse than the default configuration, SeedDefault guarantees the default
+// wins and the run reports the degradation.
+type badConfigClient struct{}
+
+func (badConfigClient) Complete(string, float64) (string, error) {
+	// Parseable but harmful: crippled memory and planner settings.
+	return "ALTER SYSTEM SET work_mem = '64kB';\n" +
+		"ALTER SYSTEM SET shared_buffers = '128kB';\n" +
+		"ALTER SYSTEM SET enable_hashjoin = 'off';\n" +
+		"ALTER SYSTEM SET enable_mergejoin = 'off';\n", nil
+}
+func (badConfigClient) Name() string { return "bad-config" }
+
+func TestTuneSeedDefaultFloor(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	defaultTime := db.WorkloadSeconds(w.Queries)
+	tn := New(db, badConfigClient{}, DefaultOptions())
+	res, err := tn.Tune(w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("Best is nil despite the seeded default")
+	}
+	if res.Best.ID != DefaultConfigID {
+		t.Fatalf("best = %s, want the seeded default", res.Best.ID)
+	}
+	if !res.Faults.DegradedToDefault {
+		t.Fatal("DegradedToDefault not reported")
+	}
+	if res.BestTime > defaultTime*1.0001 {
+		t.Fatalf("best time %v worse than default %v", res.BestTime, defaultTime)
+	}
+	// The LLM candidates stay in Candidates; the default is not one of them.
+	for _, c := range res.Candidates {
+		if c.ID == DefaultConfigID {
+			t.Fatal("default configuration leaked into Candidates")
+		}
+	}
+}
+
+// TestTuneSeedDefaultOff preserves the legacy behavior for ablations.
+func TestTuneSeedDefaultOff(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	opts := DefaultOptions()
+	opts.SeedDefault = false
+	tn := New(db, llm.NewSimClient(42), opts)
+	res, err := tn.Tune(w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil && res.Best.ID == DefaultConfigID {
+		t.Fatal("default seeded despite SeedDefault=false")
+	}
+}
+
+// TestTuneResilienceWrapsClient: with Resilience set, transient failures are
+// absorbed by the retry layer, telemetry lands in the FaultReport, and the
+// waiting shows up in TuningSeconds on the virtual clock.
+func TestTuneResilienceWrapsClient(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	client := &flakyClient{failures: 3, inner: llm.NewSimClient(42)}
+	opts := DefaultOptions()
+	opts.MaxRetries = 0 // tuner-level retries off: the resilient layer must absorb
+	opts.Resilience = &llm.ResilienceOptions{}
+	tn := New(db, client, opts)
+	res, err := tn.Tune(w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Candidates) != 5 {
+		t.Fatalf("run degraded: best=%v candidates=%d", res.Best, len(res.Candidates))
+	}
+	f := res.Faults
+	if f.LLMFailures != 3 || f.LLMRetries < 3 {
+		t.Fatalf("fault report = %+v, want 3 failures absorbed by retries", f)
+	}
+	if f.BackoffSeconds <= 0 {
+		t.Fatal("backoff waits not recorded")
+	}
+	if res.TuningSeconds < f.BackoffSeconds {
+		t.Fatalf("TuningSeconds %v excludes the %vs backoff", res.TuningSeconds, f.BackoffSeconds)
+	}
+}
+
+// TestTuneResilienceBackoffCostsTuningTime compares a faulty run against a
+// clean one: the faulty run must be slower by at least its waiting time.
+func TestTuneResilienceBackoffCostsTuningTime(t *testing.T) {
+	tune := func(failures int) *Result {
+		w := workload.TPCH(1)
+		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		opts := DefaultOptions()
+		opts.Resilience = &llm.ResilienceOptions{}
+		tn := New(db, &flakyClient{failures: failures, inner: llm.NewSimClient(42)}, opts)
+		res, err := tn.Tune(w.Queries)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean, faulty := tune(0), tune(3)
+	extra := faulty.TuningSeconds - clean.TuningSeconds
+	waited := faulty.Faults.BackoffSeconds + faulty.Faults.FailedCallSeconds
+	if waited <= 0 {
+		t.Fatalf("faulty run reports no waiting: %+v", faulty.Faults)
+	}
+	if extra < waited-1e-9 {
+		t.Fatalf("tuning cost grew by %vs but the run waited %vs", extra, waited)
+	}
+}

@@ -5,6 +5,7 @@
 package tuner
 
 import (
+	"errors"
 	"fmt"
 
 	"lambdatune/internal/core/evaluator"
@@ -37,6 +38,14 @@ type Options struct {
 	// returns an unparseable script (transient API errors are routine with
 	// hosted models).
 	MaxRetries int
+	// Resilience, when set, wraps the client with llm.NewResilientClient
+	// (retry/backoff, per-call deadlines, circuit breaker, optional
+	// fallback) on the database's virtual clock.
+	Resilience *llm.ResilienceOptions
+	// SeedDefault adds the live default configuration to the candidate
+	// pool, guaranteeing a non-nil Best (never worse than not tuning) even
+	// when every LLM candidate is bad or keeps aborting.
+	SeedDefault bool
 }
 
 // DefaultOptions matches the paper's experimental setup (§6.1).
@@ -50,7 +59,59 @@ func DefaultOptions() Options {
 		LazyIndexes:  true,
 		Seed:         1,
 		MaxRetries:   2,
+		SeedDefault:  true,
 	}
+}
+
+// DefaultConfigID labels the default-configuration candidate that
+// SeedDefault adds to the pool. Its script is empty: "keep the defaults".
+const DefaultConfigID = "default"
+
+// FaultReport is the structured resilience telemetry of one tuning run:
+// what failed, what it cost, and what the pipeline did about it.
+type FaultReport struct {
+	// LLMCalls / LLMFailures count attempts against the (wrapped) client
+	// and their failures; LLMRetries counts backoff re-attempts. Zero
+	// unless Options.Resilience is set.
+	LLMCalls    int
+	LLMFailures int
+	LLMRetries  int
+	// BreakerTrips counts circuit-breaker openings; FallbackCalls counts
+	// requests served by the fallback client.
+	BreakerTrips  int
+	FallbackCalls int
+	// BackoffSeconds / BreakerWaitSeconds / FailedCallSeconds are the
+	// virtual time spent waiting between retries, waiting out open breaker
+	// windows, and inside failed calls; all three are on the database
+	// clock and therefore included in Result.TuningSeconds.
+	BackoffSeconds     float64
+	BreakerWaitSeconds float64
+	FailedCallSeconds  float64
+	// DroppedSamples counts LLM samples abandoned after per-sample retries
+	// (failed calls or unparseable scripts).
+	DroppedSamples int
+	// QueryAborts / IndexFailures count injected engine faults survived
+	// during configuration selection.
+	QueryAborts   int
+	IndexFailures int
+	// DegradedToDefault reports that every usable path failed and the
+	// returned Best is the seeded default configuration.
+	DegradedToDefault bool
+}
+
+// Any reports whether the run observed any fault or degradation.
+func (r FaultReport) Any() bool {
+	return r.LLMFailures > 0 || r.DroppedSamples > 0 || r.QueryAborts > 0 ||
+		r.IndexFailures > 0 || r.BreakerTrips > 0 || r.FallbackCalls > 0 ||
+		r.DegradedToDefault
+}
+
+// String summarizes the report in one line.
+func (r FaultReport) String() string {
+	return fmt.Sprintf(
+		"llm: %d/%d calls failed, %d retries, %d breaker trips, %d fallback; engine: %d query aborts, %d index failures; dropped samples: %d; wait: %.1fs backoff + %.1fs breaker",
+		r.LLMFailures, r.LLMCalls, r.LLMRetries, r.BreakerTrips, r.FallbackCalls,
+		r.QueryAborts, r.IndexFailures, r.DroppedSamples, r.BackoffSeconds, r.BreakerWaitSeconds)
 }
 
 // Result reports a completed tuning run.
@@ -73,6 +134,8 @@ type Result struct {
 	Warnings []string
 	// Metas exposes per-candidate evaluation bookkeeping.
 	Metas map[*engine.Config]*evaluator.ConfigMeta
+	// Faults is the run's resilience telemetry (zero-valued on a clean run).
+	Faults FaultReport
 }
 
 // Tuner runs Algorithm 1 against a database and workload.
@@ -82,10 +145,22 @@ type Tuner struct {
 	Opts   Options
 }
 
-// New creates a tuner with the given LLM client.
+// New creates a tuner with the given LLM client. When opts.Resilience is
+// set, the client is wrapped with the resilience layer on the database's
+// virtual clock (unless the options carry their own clock).
 func New(db *engine.DB, client llm.Client, opts Options) *Tuner {
 	if opts.Samples <= 0 {
 		opts.Samples = 5
+	}
+	if opts.Resilience != nil {
+		ropts := *opts.Resilience
+		if ropts.Clock == nil {
+			ropts.Clock = db.Clock()
+		}
+		if ropts.Seed == 0 {
+			ropts.Seed = opts.Seed
+		}
+		client = llm.NewResilientClient(client, ropts)
 	}
 	return &Tuner{DB: db, Client: client, Opts: opts}
 }
@@ -98,6 +173,8 @@ func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
 		return nil, fmt.Errorf("tuner: empty workload")
 	}
 	start := t.DB.Clock().Now()
+	abortsBefore, ixFailsBefore := t.DB.QueryAborts(), t.DB.IndexFailures()
+	statsBefore := clientStats(t.Client)
 
 	// Prompt generation (§3). EXPLAIN-based snippet valuation uses the
 	// database's current (default) configuration.
@@ -109,19 +186,32 @@ func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
 
 	// k LLM calls (Algorithm 1 line 3), each retried on transient API
 	// failures or unparseable responses.
-	var lastErr error
+	var sampleErrs []error
 	for i := 0; i < t.Opts.Samples; i++ {
 		cfg, warns, err := t.sample(pr.Text, i+1)
 		if err != nil {
-			lastErr = err
+			sampleErrs = append(sampleErrs, fmt.Errorf("sample %d: %w", i+1, err))
+			res.Faults.DroppedSamples++
 			res.Warnings = append(res.Warnings, fmt.Sprintf("sample %d dropped: %v", i+1, err))
 			continue
 		}
 		res.Warnings = append(res.Warnings, warns...)
 		res.Candidates = append(res.Candidates, cfg)
 	}
+	t.mergeClientStats(res, statsBefore)
 	if len(res.Candidates) == 0 {
-		return nil, fmt.Errorf("tuner: no usable configurations from %d samples (last error: %v)", t.Opts.Samples, lastErr)
+		return nil, fmt.Errorf("tuner: no usable configurations from %d samples: %w",
+			t.Opts.Samples, errors.Join(sampleErrs...))
+	}
+
+	// Graceful degradation: the candidate pool is seeded with the live
+	// default configuration, so selection always has a floor — Best is
+	// never nil and never worse than not tuning, whatever the LLM returned.
+	pool := res.Candidates
+	var defaultCfg *engine.Config
+	if t.Opts.SeedDefault {
+		defaultCfg = &engine.Config{ID: DefaultConfigID, Params: map[string]string{}}
+		pool = append([]*engine.Config{defaultCfg}, res.Candidates...)
 	}
 
 	// Configuration selection (§4) with lazy-index evaluation (§5).
@@ -130,15 +220,45 @@ func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
 	eval.LazyIndexes = t.Opts.LazyIndexes
 	eval.Seed = t.Opts.Seed
 	sel := selector.New(eval, queries, t.Opts.Selector)
-	best := sel.Select(res.Candidates)
+	best := sel.Select(pool)
 	res.Best = best
 	res.Metas = sel.Metas
 	res.Progress = sel.Progress
 	if best != nil {
 		res.BestTime = sel.Metas[best].Time
 	}
+	if best != nil && best == defaultCfg && len(res.Candidates) > 0 {
+		res.Faults.DegradedToDefault = true
+		res.Warnings = append(res.Warnings,
+			"no LLM candidate beat the default configuration; returning the default")
+	}
+	t.mergeClientStats(res, statsBefore)
+	res.Faults.QueryAborts = t.DB.QueryAborts() - abortsBefore
+	res.Faults.IndexFailures = t.DB.IndexFailures() - ixFailsBefore
 	res.TuningSeconds = t.DB.Clock().Now() - start
 	return res, nil
+}
+
+// clientStats snapshots the resilience telemetry when the client exposes it.
+func clientStats(c llm.Client) llm.ResilienceStats {
+	if sp, ok := c.(llm.StatsProvider); ok {
+		return sp.Stats()
+	}
+	return llm.ResilienceStats{}
+}
+
+// mergeClientStats folds the client's telemetry accumulated since the given
+// snapshot into the result's fault report.
+func (t *Tuner) mergeClientStats(res *Result, before llm.ResilienceStats) {
+	now := clientStats(t.Client)
+	res.Faults.LLMCalls = now.Calls - before.Calls
+	res.Faults.LLMFailures = now.Failures - before.Failures
+	res.Faults.LLMRetries = now.Retries - before.Retries
+	res.Faults.BreakerTrips = now.BreakerTrips - before.BreakerTrips
+	res.Faults.FallbackCalls = now.FallbackCalls - before.FallbackCalls
+	res.Faults.BackoffSeconds = now.BackoffSeconds - before.BackoffSeconds
+	res.Faults.BreakerWaitSeconds = now.BreakerWaitSeconds - before.BreakerWaitSeconds
+	res.Faults.FailedCallSeconds = now.LatencySeconds - before.LatencySeconds
 }
 
 // sample requests one configuration, retrying failed calls and unparseable

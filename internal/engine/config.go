@@ -85,13 +85,22 @@ var (
 )
 
 // ParseScript parses a configuration script (one command per line; blank
-// lines and -- comments ignored) into a Config. Unknown commands yield an
-// error; unknown parameters are dropped with a note in the returned warnings,
-// mirroring how a DBA would skip inapplicable LLM suggestions.
+// lines and -- comments ignored) into a Config, with a DBA's tolerance for
+// imperfect LLM output:
+//
+//   - unknown parameters are skipped with a warning (a DBA ignores
+//     inapplicable suggestions);
+//   - duplicate CREATE INDEX statements and repeated parameter settings are
+//     deduplicated with a warning (last setting wins, as in postgresql.conf);
+//   - unsupported or truncated commands are hard errors — a cut-off line
+//     means the response itself cannot be trusted, so the caller should
+//     re-request rather than apply half a script;
+//   - a script with no commands at all is a hard error (nothing to apply).
 func ParseScript(f Flavor, id, script string) (*Config, []string, error) {
 	cfg := &Config{ID: id, Params: map[string]string{}}
 	var warnings []string
 	pc := Params(f)
+	seenIndex := map[string]bool{}
 	for ln, line := range strings.Split(script, "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "--") || strings.HasPrefix(line, "#") {
@@ -104,6 +113,11 @@ func ParseScript(f Flavor, id, script string) (*Config, []string, error) {
 			}
 			def := NewIndexDef(m[2], cols...)
 			def.Name = m[1]
+			if seenIndex[def.Key()] {
+				warnings = append(warnings, fmt.Sprintf("line %d: duplicate index %s skipped", ln+1, def.Key()))
+				continue
+			}
+			seenIndex[def.Key()] = true
 			cfg.Indexes = append(cfg.Indexes, def)
 			continue
 		}
@@ -120,7 +134,13 @@ func ParseScript(f Flavor, id, script string) (*Config, []string, error) {
 			warnings = append(warnings, fmt.Sprintf("line %d: unknown parameter %q skipped", ln+1, name))
 			continue
 		}
+		if _, dup := cfg.Params[name]; dup {
+			warnings = append(warnings, fmt.Sprintf("line %d: parameter %q set twice, last value wins", ln+1, name))
+		}
 		cfg.Params[name] = strings.Trim(value, "'\"")
+	}
+	if len(cfg.Params) == 0 && len(cfg.Indexes) == 0 && len(warnings) == 0 {
+		return nil, nil, fmt.Errorf("engine: empty configuration script")
 	}
 	return cfg, warnings, nil
 }

@@ -23,7 +23,35 @@ type DB struct {
 	permanent map[string]bool
 	// executed counts completed query executions (for test introspection).
 	executed int
+	// faults, when set, is consulted before query executions and index
+	// builds; see SetFaultInjector.
+	faults FaultInjector
+	// queryAborts / indexFailures count injected engine faults.
+	queryAborts   int
+	indexFailures int
 }
+
+// FaultInjector is the engine-side fault-injection hook (implemented by
+// internal/faults.Injector). Both methods return the fraction of the
+// operation's cost that was wasted before the fault hit, and whether to
+// inject at all.
+type FaultInjector interface {
+	// QueryFault is consulted before executing q; when abort is true the
+	// execution dies after wastedFrac of its (timeout-capped) runtime.
+	QueryFault(q *Query) (wastedFrac float64, abort bool)
+	// IndexFault is consulted before building def; when fail is true the
+	// build dies after wastedFrac of its cost and the index does not exist.
+	IndexFault(def IndexDef) (wastedFrac float64, fail bool)
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault hook.
+func (db *DB) SetFaultInjector(fi FaultInjector) { db.faults = fi }
+
+// QueryAborts returns the number of injected query aborts so far.
+func (db *DB) QueryAborts() int { return db.queryAborts }
+
+// IndexFailures returns the number of injected index-build failures so far.
+func (db *DB) IndexFailures() int { return db.indexFailures }
 
 // NewDB creates a database with default settings and no indexes.
 func NewDB(f Flavor, catalog *Catalog, hw Hardware) *DB {
@@ -174,6 +202,9 @@ func (db *DB) IndexCreationSeconds(def IndexDef) float64 {
 
 // CreateIndex creates an index (idempotent) and advances the clock by its
 // creation time. It returns the seconds spent (0 when it already existed).
+// An injected build fault leaves the index absent but still costs the
+// partial build time; callers proceed without the index and a later
+// evaluation round retries the build.
 func (db *DB) CreateIndex(def IndexDef) float64 {
 	if db.HasIndex(def) {
 		return 0
@@ -182,6 +213,14 @@ func (db *DB) CreateIndex(def IndexDef) float64 {
 		return 0 // ignore indexes on unknown tables, as Postgres would error
 	}
 	secs := db.IndexCreationSeconds(def)
+	if db.faults != nil {
+		if frac, fail := db.faults.IndexFault(def); fail {
+			wasted := frac * secs
+			db.indexFailures++
+			db.clock.Advance(wasted)
+			return wasted
+		}
+	}
 	db.indexes[def.Key()] = def
 	db.clock.Advance(secs)
 	return secs
@@ -244,9 +283,21 @@ func (db *DB) QuerySeconds(q *Query) float64 {
 // runtime on completion, or the timeout on interruption.
 func (db *DB) Execute(q *Query, timeout float64) ExecResult {
 	secs := db.QuerySeconds(q)
+	capped := secs
 	if timeout >= 0 && secs > timeout && !math.IsInf(timeout, 1) {
-		db.clock.Advance(timeout)
-		return ExecResult{Seconds: timeout, Complete: false}
+		capped = timeout
+	}
+	if db.faults != nil {
+		if frac, abort := db.faults.QueryFault(q); abort {
+			wasted := frac * capped
+			db.queryAborts++
+			db.clock.Advance(wasted)
+			return ExecResult{Seconds: wasted, Complete: false, Aborted: true}
+		}
+	}
+	if capped < secs {
+		db.clock.Advance(capped)
+		return ExecResult{Seconds: capped, Complete: false}
 	}
 	db.clock.Advance(secs)
 	db.executed++

@@ -1,0 +1,112 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// scriptedFaults aborts/fails according to pre-programmed decisions.
+type scriptedFaults struct {
+	queryFrac float64
+	queryHits int // number of query executions to abort (counts down)
+	indexFrac float64
+	indexHits int
+}
+
+func (s *scriptedFaults) QueryFault(q *Query) (float64, bool) {
+	if s.queryHits > 0 {
+		s.queryHits--
+		return s.queryFrac, true
+	}
+	return 0, false
+}
+
+func (s *scriptedFaults) IndexFault(def IndexDef) (float64, bool) {
+	if s.indexHits > 0 {
+		s.indexHits--
+		return s.indexFrac, true
+	}
+	return 0, false
+}
+
+func TestExecuteAbortWastesTimeAndRetries(t *testing.T) {
+	db := testDB(t)
+	q, err := PrepareQuery("q", joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := db.QuerySeconds(q)
+	db.SetFaultInjector(&scriptedFaults{queryFrac: 0.5, queryHits: 1})
+
+	res := db.Execute(q, math.Inf(1))
+	if !res.Aborted || res.Complete {
+		t.Fatalf("want aborted incomplete result, got %+v", res)
+	}
+	if want := 0.5 * full; math.Abs(res.Seconds-want) > 1e-9 {
+		t.Fatalf("wasted %v, want %v", res.Seconds, want)
+	}
+	if math.Abs(db.Clock().Now()-res.Seconds) > 1e-9 {
+		t.Fatalf("clock = %v, want %v", db.Clock().Now(), res.Seconds)
+	}
+	if db.QueryAborts() != 1 {
+		t.Fatalf("QueryAborts = %d, want 1", db.QueryAborts())
+	}
+	// Immediate re-execution succeeds (the fault was transient).
+	res = db.Execute(q, math.Inf(1))
+	if !res.Complete || res.Aborted {
+		t.Fatalf("retry should complete, got %+v", res)
+	}
+}
+
+func TestExecuteAbortRespectsTimeoutCap(t *testing.T) {
+	db := testDB(t)
+	q, err := PrepareQuery("q", joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetFaultInjector(&scriptedFaults{queryFrac: 1, queryHits: 1})
+	timeout := db.QuerySeconds(q) / 4
+	res := db.Execute(q, timeout)
+	if !res.Aborted {
+		t.Fatalf("want abort, got %+v", res)
+	}
+	if res.Seconds > timeout+1e-9 {
+		t.Fatalf("abort wasted %v, exceeding the %v timeout budget", res.Seconds, timeout)
+	}
+}
+
+func TestCreateIndexFailureLosesTimeNotIndex(t *testing.T) {
+	db := testDB(t)
+	def := NewIndexDef("fact", "f_d1")
+	fullCost := db.IndexCreationSeconds(def)
+	db.SetFaultInjector(&scriptedFaults{indexFrac: 0.25, indexHits: 1})
+
+	wasted := db.CreateIndex(def)
+	if want := 0.25 * fullCost; math.Abs(wasted-want) > 1e-9 {
+		t.Fatalf("wasted %v, want %v", wasted, want)
+	}
+	if db.HasIndex(def) {
+		t.Fatal("failed build must not leave the index behind")
+	}
+	if db.IndexFailures() != 1 {
+		t.Fatalf("IndexFailures = %d, want 1", db.IndexFailures())
+	}
+	// Retry succeeds and pays the full cost.
+	secs := db.CreateIndex(def)
+	if math.Abs(secs-fullCost) > 1e-9 || !db.HasIndex(def) {
+		t.Fatalf("retry: secs=%v hasIndex=%v", secs, db.HasIndex(def))
+	}
+}
+
+func TestSetFaultInjectorNilRestoresCleanPath(t *testing.T) {
+	db := testDB(t)
+	q, err := PrepareQuery("q", joinQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.SetFaultInjector(&scriptedFaults{queryFrac: 1, queryHits: 100})
+	db.SetFaultInjector(nil)
+	if res := db.Execute(q, math.Inf(1)); !res.Complete {
+		t.Fatalf("clean path broken: %+v", res)
+	}
+}

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseScriptAdversarial feeds ParseScript the kinds of damaged scripts
+// a faulty LLM boundary produces (truncation, duplication, chatter) and
+// checks the warning-vs-hard-error contract: recoverable imperfections warn,
+// untrustworthy responses error.
+func TestParseScriptAdversarial(t *testing.T) {
+	cases := []struct {
+		name    string
+		flavor  Flavor
+		script  string
+		wantErr string // substring of the hard error ("" = must parse)
+		warns   int    // exact number of warnings when parsing succeeds
+		params  int
+		indexes int
+	}{
+		{
+			name:   "clean script",
+			flavor: Postgres,
+			script: "ALTER SYSTEM SET work_mem = '64MB';\nCREATE INDEX i1 ON lineitem (l_orderkey);",
+			params: 1, indexes: 1,
+		},
+		{
+			name:    "truncated ALTER SYSTEM",
+			flavor:  Postgres,
+			script:  "ALTER SYSTEM SET work_mem = '64MB';\nALTER SYSTEM SET shared_buf",
+			wantErr: "unsupported command",
+		},
+		{
+			name:    "truncated mid CREATE INDEX",
+			flavor:  Postgres,
+			script:  "CREATE INDEX i1 ON lineitem (l_orderkey);\nCREATE INDEX i2 ON ord",
+			wantErr: "unsupported command",
+		},
+		{
+			name:    "LLM chatter line",
+			flavor:  Postgres,
+			script:  "Here are my recommendations:\nALTER SYSTEM SET work_mem = '64MB';",
+			wantErr: "unsupported command",
+		},
+		{
+			name:   "duplicate CREATE INDEX deduplicated",
+			flavor: Postgres,
+			script: "CREATE INDEX i1 ON lineitem (l_orderkey);\nCREATE INDEX other ON lineitem (l_orderkey);",
+			warns:  1, indexes: 1,
+		},
+		{
+			name:   "parameter set twice, last wins",
+			flavor: Postgres,
+			script: "ALTER SYSTEM SET work_mem = '64MB';\nALTER SYSTEM SET work_mem = '128MB';",
+			warns:  1, params: 1,
+		},
+		{
+			name:   "unknown parameter skipped with warning",
+			flavor: Postgres,
+			script: "ALTER SYSTEM SET totally_made_up = '1';\nALTER SYSTEM SET work_mem = '64MB';",
+			warns:  1, params: 1,
+		},
+		{
+			name:    "empty script",
+			flavor:  Postgres,
+			script:  "",
+			wantErr: "empty configuration script",
+		},
+		{
+			name:    "comments only",
+			flavor:  Postgres,
+			script:  "-- nothing to see here\n\n# or here\n",
+			wantErr: "empty configuration script",
+		},
+		{
+			name:   "only-unknown parameters parse with warnings",
+			flavor: Postgres,
+			script: "ALTER SYSTEM SET nonsense = '1';",
+			warns:  1,
+		},
+		{
+			name:   "mysql dialect",
+			flavor: MySQL,
+			script: "SET GLOBAL innodb_buffer_pool_size = 1073741824;\nSET GLOBAL innodb_buffer_pool_size = 2147483648;",
+			warns:  1, params: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, warns, err := ParseScript(tc.flavor, "t", tc.script)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("want error containing %q, got cfg=%+v", tc.wantErr, cfg)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(warns) != tc.warns {
+				t.Fatalf("warnings = %v, want %d", warns, tc.warns)
+			}
+			if len(cfg.Params) != tc.params {
+				t.Fatalf("params = %v, want %d", cfg.Params, tc.params)
+			}
+			if len(cfg.Indexes) != tc.indexes {
+				t.Fatalf("indexes = %v, want %d", cfg.Indexes, tc.indexes)
+			}
+		})
+	}
+}
+
+// TestParseScriptLastValueWins pins the duplicate-parameter semantics.
+func TestParseScriptLastValueWins(t *testing.T) {
+	cfg, _, err := ParseScript(Postgres, "t",
+		"ALTER SYSTEM SET work_mem = '64MB';\nALTER SYSTEM SET work_mem = '128MB';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Params["work_mem"] != "128MB" {
+		t.Fatalf("work_mem = %q, want 128MB", cfg.Params["work_mem"])
+	}
+}

@@ -1,0 +1,301 @@
+package llm
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Clock is the virtual-time source the resilience layer charges: retries,
+// backoff waits, and breaker cooldowns advance it so resilience costs tuning
+// time exactly as real wall-clock retries would. *engine.Clock satisfies it.
+type Clock interface {
+	Now() float64
+	Advance(d float64)
+}
+
+// localClock is a self-contained fallback clock used when no engine clock is
+// wired in; time still progresses so breaker windows expire.
+type localClock struct{ now float64 }
+
+func (c *localClock) Now() float64 { return c.now }
+func (c *localClock) Advance(d float64) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// CompleteInterceptor observes and may fail or rewrite Complete calls. It is
+// the LLM-side fault-injection hook: BeforeComplete runs before the model is
+// invoked and may fail the call; AfterComplete runs on the produced response
+// and may rewrite or fail it.
+type CompleteInterceptor interface {
+	BeforeComplete(prompt string) error
+	AfterComplete(response string) (string, error)
+}
+
+// WithInterceptor decorates any client with a CompleteInterceptor, for
+// clients without a native hook (SimClient has one, see SimClient.Intercept).
+func WithInterceptor(inner Client, ic CompleteInterceptor) Client {
+	return &interceptedClient{inner: inner, ic: ic}
+}
+
+type interceptedClient struct {
+	inner Client
+	ic    CompleteInterceptor
+}
+
+func (c *interceptedClient) Name() string { return c.inner.Name() }
+
+func (c *interceptedClient) Complete(prompt string, temperature float64) (string, error) {
+	if err := c.ic.BeforeComplete(prompt); err != nil {
+		return "", err
+	}
+	out, err := c.inner.Complete(prompt, temperature)
+	if err != nil {
+		return "", err
+	}
+	return c.ic.AfterComplete(out)
+}
+
+// ResilienceOptions configures NewResilientClient. The zero value is usable:
+// every unset field falls back to the DefaultResilienceOptions value.
+type ResilienceOptions struct {
+	// MaxRetries is the number of re-attempts after a failed call
+	// (default 3; negative disables retries).
+	MaxRetries int
+	// InitialBackoff is the virtual wait before the first retry, in seconds
+	// (default 1).
+	InitialBackoff float64
+	// BackoffFactor multiplies the backoff after every retry (default 2).
+	BackoffFactor float64
+	// MaxBackoff caps a single backoff wait (default 30).
+	MaxBackoff float64
+	// Jitter randomizes each backoff by ±Jitter fraction (default 0.25);
+	// the randomization is seeded, so runs stay reproducible.
+	Jitter float64
+	// CallTimeout is the per-call deadline in virtual seconds: a failed
+	// call is never charged more than this (default 60).
+	CallTimeout float64
+	// BreakerThreshold trips the circuit breaker after this many
+	// consecutive failed calls (default 4; negative disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is the virtual time the breaker stays open
+	// (default 120). With no fallback client the layer waits the cooldown
+	// out on the virtual clock — the pipeline has nothing else to do — and
+	// then probes half-open.
+	BreakerCooldown float64
+	// Fallback is consulted when the inner client's retries are exhausted
+	// or the breaker is open (optional).
+	Fallback Client
+	// Clock is the virtual clock to charge (default: a private clock).
+	Clock Clock
+	// Seed drives backoff jitter (default 1).
+	Seed int64
+}
+
+// DefaultResilienceOptions returns the production defaults.
+func DefaultResilienceOptions() ResilienceOptions {
+	return ResilienceOptions{
+		MaxRetries:       3,
+		InitialBackoff:   1,
+		BackoffFactor:    2,
+		MaxBackoff:       30,
+		Jitter:           0.25,
+		CallTimeout:      60,
+		BreakerThreshold: 4,
+		BreakerCooldown:  120,
+		Seed:             1,
+	}
+}
+
+func (o ResilienceOptions) withDefaults() ResilienceOptions {
+	d := DefaultResilienceOptions()
+	if o.MaxRetries == 0 {
+		o.MaxRetries = d.MaxRetries
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.InitialBackoff <= 0 {
+		o.InitialBackoff = d.InitialBackoff
+	}
+	if o.BackoffFactor < 1 {
+		o.BackoffFactor = d.BackoffFactor
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = d.MaxBackoff
+	}
+	if o.Jitter < 0 || o.Jitter > 1 {
+		o.Jitter = d.Jitter
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = d.CallTimeout
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = d.BreakerThreshold
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = d.BreakerCooldown
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// ResilienceStats is the layer's cumulative telemetry.
+type ResilienceStats struct {
+	// Calls counts attempts against the inner client.
+	Calls int
+	// Failures counts failed inner attempts.
+	Failures int
+	// Retries counts re-attempts (Calls minus first attempts).
+	Retries int
+	// BreakerTrips counts circuit-breaker openings.
+	BreakerTrips int
+	// FallbackCalls counts requests served by the fallback client.
+	FallbackCalls int
+	// BackoffSeconds is the virtual time spent waiting between retries.
+	BackoffSeconds float64
+	// BreakerWaitSeconds is the virtual time spent waiting out open
+	// breaker windows.
+	BreakerWaitSeconds float64
+	// LatencySeconds is the virtual time charged for failed calls.
+	LatencySeconds float64
+}
+
+// StatsProvider is implemented by clients that expose resilience telemetry;
+// the tuner uses it to populate its FaultReport.
+type StatsProvider interface {
+	Stats() ResilienceStats
+}
+
+// latencyError is implemented by errors that know how much virtual time the
+// failed call consumed (see faults.Error).
+type latencyError interface {
+	LatencySeconds() float64
+}
+
+// retryableError lets an error opt out of retries; errors without the
+// method are treated as retryable (transient-by-default, as hosted LLM APIs
+// recommend).
+type retryableError interface {
+	Retryable() bool
+}
+
+// ResilientClient hardens any Client: retries with exponential backoff and
+// seeded jitter, per-call deadlines, a consecutive-failure circuit breaker,
+// and an optional fallback client. All waiting advances the virtual clock,
+// keeping the paper's bounded-evaluation-cost accounting honest.
+type ResilientClient struct {
+	inner Client
+	opts  ResilienceOptions
+	clock Clock
+	rng   *rand.Rand
+
+	consecFails int
+	openUntil   float64
+	stats       ResilienceStats
+}
+
+// NewResilientClient wraps inner with the resilience layer.
+func NewResilientClient(inner Client, opts ResilienceOptions) *ResilientClient {
+	opts = opts.withDefaults()
+	clock := opts.Clock
+	if clock == nil {
+		clock = &localClock{}
+	}
+	return &ResilientClient{
+		inner: inner,
+		opts:  opts,
+		clock: clock,
+		rng:   rand.New(rand.NewSource(opts.Seed)),
+	}
+}
+
+// Name implements Client.
+func (c *ResilientClient) Name() string { return c.inner.Name() }
+
+// Stats returns the accumulated telemetry.
+func (c *ResilientClient) Stats() ResilienceStats { return c.stats }
+
+// breakerOpen reports whether the breaker currently blocks calls.
+func (c *ResilientClient) breakerOpen() bool {
+	return c.clock.Now() < c.openUntil
+}
+
+// Complete implements Client.
+func (c *ResilientClient) Complete(prompt string, temperature float64) (string, error) {
+	if c.breakerOpen() {
+		if c.opts.Fallback != nil {
+			c.stats.FallbackCalls++
+			return c.opts.Fallback.Complete(prompt, temperature)
+		}
+		// Nothing else to do but wait the cooldown out; the wait costs
+		// virtual tuning time, then the breaker goes half-open.
+		wait := c.openUntil - c.clock.Now()
+		c.clock.Advance(wait)
+		c.stats.BreakerWaitSeconds += wait
+	}
+
+	backoff := c.opts.InitialBackoff
+	tried := 0
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if attempt > 0 {
+			wait := backoff
+			if j := c.opts.Jitter; j > 0 {
+				wait *= 1 + j*(2*c.rng.Float64()-1)
+			}
+			c.clock.Advance(wait)
+			c.stats.BackoffSeconds += wait
+			c.stats.Retries++
+			backoff *= c.opts.BackoffFactor
+			if backoff > c.opts.MaxBackoff {
+				backoff = c.opts.MaxBackoff
+			}
+		}
+		c.stats.Calls++
+		tried++
+		out, err := c.inner.Complete(prompt, temperature)
+		if err == nil {
+			c.consecFails = 0
+			return out, nil
+		}
+
+		// Charge the failed call's latency, cut at the per-call deadline.
+		lat := 0.0
+		if le, ok := err.(latencyError); ok {
+			lat = le.LatencySeconds()
+		}
+		if lat > c.opts.CallTimeout {
+			lat = c.opts.CallTimeout
+			err = fmt.Errorf("llm: call deadline (%gs) exceeded: %w", c.opts.CallTimeout, err)
+		}
+		c.clock.Advance(lat)
+		c.stats.LatencySeconds += lat
+		c.stats.Failures++
+		lastErr = err
+
+		c.consecFails++
+		if th := c.opts.BreakerThreshold; th > 0 && c.consecFails >= th {
+			c.openUntil = c.clock.Now() + c.opts.BreakerCooldown
+			c.consecFails = 0
+			c.stats.BreakerTrips++
+			break // circuit open: stop hammering the API
+		}
+		if re, ok := err.(retryableError); ok && !re.Retryable() {
+			break
+		}
+	}
+
+	if c.opts.Fallback != nil {
+		c.stats.FallbackCalls++
+		out, err := c.opts.Fallback.Complete(prompt, temperature)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = fmt.Errorf("fallback %s also failed: %w (inner: %v)", c.opts.Fallback.Name(), err, lastErr)
+	}
+	return "", fmt.Errorf("llm: %s unavailable after %d attempt(s): %w", c.inner.Name(), tried, lastErr)
+}

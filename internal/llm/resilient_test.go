@@ -1,0 +1,281 @@
+package llm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// flakyClient fails the first failures calls, then succeeds.
+type flakyClient struct {
+	failures int
+	calls    int
+	err      error
+}
+
+func (c *flakyClient) Name() string { return "flaky" }
+
+func (c *flakyClient) Complete(prompt string, temp float64) (string, error) {
+	c.calls++
+	if c.calls <= c.failures {
+		if c.err != nil {
+			return "", c.err
+		}
+		return "", fmt.Errorf("boom %d", c.calls)
+	}
+	return "ok", nil
+}
+
+// timedError carries a latency like faults.Error does.
+type timedError struct{ lat float64 }
+
+func (e *timedError) Error() string           { return "timed failure" }
+func (e *timedError) LatencySeconds() float64 { return e.lat }
+
+// fatalError opts out of retries.
+type fatalError struct{}
+
+func (e *fatalError) Error() string   { return "fatal" }
+func (e *fatalError) Retryable() bool { return false }
+
+func TestResilientPassThrough(t *testing.T) {
+	clock := &localClock{}
+	c := NewResilientClient(&flakyClient{}, ResilienceOptions{Clock: clock})
+	out, err := c.Complete("p", 0)
+	if err != nil || out != "ok" {
+		t.Fatalf("Complete = %q, %v", out, err)
+	}
+	if clock.Now() != 0 {
+		t.Fatalf("clean call advanced the clock by %v", clock.Now())
+	}
+	s := c.Stats()
+	if s.Calls != 1 || s.Failures != 0 || s.Retries != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestResilientRetriesAdvanceClock(t *testing.T) {
+	clock := &localClock{}
+	c := NewResilientClient(&flakyClient{failures: 2}, ResilienceOptions{
+		Clock: clock, MaxRetries: 3, InitialBackoff: 1, BackoffFactor: 2,
+	})
+	c.opts.Jitter = 0 // exact backoff arithmetic
+	out, err := c.Complete("p", 0)
+	if err != nil || out != "ok" {
+		t.Fatalf("Complete = %q, %v", out, err)
+	}
+	s := c.Stats()
+	if s.Retries != 2 || s.Failures != 2 || s.Calls != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// Two backoff waits: 1s + 2s.
+	if s.BackoffSeconds != 3 {
+		t.Fatalf("BackoffSeconds = %v, want 3", s.BackoffSeconds)
+	}
+	if clock.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", clock.Now())
+	}
+}
+
+func TestResilientJitterSeededDeterministic(t *testing.T) {
+	run := func() float64 {
+		clock := &localClock{}
+		c := NewResilientClient(&flakyClient{failures: 3}, ResilienceOptions{
+			Clock: clock, MaxRetries: 3, Seed: 5,
+		})
+		_, _ = c.Complete("p", 0)
+		return clock.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("jittered backoff not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestResilientExhaustionReturnsError(t *testing.T) {
+	inner := &flakyClient{failures: 100}
+	c := NewResilientClient(inner, ResilienceOptions{MaxRetries: 2})
+	_, err := c.Complete("p", 0)
+	if err == nil {
+		t.Fatal("want error after exhausted retries")
+	}
+	if inner.calls != 3 {
+		t.Fatalf("inner calls = %d, want 3 (1 + 2 retries)", inner.calls)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempt(s)") {
+		t.Fatalf("error should count attempts: %v", err)
+	}
+}
+
+func TestResilientRetriesDisabled(t *testing.T) {
+	inner := &flakyClient{failures: 100}
+	c := NewResilientClient(inner, ResilienceOptions{MaxRetries: -1})
+	_, err := c.Complete("p", 0)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d, want 1", inner.calls)
+	}
+}
+
+func TestResilientChargesFailedCallLatency(t *testing.T) {
+	clock := &localClock{}
+	c := NewResilientClient(&flakyClient{failures: 1, err: &timedError{lat: 2}},
+		ResilienceOptions{Clock: clock, MaxRetries: 1})
+	c.opts.Jitter = 0
+	if _, err := c.Complete("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.LatencySeconds != 2 {
+		t.Fatalf("LatencySeconds = %v, want 2", s.LatencySeconds)
+	}
+	// 2s failed call + 1s backoff.
+	if clock.Now() != 3 {
+		t.Fatalf("clock = %v, want 3", clock.Now())
+	}
+}
+
+func TestResilientCallTimeoutCapsLatency(t *testing.T) {
+	clock := &localClock{}
+	c := NewResilientClient(&flakyClient{failures: 100, err: &timedError{lat: 500}},
+		ResilienceOptions{Clock: clock, MaxRetries: -1, CallTimeout: 60})
+	_, err := c.Complete("p", 0)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "deadline") {
+		t.Fatalf("want deadline error, got: %v", err)
+	}
+	if got := c.Stats().LatencySeconds; got != 60 {
+		t.Fatalf("LatencySeconds = %v, want capped 60", got)
+	}
+}
+
+func TestResilientNonRetryableShortCircuits(t *testing.T) {
+	inner := &flakyClient{failures: 100, err: &fatalError{}}
+	c := NewResilientClient(inner, ResilienceOptions{MaxRetries: 5})
+	_, err := c.Complete("p", 0)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if inner.calls != 1 {
+		t.Fatalf("non-retryable error retried: %d calls", inner.calls)
+	}
+}
+
+func TestResilientBreakerTripsAndRecovers(t *testing.T) {
+	clock := &localClock{}
+	inner := &flakyClient{failures: 3}
+	c := NewResilientClient(inner, ResilienceOptions{
+		Clock: clock, MaxRetries: 5, BreakerThreshold: 3, BreakerCooldown: 120,
+	})
+	c.opts.Jitter = 0
+	// 3 consecutive failures trip the breaker mid-call; the loop stops.
+	out, err := c.Complete("p", 0)
+	if err == nil {
+		t.Fatalf("breaker should have cut the call short, got %q", out)
+	}
+	s := c.Stats()
+	if s.BreakerTrips != 1 {
+		t.Fatalf("BreakerTrips = %d, want 1", s.BreakerTrips)
+	}
+	// Next call: breaker open, no fallback → wait the cooldown out on the
+	// virtual clock, then probe; inner now succeeds.
+	before := clock.Now()
+	out, err = c.Complete("p", 0)
+	if err != nil || out != "ok" {
+		t.Fatalf("post-cooldown call = %q, %v", out, err)
+	}
+	if waited := c.Stats().BreakerWaitSeconds; waited <= 0 {
+		t.Fatalf("BreakerWaitSeconds = %v, want > 0", waited)
+	}
+	if clock.Now() <= before {
+		t.Fatal("cooldown wait did not advance the clock")
+	}
+}
+
+func TestResilientFallbackOnExhaustion(t *testing.T) {
+	fb := &flakyClient{}
+	c := NewResilientClient(&flakyClient{failures: 100}, ResilienceOptions{
+		MaxRetries: 1, Fallback: fb,
+	})
+	out, err := c.Complete("p", 0)
+	if err != nil || out != "ok" {
+		t.Fatalf("fallback not used: %q, %v", out, err)
+	}
+	if c.Stats().FallbackCalls != 1 {
+		t.Fatalf("FallbackCalls = %d, want 1", c.Stats().FallbackCalls)
+	}
+}
+
+func TestResilientFallbackWhileBreakerOpen(t *testing.T) {
+	clock := &localClock{}
+	fb := &flakyClient{}
+	c := NewResilientClient(&flakyClient{failures: 100}, ResilienceOptions{
+		Clock: clock, MaxRetries: 0, BreakerThreshold: 1, Fallback: fb,
+	})
+	// Trip the breaker (first call fails once, threshold 1), served by fallback.
+	if _, err := c.Complete("p", 0); err != nil {
+		t.Fatal(err)
+	}
+	// Breaker open now: straight to fallback, no inner attempt, no wait.
+	before := clock.Now()
+	out, err := c.Complete("p", 0)
+	if err != nil || out != "ok" {
+		t.Fatalf("open-breaker call = %q, %v", out, err)
+	}
+	if clock.Now() != before {
+		t.Fatal("fallback call should not wait out the cooldown")
+	}
+	if c.Stats().FallbackCalls != 2 {
+		t.Fatalf("FallbackCalls = %d, want 2", c.Stats().FallbackCalls)
+	}
+}
+
+func TestWithInterceptorBeforeAndAfter(t *testing.T) {
+	ic := &recordingInterceptor{}
+	c := WithInterceptor(&flakyClient{}, ic)
+	out, err := c.Complete("prompt", 0)
+	if err != nil || out != "ok!" {
+		t.Fatalf("Complete = %q, %v", out, err)
+	}
+	if ic.before != 1 || ic.after != 1 {
+		t.Fatalf("interceptor calls = %d/%d", ic.before, ic.after)
+	}
+	ic.fail = true
+	if _, err := c.Complete("prompt", 0); err == nil {
+		t.Fatal("BeforeComplete error should fail the call")
+	}
+}
+
+type recordingInterceptor struct {
+	before, after int
+	fail          bool
+}
+
+func (r *recordingInterceptor) BeforeComplete(prompt string) error {
+	r.before++
+	if r.fail {
+		return errors.New("injected")
+	}
+	return nil
+}
+
+func (r *recordingInterceptor) AfterComplete(response string) (string, error) {
+	r.after++
+	return response + "!", nil
+}
+
+func TestResilienceOptionsDefaults(t *testing.T) {
+	o := ResilienceOptions{}.withDefaults()
+	d := DefaultResilienceOptions()
+	if o.MaxRetries != d.MaxRetries || o.CallTimeout != d.CallTimeout ||
+		o.BreakerThreshold != d.BreakerThreshold || o.BreakerCooldown != d.BreakerCooldown {
+		t.Fatalf("defaults not applied: %+v", o)
+	}
+	if neg := (ResilienceOptions{MaxRetries: -1}).withDefaults(); neg.MaxRetries != 0 {
+		t.Fatalf("negative MaxRetries should disable retries, got %d", neg.MaxRetries)
+	}
+}

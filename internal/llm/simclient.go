@@ -20,6 +20,12 @@ type SimClient struct {
 	// The default of 0.25 yields roughly the paper's 2-3 outliers in 15
 	// samples at temperature ~0.7.
 	BadConfigRate float64
+	// Intercept, when set, is the fault-injection hook: it can fail a call
+	// before the model runs (transient errors, rate limits) and damage the
+	// produced script afterwards (truncation, garbage). It consumes no
+	// SimClient rng, so injecting faults never perturbs the configurations
+	// the model would otherwise emit.
+	Intercept CompleteInterceptor
 }
 
 // NewSimClient creates a simulator with the given seed.
@@ -172,15 +178,26 @@ func (c *SimClient) Complete(prompt string, temperature float64) (string, error)
 	if prompt == "" {
 		return "", fmt.Errorf("llm: empty prompt")
 	}
+	if c.Intercept != nil {
+		if err := c.Intercept.BeforeComplete(prompt); err != nil {
+			return "", err
+		}
+	}
 	f := c.parsePrompt(prompt)
 	if temperature < 0 {
 		temperature = 0
 	}
 	bad := temperature > 0 && c.rng.Float64() < c.BadConfigRate*min(temperature/0.7, 1.5)
+	var out string
 	if f.mysql {
-		return c.mysqlConfig(f, temperature, bad), nil
+		out = c.mysqlConfig(f, temperature, bad)
+	} else {
+		out = c.postgresConfig(f, temperature, bad)
 	}
-	return c.postgresConfig(f, temperature, bad), nil
+	if c.Intercept != nil {
+		return c.Intercept.AfterComplete(out)
+	}
+	return out, nil
 }
 
 // jitter returns a multiplicative factor 2^U(-t, t).
