@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build vet test race verify bench scaling
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+## verify: the tier-1 gate — everything CI runs, in order.
+verify: build vet test race
+
+## bench: regenerate every paper table & figure (one iteration each).
+bench:
+	$(GO) test -bench=. -benchtime=1x ./...
+
+## scaling: the E13 parallel-evaluation scaling study.
+scaling:
+	$(GO) run ./cmd/benchrunner -exp scaling

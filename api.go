@@ -1,6 +1,7 @@
 package lambdatune
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,11 +57,26 @@ type Table struct {
 // Client is the language model λ-Tune samples configurations from. Any type
 // with these methods works — wrap your favorite LLM API, or use
 // NewSimulatedLLM for the bundled deterministic knowledge model.
+//
+// The context carries cancellation and deadlines: implementations should
+// abort the call when ctx is done and honor its deadline when the transport
+// supports one (Options.Resilience installs a real per-call deadline).
+// Clients that expose a sampling temperature can additionally implement
+// TemperatureClient; plain clients are called at their own default.
 type Client interface {
 	// Complete returns one full configuration script for the prompt.
-	Complete(prompt string, temperature float64) (string, error)
+	Complete(ctx context.Context, prompt string) (string, error)
 	// Name identifies the model.
 	Name() string
+}
+
+// TemperatureClient is an optional capability: clients implementing it
+// receive the run's Options.Temperature per call instead of sampling at
+// their own default. NewSimulatedLLM's client implements it.
+type TemperatureClient interface {
+	Client
+	// CompleteT is Complete with an explicit sampling temperature.
+	CompleteT(ctx context.Context, prompt string, temperature float64) (string, error)
 }
 
 // NewSimulatedLLM returns the deterministic GPT-4 stand-in used by the
@@ -232,35 +248,80 @@ type FaultPlan struct {
 	Seed int64
 }
 
-// Options configures a tuning run; start from DefaultOptions.
+// Options configures a tuning run; start from DefaultOptions. The zero
+// value of every field is meaningful (documented per field), so a partially
+// filled struct is valid as long as Validate accepts it.
 type Options struct {
 	// Samples is k, the number of candidate configurations requested from
-	// the LLM (paper default: 5).
+	// the LLM (paper default: 5). 0 means the default; negative is invalid.
 	Samples int
 	// Temperature controls LLM randomization. 0 is a valid setting and
 	// means greedy decoding; set a negative value to inherit the paper
 	// default (0.7), which DefaultOptions does for you.
 	Temperature float64
 	// TokenBudget bounds the prompt's workload-representation tokens
-	// (0 = fit to the model limit).
+	// (0 = fit to the model limit; negative is invalid).
 	TokenBudget int
 	// InitialTimeout is the first evaluation round's per-configuration
-	// timeout in seconds (paper default: 10).
+	// timeout in seconds (paper default: 10). 0 means the default;
+	// negative is invalid.
 	InitialTimeout float64
-	// Alpha is the geometric timeout growth factor, ≥ 2 (paper default: 10).
+	// Alpha is the geometric timeout growth factor, ≥ 2 (paper default:
+	// 10). 0 means the default; values in (0, 2) are invalid.
 	Alpha float64
-	// Seed drives the deterministic parts of scheduling.
+	// Parallelism is the number of concurrent evaluation workers (simulated
+	// DBMS replicas) used during configuration selection. 0 or 1 evaluates
+	// sequentially; higher values evaluate each round's candidates
+	// concurrently with identical selection decisions (same best
+	// configuration, same speedup) and lower wall-clock time. Negative is
+	// invalid. Runs with Faults installed always evaluate sequentially.
+	Parallelism int
+	// Seed drives the deterministic parts of scheduling (0 is a valid seed).
 	Seed int64
 	// Resilience, when set, hardens the LLM boundary (retries, backoff,
 	// circuit breaker, fallback). Nil leaves the client unwrapped.
 	Resilience *ResilienceOptions
-	// Faults, when set, injects deterministic faults into the run.
+	// Faults, when set, injects deterministic faults into the run. Nil
+	// injects nothing.
 	Faults *FaultPlan
 }
 
 // DefaultOptions mirrors the paper's experimental setup (§6.1).
 func DefaultOptions() Options {
 	return Options{Samples: 5, Temperature: 0.7, InitialTimeout: 10, Alpha: 10, Seed: 1}
+}
+
+// Validate reports whether the options describe a runnable configuration.
+// Every violation is wrapped in ErrInvalidOptions (check with errors.Is);
+// the message names the offending field. TuneContext validates for you.
+func (o Options) Validate() error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("%w: %s", ErrInvalidOptions, fmt.Sprintf(format, args...))
+	}
+	if o.Samples < 0 {
+		return bad("Samples must be >= 0, got %d", o.Samples)
+	}
+	if o.TokenBudget < 0 {
+		return bad("TokenBudget must be >= 0, got %d", o.TokenBudget)
+	}
+	if o.InitialTimeout < 0 {
+		return bad("InitialTimeout must be >= 0, got %g", o.InitialTimeout)
+	}
+	if o.Alpha != 0 && o.Alpha < 2 {
+		return bad("Alpha must be 0 (default) or >= 2, got %g", o.Alpha)
+	}
+	if o.Parallelism < 0 {
+		return bad("Parallelism must be >= 0, got %d", o.Parallelism)
+	}
+	if f := o.Faults; f != nil {
+		if f.LLMRate < 0 || f.LLMRate > 1 {
+			return bad("Faults.LLMRate must be in [0,1], got %g", f.LLMRate)
+		}
+		if f.EngineRate < 0 || f.EngineRate > 1 {
+			return bad("Faults.EngineRate must be in [0,1], got %g", f.EngineRate)
+		}
+	}
+	return nil
 }
 
 func (o Options) toTuner() tuner.Options {
@@ -282,6 +343,7 @@ func (o Options) toTuner() tuner.Options {
 	if o.Alpha >= 2 {
 		t.Selector.Alpha = o.Alpha
 	}
+	t.Selector.Parallelism = o.Parallelism
 	t.Seed = o.Seed
 	t.Resilience = o.Resilience.toLLM()
 	return t
@@ -343,8 +405,13 @@ type Result struct {
 	// before tuning.
 	DefaultSeconds float64
 	// TuningSeconds is the total virtual time the run consumed, including
-	// index creations and interrupted evaluations.
+	// index creations and interrupted evaluations. With Options.Parallelism
+	// > 1 it models N replicas evaluating concurrently: each round costs the
+	// slowest replica's elapsed time.
 	TuningSeconds float64
+	// EvalWallSeconds is the real wall-clock time of the configuration
+	// selection phase — the quantity Options.Parallelism reduces.
+	EvalWallSeconds float64
 	// PromptTokens counts the tokens of the generated prompt.
 	PromptTokens int
 	// Candidates is the number of configurations obtained from the LLM.
@@ -393,9 +460,32 @@ func (r *Result) Parameters() map[string]string {
 }
 
 // Tune runs the λ-Tune pipeline (paper Algorithm 1) against the database.
+// It is TuneContext with context.Background() — use TuneContext to bound
+// the run with a deadline or cancel it.
 func (d *Database) Tune(w *Workload, client Client, opts Options) (*Result, error) {
+	return d.TuneContext(context.Background(), w, client, opts)
+}
+
+// TuneContext runs the λ-Tune pipeline (paper Algorithm 1) against the
+// database. Cancelling ctx stops the run promptly — in-flight LLM calls are
+// cancelled, and evaluation workers stop within one query execution —
+// returning an error satisfying errors.Is(err, ctx.Err()).
+//
+// Errors: invalid opts return ErrInvalidOptions, a nil or empty workload
+// ErrEmptyWorkload, and a run whose every LLM sample failed
+// ErrNoUsableSample (all matchable with errors.Is).
+func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
 	if w == nil || len(w.queries) == 0 {
-		return nil, fmt.Errorf("lambdatune: empty workload")
+		return nil, ErrEmptyWorkload
+	}
+	if client == nil {
+		return nil, fmt.Errorf("%w: nil Client", ErrInvalidOptions)
 	}
 	defaultSeconds := d.db.WorkloadSeconds(w.queries)
 	var inner llm.Client = client
@@ -413,19 +503,20 @@ func (d *Database) Tune(w *Workload, client Client, opts Options) (*Result, erro
 		inner = llm.WithInterceptor(inner, inj)
 	}
 	tn := tuner.New(d.db, inner, opts.toTuner())
-	res, err := tn.Tune(w.queries)
+	res, err := tn.Tune(ctx, w.queries)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{
-		BestSeconds:    res.BestTime,
-		DefaultSeconds: defaultSeconds,
-		TuningSeconds:  res.TuningSeconds,
-		PromptTokens:   res.Prompt.TotalTokens,
-		Candidates:     len(res.Candidates),
-		Warnings:       res.Warnings,
-		Faults:         FaultReport(res.Faults),
-		best:           res.Best,
+		BestSeconds:     res.BestTime,
+		DefaultSeconds:  defaultSeconds,
+		TuningSeconds:   res.TuningSeconds,
+		EvalWallSeconds: res.EvalWallSeconds,
+		PromptTokens:    res.Prompt.TotalTokens,
+		Candidates:      len(res.Candidates),
+		Warnings:        res.Warnings,
+		Faults:          FaultReport(res.Faults),
+		best:            res.Best,
 	}
 	if res.Best != nil {
 		out.BestScript = res.Best.Script(d.db.Flavor())

@@ -8,6 +8,7 @@ package lambdatune
 // `go test -bench=BenchmarkTable3 -benchtime=1x`.
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -295,7 +296,7 @@ func BenchmarkAlphaSweep(b *testing.B) {
 				opts.Selector.Alpha = alpha
 				opts.Seed = benchSeed
 				tn := tuner.New(db, llm.NewSimClient(benchSeed), opts)
-				res, err := tn.Tune(w.Queries)
+				res, err := tn.Tune(context.Background(), w.Queries)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -21,9 +21,10 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness all")
+		exp    = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling all")
 		trials = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
 		seed   = flag.Int64("seed", 1, "base random seed")
+		burn   = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
 		csvDir = flag.String("csv", "", "also write machine-readable CSVs to this directory")
 		charts = flag.Bool("charts", false, "render convergence figures as ASCII charts")
 	)
@@ -189,9 +190,18 @@ func main() {
 			return bench.RenderRobustness(rows), nil
 		})
 	}
+	if all || *exp == "scaling" {
+		run("Scaling study (E13) — parallel candidate evaluation, 1..8 workers", func() (string, error) {
+			rows, err := bench.Scaling(*seed, *burn)
+			if err != nil {
+				return "", err
+			}
+			return bench.RenderScaling(rows), nil
+		})
+	}
 	if !all {
 		switch *exp {
-		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness":
+		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)

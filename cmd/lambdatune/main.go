@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"lambdatune"
@@ -31,6 +33,7 @@ func main() {
 		engFault  = flag.Float64("engine-fault-rate", 0, "injected engine fault probability per operation, 0..1")
 		retries   = flag.Int("llm-retries", 3, "LLM retry attempts with exponential backoff (-1 disables)")
 		breaker   = flag.Int("llm-breaker", 4, "consecutive LLM failures that trip the circuit breaker (-1 disables)")
+		parallel  = flag.Int("parallel", 1, "concurrent evaluation workers (simulated DBMS replicas); selection results are identical for any value")
 		verbose   = flag.Bool("v", false, "print progress events")
 	)
 	flag.Parse()
@@ -77,6 +80,7 @@ func main() {
 	opts.TokenBudget = *budget
 	opts.Seed = *seed
 	opts.Temperature = *temp
+	opts.Parallelism = *parallel
 	if *llmFault > 0 || *engFault > 0 {
 		opts.Faults = &lambdatune.FaultPlan{LLMRate: *llmFault, EngineRate: *engFault, Seed: *seed}
 		opts.Resilience = &lambdatune.ResilienceOptions{MaxRetries: *retries, BreakerThreshold: *breaker}
@@ -87,7 +91,11 @@ func main() {
 		client = lambdatune.WithRetrieval(client, nil)
 	}
 	fmt.Printf("Tuning %s (%d queries) on %s with %s...\n", w.Name(), w.Len(), *dbms, client.Name())
-	res, err := db.Tune(w, client, opts)
+	// Ctrl-C cancels the run cleanly: LLM calls abort and evaluation workers
+	// stop within one query execution.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := db.TuneContext(ctx, w, client, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -1,0 +1,40 @@
+package lambdatune
+
+import (
+	"errors"
+
+	"lambdatune/internal/core/selector"
+	"lambdatune/internal/core/tuner"
+	"lambdatune/internal/engine"
+)
+
+// Sentinel errors returned by TuneContext and friends; match them with
+// errors.Is. Errors carrying structured detail (ConfigRejectedError) are
+// matched with errors.As.
+var (
+	// ErrInvalidOptions wraps every Options.Validate violation; the message
+	// names the offending field.
+	ErrInvalidOptions = errors.New("lambdatune: invalid options")
+
+	// ErrEmptyWorkload reports a nil or zero-query workload.
+	ErrEmptyWorkload = errors.New("lambdatune: empty workload")
+
+	// ErrNoUsableSample reports that every LLM sample failed or produced an
+	// unparseable configuration script; the wrapped error joins the
+	// per-sample failures.
+	ErrNoUsableSample = tuner.ErrNoUsableSample
+
+	// ErrBudgetExhausted reports that the evaluation round budget ran out
+	// before any candidate configuration completed the workload.
+	ErrBudgetExhausted = selector.ErrBudgetExhausted
+)
+
+// ConfigRejectedError reports a configuration script (an LLM response or an
+// ApplyScript input) that could not be accepted, with the offending
+// statement and the reason. Retrieve it with errors.As:
+//
+//	var rejected *lambdatune.ConfigRejectedError
+//	if errors.As(err, &rejected) {
+//		log.Printf("bad statement %q: %s", rejected.Stmt, rejected.Reason)
+//	}
+type ConfigRejectedError = engine.ConfigRejectedError

@@ -1,0 +1,109 @@
+package lambdatune
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestOptionsValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+		ok   bool
+	}{
+		{"zero value", Options{}, true},
+		{"defaults", DefaultOptions(), true},
+		{"negative samples", Options{Samples: -1}, false},
+		{"negative token budget", Options{TokenBudget: -5}, false},
+		{"negative timeout", Options{InitialTimeout: -1}, false},
+		{"alpha below two", Options{Alpha: 1.5}, false},
+		{"alpha zero ok", Options{Alpha: 0}, true},
+		{"negative parallelism", Options{Parallelism: -2}, false},
+		{"parallelism ok", Options{Parallelism: 8}, true},
+		{"negative temperature ok", Options{Temperature: -1}, true},
+		{"bad llm fault rate", Options{Faults: &FaultPlan{LLMRate: 1.5}}, false},
+		{"bad engine fault rate", Options{Faults: &FaultPlan{EngineRate: -0.1}}, false},
+		{"fault rates ok", Options{Faults: &FaultPlan{LLMRate: 0.3, EngineRate: 0.1}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.opts.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: want error", tc.name)
+			} else if !errors.Is(err, ErrInvalidOptions) {
+				t.Errorf("%s: error %v does not match ErrInvalidOptions", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestTuneContextRejectsInvalidOptions(t *testing.T) {
+	db, w, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Parallelism = -1
+	if _, err := db.TuneContext(context.Background(), w, NewSimulatedLLM(1), opts); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("err = %v, want ErrInvalidOptions", err)
+	}
+	if _, err := db.TuneContext(context.Background(), w, nil, DefaultOptions()); !errors.Is(err, ErrInvalidOptions) {
+		t.Fatalf("nil client: err = %v, want ErrInvalidOptions", err)
+	}
+}
+
+func TestTuneContextEmptyWorkload(t *testing.T) {
+	db, _, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.TuneContext(context.Background(), nil, NewSimulatedLLM(1), DefaultOptions()); !errors.Is(err, ErrEmptyWorkload) {
+		t.Fatalf("err = %v, want ErrEmptyWorkload", err)
+	}
+}
+
+// garbageClient returns prose; every sample is unparseable.
+type garbageClient struct{}
+
+func (garbageClient) Name() string { return "garbage" }
+func (garbageClient) Complete(context.Context, string) (string, error) {
+	return "I am sorry, I cannot help with that.", nil
+}
+
+func TestTuneNoUsableSample(t *testing.T) {
+	db, w, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.TuneContext(context.Background(), w, garbageClient{}, DefaultOptions())
+	if !errors.Is(err, ErrNoUsableSample) {
+		t.Fatalf("err = %v, want ErrNoUsableSample", err)
+	}
+	// The aggregate wraps the typed per-sample failures.
+	var rejected *ConfigRejectedError
+	if !errors.As(err, &rejected) {
+		t.Fatalf("err chain is missing *ConfigRejectedError: %v", err)
+	}
+	if rejected.Reason == "" {
+		t.Error("ConfigRejectedError carries no reason")
+	}
+}
+
+func TestApplyScriptConfigRejected(t *testing.T) {
+	db, _, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = db.ApplyScript("DROP TABLE lineitem;")
+	var rejected *ConfigRejectedError
+	if !errors.As(err, &rejected) {
+		t.Fatalf("err = %v, want *ConfigRejectedError", err)
+	}
+	if rejected.Stmt == "" {
+		t.Error("rejected statement not recorded")
+	}
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -208,7 +209,7 @@ func runAblation(v AblationVariant, seed int64) (*AblationResult, error) {
 		opts.Prompt.FullSQL = true
 	}
 	tn := tuner.New(db, llm.NewSimClient(seed), opts)
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		return nil, err
 	}
@@ -285,7 +286,7 @@ func runFigure7Point(label string, opts tuner.Options, seed int64) (*Figure7Row,
 		o := opts
 		o.Seed = s
 		tn := tuner.New(db, llm.NewSimClient(s), o)
-		res, err := tn.Tune(w.Queries)
+		res, err := tn.Tune(context.Background(), w.Queries)
 		if err != nil {
 			return nil, err
 		}
@@ -406,7 +407,7 @@ func Outliers(seed int64) (*OutlierStudy, error) {
 	client := llm.NewSimClient(seed)
 	study := &OutlierStudy{}
 	for i := 0; i < 15; i++ {
-		out, err := client.Complete(pr.Text, 0.7)
+		out, err := client.CompleteT(context.Background(), pr.Text, 0.7)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -55,7 +56,7 @@ func RobustnessTrial(seed int64, llmRate, engineRate float64) RobustnessRow {
 	opts := tuner.DefaultOptions()
 	opts.Seed = seed
 	opts.Resilience = &llm.ResilienceOptions{} // production defaults, db clock
-	res, err := tuner.New(db, client, opts).Tune(w.Queries)
+	res, err := tuner.New(db, client, opts).Tune(context.Background(), w.Queries)
 	if err != nil {
 		row.Err = err.Error()
 		return row

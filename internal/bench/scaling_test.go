@@ -1,0 +1,44 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestScalingInvariance (E13) pins both halves of the scaling contract:
+// identical selection decisions at every worker count, and — when the host
+// actually has cores to use — a real wall-clock drop from 1 to 4 workers.
+func TestScalingInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E13 burns real CPU; skipped in -short mode")
+	}
+	rows, err := Scaling(1, 300*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ScalingWorkerCounts) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(ScalingWorkerCounts))
+	}
+	base := rows[0]
+	byWorkers := map[int]ScalingRow{}
+	for _, r := range rows[1:] {
+		byWorkers[r.Workers] = r
+		if r.BestID != base.BestID || r.Speedup != base.Speedup || r.BestTime != base.BestTime {
+			t.Errorf("workers=%d: best %s %.3fx (%.3fs), want %s %.3fx (%.3fs)",
+				r.Workers, r.BestID, r.Speedup, r.BestTime, base.BestID, base.Speedup, base.BestTime)
+		}
+	}
+	// The wall-clock claim needs real parallel hardware; a 1-core CI box
+	// cannot speed anything up, so only assert where the cores exist.
+	if runtime.NumCPU() >= 4 {
+		r4 := byWorkers[4]
+		if r4.EvalWallSeconds <= 0 || base.EvalWallSeconds/r4.EvalWallSeconds < 2 {
+			t.Errorf("1→4 workers wall time %.2fs → %.2fs (%.2fx), want >= 2x on %d cores",
+				base.EvalWallSeconds, r4.EvalWallSeconds,
+				base.EvalWallSeconds/r4.EvalWallSeconds, runtime.NumCPU())
+		}
+	} else {
+		t.Logf("only %d CPU(s): skipping the wall-clock scaling assertion", runtime.NumCPU())
+	}
+}

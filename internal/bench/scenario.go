@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -109,8 +110,17 @@ type stripIndexes struct{ inner llm.Client }
 
 func (s stripIndexes) Name() string { return s.inner.Name() }
 
-func (s stripIndexes) Complete(prompt string, temp float64) (string, error) {
-	out, err := s.inner.Complete(prompt, temp)
+func (s stripIndexes) Complete(ctx context.Context, prompt string) (string, error) {
+	return s.filter(s.inner.Complete(ctx, prompt))
+}
+
+// CompleteT implements llm.TemperatureCompleter, forwarding the temperature
+// to the inner client when it supports one.
+func (s stripIndexes) CompleteT(ctx context.Context, prompt string, temp float64) (string, error) {
+	return s.filter(llm.Complete(ctx, s.inner, prompt, temp))
+}
+
+func (s stripIndexes) filter(out string, err error) (string, error) {
 	if err != nil {
 		return "", err
 	}
@@ -136,7 +146,7 @@ func (l *LambdaTune) RunLambdaTune(db *engine.DB, queries []*engine.Query) (*tun
 	if l.ParamsOnly {
 		client = stripIndexes{inner: client}
 	}
-	return tuner.New(db, client, opts).Tune(queries)
+	return tuner.New(db, client, opts).Tune(context.Background(), queries)
 }
 
 // baselineSet builds the five comparison tuners for a scenario. ParamsOnly

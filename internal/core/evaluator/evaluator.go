@@ -5,6 +5,7 @@
 package evaluator
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -91,10 +92,13 @@ func QueryIndexMap(queries []*engine.Query, cfg *engine.Config) map[*engine.Quer
 // Evaluate is Algorithm 3. It runs the given (not yet completed) queries
 // under configuration cfg with a total time budget of timeout simulated
 // seconds, creating relevant indexes lazily, and updates meta in place.
+// Cancelling ctx stops the pass before the next query execution — at most
+// one in-flight query completes after ctx.Done() — leaving meta in a
+// consistent, resumable state (completed queries stay recorded).
 //
 // The caller is responsible for having applied cfg's parameters and dropped
 // any transient indexes of prior configurations (see Apply).
-func (e *Evaluator) Evaluate(cfg *engine.Config, queries []*engine.Query, timeout float64, meta *ConfigMeta) {
+func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []*engine.Query, timeout float64, meta *ConfigMeta) {
 	remaining := timeout
 	created := map[string]bool{}
 	for _, ix := range e.DB.Indexes() {
@@ -118,6 +122,12 @@ func (e *Evaluator) Evaluate(cfg *engine.Config, queries []*engine.Query, timeou
 	}
 
 	for _, q := range ordered {
+		if ctx.Err() != nil {
+			// Canceled: the pass did not finish; progress so far remains in
+			// meta for a later resume.
+			meta.IsComplete = false
+			return
+		}
 		if e.LazyIndexes {
 			for _, ix := range indexMap[q] {
 				if !created[ix.Key()] {

@@ -1,6 +1,7 @@
 package evaluator
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -63,7 +64,7 @@ func TestEvaluateCompletesWithGenerousTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta := NewConfigMeta()
-	e.Evaluate(cfg, w.Queries, math.Inf(1), meta)
+	e.Evaluate(context.Background(), cfg, w.Queries, math.Inf(1), meta)
 	if !meta.IsComplete {
 		t.Fatal("not complete with infinite timeout")
 	}
@@ -83,7 +84,7 @@ func TestEvaluateRespectsTimeout(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta := NewConfigMeta()
-	e.Evaluate(cfg, w.Queries, 0.5, meta)
+	e.Evaluate(context.Background(), cfg, w.Queries, 0.5, meta)
 	if meta.IsComplete {
 		t.Fatal("22 TPC-H queries cannot finish in 0.5 simulated seconds")
 	}
@@ -105,7 +106,7 @@ func TestEvaluateLazyCreatesOnlyNeededIndexes(t *testing.T) {
 	}
 	meta := NewConfigMeta()
 	// Run only Q1 (no relevant indexes): nothing should be created.
-	e.Evaluate(cfg, w.Queries[:1], math.Inf(1), meta)
+	e.Evaluate(context.Background(), cfg, w.Queries[:1], math.Inf(1), meta)
 	if got := len(db.Indexes()); got != 0 {
 		t.Errorf("lazy creation made %d indexes for an index-free query", got)
 	}
@@ -123,7 +124,7 @@ func TestEvaluateEagerCreatesAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta := NewConfigMeta()
-	e.Evaluate(cfg, w.Queries[:1], math.Inf(1), meta)
+	e.Evaluate(context.Background(), cfg, w.Queries[:1], math.Inf(1), meta)
 	if got := len(db.Indexes()); got != len(cfg.Indexes) {
 		t.Errorf("eager creation made %d of %d indexes", got, len(cfg.Indexes))
 	}
@@ -137,11 +138,11 @@ func TestEvaluateSkipsExistingIndexes(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta := NewConfigMeta()
-	e.Evaluate(cfg, w.Queries, math.Inf(1), meta)
+	e.Evaluate(context.Background(), cfg, w.Queries, math.Inf(1), meta)
 	firstIndexTime := meta.IndexTime
 	// Second pass without Apply: indexes still exist, so no re-creation.
 	meta2 := NewConfigMeta()
-	e.Evaluate(cfg, w.Queries, math.Inf(1), meta2)
+	e.Evaluate(context.Background(), cfg, w.Queries, math.Inf(1), meta2)
 	if meta2.IndexTime != 0 {
 		t.Errorf("indexes recreated: %v (first pass %v)", meta2.IndexTime, firstIndexTime)
 	}
@@ -184,14 +185,14 @@ func TestIndexesSpeedUpWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	m1 := NewConfigMeta()
-	e.Evaluate(defCfg, w.Queries, math.Inf(1), m1)
+	e.Evaluate(context.Background(), defCfg, w.Queries, math.Inf(1), m1)
 
 	cfg := goodConfig()
 	if err := e.Apply(cfg); err != nil {
 		t.Fatal(err)
 	}
 	m2 := NewConfigMeta()
-	e.Evaluate(cfg, w.Queries, math.Inf(1), m2)
+	e.Evaluate(context.Background(), cfg, w.Queries, math.Inf(1), m2)
 	if m2.Time >= m1.Time {
 		t.Errorf("tuned config not faster: %v vs default %v", m2.Time, m1.Time)
 	}
@@ -206,7 +207,7 @@ func TestSchedulerOffStillCorrect(t *testing.T) {
 		t.Fatal(err)
 	}
 	meta := NewConfigMeta()
-	e.Evaluate(cfg, w.Queries, math.Inf(1), meta)
+	e.Evaluate(context.Background(), cfg, w.Queries, math.Inf(1), meta)
 	if !meta.IsComplete || len(meta.Completed) != len(w.Queries) {
 		t.Errorf("scheduler-off evaluation broken: %+v", meta)
 	}

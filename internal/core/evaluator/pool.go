@@ -1,0 +1,126 @@
+package evaluator
+
+import (
+	"context"
+	"sync"
+
+	"lambdatune/internal/engine"
+)
+
+// Pool evaluates the candidate configurations of one selector round
+// concurrently, one engine snapshot per worker — modeling the N parallel
+// DBMS replicas the paper's EC2 testbed would allow (DESIGN.md §7).
+//
+// Determinism: tasks are assigned statically (task i runs on worker i mod
+// Workers) and every worker processes its tasks sequentially on its own
+// snapshot, so per-candidate results are independent of goroutine
+// scheduling. Each ConfigMeta is touched by exactly one worker per round.
+//
+// Clock-merge rule: per-candidate runtimes come from each worker's own
+// virtual clock; the round's elapsed tuning time is the max over workers —
+// replicas run in parallel, so the round is as long as its slowest replica.
+type Pool struct {
+	// DB is the primary instance snapshots are taken from. Its clock
+	// advances by each round's merged elapsed time.
+	DB *engine.DB
+	// Workers is the number of concurrent replicas (values < 1 mean 1).
+	Workers int
+	// UseScheduler / LazyIndexes / Seed configure the per-worker evaluators,
+	// mirroring Evaluator.
+	UseScheduler bool
+	LazyIndexes  bool
+	Seed         int64
+}
+
+// NewPool builds a pool that evaluates with e's settings on e's database.
+func NewPool(e *Evaluator, workers int) *Pool {
+	return &Pool{
+		DB:           e.DB,
+		Workers:      workers,
+		UseScheduler: e.UseScheduler,
+		LazyIndexes:  e.LazyIndexes,
+		Seed:         e.Seed,
+	}
+}
+
+// Task is one candidate evaluation of a round: run Config against the
+// not-yet-completed Queries with the per-configuration Timeout, updating
+// Meta in place. Tasks with Timeout <= 0 are provably suboptimal
+// (Algorithm 2's best-based tightening) and are skipped.
+type Task struct {
+	Config  *engine.Config
+	Queries []*engine.Query
+	Timeout float64
+	Meta    *ConfigMeta
+}
+
+// Run evaluates one round's tasks. It returns the round's elapsed virtual
+// time — the max over workers — after advancing the primary clock by it and
+// folding the snapshots' operation counters back into the primary
+// (engine.DB.AbsorbSnapshot). A worker whose Apply fails marks the task's
+// meta incomplete and moves on, exactly as the sequential path does.
+//
+// Cancelling ctx stops every worker before its next query execution; Run
+// still merges the partial progress (metas stay resumable) and returns
+// ctx.Err().
+func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
+	if len(tasks) == 0 {
+		return 0, ctx.Err()
+	}
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	snaps := make([]*engine.DB, workers)
+	elapsed := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		snap := p.DB.Snapshot()
+		snaps[w] = snap
+		wg.Add(1)
+		go func(w int, snap *engine.DB) {
+			defer wg.Done()
+			ev := &Evaluator{
+				DB:           snap,
+				UseScheduler: p.UseScheduler,
+				LazyIndexes:  p.LazyIndexes,
+				Seed:         p.Seed,
+			}
+			start := snap.Clock().Now()
+			for i := w; i < len(tasks); i += workers {
+				if ctx.Err() != nil {
+					break
+				}
+				t := tasks[i]
+				if t.Timeout <= 0 {
+					continue
+				}
+				if err := ev.Apply(t.Config); err != nil {
+					// Unusable configuration (bad parameter values): mark it
+					// permanently incomplete, as the sequential path does.
+					t.Meta.IsComplete = false
+					continue
+				}
+				ev.Evaluate(ctx, t.Config, t.Queries, t.Timeout, t.Meta)
+			}
+			elapsed[w] = snap.Clock().Now() - start
+		}(w, snap)
+	}
+	wg.Wait()
+
+	var roundElapsed float64
+	for _, e := range elapsed {
+		if e > roundElapsed {
+			roundElapsed = e
+		}
+	}
+	for _, snap := range snaps {
+		p.DB.AbsorbSnapshot(snap)
+	}
+	p.DB.Clock().Advance(roundElapsed)
+	return roundElapsed, ctx.Err()
+}

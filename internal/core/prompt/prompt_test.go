@@ -1,6 +1,7 @@
 package prompt
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -202,7 +203,7 @@ func TestPromptFeedsLLM(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := llm.NewSimClient(1)
-	out, err := client.Complete(res.Text, 0)
+	out, err := client.CompleteT(context.Background(), res.Text, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

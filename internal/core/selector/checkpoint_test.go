@@ -13,7 +13,7 @@ func TestCheckpointAfterRounds(t *testing.T) {
 	db, qs := setup(t)
 	s := New(evaluator.New(db), qs, DefaultOptions())
 	g, b := good(), bad()
-	if s.Select([]*engine.Config{b, g}) != g {
+	if sel1(s, []*engine.Config{b, g}) != g {
 		t.Fatal("selection failed")
 	}
 	st := s.Checkpoint()
@@ -43,7 +43,7 @@ func TestResumeSkipsCompletedWork(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxRounds = 1
 	s1 := New(evaluator.New(db), qs, opts)
-	if best := s1.Select([]*engine.Config{b, g}); best != nil {
+	if best := sel1(s1, []*engine.Config{b, g}); best != nil {
 		t.Fatalf("round-capped run should not finish, got %v", best)
 	}
 	st := s1.Checkpoint()
@@ -58,7 +58,7 @@ func TestResumeSkipsCompletedWork(t *testing.T) {
 	g2, b2 := good(), bad()
 	s2 := New(evaluator.New(db), qs, DefaultOptions())
 	s2.Resume(st)
-	best := s2.Select([]*engine.Config{b2, g2})
+	best := sel1(s2, []*engine.Config{b2, g2})
 	if best != g2 {
 		t.Fatalf("resumed run selected %v", best)
 	}
@@ -78,7 +78,7 @@ func TestResumeMatchesFreshRunResult(t *testing.T) {
 	dbA, qsA := setup(t)
 	sA := New(evaluator.New(dbA), qsA, DefaultOptions())
 	gA, bA := good(), bad()
-	bestA := sA.Select([]*engine.Config{bA, gA})
+	bestA := sel1(sA, []*engine.Config{bA, gA})
 
 	// Interrupted-and-resumed run.
 	dbB, qsB := setup(t)
@@ -86,10 +86,10 @@ func TestResumeMatchesFreshRunResult(t *testing.T) {
 	opts.MaxRounds = 1
 	s1 := New(evaluator.New(dbB), qsB, opts)
 	g1, b1 := good(), bad()
-	s1.Select([]*engine.Config{b1, g1})
+	sel1(s1, []*engine.Config{b1, g1})
 	s2 := New(evaluator.New(dbB), qsB, DefaultOptions())
 	s2.Resume(s1.Checkpoint())
-	bestB := s2.Select([]*engine.Config{b1, g1})
+	bestB := sel1(s2, []*engine.Config{b1, g1})
 
 	if bestA.ID != bestB.ID {
 		t.Fatalf("fresh run picked %s, resumed run picked %s", bestA.ID, bestB.ID)
@@ -106,7 +106,7 @@ func TestResumeRestoresTimeoutSchedule(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxRounds = 2
 	s1 := New(evaluator.New(db), qs, opts)
-	s1.Select([]*engine.Config{bad()})
+	sel1(s1, []*engine.Config{bad()})
 	st := s1.Checkpoint()
 	if st == nil {
 		t.Fatal("no checkpoint")

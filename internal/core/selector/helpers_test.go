@@ -1,0 +1,14 @@
+package selector
+
+import (
+	"context"
+
+	"lambdatune/internal/engine"
+)
+
+// sel1 runs Select with a background context and drops the error, matching
+// the pre-context test call sites (budget exhaustion maps to a nil best).
+func sel1(s *Selector, candidates []*engine.Config) *engine.Config {
+	best, _ := s.Select(context.Background(), candidates)
+	return best
+}

@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -27,7 +28,7 @@ func TestSelectOptimalityProperty(t *testing.T) {
 			candidates[i] = randomConfig(rng, fmt.Sprintf("r%d-%d", trial, i))
 		}
 		s := New(evaluator.New(db), w.Queries, DefaultOptions())
-		best := s.Select(candidates)
+		best := sel1(s, candidates)
 		if best == nil {
 			t.Fatalf("trial %d: no configuration selected", trial)
 		}
@@ -43,7 +44,7 @@ func TestSelectOptimalityProperty(t *testing.T) {
 				continue
 			}
 			m := evaluator.NewConfigMeta()
-			eval.Evaluate(c, w.Queries, math.Inf(1), m)
+			eval.Evaluate(context.Background(), c, w.Queries, math.Inf(1), m)
 			times[i] = m.Time
 		}
 		bestIdx, bestTime := -1, math.Inf(1)
@@ -107,7 +108,7 @@ func TestSelectNeverReturnsIncomplete(t *testing.T) {
 			randomConfig(rng, "a"), randomConfig(rng, "b"), randomConfig(rng, "c"),
 		}
 		s := New(evaluator.New(db), w.Queries, DefaultOptions())
-		best := s.Select(candidates)
+		best := sel1(s, candidates)
 		if best == nil {
 			t.Fatal("nil best")
 		}

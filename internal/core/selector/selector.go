@@ -3,15 +3,32 @@
 // under geometrically increasing timeouts, with reconfiguration-aware
 // timeout adaptation and best-configuration-based timeout tightening. The
 // scheme bounds total tuning time by O(k·α·C_best) — Theorem 4.3.
+//
+// With Options.Parallelism > 1 the candidates of each round are evaluated
+// concurrently by an evaluator.Pool, one engine snapshot per worker; the
+// round's elapsed tuning time is the max over workers (N parallel DBMS
+// replicas). Selection decisions are parallelism-invariant: every
+// parallelism picks the same best configuration with the same workload time,
+// because the winner is always the candidate with the minimal full-workload
+// execution time among those that can complete (see DESIGN.md §7 for the
+// argument). Parallelism 1 follows the sequential path byte-identically.
 package selector
 
 import (
+	"context"
+	"errors"
 	"math"
 	"sort"
 
 	"lambdatune/internal/core/evaluator"
 	"lambdatune/internal/engine"
 )
+
+// ErrBudgetExhausted reports that the evaluation budget (Options.MaxRounds)
+// was exhausted before any candidate completed the workload. The selector's
+// checkpoint remains valid: feed it to Resume with a larger budget to
+// continue instead of restarting.
+var ErrBudgetExhausted = errors.New("selector: evaluation budget exhausted before any candidate completed")
 
 // Best tracks the best fully evaluated configuration.
 type Best struct {
@@ -40,6 +57,14 @@ type Options struct {
 	AdaptiveTimeout bool
 	// MaxRounds caps the number of rounds as a safety valve (0 = unlimited).
 	MaxRounds int
+	// Parallelism is the number of concurrent evaluation workers (simulated
+	// DBMS replicas). 0 or 1 evaluates sequentially, reproducing the
+	// single-instance results byte-identically; higher values evaluate each
+	// round's candidates concurrently with identical selection decisions.
+	// When a fault injector is installed on the database the selector always
+	// uses the sequential path — injected fault sequences are defined on the
+	// primary instance's clock and cannot be replayed across replicas.
+	Parallelism int
 }
 
 // DefaultOptions matches the paper's experimental setup.
@@ -48,10 +73,10 @@ func DefaultOptions() Options {
 }
 
 // RoundState is the selector's resumable checkpoint: the bookkeeping of a
-// run that was interrupted (round cap, crash, injected faults). Feeding it
-// back via Resume continues evaluation from the last finished round instead
-// of restarting — completed queries are never re-executed, and the timeout
-// schedule picks up where it stopped.
+// run that was interrupted (round cap, crash, cancellation, injected
+// faults). Feeding it back via Resume continues evaluation from the last
+// finished round instead of restarting — completed queries are never
+// re-executed, and the timeout schedule picks up where it stopped.
 type RoundState struct {
 	// Round is the number of evaluation rounds already finished.
 	Round int
@@ -88,7 +113,8 @@ func (s *Selector) Resume(st *RoundState) { s.resume = st }
 
 // Checkpoint returns the selector's current round state (nil before any
 // round ran). It shares the live ConfigMeta bookkeeping, so it reflects all
-// progress up to the moment Select returned.
+// progress up to the moment Select returned — including partial progress of
+// a round that was interrupted by cancellation.
 func (s *Selector) Checkpoint() *RoundState { return s.state }
 
 // saveState records the checkpoint after a finished round.
@@ -101,10 +127,16 @@ func (s *Selector) saveState(candidates []*engine.Config, rounds int, timeout fl
 }
 
 // Select is Algorithm 2 (ConfigSelect): it returns the configuration with
-// the minimal full-workload execution time among the candidates, or nil when
-// no candidate ever completes within the round cap.
-func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
-	best := Best{Time: math.Inf(1)}
+// the minimal full-workload execution time among the candidates.
+//
+// Errors: ctx cancellation returns ctx's error (with a valid checkpoint for
+// resuming); exceeding Options.MaxRounds before any candidate completes
+// returns ErrBudgetExhausted. Both leave the partial bookkeeping in Metas.
+// An empty candidate list returns (nil, nil).
+func (s *Selector) Select(ctx context.Context, candidates []*engine.Config) (*engine.Config, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.Metas = make(map[*engine.Config]*evaluator.ConfigMeta, len(candidates))
 	for _, c := range candidates {
 		if s.resume != nil {
@@ -116,7 +148,7 @@ func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
 		s.Metas[c] = evaluator.NewConfigMeta()
 	}
 	if len(candidates) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	t := s.Opts.InitialTimeout
@@ -137,18 +169,40 @@ func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
 		rounds = s.resume.Round
 	}
 
+	if s.Opts.Parallelism > 1 && !s.Eval.DB.HasFaultInjector() {
+		return s.selectParallel(ctx, candidates, t, alpha, rounds)
+	}
+	return s.selectSequential(ctx, candidates, t, alpha, rounds)
+}
+
+// selectSequential is the single-instance path: one shared database, one
+// clock, candidates evaluated in throughput order with an early break on the
+// first completion. This is the paper's Algorithm 2 verbatim; Parallelism=1
+// runs reproduce pre-parallelism results byte-identically.
+func (s *Selector) selectSequential(ctx context.Context, candidates []*engine.Config, t, alpha float64, rounds int) (*engine.Config, error) {
+	best := Best{Time: math.Inf(1)}
 	var remaining []*engine.Config
 	for math.IsInf(best.Time, 1) {
+		if err := ctx.Err(); err != nil {
+			s.saveState(candidates, rounds, t)
+			return nil, err
+		}
 		rounds++
 		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
-			return nil
+			return nil, ErrBudgetExhausted
 		}
 		for _, c := range s.byThroughput(candidates) {
-			s.update(c, t, &best)
+			s.update(ctx, c, t, &best)
 			if s.Metas[c].IsComplete {
 				remaining = without(candidates, c)
 				break
 			}
+		}
+		if err := ctx.Err(); err != nil {
+			// Mid-round cancellation: checkpoint the partial progress (the
+			// metas record every completed query) so Resume can continue.
+			s.saveState(candidates, rounds-1, t)
+			return nil, err
 		}
 		if !math.IsInf(best.Time, 1) {
 			s.saveState(candidates, rounds, t)
@@ -170,13 +224,130 @@ func (s *Selector) Select(candidates []*engine.Config) *engine.Config {
 	// Give every remaining configuration one chance with the tightened,
 	// best-based timeout (lines 17-18).
 	for _, c := range s.byThroughput(remaining) {
-		s.update(c, t, &best)
+		s.update(ctx, c, t, &best)
 	}
-	return best.Config
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return best.Config, nil
+}
+
+// selectParallel evaluates each round's candidates concurrently on engine
+// snapshots (one per worker) and merges the results deterministically: the
+// round's elapsed time is the max over workers, completions are scanned in
+// the round's evaluation order with strict improvement, and the tightened
+// final pass runs the still-incomplete candidates against the best-based
+// budget. The chosen configuration is identical to the sequential path's —
+// both pick the candidate with the minimal full-workload time among those
+// that can complete — while the elapsed tuning time models N replicas
+// working in parallel.
+func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Config, t, alpha float64, rounds int) (*engine.Config, error) {
+	best := Best{Time: math.Inf(1)}
+	pool := evaluator.NewPool(s.Eval, s.Opts.Parallelism)
+	var remaining []*engine.Config
+	for math.IsInf(best.Time, 1) {
+		if err := ctx.Err(); err != nil {
+			s.saveState(candidates, rounds, t)
+			return nil, err
+		}
+		rounds++
+		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
+			return nil, ErrBudgetExhausted
+		}
+		ordered := s.byThroughput(candidates)
+		tasks := make([]evaluator.Task, 0, len(ordered))
+		for _, c := range ordered {
+			m := s.Metas[c]
+			todo := s.todo(m)
+			if len(todo) == 0 {
+				// Resumed checkpoint already completed this candidate.
+				m.IsComplete = true
+				continue
+			}
+			tasks = append(tasks, evaluator.Task{Config: c, Queries: todo, Timeout: t, Meta: m})
+		}
+		if _, err := pool.Run(ctx, tasks); err != nil {
+			s.saveState(candidates, rounds-1, t)
+			return nil, err
+		}
+		// Deterministic merge: scan completions in the round's evaluation
+		// order with strict improvement, mirroring the sequential scan.
+		for _, c := range ordered {
+			if m := s.Metas[c]; m.IsComplete && m.Time < best.Time {
+				best = Best{Time: m.Time, Config: c}
+				s.Progress = append(s.Progress, ProgressEvent{
+					Clock:    s.Eval.DB.Clock().Now(),
+					BestTime: m.Time,
+					ConfigID: c.ID,
+				})
+			}
+		}
+		if !math.IsInf(best.Time, 1) {
+			for _, c := range candidates {
+				if !s.Metas[c].IsComplete {
+					remaining = append(remaining, c)
+				}
+			}
+			s.saveState(candidates, rounds, t)
+			break
+		}
+		if s.Opts.AdaptiveTimeout {
+			for _, c := range candidates {
+				if it := s.Metas[c].IndexTime; it > t {
+					t = it
+				}
+			}
+		}
+		t *= alpha
+		s.saveState(candidates, rounds, t)
+	}
+
+	// Tightened final chance (Algorithm 2 lines 17-18), also in parallel:
+	// any candidate whose total workload time beats the current best fits
+	// within the best-based budget, so the global minimum always completes.
+	ordered := s.byThroughput(remaining)
+	tasks := make([]evaluator.Task, 0, len(ordered))
+	for _, c := range ordered {
+		m := s.Metas[c]
+		budget := best.Time - m.Time
+		if budget <= 0 {
+			continue // provably suboptimal (paper §4, Best Configuration)
+		}
+		todo := s.todo(m)
+		if len(todo) == 0 {
+			continue
+		}
+		tasks = append(tasks, evaluator.Task{Config: c, Queries: todo, Timeout: budget, Meta: m})
+	}
+	if _, err := pool.Run(ctx, tasks); err != nil {
+		return nil, err
+	}
+	for _, c := range ordered {
+		if m := s.Metas[c]; m.IsComplete && m.Time < best.Time {
+			best = Best{Time: m.Time, Config: c}
+			s.Progress = append(s.Progress, ProgressEvent{
+				Clock:    s.Eval.DB.Clock().Now(),
+				BestTime: m.Time,
+				ConfigID: c.ID,
+			})
+		}
+	}
+	return best.Config, nil
+}
+
+// todo lists the workload queries the configuration has not completed yet.
+func (s *Selector) todo(meta *evaluator.ConfigMeta) []*engine.Query {
+	var out []*engine.Query
+	for _, q := range s.Workload {
+		if !meta.Completed[q.Name] {
+			out = append(out, q)
+		}
+	}
+	return out
 }
 
 // update is Algorithm 2's Update procedure.
-func (s *Selector) update(c *engine.Config, t float64, best *Best) {
+func (s *Selector) update(ctx context.Context, c *engine.Config, t float64, best *Best) {
 	meta := s.Metas[c]
 	if !math.IsInf(best.Time, 1) {
 		// Any configuration exceeding best.Time − completed time is
@@ -186,12 +357,7 @@ func (s *Selector) update(c *engine.Config, t float64, best *Best) {
 			return
 		}
 	}
-	var todo []*engine.Query
-	for _, q := range s.Workload {
-		if !meta.Completed[q.Name] {
-			todo = append(todo, q)
-		}
-	}
+	todo := s.todo(meta)
 	if len(todo) == 0 {
 		meta.IsComplete = true
 	} else {
@@ -201,7 +367,7 @@ func (s *Selector) update(c *engine.Config, t float64, best *Best) {
 			meta.IsComplete = false
 			return
 		}
-		s.Eval.Evaluate(c, todo, t, meta)
+		s.Eval.Evaluate(ctx, c, todo, t, meta)
 	}
 	if meta.IsComplete && meta.Time < best.Time {
 		best.Time = meta.Time

@@ -1,6 +1,7 @@
 package selector
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -39,7 +40,7 @@ func TestSelectPicksFasterConfig(t *testing.T) {
 	db, qs := setup(t)
 	s := New(evaluator.New(db), qs, DefaultOptions())
 	g, b := good(), bad()
-	best := s.Select([]*engine.Config{b, g})
+	best := sel1(s, []*engine.Config{b, g})
 	if best != g {
 		t.Fatalf("selected %v", best)
 	}
@@ -55,7 +56,7 @@ func TestSelectSingleCandidate(t *testing.T) {
 	db, qs := setup(t)
 	s := New(evaluator.New(db), qs, DefaultOptions())
 	g := good()
-	if s.Select([]*engine.Config{g}) != g {
+	if sel1(s, []*engine.Config{g}) != g {
 		t.Fatal("single candidate not selected")
 	}
 }
@@ -63,7 +64,7 @@ func TestSelectSingleCandidate(t *testing.T) {
 func TestSelectEmpty(t *testing.T) {
 	db, qs := setup(t)
 	s := New(evaluator.New(db), qs, DefaultOptions())
-	if s.Select(nil) != nil {
+	if sel1(s, nil) != nil {
 		t.Fatal("empty candidate set returned a config")
 	}
 }
@@ -77,7 +78,7 @@ func TestSelectBoundedTuningTime(t *testing.T) {
 	s := New(evaluator.New(db), qs, opts)
 	candidates := []*engine.Config{bad(), good(), cfg("mid", map[string]string{"work_mem": "64MB"})}
 	start := db.Clock().Now()
-	best := s.Select(candidates)
+	best := sel1(s, candidates)
 	if best == nil {
 		t.Fatal("no best")
 	}
@@ -95,7 +96,7 @@ func TestSelectAvoidsRedundantWork(t *testing.T) {
 	db, qs := setup(t)
 	s := New(evaluator.New(db), qs, DefaultOptions())
 	candidates := []*engine.Config{good(), bad(), cfg("mid", map[string]string{"work_mem": "256MB"})}
-	s.Select(candidates)
+	sel1(s, candidates)
 	if got, limit := db.Executions(), len(candidates)*len(qs); got > limit {
 		t.Errorf("%d completed executions exceed k·|W| = %d", got, limit)
 	}
@@ -104,7 +105,7 @@ func TestSelectAvoidsRedundantWork(t *testing.T) {
 func TestSelectProgressRecorded(t *testing.T) {
 	db, qs := setup(t)
 	s := New(evaluator.New(db), qs, DefaultOptions())
-	s.Select([]*engine.Config{good(), bad()})
+	sel1(s, []*engine.Config{good(), bad()})
 	if len(s.Progress) == 0 {
 		t.Fatal("no progress events")
 	}
@@ -128,7 +129,7 @@ func TestSelectExampleFromPaper(t *testing.T) {
 	db, qs := setup(t)
 	s := New(evaluator.New(db), qs, DefaultOptions())
 	a, b := good(), cfg("plain", map[string]string{"shared_buffers": "8GB", "work_mem": "512MB"})
-	best := s.Select([]*engine.Config{a, b})
+	best := sel1(s, []*engine.Config{a, b})
 	// Verify optimality directly: measure both configs' full workload time.
 	eval := evaluator.New(db)
 	timeOf := func(c *engine.Config) float64 {
@@ -136,7 +137,7 @@ func TestSelectExampleFromPaper(t *testing.T) {
 			t.Fatal(err)
 		}
 		m := evaluator.NewConfigMeta()
-		eval.Evaluate(c, qs, math.Inf(1), m)
+		eval.Evaluate(context.Background(), c, qs, math.Inf(1), m)
 		return m.Time
 	}
 	ta, tb := timeOf(a), timeOf(b)
@@ -156,7 +157,7 @@ func TestSelectMaxRounds(t *testing.T) {
 	opts.Alpha = 2
 	opts.MaxRounds = 3
 	s := New(evaluator.New(db), qs, opts)
-	if got := s.Select([]*engine.Config{bad()}); got != nil {
+	if got := sel1(s, []*engine.Config{bad()}); got != nil {
 		t.Errorf("expected nil under round cap, got %v", got)
 	}
 }
@@ -166,7 +167,7 @@ func TestSelectAdaptiveTimeoutOffStillTerminates(t *testing.T) {
 	opts := DefaultOptions()
 	opts.AdaptiveTimeout = false
 	s := New(evaluator.New(db), qs, opts)
-	if s.Select([]*engine.Config{good(), bad()}) == nil {
+	if sel1(s, []*engine.Config{good(), bad()}) == nil {
 		t.Fatal("no winner with adaptive timeout off")
 	}
 }
@@ -180,7 +181,7 @@ func TestSelectAdaptiveTimeoutReducesClock(t *testing.T) {
 		opts.InitialTimeout = 0.1 // tiny vs index creation times
 		opts.AdaptiveTimeout = adaptive
 		s := New(evaluator.New(db), qs, opts)
-		s.Select([]*engine.Config{good(), bad(), cfg("m", map[string]string{"work_mem": "128MB"},
+		sel1(s, []*engine.Config{good(), bad(), cfg("m", map[string]string{"work_mem": "128MB"},
 			engine.NewIndexDef("lineitem", "l_partkey"))})
 		return db.Clock().Now()
 	}

@@ -1,0 +1,105 @@
+package tuner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdatune/internal/core/selector"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/workload"
+)
+
+// cancelAfter cancels the run from inside the engine once n query
+// executions have happened, then counts how many more executions follow.
+// The contract under test: evaluation stops within one query of ctx.Done().
+// Exec hooks are shared by snapshot replicas, so the counters are atomic.
+type cancelAfter struct {
+	n      int64
+	cancel context.CancelFunc
+	execs  atomic.Int64
+	after  atomic.Int64
+}
+
+func (c *cancelAfter) hook(q *engine.Query, seconds float64) {
+	execs := c.execs.Add(1)
+	if execs == c.n {
+		c.cancel()
+	}
+	if execs > c.n {
+		c.after.Add(1)
+	}
+}
+
+func TestTuneCancellationStopsWithinOneQuery(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		w := workload.TPCH(1)
+		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		ctx, cancel := context.WithCancel(context.Background())
+		ca := &cancelAfter{n: 5, cancel: cancel}
+		db.SetExecHook(ca.hook)
+
+		opts := DefaultOptions()
+		opts.Selector.Parallelism = parallelism
+		goroutinesBefore := runtime.NumGoroutine()
+		res, err := New(db, llm.NewSimClient(1), opts).Tune(ctx, w.Queries)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("parallelism=%d: err = %v, want context.Canceled", parallelism, err)
+		}
+		if res == nil {
+			t.Fatalf("parallelism=%d: partial result dropped on cancellation", parallelism)
+		}
+		// Sequentially at most 1 execution may follow the cancel; with N
+		// workers each in-flight query may finish, so allow one per worker.
+		if after := ca.after.Load(); after > int64(parallelism) {
+			t.Errorf("parallelism=%d: %d executions after cancel, want <= %d",
+				parallelism, after, parallelism)
+		}
+		// No leaked evaluation workers: the goroutine count returns to the
+		// baseline (with retries — the runtime needs a moment to reap).
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > goroutinesBefore && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if now := runtime.NumGoroutine(); now > goroutinesBefore {
+			t.Errorf("parallelism=%d: %d goroutines leaked", parallelism, now-goroutinesBefore)
+		}
+		cancel()
+	}
+}
+
+// TestTuneCancelledBeforeSampling: a context cancelled before the run makes
+// Tune return immediately with the context error.
+func TestTuneCancelledBeforeSampling(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(db, llm.NewSimClient(1), DefaultOptions()).Tune(ctx, w.Queries)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSelectorBudgetExhausted: a starved round budget surfaces the typed
+// sentinel through Tune's wrapped error.
+func TestSelectorBudgetExhausted(t *testing.T) {
+	w := workload.TPCH(1)
+	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	opts := DefaultOptions()
+	opts.Selector.InitialTimeout = 1e-6
+	opts.Selector.Alpha = 2
+	opts.Selector.MaxRounds = 1
+	opts.Selector.AdaptiveTimeout = false
+	_, err := New(db, llm.NewSimClient(1), opts).Tune(context.Background(), w.Queries)
+	if err == nil {
+		t.Fatal("want budget-exhausted error")
+	}
+	if !errors.Is(err, selector.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want selector.ErrBudgetExhausted", err)
+	}
+}

@@ -1,6 +1,8 @@
 package tuner
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -16,12 +18,15 @@ func TestTuneAggregatedSampleErrors(t *testing.T) {
 	w := workload.TPCH(1)
 	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, errClient{}, DefaultOptions())
-	_, err := tn.Tune(w.Queries)
+	_, err := tn.Tune(context.Background(), w.Queries)
 	if err == nil {
 		t.Fatal("want error when every sample drops")
 	}
+	if !errors.Is(err, ErrNoUsableSample) {
+		t.Fatalf("error should match ErrNoUsableSample: %v", err)
+	}
 	msg := err.Error()
-	if !strings.Contains(msg, "no usable configurations from 5 samples") {
+	if !strings.Contains(msg, "0 of 5 samples usable") {
 		t.Fatalf("missing summary: %v", msg)
 	}
 	for _, want := range []string{"sample 1:", "sample 3:", "sample 5:"} {
@@ -38,12 +43,12 @@ type failEveryOther struct {
 	n     int
 }
 
-func (f *failEveryOther) Complete(prompt string, temp float64) (string, error) {
+func (f *failEveryOther) Complete(ctx context.Context, prompt string) (string, error) {
 	f.n++
 	if f.n%2 == 1 {
 		return "", &faults.Error{Kind: faults.LLMTransient}
 	}
-	return f.inner.Complete(prompt, temp)
+	return f.inner.Complete(ctx, prompt)
 }
 func (f *failEveryOther) Name() string { return "every-other" }
 
@@ -53,7 +58,7 @@ func TestTuneMixedFailuresKeepsSurvivors(t *testing.T) {
 	opts := DefaultOptions()
 	opts.MaxRetries = 0 // every odd call drops its sample outright
 	tn := New(db, &failEveryOther{inner: llm.NewSimClient(42)}, opts)
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +81,7 @@ func TestTuneMixedFailuresKeepsSurvivors(t *testing.T) {
 // wins and the run reports the degradation.
 type badConfigClient struct{}
 
-func (badConfigClient) Complete(string, float64) (string, error) {
+func (badConfigClient) Complete(context.Context, string) (string, error) {
 	// Parseable but harmful: crippled memory and planner settings.
 	return "ALTER SYSTEM SET work_mem = '64kB';\n" +
 		"ALTER SYSTEM SET shared_buffers = '128kB';\n" +
@@ -90,7 +95,7 @@ func TestTuneSeedDefaultFloor(t *testing.T) {
 	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 	tn := New(db, badConfigClient{}, DefaultOptions())
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +126,7 @@ func TestTuneSeedDefaultOff(t *testing.T) {
 	opts := DefaultOptions()
 	opts.SeedDefault = false
 	tn := New(db, llm.NewSimClient(42), opts)
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +146,7 @@ func TestTuneResilienceWrapsClient(t *testing.T) {
 	opts.MaxRetries = 0 // tuner-level retries off: the resilient layer must absorb
 	opts.Resilience = &llm.ResilienceOptions{}
 	tn := New(db, client, opts)
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +174,7 @@ func TestTuneResilienceBackoffCostsTuningTime(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Resilience = &llm.ResilienceOptions{}
 		tn := New(db, &flakyClient{failures: failures, inner: llm.NewSimClient(42)}, opts)
-		res, err := tn.Tune(w.Queries)
+		res, err := tn.Tune(context.Background(), w.Queries)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,8 +5,10 @@
 package tuner
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"lambdatune/internal/core/evaluator"
 	"lambdatune/internal/core/prompt"
@@ -14,6 +16,11 @@ import (
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
 )
+
+// ErrNoUsableSample reports that every LLM sample failed or produced an
+// unparseable configuration script. Inspect the wrapped errors (errors.Join
+// of the per-sample failures) for the individual causes.
+var ErrNoUsableSample = errors.New("tuner: no usable configuration sample")
 
 // Options configures a tuning run. The zero value is not usable; start from
 // DefaultOptions.
@@ -129,6 +136,9 @@ type Result struct {
 	Progress []selector.ProgressEvent
 	// TuningSeconds is the total virtual time the run consumed.
 	TuningSeconds float64
+	// EvalWallSeconds is the real wall-clock time the configuration
+	// selection phase took — the quantity parallel evaluation shrinks.
+	EvalWallSeconds float64
 	// Warnings aggregates non-fatal issues (e.g. unknown parameters in LLM
 	// responses, skipped like a DBA would).
 	Warnings []string
@@ -168,7 +178,16 @@ func New(db *engine.DB, client llm.Client, opts Options) *Tuner {
 // Tune executes the pipeline: prompt generation, k LLM samples,
 // configuration selection. The database's virtual clock advances by the full
 // tuning cost (query evaluations and index creations).
-func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
+//
+// Cancelling ctx aborts the run promptly — between LLM calls during
+// sampling, and within one query execution during selection — returning
+// ctx's error. On a selection error (cancellation, exhausted round budget)
+// the partial Result is returned alongside the error so callers keep the
+// telemetry and the selector checkpoint stays usable.
+func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("tuner: empty workload")
 	}
@@ -188,7 +207,10 @@ func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
 	// failures or unparseable responses.
 	var sampleErrs []error
 	for i := 0; i < t.Opts.Samples; i++ {
-		cfg, warns, err := t.sample(pr.Text, i+1)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		cfg, warns, err := t.sample(ctx, pr.Text, i+1)
 		if err != nil {
 			sampleErrs = append(sampleErrs, fmt.Errorf("sample %d: %w", i+1, err))
 			res.Faults.DroppedSamples++
@@ -200,8 +222,11 @@ func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
 	}
 	t.mergeClientStats(res, statsBefore)
 	if len(res.Candidates) == 0 {
-		return nil, fmt.Errorf("tuner: no usable configurations from %d samples: %w",
-			t.Opts.Samples, errors.Join(sampleErrs...))
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: 0 of %d samples usable: %w",
+			ErrNoUsableSample, t.Opts.Samples, errors.Join(sampleErrs...))
 	}
 
 	// Graceful degradation: the candidate pool is seeded with the live
@@ -220,10 +245,18 @@ func (t *Tuner) Tune(queries []*engine.Query) (*Result, error) {
 	eval.LazyIndexes = t.Opts.LazyIndexes
 	eval.Seed = t.Opts.Seed
 	sel := selector.New(eval, queries, t.Opts.Selector)
-	best := sel.Select(pool)
-	res.Best = best
+	wallStart := time.Now()
+	best, selErr := sel.Select(ctx, pool)
+	res.EvalWallSeconds = time.Since(wallStart).Seconds()
 	res.Metas = sel.Metas
 	res.Progress = sel.Progress
+	if selErr != nil {
+		// Cancellation or exhausted round budget: hand the partial result
+		// back with the error so telemetry and checkpoints survive.
+		res.TuningSeconds = t.DB.Clock().Now() - start
+		return res, fmt.Errorf("tuner: configuration selection: %w", selErr)
+	}
+	res.Best = best
 	if best != nil {
 		res.BestTime = sel.Metas[best].Time
 	}
@@ -263,14 +296,20 @@ func (t *Tuner) mergeClientStats(res *Result, before llm.ResilienceStats) {
 
 // sample requests one configuration, retrying failed calls and unparseable
 // responses up to MaxRetries times.
-func (t *Tuner) sample(prompt string, idx int) (*engine.Config, []string, error) {
+func (t *Tuner) sample(ctx context.Context, prompt string, idx int) (*engine.Config, []string, error) {
 	attempts := 1 + t.Opts.MaxRetries
 	if attempts < 1 {
 		attempts = 1
 	}
 	var lastErr error
 	for a := 0; a < attempts; a++ {
-		out, err := t.Client.Complete(prompt, t.Opts.Temperature)
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return nil, nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+			}
+			return nil, nil, err
+		}
+		out, err := llm.Complete(ctx, t.Client, prompt, t.Opts.Temperature)
 		if err != nil {
 			lastErr = fmt.Errorf("LLM call failed: %w", err)
 			continue

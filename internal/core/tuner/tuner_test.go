@@ -1,6 +1,7 @@
 package tuner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -18,7 +19,7 @@ func run(t *testing.T, bench string, flavor engine.Flavor, opts Options) (*Resul
 	}
 	db := engine.NewDB(flavor, w.Catalog, engine.DefaultHardware)
 	tn := New(db, llm.NewSimClient(42), opts)
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestTunedBeatsDefault(t *testing.T) {
 	defaultTime := db.WorkloadSeconds(w.Queries)
 
 	tn := New(db, llm.NewSimClient(42), DefaultOptions())
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestApplyBest(t *testing.T) {
 	w := workload.TPCH(1)
 	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, llm.NewSimClient(42), DefaultOptions())
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +119,7 @@ func TestApplyBest(t *testing.T) {
 func TestTuneEmptyWorkload(t *testing.T) {
 	db := engine.NewDB(engine.Postgres, workload.TPCH(1).Catalog, engine.DefaultHardware)
 	tn := New(db, llm.NewSimClient(1), DefaultOptions())
-	if _, err := tn.Tune(nil); err == nil {
+	if _, err := tn.Tune(context.Background(), nil); err == nil {
 		t.Error("empty workload accepted")
 	}
 }
@@ -136,7 +137,7 @@ func TestTuneJOB(t *testing.T) {
 // errClient always fails; Tune must surface the error.
 type errClient struct{}
 
-func (errClient) Complete(string, float64) (string, error) {
+func (errClient) Complete(context.Context, string) (string, error) {
 	return "", fmt.Errorf("api down")
 }
 func (errClient) Name() string { return "err" }
@@ -145,7 +146,7 @@ func TestTuneLLMError(t *testing.T) {
 	w := workload.TPCH(1)
 	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, errClient{}, DefaultOptions())
-	if _, err := tn.Tune(w.Queries); err == nil {
+	if _, err := tn.Tune(context.Background(), w.Queries); err == nil {
 		t.Error("LLM failure not surfaced")
 	}
 }
@@ -156,12 +157,12 @@ type flakyClient struct {
 	inner    llm.Client
 }
 
-func (f *flakyClient) Complete(prompt string, temp float64) (string, error) {
+func (f *flakyClient) Complete(ctx context.Context, prompt string) (string, error) {
 	if f.failures > 0 {
 		f.failures--
 		return "", fmt.Errorf("transient: rate limited")
 	}
-	return f.inner.Complete(prompt, temp)
+	return f.inner.Complete(ctx, prompt)
 }
 func (f *flakyClient) Name() string { return "flaky" }
 
@@ -171,7 +172,7 @@ func TestTuneRetriesTransientFailures(t *testing.T) {
 	// 2 failures; with MaxRetries=2 every sample still succeeds eventually.
 	client := &flakyClient{failures: 2, inner: llm.NewSimClient(42)}
 	tn := New(db, client, DefaultOptions())
-	res, err := tn.Tune(w.Queries)
+	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestTuneRetriesExhausted(t *testing.T) {
 	// More failures than samples × (1+retries): every sample drops.
 	client := &flakyClient{failures: 1000, inner: llm.NewSimClient(42)}
 	tn := New(db, client, DefaultOptions())
-	if _, err := tn.Tune(w.Queries); err == nil {
+	if _, err := tn.Tune(context.Background(), w.Queries); err == nil {
 		t.Error("exhausted retries not surfaced as error")
 	}
 }
@@ -197,7 +198,7 @@ func TestTuneRetriesExhausted(t *testing.T) {
 // garbageClient returns non-SQL; all samples are skipped.
 type garbageClient struct{}
 
-func (garbageClient) Complete(string, float64) (string, error) {
+func (garbageClient) Complete(context.Context, string) (string, error) {
 	return "I am sorry, I cannot help with that.", nil
 }
 func (garbageClient) Name() string { return "garbage" }
@@ -206,7 +207,7 @@ func TestTuneAllSamplesUnparseable(t *testing.T) {
 	w := workload.TPCH(1)
 	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, garbageClient{}, DefaultOptions())
-	if _, err := tn.Tune(w.Queries); err == nil {
+	if _, err := tn.Tune(context.Background(), w.Queries); err == nil {
 		t.Error("all-garbage samples not surfaced as error")
 	}
 }

@@ -127,7 +127,7 @@ func ParseScript(f Flavor, id, script string) (*Config, []string, error) {
 		} else if m := setGlobalRe.FindStringSubmatch(line); m != nil {
 			name, value = m[1], m[2]
 		} else {
-			return nil, warnings, fmt.Errorf("engine: line %d: unsupported command %q", ln+1, line)
+			return nil, warnings, rejected(line, "line %d: unsupported command", ln+1)
 		}
 		name = strings.ToLower(name)
 		if _, ok := pc.Lookup(name); !ok {
@@ -140,7 +140,7 @@ func ParseScript(f Flavor, id, script string) (*Config, []string, error) {
 		cfg.Params[name] = strings.Trim(value, "'\"")
 	}
 	if len(cfg.Params) == 0 && len(cfg.Indexes) == 0 && len(warnings) == 0 {
-		return nil, nil, fmt.Errorf("engine: empty configuration script")
+		return nil, nil, rejected("", "empty configuration script")
 	}
 	return cfg, warnings, nil
 }

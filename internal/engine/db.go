@@ -29,6 +29,12 @@ type DB struct {
 	// queryAborts / indexFailures count injected engine faults.
 	queryAborts   int
 	indexFailures int
+	// execHook, when set, observes every query execution; snapshots inherit
+	// it (see SetExecHook).
+	execHook ExecHook
+	// base records the counters at Snapshot time (zero on primary instances);
+	// AbsorbSnapshot folds deltas above it back into the parent.
+	base snapBase
 }
 
 // FaultInjector is the engine-side fault-injection hook (implemented by
@@ -286,6 +292,9 @@ func (db *DB) Execute(q *Query, timeout float64) ExecResult {
 	capped := secs
 	if timeout >= 0 && secs > timeout && !math.IsInf(timeout, 1) {
 		capped = timeout
+	}
+	if db.execHook != nil {
+		db.execHook(q, capped)
 	}
 	if db.faults != nil {
 		if frac, abort := db.faults.QueryFault(q); abort {

@@ -1,0 +1,28 @@
+package engine
+
+import "fmt"
+
+// ConfigRejectedError reports a configuration statement or parameter value
+// the engine refused: an unsupported (possibly truncated) command, an empty
+// script, or a value that does not parse for its parameter type. It
+// satisfies errors.As, so callers can recover the offending statement and
+// decide whether to re-request a sample or surface the rejection.
+type ConfigRejectedError struct {
+	// Stmt is the offending statement or "name = value" parameter setting.
+	Stmt string
+	// Reason explains the rejection.
+	Reason string
+}
+
+// Error implements error.
+func (e *ConfigRejectedError) Error() string {
+	if e.Stmt == "" {
+		return "engine: configuration rejected: " + e.Reason
+	}
+	return fmt.Sprintf("engine: configuration rejected: %s: %q", e.Reason, e.Stmt)
+}
+
+// rejected builds a ConfigRejectedError.
+func rejected(stmt, format string, args ...any) error {
+	return &ConfigRejectedError{Stmt: stmt, Reason: fmt.Sprintf(format, args...)}
+}

@@ -175,18 +175,18 @@ func (pc *ParamCatalog) ParseValue(name, raw string) (float64, error) {
 		case "off", "false", "0", "no":
 			v = 0
 		default:
-			return 0, fmt.Errorf("engine: bad boolean %q for %s", raw, name)
+			return 0, rejected(name+" = "+raw, "bad boolean value for %s", name)
 		}
 	case TypeBytes:
 		b, err := parseBytes(raw)
 		if err != nil {
-			return 0, fmt.Errorf("engine: %s: %v", name, err)
+			return 0, rejected(name+" = "+raw, "%v", err)
 		}
 		v = float64(b)
 	default:
 		f, err := strconv.ParseFloat(raw, 64)
 		if err != nil {
-			return 0, fmt.Errorf("engine: bad numeric value %q for %s", raw, name)
+			return 0, rejected(name+" = "+raw, "bad numeric value for %s", name)
 		}
 		v = f
 	}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -49,11 +50,11 @@ cores: 8
 func TestSimClientDeterministicAtZeroTemperature(t *testing.T) {
 	c1 := NewSimClient(1)
 	c2 := NewSimClient(1)
-	r1, err := c1.Complete(testPrompt, 0)
+	r1, err := c1.CompleteT(context.Background(), testPrompt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, _ := c2.Complete(testPrompt, 0)
+	r2, _ := c2.CompleteT(context.Background(), testPrompt, 0)
 	if r1 != r2 {
 		t.Error("same seed, same prompt, temp 0: different outputs")
 	}
@@ -61,7 +62,7 @@ func TestSimClientDeterministicAtZeroTemperature(t *testing.T) {
 
 func TestSimClientParsesHardware(t *testing.T) {
 	c := NewSimClient(1)
-	out, err := c.Complete(testPrompt, 0)
+	out, err := c.CompleteT(context.Background(), testPrompt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestSimClientParsesHardware(t *testing.T) {
 
 func TestSimClientRecommendsIndexesFromSnippets(t *testing.T) {
 	c := NewSimClient(1)
-	out, _ := c.Complete(testPrompt, 0)
+	out, _ := c.CompleteT(context.Background(), testPrompt, 0)
 	for _, want := range []string{
 		"CREATE INDEX idx_lineitem_l_orderkey ON lineitem (l_orderkey);",
 		"CREATE INDEX idx_orders_o_custkey ON orders (o_custkey);",
@@ -90,7 +91,7 @@ func TestSimClientRecommendsIndexesFromSnippets(t *testing.T) {
 func TestSimClientOutputParseable(t *testing.T) {
 	c := NewSimClient(42)
 	for i := 0; i < 20; i++ {
-		out, err := c.Complete(testPrompt, 0.7)
+		out, err := c.CompleteT(context.Background(), testPrompt, 0.7)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +104,7 @@ func TestSimClientOutputParseable(t *testing.T) {
 func TestSimClientMySQLDialect(t *testing.T) {
 	prompt := strings.Replace(testPrompt, "PostgreSQL", "MySQL", 1)
 	c := NewSimClient(1)
-	out, _ := c.Complete(prompt, 0)
+	out, _ := c.CompleteT(context.Background(), prompt, 0)
 	if !strings.Contains(out, "SET GLOBAL innodb_buffer_pool_size") {
 		t.Errorf("MySQL dialect not used:\n%s", out)
 	}
@@ -124,9 +125,9 @@ memory: 61 GB
 cores: 8
 `
 	c := NewSimClient(1)
-	outSmall, _ := c.Complete(small, 0)
+	outSmall, _ := c.CompleteT(context.Background(), small, 0)
 	c2 := NewSimClient(1)
-	outBig, _ := c2.Complete(testPrompt, 0)
+	outBig, _ := c2.CompleteT(context.Background(), testPrompt, 0)
 	if strings.Count(outSmall, "CREATE INDEX") >= strings.Count(outBig, "CREATE INDEX") {
 		t.Errorf("snippet count does not influence index count:\nsmall:\n%s\nbig:\n%s", outSmall, outBig)
 	}
@@ -137,7 +138,7 @@ func TestSimClientBadConfigsAppear(t *testing.T) {
 	c.BadConfigRate = 0.5
 	bad := 0
 	for i := 0; i < 40; i++ {
-		out, _ := c.Complete(testPrompt, 0.7)
+		out, _ := c.CompleteT(context.Background(), testPrompt, 0.7)
 		if !strings.Contains(out, "CREATE INDEX") {
 			bad++
 		}
@@ -154,7 +155,7 @@ func TestSimClientNoBadConfigsAtZeroTemperature(t *testing.T) {
 	c := NewSimClient(7)
 	c.BadConfigRate = 1.0
 	for i := 0; i < 10; i++ {
-		out, _ := c.Complete(testPrompt, 0)
+		out, _ := c.CompleteT(context.Background(), testPrompt, 0)
 		if !strings.Contains(out, "CREATE INDEX") {
 			t.Fatal("bad config at temperature 0")
 		}
@@ -168,7 +169,7 @@ memory: 61 GB
 cores: 8
 `
 	c := NewSimClient(1)
-	out, _ := c.Complete(prompt, 0)
+	out, _ := c.CompleteT(context.Background(), prompt, 0)
 	if !strings.Contains(out, "ON lineitem (l_orderkey)") {
 		t.Errorf("alias resolution from raw SQL failed:\n%s", out)
 	}
@@ -176,7 +177,7 @@ cores: 8
 
 func TestSimClientEmptyPrompt(t *testing.T) {
 	c := NewSimClient(1)
-	if _, err := c.Complete("", 0.5); err == nil {
+	if _, err := c.CompleteT(context.Background(), "", 0.5); err == nil {
 		t.Error("empty prompt accepted")
 	}
 }
@@ -186,7 +187,7 @@ func TestSimClientMissingHardwareConservative(t *testing.T) {
 lineitem.l_orderkey: orders.o_orderkey
 `
 	c := NewSimClient(1)
-	out, _ := c.Complete(prompt, 0)
+	out, _ := c.CompleteT(context.Background(), prompt, 0)
 	if strings.Contains(out, "15GB") {
 		t.Errorf("hardware guessed too aggressively without spec:\n%s", out)
 	}

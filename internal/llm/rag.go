@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"regexp"
 	"sort"
@@ -104,14 +105,25 @@ func NewRAGClient(inner Client, docs []Document) *RAGClient {
 func (c *RAGClient) Name() string { return c.Inner.Name() + "+rag" }
 
 // Complete implements Client.
-func (c *RAGClient) Complete(prompt string, temperature float64) (string, error) {
+func (c *RAGClient) Complete(ctx context.Context, prompt string) (string, error) {
+	return c.Inner.Complete(ctx, c.augment(prompt))
+}
+
+// CompleteT implements TemperatureCompleter, forwarding the temperature to
+// the inner client when it supports one.
+func (c *RAGClient) CompleteT(ctx context.Context, prompt string, temperature float64) (string, error) {
+	return Complete(ctx, c.Inner, c.augment(prompt), temperature)
+}
+
+// augment prepends the top-K retrieved documents to the prompt.
+func (c *RAGClient) augment(prompt string) string {
 	k := c.K
 	if k <= 0 {
 		k = 3
 	}
 	docs := c.Retriever.Retrieve(prompt, k)
 	if len(docs) == 0 {
-		return c.Inner.Complete(prompt, temperature)
+		return prompt
 	}
 	var b strings.Builder
 	b.WriteString("Relevant documentation:\n")
@@ -120,7 +132,7 @@ func (c *RAGClient) Complete(prompt string, temperature float64) (string, error)
 	}
 	b.WriteString("\n")
 	b.WriteString(prompt)
-	return c.Inner.Complete(b.String(), temperature)
+	return b.String()
 }
 
 // DefaultCorpus bundles excerpts in the spirit of the documents the paper's

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -45,7 +46,7 @@ func TestRAGClientAugmentsPrompt(t *testing.T) {
 		return "ALTER SYSTEM SET work_mem = '64MB';", nil
 	})
 	rag := NewRAGClient(inner, DefaultCorpus())
-	out, err := rag.Complete(testPrompt, 0)
+	out, err := rag.CompleteT(context.Background(), testPrompt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRAGClientPassThroughOnNoHits(t *testing.T) {
 		return prompt, nil
 	})
 	rag := NewRAGClient(inner, []Document{{Title: "x", Text: "zzz qqq"}})
-	out, err := rag.Complete("completely unrelated words here", 0)
+	out, err := rag.CompleteT(context.Background(), "completely unrelated words here", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestRAGClientName(t *testing.T) {
 // lines must not be mistaken for workload snippets).
 func TestRAGWithSimClient(t *testing.T) {
 	rag := NewRAGClient(NewSimClient(1), DefaultCorpus())
-	out, err := rag.Complete(testPrompt, 0)
+	out, err := rag.CompleteT(context.Background(), testPrompt, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,5 +100,10 @@ func TestRAGWithSimClient(t *testing.T) {
 
 type clientFunc func(string, float64) (string, error)
 
-func (f clientFunc) Complete(p string, t float64) (string, error) { return f(p, t) }
-func (clientFunc) Name() string                                   { return "fn" }
+func (f clientFunc) Complete(ctx context.Context, p string) (string, error) {
+	return f(p, DefaultTemperature)
+}
+func (f clientFunc) CompleteT(ctx context.Context, p string, t float64) (string, error) {
+	return f(p, t)
+}
+func (clientFunc) Name() string { return "fn" }

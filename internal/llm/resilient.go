@@ -1,8 +1,10 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"time"
 )
 
 // Clock is the virtual-time source the resilience layer charges: retries,
@@ -46,11 +48,26 @@ type interceptedClient struct {
 
 func (c *interceptedClient) Name() string { return c.inner.Name() }
 
-func (c *interceptedClient) Complete(prompt string, temperature float64) (string, error) {
+// Complete implements Client.
+func (c *interceptedClient) Complete(ctx context.Context, prompt string) (string, error) {
+	return c.intercept(prompt, func(p string) (string, error) {
+		return c.inner.Complete(ctx, p)
+	})
+}
+
+// CompleteT implements TemperatureCompleter, forwarding the temperature to
+// the inner client when it supports one.
+func (c *interceptedClient) CompleteT(ctx context.Context, prompt string, temperature float64) (string, error) {
+	return c.intercept(prompt, func(p string) (string, error) {
+		return Complete(ctx, c.inner, p, temperature)
+	})
+}
+
+func (c *interceptedClient) intercept(prompt string, call func(string) (string, error)) (string, error) {
 	if err := c.ic.BeforeComplete(prompt); err != nil {
 		return "", err
 	}
-	out, err := c.inner.Complete(prompt, temperature)
+	out, err := call(prompt)
 	if err != nil {
 		return "", err
 	}
@@ -225,11 +242,37 @@ func (c *ResilientClient) breakerOpen() bool {
 }
 
 // Complete implements Client.
-func (c *ResilientClient) Complete(prompt string, temperature float64) (string, error) {
+func (c *ResilientClient) Complete(ctx context.Context, prompt string) (string, error) {
+	return c.run(ctx, func(ctx context.Context, cl Client) (string, error) {
+		return cl.Complete(ctx, prompt)
+	})
+}
+
+// CompleteT implements TemperatureCompleter, forwarding the temperature to
+// the inner (and fallback) client when supported.
+func (c *ResilientClient) CompleteT(ctx context.Context, prompt string, temperature float64) (string, error) {
+	return c.run(ctx, func(ctx context.Context, cl Client) (string, error) {
+		return Complete(ctx, cl, prompt, temperature)
+	})
+}
+
+// attempt invokes one client under the per-call deadline: CallTimeout is
+// both the virtual-time cap charged for failed calls and a real
+// context.WithTimeout deadline on the transport, so a hung API call cannot
+// stall the pipeline beyond it.
+func (c *ResilientClient) attempt(ctx context.Context, cl Client, call func(context.Context, Client) (string, error)) (string, error) {
+	cctx, cancel := context.WithTimeout(ctx, time.Duration(c.opts.CallTimeout*float64(time.Second)))
+	defer cancel()
+	return call(cctx, cl)
+}
+
+// run is the shared retry/backoff/breaker/fallback engine behind Complete
+// and CompleteT.
+func (c *ResilientClient) run(ctx context.Context, call func(context.Context, Client) (string, error)) (string, error) {
 	if c.breakerOpen() {
 		if c.opts.Fallback != nil {
 			c.stats.FallbackCalls++
-			return c.opts.Fallback.Complete(prompt, temperature)
+			return c.attempt(ctx, c.opts.Fallback, call)
 		}
 		// Nothing else to do but wait the cooldown out; the wait costs
 		// virtual tuning time, then the breaker goes half-open.
@@ -242,6 +285,11 @@ func (c *ResilientClient) Complete(prompt string, temperature float64) (string, 
 	tried := 0
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			// Canceled callers get the context error, not a transport error:
+			// retries and fallbacks must stop promptly.
+			return "", err
+		}
 		if attempt > 0 {
 			wait := backoff
 			if j := c.opts.Jitter; j > 0 {
@@ -257,10 +305,13 @@ func (c *ResilientClient) Complete(prompt string, temperature float64) (string, 
 		}
 		c.stats.Calls++
 		tried++
-		out, err := c.inner.Complete(prompt, temperature)
+		out, err := c.attempt(ctx, c.inner, call)
 		if err == nil {
 			c.consecFails = 0
 			return out, nil
+		}
+		if ctx.Err() != nil {
+			return "", ctx.Err()
 		}
 
 		// Charge the failed call's latency, cut at the per-call deadline.
@@ -291,7 +342,7 @@ func (c *ResilientClient) Complete(prompt string, temperature float64) (string, 
 
 	if c.opts.Fallback != nil {
 		c.stats.FallbackCalls++
-		out, err := c.opts.Fallback.Complete(prompt, temperature)
+		out, err := c.attempt(ctx, c.opts.Fallback, call)
 		if err == nil {
 			return out, nil
 		}

@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -16,7 +17,7 @@ type flakyClient struct {
 
 func (c *flakyClient) Name() string { return "flaky" }
 
-func (c *flakyClient) Complete(prompt string, temp float64) (string, error) {
+func (c *flakyClient) Complete(ctx context.Context, prompt string) (string, error) {
 	c.calls++
 	if c.calls <= c.failures {
 		if c.err != nil {
@@ -42,7 +43,7 @@ func (e *fatalError) Retryable() bool { return false }
 func TestResilientPassThrough(t *testing.T) {
 	clock := &localClock{}
 	c := NewResilientClient(&flakyClient{}, ResilienceOptions{Clock: clock})
-	out, err := c.Complete("p", 0)
+	out, err := c.CompleteT(context.Background(), "p", 0)
 	if err != nil || out != "ok" {
 		t.Fatalf("Complete = %q, %v", out, err)
 	}
@@ -61,7 +62,7 @@ func TestResilientRetriesAdvanceClock(t *testing.T) {
 		Clock: clock, MaxRetries: 3, InitialBackoff: 1, BackoffFactor: 2,
 	})
 	c.opts.Jitter = 0 // exact backoff arithmetic
-	out, err := c.Complete("p", 0)
+	out, err := c.CompleteT(context.Background(), "p", 0)
 	if err != nil || out != "ok" {
 		t.Fatalf("Complete = %q, %v", out, err)
 	}
@@ -84,7 +85,7 @@ func TestResilientJitterSeededDeterministic(t *testing.T) {
 		c := NewResilientClient(&flakyClient{failures: 3}, ResilienceOptions{
 			Clock: clock, MaxRetries: 3, Seed: 5,
 		})
-		_, _ = c.Complete("p", 0)
+		_, _ = c.CompleteT(context.Background(), "p", 0)
 		return clock.Now()
 	}
 	if a, b := run(), run(); a != b {
@@ -95,7 +96,7 @@ func TestResilientJitterSeededDeterministic(t *testing.T) {
 func TestResilientExhaustionReturnsError(t *testing.T) {
 	inner := &flakyClient{failures: 100}
 	c := NewResilientClient(inner, ResilienceOptions{MaxRetries: 2})
-	_, err := c.Complete("p", 0)
+	_, err := c.CompleteT(context.Background(), "p", 0)
 	if err == nil {
 		t.Fatal("want error after exhausted retries")
 	}
@@ -110,7 +111,7 @@ func TestResilientExhaustionReturnsError(t *testing.T) {
 func TestResilientRetriesDisabled(t *testing.T) {
 	inner := &flakyClient{failures: 100}
 	c := NewResilientClient(inner, ResilienceOptions{MaxRetries: -1})
-	_, err := c.Complete("p", 0)
+	_, err := c.CompleteT(context.Background(), "p", 0)
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -124,7 +125,7 @@ func TestResilientChargesFailedCallLatency(t *testing.T) {
 	c := NewResilientClient(&flakyClient{failures: 1, err: &timedError{lat: 2}},
 		ResilienceOptions{Clock: clock, MaxRetries: 1})
 	c.opts.Jitter = 0
-	if _, err := c.Complete("p", 0); err != nil {
+	if _, err := c.CompleteT(context.Background(), "p", 0); err != nil {
 		t.Fatal(err)
 	}
 	s := c.Stats()
@@ -141,7 +142,7 @@ func TestResilientCallTimeoutCapsLatency(t *testing.T) {
 	clock := &localClock{}
 	c := NewResilientClient(&flakyClient{failures: 100, err: &timedError{lat: 500}},
 		ResilienceOptions{Clock: clock, MaxRetries: -1, CallTimeout: 60})
-	_, err := c.Complete("p", 0)
+	_, err := c.CompleteT(context.Background(), "p", 0)
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -156,7 +157,7 @@ func TestResilientCallTimeoutCapsLatency(t *testing.T) {
 func TestResilientNonRetryableShortCircuits(t *testing.T) {
 	inner := &flakyClient{failures: 100, err: &fatalError{}}
 	c := NewResilientClient(inner, ResilienceOptions{MaxRetries: 5})
-	_, err := c.Complete("p", 0)
+	_, err := c.CompleteT(context.Background(), "p", 0)
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -173,7 +174,7 @@ func TestResilientBreakerTripsAndRecovers(t *testing.T) {
 	})
 	c.opts.Jitter = 0
 	// 3 consecutive failures trip the breaker mid-call; the loop stops.
-	out, err := c.Complete("p", 0)
+	out, err := c.CompleteT(context.Background(), "p", 0)
 	if err == nil {
 		t.Fatalf("breaker should have cut the call short, got %q", out)
 	}
@@ -184,7 +185,7 @@ func TestResilientBreakerTripsAndRecovers(t *testing.T) {
 	// Next call: breaker open, no fallback → wait the cooldown out on the
 	// virtual clock, then probe; inner now succeeds.
 	before := clock.Now()
-	out, err = c.Complete("p", 0)
+	out, err = c.CompleteT(context.Background(), "p", 0)
 	if err != nil || out != "ok" {
 		t.Fatalf("post-cooldown call = %q, %v", out, err)
 	}
@@ -201,7 +202,7 @@ func TestResilientFallbackOnExhaustion(t *testing.T) {
 	c := NewResilientClient(&flakyClient{failures: 100}, ResilienceOptions{
 		MaxRetries: 1, Fallback: fb,
 	})
-	out, err := c.Complete("p", 0)
+	out, err := c.CompleteT(context.Background(), "p", 0)
 	if err != nil || out != "ok" {
 		t.Fatalf("fallback not used: %q, %v", out, err)
 	}
@@ -217,12 +218,12 @@ func TestResilientFallbackWhileBreakerOpen(t *testing.T) {
 		Clock: clock, MaxRetries: 0, BreakerThreshold: 1, Fallback: fb,
 	})
 	// Trip the breaker (first call fails once, threshold 1), served by fallback.
-	if _, err := c.Complete("p", 0); err != nil {
+	if _, err := c.CompleteT(context.Background(), "p", 0); err != nil {
 		t.Fatal(err)
 	}
 	// Breaker open now: straight to fallback, no inner attempt, no wait.
 	before := clock.Now()
-	out, err := c.Complete("p", 0)
+	out, err := c.CompleteT(context.Background(), "p", 0)
 	if err != nil || out != "ok" {
 		t.Fatalf("open-breaker call = %q, %v", out, err)
 	}
@@ -237,7 +238,7 @@ func TestResilientFallbackWhileBreakerOpen(t *testing.T) {
 func TestWithInterceptorBeforeAndAfter(t *testing.T) {
 	ic := &recordingInterceptor{}
 	c := WithInterceptor(&flakyClient{}, ic)
-	out, err := c.Complete("prompt", 0)
+	out, err := Complete(context.Background(), c, "prompt", 0)
 	if err != nil || out != "ok!" {
 		t.Fatalf("Complete = %q, %v", out, err)
 	}
@@ -245,7 +246,7 @@ func TestWithInterceptorBeforeAndAfter(t *testing.T) {
 		t.Fatalf("interceptor calls = %d/%d", ic.before, ic.after)
 	}
 	ic.fail = true
-	if _, err := c.Complete("prompt", 0); err == nil {
+	if _, err := Complete(context.Background(), c, "prompt", 0); err == nil {
 		t.Fatal("BeforeComplete error should fail the call")
 	}
 }

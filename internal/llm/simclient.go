@@ -1,6 +1,7 @@
 package llm
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -173,8 +174,16 @@ func (c *SimClient) parsePrompt(prompt string) promptFacts {
 	return f
 }
 
-// Complete implements Client.
-func (c *SimClient) Complete(prompt string, temperature float64) (string, error) {
+// Complete implements Client, sampling at DefaultTemperature.
+func (c *SimClient) Complete(ctx context.Context, prompt string) (string, error) {
+	return c.CompleteT(ctx, prompt, DefaultTemperature)
+}
+
+// CompleteT implements TemperatureCompleter.
+func (c *SimClient) CompleteT(ctx context.Context, prompt string, temperature float64) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	if prompt == "" {
 		return "", fmt.Errorf("llm: empty prompt")
 	}

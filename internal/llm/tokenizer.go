@@ -12,6 +12,7 @@
 package llm
 
 import (
+	"context"
 	"strings"
 	"unicode"
 )
@@ -54,13 +55,37 @@ func CountTokensLines(lines []string) int {
 }
 
 // Client is the language-model interface λ-Tune invokes. Complete returns
-// one full configuration script for the given prompt; temperature controls
-// output randomization (0 = deterministic).
+// one full configuration script for the given prompt. The context carries
+// cancellation and per-call deadlines down to the model transport.
 type Client interface {
 	// Complete returns the model's response to the prompt.
-	Complete(prompt string, temperature float64) (string, error)
+	Complete(ctx context.Context, prompt string) (string, error)
 	// Name identifies the model (for logs and experiment records).
 	Name() string
+}
+
+// DefaultTemperature is the sampling temperature the paper's setup uses
+// (§6.1) and what Complete assumes for clients whose sampling is
+// temperature-controlled.
+const DefaultTemperature = 0.7
+
+// TemperatureCompleter is optionally implemented by clients whose sampling
+// supports per-call temperature control (the bundled simulator does; wrapper
+// clients forward it). Clients without the method simply use whatever
+// sampling parameters they were built with.
+type TemperatureCompleter interface {
+	CompleteT(ctx context.Context, prompt string, temperature float64) (string, error)
+}
+
+// Complete invokes c with the given per-call temperature when the client
+// supports it, and plain Complete otherwise. The pipeline routes every model
+// call through this helper so Options.Temperature reaches capable clients
+// without widening the minimal Client interface.
+func Complete(ctx context.Context, c Client, prompt string, temperature float64) (string, error) {
+	if tc, ok := c.(TemperatureCompleter); ok {
+		return tc.CompleteT(ctx, prompt, temperature)
+	}
+	return c.Complete(ctx, prompt)
 }
 
 // trimIndent normalizes a prompt line for parsing.

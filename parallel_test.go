@@ -1,0 +1,117 @@
+package lambdatune
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// tuneBench runs one tuning run on a fresh copy of the named benchmark with
+// the given worker count.
+func tuneBench(t *testing.T, name string, parallelism int) *Result {
+	t.Helper()
+	db, w, err := Benchmark(name, Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Parallelism = parallelism
+	res, err := db.Tune(w, NewSimulatedLLM(1), opts)
+	if err != nil {
+		t.Fatalf("%s parallelism=%d: %v", name, parallelism, err)
+	}
+	return res
+}
+
+// TestParallelismInvariantSelection pins the tentpole contract: every worker
+// count picks the same best configuration (same script) with the same
+// workload time and speedup, on every bundled scenario.
+func TestParallelismInvariantSelection(t *testing.T) {
+	names := []string{"tpch-1"}
+	if !testing.Short() {
+		names = BenchmarkNames()
+	}
+	for _, name := range names {
+		base := tuneBench(t, name, 1)
+		for _, p := range []int{2, 4, 8} {
+			got := tuneBench(t, name, p)
+			if got.BestScript != base.BestScript {
+				t.Errorf("%s parallelism=%d: best script diverged\n--- p=1:\n%s\n--- p=%d:\n%s",
+					name, p, base.BestScript, p, got.BestScript)
+			}
+			if got.BestSeconds != base.BestSeconds || got.Speedup() != base.Speedup() {
+				t.Errorf("%s parallelism=%d: best %v (%.3fx), want %v (%.3fx)",
+					name, p, got.BestSeconds, got.Speedup(), base.BestSeconds, base.Speedup())
+			}
+		}
+	}
+}
+
+// TestParallelismOneByteIdentical: Parallelism 1 (and 0) take the sequential
+// code path, so the whole Result — including virtual tuning cost and the
+// progress trace — matches the pre-parallelism default exactly.
+func TestParallelismOneByteIdentical(t *testing.T) {
+	base := tuneBench(t, "tpch-1", 0) // zero value: sequential default
+	one := tuneBench(t, "tpch-1", 1)
+	if one.BestScript != base.BestScript ||
+		one.BestSeconds != base.BestSeconds ||
+		one.TuningSeconds != base.TuningSeconds {
+		t.Fatalf("Parallelism=1 diverged from sequential: %+v vs %+v", one, base)
+	}
+	if len(one.Progress) != len(base.Progress) {
+		t.Fatalf("progress traces differ: %d vs %d events", len(one.Progress), len(base.Progress))
+	}
+	for i := range one.Progress {
+		if one.Progress[i] != base.Progress[i] {
+			t.Fatalf("progress event %d differs: %+v vs %+v", i, one.Progress[i], base.Progress[i])
+		}
+	}
+}
+
+// cancellingClient cancels its context after serving n completions, then
+// keeps serving — the tuner must stop on its own.
+type cancellingClient struct {
+	inner  Client
+	n      int
+	calls  int
+	cancel context.CancelFunc
+}
+
+func (c *cancellingClient) Name() string { return "cancelling" }
+
+func (c *cancellingClient) Complete(ctx context.Context, prompt string) (string, error) {
+	c.calls++
+	if c.calls == c.n {
+		c.cancel()
+	}
+	return c.inner.Complete(ctx, prompt)
+}
+
+func TestTuneContextCancelledDuringSampling(t *testing.T) {
+	db, w, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	client := &cancellingClient{inner: NewSimulatedLLM(1), n: 2, cancel: cancel}
+	_, err = db.TuneContext(ctx, w, client, DefaultOptions())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if client.calls > 3 {
+		t.Errorf("client called %d times after cancellation at call 2", client.calls)
+	}
+}
+
+func TestTuneContextPreCancelled(t *testing.T) {
+	db, w, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.TuneContext(ctx, w, NewSimulatedLLM(1), DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
