@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify bench scaling
+.PHONY: build vet test race verify fmt-check ci bench scaling
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,13 @@ race:
 
 ## verify: the tier-1 gate — everything CI runs, in order.
 verify: build vet test race
+
+## fmt-check: fail when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+## ci: what .github/workflows/ci.yml runs — the tier-1 gate plus formatting.
+ci: fmt-check verify
 
 ## bench: regenerate every paper table & figure (one iteration each).
 bench:

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 
+	"lambdatune/internal/backend"
+	"lambdatune/internal/backend/instrumented"
 	"lambdatune/internal/core/tuner"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/faults"
@@ -105,9 +107,10 @@ func WithRetrieval(inner Client, corpus []Document) Client {
 }
 
 // Database is a tunable database instance: schema statistics, a live
-// configuration, and a virtual clock.
+// configuration, and a virtual clock. It is backed by a backend.Backend —
+// the bundled simulator by default (see DESIGN.md §8).
 type Database struct {
-	db *engine.DB
+	db backend.Backend
 }
 
 // NewDatabase creates a database from a schema description.
@@ -127,7 +130,13 @@ func NewDatabase(dbms DBMS, name string, tables []Table, hw Hardware) (*Database
 	if err := cat.Validate(); err != nil {
 		return nil, err
 	}
-	return &Database{db: engine.NewDB(engine.Flavor(dbms), cat, hw.toEngine())}, nil
+	db, err := backend.Open("sim", backend.Spec{
+		Flavor: engine.Flavor(dbms), Catalog: cat, Hardware: hw.toEngine(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Database{db: db}, nil
 }
 
 // Workload is a set of named OLAP queries.
@@ -178,7 +187,12 @@ func Benchmark(name string, dbms DBMS) (*Database, *Workload, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	db := engine.NewDB(engine.Flavor(dbms), wl.Catalog, engine.DefaultHardware)
+	db, err := backend.Open("sim", backend.Spec{
+		Flavor: engine.Flavor(dbms), Catalog: wl.Catalog, Hardware: engine.DefaultHardware,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	return &Database{db: db}, &Workload{name: wl.Name, queries: wl.Queries}, nil
 }
 
@@ -490,14 +504,18 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 	defaultSeconds := d.db.WorkloadSeconds(w.queries)
 	var inner llm.Client = client
 	if opts.Faults != nil {
+		fi, ok := d.db.(backend.FaultInjectable)
+		if !ok {
+			return nil, fmt.Errorf("%w: Faults require a fault-injectable backend, %T is not", ErrInvalidOptions, d.db)
+		}
 		seed := opts.Faults.Seed
 		if seed == 0 {
 			seed = opts.Seed
 		}
 		plan := faults.NewPlan(opts.Faults.LLMRate, opts.Faults.EngineRate)
 		inj := faults.NewInjector(plan, seed, d.db.Clock())
-		d.db.SetFaultInjector(inj)
-		defer d.db.SetFaultInjector(nil)
+		fi.SetFaultInjector(inj)
+		defer fi.SetFaultInjector(nil)
 		// The injector wraps the raw client, so the resilience layer (added
 		// by the tuner on top) sees the injected faults as transport errors.
 		inner = llm.WithInterceptor(inner, inj)
@@ -535,7 +553,7 @@ func (d *Database) Apply(r *Result) error {
 		return fmt.Errorf("lambdatune: no configuration to apply")
 	}
 	d.db.DropTransientIndexes()
-	if err := d.db.ApplyConfigParams(r.best); err != nil {
+	if err := d.db.ApplyConfig(r.best); err != nil {
 		return err
 	}
 	for _, ix := range r.best.Indexes {
@@ -551,7 +569,7 @@ func (d *Database) ApplyScript(script string) error {
 		return err
 	}
 	d.db.DropTransientIndexes()
-	if err := d.db.ApplyConfigParams(cfg); err != nil {
+	if err := d.db.ApplyConfig(cfg); err != nil {
 		return err
 	}
 	for _, ix := range cfg.Indexes {
@@ -577,11 +595,33 @@ func (d *Database) QuerySeconds(w *Workload) map[string]float64 {
 }
 
 // ResetConfiguration restores default parameters and drops all indexes
-// created through tuning.
+// created through tuning. Applying an empty configuration resets every
+// parameter to its default, so this works on any backend.
 func (d *Database) ResetConfiguration() {
-	d.db.ResetSettings()
 	d.db.DropTransientIndexes()
+	_ = d.db.ApplyConfig(&engine.Config{ID: "reset"})
 }
 
 // ClockSeconds returns the database's virtual time.
 func (d *Database) ClockSeconds() float64 { return d.db.Clock().Now() }
+
+// Instrument wraps the database's backend with the telemetry decorator:
+// from this call on, every ApplyConfig, CreateIndex, RunQuery, and Explain
+// is counted and timed (wall-clock and virtual-clock). Call once, before
+// tuning; instrumenting an already-instrumented database layers a second
+// decorator. BackendReport returns the accumulated numbers.
+func (d *Database) Instrument() {
+	d.db = instrumented.Wrap(d.db)
+}
+
+// BackendReport returns the per-surface telemetry accumulated since
+// Instrument was called, formatted for humans, or "" when the database is
+// not instrumented.
+func (d *Database) BackendReport() string {
+	ib, ok := d.db.(backend.Instrumented)
+	if !ok {
+		return ""
+	}
+	st := ib.BackendStats()
+	return st.String()
+}

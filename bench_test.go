@@ -12,6 +12,7 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/bench"
 	"lambdatune/internal/core/prompt"
 	"lambdatune/internal/core/schedule"
@@ -222,7 +223,7 @@ func BenchmarkRobustness(b *testing.B) {
 // on JOB with a typical LLM index set.
 func BenchmarkSchedulerAblation(b *testing.B) {
 	w := workload.JOB()
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	// A representative index set: one per frequently joined column.
 	defs := []engine.IndexDef{
 		engine.NewIndexDef("cast_info", "movie_id"),
@@ -267,7 +268,7 @@ func BenchmarkSchedulerAblation(b *testing.B) {
 // value at a tight token budget (design-choice ablation from DESIGN.md).
 func BenchmarkCompressorAblation(b *testing.B) {
 	w := workload.JOB()
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	snips := prompt.CollectSnippets(db, w.Queries)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -291,7 +292,7 @@ func BenchmarkAlphaSweep(b *testing.B) {
 		b.Run(alphaName(alpha), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				w := workload.TPCH(1)
-				db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+				db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 				opts := tuner.DefaultOptions()
 				opts.Selector.Alpha = alpha
 				opts.Seed = benchSeed

@@ -34,6 +34,7 @@ func main() {
 		retries   = flag.Int("llm-retries", 3, "LLM retry attempts with exponential backoff (-1 disables)")
 		breaker   = flag.Int("llm-breaker", 4, "consecutive LLM failures that trip the circuit breaker (-1 disables)")
 		parallel  = flag.Int("parallel", 1, "concurrent evaluation workers (simulated DBMS replicas); selection results are identical for any value")
+		instr     = flag.Bool("instrument", false, "count and time every backend call, printing a per-surface report after tuning")
 		verbose   = flag.Bool("v", false, "print progress events")
 	)
 	flag.Parse()
@@ -86,6 +87,10 @@ func main() {
 		opts.Resilience = &lambdatune.ResilienceOptions{MaxRetries: *retries, BreakerThreshold: *breaker}
 	}
 
+	if *instr {
+		db.Instrument()
+	}
+
 	client := lambdatune.NewSimulatedLLM(*seed)
 	if *rag {
 		client = lambdatune.WithRetrieval(client, nil)
@@ -108,6 +113,9 @@ func main() {
 	fmt.Printf("tuning cost: %.1fs simulated (bounded by Theorem 4.3)\n", res.TuningSeconds)
 	if res.Faults.Any() {
 		fmt.Printf("faults survived: %s\n", res.Faults)
+	}
+	if *instr {
+		fmt.Printf("\n%s", db.BackendReport())
 	}
 	if *verbose {
 		fmt.Println("\nprogress:")

@@ -1,0 +1,75 @@
+package backend_test
+
+import (
+	"math"
+	"testing"
+
+	"lambdatune/internal/backend"
+	"lambdatune/internal/backend/backendtest"
+	_ "lambdatune/internal/backend/instrumented" // registers "instrumented"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+// TestRegisteredBackendsConformance runs the behavioral contract against
+// every registered backend — the simulator, the instrumented decorator, and
+// (inside the suite) snapshots of both.
+func TestRegisteredBackendsConformance(t *testing.T) {
+	names := backend.List()
+	if len(names) < 2 {
+		t.Fatalf("expected at least sim and instrumented registered, got %v", names)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			backendtest.Run(t, func(spec backend.Spec) (backend.Backend, error) {
+				return backend.Open(name, spec)
+			})
+		})
+	}
+}
+
+// TestOpenUnknownBackend pins the registry's error behavior.
+func TestOpenUnknownBackend(t *testing.T) {
+	if _, err := backend.Open("no-such-backend", backendtest.Spec()); err == nil {
+		t.Fatal("Open of an unregistered backend succeeded")
+	}
+	spec := backendtest.Spec()
+	spec.Catalog = nil
+	if _, err := backend.Open("sim", spec); err == nil {
+		t.Fatal("Open with a nil catalog succeeded")
+	}
+}
+
+// BenchmarkBackendDispatch guards the hot query path against
+// interface-dispatch regressions: RunQuery through the Backend interface
+// must stay within noise of calling the simulator directly.
+func BenchmarkBackendDispatch(b *testing.B) {
+	w := workload.TPCH(1)
+	q := w.Queries[0]
+
+	b.Run("direct", func(b *testing.B) {
+		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			db.Execute(q, math.Inf(1))
+		}
+	})
+	b.Run("interface", func(b *testing.B) {
+		var be backend.Backend = backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.RunQuery(q, math.Inf(1))
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		be, err := backend.Open("instrumented", backendtest.Spec())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			be.RunQuery(q, math.Inf(1))
+		}
+	})
+}

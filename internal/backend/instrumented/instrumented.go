@@ -1,0 +1,243 @@
+// Package instrumented decorates any backend.Backend with per-surface call
+// counters and latency histograms — one wall-clock and one virtual-clock
+// histogram per observation surface. It exists both as a practical telemetry
+// layer (tuner.Result exports the stats when present) and as proof that the
+// backend seam composes: the decorator is itself a conforming Backend,
+// forwards every capability of its inner backend, and registers as
+// "instrumented" so it participates in the conformance suite.
+package instrumented
+
+import (
+	"sync"
+	"time"
+
+	"lambdatune/internal/backend"
+	"lambdatune/internal/engine"
+)
+
+func init() {
+	backend.Register("instrumented", func(spec backend.Spec) (backend.Backend, error) {
+		inner, err := backend.Open("sim", spec)
+		if err != nil {
+			return nil, err
+		}
+		return Wrap(inner), nil
+	})
+}
+
+// collector is the mutex-protected accumulator shared by a backend and all
+// its snapshots, so replica work taken on clones is counted in one place.
+type collector struct {
+	mu    sync.Mutex
+	stats backend.Stats
+}
+
+// observe records one call on a surface selected by pick.
+func (c *collector) observe(pick func(*backend.Stats) *backend.SurfaceStats, wall, virtual float64, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := pick(&c.stats)
+	s.Calls++
+	if failed {
+		s.Errors++
+	}
+	s.Wall.Observe(wall)
+	s.Virtual.Observe(virtual)
+}
+
+// Backend wraps an inner backend with observation telemetry. Construct with
+// Wrap; snapshots share the wrapped instance's collector.
+type Backend struct {
+	inner backend.Backend
+	c     *collector
+}
+
+// Wrap decorates inner. The returned backend forwards every method and every
+// capability; only the four paper surfaces (ApplyConfig, CreateIndex,
+// RunQuery, Explain) are instrumented. When inner implements
+// backend.Snapshotter the result does too (snapshots share one stats
+// collector); when it does not, neither does the result — capability probes
+// like evaluator.Pool's must see the truth, or they would clone a decorator
+// around shared state.
+func Wrap(inner backend.Backend) backend.Backend {
+	b := &Backend{inner: inner, c: &collector{}}
+	if _, ok := inner.(backend.Snapshotter); ok {
+		return &snapshottable{b}
+	}
+	return b
+}
+
+// snapshottable adds the Snapshotter capability to a decorator whose inner
+// backend supports it.
+type snapshottable struct {
+	*Backend
+}
+
+// Snapshot clones the inner backend and wraps the clone with this decorator's
+// stats collector, so work done on replicas aggregates with the parent's.
+func (b *snapshottable) Snapshot() backend.Backend {
+	inner := b.inner.(backend.Snapshotter).Snapshot()
+	return &snapshottable{&Backend{inner: inner, c: b.c}}
+}
+
+// AbsorbSnapshot folds a replica's counters back into the inner backend.
+func (b *snapshottable) AbsorbSnapshot(o backend.Backend) {
+	sn := b.inner.(backend.Snapshotter)
+	if ib, ok := o.(*snapshottable); ok {
+		sn.AbsorbSnapshot(ib.inner)
+		return
+	}
+	sn.AbsorbSnapshot(o)
+}
+
+// Unwrap returns the decorated backend.
+func (b *Backend) Unwrap() backend.Backend { return b.inner }
+
+// BackendStats implements backend.Instrumented: a consistent snapshot of the
+// accumulated telemetry, shared with all snapshots taken from this backend.
+func (b *Backend) BackendStats() backend.Stats {
+	b.c.mu.Lock()
+	defer b.c.mu.Unlock()
+	return b.c.stats
+}
+
+// Plain accessors: forwarded untouched.
+
+// Flavor returns the inner backend's flavor.
+func (b *Backend) Flavor() engine.Flavor { return b.inner.Flavor() }
+
+// Catalog returns the inner backend's catalog.
+func (b *Backend) Catalog() *engine.Catalog { return b.inner.Catalog() }
+
+// Hardware returns the inner backend's hardware description.
+func (b *Backend) Hardware() engine.Hardware { return b.inner.Hardware() }
+
+// Clock returns the inner backend's virtual clock.
+func (b *Backend) Clock() *engine.Clock { return b.inner.Clock() }
+
+// Instrumented surfaces.
+
+// ApplyConfig forwards and counts the configuration-acceptance surface.
+func (b *Backend) ApplyConfig(cfg *engine.Config) error {
+	start, v0 := time.Now(), b.inner.Clock().Now()
+	err := b.inner.ApplyConfig(cfg)
+	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.ApplyConfig },
+		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, err != nil)
+	return err
+}
+
+// CreateIndex forwards and counts the index-creation surface.
+func (b *Backend) CreateIndex(def engine.IndexDef) float64 {
+	start, v0 := time.Now(), b.inner.Clock().Now()
+	secs := b.inner.CreateIndex(def)
+	// A build that spent time but left no index behind is an injected
+	// failure; count it as a surface error.
+	failed := secs > 0 && !b.inner.HasIndex(def)
+	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.CreateIndex },
+		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, failed)
+	return secs
+}
+
+// RunQuery forwards and counts the timed-execution surface.
+func (b *Backend) RunQuery(q *engine.Query, timeout float64) engine.ExecResult {
+	start, v0 := time.Now(), b.inner.Clock().Now()
+	res := b.inner.RunQuery(q, timeout)
+	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.RunQuery },
+		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, !res.Complete)
+	return res
+}
+
+// Explain forwards and counts the EXPLAIN surface.
+func (b *Backend) Explain(q *engine.Query) []engine.JoinCost {
+	start, v0 := time.Now(), b.inner.Clock().Now()
+	out := b.inner.Explain(q)
+	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.Explain },
+		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, false)
+	return out
+}
+
+// Uninstrumented pass-throughs (pure measurements and index bookkeeping).
+
+// DropTransientIndexes forwards to the inner backend.
+func (b *Backend) DropTransientIndexes() { b.inner.DropTransientIndexes() }
+
+// CreatePermanentIndex forwards to the inner backend.
+func (b *Backend) CreatePermanentIndex(def engine.IndexDef) { b.inner.CreatePermanentIndex(def) }
+
+// DropIndex forwards to the inner backend.
+func (b *Backend) DropIndex(def engine.IndexDef) { b.inner.DropIndex(def) }
+
+// HasIndex forwards to the inner backend.
+func (b *Backend) HasIndex(def engine.IndexDef) bool { return b.inner.HasIndex(def) }
+
+// Indexes forwards to the inner backend.
+func (b *Backend) Indexes() []engine.IndexDef { return b.inner.Indexes() }
+
+// IndexCreationSeconds forwards to the inner backend.
+func (b *Backend) IndexCreationSeconds(def engine.IndexDef) float64 {
+	return b.inner.IndexCreationSeconds(def)
+}
+
+// QuerySeconds forwards to the inner backend.
+func (b *Backend) QuerySeconds(q *engine.Query) float64 { return b.inner.QuerySeconds(q) }
+
+// WorkloadSeconds forwards to the inner backend.
+func (b *Backend) WorkloadSeconds(qs []*engine.Query) float64 { return b.inner.WorkloadSeconds(qs) }
+
+// PlanCost forwards to the inner backend.
+func (b *Backend) PlanCost(q *engine.Query) float64 { return b.inner.PlanCost(q) }
+
+// Capability forwarding: the decorator advertises a capability exactly as far
+// as the inner backend supports it, so capability checks made through the
+// helpers in package backend (backend.HasFaultInjector etc.) see the truth.
+// Setter-shaped capabilities are silent no-ops when the inner backend lacks
+// them, mirroring how an unsupported feature behaves on a remote DBMS.
+
+// SetFaultInjector forwards when supported.
+func (b *Backend) SetFaultInjector(fi engine.FaultInjector) {
+	if f, ok := b.inner.(backend.FaultInjectable); ok {
+		f.SetFaultInjector(fi)
+	}
+}
+
+// HasFaultInjector reports the inner backend's state (false when
+// unsupported).
+func (b *Backend) HasFaultInjector() bool { return backend.HasFaultInjector(b.inner) }
+
+// QueryAborts reports the inner backend's count (0 when unsupported).
+func (b *Backend) QueryAborts() int { return backend.QueryAborts(b.inner) }
+
+// IndexFailures reports the inner backend's count (0 when unsupported).
+func (b *Backend) IndexFailures() int { return backend.IndexFailures(b.inner) }
+
+// SetExecHook forwards when supported.
+func (b *Backend) SetExecHook(h engine.ExecHook) {
+	if hk, ok := b.inner.(backend.Hookable); ok {
+		hk.SetExecHook(h)
+	}
+}
+
+// Settings forwards when supported (nil otherwise).
+func (b *Backend) Settings() engine.Settings {
+	if sa, ok := b.inner.(backend.SettingsAccessor); ok {
+		return sa.Settings()
+	}
+	return nil
+}
+
+// SetSettings forwards when supported.
+func (b *Backend) SetSettings(s engine.Settings) {
+	if sa, ok := b.inner.(backend.SettingsAccessor); ok {
+		sa.SetSettings(s)
+	}
+}
+
+// ResetSettings forwards when supported.
+func (b *Backend) ResetSettings() {
+	if sa, ok := b.inner.(backend.SettingsAccessor); ok {
+		sa.ResetSettings()
+	}
+}
+
+// Executions reports the inner backend's count (0 when unsupported).
+func (b *Backend) Executions() int { return backend.Executions(b.inner) }

@@ -7,8 +7,10 @@
 package baselines
 
 import (
+	"errors"
 	"math"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 )
 
@@ -50,10 +52,10 @@ func (tr *Trace) Record(clock float64, cfg *engine.Config, time float64, complet
 }
 
 // Tuner is a baseline tuning system. Tune explores configurations until the
-// database's virtual clock passes deadline, then returns its trace.
+// backend's virtual clock passes deadline, then returns its trace.
 type Tuner interface {
 	Name() string
-	Tune(db *engine.DB, queries []*engine.Query, deadline float64) *Trace
+	Tune(db backend.Backend, queries []*engine.Query, deadline float64) *Trace
 }
 
 // EvalOptions controls full-workload trial runs.
@@ -63,14 +65,35 @@ type EvalOptions struct {
 	Timeout float64
 }
 
-// Evaluate performs one trial: switch the database to cfg (dropping
+// ApplyConfig switches the backend to cfg, normalizing refusals: whatever
+// error the backend returns, the result wraps *engine.ConfigRejectedError so
+// every baseline reports rejected configurations through one errors.As-able
+// type.
+func ApplyConfig(db backend.Backend, cfg *engine.Config) error {
+	err := db.ApplyConfig(cfg)
+	if err == nil {
+		return nil
+	}
+	var rej *engine.ConfigRejectedError
+	if errors.As(err, &rej) {
+		return err
+	}
+	return &engine.ConfigRejectedError{
+		Stmt:   cfg.ID,
+		Reason: "backend rejected configuration",
+		Err:    err,
+	}
+}
+
+// Evaluate performs one trial: switch the backend to cfg (dropping
 // transient indexes of prior trials, creating cfg's indexes eagerly — the
 // baselines lack λ-Tune's lazy-creation machinery) and run the workload
 // under the timeout. Returns the workload execution time (query time only)
-// and whether every query completed.
-func Evaluate(db *engine.DB, queries []*engine.Query, cfg *engine.Config, opts EvalOptions) (float64, bool) {
+// and whether every query completed. A rejected configuration counts as a
+// failed trial (+Inf, false).
+func Evaluate(db backend.Backend, queries []*engine.Query, cfg *engine.Config, opts EvalOptions) (float64, bool) {
 	db.DropTransientIndexes()
-	if err := db.ApplyConfigParams(cfg); err != nil {
+	if err := ApplyConfig(db, cfg); err != nil {
 		return math.Inf(1), false
 	}
 	for _, ix := range cfg.Indexes {
@@ -83,7 +106,7 @@ func Evaluate(db *engine.DB, queries []*engine.Query, cfg *engine.Config, opts E
 	remaining := timeout
 	var total float64
 	for _, q := range queries {
-		res := db.Execute(q, remaining)
+		res := db.RunQuery(q, remaining)
 		if !res.Complete {
 			return total, false
 		}

@@ -1,17 +1,19 @@
 package baselines
 
 import (
+	"errors"
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
-func setup(t *testing.T) (*engine.DB, *workload.Workload) {
+func setup(t *testing.T) (*backend.Sim, *workload.Workload) {
 	t.Helper()
 	w := workload.TPCH(1)
-	return engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware), w
+	return backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware), w
 }
 
 func TestEvaluateFullWorkload(t *testing.T) {
@@ -22,6 +24,53 @@ func TestEvaluateFullWorkload(t *testing.T) {
 		t.Fatalf("time=%v complete=%v", time, complete)
 	}
 }
+
+// TestApplyConfigRejectionWrapping pins the error contract of the shared
+// apply helper: every rejection — whatever the backend returned — surfaces
+// as a *engine.ConfigRejectedError, so baseline tuners can uniformly detect
+// unusable configurations with errors.As.
+func TestApplyConfigRejectionWrapping(t *testing.T) {
+	db, _ := setup(t)
+
+	if err := ApplyConfig(db, &engine.Config{ID: "ok", Params: map[string]string{"work_mem": "64MB"}}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+
+	var rej *engine.ConfigRejectedError
+	err := ApplyConfig(db, &engine.Config{ID: "bad", Params: map[string]string{"shared_buffers": "lots"}})
+	if !errors.As(err, &rej) {
+		t.Fatalf("bad value error is %T (%v), want *engine.ConfigRejectedError", err, err)
+	}
+
+	rej = nil
+	err = ApplyConfig(db, &engine.Config{ID: "unk", Params: map[string]string{"no_such_parameter": "1"}})
+	if !errors.As(err, &rej) {
+		t.Fatalf("unknown parameter error is %T (%v), want *engine.ConfigRejectedError", err, err)
+	}
+
+	// A backend whose ApplyConfig fails with an arbitrary error still yields
+	// the typed rejection, with the cause preserved for errors.Is.
+	cause := errors.New("connection reset")
+	rej = nil
+	err = ApplyConfig(failingBackend{Sim: db, err: cause}, &engine.Config{ID: "opaque"})
+	if !errors.As(err, &rej) {
+		t.Fatalf("opaque backend error is %T (%v), want *engine.ConfigRejectedError", err, err)
+	}
+	if !errors.Is(err, cause) {
+		t.Errorf("wrapped rejection lost its cause: %v", err)
+	}
+	if rej.Stmt != "opaque" {
+		t.Errorf("rejection Stmt = %q, want config ID", rej.Stmt)
+	}
+}
+
+// failingBackend rejects every configuration with a fixed untyped error.
+type failingBackend struct {
+	*backend.Sim
+	err error
+}
+
+func (f failingBackend) ApplyConfig(*engine.Config) error { return f.err }
 
 func TestEvaluateTimeout(t *testing.T) {
 	db, w := setup(t)

@@ -8,6 +8,7 @@ package db2advisor
 import (
 	"sort"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/ilp"
@@ -84,7 +85,7 @@ func compositeCandidates(cat *engine.Catalog, queries []*engine.Query) []engine.
 // Recommend returns the advised index set. What-if costing uses hypothetical
 // index creation (no clock charge); the knapsack is solved exactly with the
 // internal ILP solver.
-func (a *Advisor) Recommend(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
+func (a *Advisor) Recommend(db backend.Backend, queries []*engine.Query) []engine.IndexDef {
 	budget := a.DiskBudgetBytes
 	if budget <= 0 {
 		budget = db.Catalog().TotalBytes() / 5
@@ -93,7 +94,7 @@ func (a *Advisor) Recommend(db *engine.DB, queries []*engine.Query) []engine.Ind
 	candidates = append(candidates, compositeCandidates(db.Catalog(), queries)...)
 	base := make([]float64, len(queries))
 	for i, q := range queries {
-		base[i] = db.Plan(q).EstCost()
+		base[i] = db.PlanCost(q)
 	}
 
 	type cand struct {
@@ -109,7 +110,7 @@ func (a *Advisor) Recommend(db *engine.DB, queries []*engine.Query) []engine.Ind
 		db.CreatePermanentIndex(c)
 		var benefit float64
 		for i, q := range queries {
-			if est := db.Plan(q).EstCost(); est < base[i] {
+			if est := db.PlanCost(q); est < base[i] {
 				benefit += base[i] - est
 			}
 		}

@@ -3,14 +3,15 @@ package db2advisor
 import (
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
-func setup(t *testing.T) (*engine.DB, *workload.Workload) {
+func setup(t *testing.T) (*backend.Sim, *workload.Workload) {
 	t.Helper()
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	s := db.Settings()
 	s["random_page_cost"] = 1.1
 	s["effective_cache_size"] = float64(int64(45) << 30)

@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/engine"
 )
@@ -91,7 +92,7 @@ func (t *Tuner) Name() string { return "DB-BERT" }
 
 // Tune implements baselines.Tuner: RL over hint subsets and per-hint scale
 // factors (DB-BERT multiplies mined values by factors in {0.25,0.5,1,2,4}).
-func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float64) *baselines.Trace {
 	tr := baselines.NewTrace(t.Name())
 	rng := rand.New(rand.NewSource(t.Seed))
 	hints := corpus(db.Flavor())

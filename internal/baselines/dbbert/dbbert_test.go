@@ -4,13 +4,14 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
 func TestDBBertImproves(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 	tr := New(3).Tune(db, w.Queries, 20000)
 	if math.IsInf(tr.BestTime, 1) {
@@ -25,7 +26,7 @@ func TestDBBertHintsTranslatedToHardware(t *testing.T) {
 	// A mined "25% of RAM" hint must materialize as an absolute size
 	// proportional to machine memory.
 	w := workload.TPCH(1)
-	small := engine.NewDB(engine.Postgres, w.Catalog, engine.Hardware{Cores: 4, MemoryBytes: 8 << 30})
+	small := backend.NewSim(engine.Postgres, w.Catalog, engine.Hardware{Cores: 4, MemoryBytes: 8 << 30})
 	tr := New(3).Tune(small, w.Queries, 8000)
 	if tr.BestConfig == nil {
 		t.Fatal("no best config")
@@ -44,7 +45,7 @@ func TestDBBertHintsTranslatedToHardware(t *testing.T) {
 
 func TestDBBertMySQLCorpus(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.MySQL, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.MySQL, w.Catalog, engine.DefaultHardware)
 	tr := New(3).Tune(db, w.Queries, 15000)
 	if tr.BestConfig == nil {
 		t.Fatal("no best config on MySQL")

@@ -8,6 +8,7 @@ package dexter
 import (
 	"sort"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/engine"
 )
@@ -32,12 +33,12 @@ func (a *Advisor) Name() string { return "Dexter" }
 // created for costing only; creation time is *not* charged to the clock,
 // matching HypoPG semantics). Any pre-existing transient indexes are
 // restored on return.
-func (a *Advisor) Recommend(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
+func (a *Advisor) Recommend(db backend.Backend, queries []*engine.Query) []engine.IndexDef {
 	candidates := baselines.CandidateIndexes(db.Catalog(), queries)
 	// Baseline planner cost per query, under current indexes only.
 	base := make([]float64, len(queries))
 	for i, q := range queries {
-		base[i] = db.Plan(q).EstCost()
+		base[i] = db.PlanCost(q)
 	}
 
 	type scored struct {
@@ -54,7 +55,7 @@ func (a *Advisor) Recommend(db *engine.DB, queries []*engine.Query) []engine.Ind
 		var benefit float64
 		qualifies := false
 		for i, q := range queries {
-			c := db.Plan(q).EstCost()
+			c := db.PlanCost(q)
 			if c < base[i] {
 				benefit += base[i] - c
 				if (base[i]-c)/base[i] >= a.MinImprovement {

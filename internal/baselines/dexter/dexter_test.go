@@ -3,13 +3,14 @@ package dexter
 import (
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
 func TestDexterRecommends(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	// Index-friendly planner settings (the harness applies these before
 	// asking for recommendations, like Dexter assumes SSD-tuned costs).
 	s := db.Settings()
@@ -38,7 +39,7 @@ func TestDexterRecommends(t *testing.T) {
 
 func TestDexterIndexesHelp(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	s := db.Settings()
 	s["random_page_cost"] = 1.1
 	db.SetSettings(s)
@@ -54,7 +55,7 @@ func TestDexterIndexesHelp(t *testing.T) {
 
 func TestDexterSkipsExisting(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	s := db.Settings()
 	s["random_page_cost"] = 1.1
 	db.SetSettings(s)
@@ -73,7 +74,7 @@ func TestDexterSkipsExisting(t *testing.T) {
 
 func TestDexterMaxIndexes(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	s := db.Settings()
 	s["random_page_cost"] = 1.1
 	db.SetSettings(s)

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/engine"
 )
@@ -91,7 +92,7 @@ func prunedSpace(f engine.Flavor, hw engine.Hardware) []region {
 // space, then fine-grained refinement around the incumbent (a surrogate-free
 // stand-in for SMAC that preserves GPTuner's observable behaviour: moderate
 // trial counts, fast convergence inside a good region).
-func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float64) *baselines.Trace {
 	tr := baselines.NewTrace(t.Name())
 	rng := rand.New(rand.NewSource(t.Seed))
 	space := prunedSpace(db.Flavor(), db.Hardware())

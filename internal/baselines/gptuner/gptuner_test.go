@@ -4,13 +4,14 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
 func TestGPTunerImproves(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 	tr := New(5).Tune(db, w.Queries, 20000)
 	if math.IsInf(tr.BestTime, 1) {
@@ -39,7 +40,7 @@ func TestGPTunerConvergesFasterThanWideSearch(t *testing.T) {
 	// With the GPT-pruned space, the first trials should already be decent:
 	// best-so-far after a short deadline beats the default configuration.
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 	tr := New(5).Tune(db, w.Queries, defaultTime*3)
 	if math.IsInf(tr.BestTime, 1) || tr.BestTime >= defaultTime {

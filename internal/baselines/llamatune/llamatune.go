@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/engine"
 )
@@ -39,7 +40,7 @@ func (t *Tuner) Name() string { return "LlamaTune" }
 // trials — but explores the raw (un-pruned) knob space, so individual trials
 // can be very bad; the paper's Table 3 shows it winning some scenarios and
 // losing badly in others.
-func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float64) *baselines.Trace {
 	tr := baselines.NewTrace(t.Name())
 	rng := rand.New(rand.NewSource(t.Seed))
 	knobs := baselines.KnobSpace(db.Flavor(), db.Hardware())

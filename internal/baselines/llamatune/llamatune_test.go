@@ -4,13 +4,14 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
 func TestLlamaTuneImproves(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 	tr := New(9).Tune(db, w.Queries, 30000)
 	if math.IsInf(tr.BestTime, 1) {
@@ -25,7 +26,7 @@ func TestLlamaTuneSampleEfficient(t *testing.T) {
 	// Dimensionality reduction means few, expensive full-workload trials —
 	// far fewer than UDO's sample-based count in the same budget.
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tr := New(9).Tune(db, w.Queries, 10000)
 	if tr.Evaluated > 200 {
 		t.Errorf("too many trials for a projection-based tuner: %d", tr.Evaluated)
@@ -34,7 +35,7 @@ func TestLlamaTuneSampleEfficient(t *testing.T) {
 
 func TestLlamaTuneConfigsParseable(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tr := New(9).Tune(db, w.Queries, 5000)
 	if tr.BestConfig == nil {
 		t.Skip("nothing completed in budget")

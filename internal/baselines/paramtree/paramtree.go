@@ -11,6 +11,7 @@ package paramtree
 import (
 	"fmt"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/engine"
 )
@@ -50,7 +51,7 @@ func avg(xs []float64) float64 {
 }
 
 // Recommend produces the single calibrated configuration.
-func (t *Tuner) Recommend(db *engine.DB) *engine.Config {
+func (t *Tuner) Recommend(db backend.Backend) *engine.Config {
 	cfg := &engine.Config{ID: "paramtree", Params: map[string]string{}}
 	if db.Flavor() != engine.Postgres {
 		return cfg
@@ -73,7 +74,7 @@ func (t *Tuner) Recommend(db *engine.DB) *engine.Config {
 }
 
 // Tune implements baselines.Tuner: one recommendation, one verification run.
-func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float64) *baselines.Trace {
 	tr := baselines.NewTrace(t.Name())
 	cfg := t.Recommend(db)
 	time, complete := baselines.Evaluate(db, queries, cfg, baselines.EvalOptions{Timeout: t.EvalTimeout})

@@ -4,13 +4,14 @@ import (
 	"strconv"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
 func TestParamTreeOneTrial(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tr := New().Tune(db, w.Queries, 1e9)
 	if tr.Evaluated != 1 {
 		t.Errorf("ParamTree ran %d trials, want 1 (Table 4)", tr.Evaluated)
@@ -24,7 +25,7 @@ func TestParamTreeOneTrial(t *testing.T) {
 }
 
 func TestParamTreeRecommendationsNearTruth(t *testing.T) {
-	cfg := New().Recommend(engine.NewDB(engine.Postgres, workload.TPCH(1).Catalog, engine.DefaultHardware))
+	cfg := New().Recommend(backend.NewSim(engine.Postgres, workload.TPCH(1).Catalog, engine.DefaultHardware))
 	rp, err := strconv.ParseFloat(cfg.Params["random_page_cost"], 64)
 	if err != nil {
 		t.Fatal(err)
@@ -43,7 +44,7 @@ func TestParamTreeHelpsPlans(t *testing.T) {
 	// factor — the paper likewise finds ParamTree's scope too narrow for
 	// large gains.
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	// Give the optimizer indexes to potentially mis-cost.
 	for _, d := range w.InitialIndexes() {
 		db.CreatePermanentIndex(d)
@@ -63,7 +64,7 @@ func TestParamTreeHelpsPlans(t *testing.T) {
 }
 
 func TestParamTreeMySQLNoOp(t *testing.T) {
-	db := engine.NewDB(engine.MySQL, workload.TPCH(1).Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.MySQL, workload.TPCH(1).Catalog, engine.DefaultHardware)
 	cfg := New().Recommend(db)
 	if len(cfg.Params) != 0 {
 		t.Errorf("MySQL has no optimizer constants to calibrate: %v", cfg.Params)

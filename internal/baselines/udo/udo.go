@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/engine"
 )
@@ -53,7 +54,7 @@ func (s state) clone() state {
 
 // Tune implements baselines.Tuner: ε-greedy hill climbing with RL-style
 // sample-based reward, verifying improved incumbents on the full workload.
-func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float64) *baselines.Trace {
 	tr := baselines.NewTrace(t.Name())
 	rng := rand.New(rand.NewSource(t.Seed))
 	knobs := baselines.KnobSpace(db.Flavor(), db.Hardware())
@@ -87,7 +88,7 @@ func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *
 			}
 		}
 		cfg := t.config("state", knobs, candidates, s)
-		return db.ApplyConfigParams(cfg)
+		return baselines.ApplyConfig(db, cfg)
 	}
 
 	runQueries := func(qs []*engine.Query, timeout float64) (float64, bool) {
@@ -97,7 +98,7 @@ func (t *Tuner) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *
 		remaining := timeout
 		var total float64
 		for _, q := range qs {
-			res := db.Execute(q, remaining)
+			res := db.RunQuery(q, remaining)
 			if !res.Complete {
 				return total, false
 			}

@@ -4,13 +4,14 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
 func TestUDOFindsImprovement(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 	tr := New(7).Tune(db, w.Queries, 20000)
 	if math.IsInf(tr.BestTime, 1) {
@@ -26,7 +27,7 @@ func TestUDOFindsImprovement(t *testing.T) {
 
 func TestUDORespectsDeadline(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	deadline := 500.0
 	New(7).Tune(db, w.Queries, deadline)
 	// One full verification run may overshoot; bound the overshoot.
@@ -37,7 +38,7 @@ func TestUDORespectsDeadline(t *testing.T) {
 
 func TestUDOParamOnlyMode(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	u := New(7)
 	u.TuneIndexes = false
 	tr := u.Tune(db, w.Queries, 5000)
@@ -49,7 +50,7 @@ func TestUDOParamOnlyMode(t *testing.T) {
 func TestUDODeterministic(t *testing.T) {
 	run := func() float64 {
 		w := workload.TPCH(1)
-		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		return New(7).Tune(db, w.Queries, 3000).BestTime
 	}
 	if run() != run() {

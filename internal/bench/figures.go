@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/core/prompt"
 	"lambdatune/internal/core/selector"
@@ -119,7 +120,7 @@ func Figure5(seed int64) ([]Figure5Row, error) {
 	}
 	// Install the winning configuration.
 	db.DropTransientIndexes()
-	if err := db.ApplyConfigParams(res.Best); err != nil {
+	if err := db.ApplyConfig(res.Best); err != nil {
 		return nil, err
 	}
 	for _, ix := range res.Best.Indexes {
@@ -190,7 +191,7 @@ func runAblation(v AblationVariant, seed int64) (*AblationResult, error) {
 	if v == AblationObfuscated {
 		w = w.Obfuscate()
 	}
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	opts := tuner.DefaultOptions()
 	opts.Seed = seed
 	// The simulated machine runs JOB roughly an order of magnitude faster
@@ -282,7 +283,7 @@ func runFigure7Point(label string, opts tuner.Options, seed int64) (*Figure7Row,
 	for t := 0; t < trials; t++ {
 		s := seed + int64(t)*101
 		w := workload.JOB()
-		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		o := opts
 		o.Seed = s
 		tn := tuner.New(db, llm.NewSimClient(s), o)
@@ -358,9 +359,9 @@ func Figure8(seed int64) ([]Figure8Row, error) {
 		}
 		row.Times["λ-Tune"] = measure(ltIdx)
 
-		adb := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		adb := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		row.Times["Dexter"] = measure(DexterIndexes(adb, w.Queries))
-		adb2 := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		adb2 := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		row.Times["DB2 Advisor"] = measure(DB2Indexes(adb2, w.Queries))
 		out = append(out, row)
 	}

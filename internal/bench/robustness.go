@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/core/tuner"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/faults"
@@ -50,7 +51,9 @@ func RobustnessTrial(seed int64, llmRate, engineRate float64) RobustnessRow {
 	row.DefaultTime = db.WorkloadSeconds(w.Queries)
 
 	inj := faults.NewInjector(faults.NewPlan(llmRate, engineRate), seed, db.Clock())
-	db.SetFaultInjector(inj)
+	if fi, ok := db.(backend.FaultInjectable); ok {
+		fi.SetFaultInjector(inj)
+	}
 	client := llm.WithInterceptor(llm.NewSimClient(seed), inj)
 
 	opts := tuner.DefaultOptions()

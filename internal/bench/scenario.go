@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
 	"lambdatune/internal/baselines/db2advisor"
 	"lambdatune/internal/baselines/dbbert"
@@ -52,15 +53,22 @@ func (s Scenario) Label() string {
 	return fmt.Sprintf("%s/%s/idx=%s", s.Benchmark, fl, ix)
 }
 
-// NewDB materializes the scenario's database and workload: a fresh instance
-// with default settings and, in the initial-index regime, permanent PK/FK
-// indexes.
-func (s Scenario) NewDB() (*engine.DB, *workload.Workload, error) {
+// NewDB materializes the scenario's backend and workload: a fresh simulator
+// instance with default settings and, in the initial-index regime, permanent
+// PK/FK indexes.
+func (s Scenario) NewDB() (backend.Backend, *workload.Workload, error) {
 	w, err := workload.ByName(s.Benchmark)
 	if err != nil {
 		return nil, nil, err
 	}
-	db := engine.NewDB(s.Flavor, w.Catalog, engine.DefaultHardware)
+	db, err := backend.Open("sim", backend.Spec{
+		Flavor:   s.Flavor,
+		Catalog:  w.Catalog,
+		Hardware: engine.DefaultHardware,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
 	if s.InitialIndexes {
 		for _, d := range w.InitialIndexes() {
 			db.CreatePermanentIndex(d)
@@ -85,7 +93,7 @@ func (l *LambdaTune) Name() string { return "λ-Tune" }
 
 // Tune implements baselines.Tuner. λ-Tune bounds its own evaluation cost
 // (Theorem 4.3), so the deadline is not used to cut it short.
-func (l *LambdaTune) Tune(db *engine.DB, queries []*engine.Query, deadline float64) *baselines.Trace {
+func (l *LambdaTune) Tune(db backend.Backend, queries []*engine.Query, deadline float64) *baselines.Trace {
 	_ = deadline
 	tr := baselines.NewTrace(l.Name())
 	res, err := l.RunLambdaTune(db, queries)
@@ -136,7 +144,7 @@ func (s stripIndexes) filter(out string, err error) (string, error) {
 
 // RunLambdaTune executes λ-Tune on the scenario database, honoring the
 // ParamsOnly regime via response filtering.
-func (l *LambdaTune) RunLambdaTune(db *engine.DB, queries []*engine.Query) (*tuner.Result, error) {
+func (l *LambdaTune) RunLambdaTune(db backend.Backend, queries []*engine.Query) (*tuner.Result, error) {
 	opts := tuner.DefaultOptions()
 	if l.Opts != nil {
 		opts = *l.Opts
@@ -167,34 +175,38 @@ func baselineSet(seed int64, paramsOnly bool, trialTimeout float64) []baselines.
 	return []baselines.Tuner{u, db, gp, ll, pt}
 }
 
+// withPlannerFriendlySettings runs fn under index-friendly planner settings
+// when the backend exposes raw settings access, restoring the previous
+// assignment afterwards. Without the SettingsAccessor capability fn runs
+// under the live configuration.
+func withPlannerFriendlySettings(db backend.Backend, fn func() []engine.IndexDef) []engine.IndexDef {
+	sa, ok := db.(backend.SettingsAccessor)
+	if !ok || db.Flavor() != engine.Postgres {
+		return fn()
+	}
+	saved := sa.Settings()
+	s := sa.Settings()
+	s["random_page_cost"] = 1.1
+	s["effective_cache_size"] = float64(db.Hardware().MemoryBytes * 3 / 4)
+	sa.SetSettings(s)
+	defer sa.SetSettings(saved)
+	return fn()
+}
+
 // DexterIndexes returns Dexter's recommendations under index-friendly
 // planner settings, as the harness pre-creates them for parameter-only
 // baselines in scenario 2 (paper §6.2).
-func DexterIndexes(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
-	saved := db.Settings()
-	s := db.Settings()
-	if db.Flavor() == engine.Postgres {
-		s["random_page_cost"] = 1.1
-		s["effective_cache_size"] = float64(db.Hardware().MemoryBytes * 3 / 4)
-	}
-	db.SetSettings(s)
-	defs := dexter.New().Recommend(db, queries)
-	db.SetSettings(saved)
-	return defs
+func DexterIndexes(db backend.Backend, queries []*engine.Query) []engine.IndexDef {
+	return withPlannerFriendlySettings(db, func() []engine.IndexDef {
+		return dexter.New().Recommend(db, queries)
+	})
 }
 
 // DB2Indexes returns the DB2 advisor's recommendations analogously.
-func DB2Indexes(db *engine.DB, queries []*engine.Query) []engine.IndexDef {
-	saved := db.Settings()
-	s := db.Settings()
-	if db.Flavor() == engine.Postgres {
-		s["random_page_cost"] = 1.1
-		s["effective_cache_size"] = float64(db.Hardware().MemoryBytes * 3 / 4)
-	}
-	db.SetSettings(s)
-	defs := db2advisor.New().Recommend(db, queries)
-	db.SetSettings(saved)
-	return defs
+func DB2Indexes(db backend.Backend, queries []*engine.Query) []engine.IndexDef {
+	return withPlannerFriendlySettings(db, func() []engine.IndexDef {
+		return db2advisor.New().Recommend(db, queries)
+	})
 }
 
 func splitLines(s string) []string {

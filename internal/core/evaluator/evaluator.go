@@ -9,6 +9,7 @@ import (
 	"sort"
 	"strings"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/core/schedule"
 	"lambdatune/internal/engine"
 )
@@ -43,9 +44,9 @@ func (m *ConfigMeta) Throughput() float64 {
 	return float64(len(m.Completed)) / m.Time
 }
 
-// Evaluator runs configurations against the database.
+// Evaluator runs configurations against the database backend.
 type Evaluator struct {
-	DB *engine.DB
+	DB backend.Backend
 	// UseScheduler enables the DP query ordering (§5.3); when false, queries
 	// run in their given order — the paper's "Query Scheduler off" ablation.
 	UseScheduler bool
@@ -58,7 +59,7 @@ type Evaluator struct {
 
 // New creates an evaluator with the paper's defaults (scheduler and lazy
 // creation on).
-func New(db *engine.DB) *Evaluator {
+func New(db backend.Backend) *Evaluator {
 	return &Evaluator{DB: db, UseScheduler: true, LazyIndexes: true, Seed: 1}
 }
 
@@ -136,7 +137,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 				}
 			}
 		}
-		res := e.DB.Execute(q, remaining)
+		res := e.DB.RunQuery(q, remaining)
 		if res.Aborted {
 			// Injected engine fault: the wasted time still counts against
 			// the round's budget, but the round degrades gracefully — the
@@ -165,5 +166,5 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 // dropped when Evaluate terminates) and cfg's parameters are installed.
 func (e *Evaluator) Apply(cfg *engine.Config) error {
 	e.DB.DropTransientIndexes()
-	return e.DB.ApplyConfigParams(cfg)
+	return e.DB.ApplyConfig(cfg)
 }

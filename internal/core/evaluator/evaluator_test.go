@@ -5,14 +5,15 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
-func setup(t *testing.T) (*engine.DB, *workload.Workload) {
+func setup(t *testing.T) (*backend.Sim, *workload.Workload) {
 	t.Helper()
 	w := workload.TPCH(1)
-	return engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware), w
+	return backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware), w
 }
 
 func goodConfig() *engine.Config {

@@ -2,13 +2,15 @@ package evaluator
 
 import (
 	"context"
+	"log"
 	"sync"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 )
 
 // Pool evaluates the candidate configurations of one selector round
-// concurrently, one engine snapshot per worker — modeling the N parallel
+// concurrently, one backend snapshot per worker — modeling the N parallel
 // DBMS replicas the paper's EC2 testbed would allow (DESIGN.md §7).
 //
 // Determinism: tasks are assigned statically (task i runs on worker i mod
@@ -19,10 +21,14 @@ import (
 // Clock-merge rule: per-candidate runtimes come from each worker's own
 // virtual clock; the round's elapsed tuning time is the max over workers —
 // replicas run in parallel, so the round is as long as its slowest replica.
+//
+// Degradation: parallel evaluation needs the backend.Snapshotter capability.
+// When the backend cannot clone, Run logs the reason once and falls back to
+// evaluating the round's tasks sequentially on the primary backend.
 type Pool struct {
-	// DB is the primary instance snapshots are taken from. Its clock
+	// DB is the primary backend snapshots are taken from. Its clock
 	// advances by each round's merged elapsed time.
-	DB *engine.DB
+	DB backend.Backend
 	// Workers is the number of concurrent replicas (values < 1 mean 1).
 	Workers int
 	// UseScheduler / LazyIndexes / Seed configure the per-worker evaluators,
@@ -30,6 +36,11 @@ type Pool struct {
 	UseScheduler bool
 	LazyIndexes  bool
 	Seed         int64
+	// Logf, when set, receives the pool's degradation notices (default
+	// log.Printf).
+	Logf func(format string, args ...any)
+
+	warnedNoSnapshot bool
 }
 
 // NewPool builds a pool that evaluates with e's settings on e's database.
@@ -57,8 +68,12 @@ type Task struct {
 // Run evaluates one round's tasks. It returns the round's elapsed virtual
 // time — the max over workers — after advancing the primary clock by it and
 // folding the snapshots' operation counters back into the primary
-// (engine.DB.AbsorbSnapshot). A worker whose Apply fails marks the task's
-// meta incomplete and moves on, exactly as the sequential path does.
+// (backend.Snapshotter). A worker whose Apply fails marks the task's meta
+// incomplete and moves on, exactly as the sequential path does.
+//
+// A backend without the Snapshotter capability is evaluated sequentially on
+// the primary instance instead (logged once via Logf); results are identical,
+// only the round's elapsed time follows the single-instance accounting.
 //
 // Cancelling ctx stops every worker before its next query execution; Run
 // still merges the partial progress (metas stay resumable) and returns
@@ -66,6 +81,14 @@ type Task struct {
 func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 	if len(tasks) == 0 {
 		return 0, ctx.Err()
+	}
+	sn, ok := p.DB.(backend.Snapshotter)
+	if !ok {
+		if !p.warnedNoSnapshot {
+			p.warnedNoSnapshot = true
+			p.logf("evaluator: backend %T does not support snapshotting; evaluating rounds sequentially on the primary instance", p.DB)
+		}
+		return p.runSequential(ctx, tasks)
 	}
 	workers := p.Workers
 	if workers < 1 {
@@ -75,14 +98,14 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 		workers = len(tasks)
 	}
 
-	snaps := make([]*engine.DB, workers)
+	snaps := make([]backend.Backend, workers)
 	elapsed := make([]float64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		snap := p.DB.Snapshot()
+		snap := sn.Snapshot()
 		snaps[w] = snap
 		wg.Add(1)
-		go func(w int, snap *engine.DB) {
+		go func(w int, snap backend.Backend) {
 			defer wg.Done()
 			ev := &Evaluator{
 				DB:           snap,
@@ -95,17 +118,7 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 				if ctx.Err() != nil {
 					break
 				}
-				t := tasks[i]
-				if t.Timeout <= 0 {
-					continue
-				}
-				if err := ev.Apply(t.Config); err != nil {
-					// Unusable configuration (bad parameter values): mark it
-					// permanently incomplete, as the sequential path does.
-					t.Meta.IsComplete = false
-					continue
-				}
-				ev.Evaluate(ctx, t.Config, t.Queries, t.Timeout, t.Meta)
+				runTask(ctx, ev, tasks[i])
 			}
 			elapsed[w] = snap.Clock().Now() - start
 		}(w, snap)
@@ -119,8 +132,50 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 		}
 	}
 	for _, snap := range snaps {
-		p.DB.AbsorbSnapshot(snap)
+		sn.AbsorbSnapshot(snap)
 	}
 	p.DB.Clock().Advance(roundElapsed)
 	return roundElapsed, ctx.Err()
+}
+
+// runSequential is the degraded path for non-Snapshotter backends: the
+// round's tasks run in order on the primary instance, whose clock advances
+// directly; elapsed is the primary clock's delta over the round.
+func (p *Pool) runSequential(ctx context.Context, tasks []Task) (float64, error) {
+	ev := &Evaluator{
+		DB:           p.DB,
+		UseScheduler: p.UseScheduler,
+		LazyIndexes:  p.LazyIndexes,
+		Seed:         p.Seed,
+	}
+	start := p.DB.Clock().Now()
+	for _, t := range tasks {
+		if ctx.Err() != nil {
+			break
+		}
+		runTask(ctx, ev, t)
+	}
+	return p.DB.Clock().Now() - start, ctx.Err()
+}
+
+// runTask applies and evaluates one candidate, marking unusable
+// configurations permanently incomplete like the sequential selector path.
+func runTask(ctx context.Context, ev *Evaluator, t Task) {
+	if t.Timeout <= 0 {
+		return
+	}
+	if err := ev.Apply(t.Config); err != nil {
+		t.Meta.IsComplete = false
+		return
+	}
+	ev.Evaluate(ctx, t.Config, t.Queries, t.Timeout, t.Meta)
+}
+
+// logf routes degradation notices to Logf or the standard logger.
+func (p *Pool) logf(format string, args ...any) {
+	if p.Logf != nil {
+		p.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
 }

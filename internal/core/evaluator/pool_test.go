@@ -6,6 +6,7 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 )
 
@@ -30,7 +31,7 @@ func poolConfigs(n int) []*engine.Config {
 
 // runPool evaluates the configs once with the given worker count on a fresh
 // database and returns the per-config metas plus the round's elapsed time.
-func runPool(t *testing.T, workers int) (map[string]*ConfigMeta, float64, *engine.DB) {
+func runPool(t *testing.T, workers int) (map[string]*ConfigMeta, float64, *backend.Sim) {
 	t.Helper()
 	db, w := setup(t)
 	pool := NewPool(New(db), workers)

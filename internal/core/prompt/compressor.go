@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/ilp"
 	"lambdatune/internal/llm"
@@ -27,7 +28,7 @@ func qualified(table, col string) string { return table + "." + col }
 
 // CollectSnippets runs EXPLAIN for every workload query under the current
 // configuration and aggregates per-join-condition costs.
-func CollectSnippets(db *engine.DB, queries []*engine.Query) []Snippet {
+func CollectSnippets(db backend.Backend, queries []*engine.Query) []Snippet {
 	values := map[sqlparser.JoinCondition]float64{}
 	for _, q := range queries {
 		for _, jc := range db.Explain(q) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
 )
@@ -72,9 +73,9 @@ type Result struct {
 }
 
 // Generate builds the tuning prompt for the workload (paper Algorithm 1,
-// GeneratePrompt step). The database is used only for EXPLAIN-based snippet
+// GeneratePrompt step). The backend is used only for EXPLAIN-based snippet
 // valuation under its current (default) configuration.
-func Generate(db *engine.DB, queries []*engine.Query, hw engine.Hardware, opts Options) (Result, error) {
+func Generate(db backend.Backend, queries []*engine.Query, hw engine.Hardware, opts Options) (Result, error) {
 	budget := opts.TokenBudget
 	if budget <= 0 {
 		budget = opts.ModelLimit

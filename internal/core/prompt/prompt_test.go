@@ -5,16 +5,17 @@ import (
 	"strings"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
 	"lambdatune/internal/sqlparser"
 	"lambdatune/internal/workload"
 )
 
-func tpchDB(t *testing.T) (*engine.DB, *workload.Workload) {
+func tpchDB(t *testing.T) (*backend.Sim, *workload.Workload) {
 	t.Helper()
 	w := workload.TPCH(1)
-	return engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware), w
+	return backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware), w
 }
 
 func TestCollectSnippets(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/core/evaluator"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
@@ -21,7 +22,7 @@ func TestSelectOptimalityProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	w := workload.TPCH(1)
 	for trial := 0; trial < 8; trial++ {
-		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		k := 2 + rng.Intn(5)
 		candidates := make([]*engine.Config, k)
 		for i := range candidates {
@@ -35,7 +36,7 @@ func TestSelectOptimalityProperty(t *testing.T) {
 
 		// Ground truth: measure every candidate exhaustively on a fresh
 		// instance.
-		gt := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		gt := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		eval := evaluator.New(gt)
 		times := make([]float64, k)
 		for i, c := range candidates {
@@ -103,7 +104,7 @@ func TestSelectNeverReturnsIncomplete(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	w := workload.TPCH(1)
 	for trial := 0; trial < 5; trial++ {
-		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		candidates := []*engine.Config{
 			randomConfig(rng, "a"), randomConfig(rng, "b"), randomConfig(rng, "c"),
 		}

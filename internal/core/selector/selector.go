@@ -20,6 +20,7 @@ import (
 	"math"
 	"sort"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/core/evaluator"
 	"lambdatune/internal/engine"
 )
@@ -169,7 +170,7 @@ func (s *Selector) Select(ctx context.Context, candidates []*engine.Config) (*en
 		rounds = s.resume.Round
 	}
 
-	if s.Opts.Parallelism > 1 && !s.Eval.DB.HasFaultInjector() {
+	if s.Opts.Parallelism > 1 && !backend.HasFaultInjector(s.Eval.DB) {
 		return s.selectParallel(ctx, candidates, t, alpha, rounds)
 	}
 	return s.selectSequential(ctx, candidates, t, alpha, rounds)

@@ -5,15 +5,16 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/core/evaluator"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/workload"
 )
 
-func setup(t *testing.T) (*engine.DB, []*engine.Query) {
+func setup(t *testing.T) (*backend.Sim, []*engine.Query) {
 	t.Helper()
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	return db, w.Queries
 }
 

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/core/selector"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
@@ -38,7 +39,7 @@ func (c *cancelAfter) hook(q *engine.Query, seconds float64) {
 func TestTuneCancellationStopsWithinOneQuery(t *testing.T) {
 	for _, parallelism := range []int{1, 4} {
 		w := workload.TPCH(1)
-		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		ctx, cancel := context.WithCancel(context.Background())
 		ca := &cancelAfter{n: 5, cancel: cancel}
 		db.SetExecHook(ca.hook)
@@ -76,7 +77,7 @@ func TestTuneCancellationStopsWithinOneQuery(t *testing.T) {
 // Tune return immediately with the context error.
 func TestTuneCancelledBeforeSampling(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	_, err := New(db, llm.NewSimClient(1), DefaultOptions()).Tune(ctx, w.Queries)
@@ -89,7 +90,7 @@ func TestTuneCancelledBeforeSampling(t *testing.T) {
 // sentinel through Tune's wrapped error.
 func TestSelectorBudgetExhausted(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	opts := DefaultOptions()
 	opts.Selector.InitialTimeout = 1e-6
 	opts.Selector.Alpha = 2

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/faults"
 	"lambdatune/internal/llm"
@@ -16,7 +17,7 @@ import (
 // the returned error wraps every per-sample failure, not just the last one.
 func TestTuneAggregatedSampleErrors(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, errClient{}, DefaultOptions())
 	_, err := tn.Tune(context.Background(), w.Queries)
 	if err == nil {
@@ -54,7 +55,7 @@ func (f *failEveryOther) Name() string { return "every-other" }
 
 func TestTuneMixedFailuresKeepsSurvivors(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	opts := DefaultOptions()
 	opts.MaxRetries = 0 // every odd call drops its sample outright
 	tn := New(db, &failEveryOther{inner: llm.NewSimClient(42)}, opts)
@@ -92,7 +93,7 @@ func (badConfigClient) Name() string { return "bad-config" }
 
 func TestTuneSeedDefaultFloor(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 	tn := New(db, badConfigClient{}, DefaultOptions())
 	res, err := tn.Tune(context.Background(), w.Queries)
@@ -122,7 +123,7 @@ func TestTuneSeedDefaultFloor(t *testing.T) {
 // TestTuneSeedDefaultOff preserves the legacy behavior for ablations.
 func TestTuneSeedDefaultOff(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	opts := DefaultOptions()
 	opts.SeedDefault = false
 	tn := New(db, llm.NewSimClient(42), opts)
@@ -140,7 +141,7 @@ func TestTuneSeedDefaultOff(t *testing.T) {
 // waiting shows up in TuningSeconds on the virtual clock.
 func TestTuneResilienceWrapsClient(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	client := &flakyClient{failures: 3, inner: llm.NewSimClient(42)}
 	opts := DefaultOptions()
 	opts.MaxRetries = 0 // tuner-level retries off: the resilient layer must absorb
@@ -170,7 +171,7 @@ func TestTuneResilienceWrapsClient(t *testing.T) {
 func TestTuneResilienceBackoffCostsTuningTime(t *testing.T) {
 	tune := func(failures int) *Result {
 		w := workload.TPCH(1)
-		db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 		opts := DefaultOptions()
 		opts.Resilience = &llm.ResilienceOptions{}
 		tn := New(db, &flakyClient{failures: failures, inner: llm.NewSimClient(42)}, opts)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"time"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/core/evaluator"
 	"lambdatune/internal/core/prompt"
 	"lambdatune/internal/core/selector"
@@ -146,11 +147,17 @@ type Result struct {
 	Metas map[*engine.Config]*evaluator.ConfigMeta
 	// Faults is the run's resilience telemetry (zero-valued on a clean run).
 	Faults FaultReport
+	// BackendStats carries the backend's per-surface observation telemetry
+	// (call counters, wall/virtual-clock latency histograms) when the run's
+	// backend implements backend.Instrumented — i.e. when it is wrapped with
+	// the instrumented decorator. Nil otherwise. The counters are cumulative
+	// over the backend's lifetime, not per run.
+	BackendStats *backend.Stats
 }
 
-// Tuner runs Algorithm 1 against a database and workload.
+// Tuner runs Algorithm 1 against a database backend and workload.
 type Tuner struct {
-	DB     *engine.DB
+	DB     backend.Backend
 	Client llm.Client
 	Opts   Options
 }
@@ -158,7 +165,7 @@ type Tuner struct {
 // New creates a tuner with the given LLM client. When opts.Resilience is
 // set, the client is wrapped with the resilience layer on the database's
 // virtual clock (unless the options carry their own clock).
-func New(db *engine.DB, client llm.Client, opts Options) *Tuner {
+func New(db backend.Backend, client llm.Client, opts Options) *Tuner {
 	if opts.Samples <= 0 {
 		opts.Samples = 5
 	}
@@ -192,7 +199,7 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 		return nil, fmt.Errorf("tuner: empty workload")
 	}
 	start := t.DB.Clock().Now()
-	abortsBefore, ixFailsBefore := t.DB.QueryAborts(), t.DB.IndexFailures()
+	abortsBefore, ixFailsBefore := backend.QueryAborts(t.DB), backend.IndexFailures(t.DB)
 	statsBefore := clientStats(t.Client)
 
 	// Prompt generation (§3). EXPLAIN-based snippet valuation uses the
@@ -254,6 +261,7 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 		// Cancellation or exhausted round budget: hand the partial result
 		// back with the error so telemetry and checkpoints survive.
 		res.TuningSeconds = t.DB.Clock().Now() - start
+		t.exportBackendStats(res)
 		return res, fmt.Errorf("tuner: configuration selection: %w", selErr)
 	}
 	res.Best = best
@@ -266,10 +274,20 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 			"no LLM candidate beat the default configuration; returning the default")
 	}
 	t.mergeClientStats(res, statsBefore)
-	res.Faults.QueryAborts = t.DB.QueryAborts() - abortsBefore
-	res.Faults.IndexFailures = t.DB.IndexFailures() - ixFailsBefore
+	res.Faults.QueryAborts = backend.QueryAborts(t.DB) - abortsBefore
+	res.Faults.IndexFailures = backend.IndexFailures(t.DB) - ixFailsBefore
 	res.TuningSeconds = t.DB.Clock().Now() - start
+	t.exportBackendStats(res)
 	return res, nil
+}
+
+// exportBackendStats snapshots the backend's observation telemetry onto the
+// result when the backend is instrumented.
+func (t *Tuner) exportBackendStats(res *Result) {
+	if ins, ok := t.DB.(backend.Instrumented); ok {
+		st := ins.BackendStats()
+		res.BackendStats = &st
+	}
 }
 
 // clientStats snapshots the resilience telemetry when the client exposes it.
@@ -331,7 +349,7 @@ func (t *Tuner) ApplyBest(res *Result) error {
 		return fmt.Errorf("tuner: no best configuration to apply")
 	}
 	t.DB.DropTransientIndexes()
-	if err := t.DB.ApplyConfigParams(res.Best); err != nil {
+	if err := t.DB.ApplyConfig(res.Best); err != nil {
 		return err
 	}
 	for _, ix := range res.Best.Indexes {

@@ -6,18 +6,19 @@ import (
 	"math"
 	"testing"
 
+	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
 	"lambdatune/internal/workload"
 )
 
-func run(t *testing.T, bench string, flavor engine.Flavor, opts Options) (*Result, *engine.DB) {
+func run(t *testing.T, bench string, flavor engine.Flavor, opts Options) (*Result, *backend.Sim) {
 	t.Helper()
 	w, err := workload.ByName(bench)
 	if err != nil {
 		t.Fatal(err)
 	}
-	db := engine.NewDB(flavor, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(flavor, w.Catalog, engine.DefaultHardware)
 	tn := New(db, llm.NewSimClient(42), opts)
 	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
@@ -44,7 +45,7 @@ func TestTuneEndToEndTPCH(t *testing.T) {
 
 func TestTunedBeatsDefault(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	defaultTime := db.WorkloadSeconds(w.Queries)
 
 	tn := New(db, llm.NewSimClient(42), DefaultOptions())
@@ -98,7 +99,7 @@ func TestTuneTimeBounded(t *testing.T) {
 
 func TestApplyBest(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, llm.NewSimClient(42), DefaultOptions())
 	res, err := tn.Tune(context.Background(), w.Queries)
 	if err != nil {
@@ -117,7 +118,7 @@ func TestApplyBest(t *testing.T) {
 }
 
 func TestTuneEmptyWorkload(t *testing.T) {
-	db := engine.NewDB(engine.Postgres, workload.TPCH(1).Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, workload.TPCH(1).Catalog, engine.DefaultHardware)
 	tn := New(db, llm.NewSimClient(1), DefaultOptions())
 	if _, err := tn.Tune(context.Background(), nil); err == nil {
 		t.Error("empty workload accepted")
@@ -144,7 +145,7 @@ func (errClient) Name() string { return "err" }
 
 func TestTuneLLMError(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, errClient{}, DefaultOptions())
 	if _, err := tn.Tune(context.Background(), w.Queries); err == nil {
 		t.Error("LLM failure not surfaced")
@@ -168,7 +169,7 @@ func (f *flakyClient) Name() string { return "flaky" }
 
 func TestTuneRetriesTransientFailures(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	// 2 failures; with MaxRetries=2 every sample still succeeds eventually.
 	client := &flakyClient{failures: 2, inner: llm.NewSimClient(42)}
 	tn := New(db, client, DefaultOptions())
@@ -186,7 +187,7 @@ func TestTuneRetriesTransientFailures(t *testing.T) {
 
 func TestTuneRetriesExhausted(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	// More failures than samples × (1+retries): every sample drops.
 	client := &flakyClient{failures: 1000, inner: llm.NewSimClient(42)}
 	tn := New(db, client, DefaultOptions())
@@ -205,7 +206,7 @@ func (garbageClient) Name() string { return "garbage" }
 
 func TestTuneAllSamplesUnparseable(t *testing.T) {
 	w := workload.TPCH(1)
-	db := engine.NewDB(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
 	tn := New(db, garbageClient{}, DefaultOptions())
 	if _, err := tn.Tune(context.Background(), w.Queries); err == nil {
 		t.Error("all-garbage samples not surfaced as error")

@@ -12,6 +12,9 @@ type ConfigRejectedError struct {
 	Stmt string
 	// Reason explains the rejection.
 	Reason string
+	// Err, when set, is the underlying cause (a backend's own error wrapped
+	// into the rejection type); it is reachable through errors.Unwrap.
+	Err error
 }
 
 // Error implements error.
@@ -21,6 +24,9 @@ func (e *ConfigRejectedError) Error() string {
 	}
 	return fmt.Sprintf("engine: configuration rejected: %s: %q", e.Reason, e.Stmt)
 }
+
+// Unwrap exposes the underlying cause, if any.
+func (e *ConfigRejectedError) Unwrap() error { return e.Err }
 
 // rejected builds a ConfigRejectedError.
 func rejected(stmt, format string, args ...any) error {

@@ -159,11 +159,13 @@ func (pc *ParamCatalog) Names() []string {
 }
 
 // ParseValue parses a configuration value string ("15GB", "0.9", "on") into
-// the parameter's numeric domain and clamps it to [Min, Max].
+// the parameter's numeric domain and clamps it to [Min, Max]. Every failure —
+// unknown parameter included — wraps ConfigRejectedError, so callers have one
+// error type for "the engine refused this setting".
 func (pc *ParamCatalog) ParseValue(name, raw string) (float64, error) {
 	def, ok := pc.Lookup(name)
 	if !ok {
-		return 0, fmt.Errorf("engine: unknown parameter %q for %s", name, pc.flavor)
+		return 0, rejected(name, "unknown parameter %q for %s", name, pc.flavor)
 	}
 	raw = strings.TrimSpace(strings.Trim(raw, "'\""))
 	var v float64
@@ -279,63 +281,108 @@ type effects struct {
 	enableNestLoop    bool
 }
 
-// deriveEffects normalizes flavor-specific settings into cost-model knobs.
+// normSource tells deriveEffects how one flavor feeds one cost-model knob:
+// the settings that supply it (several are combined by max — e.g. MySQL's
+// working memory is the largest of its sort/join/tmp buffers), an optional
+// scale factor, and a fixed value for knobs the flavor does not expose.
+type normSource struct {
+	params []string
+	scale  float64 // 0 means 1
+	fixed  float64 // used when params is empty
+}
+
+// normKnob maps one effects field to its per-flavor sources.
+type normKnob struct {
+	set     func(*effects, float64)
+	sources map[Flavor]normSource
+}
+
+// normTable is the single normalization table shared by all flavors. Adding a
+// flavor means adding a column here, not a new derivation branch. MySQL's
+// optimizer constants are fixed at PostgreSQL-like defaults because MySQL
+// exposes no user-visible cost constants in our model, its working and
+// maintenance memory both derive from the largest per-session buffer, and
+// innodb_io_capacity maps to effective IO concurrency at 200 IOPS per slot.
+var normTable = []normKnob{
+	{func(e *effects, v float64) { e.bufferBytes = int64(v) }, map[Flavor]normSource{
+		Postgres: {params: []string{"shared_buffers"}},
+		MySQL:    {params: []string{"innodb_buffer_pool_size"}},
+	}},
+	{func(e *effects, v float64) { e.workMemBytes = int64(v) }, map[Flavor]normSource{
+		Postgres: {params: []string{"work_mem"}},
+		MySQL:    {params: []string{"sort_buffer_size", "join_buffer_size", "tmp_table_size"}},
+	}},
+	{func(e *effects, v float64) { e.maintenanceBytes = int64(v) }, map[Flavor]normSource{
+		Postgres: {params: []string{"maintenance_work_mem"}},
+		MySQL:    {params: []string{"sort_buffer_size", "join_buffer_size", "tmp_table_size"}},
+	}},
+	{func(e *effects, v float64) { e.effectiveCache = int64(v) }, map[Flavor]normSource{
+		Postgres: {params: []string{"effective_cache_size"}},
+		MySQL:    {params: []string{"innodb_buffer_pool_size"}},
+	}},
+	{func(e *effects, v float64) { e.randomPageCost = v }, map[Flavor]normSource{
+		Postgres: {params: []string{"random_page_cost"}},
+		MySQL:    {fixed: 4.0},
+	}},
+	{func(e *effects, v float64) { e.seqPageCost = v }, map[Flavor]normSource{
+		Postgres: {params: []string{"seq_page_cost"}},
+		MySQL:    {fixed: 1.0},
+	}},
+	{func(e *effects, v float64) { e.cpuTupleCost = v }, map[Flavor]normSource{
+		Postgres: {params: []string{"cpu_tuple_cost"}},
+		MySQL:    {fixed: 0.01},
+	}},
+	{func(e *effects, v float64) { e.cpuIndexTupleCost = v }, map[Flavor]normSource{
+		Postgres: {params: []string{"cpu_index_tuple_cost"}},
+		MySQL:    {fixed: 0.005},
+	}},
+	{func(e *effects, v float64) { e.cpuOperatorCost = v }, map[Flavor]normSource{
+		Postgres: {params: []string{"cpu_operator_cost"}},
+		MySQL:    {fixed: 0.0025},
+	}},
+	{func(e *effects, v float64) { e.parallelWorkers = int(v) }, map[Flavor]normSource{
+		Postgres: {params: []string{"max_parallel_workers_per_gather"}},
+		MySQL:    {fixed: 0}, // MySQL 8 executes single-threaded per query
+	}},
+	{func(e *effects, v float64) { e.ioConcurrency = int(v) }, map[Flavor]normSource{
+		Postgres: {params: []string{"effective_io_concurrency"}},
+		MySQL:    {params: []string{"innodb_io_capacity"}, scale: 1.0 / 200},
+	}},
+	{func(e *effects, v float64) { e.enableSeqScan = v != 0 }, map[Flavor]normSource{
+		Postgres: {params: []string{"enable_seqscan"}},
+		MySQL:    {fixed: 1},
+	}},
+	{func(e *effects, v float64) { e.enableIndexScan = v != 0 }, map[Flavor]normSource{
+		Postgres: {params: []string{"enable_indexscan"}},
+		MySQL:    {fixed: 1},
+	}},
+	{func(e *effects, v float64) { e.enableHashJoin = v != 0 }, map[Flavor]normSource{
+		Postgres: {params: []string{"enable_hashjoin"}},
+		MySQL:    {fixed: 1},
+	}},
+	{func(e *effects, v float64) { e.enableNestLoop = v != 0 }, map[Flavor]normSource{
+		Postgres: {params: []string{"enable_nestloop"}},
+		MySQL:    {fixed: 1},
+	}},
+}
+
+// deriveEffects normalizes flavor-specific settings into cost-model knobs by
+// walking normTable. A missing setting contributes 0, like the map lookup the
+// previous per-flavor branches used.
 func deriveEffects(f Flavor, s Settings) effects {
-	e := effects{
-		enableSeqScan: true, enableIndexScan: true,
-		enableHashJoin: true, enableNestLoop: true,
-	}
-	get := func(name, fallback string) float64 {
-		if v, ok := s[name]; ok {
-			return v
-		}
-		if fallback != "" {
-			if v, ok := s[fallback]; ok {
-				return v
+	var e effects
+	for _, k := range normTable {
+		src := k.sources[f]
+		v := src.fixed
+		for i, name := range src.params {
+			if pv := s[name]; i == 0 || pv > v {
+				v = pv
 			}
 		}
-		return 0
+		if src.scale != 0 {
+			v *= src.scale
+		}
+		k.set(&e, v)
 	}
-	if f == Postgres {
-		e.bufferBytes = int64(get("shared_buffers", ""))
-		e.workMemBytes = int64(get("work_mem", ""))
-		e.maintenanceBytes = int64(get("maintenance_work_mem", ""))
-		e.effectiveCache = int64(get("effective_cache_size", ""))
-		e.randomPageCost = get("random_page_cost", "")
-		e.seqPageCost = get("seq_page_cost", "")
-		e.cpuTupleCost = get("cpu_tuple_cost", "")
-		e.cpuIndexTupleCost = get("cpu_index_tuple_cost", "")
-		e.cpuOperatorCost = get("cpu_operator_cost", "")
-		e.parallelWorkers = int(get("max_parallel_workers_per_gather", ""))
-		e.ioConcurrency = int(get("effective_io_concurrency", ""))
-		e.enableSeqScan = get("enable_seqscan", "") != 0
-		e.enableIndexScan = get("enable_indexscan", "") != 0
-		e.enableHashJoin = get("enable_hashjoin", "") != 0
-		e.enableNestLoop = get("enable_nestloop", "") != 0
-		return e
-	}
-	// MySQL.
-	e.bufferBytes = int64(get("innodb_buffer_pool_size", ""))
-	sb := int64(get("sort_buffer_size", ""))
-	jb := int64(get("join_buffer_size", ""))
-	e.workMemBytes = sb
-	if jb > sb {
-		e.workMemBytes = jb
-	}
-	// Temp tables extend effective working memory for large joins.
-	if t := int64(get("tmp_table_size", "")); t > e.workMemBytes {
-		e.workMemBytes = t
-	}
-	e.maintenanceBytes = e.workMemBytes
-	e.effectiveCache = e.bufferBytes
-	// MySQL has no user-visible optimizer cost constants in our model; use
-	// PostgreSQL-like defaults for the planner.
-	e.randomPageCost = 4.0
-	e.seqPageCost = 1.0
-	e.cpuTupleCost = 0.01
-	e.cpuIndexTupleCost = 0.005
-	e.cpuOperatorCost = 0.0025
-	e.parallelWorkers = 0 // MySQL 8 executes single-threaded per query
-	e.ioConcurrency = int(get("innodb_io_capacity", "")) / 200
 	return e
 }
