@@ -625,3 +625,14 @@ func (d *Database) BackendReport() string {
 	st := ib.BackendStats()
 	return st.String()
 }
+
+// SetPlanCache enables or disables the backend's plan-memoization cache
+// (enabled by default on the simulator). Memoization only changes host CPU
+// time — every simulated measurement, the virtual clock, and the tuning
+// outcome are identical either way — so the toggle exists for benchmarking
+// the cache itself. A no-op on backends without the capability.
+func (d *Database) SetPlanCache(on bool) { backend.SetPlanCache(d.db, on) }
+
+// PlanCacheStats returns the backend's plan-memoization counters (hits,
+// misses, evictions), or zeros on backends without the capability.
+func (d *Database) PlanCacheStats() engine.PlanCacheStats { return backend.PlanCache(d.db) }

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"lambdatune/internal/bench"
@@ -21,14 +23,46 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling all")
-		trials = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		burn   = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
-		csvDir = flag.String("csv", "", "also write machine-readable CSVs to this directory")
-		charts = flag.Bool("charts", false, "render convergence figures as ASCII charts")
+		exp        = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling all")
+		trials     = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		burn       = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSVs to this directory")
+		charts     = flag.Bool("charts", false, "render convergence figures as ASCII charts")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live objects, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	r := bench.NewRunner()
 	run := func(name string, f func() (string, error)) {

@@ -35,6 +35,7 @@ func main() {
 		breaker   = flag.Int("llm-breaker", 4, "consecutive LLM failures that trip the circuit breaker (-1 disables)")
 		parallel  = flag.Int("parallel", 1, "concurrent evaluation workers (simulated DBMS replicas); selection results are identical for any value")
 		instr     = flag.Bool("instrument", false, "count and time every backend call, printing a per-surface report after tuning")
+		plancache = flag.Bool("plancache", true, "memoize simulated query plans (host-CPU optimization; results are identical either way)")
 		verbose   = flag.Bool("v", false, "print progress events")
 	)
 	flag.Parse()
@@ -87,6 +88,7 @@ func main() {
 		opts.Resilience = &lambdatune.ResilienceOptions{MaxRetries: *retries, BreakerThreshold: *breaker}
 	}
 
+	db.SetPlanCache(*plancache)
 	if *instr {
 		db.Instrument()
 	}

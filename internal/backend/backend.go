@@ -148,6 +148,29 @@ type Instrumented interface {
 	BackendStats() Stats
 }
 
+// PlanCacheStats is the capability to report plan-memoization telemetry:
+// backends that cache query plans per configuration (the simulator does, see
+// engine/plancache.go) expose their hit/miss/evict counters here. The
+// instrumented decorator folds them into Stats.PlanCache.
+type PlanCacheStats interface {
+	PlanCacheStats() engine.PlanCacheStats
+}
+
+// PlanCacheToggler is the capability to switch plan memoization on or off.
+// Memoization never changes observable results — only host CPU time — so the
+// toggle exists for benchmarking and debugging, not for correctness.
+type PlanCacheToggler interface {
+	SetPlanCache(on bool)
+}
+
+// PlanCacheQuerier is the capability to report whether plan memoization is
+// currently enabled. Components that layer their own result memoization on
+// top of the backend (the evaluator's schedule-order memo) consult it so one
+// toggle governs every caching layer.
+type PlanCacheQuerier interface {
+	PlanCacheEnabled() bool
+}
+
 // HasFaultInjector reports whether b supports fault injection and has an
 // injector installed. False for backends without the capability.
 func HasFaultInjector(b Backend) bool {
@@ -182,6 +205,34 @@ func Executions(b Backend) int {
 		return ec.Executions()
 	}
 	return 0
+}
+
+// PlanCache returns b's plan-memoization counters, or zeros without the
+// capability.
+func PlanCache(b Backend) engine.PlanCacheStats {
+	if pc, ok := b.(PlanCacheStats); ok {
+		return pc.PlanCacheStats()
+	}
+	return engine.PlanCacheStats{}
+}
+
+// SetPlanCache toggles b's plan memoization when supported; a no-op
+// otherwise.
+func SetPlanCache(b Backend, on bool) {
+	if t, ok := b.(PlanCacheToggler); ok {
+		t.SetPlanCache(on)
+	}
+}
+
+// PlanCacheEnabled reports whether b currently memoizes plans. Backends
+// without the capability report true: memoization layers built on top of the
+// backend are exact regardless (their keys capture every backend value they
+// fold in), so only an explicit cache-off needs to disable them.
+func PlanCacheEnabled(b Backend) bool {
+	if q, ok := b.(PlanCacheQuerier); ok {
+		return q.PlanCacheEnabled()
+	}
+	return true
 }
 
 // Spec carries everything an Opener needs to instantiate a backend for one

@@ -54,6 +54,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("ExplainSurface", func(t *testing.T) { testExplainSurface(t, f) })
 	t.Run("ClockMonotonicity", func(t *testing.T) { testClockMonotonicity(t, f) })
 	t.Run("SnapshotIsolation", func(t *testing.T) { testSnapshotIsolation(t, f) })
+	t.Run("PlanCacheCoherence", func(t *testing.T) { testPlanCacheCoherence(t, f) })
 }
 
 // queries returns the suite's workload.
@@ -374,5 +375,92 @@ func testSnapshotIsolation(t *testing.T, f Factory) {
 		}
 	} else {
 		sn.AbsorbSnapshot(snap)
+	}
+}
+
+// testPlanCacheCoherence: a backend may memoize plans per configuration, but
+// memoization must never be observable in the measurements — repeat
+// measurements are self-consistent, and configuration or index mutations
+// never serve stale plans. When the backend reports plan-cache telemetry
+// (backend.PlanCacheStats) with a live cache, the counters must follow the
+// invalidation rules: identical re-measurement hits, a settings change
+// misses.
+func testPlanCacheCoherence(t *testing.T, f Factory) {
+	b := open(t, f)
+	qs := queries(t)
+
+	w0 := b.WorkloadSeconds(qs)
+	if again := b.WorkloadSeconds(qs); again != w0 {
+		t.Fatalf("repeat measurement drifted: %v then %v", w0, again)
+	}
+
+	// A settings change must change what is measured (no stale plans) and
+	// re-applying the identical configuration must reproduce it exactly.
+	cfgA := &engine.Config{ID: "tuned", Params: map[string]string{
+		"shared_buffers":       "15GB",
+		"work_mem":             "1GB",
+		"effective_cache_size": "45GB",
+	}}
+	if err := b.ApplyConfig(cfgA); err != nil {
+		t.Fatalf("ApplyConfig: %v", err)
+	}
+	wA := b.WorkloadSeconds(qs)
+	if wA == w0 {
+		t.Error("settings change had no effect on measurements")
+	}
+	if err := b.ApplyConfig(cfgA); err != nil {
+		t.Fatalf("re-ApplyConfig: %v", err)
+	}
+	if got := b.WorkloadSeconds(qs); got != wA {
+		t.Errorf("identical re-application changed measurements: %v, want %v", got, wA)
+	}
+
+	// Index churn: creating and dropping an index must leave measurements
+	// exactly where they were — cached indexed-era plans must not survive
+	// DropTransientIndexes.
+	tab := b.Catalog().Tables()[0]
+	def := engine.IndexDef{Table: tab.Name, Columns: tab.Columns[0].Name}
+	b.CreateIndex(def)
+	wI := b.WorkloadSeconds(qs)
+	if again := b.WorkloadSeconds(qs); again != wI {
+		t.Errorf("repeat measurement under index drifted: %v then %v", wI, again)
+	}
+	b.DropTransientIndexes()
+	if got := b.WorkloadSeconds(qs); got != wA {
+		t.Errorf("stale plan after DropTransientIndexes: %v, want %v", got, wA)
+	}
+	if err := b.ApplyConfig(&engine.Config{ID: "reset"}); err != nil {
+		t.Fatalf("ApplyConfig(reset): %v", err)
+	}
+	if got := b.WorkloadSeconds(qs); got != w0 {
+		t.Errorf("reset did not restore default measurements: %v, want %v", got, w0)
+	}
+
+	// Telemetry contract, for backends with a live plan cache. (A decorator
+	// may advertise the capability while its inner backend does not memoize;
+	// zero lookups then simply skips the counter assertions.)
+	pc, ok := b.(backend.PlanCacheStats)
+	if !ok || pc.PlanCacheStats().Lookups() == 0 {
+		return
+	}
+	// Identical re-measurement must be served from the cache.
+	before := pc.PlanCacheStats()
+	b.WorkloadSeconds(qs)
+	after := pc.PlanCacheStats()
+	if after.Hits <= before.Hits {
+		t.Errorf("identical re-measurement added no cache hits: %+v -> %+v", before, after)
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("identical re-measurement missed the cache: %+v -> %+v", before, after)
+	}
+	// A settings change must invalidate: the next measurement re-plans.
+	if err := b.ApplyConfig(&engine.Config{ID: "shift", Params: map[string]string{"work_mem": "3GB"}}); err != nil {
+		t.Fatalf("ApplyConfig(shift): %v", err)
+	}
+	mid := pc.PlanCacheStats()
+	b.QuerySeconds(qs[0])
+	end := pc.PlanCacheStats()
+	if end.Misses <= mid.Misses {
+		t.Errorf("settings change did not invalidate the plan cache: %+v -> %+v", mid, end)
 	}
 }

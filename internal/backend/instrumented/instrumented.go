@@ -95,10 +95,14 @@ func (b *Backend) Unwrap() backend.Backend { return b.inner }
 
 // BackendStats implements backend.Instrumented: a consistent snapshot of the
 // accumulated telemetry, shared with all snapshots taken from this backend.
+// When the inner backend reports plan-memoization counters (the
+// backend.PlanCacheStats capability), they are folded into Stats.PlanCache.
 func (b *Backend) BackendStats() backend.Stats {
 	b.c.mu.Lock()
-	defer b.c.mu.Unlock()
-	return b.c.stats
+	st := b.c.stats
+	b.c.mu.Unlock()
+	st.PlanCache = backend.PlanCache(b.inner)
+	return st
 }
 
 // Plain accessors: forwarded untouched.
@@ -241,3 +245,14 @@ func (b *Backend) ResetSettings() {
 
 // Executions reports the inner backend's count (0 when unsupported).
 func (b *Backend) Executions() int { return backend.Executions(b.inner) }
+
+// PlanCacheStats reports the inner backend's plan-memoization counters
+// (zeros when unsupported).
+func (b *Backend) PlanCacheStats() engine.PlanCacheStats { return backend.PlanCache(b.inner) }
+
+// SetPlanCache forwards when supported.
+func (b *Backend) SetPlanCache(on bool) { backend.SetPlanCache(b.inner, on) }
+
+// PlanCacheEnabled reports the inner backend's memoization toggle (true when
+// unsupported).
+func (b *Backend) PlanCacheEnabled() bool { return backend.PlanCacheEnabled(b.inner) }

@@ -119,6 +119,16 @@ func (s *Sim) ResetSettings() { s.db.ResetSettings() }
 // Executions implements ExecutionCounter.
 func (s *Sim) Executions() int { return s.db.Executions() }
 
+// PlanCacheStats implements backend.PlanCacheStats: the engine's plan-
+// memoization counters, shared with every snapshot taken from this instance.
+func (s *Sim) PlanCacheStats() engine.PlanCacheStats { return s.db.PlanCacheStats() }
+
+// SetPlanCache implements backend.PlanCacheToggler.
+func (s *Sim) SetPlanCache(on bool) { s.db.SetPlanCache(on) }
+
+// PlanCacheEnabled implements backend.PlanCacheQuerier.
+func (s *Sim) PlanCacheEnabled() bool { return s.db.PlanCacheEnabled() }
+
 // PermanentIndexCount returns the number of initial indexes.
 func (s *Sim) PermanentIndexCount() int { return s.db.PermanentIndexCount() }
 

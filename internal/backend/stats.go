@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"lambdatune/internal/engine"
 )
 
 // histBuckets are the upper bounds (exclusive) of the latency histogram, in
@@ -88,12 +90,15 @@ type SurfaceStats struct {
 }
 
 // Stats is the per-surface telemetry of an instrumented backend, keyed by the
-// paper's four observation surfaces. It is a plain value snapshot.
+// paper's four observation surfaces, plus the backend's plan-memoization
+// counters when it exposes them (see the PlanCacheStats capability). It is a
+// plain value snapshot.
 type Stats struct {
 	ApplyConfig SurfaceStats
 	CreateIndex SurfaceStats
 	RunQuery    SurfaceStats
 	Explain     SurfaceStats
+	PlanCache   engine.PlanCacheStats
 }
 
 // Surfaces returns (name, stats) pairs in a fixed order.
@@ -124,6 +129,9 @@ func (s *Stats) String() string {
 	for _, sf := range s.Surfaces() {
 		fmt.Fprintf(&b, "  %-12s calls=%-6d errors=%-4d wall{%s} virtual{%s}\n",
 			sf.Name, sf.S.Calls, sf.S.Errors, sf.S.Wall.String(), sf.S.Virtual.String())
+	}
+	if s.PlanCache.Lookups() > 0 {
+		fmt.Fprintf(&b, "  %-12s %s\n", "plan_cache", s.PlanCache)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

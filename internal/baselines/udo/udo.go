@@ -29,11 +29,16 @@ type Tuner struct {
 	// TuneIndexes enables physical-design actions (scenario 2); when false
 	// UDO only changes parameters (scenario 1).
 	TuneIndexes bool
+	// TuneKnobs enables parameter actions. Setting it false (with
+	// TuneIndexes on) restricts the search to UDO's heavy-parameter MDP —
+	// the paper's hierarchical design delegates light parameters to a
+	// nested tuner, so the outer loop explores index choices alone.
+	TuneKnobs bool
 }
 
 // New returns UDO with the published defaults.
 func New(seed int64) *Tuner {
-	return &Tuner{Seed: seed, SampleFraction: 0.1, Epsilon: 0.3, TuneIndexes: true}
+	return &Tuner{Seed: seed, SampleFraction: 0.1, Epsilon: 0.3, TuneIndexes: true, TuneKnobs: true}
 }
 
 // Name implements baselines.Tuner.
@@ -79,6 +84,18 @@ func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float
 	// UDO manages the physical design incrementally: toggling one index
 	// costs one creation (or a free drop), never a full rebuild.
 	db.DropTransientIndexes()
+	// applyState runs one to two times per trial, so the parameter strings
+	// are rendered once per (knob, level) up front and the Config (which no
+	// backend retains) is a reused scratch — the hill climber spends its host
+	// CPU on evaluation, not on re-formatting the same two dozen values.
+	levelStrs := make([][]string, len(knobs))
+	for i, k := range knobs {
+		levelStrs[i] = make([]string, len(k.Levels))
+		for li, v := range k.Levels {
+			levelStrs[i][li] = k.Format(v)
+		}
+	}
+	scratch := &engine.Config{ID: "state", Params: make(map[string]string, len(knobs))}
 	applyState := func(s state) error {
 		for i, on := range s.indexes {
 			if on && !db.HasIndex(candidates[i]) {
@@ -87,8 +104,13 @@ func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float
 				db.DropIndex(candidates[i])
 			}
 		}
-		cfg := t.config("state", knobs, candidates, s)
-		return baselines.ApplyConfig(db, cfg)
+		clear(scratch.Params)
+		for i, k := range knobs {
+			if level := k.Levels[s.levels[i]]; level != k.Def.Default {
+				scratch.Params[k.Name] = levelStrs[i][s.levels[i]]
+			}
+		}
+		return baselines.ApplyConfig(db, scratch)
 	}
 
 	runQueries := func(qs []*engine.Query, timeout float64) (float64, bool) {
@@ -118,7 +140,7 @@ func (t *Tuner) Tune(db backend.Backend, queries []*engine.Query, deadline float
 		// switched on — so actions are biased accordingly (a stand-in for
 		// UDO's converged Q-values).
 		for a := rng.Intn(3) + 1; a > 0; a-- {
-			if t.TuneIndexes && len(candidates) > 0 && rng.Float64() < 0.4 {
+			if t.TuneIndexes && len(candidates) > 0 && (!t.TuneKnobs || rng.Float64() < 0.4) {
 				i := rng.Intn(len(candidates))
 				if rng.Float64() < 0.7 {
 					next.indexes[i] = true

@@ -10,7 +10,6 @@ import (
 	"strings"
 
 	"lambdatune/internal/backend"
-	"lambdatune/internal/core/schedule"
 	"lambdatune/internal/engine"
 )
 
@@ -55,12 +54,21 @@ type Evaluator struct {
 	LazyIndexes bool
 	// Seed drives the k-means clustering inside the scheduler.
 	Seed int64
+	// Memo caches pure per-round recomputations (DP orderings, query→index
+	// relevance maps) across evaluation rounds. Nil disables memoization;
+	// results are identical either way.
+	Memo *Memo
 }
 
 // New creates an evaluator with the paper's defaults (scheduler and lazy
-// creation on).
+// creation on). The round memo follows the backend's plan-cache toggle so
+// one switch governs every memoization layer.
 func New(db backend.Backend) *Evaluator {
-	return &Evaluator{DB: db, UseScheduler: true, LazyIndexes: true, Seed: 1}
+	e := &Evaluator{DB: db, UseScheduler: true, LazyIndexes: true, Seed: 1}
+	if backend.PlanCacheEnabled(db) {
+		e.Memo = NewMemo()
+	}
+	return e
 }
 
 // QueryIndexMap associates each query with the configuration indexes it
@@ -68,26 +76,34 @@ func New(db backend.Backend) *Evaluator {
 // query's join or filter columns of the indexed table (paper §5.1).
 func QueryIndexMap(queries []*engine.Query, cfg *engine.Config) map[*engine.Query][]engine.IndexDef {
 	out := make(map[*engine.Query][]engine.IndexDef, len(queries))
+	cols := map[string]bool{} // reused across queries; cleared per query
 	for _, q := range queries {
-		cols := map[string]bool{}
-		for _, j := range q.Analysis.Joins {
-			cols[j.LeftTable+"."+j.LeftColumn] = true
-			cols[j.RightTable+"."+j.RightColumn] = true
-		}
-		for _, f := range q.Analysis.Filters {
-			cols[f.Table+"."+f.Column] = true
-		}
-		var defs []engine.IndexDef
-		for _, ix := range cfg.Indexes {
-			lead := ix.ColumnList()[0]
-			if cols[strings.ToLower(ix.Table)+"."+lead] {
-				defs = append(defs, ix)
-			}
-		}
-		sort.Slice(defs, func(a, b int) bool { return defs[a].Key() < defs[b].Key() })
-		out[q] = defs
+		out[q] = queryIndexDefs(q, cfg, cols)
 	}
 	return out
+}
+
+// queryIndexDefs is the per-query core of QueryIndexMap: the configuration
+// indexes relevant to one query. cols is a caller-provided scratch map,
+// cleared here before use.
+func queryIndexDefs(q *engine.Query, cfg *engine.Config, cols map[string]bool) []engine.IndexDef {
+	clear(cols)
+	for _, j := range q.Analysis.Joins {
+		cols[j.LeftTable+"."+j.LeftColumn] = true
+		cols[j.RightTable+"."+j.RightColumn] = true
+	}
+	for _, f := range q.Analysis.Filters {
+		cols[f.Table+"."+f.Column] = true
+	}
+	var defs []engine.IndexDef
+	for _, ix := range cfg.Indexes {
+		lead := ix.ColumnList()[0]
+		if cols[strings.ToLower(ix.Table)+"."+lead] {
+			defs = append(defs, ix)
+		}
+	}
+	sort.Slice(defs, func(a, b int) bool { return defs[a].Key() < defs[b].Key() })
+	return defs
 }
 
 // Evaluate is Algorithm 3. It runs the given (not yet completed) queries
@@ -107,10 +123,10 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 	}
 	meta.IsComplete = true
 
-	indexMap := QueryIndexMap(queries, cfg)
+	indexMap := e.Memo.queryIndexMap(queries, cfg)
 	ordered := queries
 	if e.UseScheduler {
-		ordered = schedule.Order(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
+		ordered = e.Memo.sched().Order(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
 	}
 	if !e.LazyIndexes {
 		// Eager creation: every configuration index up front.

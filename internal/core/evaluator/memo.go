@@ -1,0 +1,82 @@
+package evaluator
+
+import (
+	"sync"
+
+	"lambdatune/internal/core/schedule"
+	"lambdatune/internal/engine"
+)
+
+// Memo caches the evaluator's pure per-round recomputations across rounds.
+// The selector re-evaluates every incomplete configuration each round, and a
+// round's preamble — the query→index relevance map and the DP schedule — is
+// a pure function of inputs that mostly repeat between rounds. Like the
+// engine's plan cache, the memo changes host CPU time only: a hit returns
+// exactly what the recomputation would.
+//
+// Two layers live here:
+//
+//   - queryIndexMap memoizes per-(configuration, query) relevance slices.
+//     Relevance reads nothing but the query's analysis and cfg.Indexes, both
+//     immutable after construction, so entries never invalidate.
+//   - sched is the schedule.Memo for DP orderings, which folds every backend
+//     value the DP reads into its key (see schedule.Memo).
+//
+// A Memo is safe for concurrent use and is shared across the parallel
+// evaluator's workers. Construction is gated on the backend's plan-cache
+// toggle (see New), so one switch governs every memoization layer.
+type Memo struct {
+	s *schedule.Memo
+
+	mu   sync.Mutex
+	maps map[*engine.Config]map[*engine.Query][]engine.IndexDef
+	cols map[string]bool // scratch for queryIndexDefs, guarded by mu
+}
+
+// memoMaxConfigs bounds the relevance-map layer; overflow clears it (a
+// selector run touches Samples+1 configurations, far below the bound).
+const memoMaxConfigs = 64
+
+// NewMemo returns an empty evaluator memo.
+func NewMemo() *Memo {
+	return &Memo{s: schedule.NewMemo(), cols: map[string]bool{}}
+}
+
+// sched returns the schedule-order memo (nil for a nil receiver, which
+// schedule.Memo treats as "memoization off").
+func (m *Memo) sched() *schedule.Memo {
+	if m == nil {
+		return nil
+	}
+	return m.s
+}
+
+// queryIndexMap is the memoizing front of QueryIndexMap. A nil receiver
+// degrades to the plain computation. Cached relevance slices are shared
+// between rounds and must be treated as read-only — every consumer
+// (Evaluate's lazy creation loop, the scheduler) only iterates them.
+func (m *Memo) queryIndexMap(queries []*engine.Query, cfg *engine.Config) map[*engine.Query][]engine.IndexDef {
+	if m == nil {
+		return QueryIndexMap(queries, cfg)
+	}
+	out := make(map[*engine.Query][]engine.IndexDef, len(queries))
+	m.mu.Lock()
+	per := m.maps[cfg]
+	if per == nil {
+		if m.maps == nil || len(m.maps) >= memoMaxConfigs {
+			m.maps = make(map[*engine.Config]map[*engine.Query][]engine.IndexDef, 8)
+		}
+		per = make(map[*engine.Query][]engine.IndexDef, len(queries))
+		m.maps[cfg] = per
+	}
+	for _, q := range queries {
+		defs, ok := per[q]
+		if !ok {
+			defs = queryIndexDefs(q, cfg, m.cols)
+			per[q] = defs
+		}
+		out[q] = defs
+	}
+	m.mu.Unlock()
+	return out
+}

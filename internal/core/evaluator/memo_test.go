@@ -1,0 +1,68 @@
+package evaluator
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lambdatune/internal/engine"
+)
+
+// TestMemoQueryIndexMapMatchesPlain asserts the memoized relevance map is
+// exactly QueryIndexMap's output, across repeats, query subsets, and
+// multiple configurations.
+func TestMemoQueryIndexMapMatchesPlain(t *testing.T) {
+	queries := make([]*engine.Query, 6)
+	for i := range queries {
+		queries[i] = mustQuery(t, fmt.Sprintf("q%d", i),
+			fmt.Sprintf("SELECT * FROM t%d WHERE c%d > 5", i%3, i%2))
+	}
+	cfgA := &engine.Config{ID: "a", Indexes: []engine.IndexDef{
+		engine.NewIndexDef("t0", "c0"),
+		engine.NewIndexDef("t1", "c1"),
+		engine.NewIndexDef("t2", "c0", "c1"),
+	}}
+	cfgB := &engine.Config{ID: "b", Indexes: []engine.IndexDef{
+		engine.NewIndexDef("t0", "c1"),
+	}}
+
+	m := NewMemo()
+	for rep := 0; rep < 3; rep++ {
+		for _, cfg := range []*engine.Config{cfgA, cfgB} {
+			for _, qs := range [][]*engine.Query{queries, queries[:3], queries[2:]} {
+				want := QueryIndexMap(qs, cfg)
+				got := m.queryIndexMap(qs, cfg)
+				if len(got) != len(want) {
+					t.Fatalf("cfg %s: len %d want %d", cfg.ID, len(got), len(want))
+				}
+				for q, defs := range want {
+					if !reflect.DeepEqual(got[q], defs) {
+						t.Fatalf("cfg %s query %s: got %v want %v", cfg.ID, q.Name, got[q], defs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMemoQueryIndexMapNil asserts the nil memo degrades to the plain
+// computation.
+func TestMemoQueryIndexMapNil(t *testing.T) {
+	q := mustQuery(t, "q", "SELECT * FROM t0 WHERE c0 > 5")
+	cfg := &engine.Config{ID: "a", Indexes: []engine.IndexDef{engine.NewIndexDef("t0", "c0")}}
+	var m *Memo
+	got := m.queryIndexMap([]*engine.Query{q}, cfg)
+	want := QueryIndexMap([]*engine.Query{q}, cfg)
+	if !reflect.DeepEqual(got[q], want[q]) {
+		t.Fatalf("got %v want %v", got[q], want[q])
+	}
+}
+
+func mustQuery(t *testing.T, name, sql string) *engine.Query {
+	t.Helper()
+	q, err := engine.PrepareQuery(name, sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}

@@ -31,11 +31,14 @@ type Pool struct {
 	DB backend.Backend
 	// Workers is the number of concurrent replicas (values < 1 mean 1).
 	Workers int
-	// UseScheduler / LazyIndexes / Seed configure the per-worker evaluators,
-	// mirroring Evaluator.
+	// UseScheduler / LazyIndexes / Seed / Memo configure the per-worker
+	// evaluators, mirroring Evaluator. The memo is shared across workers
+	// (it is concurrency-safe), so one worker's result serves every replica
+	// recomputing the same inputs.
 	UseScheduler bool
 	LazyIndexes  bool
 	Seed         int64
+	Memo         *Memo
 	// Logf, when set, receives the pool's degradation notices (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -51,6 +54,7 @@ func NewPool(e *Evaluator, workers int) *Pool {
 		UseScheduler: e.UseScheduler,
 		LazyIndexes:  e.LazyIndexes,
 		Seed:         e.Seed,
+		Memo:         e.Memo,
 	}
 }
 
@@ -112,6 +116,7 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 				UseScheduler: p.UseScheduler,
 				LazyIndexes:  p.LazyIndexes,
 				Seed:         p.Seed,
+				Memo:         p.Memo,
 			}
 			start := snap.Clock().Now()
 			for i := w; i < len(tasks); i += workers {
@@ -147,6 +152,7 @@ func (p *Pool) runSequential(ctx context.Context, tasks []Task) (float64, error)
 		UseScheduler: p.UseScheduler,
 		LazyIndexes:  p.LazyIndexes,
 		Seed:         p.Seed,
+		Memo:         p.Memo,
 	}
 	start := p.DB.Clock().Now()
 	for _, t := range tasks {

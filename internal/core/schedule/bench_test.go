@@ -1,0 +1,71 @@
+package schedule
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"lambdatune/internal/engine"
+)
+
+// benchItems builds n items drawing randomly from nDefs index groups — the
+// shape Cluster sees when the selector hands it a large workload.
+func benchItems(n, nDefs int, seed int64) ([]Item, map[string]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	defs := make([]engine.IndexDef, nDefs)
+	costs := map[string]float64{}
+	for i := range defs {
+		defs[i] = engine.NewIndexDef("t", string(rune('a'+i)))
+		costs[defs[i].Key()] = 1 + 3*rng.Float64()
+	}
+	items := make([]Item, n)
+	for i := range items {
+		m := map[string]engine.IndexDef{}
+		for _, d := range defs {
+			if rng.Float64() < 0.4 {
+				m[d.Key()] = d
+			}
+		}
+		items[i] = Item{Queries: []*engine.Query{{Name: "q"}}, Indexes: m}
+	}
+	return items, costs
+}
+
+// TestClusterSeedDeterministic: the same seed must reproduce the exact same
+// clustering (buffer reuse inside the k-means loop must not perturb it), and
+// a different seed is allowed to differ.
+func TestClusterSeedDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		items, _ := benchItems(60, 8, 3)
+		a := Cluster(items, MaxDPQueries, seed)
+		items2, _ := benchItems(60, 8, 3)
+		b := Cluster(items2, MaxDPQueries, seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("seed %d: two runs produced different clusterings", seed)
+		}
+	}
+}
+
+// BenchmarkCluster measures the k-means clustering pass.
+func BenchmarkCluster(b *testing.B) {
+	for _, n := range []int{50, 200} {
+		b.Run(map[int]string{50: "items50", 200: "items200"}[n], func(b *testing.B) {
+			items, _ := benchItems(n, 10, 3)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Cluster(items, MaxDPQueries, 1)
+			}
+		})
+	}
+}
+
+// BenchmarkOrderDP measures the scheduling DP over the bitset index space.
+func BenchmarkOrderDP(b *testing.B) {
+	items, costs := benchItems(MaxDPQueries, 10, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		OrderDP(items, fixedCost(costs))
+	}
+}

@@ -51,6 +51,16 @@ func Cluster(items []Item, k int, seed int64) []Item {
 	rng := rand.New(rand.NewSource(seed))
 	centers := kmeansPlusPlusInit(vecs, k, rng)
 	assign := make([]int, len(vecs))
+	// Per-iteration accumulation buffers, allocated once and zeroed per
+	// iteration instead of re-made inside the 50-iteration loop. Sums are
+	// written back into the centers element-wise (never by slice swap), so
+	// the buffers can be reused without aliasing the centers.
+	counts := make([]int, k)
+	next := make([][]float64, k)
+	nextBacking := make([]float64, k*d)
+	for c := range next {
+		next[c] = nextBacking[c*d : (c+1)*d : (c+1)*d]
+	}
 	for iter := 0; iter < 50; iter++ {
 		changed := false
 		for i, v := range vecs {
@@ -65,14 +75,18 @@ func Cluster(items []Item, k int, seed int64) []Item {
 				changed = true
 			}
 		}
+		// Early exit when no assignment moved. The iter > 0 guard is load-
+		// bearing: assign starts all-zero, so a first pass that happens to
+		// assign everything to cluster 0 must still recompute centers.
 		if !changed && iter > 0 {
 			break
 		}
 		// Recompute centers.
-		counts := make([]int, k)
-		next := make([][]float64, k)
-		for c := range next {
-			next[c] = make([]float64, d)
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := range nextBacking {
+			nextBacking[i] = 0
 		}
 		for i, v := range vecs {
 			c := assign[i]
@@ -86,9 +100,8 @@ func Cluster(items []Item, k int, seed int64) []Item {
 				continue // keep old center for empty clusters
 			}
 			for j := range next[c] {
-				next[c][j] /= float64(counts[c])
+				centers[c][j] = next[c][j] / float64(counts[c])
 			}
-			centers[c] = next[c]
 		}
 	}
 
@@ -117,9 +130,9 @@ func kmeansPlusPlusInit(vecs [][]float64, k int, rng *rand.Rand) [][]float64 {
 	centers := make([][]float64, 0, k)
 	first := rng.Intn(len(vecs))
 	centers = append(centers, append([]float64(nil), vecs[first]...))
+	dists := make([]float64, len(vecs)) // reused across center picks
 	for len(centers) < k {
 		// Pick the next center proportional to squared distance.
-		dists := make([]float64, len(vecs))
 		var total float64
 		for i, v := range vecs {
 			best := math.Inf(1)

@@ -1,0 +1,118 @@
+package schedule
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+	"sync"
+
+	"lambdatune/internal/engine"
+)
+
+// Memo caches Order results across evaluation rounds. The selector
+// re-schedules the same (remaining queries, configuration) inputs round
+// after round — every round in which a configuration completes nothing
+// repeats the previous round's DP verbatim — and the DP dominates a tuning
+// run's host CPU time, so memoizing it is the scheduling counterpart of the
+// engine's plan cache.
+//
+// The key captures everything Order consumes: the query sequence, each
+// query's relevant index keys, every distinct index's creation cost (the
+// only backend state the DP reads, folded in as raw float bits), and the
+// clustering seed. Query identity is verified by pointer comparison on hit,
+// so equal names can never alias. Like the plan cache, the memo changes host
+// CPU time only — a hit returns the exact permutation the DP would compute.
+//
+// A Memo is safe for concurrent use: the parallel evaluator's workers
+// schedule rounds on separate snapshots but share one memo.
+type Memo struct {
+	mu sync.Mutex
+	m  map[string]memoEntry
+}
+
+type memoEntry struct {
+	in   []*engine.Query
+	perm []int // perm[i] indexes into in
+}
+
+// memoMaxEntries bounds the memo; overflow clears it (the working set of a
+// selector run is orders of magnitude smaller).
+const memoMaxEntries = 4096
+
+// NewMemo returns an empty Order memo.
+func NewMemo() *Memo { return &Memo{} }
+
+// Order is the memoizing front of the package-level Order function. A nil
+// receiver degrades to the plain DP, so callers can thread an optional memo
+// without branching.
+func (m *Memo) Order(queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef, cost IndexCost, seed int64) []*engine.Query {
+	if m == nil {
+		return Order(queries, indexMap, cost, seed)
+	}
+	var b strings.Builder
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
+	b.Write(buf[:])
+	seen := map[string]bool{}
+	for _, q := range queries {
+		b.WriteString(q.Name)
+		b.WriteByte(1)
+		for _, d := range indexMap[q] {
+			k := d.Key()
+			b.WriteString(k)
+			if !seen[k] {
+				seen[k] = true
+				// Fold the creation cost in at first sight so the key stays
+				// a deterministic function of the inputs.
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(cost(d)))
+				b.Write(buf[:])
+			}
+			b.WriteByte(2)
+		}
+		b.WriteByte(3)
+	}
+	key := b.String()
+
+	m.mu.Lock()
+	e, ok := m.m[key]
+	m.mu.Unlock()
+	if ok && sameQueries(e.in, queries) {
+		out := make([]*engine.Query, len(e.perm))
+		for i, idx := range e.perm {
+			out[i] = e.in[idx]
+		}
+		return out
+	}
+
+	out := Order(queries, indexMap, cost, seed)
+	pos := make(map[*engine.Query]int, len(queries))
+	for i, q := range queries {
+		pos[q] = i
+	}
+	perm := make([]int, len(out))
+	for i, q := range out {
+		perm[i] = pos[q]
+	}
+	in := append([]*engine.Query(nil), queries...)
+	m.mu.Lock()
+	if m.m == nil {
+		m.m = make(map[string]memoEntry, 64)
+	} else if len(m.m) >= memoMaxEntries {
+		clear(m.m)
+	}
+	m.m[key] = memoEntry{in: in, perm: perm}
+	m.mu.Unlock()
+	return out
+}
+
+func sameQueries(a, b []*engine.Query) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,92 @@
+package schedule
+
+import (
+	"fmt"
+	"testing"
+
+	"lambdatune/internal/engine"
+)
+
+// memoFixture builds n queries with per-query index sets drawn from a small
+// pool, mirroring how the evaluator feeds Order.
+func memoFixture(n int) ([]*engine.Query, map[*engine.Query][]engine.IndexDef) {
+	queries := make([]*engine.Query, n)
+	indexMap := map[*engine.Query][]engine.IndexDef{}
+	for i := range queries {
+		q := &engine.Query{Name: fmt.Sprintf("q%02d", i)}
+		queries[i] = q
+		for j := 0; j <= i%3; j++ {
+			indexMap[q] = append(indexMap[q], engine.NewIndexDef(
+				fmt.Sprintf("t%d", (i+j)%5), fmt.Sprintf("c%d", j)))
+		}
+	}
+	return queries, indexMap
+}
+
+func costOf(base float64) IndexCost {
+	return func(d engine.IndexDef) float64 { return base + float64(len(d.Key())) }
+}
+
+// TestMemoOrderMatchesPlain asserts a memo hit returns exactly the
+// permutation the plain DP computes, across repeats, subsets, and changed
+// costs (which must key separately).
+func TestMemoOrderMatchesPlain(t *testing.T) {
+	queries, indexMap := memoFixture(9)
+	m := NewMemo()
+	check := func(qs []*engine.Query, cost IndexCost, seed int64) {
+		t.Helper()
+		want := Order(qs, indexMap, cost, seed)
+		for rep := 0; rep < 3; rep++ {
+			got := m.Order(qs, indexMap, cost, seed)
+			if len(got) != len(want) {
+				t.Fatalf("len mismatch: got %d want %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("rep %d pos %d: got %s want %s", rep, i, got[i].Name, want[i].Name)
+				}
+			}
+		}
+	}
+	check(queries, costOf(10), 1)
+	check(queries[:5], costOf(10), 1) // subset keys separately
+	check(queries, costOf(500), 1)    // changed cost invalidates
+	check(queries, costOf(10), 2)     // changed seed keys separately
+	check(queries, costOf(10), 1)     // original inputs still hit correctly
+}
+
+// TestMemoNilReceiver asserts the nil memo degrades to the plain DP.
+func TestMemoNilReceiver(t *testing.T) {
+	queries, indexMap := memoFixture(6)
+	var m *Memo
+	want := Order(queries, indexMap, costOf(3), 7)
+	got := m.Order(queries, indexMap, costOf(3), 7)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pos %d: got %s want %s", i, got[i].Name, want[i].Name)
+		}
+	}
+}
+
+// TestMemoPointerAliasing asserts that equal-looking inputs backed by
+// different Query pointers do not serve each other's entries: the memo's
+// permutation must always index the caller's own queries.
+func TestMemoPointerAliasing(t *testing.T) {
+	qsA, mapA := memoFixture(6)
+	qsB, mapB := memoFixture(6) // same names and index sets, fresh pointers
+	m := NewMemo()
+	m.Order(qsA, mapA, costOf(3), 1)
+	got := m.Order(qsB, mapB, costOf(3), 1)
+	for _, q := range got {
+		found := false
+		for _, b := range qsB {
+			if q == b {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("result contains a query pointer not from the caller's slice")
+		}
+	}
+}

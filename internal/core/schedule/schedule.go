@@ -6,6 +6,7 @@ package schedule
 
 import (
 	"math"
+	"math/bits"
 	"sort"
 
 	"lambdatune/internal/engine"
@@ -29,18 +30,61 @@ type Item struct {
 	Indexes map[string]engine.IndexDef
 }
 
-// incrementalCost is z_i(Q) from §5.2: the creation cost of item's indexes
-// not already covered by the created set.
-func incrementalCost(it Item, created map[string]bool, cost IndexCost) float64 {
-	var sum float64
-	keys := make([]string, 0, len(it.Indexes))
-	for k := range it.Indexes {
-		keys = append(keys, k)
+// indexSpace maps the distinct indexes across a set of items to dense
+// integer ids so set operations become bitset words instead of string-map
+// unions — the former dominated the CPU profile of a tuning run. Ids are
+// assigned in sorted-key order and per-index costs are computed once per
+// space; iterating set bits in ascending id order then reproduces the
+// historical "sort the keys, sum the costs" order exactly, so every
+// floating-point sum — and with it every scheduling decision — stays
+// bit-identical to the map-based implementation.
+type indexSpace struct {
+	costs []float64 // creation cost per index id
+	words int       // bitset width in uint64 words
+	// itemBits[i] is item i's index set; each slice is words long.
+	itemBits [][]uint64
+}
+
+func newIndexSpace(items []Item, cost IndexCost) indexSpace {
+	var keys []string
+	defs := map[string]engine.IndexDef{}
+	for _, it := range items {
+		for k, def := range it.Indexes {
+			if _, ok := defs[k]; !ok {
+				defs[k] = def
+				keys = append(keys, k)
+			}
+		}
 	}
 	sort.Strings(keys)
-	for _, k := range keys {
-		if !created[k] {
-			sum += cost(it.Indexes[k])
+	id := make(map[string]int, len(keys))
+	sp := indexSpace{costs: make([]float64, len(keys)), words: (len(keys) + 63) / 64}
+	for i, k := range keys {
+		id[k] = i
+		sp.costs[i] = cost(defs[k])
+	}
+	sp.itemBits = make([][]uint64, len(items))
+	backing := make([]uint64, len(items)*sp.words)
+	for i, it := range items {
+		b := backing[i*sp.words : (i+1)*sp.words : (i+1)*sp.words]
+		for k := range it.Indexes {
+			b[id[k]/64] |= 1 << (id[k] % 64)
+		}
+		sp.itemBits[i] = b
+	}
+	return sp
+}
+
+// incremental is z_i(Q) from §5.2: the creation cost of the item's indexes
+// (itemBits) not already covered by the created set, summed in ascending id
+// (= sorted key) order.
+func (sp *indexSpace) incremental(itemBits, created []uint64) float64 {
+	var sum float64
+	for w, b := range itemBits {
+		d := b &^ created[w]
+		for d != 0 {
+			sum += sp.costs[w*64+bits.TrailingZeros64(d)]
+			d &= d - 1
 		}
 	}
 	return sum
@@ -54,13 +98,14 @@ func ExpectedCost(order []Item, cost IndexCost) float64 {
 	if n == 0 {
 		return 0
 	}
-	created := map[string]bool{}
+	sp := newIndexSpace(order, cost)
+	created := make([]uint64, sp.words)
 	var total float64
-	for j, it := range order {
-		z := incrementalCost(it, created, cost)
+	for j := range order {
+		z := sp.incremental(sp.itemBits[j], created)
 		total += z * float64(n-j) / float64(n)
-		for k := range it.Indexes {
-			created[k] = true
+		for w, b := range sp.itemBits[j] {
+			created[w] |= b
 		}
 	}
 	return total
@@ -84,6 +129,7 @@ func OrderDP(items []Item, cost IndexCost) []Item {
 	if n > MaxDPQueries {
 		panic("schedule: OrderDP input exceeds MaxDPQueries; cluster first")
 	}
+	sp := newIndexSpace(items, cost)
 	size := 1 << n
 	dpCost := make([]float64, size)
 	dpTotal := make([]float64, size) // totalCost(S): union index creation cost
@@ -93,36 +139,34 @@ func OrderDP(items []Item, cost IndexCost) []Item {
 		dpPrev[mask] = -1
 	}
 
-	// Union creation costs per subset, computed incrementally.
-	// created-set membership is recomputed per transition below; to keep it
-	// O(2^n · n · |idx|) we materialize each subset's index union lazily via
-	// the per-item incremental cost against the predecessor's union set.
-	unions := make([]map[string]bool, size)
-	unions[0] = map[string]bool{}
+	// Union index sets per subset as bitsets, carved from one contiguous
+	// backing slice — the per-transition incremental cost is then a handful
+	// of word operations instead of a sorted string-map walk, and improving
+	// a subset updates its union in place with no allocation.
+	w := sp.words
+	unionBacking := make([]uint64, size*w)
+	union := func(mask int) []uint64 { return unionBacking[mask*w : (mask+1)*w] }
 
 	for mask := 0; mask < size; mask++ {
 		if math.IsInf(dpCost[mask], 1) {
 			continue
 		}
+		um := union(mask)
 		for q := 0; q < n; q++ {
 			if mask&(1<<q) != 0 {
 				continue
 			}
 			next := mask | 1<<q
-			z := incrementalCost(items[q], unions[mask], cost)
+			z := sp.incremental(sp.itemBits[q], um)
 			c := dpCost[mask] + dpTotal[mask] + z
 			if c < dpCost[next]-1e-12 {
 				dpCost[next] = c
 				dpTotal[next] = dpTotal[mask] + z
 				dpPrev[next] = int8(q)
-				u := make(map[string]bool, len(unions[mask])+len(items[q].Indexes))
-				for k := range unions[mask] {
-					u[k] = true
+				un := union(next)
+				for i := range un {
+					un[i] = um[i] | sp.itemBits[q][i]
 				}
-				for k := range items[q].Indexes {
-					u[k] = true
-				}
-				unions[next] = u
 			}
 		}
 	}

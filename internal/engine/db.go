@@ -16,6 +16,9 @@ type DB struct {
 	clock    Clock
 	settings Settings
 	eff      effects
+	// keyEff is eff restricted to the fields the planner reads (the
+	// plan-cache key): maintenanceBytes zeroed, see installSettings.
+	keyEff effects
 	// indexes maps IndexDef.Key() → definition.
 	indexes map[string]IndexDef
 	// permanent marks indexes that survive DropTransientIndexes (the
@@ -35,6 +38,25 @@ type DB struct {
 	// base records the counters at Snapshot time (zero on primary instances);
 	// AbsorbSnapshot folds deltas above it back into the parent.
 	base snapBase
+	// cache memoizes plans per (effects, index signature, query); see
+	// plancache.go. groupKeys/groupSigs hold the lazily maintained sorted
+	// key lists and interned content signatures per probe group — a
+	// (table, leading column) pair, the granularity at which the planner
+	// consults the index set. Mutations update one group (noteIndexChange)
+	// and bump sigSeq; qsigs memoizes the per-query composition; sigs is the
+	// intern table shared with snapshots; sigScratch is the full rebuild's
+	// reusable key buffer.
+	cache         planCache
+	sigs          *sigIntern
+	groupKeys     map[string][]string
+	groupSigs     map[string]uint32
+	qsigs         map[*Query]querySigEntry
+	sigScratch    []string
+	sigSeq        uint64
+	indexSigDirty bool
+	// scratch holds the planner's reusable allocation arena (optimizer.go).
+	// Never shared: snapshots start with a nil scratch of their own.
+	scratch *plannerScratch
 }
 
 // FaultInjector is the engine-side fault-injection hook (implemented by
@@ -67,6 +89,8 @@ func NewDB(f Flavor, catalog *Catalog, hw Hardware) *DB {
 		hw:        hw,
 		indexes:   map[string]IndexDef{},
 		permanent: map[string]bool{},
+		cache:     planCache{counters: &planCacheCounters{}},
+		sigs:      &sigIntern{},
 	}
 	db.SetSettings(Params(f).Defaults())
 	return db
@@ -99,8 +123,22 @@ func (db *DB) SetSettings(s Settings) {
 			full[k] = v
 		}
 	}
+	db.installSettings(full)
+}
+
+// installSettings takes ownership of a complete, validated assignment (every
+// parameter present, values in domain) and re-derives the planner effects.
+// Fast path for callers that already hold such a map — ResolveSettings
+// returns one, so ApplyConfigParams skips the second defaults build that
+// SetSettings would do.
+func (db *DB) installSettings(full Settings) {
 	db.settings = full
 	db.eff = deriveEffects(db.flavor, full)
+	// The plan-cache key drops maintenanceBytes: it prices index builds
+	// (IndexCreationSeconds), never query plans, so a maintenance_work_mem
+	// change must not invalidate memoized plans.
+	db.keyEff = db.eff
+	db.keyEff.maintenanceBytes = 0
 }
 
 // ResetSettings restores flavor defaults.
@@ -114,7 +152,7 @@ func (db *DB) ApplyConfigParams(c *Config) error {
 	if err != nil {
 		return err
 	}
-	db.SetSettings(s)
+	db.installSettings(s)
 	return nil
 }
 
@@ -228,6 +266,7 @@ func (db *DB) CreateIndex(def IndexDef) float64 {
 		}
 	}
 	db.indexes[def.Key()] = def
+	db.noteIndexChange(def, true)
 	db.clock.Advance(secs)
 	return secs
 }
@@ -238,12 +277,18 @@ func (db *DB) CreatePermanentIndex(def IndexDef) {
 	if db.catalog.Table(def.Table) == nil {
 		return
 	}
+	if _, ok := db.indexes[def.Key()]; !ok {
+		db.noteIndexChange(def, true)
+	}
 	db.indexes[def.Key()] = def
 	db.permanent[def.Key()] = true
 }
 
 // DropIndex removes an index if present (permanent ones included).
 func (db *DB) DropIndex(def IndexDef) {
+	if _, ok := db.indexes[def.Key()]; ok {
+		db.noteIndexChange(def, false)
+	}
 	delete(db.indexes, def.Key())
 	delete(db.permanent, def.Key())
 }
@@ -254,7 +299,9 @@ func (db *DB) DropIndex(def IndexDef) {
 func (db *DB) DropTransientIndexes() {
 	for k := range db.indexes {
 		if !db.permanent[k] {
+			def := db.indexes[k]
 			delete(db.indexes, k)
+			db.noteIndexChange(def, false)
 		}
 	}
 }
@@ -265,7 +312,7 @@ func (db *DB) PermanentIndexCount() int { return len(db.permanent) }
 // Explain plans the query under the current configuration and returns the
 // estimated cost of each join operator, keyed by its join condition.
 func (db *DB) Explain(q *Query) []JoinCost {
-	plan := db.plan(q)
+	plan := db.cachedPlan(q)
 	var out []JoinCost
 	for _, s := range plan.Steps {
 		if s.Join != nil {
@@ -276,12 +323,14 @@ func (db *DB) Explain(q *Query) []JoinCost {
 }
 
 // Plan exposes the chosen plan (for tests and the in-depth analysis tools).
-func (db *DB) Plan(q *Query) *Plan { return db.plan(q) }
+// The returned plan may be served from the memoization cache and must be
+// treated as immutable.
+func (db *DB) Plan(q *Query) *Plan { return db.cachedPlan(q) }
 
 // QuerySeconds returns the simulated runtime of the query under the current
 // configuration without executing it or advancing the clock.
 func (db *DB) QuerySeconds(q *Query) float64 {
-	return db.plan(q).TrueSeconds()
+	return db.cachedPlan(q).TrueSeconds()
 }
 
 // Execute runs the query with a timeout (in simulated seconds; pass

@@ -31,6 +31,48 @@ type planner struct {
 	q  *Query
 	// tables in the query, with per-table filtered cardinalities.
 	tables map[string]*tableInfo
+	// scratch backs the maps and slices above; see plannerScratch.
+	s *plannerScratch
+}
+
+// plannerScratch is a per-DB allocation arena for planning: the maps and
+// slices a single plan() call needs are cleared and reused across calls
+// instead of re-made. One DB plans one query at a time (snapshots get their
+// own arena), so a single arena per instance suffices. Everything here is
+// working state only — nothing in a returned Plan may alias it.
+type plannerScratch struct {
+	p          planner
+	tables     map[string]*tableInfo
+	infoPool   []*tableInfo
+	infoUsed   int
+	filterKind map[string]sqlparser.FilterKind
+	wanted     map[string]bool
+	joined     map[string]bool
+	names      []string
+	conds      []sqlparser.JoinCondition
+	bestConds  []sqlparser.JoinCondition
+}
+
+func newPlannerScratch() *plannerScratch {
+	return &plannerScratch{
+		tables:     map[string]*tableInfo{},
+		filterKind: map[string]sqlparser.FilterKind{},
+		wanted:     map[string]bool{},
+		joined:     map[string]bool{},
+	}
+}
+
+// nextInfo hands out a zeroed tableInfo from the pool, growing it on demand.
+// Pointer identity is stable across the growth, so entries already published
+// in the tables map stay valid.
+func (s *plannerScratch) nextInfo() *tableInfo {
+	if s.infoUsed == len(s.infoPool) {
+		s.infoPool = append(s.infoPool, &tableInfo{})
+	}
+	ti := s.infoPool[s.infoUsed]
+	s.infoUsed++
+	*ti = tableInfo{}
+	return ti
 }
 
 type tableInfo struct {
@@ -125,19 +167,28 @@ func (db *DB) ioConcurrencyDiscount() float64 {
 
 // plan builds the full plan for q.
 func (db *DB) plan(q *Query) *Plan {
-	p := &planner{db: db, q: q, tables: map[string]*tableInfo{}}
+	if db.scratch == nil {
+		db.scratch = newPlannerScratch()
+	}
+	s := db.scratch
+	clear(s.tables)
+	s.infoUsed = 0
+	s.p = planner{db: db, q: q, tables: s.tables, s: s}
+	p := &s.p
 	for _, name := range q.Analysis.Tables {
 		t := db.catalog.Table(name)
+		ti := s.nextInfo()
 		if t == nil {
 			// Unknown table: charge a nominal constant so execution still
 			// "works" (mirrors a view or tiny side table).
-			p.tables[name] = &tableInfo{
-				table:        &Table{Name: name, Rows: 1000, Columns: []Column{{Name: "c", WidthBytes: 8, Distinct: 1000}}},
-				filteredRows: 1000,
-			}
+			ti.table = &Table{Name: name, Rows: 1000, Columns: []Column{{Name: "c", WidthBytes: 8, Distinct: 1000}}}
+			ti.filteredRows = 1000
+			p.tables[name] = ti
 			continue
 		}
-		p.tables[name] = &tableInfo{table: t, filteredRows: float64(t.Rows)}
+		ti.table = t
+		ti.filteredRows = float64(t.Rows)
+		p.tables[name] = ti
 	}
 	p.applyFilters()
 	p.chooseScans()
@@ -192,13 +243,15 @@ func (p *planner) chooseScans() {
 		if e.enableIndexScan {
 			// Other filtered columns of this table, for composite-prefix
 			// matching.
-			filterKind := map[string]sqlparser.FilterKind{}
+			filterKind := p.s.filterKind
+			clear(filterKind)
 			for _, f := range p.q.Analysis.Filters {
 				if f.Table == name && f.Kind != sqlparser.FilterLike {
 					filterKind[f.Column] = f.Kind
 				}
 			}
-			wanted := map[string]bool{}
+			wanted := p.s.wanted
+			clear(wanted)
 			for c := range filterKind {
 				wanted[c] = true
 			}
@@ -251,15 +304,17 @@ func (p *planner) chooseScans() {
 }
 
 // joinsFor returns the join conditions linking table name to any table in
-// joined.
+// joined. The result aliases the scratch conds buffer and is only valid
+// until the next joinsFor call (orderJoins copies the winner aside).
 func (p *planner) joinsFor(name string, joined map[string]bool) []sqlparser.JoinCondition {
-	var out []sqlparser.JoinCondition
+	out := p.s.conds[:0]
 	for _, j := range p.q.Analysis.Joins {
 		if (j.LeftTable == name && joined[j.RightTable]) ||
 			(j.RightTable == name && joined[j.LeftTable]) {
 			out = append(out, j)
 		}
 	}
+	p.s.conds = out
 	return out
 }
 
@@ -267,7 +322,8 @@ func (p *planner) joinsFor(name string, joined map[string]bool) []sqlparser.Join
 // smallest filtered table, repeatedly add the connected table minimizing the
 // estimated join output.
 func (p *planner) orderJoins() *Plan {
-	names := append([]string(nil), p.q.Analysis.Tables...)
+	names := append(p.s.names[:0], p.q.Analysis.Tables...)
+	p.s.names = names
 	if len(names) == 0 {
 		return &Plan{}
 	}
@@ -278,14 +334,16 @@ func (p *planner) orderJoins() *Plan {
 			start = n
 		}
 	}
-	joined := map[string]bool{start: true}
+	joined := p.s.joined
+	clear(joined)
+	joined[start] = true
 	plan := &Plan{Steps: []PlanStep{p.tables[start].scan}}
 	curRows := p.tables[start].filteredRows
 
 	for len(joined) < len(names) {
 		bestName := ""
 		bestRows := math.Inf(1)
-		var bestConds []sqlparser.JoinCondition
+		bestConds := p.s.bestConds[:0]
 		for _, n := range names {
 			if joined[n] {
 				continue
@@ -300,9 +358,12 @@ func (p *planner) orderJoins() *Plan {
 			if rows*penalty < bestRows {
 				bestRows = rows * penalty
 				bestName = n
-				bestConds = conds
+				// Copy aside: conds aliases the scratch buffer the next
+				// joinsFor call overwrites.
+				bestConds = append(bestConds[:0], conds...)
 			}
 		}
+		p.s.bestConds = bestConds
 		step := p.joinStep(curRows, bestName, bestConds)
 		plan.Steps = append(plan.Steps, step)
 		joined[bestName] = true
@@ -360,7 +421,11 @@ func (p *planner) joinStep(curRows float64, n string, conds []sqlparser.JoinCond
 
 	var joinCond *sqlparser.JoinCondition
 	if len(conds) > 0 {
-		joinCond = &conds[0]
+		// Copy the condition out of the scratch buffer: the returned step is
+		// retained in the (possibly cached) Plan and must not alias reused
+		// planner scratch.
+		jc := conds[0]
+		joinCond = &jc
 	}
 
 	// Option 1: hash join — scan inner, build hash table, probe with outer.

@@ -2,6 +2,8 @@ package engine
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"lambdatune/internal/sqlparser"
 )
@@ -14,6 +16,11 @@ type Query struct {
 	SQL      string
 	Stmt     *sqlparser.SelectStmt
 	Analysis sqlparser.Analysis
+	// probes is the precomputed set of (table, leading-column) groups the
+	// planner may look up indexes under for this query — the plan-cache
+	// signature domain (see plancache.go). Computed once at preparation so
+	// concurrent planning on snapshot replicas needs no synchronization.
+	probes []string
 }
 
 // PrepareQuery parses and analyzes one query.
@@ -22,7 +29,37 @@ func PrepareQuery(name, sql string) (*Query, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: query %s: %w", name, err)
 	}
-	return &Query{Name: name, SQL: sql, Stmt: stmt, Analysis: sqlparser.Analyze(stmt)}, nil
+	a := sqlparser.Analyze(stmt)
+	return &Query{Name: name, SQL: sql, Stmt: stmt, Analysis: a, probes: computeProbes(a)}, nil
+}
+
+// computeProbes derives the index-probe groups of an analyzed query: the
+// planner consults the index set only through hasIndexOnColumn and
+// indexPrefixMatch, and every such call uses either a non-LIKE constant
+// filter's (table, column) or a join condition side's (table, column). An
+// index outside these groups — wrong table, or a leading key column the
+// query never probes — cannot influence the query's plan.
+func computeProbes(a sqlparser.Analysis) []string {
+	seen := map[string]bool{}
+	add := func(table, column string) {
+		k := strings.ToLower(table) + "\x00" + strings.ToLower(column)
+		seen[k] = true
+	}
+	for _, f := range a.Filters {
+		if f.Kind != sqlparser.FilterLike {
+			add(f.Table, f.Column)
+		}
+	}
+	for _, j := range a.Joins {
+		add(j.LeftTable, j.LeftColumn)
+		add(j.RightTable, j.RightColumn)
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // MustPrepareQuery is PrepareQuery that panics on error; for fixed benchmark

@@ -35,6 +35,13 @@ func (db *DB) HasFaultInjector() bool { return db.faults != nil }
 // fault-free (see HasFaultInjector). The exec hook is inherited and must
 // therefore be concurrency-safe.
 //
+// The plan-memoization cache is shared copy-on-write: the parent's private
+// write layer is frozen into the immutable layer chain, and the clone reads
+// that chain while directing its own plannings into a fresh private write
+// map — concurrent replicas never lock on the planning hot path, and a
+// child's writes never leak into the parent (AbsorbSnapshot folds them back
+// explicitly). The planner scratch arena is deliberately not inherited.
+//
 // Cost: O(parameters + indexes) — a few hundred map entries — independent of
 // catalog size, so snapshotting per worker per round is cheap.
 func (db *DB) Snapshot() *DB {
@@ -45,12 +52,20 @@ func (db *DB) Snapshot() *DB {
 		clock:         db.clock,
 		settings:      db.settings.Clone(),
 		eff:           db.eff,
+		keyEff:        db.keyEff,
 		indexes:       make(map[string]IndexDef, len(db.indexes)),
 		permanent:     make(map[string]bool, len(db.permanent)),
 		executed:      db.executed,
 		queryAborts:   db.queryAborts,
 		indexFailures: db.indexFailures,
 		execHook:      db.execHook,
+		cache:         db.cache.snapshotCache(),
+		// The signature maps are mutable and never shared: the clone rebuilds
+		// them lazily. The intern table IS shared (and locked), so rebuilt
+		// contents resolve to the parent's ids and shared frozen cache
+		// entries still hit.
+		sigs:          db.sigs,
+		indexSigDirty: true,
 	}
 	for k, v := range db.indexes {
 		clone.indexes[k] = v
@@ -79,4 +94,5 @@ func (db *DB) AbsorbSnapshot(s *DB) {
 	db.executed += s.executed - s.base.executed
 	db.queryAborts += s.queryAborts - s.base.queryAborts
 	db.indexFailures += s.indexFailures - s.base.indexFailures
+	db.cache.absorb(&s.cache)
 }

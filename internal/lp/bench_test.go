@@ -1,0 +1,61 @@
+package lp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchProblem builds a dense random LP with n variables and m constraints.
+// Mixing negative right-hand sides in forces the two-phase path, so the
+// benchmark covers both the phase-1 artificial pass and phase 2.
+func benchProblem(n, m int, seed int64) Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := Problem{Obj: make([]float64, n), A: make([][]float64, m), B: make([]float64, m)}
+	for j := range p.Obj {
+		p.Obj[j] = rng.Float64()*4 - 2
+	}
+	for i := range p.A {
+		p.A[i] = make([]float64, n)
+		for j := range p.A[i] {
+			p.A[i][j] = rng.Float64()*2 - 0.5
+		}
+		p.B[i] = rng.Float64() * 10
+		if i%4 == 0 {
+			// Lower bound x_j >= 0.1 in ≤-form: a negative right-hand side
+			// that needs an artificial variable yet stays feasible.
+			for j := range p.A[i] {
+				p.A[i][j] = 0
+			}
+			p.A[i][i%n] = -1
+			p.B[i] = -0.1
+		}
+	}
+	return p
+}
+
+// BenchmarkSimplex exercises Solve on LPs shaped like the ILP relaxations the
+// knob-recommendation path produces (tens of variables and constraints).
+func BenchmarkSimplex(b *testing.B) {
+	for _, size := range []struct {
+		name string
+		n, m int
+	}{
+		{"n8m6", 8, 6},
+		{"n24m16", 24, 16},
+		{"n48m32", 48, 32},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			p := benchProblem(size.n, size.m, 7)
+			if s, err := Solve(p); err != nil || s.Status != Optimal {
+				b.Fatalf("unsolvable benchmark problem: %v %v", s.Status, err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Solve(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -120,6 +120,10 @@ type tableau struct {
 	rows     [][]float64
 	basis    []int
 	obj      []float64
+	// phase1c is the phase-1 cost vector, carved from the same backing
+	// allocation as the rows so a solve costs one slab instead of a make
+	// per row plus one per phase-1 call.
+	phase1c []float64
 }
 
 func newTableau(p Problem) *tableau {
@@ -134,9 +138,17 @@ func newTableau(p Problem) *tableau {
 	t.width = n + m + na + 1
 	t.rows = make([][]float64, m+1)
 	t.basis = make([]int, m)
+	// One contiguous backing slab: (m+1) tableau rows followed by the
+	// phase-1 cost vector. Rows are fixed-width subslices with capped
+	// capacity so no row can grow into its neighbor.
+	backing := make([]float64, (m+1)*t.width+n+m+na)
+	rowAt := func(i int) []float64 {
+		return backing[i*t.width : (i+1)*t.width : (i+1)*t.width]
+	}
+	t.phase1c = backing[(m+1)*t.width:]
 	art := 0
 	for i := 0; i < m; i++ {
-		row := make([]float64, t.width)
+		row := rowAt(i)
 		if p.B[i] >= 0 {
 			copy(row, p.A[i])
 			row[n+i] = 1 // slack
@@ -155,7 +167,7 @@ func newTableau(p Problem) *tableau {
 		}
 		t.rows[i] = row
 	}
-	t.rows[m] = make([]float64, t.width)
+	t.rows[m] = rowAt(m)
 	return t
 }
 
@@ -184,7 +196,7 @@ func (t *tableau) installObjective(c []float64) {
 
 // phase1 minimizes the sum of artificial variables.
 func (t *tableau) phase1() Status {
-	c := make([]float64, t.n+t.m+t.na)
+	c := t.phase1c
 	for k := 0; k < t.na; k++ {
 		c[t.n+t.m+k] = -1 // maximize −Σ artificials
 	}
