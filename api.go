@@ -3,6 +3,7 @@ package lambdatune
 import (
 	"context"
 	"fmt"
+	"io"
 	"sort"
 
 	"lambdatune/internal/backend"
@@ -11,6 +12,7 @@ import (
 	"lambdatune/internal/engine"
 	"lambdatune/internal/faults"
 	"lambdatune/internal/llm"
+	"lambdatune/internal/obs"
 	"lambdatune/internal/workload"
 )
 
@@ -262,6 +264,99 @@ type FaultPlan struct {
 	Seed int64
 }
 
+// Trace records one tuning run as a hierarchical span tree (run → prompt /
+// llm.sample / selection → round → candidate → query / index.build / schedule)
+// with virtual-clock timestamps and host wall-clock annotations. Pass it in
+// Options.Trace, then export with WriteJSONL/WriteFile or render a per-phase
+// cost breakdown with SummaryTable. Tracing is passive: a traced run selects
+// the same configuration, byte for byte, as an untraced one, and the span
+// tree itself is deterministic for a fixed workload/seed/parallelism (wall
+// times are annotations, never inputs).
+type Trace struct {
+	tr *obs.Tracer
+}
+
+// NewTrace creates an empty trace. One Trace can record several runs; their
+// span trees accumulate.
+func NewTrace() *Trace { return &Trace{tr: obs.NewTracer()} }
+
+// Len returns the number of recorded spans.
+func (t *Trace) Len() int { return t.tr.Len() }
+
+// WriteJSONL writes the recorded spans as JSON Lines, one span per line, in
+// deterministic depth-first order.
+func (t *Trace) WriteJSONL(w io.Writer) error { return t.tr.WriteJSONL(w) }
+
+// WriteFile writes the spans as a JSONL trace file (the format the
+// `lambdatune trace-summary` subcommand reads).
+func (t *Trace) WriteFile(path string) error { return t.tr.WriteFile(path) }
+
+// SummaryTable renders the per-phase cost breakdown of the recorded spans.
+func (t *Trace) SummaryTable() string { return obs.SummaryTable(t.tr.Summarize()) }
+
+// Metrics is a registry of counters, gauges, and histograms a tuning run
+// feeds (tuner_* series, plus backend_* series when the database is
+// instrumented). Pass it in Options.Metrics, then export with
+// WritePrometheus (text exposition format) or String (expvar-compatible
+// JSON).
+type Metrics struct {
+	reg *obs.Registry
+}
+
+// NewMetrics creates an empty metrics registry. One registry can span
+// several runs; counters accumulate.
+func NewMetrics() *Metrics { return &Metrics{reg: obs.NewRegistry()} }
+
+// Snapshot returns the current value of every metric; histograms contribute
+// <name>_count and <name>_sum entries.
+func (m *Metrics) Snapshot() map[string]float64 { return m.reg.Snapshot() }
+
+// WritePrometheus writes the registry in Prometheus text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometheus(w) }
+
+// String renders the registry as an expvar-compatible JSON object.
+func (m *Metrics) String() string { return m.reg.String() }
+
+// PhaseCost is one row of a run's per-phase cost breakdown.
+type PhaseCost struct {
+	// Phase is the cost category: "llm", "prompt", "eval", "index-build", or
+	// "schedule".
+	Phase string
+	// Spans counts the phase's leaf spans.
+	Spans int
+	// VirtSeconds / WallSeconds are the phase's total virtual-clock cost and
+	// host wall-clock cost.
+	VirtSeconds float64
+	WallSeconds float64
+}
+
+// Telemetry condenses a run's trace and metrics: span/event totals, the
+// per-phase cost breakdown, and a metrics snapshot.
+type Telemetry struct {
+	// Spans / Events count the run's recorded spans and span events.
+	Spans  int
+	Events int
+	// Phases is the per-phase cost breakdown, most expensive (virtual) first.
+	Phases []PhaseCost
+	// Metrics is the registry snapshot at the end of the run (nil when
+	// Options.Metrics was not set).
+	Metrics map[string]float64
+}
+
+func toTelemetry(s *obs.Summary) *Telemetry {
+	if s == nil {
+		return nil
+	}
+	t := &Telemetry{Spans: s.Spans, Events: s.Events, Metrics: s.Metrics}
+	for _, p := range s.Phases {
+		t.Phases = append(t.Phases, PhaseCost{
+			Phase: p.Phase, Spans: p.Spans,
+			VirtSeconds: p.VirtSeconds, WallSeconds: p.WallSeconds,
+		})
+	}
+	return t
+}
+
 // Options configures a tuning run; start from DefaultOptions. The zero
 // value of every field is meaningful (documented per field), so a partially
 // filled struct is valid as long as Validate accepts it.
@@ -298,6 +393,17 @@ type Options struct {
 	// Faults, when set, injects deterministic faults into the run. Nil
 	// injects nothing.
 	Faults *FaultPlan
+	// Trace, when set, records the run as a span tree (see Trace). Injected
+	// faults appear as events on the trace root.
+	Trace *Trace
+	// Metrics, when set, receives the run's tuner_* counters and gauges —
+	// plus the backend_* surface series when the database is instrumented
+	// (see Database.Instrument).
+	Metrics *Metrics
+	// Progress, when set, receives live one-line narration of the run
+	// (rounds, timeouts, best-so-far improvements) stamped with virtual
+	// timestamps — e.g. os.Stderr.
+	Progress io.Writer
 }
 
 // DefaultOptions mirrors the paper's experimental setup (§6.1).
@@ -360,6 +466,15 @@ func (o Options) toTuner() tuner.Options {
 	t.Selector.Parallelism = o.Parallelism
 	t.Seed = o.Seed
 	t.Resilience = o.Resilience.toLLM()
+	if o.Trace != nil {
+		t.Trace = o.Trace.tr
+	}
+	if o.Metrics != nil {
+		t.Metrics = o.Metrics.reg
+	}
+	if o.Progress != nil {
+		t.Progress = obs.NewConsoleReporter(o.Progress)
+	}
 	return t
 }
 
@@ -436,6 +551,9 @@ type Result struct {
 	Warnings []string
 	// Faults is the run's resilience telemetry (zero-valued on a clean run).
 	Faults FaultReport
+	// Telemetry condenses the run's trace and metrics. Non-nil whenever
+	// Options.Trace or Options.Metrics was set.
+	Telemetry *Telemetry
 
 	best *engine.Config
 }
@@ -502,6 +620,14 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 		return nil, fmt.Errorf("%w: nil Client", ErrInvalidOptions)
 	}
 	defaultSeconds := d.db.WorkloadSeconds(w.queries)
+	topts := opts.toTuner()
+	if opts.Metrics != nil {
+		// Instrumented databases feed the backend_* surface series and plan
+		// cache gauges into the run's registry.
+		if am, ok := d.db.(interface{ AttachMetrics(*obs.Registry) }); ok {
+			am.AttachMetrics(opts.Metrics.reg)
+		}
+	}
 	var inner llm.Client = client
 	if opts.Faults != nil {
 		fi, ok := d.db.(backend.FaultInjectable)
@@ -514,13 +640,14 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 		}
 		plan := faults.NewPlan(opts.Faults.LLMRate, opts.Faults.EngineRate)
 		inj := faults.NewInjector(plan, seed, d.db.Clock())
+		inj.SetTracer(topts.Trace)
 		fi.SetFaultInjector(inj)
 		defer fi.SetFaultInjector(nil)
 		// The injector wraps the raw client, so the resilience layer (added
 		// by the tuner on top) sees the injected faults as transport errors.
 		inner = llm.WithInterceptor(inner, inj)
 	}
-	tn := tuner.New(d.db, inner, opts.toTuner())
+	tn := tuner.New(d.db, inner, topts)
 	res, err := tn.Tune(ctx, w.queries)
 	if err != nil {
 		return nil, err
@@ -534,6 +661,7 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 		Candidates:      len(res.Candidates),
 		Warnings:        res.Warnings,
 		Faults:          FaultReport(res.Faults),
+		Telemetry:       toTelemetry(res.Telemetry),
 		best:            res.Best,
 	}
 	if res.Best != nil {

@@ -31,8 +31,17 @@ func main() {
 		charts     = flag.Bool("charts", false, "render convergence figures as ASCII charts")
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		traceDir   = flag.String("trace-dir", "", "write one JSONL span trace per λ-Tune run into this directory (inspect with `lambdatune trace-summary`)")
 	)
 	flag.Parse()
+
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		bench.SetTraceDir(*traceDir)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

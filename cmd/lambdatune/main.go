@@ -5,20 +5,28 @@
 //
 //	lambdatune -benchmark tpch-1 -dbms postgres -samples 5 -seed 1
 //	lambdatune -schema schema.json -queries ./sql/     # custom workload
+//	lambdatune -trace run.jsonl -progress -metrics-addr :9090
+//	lambdatune trace-summary -check run.jsonl          # per-phase cost table
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 
 	"lambdatune"
+	"lambdatune/internal/obs"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trace-summary" {
+		os.Exit(traceSummary(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		benchmark = flag.String("benchmark", "tpch-1", "built-in workload: "+strings.Join(lambdatune.BenchmarkNames(), ", "))
 		schema    = flag.String("schema", "", "schema statistics JSON for a custom workload (see LoadSchema)")
@@ -37,6 +45,9 @@ func main() {
 		instr     = flag.Bool("instrument", false, "count and time every backend call, printing a per-surface report after tuning")
 		plancache = flag.Bool("plancache", true, "memoize simulated query plans (host-CPU optimization; results are identical either way)")
 		verbose   = flag.Bool("v", false, "print progress events")
+		traceOut  = flag.String("trace", "", "write the run's span tree to this JSONL file (inspect with `lambdatune trace-summary`)")
+		progress  = flag.Bool("progress", false, "stream live round/candidate narration to stderr (virtual timestamps)")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090) while the run lasts")
 	)
 	flag.Parse()
 
@@ -93,6 +104,37 @@ func main() {
 		db.Instrument()
 	}
 
+	var trace *lambdatune.Trace
+	if *traceOut != "" {
+		trace = lambdatune.NewTrace()
+		opts.Trace = trace
+	}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	var reg *lambdatune.Metrics
+	if *metrics != "" {
+		reg = lambdatune.NewMetrics()
+		opts.Metrics = reg
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_, _ = io.WriteString(w, reg.String())
+		})
+		srv := &http.Server{Addr: *metrics, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "metrics server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "serving metrics on %s/metrics\n", *metrics)
+	}
+
 	client := lambdatune.NewSimulatedLLM(*seed)
 	if *rag {
 		client = lambdatune.WithRetrieval(client, nil)
@@ -103,6 +145,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	res, err := db.TuneContext(ctx, w, client, opts)
+	if trace != nil {
+		// The trace is written even when the run failed: whatever spans were
+		// recorded up to the error are worth inspecting.
+		if werr := trace.WriteFile(*traceOut); werr != nil {
+			fmt.Fprintln(os.Stderr, "trace export:", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "trace: %d spans -> %s\n", trace.Len(), *traceOut)
+		}
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -119,6 +170,9 @@ func main() {
 	if *instr {
 		fmt.Printf("\n%s", db.BackendReport())
 	}
+	if trace != nil {
+		fmt.Printf("\nphase breakdown:\n%s", trace.SummaryTable())
+	}
 	if *verbose {
 		fmt.Println("\nprogress:")
 		for _, p := range res.Progress {
@@ -128,4 +182,34 @@ func main() {
 			fmt.Println("warning:", wmsg)
 		}
 	}
+}
+
+// traceSummary implements the `lambdatune trace-summary [-check] <file.jsonl>`
+// subcommand: it reads an exported trace and prints the per-phase cost
+// breakdown; -check first validates the file against the span schema.
+func traceSummary(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("trace-summary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	check := fs.Bool("check", false, "validate the trace against the span schema before summarizing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: lambdatune trace-summary [-check] <trace.jsonl>")
+		return 2
+	}
+	recs, err := obs.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if *check {
+		if err := obs.ValidateRecords(recs); err != nil {
+			fmt.Fprintf(stderr, "invalid trace: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace ok: %d spans\n", len(recs))
+	}
+	fmt.Fprint(stdout, obs.SummaryTable(obs.Summarize(recs)))
+	return 0
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const fixture = "../../internal/obs/testdata/fixture.jsonl"
+
+// TestTraceSummaryFixture pins the subcommand's output on the checked-in
+// fixture trace: schema check passes and the per-phase table carries the
+// fixture's known costs.
+func TestTraceSummaryFixture(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := traceSummary([]string{"-check", fixture}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"trace ok: 12 spans",
+		"llm",
+		"120.00000",
+		"eval",
+		"69.50000",
+		"index-build",
+		"spans=12 events=2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output is missing %q:\n%s", want, out)
+		}
+	}
+	// The llm phase dominates the fixture, so it leads the table.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 || !strings.HasPrefix(lines[2], "llm") {
+		t.Errorf("llm is not the top phase:\n%s", out)
+	}
+}
+
+// TestTraceSummaryErrors: bad usage and invalid traces exit non-zero.
+func TestTraceSummaryErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := traceSummary(nil, &stdout, &stderr); code != 2 {
+		t.Errorf("no-args exit %d, want 2", code)
+	}
+	if code := traceSummary([]string{"/no/such/trace.jsonl"}, &stdout, &stderr); code != 1 {
+		t.Errorf("missing-file exit %d, want 1", code)
+	}
+
+	// A structurally broken trace (child precedes parent) fails -check.
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	lines := `{"id":1,"parent":2,"name":"child","virt_start":0,"virt_end":1}
+{"id":2,"parent":0,"name":"run","virt_start":0,"virt_end":1}
+`
+	if err := os.WriteFile(bad, []byte(lines), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if code := traceSummary([]string{"-check", bad}, &stdout, &stderr); code != 1 {
+		t.Errorf("invalid-trace exit %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "invalid trace") {
+		t.Errorf("stderr does not report the schema violation: %s", stderr.String())
+	}
+}

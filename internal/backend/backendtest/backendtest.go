@@ -55,6 +55,7 @@ func Run(t *testing.T, f Factory) {
 	t.Run("ClockMonotonicity", func(t *testing.T) { testClockMonotonicity(t, f) })
 	t.Run("SnapshotIsolation", func(t *testing.T) { testSnapshotIsolation(t, f) })
 	t.Run("PlanCacheCoherence", func(t *testing.T) { testPlanCacheCoherence(t, f) })
+	t.Run("InstrumentedMonotonicity", func(t *testing.T) { testInstrumentedMonotonicity(t, f) })
 }
 
 // queries returns the suite's workload.
@@ -375,6 +376,90 @@ func testSnapshotIsolation(t *testing.T, f Factory) {
 		}
 	} else {
 		sn.AbsorbSnapshot(snap)
+	}
+}
+
+// testInstrumentedMonotonicity: when the backend advertises the Instrumented
+// capability, each observation-surface call must monotonically increase that
+// surface's call counter (and only that surface's), errors must count against
+// the erroring surface, and the virtual-time histogram must absorb exactly the
+// time the call charged to the clock.
+func testInstrumentedMonotonicity(t *testing.T, f Factory) {
+	b := open(t, f)
+	ins, ok := b.(backend.Instrumented)
+	if !ok {
+		t.Skip("backend is not Instrumented")
+	}
+	qs := queries(t)
+	q := qs[0]
+
+	surface := func(st backend.Stats, name string) backend.SurfaceStats {
+		for _, sf := range st.Surfaces() {
+			if sf.Name == name {
+				return *sf.S
+			}
+		}
+		t.Fatalf("Stats.Surfaces() is missing %q", name)
+		return backend.SurfaceStats{}
+	}
+	// step runs op and asserts exactly the named surface's counters moved.
+	step := func(name string, wantErr bool, op func()) {
+		t.Helper()
+		before := ins.BackendStats()
+		op()
+		after := ins.BackendStats()
+		for _, sf := range after.Surfaces() {
+			prev := surface(before, sf.Name)
+			if sf.Name == name {
+				if sf.S.Calls != prev.Calls+1 {
+					t.Errorf("%s: calls %d -> %d, want +1", name, prev.Calls, sf.S.Calls)
+				}
+				wantErrs := prev.Errors
+				if wantErr {
+					wantErrs++
+				}
+				if sf.S.Errors != wantErrs {
+					t.Errorf("%s: errors %d -> %d, want %d", name, prev.Errors, sf.S.Errors, wantErrs)
+				}
+				if sf.S.Wall.Count != prev.Wall.Count+1 || sf.S.Virtual.Count != prev.Virtual.Count+1 {
+					t.Errorf("%s: histogram counts did not advance with the call", name)
+				}
+				continue
+			}
+			if sf.S.Calls != prev.Calls {
+				t.Errorf("%s call moved %s's counter: %d -> %d", name, sf.Name, prev.Calls, sf.S.Calls)
+			}
+		}
+	}
+
+	step("run_query", false, func() { b.RunQuery(q, math.Inf(1)) })
+	// An interrupted query is an error on the run_query surface.
+	step("run_query", true, func() { b.RunQuery(q, b.QuerySeconds(q)/2) })
+	step("apply_config", false, func() {
+		if err := b.ApplyConfig(&engine.Config{ID: "ok", Params: map[string]string{"work_mem": "256MB"}}); err != nil {
+			t.Fatalf("ApplyConfig: %v", err)
+		}
+	})
+	step("apply_config", true, func() {
+		if err := b.ApplyConfig(&engine.Config{ID: "bad", Params: map[string]string{"work_mem": "banana"}}); err == nil {
+			t.Fatal("invalid ApplyConfig accepted")
+		}
+	})
+	tab := b.Catalog().Tables()[0]
+	def := engine.IndexDef{Table: tab.Name, Columns: tab.Columns[0].Name}
+	c0 := b.Clock().Now()
+	var charged float64
+	step("create_index", false, func() { charged = b.CreateIndex(def) })
+	step("explain", false, func() { b.Explain(q) })
+
+	// The virtual histogram absorbs exactly what the call charged.
+	st := ins.BackendStats()
+	ci := surface(st, "create_index")
+	if got := b.Clock().Now() - c0; !near(got, charged) {
+		t.Errorf("CreateIndex charged %v but the clock moved %v", charged, got)
+	}
+	if !near(ci.Virtual.Sum, charged) {
+		t.Errorf("create_index virtual histogram sum %v, want the charged %v", ci.Virtual.Sum, charged)
 	}
 }
 

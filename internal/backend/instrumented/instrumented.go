@@ -9,10 +9,12 @@ package instrumented
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
+	"lambdatune/internal/obs"
 )
 
 func init() {
@@ -25,24 +27,90 @@ func init() {
 	})
 }
 
-// collector is the mutex-protected accumulator shared by a backend and all
-// its snapshots, so replica work taken on clones is counted in one place.
-type collector struct {
-	mu    sync.Mutex
-	stats backend.Stats
+// surfaceCollector accumulates one observation surface. Call and error
+// counts are atomics so the hot path is lock-free for the scalar part; the
+// two histograms share one surface-local mutex, so concurrent pool workers
+// contend only when they hit the *same* surface at the same instant (the
+// mutex space is sharded by surface) — never across surfaces, and never on
+// the counters.
+type surfaceCollector struct {
+	calls  atomic.Uint64
+	errors atomic.Uint64
+
+	mu      sync.Mutex // guards the two histograms only
+	wall    backend.Histogram
+	virtual backend.Histogram
+
+	// Registry handles, resolved once by AttachMetrics (nil handles are
+	// no-ops, so an unattached backend pays four nil checks per call).
+	mCalls, mErrors      *obs.Counter
+	mVirtSecs, mWallSecs *obs.Counter
+	mVirtHist            *obs.MetricHistogram
 }
 
-// observe records one call on a surface selected by pick.
-func (c *collector) observe(pick func(*backend.Stats) *backend.SurfaceStats, wall, virtual float64, failed bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := pick(&c.stats)
-	s.Calls++
+// observe records one call on the surface.
+func (sc *surfaceCollector) observe(wall, virtual float64, failed bool) {
+	sc.calls.Add(1)
 	if failed {
-		s.Errors++
+		sc.errors.Add(1)
 	}
-	s.Wall.Observe(wall)
-	s.Virtual.Observe(virtual)
+	sc.mu.Lock()
+	sc.wall.Observe(wall)
+	sc.virtual.Observe(virtual)
+	sc.mu.Unlock()
+
+	sc.mCalls.Inc()
+	if failed {
+		sc.mErrors.Inc()
+	}
+	sc.mVirtSecs.Add(virtual)
+	sc.mWallSecs.Add(wall)
+	sc.mVirtHist.Observe(virtual)
+}
+
+// snapshot copies the surface into a plain SurfaceStats value.
+func (sc *surfaceCollector) snapshot() backend.SurfaceStats {
+	sc.mu.Lock()
+	wall, virtual := sc.wall, sc.virtual
+	sc.mu.Unlock()
+	return backend.SurfaceStats{
+		Calls:   sc.calls.Load(),
+		Errors:  sc.errors.Load(),
+		Wall:    wall,
+		Virtual: virtual,
+	}
+}
+
+// attach binds the surface to its named registry metrics.
+func (sc *surfaceCollector) attach(reg *obs.Registry, surface string) {
+	sc.mCalls = reg.Counter("backend_" + surface + "_calls_total")
+	sc.mErrors = reg.Counter("backend_" + surface + "_errors_total")
+	sc.mVirtSecs = reg.Counter("backend_" + surface + "_virtual_seconds_total")
+	sc.mWallSecs = reg.Counter("backend_" + surface + "_wall_seconds_total")
+	sc.mVirtHist = reg.Histogram("backend_" + surface + "_virtual_seconds")
+}
+
+// collector is the accumulator shared by a backend and all its snapshots, so
+// replica work taken on clones is counted in one place. Surfaces are
+// independent shards; there is no collector-wide lock on the observe path.
+type collector struct {
+	apply, index, query, explain surfaceCollector
+
+	// reg, when non-nil, additionally receives plan-cache gauges at
+	// BackendStats time (the counters live inside the engine, so they are
+	// pulled, not pushed).
+	reg *obs.Registry
+}
+
+// snapshot assembles a consistent-enough Stats value: each surface is
+// internally consistent; surfaces are copied one after another.
+func (c *collector) snapshot() backend.Stats {
+	return backend.Stats{
+		ApplyConfig: c.apply.snapshot(),
+		CreateIndex: c.index.snapshot(),
+		RunQuery:    c.query.snapshot(),
+		Explain:     c.explain.snapshot(),
+	}
 }
 
 // Backend wraps an inner backend with observation telemetry. Construct with
@@ -93,15 +161,36 @@ func (b *snapshottable) AbsorbSnapshot(o backend.Backend) {
 // Unwrap returns the decorated backend.
 func (b *Backend) Unwrap() backend.Backend { return b.inner }
 
+// AttachMetrics routes every future surface observation into reg as
+// backend_<surface>_{calls,errors,virtual_seconds,wall_seconds}_total
+// counters plus a backend_<surface>_virtual_seconds histogram, and makes
+// BackendStats publish the plan-cache counters as gauges. Attach before the
+// run starts; handles are resolved once, so the per-call cost is four
+// lock-free counter bumps.
+func (b *Backend) AttachMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	b.c.apply.attach(reg, "apply_config")
+	b.c.index.attach(reg, "create_index")
+	b.c.query.attach(reg, "run_query")
+	b.c.explain.attach(reg, "explain")
+	b.c.reg = reg
+}
+
 // BackendStats implements backend.Instrumented: a consistent snapshot of the
 // accumulated telemetry, shared with all snapshots taken from this backend.
 // When the inner backend reports plan-memoization counters (the
-// backend.PlanCacheStats capability), they are folded into Stats.PlanCache.
+// backend.PlanCacheStats capability), they are folded into Stats.PlanCache
+// and, when a registry is attached, mirrored as backend_plan_cache_* gauges.
 func (b *Backend) BackendStats() backend.Stats {
-	b.c.mu.Lock()
-	st := b.c.stats
-	b.c.mu.Unlock()
+	st := b.c.snapshot()
 	st.PlanCache = backend.PlanCache(b.inner)
+	if reg := b.c.reg; reg != nil {
+		reg.Gauge("backend_plan_cache_hits").Set(float64(st.PlanCache.Hits))
+		reg.Gauge("backend_plan_cache_misses").Set(float64(st.PlanCache.Misses))
+		reg.Gauge("backend_plan_cache_evictions").Set(float64(st.PlanCache.Evictions))
+	}
 	return st
 }
 
@@ -125,8 +214,7 @@ func (b *Backend) Clock() *engine.Clock { return b.inner.Clock() }
 func (b *Backend) ApplyConfig(cfg *engine.Config) error {
 	start, v0 := time.Now(), b.inner.Clock().Now()
 	err := b.inner.ApplyConfig(cfg)
-	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.ApplyConfig },
-		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, err != nil)
+	b.c.apply.observe(time.Since(start).Seconds(), b.inner.Clock().Now()-v0, err != nil)
 	return err
 }
 
@@ -137,8 +225,7 @@ func (b *Backend) CreateIndex(def engine.IndexDef) float64 {
 	// A build that spent time but left no index behind is an injected
 	// failure; count it as a surface error.
 	failed := secs > 0 && !b.inner.HasIndex(def)
-	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.CreateIndex },
-		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, failed)
+	b.c.index.observe(time.Since(start).Seconds(), b.inner.Clock().Now()-v0, failed)
 	return secs
 }
 
@@ -146,8 +233,7 @@ func (b *Backend) CreateIndex(def engine.IndexDef) float64 {
 func (b *Backend) RunQuery(q *engine.Query, timeout float64) engine.ExecResult {
 	start, v0 := time.Now(), b.inner.Clock().Now()
 	res := b.inner.RunQuery(q, timeout)
-	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.RunQuery },
-		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, !res.Complete)
+	b.c.query.observe(time.Since(start).Seconds(), b.inner.Clock().Now()-v0, !res.Complete)
 	return res
 }
 
@@ -155,8 +241,7 @@ func (b *Backend) RunQuery(q *engine.Query, timeout float64) engine.ExecResult {
 func (b *Backend) Explain(q *engine.Query) []engine.JoinCost {
 	start, v0 := time.Now(), b.inner.Clock().Now()
 	out := b.inner.Explain(q)
-	b.c.observe(func(s *backend.Stats) *backend.SurfaceStats { return &s.Explain },
-		time.Since(start).Seconds(), b.inner.Clock().Now()-v0, false)
+	b.c.explain.observe(time.Since(start).Seconds(), b.inner.Clock().Now()-v0, false)
 	return out
 }
 

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lambdatune/internal/core/tuner"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden trace-shape files")
+
+// tracedE1 runs E1 (TPC-H SF1, Postgres, seed 1) with tracing attached and
+// returns the result and the trace's deterministic shape rendering.
+func tracedE1(t *testing.T, p int) (*tuner.Result, string) {
+	t.Helper()
+	sc := Scenario{Benchmark: "tpch-1", Flavor: engine.Postgres, Seed: 1}
+	db, w, err := sc.NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := db.WorkloadSeconds(w.Queries)
+	opts := tuner.DefaultOptions()
+	opts.Seed = 1
+	opts.Selector.Parallelism = p
+	tr := obs.NewTracer()
+	opts.Trace = tr
+	lt := &LambdaTune{Seed: 1, Opts: &opts}
+	res, err := lt.RunLambdaTune(db, w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := tr.Records()
+	if err := obs.ValidateRecords(recs); err != nil {
+		t.Fatalf("trace violates the span schema: %v", err)
+	}
+	// Tracing must be passive: the traced run reproduces the untraced golden
+	// selection byte for byte (same strings TestGoldenSelectionE1 pins).
+	got := fmt.Sprintf("p=%d best=%s bestTime=%.17g default=%.17g speedup=%.17g tuning=%.17g",
+		p, res.Best.ID, res.BestTime, def, def/res.BestTime, res.TuningSeconds)
+	golden := map[int]string{
+		1: "p=1 best=llm-1 bestTime=10.136116263704787 default=80.00490240754776 speedup=7.8930529530356512 tuning=272.15842967122728",
+		4: "p=4 best=llm-1 bestTime=10.136116263704787 default=80.00490240754776 speedup=7.8930529530356512 tuning=216.78565701897892",
+	}
+	if got != golden[p] {
+		t.Errorf("traced selection drifted from the untraced golden:\n got  %s\n want %s", got, golden[p])
+	}
+	return res, obs.ShapeString(recs)
+}
+
+// TestGoldenTraceShapeE1 pins the trace tree of E1 — span nesting, names,
+// attributes, and virtual timestamps — against checked-in goldens at
+// Parallelism 1 and 4, and asserts the shape is reproducible run over run.
+// Wall-clock annotations are excluded from the shape (they are the only
+// nondeterministic part of a trace). Regenerate with `go test -run
+// TestGoldenTraceShapeE1 -update ./internal/bench/`.
+func TestGoldenTraceShapeE1(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		t.Run(fmt.Sprintf("parallelism-%d", p), func(t *testing.T) {
+			_, shape := tracedE1(t, p)
+			_, again := tracedE1(t, p)
+			if shape != again {
+				t.Fatalf("trace shape not reproducible across identical runs (parallelism %d)", p)
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("trace_shape_e1_p%d.golden", p))
+			if *updateGolden {
+				if err := os.WriteFile(path, []byte(shape), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if shape != string(want) {
+				t.Errorf("trace shape drifted from golden %s:\n--- got:\n%.2000s\n--- want:\n%.2000s",
+					path, shape, want)
+			}
+		})
+	}
+}

@@ -10,7 +10,10 @@ package bench
 import (
 	"context"
 	"fmt"
+	"log"
 	"math"
+	"path/filepath"
+	"sync/atomic"
 
 	"lambdatune/internal/backend"
 	"lambdatune/internal/baselines"
@@ -24,8 +27,21 @@ import (
 	"lambdatune/internal/core/tuner"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
+	"lambdatune/internal/obs"
 	"lambdatune/internal/workload"
 )
+
+// traceDir, when set, makes every RunLambdaTune invocation record a span
+// trace and write it to <dir>/run-<seq>-seed<seed>.jsonl.
+var (
+	traceDir string
+	traceSeq atomic.Int64
+)
+
+// SetTraceDir enables per-run JSONL trace export for all subsequent
+// RunLambdaTune calls ("" disables). benchrunner -trace-dir uses this; the
+// directory must already exist. Not safe to flip concurrently with runs.
+func SetTraceDir(dir string) { traceDir = dir }
 
 // Scenario is one evaluation setting: benchmark × DBMS × initial-index
 // regime.
@@ -154,7 +170,19 @@ func (l *LambdaTune) RunLambdaTune(db backend.Backend, queries []*engine.Query) 
 	if l.ParamsOnly {
 		client = stripIndexes{inner: client}
 	}
-	return tuner.New(db, client, opts).Tune(context.Background(), queries)
+	var tr *obs.Tracer
+	if traceDir != "" {
+		tr = obs.NewTracer()
+		opts.Trace = tr
+	}
+	res, err := tuner.New(db, client, opts).Tune(context.Background(), queries)
+	if tr != nil {
+		path := filepath.Join(traceDir, fmt.Sprintf("run-%03d-seed%d.jsonl", traceSeq.Add(1), l.Seed))
+		if werr := tr.WriteFile(path); werr != nil {
+			log.Printf("bench: trace export: %v", werr)
+		}
+	}
+	return res, err
 }
 
 // baselineSet builds the five comparison tuners for a scenario. ParamsOnly

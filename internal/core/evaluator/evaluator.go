@@ -11,6 +11,7 @@ import (
 
 	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
+	"lambdatune/internal/obs"
 )
 
 // ConfigMeta is the per-configuration bookkeeping of Table 2.
@@ -58,6 +59,23 @@ type Evaluator struct {
 	// relevance maps) across evaluation rounds. Nil disables memoization;
 	// results are identical either way.
 	Memo *Memo
+	// Trace/Span/Metrics are the optional telemetry hooks: when both Trace
+	// and Span (the current candidate's span) are set, Evaluate opens
+	// schedule / index.build / query child spans under Span; Metrics feeds
+	// the tuner_* counters. All nil-safe — an untraced evaluator pays one
+	// nil check per site.
+	Trace   *obs.Tracer
+	Span    *obs.Span
+	Metrics *obs.Registry
+}
+
+// startSpan opens a child span under the current candidate span, or returns
+// nil when tracing is off (no candidate span or no tracer).
+func (e *Evaluator) startSpan(name string, virt float64, attrs ...obs.Attr) *obs.Span {
+	if e.Span == nil {
+		return nil
+	}
+	return e.Trace.Start(e.Span, name, virt, attrs...)
 }
 
 // New creates an evaluator with the paper's defaults (scheduler and lazy
@@ -122,17 +140,29 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 		created[ix.Key()] = true
 	}
 	meta.IsComplete = true
+	clock := e.DB.Clock()
 
-	indexMap := e.Memo.queryIndexMap(queries, cfg)
+	// The scheduling preamble costs no virtual time (host CPU only), so its
+	// span is a point on the virtual axis; the wall annotation carries the
+	// real cost, and the memo-hit attributes explain it.
+	schedSpan := e.startSpan("schedule", clock.Now())
+	indexMap, mapHit := e.Memo.queryIndexMap(queries, cfg)
 	ordered := queries
+	orderHit := false
 	if e.UseScheduler {
-		ordered = e.Memo.sched().Order(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
+		ordered, orderHit = e.Memo.sched().OrderWithHit(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
 	}
+	// Memo hits depend on which pool worker warmed the shared memo first, so
+	// they are annotations, not part of the deterministic trace shape.
+	schedSpan.SetAttrs(obs.Bool("scheduler", e.UseScheduler),
+		obs.Annot(obs.Bool("map_memo_hit", mapHit)), obs.Annot(obs.Bool("order_memo_hit", orderHit)))
+	schedSpan.End(clock.Now())
+
 	if !e.LazyIndexes {
 		// Eager creation: every configuration index up front.
 		for _, ix := range cfg.Indexes {
 			if !created[ix.Key()] {
-				meta.IndexTime += e.DB.CreateIndex(ix)
+				meta.IndexTime += e.createIndex(ix)
 				created[ix.Key()] = true
 			}
 		}
@@ -148,17 +178,23 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 		if e.LazyIndexes {
 			for _, ix := range indexMap[q] {
 				if !created[ix.Key()] {
-					meta.IndexTime += e.DB.CreateIndex(ix)
+					meta.IndexTime += e.createIndex(ix)
 					created[ix.Key()] = true
 				}
 			}
 		}
+		qSpan := e.startSpan("query", clock.Now(), obs.String("query", q.Name))
 		res := e.DB.RunQuery(q, remaining)
+		qSpan.SetAttrs(obs.Float("seconds", res.Seconds),
+			obs.Bool("complete", res.Complete), obs.Bool("aborted", res.Aborted))
+		qSpan.End(clock.Now())
+		e.Metrics.Counter("tuner_queries_total").Inc()
 		if res.Aborted {
 			// Injected engine fault: the wasted time still counts against
 			// the round's budget, but the round degrades gracefully — the
 			// remaining queries keep running and the aborted one is retried
 			// in a later round (meta.Completed is the resume checkpoint).
+			e.Metrics.Counter("tuner_query_aborts_total").Inc()
 			meta.Aborts++
 			meta.IsComplete = false
 			remaining -= res.Seconds
@@ -175,6 +211,18 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 		meta.Time += res.Seconds
 		meta.Completed[q.Name] = true
 	}
+}
+
+// createIndex builds one index under an index.build span and bumps the
+// index-build counter.
+func (e *Evaluator) createIndex(ix engine.IndexDef) float64 {
+	clock := e.DB.Clock()
+	sp := e.startSpan("index.build", clock.Now(), obs.String("index", ix.Key()))
+	secs := e.DB.CreateIndex(ix)
+	sp.SetAttrs(obs.Float("seconds", secs))
+	sp.End(clock.Now())
+	e.Metrics.Counter("tuner_index_builds_total").Inc()
+	return secs
 }
 
 // Apply switches the database to configuration cfg: transient indexes of the

@@ -55,9 +55,11 @@ func (m *Memo) sched() *schedule.Memo {
 // degrades to the plain computation. Cached relevance slices are shared
 // between rounds and must be treated as read-only — every consumer
 // (Evaluate's lazy creation loop, the scheduler) only iterates them.
-func (m *Memo) queryIndexMap(queries []*engine.Query, cfg *engine.Config) map[*engine.Query][]engine.IndexDef {
+// The bool reports a full memo hit (every query served from cache) for
+// telemetry.
+func (m *Memo) queryIndexMap(queries []*engine.Query, cfg *engine.Config) (map[*engine.Query][]engine.IndexDef, bool) {
 	if m == nil {
-		return QueryIndexMap(queries, cfg)
+		return QueryIndexMap(queries, cfg), false
 	}
 	out := make(map[*engine.Query][]engine.IndexDef, len(queries))
 	m.mu.Lock()
@@ -69,14 +71,16 @@ func (m *Memo) queryIndexMap(queries []*engine.Query, cfg *engine.Config) map[*e
 		per = make(map[*engine.Query][]engine.IndexDef, len(queries))
 		m.maps[cfg] = per
 	}
+	hit := true
 	for _, q := range queries {
 		defs, ok := per[q]
 		if !ok {
+			hit = false
 			defs = queryIndexDefs(q, cfg, m.cols)
 			per[q] = defs
 		}
 		out[q] = defs
 	}
 	m.mu.Unlock()
-	return out
+	return out, hit
 }

@@ -7,6 +7,7 @@ import (
 
 	"lambdatune/internal/backend"
 	"lambdatune/internal/engine"
+	"lambdatune/internal/obs"
 )
 
 // Pool evaluates the candidate configurations of one selector round
@@ -39,6 +40,12 @@ type Pool struct {
 	LazyIndexes  bool
 	Seed         int64
 	Memo         *Memo
+	// Trace/Metrics are handed to the per-worker evaluators so replica work
+	// records under each task's candidate span. Trace-shape determinism
+	// holds because a candidate span and all its children are touched by
+	// exactly the one worker its task is statically assigned to.
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 	// Logf, when set, receives the pool's degradation notices (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -55,6 +62,8 @@ func NewPool(e *Evaluator, workers int) *Pool {
 		LazyIndexes:  e.LazyIndexes,
 		Seed:         e.Seed,
 		Memo:         e.Memo,
+		Trace:        e.Trace,
+		Metrics:      e.Metrics,
 	}
 }
 
@@ -67,6 +76,10 @@ type Task struct {
 	Queries []*engine.Query
 	Timeout float64
 	Meta    *ConfigMeta
+	// Span, when set, is the candidate's trace span: the owning worker tags
+	// it with its id, fills the verdict attributes, records query and
+	// index-build children under it, and ends it.
+	Span *obs.Span
 }
 
 // Run evaluates one round's tasks. It returns the round's elapsed virtual
@@ -117,13 +130,15 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 				LazyIndexes:  p.LazyIndexes,
 				Seed:         p.Seed,
 				Memo:         p.Memo,
+				Trace:        p.Trace,
+				Metrics:      p.Metrics,
 			}
 			start := snap.Clock().Now()
 			for i := w; i < len(tasks); i += workers {
 				if ctx.Err() != nil {
 					break
 				}
-				runTask(ctx, ev, tasks[i])
+				runTask(ctx, ev, tasks[i], w)
 			}
 			elapsed[w] = snap.Clock().Now() - start
 		}(w, snap)
@@ -153,28 +168,44 @@ func (p *Pool) runSequential(ctx context.Context, tasks []Task) (float64, error)
 		LazyIndexes:  p.LazyIndexes,
 		Seed:         p.Seed,
 		Memo:         p.Memo,
+		Trace:        p.Trace,
+		Metrics:      p.Metrics,
 	}
 	start := p.DB.Clock().Now()
 	for _, t := range tasks {
 		if ctx.Err() != nil {
 			break
 		}
-		runTask(ctx, ev, t)
+		runTask(ctx, ev, t, 0)
 	}
 	return p.DB.Clock().Now() - start, ctx.Err()
 }
 
 // runTask applies and evaluates one candidate, marking unusable
 // configurations permanently incomplete like the sequential selector path.
-func runTask(ctx context.Context, ev *Evaluator, t Task) {
+// The task's candidate span (if any) is owned by this worker from here on:
+// it gets the worker id, the evaluation children, the verdict attributes,
+// and its End — all stamped from the worker's own (replica) clock.
+func runTask(ctx context.Context, ev *Evaluator, t Task, worker int) {
+	clock := ev.DB.Clock()
+	t.Span.SetAttrs(obs.Int("worker", worker))
+	ev.Span = t.Span
+	defer func() { ev.Span = nil }()
 	if t.Timeout <= 0 {
+		t.Span.SetAttrs(obs.Bool("skipped", true))
+		t.Span.End(clock.Now())
 		return
 	}
 	if err := ev.Apply(t.Config); err != nil {
 		t.Meta.IsComplete = false
+		t.Span.SetAttrs(obs.Bool("apply_failed", true))
+		t.Span.End(clock.Now())
 		return
 	}
 	ev.Evaluate(ctx, t.Config, t.Queries, t.Timeout, t.Meta)
+	t.Span.SetAttrs(obs.Bool("complete", t.Meta.IsComplete),
+		obs.Float("time", t.Meta.Time), obs.Float("index_time", t.Meta.IndexTime))
+	t.Span.End(clock.Now())
 }
 
 // logf routes degradation notices to Logf or the standard logger.

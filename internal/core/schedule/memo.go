@@ -46,8 +46,15 @@ func NewMemo() *Memo { return &Memo{} }
 // receiver degrades to the plain DP, so callers can thread an optional memo
 // without branching.
 func (m *Memo) Order(queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef, cost IndexCost, seed int64) []*engine.Query {
+	out, _ := m.OrderWithHit(queries, indexMap, cost, seed)
+	return out
+}
+
+// OrderWithHit is Order plus a hit report for telemetry: the bool is true
+// when the permutation came from the memo rather than a fresh DP run.
+func (m *Memo) OrderWithHit(queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef, cost IndexCost, seed int64) ([]*engine.Query, bool) {
 	if m == nil {
-		return Order(queries, indexMap, cost, seed)
+		return Order(queries, indexMap, cost, seed), false
 	}
 	var b strings.Builder
 	var buf [8]byte
@@ -81,7 +88,7 @@ func (m *Memo) Order(queries []*engine.Query, indexMap map[*engine.Query][]engin
 		for i, idx := range e.perm {
 			out[i] = e.in[idx]
 		}
-		return out
+		return out, true
 	}
 
 	out := Order(queries, indexMap, cost, seed)
@@ -102,7 +109,7 @@ func (m *Memo) Order(queries []*engine.Query, indexMap map[*engine.Query][]engin
 	}
 	m.m[key] = memoEntry{in: in, perm: perm}
 	m.mu.Unlock()
-	return out
+	return out, false
 }
 
 func sameQueries(a, b []*engine.Query) bool {

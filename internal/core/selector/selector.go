@@ -23,6 +23,7 @@ import (
 	"lambdatune/internal/backend"
 	"lambdatune/internal/core/evaluator"
 	"lambdatune/internal/engine"
+	"lambdatune/internal/obs"
 )
 
 // ErrBudgetExhausted reports that the evaluation budget (Options.MaxRounds)
@@ -98,6 +99,16 @@ type Selector struct {
 	// Progress records best-so-far events on the virtual clock.
 	Progress []ProgressEvent
 
+	// Trace/Span/Reporter/Metrics are the optional telemetry hooks the
+	// tuner installs after New: Span is the "selection" span rounds nest
+	// under, Reporter receives live round/candidate narration (emitted only
+	// from the coordinating goroutine, so event order is deterministic),
+	// Metrics feeds the tuner_* counters. All nil-safe.
+	Trace    *obs.Tracer
+	Span     *obs.Span
+	Reporter obs.ProgressSink
+	Metrics  *obs.Registry
+
 	resume *RoundState
 	state  *RoundState
 }
@@ -118,13 +129,55 @@ func (s *Selector) Resume(st *RoundState) { s.resume = st }
 // a round that was interrupted by cancellation.
 func (s *Selector) Checkpoint() *RoundState { return s.state }
 
-// saveState records the checkpoint after a finished round.
+// saveState records the checkpoint after a finished round and marks the
+// save on the selection span.
 func (s *Selector) saveState(candidates []*engine.Config, rounds int, timeout float64) {
 	st := &RoundState{Round: rounds, Timeout: timeout, Metas: map[string]*evaluator.ConfigMeta{}}
 	for _, c := range candidates {
 		st.Metas[c.ID] = s.Metas[c]
 	}
 	s.state = st
+	s.Span.Event("checkpoint", s.Eval.DB.Clock().Now(),
+		obs.Int("round", rounds), obs.Float("timeout", timeout))
+}
+
+// startRound opens one round's span under the selection span and narrates
+// it; nil-safe when tracing is off.
+func (s *Selector) startRound(round int, timeout float64) *obs.Span {
+	now := s.Eval.DB.Clock().Now()
+	s.Metrics.Counter("tuner_rounds_total").Inc()
+	obs.Emitf(s.Reporter, now, "round", "round %d: per-candidate timeout %.4gs", round, timeout)
+	if s.Span == nil {
+		return nil
+	}
+	return s.Trace.Start(s.Span, "round", now, obs.Int("round", round), obs.Float("timeout", timeout))
+}
+
+// adaptTimeout applies Algorithm 2 line 14 (index-time-aware timeout
+// adaptation) and records the adjustment as a round-span event.
+func (s *Selector) adaptTimeout(candidates []*engine.Config, t float64, roundSpan *obs.Span) float64 {
+	if !s.Opts.AdaptiveTimeout {
+		return t
+	}
+	t0 := t
+	for _, c := range candidates {
+		if it := s.Metas[c].IndexTime; it > t {
+			t = it
+		}
+	}
+	if t > t0 {
+		now := s.Eval.DB.Clock().Now()
+		roundSpan.Event("timeout.adapted", now, obs.Float("from", t0), obs.Float("to", t))
+		obs.Emitf(s.Reporter, now, "timeout", "timeout adapted %.4gs -> %.4gs (index creation dominates)", t0, t)
+	}
+	return t
+}
+
+// noteBest narrates and gauges a new best-so-far configuration.
+func (s *Selector) noteBest(id string, time float64) {
+	now := s.Eval.DB.Clock().Now()
+	obs.Emitf(s.Reporter, now, "best", "new best %s: workload %.4gs", id, time)
+	s.Metrics.Gauge("tuner_best_seconds").Set(time)
 }
 
 // Select is Algorithm 2 (ConfigSelect): it returns the configuration with
@@ -192,8 +245,9 @@ func (s *Selector) selectSequential(ctx context.Context, candidates []*engine.Co
 		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
 			return nil, ErrBudgetExhausted
 		}
-		for _, c := range s.byThroughput(candidates) {
-			s.update(ctx, c, t, &best)
+		roundSpan := s.startRound(rounds, t)
+		for seq, c := range s.byThroughput(candidates) {
+			s.update(ctx, c, t, &best, roundSpan, "round", seq)
 			if s.Metas[c].IsComplete {
 				remaining = without(candidates, c)
 				break
@@ -202,30 +256,29 @@ func (s *Selector) selectSequential(ctx context.Context, candidates []*engine.Co
 		if err := ctx.Err(); err != nil {
 			// Mid-round cancellation: checkpoint the partial progress (the
 			// metas record every completed query) so Resume can continue.
+			roundSpan.End(s.Eval.DB.Clock().Now())
 			s.saveState(candidates, rounds-1, t)
 			return nil, err
 		}
 		if !math.IsInf(best.Time, 1) {
+			roundSpan.SetAttrs(obs.Bool("complete_found", true))
+			roundSpan.End(s.Eval.DB.Clock().Now())
 			s.saveState(candidates, rounds, t)
 			break
 		}
 		// Reconfiguration overheads: never let the next round's timeout be
 		// dominated by index creation (Algorithm 2 line 14).
-		if s.Opts.AdaptiveTimeout {
-			for _, c := range candidates {
-				if it := s.Metas[c].IndexTime; it > t {
-					t = it
-				}
-			}
-		}
+		t = s.adaptTimeout(candidates, t, roundSpan)
 		t *= alpha
+		roundSpan.SetAttrs(obs.Bool("complete_found", false))
+		roundSpan.End(s.Eval.DB.Clock().Now())
 		s.saveState(candidates, rounds, t)
 	}
 
 	// Give every remaining configuration one chance with the tightened,
 	// best-based timeout (lines 17-18).
-	for _, c := range s.byThroughput(remaining) {
-		s.update(ctx, c, t, &best)
+	for seq, c := range s.byThroughput(remaining) {
+		s.update(ctx, c, t, &best, s.Span, "final", seq)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -255,9 +308,10 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
 			return nil, ErrBudgetExhausted
 		}
+		roundSpan := s.startRound(rounds, t)
 		ordered := s.byThroughput(candidates)
 		tasks := make([]evaluator.Task, 0, len(ordered))
-		for _, c := range ordered {
+		for seq, c := range ordered {
 			m := s.Metas[c]
 			todo := s.todo(m)
 			if len(todo) == 0 {
@@ -265,9 +319,20 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 				m.IsComplete = true
 				continue
 			}
-			tasks = append(tasks, evaluator.Task{Config: c, Queries: todo, Timeout: t, Meta: m})
+			// Candidate spans are created here, in the round's evaluation
+			// order on the coordinating goroutine, before any worker runs:
+			// creation order (and so trace shape) is parallelism-invariant
+			// scheduling-wise. The owning worker fills and ends each span.
+			var span *obs.Span
+			if roundSpan != nil {
+				span = s.Trace.Start(roundSpan, "candidate", s.Eval.DB.Clock().Now(),
+					obs.String("config", c.ID), obs.Int("seq", seq),
+					obs.String("phase", "round"), obs.Float("timeout", t))
+			}
+			tasks = append(tasks, evaluator.Task{Config: c, Queries: todo, Timeout: t, Meta: m, Span: span})
 		}
 		if _, err := pool.Run(ctx, tasks); err != nil {
+			roundSpan.End(s.Eval.DB.Clock().Now())
 			s.saveState(candidates, rounds-1, t)
 			return nil, err
 		}
@@ -281,6 +346,7 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 					BestTime: m.Time,
 					ConfigID: c.ID,
 				})
+				s.noteBest(c.ID, m.Time)
 			}
 		}
 		if !math.IsInf(best.Time, 1) {
@@ -289,17 +355,15 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 					remaining = append(remaining, c)
 				}
 			}
+			roundSpan.SetAttrs(obs.Bool("complete_found", true))
+			roundSpan.End(s.Eval.DB.Clock().Now())
 			s.saveState(candidates, rounds, t)
 			break
 		}
-		if s.Opts.AdaptiveTimeout {
-			for _, c := range candidates {
-				if it := s.Metas[c].IndexTime; it > t {
-					t = it
-				}
-			}
-		}
+		t = s.adaptTimeout(candidates, t, roundSpan)
 		t *= alpha
+		roundSpan.SetAttrs(obs.Bool("complete_found", false))
+		roundSpan.End(s.Eval.DB.Clock().Now())
 		s.saveState(candidates, rounds, t)
 	}
 
@@ -308,17 +372,28 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 	// within the best-based budget, so the global minimum always completes.
 	ordered := s.byThroughput(remaining)
 	tasks := make([]evaluator.Task, 0, len(ordered))
-	for _, c := range ordered {
+	for seq, c := range ordered {
 		m := s.Metas[c]
+		var span *obs.Span
+		if s.Span != nil && s.Trace != nil {
+			span = s.Trace.Start(s.Span, "candidate", s.Eval.DB.Clock().Now(),
+				obs.String("config", c.ID), obs.Int("seq", seq), obs.String("phase", "final"))
+		}
 		budget := best.Time - m.Time
 		if budget <= 0 {
-			continue // provably suboptimal (paper §4, Best Configuration)
+			// Provably suboptimal (paper §4, Best Configuration).
+			span.SetAttrs(obs.Bool("skipped", true))
+			span.End(s.Eval.DB.Clock().Now())
+			continue
 		}
 		todo := s.todo(m)
 		if len(todo) == 0 {
+			span.SetAttrs(obs.Bool("skipped", true))
+			span.End(s.Eval.DB.Clock().Now())
 			continue
 		}
-		tasks = append(tasks, evaluator.Task{Config: c, Queries: todo, Timeout: budget, Meta: m})
+		span.SetAttrs(obs.Float("timeout", budget))
+		tasks = append(tasks, evaluator.Task{Config: c, Queries: todo, Timeout: budget, Meta: m, Span: span})
 	}
 	if _, err := pool.Run(ctx, tasks); err != nil {
 		return nil, err
@@ -331,6 +406,7 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 				BestTime: m.Time,
 				ConfigID: c.ID,
 			})
+			s.noteBest(c.ID, m.Time)
 		}
 	}
 	return best.Config, nil
@@ -347,17 +423,31 @@ func (s *Selector) todo(meta *evaluator.ConfigMeta) []*engine.Query {
 	return out
 }
 
-// update is Algorithm 2's Update procedure.
-func (s *Selector) update(ctx context.Context, c *engine.Config, t float64, best *Best) {
+// update is Algorithm 2's Update procedure. When tracing is on (parent span
+// set), the candidate's evaluation — including the tightened-timeout and
+// provably-suboptimal-skip verdicts — records as a candidate span under
+// parent, with phase "round" or "final" and its position seq in the round's
+// evaluation order.
+func (s *Selector) update(ctx context.Context, c *engine.Config, t float64, best *Best, parent *obs.Span, phase string, seq int) {
+	clock := s.Eval.DB.Clock()
+	var span *obs.Span
+	if parent != nil && s.Trace != nil {
+		span = s.Trace.Start(parent, "candidate", clock.Now(),
+			obs.String("config", c.ID), obs.Int("seq", seq),
+			obs.String("phase", phase), obs.Int("worker", 0))
+	}
 	meta := s.Metas[c]
 	if !math.IsInf(best.Time, 1) {
 		// Any configuration exceeding best.Time − completed time is
 		// provably suboptimal (paper §4, Best Configuration).
 		t = best.Time - meta.Time
 		if t <= 0 {
+			span.SetAttrs(obs.Bool("skipped", true))
+			span.End(clock.Now())
 			return
 		}
 	}
+	span.SetAttrs(obs.Float("timeout", t))
 	todo := s.todo(meta)
 	if len(todo) == 0 {
 		meta.IsComplete = true
@@ -366,10 +456,17 @@ func (s *Selector) update(ctx context.Context, c *engine.Config, t float64, best
 			// Unusable configuration (bad parameter values): mark it
 			// permanently incomplete.
 			meta.IsComplete = false
+			span.SetAttrs(obs.Bool("apply_failed", true))
+			span.End(clock.Now())
 			return
 		}
+		s.Eval.Span = span
 		s.Eval.Evaluate(ctx, c, todo, t, meta)
+		s.Eval.Span = nil
 	}
+	span.SetAttrs(obs.Bool("complete", meta.IsComplete),
+		obs.Float("time", meta.Time), obs.Float("index_time", meta.IndexTime))
+	span.End(clock.Now())
 	if meta.IsComplete && meta.Time < best.Time {
 		best.Time = meta.Time
 		best.Config = c
@@ -378,6 +475,7 @@ func (s *Selector) update(ctx context.Context, c *engine.Config, t float64, best
 			BestTime: meta.Time,
 			ConfigID: c.ID,
 		})
+		s.noteBest(c.ID, meta.Time)
 	}
 }
 

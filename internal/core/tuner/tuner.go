@@ -16,6 +16,7 @@ import (
 	"lambdatune/internal/core/selector"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
+	"lambdatune/internal/obs"
 )
 
 // ErrNoUsableSample reports that every LLM sample failed or produced an
@@ -54,6 +55,19 @@ type Options struct {
 	// pool, guaranteeing a non-nil Best (never worse than not tuning) even
 	// when every LLM candidate is bad or keeps aborting.
 	SeedDefault bool
+	// Trace, when set, records the run as a span tree (run → prompt /
+	// llm.sample / selection → round → candidate → query / index.build):
+	// virtual timestamps from the database clock, host wall times as
+	// annotations only. Tracing is passive — a traced run selects the same
+	// configuration, byte for byte, as an untraced one.
+	Trace *obs.Tracer
+	// Metrics, when set, receives the run's tuner_* counters/gauges and —
+	// when the backend is the instrumented decorator with an attached
+	// registry — the backend_* surface metrics.
+	Metrics *obs.Registry
+	// Progress, when set, receives live round/candidate/timeout narration
+	// stamped with virtual timestamps (e.g. obs.NewConsoleReporter).
+	Progress obs.ProgressSink
 }
 
 // DefaultOptions matches the paper's experimental setup (§6.1).
@@ -153,6 +167,11 @@ type Result struct {
 	// the instrumented decorator. Nil otherwise. The counters are cumulative
 	// over the backend's lifetime, not per run.
 	BackendStats *backend.Stats
+	// Telemetry condenses the run's trace (span/event totals, per-phase
+	// virtual/wall cost breakdown) and metrics snapshot. Non-nil whenever
+	// Options.Trace or Options.Metrics was set — including on partial
+	// results returned with an error (cancellation, exhausted budget).
+	Telemetry *obs.Summary
 }
 
 // Tuner runs Algorithm 1 against a database backend and workload.
@@ -198,41 +217,81 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("tuner: empty workload")
 	}
-	start := t.DB.Clock().Now()
+	clock := t.DB.Clock()
+	start := clock.Now()
 	abortsBefore, ixFailsBefore := backend.QueryAborts(t.DB), backend.IndexFailures(t.DB)
 	statsBefore := clientStats(t.Client)
 
+	tr := t.Opts.Trace
+	runSpan := tr.Start(nil, "run", start,
+		obs.Int("samples", t.Opts.Samples), obs.Int("queries", len(queries)),
+		obs.Int("parallelism", t.Opts.Selector.Parallelism))
+	obs.Emitf(t.Opts.Progress, start, "run", "tuning run: %d queries, %d samples, parallelism %d",
+		len(queries), t.Opts.Samples, t.Opts.Selector.Parallelism)
+	// finish closes the run on every exit path that has a result — success,
+	// cancellation, exhausted budget — so BackendStats and the Telemetry
+	// summary are populated even on partial results.
+	finish := func(res *Result) {
+		res.TuningSeconds = clock.Now() - start
+		t.exportBackendStats(res)
+		t.exportMetrics(res)
+		if res.Best != nil {
+			runSpan.SetAttrs(obs.String("best", res.Best.ID), obs.Float("best_time", res.BestTime))
+		}
+		runSpan.End(clock.Now())
+		t.exportTelemetry(res)
+		obs.Emitf(t.Opts.Progress, clock.Now(), "run", "done: best=%s tuning=%.4gs",
+			bestID(res), res.TuningSeconds)
+	}
+
 	// Prompt generation (§3). EXPLAIN-based snippet valuation uses the
 	// database's current (default) configuration.
+	promptSpan := tr.Start(runSpan, "prompt", clock.Now())
 	pr, err := prompt.Generate(t.DB, queries, t.DB.Hardware(), t.Opts.Prompt)
+	promptSpan.SetAttrs(obs.Int("tokens", pr.TotalTokens))
+	promptSpan.End(clock.Now())
 	if err != nil {
+		runSpan.End(clock.Now())
 		return nil, err
 	}
 	res := &Result{Prompt: pr}
 
 	// k LLM calls (Algorithm 1 line 3), each retried on transient API
-	// failures or unparseable responses.
+	// failures or unparseable responses. Each sample's span is carried in
+	// the call context so the resilient client can attach its retry /
+	// breaker / fallback events to it.
 	var sampleErrs []error
 	for i := 0; i < t.Opts.Samples; i++ {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			// Cancelled mid-sampling: still hand back the partial result so
+			// the telemetry collected so far survives.
+			t.mergeClientStats(res, statsBefore)
+			finish(res)
+			return res, err
 		}
-		cfg, warns, err := t.sample(ctx, pr.Text, i+1)
+		sampleSpan := tr.Start(runSpan, "llm.sample", clock.Now(), obs.Int("idx", i+1))
+		sctx := obs.ContextWithSpan(ctx, sampleSpan)
+		cfg, warns, err := t.sample(sctx, pr.Text, i+1)
+		sampleSpan.SetAttrs(obs.Bool("ok", err == nil))
+		sampleSpan.End(clock.Now())
 		if err != nil {
 			sampleErrs = append(sampleErrs, fmt.Errorf("sample %d: %w", i+1, err))
 			res.Faults.DroppedSamples++
 			res.Warnings = append(res.Warnings, fmt.Sprintf("sample %d dropped: %v", i+1, err))
+			obs.Emitf(t.Opts.Progress, clock.Now(), "llm", "sample %d/%d dropped: %v", i+1, t.Opts.Samples, err)
 			continue
 		}
 		res.Warnings = append(res.Warnings, warns...)
 		res.Candidates = append(res.Candidates, cfg)
+		obs.Emitf(t.Opts.Progress, clock.Now(), "llm", "sample %d/%d ok: %s", i+1, t.Opts.Samples, cfg.ID)
 	}
 	t.mergeClientStats(res, statsBefore)
 	if len(res.Candidates) == 0 {
+		finish(res)
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return res, err
 		}
-		return nil, fmt.Errorf("%w: 0 of %d samples usable: %w",
+		return res, fmt.Errorf("%w: 0 of %d samples usable: %w",
 			ErrNoUsableSample, t.Opts.Samples, errors.Join(sampleErrs...))
 	}
 
@@ -251,17 +310,25 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 	eval.UseScheduler = t.Opts.UseScheduler
 	eval.LazyIndexes = t.Opts.LazyIndexes
 	eval.Seed = t.Opts.Seed
+	eval.Trace = tr
+	eval.Metrics = t.Opts.Metrics
 	sel := selector.New(eval, queries, t.Opts.Selector)
+	sel.Trace = tr
+	sel.Span = tr.Start(runSpan, "selection", clock.Now(), obs.Int("candidates", len(pool)))
+	sel.Reporter = t.Opts.Progress
+	sel.Metrics = t.Opts.Metrics
 	wallStart := time.Now()
 	best, selErr := sel.Select(ctx, pool)
 	res.EvalWallSeconds = time.Since(wallStart).Seconds()
+	sel.Span.End(clock.Now())
 	res.Metas = sel.Metas
 	res.Progress = sel.Progress
+	res.Faults.QueryAborts = backend.QueryAborts(t.DB) - abortsBefore
+	res.Faults.IndexFailures = backend.IndexFailures(t.DB) - ixFailsBefore
 	if selErr != nil {
 		// Cancellation or exhausted round budget: hand the partial result
 		// back with the error so telemetry and checkpoints survive.
-		res.TuningSeconds = t.DB.Clock().Now() - start
-		t.exportBackendStats(res)
+		finish(res)
 		return res, fmt.Errorf("tuner: configuration selection: %w", selErr)
 	}
 	res.Best = best
@@ -274,10 +341,7 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 			"no LLM candidate beat the default configuration; returning the default")
 	}
 	t.mergeClientStats(res, statsBefore)
-	res.Faults.QueryAborts = backend.QueryAborts(t.DB) - abortsBefore
-	res.Faults.IndexFailures = backend.IndexFailures(t.DB) - ixFailsBefore
-	res.TuningSeconds = t.DB.Clock().Now() - start
-	t.exportBackendStats(res)
+	finish(res)
 	return res, nil
 }
 
@@ -288,6 +352,48 @@ func (t *Tuner) exportBackendStats(res *Result) {
 		st := ins.BackendStats()
 		res.BackendStats = &st
 	}
+}
+
+// exportMetrics pushes the run-level resilience counters (from the fault
+// report deltas) and timing gauges into the registry.
+func (t *Tuner) exportMetrics(res *Result) {
+	reg := t.Opts.Metrics
+	if reg == nil {
+		return
+	}
+	f := res.Faults
+	reg.Counter("tuner_llm_calls_total").Add(float64(f.LLMCalls))
+	reg.Counter("tuner_llm_failures_total").Add(float64(f.LLMFailures))
+	reg.Counter("tuner_llm_retries_total").Add(float64(f.LLMRetries))
+	reg.Counter("tuner_llm_breaker_trips_total").Add(float64(f.BreakerTrips))
+	reg.Counter("tuner_llm_fallback_calls_total").Add(float64(f.FallbackCalls))
+	reg.Counter("tuner_dropped_samples_total").Add(float64(f.DroppedSamples))
+	reg.Gauge("tuner_tuning_seconds").Set(res.TuningSeconds)
+	if res.Best != nil {
+		reg.Gauge("tuner_best_seconds").Set(res.BestTime)
+	}
+}
+
+// exportTelemetry condenses the trace and metrics registry into the result's
+// Telemetry summary. No-op when neither telemetry option is set.
+func (t *Tuner) exportTelemetry(res *Result) {
+	tr, reg := t.Opts.Trace, t.Opts.Metrics
+	if tr == nil && reg == nil {
+		return
+	}
+	sum := tr.Summarize()
+	if reg != nil {
+		sum.Metrics = reg.Snapshot()
+	}
+	res.Telemetry = &sum
+}
+
+// bestID names the selected configuration for progress narration.
+func bestID(res *Result) string {
+	if res.Best == nil {
+		return "<none>"
+	}
+	return res.Best.ID
 }
 
 // clientStats snapshots the resilience telemetry when the client exposes it.

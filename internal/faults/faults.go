@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"lambdatune/internal/engine"
+	"lambdatune/internal/obs"
 )
 
 // Kind identifies one fault class of the taxonomy.
@@ -146,7 +147,15 @@ type Injector struct {
 	// rateLimitedUntil is the virtual end of the current 429 burst.
 	rateLimitedUntil float64
 	counts           map[Kind]int
+	// tracer, when set, turns every injection into a fault.<kind> trace
+	// event on the run's root span (fault-injected runs are forced
+	// sequential, so the single-writer event order is deterministic).
+	tracer *obs.Tracer
 }
+
+// SetTracer makes every future injection emit a virtual-clock-stamped
+// fault.<kind> event on tr's root span. A nil tracer disables emission.
+func (in *Injector) SetTracer(tr *obs.Tracer) { in.tracer = tr }
 
 // NewInjector creates an injector. clock may be nil when no component
 // advances virtual time (rate-limit windows then never expire on their own).
@@ -177,7 +186,10 @@ func (in *Injector) hit(rng *rand.Rand, rate float64) bool {
 	return rate > 0 && rng.Float64() < rate
 }
 
-func (in *Injector) record(k Kind) { in.counts[k]++ }
+func (in *Injector) record(k Kind) {
+	in.counts[k]++
+	in.tracer.Root().Event("fault."+k.String(), in.now())
+}
 
 // Counts returns the number of injected faults per kind.
 func (in *Injector) Counts() map[Kind]int {

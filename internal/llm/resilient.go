@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"lambdatune/internal/obs"
 )
 
 // Clock is the virtual-time source the resilience layer charges: retries,
@@ -212,7 +214,11 @@ type ResilientClient struct {
 
 	consecFails int
 	openUntil   float64
-	stats       ResilienceStats
+	// halfOpen tracks the breaker's probing state purely for trace-event
+	// emission (open → half-open on cooldown expiry, half-open → close on
+	// the first success); the control flow never reads it.
+	halfOpen bool
+	stats    ResilienceStats
 }
 
 // NewResilientClient wraps inner with the resilience layer.
@@ -267,11 +273,16 @@ func (c *ResilientClient) attempt(ctx context.Context, cl Client, call func(cont
 }
 
 // run is the shared retry/backoff/breaker/fallback engine behind Complete
-// and CompleteT.
+// and CompleteT. When the caller's context carries a trace span (the tuner's
+// llm.sample span), every resilience decision — retry, backoff, breaker
+// transition, fallback — is recorded on it as a virtual-clock-stamped event;
+// emission is passive and never alters the control flow.
 func (c *ResilientClient) run(ctx context.Context, call func(context.Context, Client) (string, error)) (string, error) {
+	span := obs.SpanFromContext(ctx)
 	if c.breakerOpen() {
 		if c.opts.Fallback != nil {
 			c.stats.FallbackCalls++
+			span.Event("llm.fallback", c.clock.Now(), obs.String("reason", "breaker_open"))
 			return c.attempt(ctx, c.opts.Fallback, call)
 		}
 		// Nothing else to do but wait the cooldown out; the wait costs
@@ -279,6 +290,15 @@ func (c *ResilientClient) run(ctx context.Context, call func(context.Context, Cl
 		wait := c.openUntil - c.clock.Now()
 		c.clock.Advance(wait)
 		c.stats.BreakerWaitSeconds += wait
+		c.openUntil = 0
+		c.halfOpen = true
+		span.Event("llm.breaker.half_open", c.clock.Now(), obs.Float("waited", wait))
+	} else if c.openUntil > 0 {
+		// The cooldown expired between calls (another sample advanced the
+		// shared clock past it): this call is the half-open probe.
+		c.openUntil = 0
+		c.halfOpen = true
+		span.Event("llm.breaker.half_open", c.clock.Now(), obs.Float("waited", 0))
 	}
 
 	backoff := c.opts.InitialBackoff
@@ -302,12 +322,17 @@ func (c *ResilientClient) run(ctx context.Context, call func(context.Context, Cl
 			if backoff > c.opts.MaxBackoff {
 				backoff = c.opts.MaxBackoff
 			}
+			span.Event("llm.retry", c.clock.Now(), obs.Int("attempt", attempt), obs.Float("backoff", wait))
 		}
 		c.stats.Calls++
 		tried++
 		out, err := c.attempt(ctx, c.inner, call)
 		if err == nil {
 			c.consecFails = 0
+			if c.halfOpen {
+				c.halfOpen = false
+				span.Event("llm.breaker.close", c.clock.Now())
+			}
 			return out, nil
 		}
 		if ctx.Err() != nil {
@@ -327,12 +352,15 @@ func (c *ResilientClient) run(ctx context.Context, call func(context.Context, Cl
 		c.stats.LatencySeconds += lat
 		c.stats.Failures++
 		lastErr = err
+		span.Event("llm.call_failed", c.clock.Now(), obs.String("error", err.Error()))
 
 		c.consecFails++
 		if th := c.opts.BreakerThreshold; th > 0 && c.consecFails >= th {
 			c.openUntil = c.clock.Now() + c.opts.BreakerCooldown
 			c.consecFails = 0
+			c.halfOpen = false
 			c.stats.BreakerTrips++
+			span.Event("llm.breaker.open", c.clock.Now(), obs.Float("cooldown", c.opts.BreakerCooldown))
 			break // circuit open: stop hammering the API
 		}
 		if re, ok := err.(retryableError); ok && !re.Retryable() {
@@ -342,6 +370,7 @@ func (c *ResilientClient) run(ctx context.Context, call func(context.Context, Cl
 
 	if c.opts.Fallback != nil {
 		c.stats.FallbackCalls++
+		span.Event("llm.fallback", c.clock.Now(), obs.String("reason", "retries_exhausted"))
 		out, err := c.attempt(ctx, c.opts.Fallback, call)
 		if err == nil {
 			return out, nil

@@ -1,0 +1,147 @@
+package llm
+
+import (
+	"context"
+	"testing"
+
+	"lambdatune/internal/obs"
+)
+
+// traceSetup builds a tracer with one open sample span and a context carrying
+// it, the way the tuner hands spans to the resilient client.
+func traceSetup() (*obs.Tracer, *obs.Span, context.Context) {
+	tr := obs.NewTracer()
+	span := tr.Start(nil, "llm.sample", 0)
+	return tr, span, obs.ContextWithSpan(context.Background(), span)
+}
+
+// sampleEvents ends the span and returns its recorded events.
+func sampleEvents(t *testing.T, tr *obs.Tracer, span *obs.Span, end float64) []obs.EventRecord {
+	t.Helper()
+	span.End(end)
+	recs := tr.Records()
+	if len(recs) != 1 {
+		t.Fatalf("got %d spans, want 1", len(recs))
+	}
+	return recs[0].Events
+}
+
+// checkEvents asserts the exact event-name sequence and that virtual
+// timestamps never move backwards.
+func checkEvents(t *testing.T, events []obs.EventRecord, names []string, virts []float64) {
+	t.Helper()
+	if len(events) != len(names) {
+		var got []string
+		for _, e := range events {
+			got = append(got, e.Name)
+		}
+		t.Fatalf("got %d events %v, want %v", len(events), got, names)
+	}
+	last := 0.0
+	for i, e := range events {
+		if e.Name != names[i] {
+			t.Errorf("event %d = %s, want %s", i, e.Name, names[i])
+		}
+		if virts != nil && e.Virt != virts[i] {
+			t.Errorf("event %d (%s) at virtual %v, want %v", i, e.Name, e.Virt, virts[i])
+		}
+		if e.Virt < last {
+			t.Errorf("event %d (%s) rewinds virtual time: %v after %v", i, e.Name, e.Virt, last)
+		}
+		last = e.Virt
+	}
+}
+
+// TestResilientTraceBreakerLifecycle drives the breaker through its full
+// open → half-open → close cycle under injected failures and pins the event
+// sequence in virtual-clock order: two 2s-failures trip the 2-threshold
+// breaker, the next call waits out the 50s cooldown as the half-open probe
+// and succeeds, closing the breaker.
+func TestResilientTraceBreakerLifecycle(t *testing.T) {
+	clock := &localClock{}
+	tr, span, ctx := traceSetup()
+	c := NewResilientClient(&flakyClient{failures: 2, err: &timedError{lat: 2}}, ResilienceOptions{
+		Clock: clock, MaxRetries: -1, BreakerThreshold: 2, BreakerCooldown: 50,
+	})
+
+	if _, err := c.CompleteT(ctx, "p", 0); err == nil {
+		t.Fatal("first failing call succeeded")
+	}
+	if _, err := c.CompleteT(ctx, "p", 0); err == nil {
+		t.Fatal("second failing call succeeded")
+	}
+	out, err := c.CompleteT(ctx, "p", 0)
+	if err != nil || out != "ok" {
+		t.Fatalf("half-open probe = %q, %v", out, err)
+	}
+	if s := c.Stats(); s.BreakerTrips != 1 || s.BreakerWaitSeconds != 50 {
+		t.Fatalf("stats = %+v", s)
+	}
+	checkEvents(t, sampleEvents(t, tr, span, clock.Now()),
+		[]string{"llm.call_failed", "llm.call_failed", "llm.breaker.open",
+			"llm.breaker.half_open", "llm.breaker.close"},
+		[]float64{2, 4, 4, 54, 54})
+}
+
+// TestResilientTraceRetryBackoff pins retry/backoff event emission: each
+// backoff wait emits llm.retry with the attempt number and the (jitter-free)
+// wait, interleaved with the failures that caused it, all on the virtual
+// clock.
+func TestResilientTraceRetryBackoff(t *testing.T) {
+	clock := &localClock{}
+	tr, span, ctx := traceSetup()
+	c := NewResilientClient(&flakyClient{failures: 2, err: &timedError{lat: 3}}, ResilienceOptions{
+		Clock: clock, MaxRetries: 2, InitialBackoff: 1, BackoffFactor: 2,
+	})
+	c.opts.Jitter = 0 // exact backoff arithmetic
+
+	out, err := c.CompleteT(ctx, "p", 0)
+	if err != nil || out != "ok" {
+		t.Fatalf("Complete = %q, %v", out, err)
+	}
+	events := sampleEvents(t, tr, span, clock.Now())
+	// 3s failure, 1s backoff, 3s failure, 2s backoff, success.
+	checkEvents(t, events,
+		[]string{"llm.call_failed", "llm.retry", "llm.call_failed", "llm.retry"},
+		[]float64{3, 4, 7, 9})
+	if a := events[1].Attrs["attempt"]; a != float64(1) && a != 1 {
+		t.Errorf("first retry attempt attr = %v", a)
+	}
+	if b := events[3].Attrs["backoff"]; b != float64(2) {
+		t.Errorf("second retry backoff attr = %v, want 2", b)
+	}
+}
+
+// TestResilientTraceFallbackReasons covers both fallback event reasons: a
+// failing call that exhausts retries falls back with "retries_exhausted" and
+// trips the 1-threshold breaker; the next call finds the breaker open and
+// falls back with "breaker_open" without touching the inner client.
+func TestResilientTraceFallbackReasons(t *testing.T) {
+	clock := &localClock{}
+	tr, span, ctx := traceSetup()
+	inner := &flakyClient{failures: 100, err: &timedError{lat: 1}}
+	c := NewResilientClient(inner, ResilienceOptions{
+		Clock: clock, MaxRetries: -1, BreakerThreshold: 1, BreakerCooldown: 50,
+		Fallback: &flakyClient{},
+	})
+
+	for i := 0; i < 2; i++ {
+		out, err := c.CompleteT(ctx, "p", 0)
+		if err != nil || out != "ok" {
+			t.Fatalf("call %d = %q, %v", i+1, out, err)
+		}
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner calls = %d, want 1 (second call must not reach the inner client)", inner.calls)
+	}
+	events := sampleEvents(t, tr, span, clock.Now())
+	checkEvents(t, events,
+		[]string{"llm.call_failed", "llm.breaker.open", "llm.fallback", "llm.fallback"},
+		[]float64{1, 1, 1, 1})
+	if r := events[2].Attrs["reason"]; r != "retries_exhausted" {
+		t.Errorf("first fallback reason = %v, want retries_exhausted", r)
+	}
+	if r := events[3].Attrs["reason"]; r != "breaker_open" {
+		t.Errorf("second fallback reason = %v, want breaker_open", r)
+	}
+}

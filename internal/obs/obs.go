@@ -1,0 +1,407 @@
+// Package obs is λ-Tune's run-scoped telemetry subsystem: hierarchical trace
+// spans, a metrics registry, and live progress reporting. The paper's value
+// claim is *bounded evaluation cost* (geometric timeouts, lazy index creation,
+// DP scheduling), and obs makes that budget auditable — every tuning run can
+// record where its virtual seconds went (LLM calls, query evaluation, index
+// builds, scheduling) and drain the record to a JSONL trace file.
+//
+// Design constraints, in order:
+//
+//   - Passive. Tracing must never change tuning behavior: spans read the
+//     virtual clock, they never advance it, and no instrumentation site takes
+//     a decision based on telemetry. A traced run selects the same
+//     configuration, byte for byte, as an untraced one.
+//   - Deterministic. Span ordering and all span timestamps are derived from
+//     the virtual clock and the instrumentation sites' deterministic call
+//     order; host wall-clock times are carried as annotations only. Exported
+//     traces of two runs with the same seed are identical after scrubbing the
+//     wall fields (see ShapeString).
+//   - Cheap and optional. A nil *Tracer, nil *Span, nil *Registry and nil
+//     sink are all valid and turn every call into a no-op, so call sites need
+//     no conditionals and an untraced run pays one nil check per site.
+//
+// Concurrency: the tracer's span list is guarded by one mutex, and each span
+// carries its own (uncontended) mutex — parallel evaluation workers touch
+// disjoint spans, but the detector-visible accesses stay synchronized. Trace
+// shape stays deterministic under parallelism because every span's children
+// are created by exactly one goroutine (see Records).
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one typed span or event attribute. Construct with String, Int,
+// Float or Bool so values stay JSON-friendly. Annot marks the attribute as a
+// nondeterministic annotation: it is exported alongside the wall clocks but
+// excluded from the deterministic trace shape.
+type Attr struct {
+	Key   string
+	Value any
+	Annot bool
+}
+
+// String builds a string attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
+// Annot marks an attribute as a nondeterministic annotation — a fact whose
+// value legitimately depends on scheduling (cache hit/miss under a worker
+// pool, host resource readings). Annotations ride in the JSONL export's
+// annots field, next to the wall clocks, and ShapeString scrubs them; the
+// shape goldens stay byte-stable at any parallelism.
+func Annot(a Attr) Attr { a.Annot = true; return a }
+
+// Event is a point-in-time occurrence inside a span (a retry, a breaker
+// transition, an injected fault, a checkpoint save). Virt is its virtual
+// timestamp; Wall the host annotation.
+type Event struct {
+	Name  string
+	Virt  float64
+	Wall  time.Time
+	Attrs []Attr
+}
+
+// Span is one node of the trace tree: a named operation with a virtual-clock
+// interval, a host wall-clock interval (annotation only), typed attributes,
+// and point events. Spans are created with Tracer.Start and closed with End;
+// a nil *Span is valid and ignores every call.
+type Span struct {
+	tr     *Tracer
+	parent *Span
+	name   string
+
+	mu        sync.Mutex
+	virtStart float64
+	virtEnd   float64
+	wallStart time.Time
+	wallEnd   time.Time
+	attrs     []Attr
+	events    []Event
+	ended     bool
+}
+
+// Name returns the span's name ("" for nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// SetAttrs appends attributes to the span. Later keys shadow earlier ones at
+// export time, so re-setting a key is allowed.
+func (s *Span) SetAttrs(attrs ...Attr) {
+	if s == nil || len(attrs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// Event records a point event at virtual time virt.
+func (s *Span) Event(name string, virt float64, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	wall := s.tr.wallNow()
+	s.mu.Lock()
+	s.events = append(s.events, Event{Name: name, Virt: virt, Wall: wall, Attrs: attrs})
+	s.mu.Unlock()
+}
+
+// End closes the span at virtual time virt. The first End wins; further calls
+// are ignored, so defensive double-ends on error paths are harmless.
+func (s *Span) End(virt float64) {
+	if s == nil {
+		return
+	}
+	wall := s.tr.wallNow()
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.virtEnd = virt
+		s.wallEnd = wall
+	}
+	s.mu.Unlock()
+}
+
+// Tracer records one run's spans. The zero value is not usable; construct
+// with NewTracer. A nil *Tracer is valid: Start returns a nil span and every
+// derived call becomes a no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	spans []*Span // creation order
+	root  *Span
+
+	// now supplies host wall timestamps; replaceable for tests.
+	now func() time.Time
+}
+
+// NewTracer returns an empty run tracer.
+func NewTracer() *Tracer { return &Tracer{now: time.Now} }
+
+// SetWallClock replaces the host wall-clock source (tests pin it to make the
+// full export, not just the shape, reproducible).
+func (t *Tracer) SetWallClock(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.mu.Lock()
+	t.now = now
+	t.mu.Unlock()
+}
+
+func (t *Tracer) wallNow() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	t.mu.Lock()
+	now := t.now
+	t.mu.Unlock()
+	return now()
+}
+
+// Start opens a span under parent (nil parent = a root span) at virtual time
+// virt. The first root span becomes Root(). Returns nil when the tracer is
+// nil.
+func (t *Tracer) Start(parent *Span, name string, virt float64, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{
+		tr:        t,
+		parent:    parent,
+		name:      name,
+		virtStart: virt,
+		virtEnd:   virt,
+		wallStart: t.wallNow(),
+		attrs:     attrs,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	if t.root == nil && parent == nil {
+		t.root = s
+	}
+	t.mu.Unlock()
+	return s
+}
+
+// Root returns the first root span (the "run" span in a tuning run), or nil.
+// Detached event sources — the fault injector observes the engine from below
+// the tracing call sites — attach their events here.
+func (t *Tracer) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Records flattens the trace into export records in deterministic order:
+// depth-first over the span tree, children in creation order. Creation order
+// per parent is deterministic even under parallel evaluation because every
+// span's children are created by exactly one goroutine (the selector creates
+// candidate spans before dispatch; each candidate's query/index spans are
+// created by the one worker that owns the task). IDs are assigned in
+// traversal order, so two runs with the same seed export identical records up
+// to the wall-clock annotation fields.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	spans := append([]*Span(nil), t.spans...)
+	t.mu.Unlock()
+
+	children := make(map[*Span][]*Span, len(spans))
+	var roots []*Span
+	for _, s := range spans {
+		if s.parent == nil {
+			roots = append(roots, s)
+			continue
+		}
+		children[s.parent] = append(children[s.parent], s)
+	}
+
+	out := make([]SpanRecord, 0, len(spans))
+	ids := make(map[*Span]int, len(spans))
+	var walk func(s *Span, parentID int)
+	walk = func(s *Span, parentID int) {
+		id := len(out) + 1
+		ids[s] = id
+		out = append(out, s.record(id, parentID))
+		for _, c := range children[s] {
+			walk(c, id)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return out
+}
+
+// record snapshots the span into an export record.
+func (s *Span) record(id, parent int) SpanRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := SpanRecord{
+		ID:        id,
+		Parent:    parent,
+		Name:      s.name,
+		VirtStart: s.virtStart,
+		VirtEnd:   s.virtEnd,
+	}
+	if !s.wallStart.IsZero() {
+		r.WallStartNS = s.wallStart.UnixNano()
+	}
+	if !s.wallEnd.IsZero() {
+		r.WallEndNS = s.wallEnd.UnixNano()
+	}
+	if r.VirtEnd < r.VirtStart {
+		r.VirtEnd = r.VirtStart
+	}
+	if len(s.attrs) > 0 {
+		r.Attrs = attrMap(s.attrs)
+		r.Annots = annotMap(s.attrs)
+	}
+	for _, ev := range s.events {
+		er := EventRecord{Name: ev.Name, Virt: ev.Virt}
+		if !ev.Wall.IsZero() {
+			er.WallNS = ev.Wall.UnixNano()
+		}
+		if len(ev.Attrs) > 0 {
+			er.Attrs = attrMap(ev.Attrs)
+			er.Annots = annotMap(ev.Attrs)
+		}
+		r.Events = append(r.Events, er)
+	}
+	return r
+}
+
+// attrMap folds the deterministic attributes of an ordered list into a map;
+// later keys shadow earlier ones. Annotations are split off by annotMap.
+func attrMap(attrs []Attr) map[string]any {
+	var m map[string]any
+	for _, a := range attrs {
+		if a.Annot {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]any, len(attrs))
+		}
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// annotMap folds the annotation attributes into their own map, or nil when
+// there are none.
+func annotMap(attrs []Attr) map[string]any {
+	var m map[string]any
+	for _, a := range attrs {
+		if !a.Annot {
+			continue
+		}
+		if m == nil {
+			m = make(map[string]any)
+		}
+		m[a.Key] = a.Value
+	}
+	return m
+}
+
+// ShapeString renders records as an indented span tree with names, sorted
+// attributes, virtual timestamps and events — every deterministic field — and
+// scrubs the annotations (wall clocks and Annot-marked attributes). Two runs
+// with the same seed produce byte-identical shape strings at any
+// parallelism; the golden trace test pins this.
+func ShapeString(recs []SpanRecord) string {
+	depth := map[int]int{}
+	var b strings.Builder
+	for _, r := range recs {
+		d := 0
+		if r.Parent != 0 {
+			d = depth[r.Parent] + 1
+		}
+		depth[r.ID] = d
+		indent := strings.Repeat("  ", d)
+		fmt.Fprintf(&b, "%s%s [%.9g,%.9g]%s\n", indent, r.Name, r.VirtStart, r.VirtEnd, attrString(r.Attrs))
+		for _, ev := range r.Events {
+			fmt.Fprintf(&b, "%s  @%.9g %s%s\n", indent, ev.Virt, ev.Name, attrString(ev.Attrs))
+		}
+	}
+	return b.String()
+}
+
+// attrString renders attributes sorted by key as " k=v ...".
+func attrString(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		v := attrs[k]
+		if f, ok := v.(float64); ok {
+			fmt.Fprintf(&b, " %s=%.9g", k, f)
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%v", k, v)
+	}
+	return b.String()
+}
+
+// ctxKey carries the active span through context.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying span; layers below the
+// instrumentation site (the resilient LLM client) retrieve it with
+// SpanFromContext to attach their events.
+func ContextWithSpan(ctx context.Context, span *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if span == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProgressEvent is one line of live run narration: a round opening, a
+// candidate verdict, a timeout adaptation, a breaker trip. Virt is the
+// virtual-clock timestamp the event is stamped with.
+type ProgressEvent struct {
+	Virt float64
+	Kind string // "round", "candidate", "timeout", "llm", "run", ...
+	Msg  string
+}
+
+// ProgressSink consumes progress events. Implementations must tolerate
+// concurrent Emit calls only if they are handed to concurrent producers; the
+// tuning pipeline emits exclusively from the coordinating goroutine so event
+// order is deterministic.
+type ProgressSink interface {
+	Emit(ev ProgressEvent)
+}
+
+// Emitf formats and emits one event; a nil sink drops it. This is the
+// call-site helper: Emitf(sink, virt, "round", "round %d starts", r).
+func Emitf(s ProgressSink, virt float64, kind, format string, args ...any) {
+	if s == nil {
+		return
+	}
+	s.Emit(ProgressEvent{Virt: virt, Kind: kind, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ConsoleReporter streams progress events to a writer as
+// "[ 123.4s] round 2: timeout 8.0s" lines, virtual-clock stamped.
+type ConsoleReporter struct {
+	W io.Writer
+
+	mu sync.Mutex
+}
+
+// NewConsoleReporter returns a reporter writing to w.
+func NewConsoleReporter(w io.Writer) *ConsoleReporter { return &ConsoleReporter{W: w} }
+
+// Emit writes one line; safe for concurrent use.
+func (c *ConsoleReporter) Emit(ev ProgressEvent) {
+	if c == nil || c.W == nil {
+		return
+	}
+	c.mu.Lock()
+	fmt.Fprintf(c.W, "[%9.1fs] %s\n", ev.Virt, ev.Msg)
+	c.mu.Unlock()
+}

@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Phase names the cost buckets a tuning run's spans are classified into.
+// Leaf spans map to exactly one phase so phase totals never double-count;
+// structural spans (run, selection, round, candidate) are containers and
+// contribute nothing themselves.
+const (
+	PhaseLLM      = "llm"         // llm.sample spans: model latency, retries, backoff
+	PhasePrompt   = "prompt"      // prompt compression / document selection
+	PhaseEval     = "eval"        // query execution inside candidate evaluation
+	PhaseIndex    = "index-build" // index creation charged by the engine
+	PhaseSchedule = "schedule"    // DP query ordering (host CPU, wall only)
+)
+
+// spanPhase classifies a leaf span name into a phase ("" = structural).
+func spanPhase(name string) string {
+	switch name {
+	case "llm.sample":
+		return PhaseLLM
+	case "prompt":
+		return PhasePrompt
+	case "query":
+		return PhaseEval
+	case "index.build":
+		return PhaseIndex
+	case "schedule":
+		return PhaseSchedule
+	}
+	return ""
+}
+
+// PhaseCost aggregates one phase's spend across a trace.
+type PhaseCost struct {
+	Phase       string  `json:"phase"`
+	Spans       int     `json:"spans"`
+	VirtSeconds float64 `json:"virt_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Summary condenses a trace into the per-phase cost breakdown that
+// Result.Telemetry carries: span/event totals, phase costs sorted by
+// descending virtual spend, and (when a registry was attached) a scalar
+// metrics snapshot.
+type Summary struct {
+	Spans   int
+	Events  int
+	Phases  []PhaseCost
+	Metrics map[string]float64
+}
+
+// Summarize builds a phase breakdown from exported records.
+func Summarize(recs []SpanRecord) Summary {
+	byPhase := map[string]*PhaseCost{}
+	s := Summary{Spans: len(recs)}
+	for _, r := range recs {
+		s.Events += len(r.Events)
+		phase := spanPhase(r.Name)
+		if phase == "" {
+			continue
+		}
+		pc := byPhase[phase]
+		if pc == nil {
+			pc = &PhaseCost{Phase: phase}
+			byPhase[phase] = pc
+		}
+		pc.Spans++
+		pc.VirtSeconds += r.VirtEnd - r.VirtStart
+		if r.WallEndNS > r.WallStartNS {
+			pc.WallSeconds += float64(r.WallEndNS-r.WallStartNS) / 1e9
+		}
+	}
+	for _, pc := range byPhase {
+		s.Phases = append(s.Phases, *pc)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].VirtSeconds != s.Phases[j].VirtSeconds {
+			return s.Phases[i].VirtSeconds > s.Phases[j].VirtSeconds
+		}
+		return s.Phases[i].Phase < s.Phases[j].Phase
+	})
+	return s
+}
+
+// Summarize condenses the tracer's current spans.
+func (t *Tracer) Summarize() Summary {
+	return Summarize(t.Records())
+}
+
+// SummaryTable renders the breakdown as the table trace-summary prints:
+//
+//	phase        spans   virtual-s      share   wall-ms
+//	llm              5   240.00000      63.2%     12.40
+//	...
+func SummaryTable(s Summary) string {
+	var total float64
+	for _, p := range s.Phases {
+		total += p.VirtSeconds
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %6s %12s %8s %10s\n", "phase", "spans", "virtual-s", "share", "wall-ms")
+	for _, p := range s.Phases {
+		share := 0.0
+		if total > 0 {
+			share = 100 * p.VirtSeconds / total
+		}
+		fmt.Fprintf(&b, "%-12s %6d %12.5f %7.1f%% %10.2f\n",
+			p.Phase, p.Spans, p.VirtSeconds, share, p.WallSeconds*1e3)
+	}
+	fmt.Fprintf(&b, "%-12s %6d %12.5f %7.1f%%\n", "total", s.Spans, total, 100.0)
+	fmt.Fprintf(&b, "spans=%d events=%d\n", s.Spans, s.Events)
+	return b.String()
+}

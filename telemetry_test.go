@@ -1,0 +1,126 @@
+package lambdatune
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tuneTelemetry runs one tuning run on a fresh tpch-1 copy with full
+// telemetry (trace + metrics + instrumented backend) at the given worker
+// count, returning the result and the run's telemetry handles.
+func tuneTelemetry(t *testing.T, parallelism int) (*Result, *Trace, *Metrics) {
+	t.Helper()
+	db, w, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Instrument()
+	opts := DefaultOptions()
+	opts.Parallelism = parallelism
+	opts.Trace = NewTrace()
+	opts.Metrics = NewMetrics()
+	res, err := db.Tune(w, NewSimulatedLLM(1), opts)
+	if err != nil {
+		t.Fatalf("parallelism=%d: %v", parallelism, err)
+	}
+	return res, opts.Trace, opts.Metrics
+}
+
+// TestTelemetryUnderParallelEvaluation exercises the instrumented backend and
+// the metrics registry under Pool concurrency (Parallelism=4): four workers
+// observe surfaces and bump counters concurrently, which the -race run of
+// this test validates, and the selection outcome must be byte-identical to an
+// untraced run.
+func TestTelemetryUnderParallelEvaluation(t *testing.T) {
+	res, trace, metrics := tuneTelemetry(t, 4)
+
+	// Selection must be unaffected by telemetry.
+	db, w, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Parallelism = 4
+	plain, err := db.Tune(w, NewSimulatedLLM(1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScript != plain.BestScript || res.BestSeconds != plain.BestSeconds ||
+		res.TuningSeconds != plain.TuningSeconds {
+		t.Errorf("telemetry changed the outcome: %v/%v vs %v/%v",
+			res.BestSeconds, res.TuningSeconds, plain.BestSeconds, plain.TuningSeconds)
+	}
+
+	if trace.Len() == 0 {
+		t.Fatal("traced run recorded no spans")
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != trace.Len() {
+		t.Errorf("JSONL export has %d lines, want %d", got, trace.Len())
+	}
+
+	snap := metrics.Snapshot()
+	for _, name := range []string{
+		"tuner_rounds_total", "tuner_queries_total", "tuner_index_builds_total",
+		"backend_run_query_calls_total", "backend_apply_config_calls_total",
+	} {
+		if snap[name] <= 0 {
+			t.Errorf("metric %s = %v, want > 0", name, snap[name])
+		}
+	}
+	var prom bytes.Buffer
+	if err := metrics.WritePrometheus(&prom); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if !strings.Contains(prom.String(), "tuner_queries_total") {
+		t.Error("Prometheus exposition is missing tuner_queries_total")
+	}
+
+	if res.Telemetry == nil {
+		t.Fatal("Result.Telemetry is nil on a traced run")
+	}
+	if res.Telemetry.Spans != trace.Len() {
+		t.Errorf("Telemetry.Spans = %d, want %d", res.Telemetry.Spans, trace.Len())
+	}
+	if len(res.Telemetry.Phases) == 0 || res.Telemetry.Metrics == nil {
+		t.Errorf("Telemetry incomplete: %+v", res.Telemetry)
+	}
+	if !strings.Contains(trace.SummaryTable(), "eval") {
+		t.Error("SummaryTable has no eval phase row")
+	}
+}
+
+// TestTelemetryDeterministicAcrossRuns: two identical traced runs export
+// byte-identical JSONL modulo the wall-clock annotation fields, pinned via
+// the per-phase summary (virtual costs and span counts only).
+func TestTelemetryDeterministicAcrossRuns(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		_, tr1, _ := tuneTelemetry(t, p)
+		_, tr2, _ := tuneTelemetry(t, p)
+		if a, b := tr1.Len(), tr2.Len(); a != b {
+			t.Errorf("parallelism=%d: span counts differ: %d vs %d", p, a, b)
+		}
+		sum1 := summaryNoWall(tr1.SummaryTable())
+		sum2 := summaryNoWall(tr2.SummaryTable())
+		if sum1 != sum2 {
+			t.Errorf("parallelism=%d: summaries differ:\n%s\nvs\n%s", p, sum1, sum2)
+		}
+	}
+}
+
+// summaryNoWall strips the trailing wall-ms column, the only nondeterministic
+// part of a summary table.
+func summaryNoWall(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.LastIndex(line, "   "); i > 0 && strings.Contains(line, ".") {
+			line = strings.TrimRight(line[:i], " ")
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
