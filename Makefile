@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check ci bench scaling
+.PHONY: build vet test race verify fmt-check ci bench scaling chaos
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,10 @@ bench:
 ## scaling: the E13 parallel-evaluation scaling study.
 scaling:
 	$(GO) run ./cmd/benchrunner -exp scaling
+
+## chaos: the crash-recovery suite under the race detector — kill/resume at
+## every checkpoint boundary, torn-write fallback, daemon drain/re-adopt.
+chaos:
+	$(GO) test -race -run 'Chaos|KillResume|Checkpoint|Resume|Kill|Torn|Drain|Readopt|Daemon|Panic' \
+		./internal/runstate/ ./internal/faults/ ./internal/core/tuner/ \
+		./internal/bench/ ./internal/service/ ./cmd/lambdatune/ ./cmd/lambdatuned/ .

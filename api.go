@@ -13,8 +13,16 @@ import (
 	"lambdatune/internal/faults"
 	"lambdatune/internal/llm"
 	"lambdatune/internal/obs"
+	"lambdatune/internal/runstate"
 	"lambdatune/internal/workload"
 )
+
+// RunID derives the checkpoint identity of a workload+seed pair — the
+// filename stem checkpoints are stored under in Options.CheckpointDir
+// (sanitized for the filesystem by the store).
+func RunID(workload string, seed int64) string {
+	return fmt.Sprintf("%s-seed%d", workload, seed)
+}
 
 // DBMS selects the emulated database flavor.
 type DBMS int
@@ -262,6 +270,18 @@ type FaultPlan struct {
 	EngineRate float64
 	// Seed drives the injected fault sequence (0 = Options.Seed).
 	Seed int64
+	// CrashAfterRound, when > 0, simulates a crash immediately after the
+	// durable checkpoint that closes selection round N: the run returns an
+	// error matching ErrKilled with the checkpoint already on disk — exactly
+	// the state a real crash leaves behind. Requires Options.CheckpointDir;
+	// resume the run with Options.Resume.
+	CrashAfterRound int
+	// CrashAfterSaves, when > 0, crashes after the Nth durable checkpoint
+	// save regardless of its content (save 1 is the post-sampling
+	// checkpoint). The chaos harness uses this to sweep every checkpoint
+	// boundary without knowing the round structure in advance. Requires
+	// Options.CheckpointDir.
+	CrashAfterSaves int
 }
 
 // Trace records one tuning run as a hierarchical span tree (run → prompt /
@@ -316,6 +336,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) error { return m.reg.WritePrometh
 
 // String renders the registry as an expvar-compatible JSON object.
 func (m *Metrics) String() string { return m.reg.String() }
+
+// Registry exposes the underlying registry, so servers (the CLI's
+// -metrics-addr listener, the lambdatuned job service) can mount it on their
+// HTTP mux.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // PhaseCost is one row of a run's per-phase cost breakdown.
 type PhaseCost struct {
@@ -404,6 +429,24 @@ type Options struct {
 	// (rounds, timeouts, best-so-far improvements) stamped with virtual
 	// timestamps — e.g. os.Stderr.
 	Progress io.Writer
+	// CheckpointDir, when set, makes the run crash-recoverable: its full
+	// resumable state (candidate pool, consumed LLM samples, selector round
+	// bookkeeping, virtual clock, fault-injector position) is durably
+	// checkpointed into this directory — fsync'd and atomically renamed —
+	// after LLM sampling completes and after every selection round. The
+	// checkpoint file is named after the workload and seed, so concurrent
+	// runs with different seeds do not collide.
+	CheckpointDir string
+	// Resume, when true, continues a previously checkpointed run from
+	// CheckpointDir instead of starting over: prompt generation and LLM
+	// sampling are skipped, and selection picks up at the saved round. A run
+	// killed at a checkpoint boundary and resumed this way selects the same
+	// configuration — byte for byte — as the uninterrupted run. A corrupt
+	// live checkpoint (torn write) silently falls back to the previous
+	// generation (Result.CheckpointFellBack reports it); a checkpoint from a
+	// different workload or differently configured run is refused with
+	// ErrCheckpointMismatch.
+	Resume bool
 }
 
 // DefaultOptions mirrors the paper's experimental setup (§6.1).
@@ -440,6 +483,18 @@ func (o Options) Validate() error {
 		if f.EngineRate < 0 || f.EngineRate > 1 {
 			return bad("Faults.EngineRate must be in [0,1], got %g", f.EngineRate)
 		}
+		if f.CrashAfterRound < 0 {
+			return bad("Faults.CrashAfterRound must be >= 0, got %d", f.CrashAfterRound)
+		}
+		if f.CrashAfterSaves < 0 {
+			return bad("Faults.CrashAfterSaves must be >= 0, got %d", f.CrashAfterSaves)
+		}
+		if (f.CrashAfterRound > 0 || f.CrashAfterSaves > 0) && o.CheckpointDir == "" {
+			return bad("Faults crash kill points require CheckpointDir")
+		}
+	}
+	if o.Resume && o.CheckpointDir == "" {
+		return bad("Resume requires CheckpointDir")
 	}
 	return nil
 }
@@ -554,6 +609,12 @@ type Result struct {
 	// Telemetry condenses the run's trace and metrics. Non-nil whenever
 	// Options.Trace or Options.Metrics was set.
 	Telemetry *Telemetry
+	// Resumed reports that the run continued from a durable checkpoint
+	// (Options.Resume) instead of starting fresh.
+	Resumed bool
+	// CheckpointFellBack reports that the live checkpoint was corrupt (torn
+	// write) and the run resumed from the previous generation instead.
+	CheckpointFellBack bool
 
 	best *engine.Config
 }
@@ -621,6 +682,22 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 	}
 	defaultSeconds := d.db.WorkloadSeconds(w.queries)
 	topts := opts.toTuner()
+	var (
+		store    *runstate.Store
+		fellBack bool
+	)
+	if opts.CheckpointDir != "" {
+		store = runstate.NewStore(opts.CheckpointDir, RunID(w.name, opts.Seed))
+		topts.Checkpoint = store
+		if opts.Resume {
+			st, fb, err := store.Load()
+			if err != nil {
+				return nil, fmt.Errorf("lambdatune: resume: %w", err)
+			}
+			fellBack = fb
+			topts.Resume = st
+		}
+	}
 	if opts.Metrics != nil {
 		// Instrumented databases feed the backend_* surface series and plan
 		// cache gauges into the run's registry.
@@ -646,6 +723,32 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 		// The injector wraps the raw client, so the resilience layer (added
 		// by the tuner on top) sees the injected faults as transport errors.
 		inner = llm.WithInterceptor(inner, inj)
+		// Every checkpoint carries the injector's RNG position, and a resumed
+		// run fast-forwards a fresh injector there — so the fault sequence
+		// after the crash matches the uninterrupted run's.
+		topts.DecorateState = func(st *runstate.State) {
+			s, draws, counts := inj.Snapshot()
+			st.Injector = &runstate.InjectorState{Seed: s, EngineDraws: draws, Counts: counts}
+		}
+		if rs := topts.Resume; rs != nil && rs.Injector != nil {
+			if rs.Injector.Seed != seed {
+				return nil, fmt.Errorf("%w: fault seed %d differs from checkpoint's %d",
+					runstate.ErrCheckpointMismatch, seed, rs.Injector.Seed)
+			}
+			inj.RestoreEngine(rs.Injector.EngineDraws, rs.Injector.Counts)
+		}
+		// Chaos kill points: simulate a crash right after a durable
+		// checkpoint — the bytes are on disk, the process "dies".
+		if k := (&faults.Killer{AfterRound: opts.Faults.CrashAfterRound,
+			AfterSaves: opts.Faults.CrashAfterSaves}); k.Armed() {
+			store.AfterSave = func(st *runstate.State) error {
+				round := 0
+				if st.Round != nil {
+					round = st.Round.Round
+				}
+				return k.AfterCheckpoint(round)
+			}
+		}
 	}
 	tn := tuner.New(d.db, inner, topts)
 	res, err := tn.Tune(ctx, w.queries)
@@ -653,16 +756,18 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 		return nil, err
 	}
 	out := &Result{
-		BestSeconds:     res.BestTime,
-		DefaultSeconds:  defaultSeconds,
-		TuningSeconds:   res.TuningSeconds,
-		EvalWallSeconds: res.EvalWallSeconds,
-		PromptTokens:    res.Prompt.TotalTokens,
-		Candidates:      len(res.Candidates),
-		Warnings:        res.Warnings,
-		Faults:          FaultReport(res.Faults),
-		Telemetry:       toTelemetry(res.Telemetry),
-		best:            res.Best,
+		BestSeconds:        res.BestTime,
+		DefaultSeconds:     defaultSeconds,
+		TuningSeconds:      res.TuningSeconds,
+		EvalWallSeconds:    res.EvalWallSeconds,
+		PromptTokens:       res.Prompt.TotalTokens,
+		Candidates:         len(res.Candidates),
+		Warnings:           res.Warnings,
+		Faults:             FaultReport(res.Faults),
+		Telemetry:          toTelemetry(res.Telemetry),
+		Resumed:            opts.Resume,
+		CheckpointFellBack: fellBack,
+		best:               res.Best,
 	}
 	if res.Best != nil {
 		out.BestScript = res.Best.Script(d.db.Flavor())

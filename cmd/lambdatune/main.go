@@ -6,18 +6,21 @@
 //	lambdatune -benchmark tpch-1 -dbms postgres -samples 5 -seed 1
 //	lambdatune -schema schema.json -queries ./sql/     # custom workload
 //	lambdatune -trace run.jsonl -progress -metrics-addr :9090
+//	lambdatune -checkpoint-dir ./ckpt                  # crash-recoverable run
+//	lambdatune -checkpoint-dir ./ckpt -resume          # continue after a crash
 //	lambdatune trace-summary -check run.jsonl          # per-phase cost table
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"lambdatune"
 	"lambdatune/internal/obs"
@@ -27,29 +30,47 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "trace-summary" {
 		os.Exit(traceSummary(os.Args[2:], os.Stdout, os.Stderr))
 	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// killedExitCode is the exit status of a run that died at a chaos kill point
+// (the checkpoint is durable; rerun with -resume).
+const killedExitCode = 3
+
+// run is the tuning entrypoint, separated from main so tests can drive the
+// full CLI — flags, checkpointing, kill points, resume — in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lambdatune", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		benchmark = flag.String("benchmark", "tpch-1", "built-in workload: "+strings.Join(lambdatune.BenchmarkNames(), ", "))
-		schema    = flag.String("schema", "", "schema statistics JSON for a custom workload (see LoadSchema)")
-		queries   = flag.String("queries", "", "directory of .sql files for a custom workload (requires -schema)")
-		dbms      = flag.String("dbms", "postgres", "target system: postgres or mysql")
-		samples   = flag.Int("samples", 5, "number of LLM configuration samples (k)")
-		budget    = flag.Int("token-budget", 0, "prompt token budget for the workload representation (0 = model limit)")
-		seed      = flag.Int64("seed", 1, "random seed for the simulated LLM")
-		rag       = flag.Bool("rag", false, "augment the LLM with the bundled tuning-guide corpus (RAG)")
-		temp      = flag.Float64("temperature", 0.7, "LLM sampling temperature (0 = greedy decoding)")
-		llmFault  = flag.Float64("llm-fault-rate", 0, "injected LLM fault probability per call, 0..1")
-		engFault  = flag.Float64("engine-fault-rate", 0, "injected engine fault probability per operation, 0..1")
-		retries   = flag.Int("llm-retries", 3, "LLM retry attempts with exponential backoff (-1 disables)")
-		breaker   = flag.Int("llm-breaker", 4, "consecutive LLM failures that trip the circuit breaker (-1 disables)")
-		parallel  = flag.Int("parallel", 1, "concurrent evaluation workers (simulated DBMS replicas); selection results are identical for any value")
-		instr     = flag.Bool("instrument", false, "count and time every backend call, printing a per-surface report after tuning")
-		plancache = flag.Bool("plancache", true, "memoize simulated query plans (host-CPU optimization; results are identical either way)")
-		verbose   = flag.Bool("v", false, "print progress events")
-		traceOut  = flag.String("trace", "", "write the run's span tree to this JSONL file (inspect with `lambdatune trace-summary`)")
-		progress  = flag.Bool("progress", false, "stream live round/candidate narration to stderr (virtual timestamps)")
-		metrics   = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090) while the run lasts")
+		benchmark = fs.String("benchmark", "tpch-1", "built-in workload: "+strings.Join(lambdatune.BenchmarkNames(), ", "))
+		schema    = fs.String("schema", "", "schema statistics JSON for a custom workload (see LoadSchema)")
+		queries   = fs.String("queries", "", "directory of .sql files for a custom workload (requires -schema)")
+		dbms      = fs.String("dbms", "postgres", "target system: postgres or mysql")
+		samples   = fs.Int("samples", 5, "number of LLM configuration samples (k)")
+		budget    = fs.Int("token-budget", 0, "prompt token budget for the workload representation (0 = model limit)")
+		seed      = fs.Int64("seed", 1, "random seed for the simulated LLM")
+		rag       = fs.Bool("rag", false, "augment the LLM with the bundled tuning-guide corpus (RAG)")
+		temp      = fs.Float64("temperature", 0.7, "LLM sampling temperature (0 = greedy decoding)")
+		llmFault  = fs.Float64("llm-fault-rate", 0, "injected LLM fault probability per call, 0..1")
+		engFault  = fs.Float64("engine-fault-rate", 0, "injected engine fault probability per operation, 0..1")
+		retries   = fs.Int("llm-retries", 3, "LLM retry attempts with exponential backoff (-1 disables)")
+		breaker   = fs.Int("llm-breaker", 4, "consecutive LLM failures that trip the circuit breaker (-1 disables)")
+		parallel  = fs.Int("parallel", 1, "concurrent evaluation workers (simulated DBMS replicas); selection results are identical for any value")
+		instr     = fs.Bool("instrument", false, "count and time every backend call, printing a per-surface report after tuning")
+		plancache = fs.Bool("plancache", true, "memoize simulated query plans (host-CPU optimization; results are identical either way)")
+		verbose   = fs.Bool("v", false, "print progress events")
+		traceOut  = fs.String("trace", "", "write the run's span tree to this JSONL file (inspect with `lambdatune trace-summary`)")
+		progress  = fs.Bool("progress", false, "stream live round/candidate narration to stderr (virtual timestamps)")
+		metrics   = fs.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9090) while the run lasts")
+		ckptDir   = fs.String("checkpoint-dir", "", "durably checkpoint the run's resumable state into this directory (crash recovery)")
+		resume    = fs.Bool("resume", false, "resume the run from the latest checkpoint in -checkpoint-dir")
+		killRound = fs.Int("kill-after-round", 0, "chaos: crash after the checkpoint closing selection round N (requires -checkpoint-dir)")
+		killSaves = fs.Int("kill-after-saves", 0, "chaos: crash after the Nth durable checkpoint save (requires -checkpoint-dir)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	flavor := lambdatune.Postgres
 	switch strings.ToLower(*dbms) {
@@ -57,8 +78,8 @@ func main() {
 	case "mysql", "ms":
 		flavor = lambdatune.MySQL
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dbms %q\n", *dbms)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown dbms %q\n", *dbms)
+		return 2
 	}
 
 	var (
@@ -68,13 +89,13 @@ func main() {
 	)
 	if *schema != "" || *queries != "" {
 		if *schema == "" || *queries == "" {
-			fmt.Fprintln(os.Stderr, "-schema and -queries must be used together")
-			os.Exit(2)
+			fmt.Fprintln(stderr, "-schema and -queries must be used together")
+			return 2
 		}
 		name, tables, lerr := lambdatune.LoadSchema(*schema)
 		if lerr != nil {
-			fmt.Fprintln(os.Stderr, lerr)
-			os.Exit(2)
+			fmt.Fprintln(stderr, lerr)
+			return 2
 		}
 		db, err = lambdatune.NewDatabase(flavor, name, tables, lambdatune.DefaultHardware)
 		if err == nil {
@@ -84,8 +105,8 @@ func main() {
 		db, w, err = lambdatune.Benchmark(*benchmark, flavor)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	opts := lambdatune.DefaultOptions()
@@ -94,9 +115,18 @@ func main() {
 	opts.Seed = *seed
 	opts.Temperature = *temp
 	opts.Parallelism = *parallel
+	opts.CheckpointDir = *ckptDir
+	opts.Resume = *resume
 	if *llmFault > 0 || *engFault > 0 {
 		opts.Faults = &lambdatune.FaultPlan{LLMRate: *llmFault, EngineRate: *engFault, Seed: *seed}
 		opts.Resilience = &lambdatune.ResilienceOptions{MaxRetries: *retries, BreakerThreshold: *breaker}
+	}
+	if *killRound > 0 || *killSaves > 0 {
+		if opts.Faults == nil {
+			opts.Faults = &lambdatune.FaultPlan{Seed: *seed}
+		}
+		opts.Faults.CrashAfterRound = *killRound
+		opts.Faults.CrashAfterSaves = *killSaves
 	}
 
 	db.SetPlanCache(*plancache)
@@ -110,36 +140,32 @@ func main() {
 		opts.Trace = trace
 	}
 	if *progress {
-		opts.Progress = os.Stderr
+		opts.Progress = stderr
 	}
 	var reg *lambdatune.Metrics
 	if *metrics != "" {
 		reg = lambdatune.NewMetrics()
 		opts.Metrics = reg
-		mux := http.NewServeMux()
-		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-			_ = reg.WritePrometheus(w)
-		})
-		mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			_, _ = io.WriteString(w, reg.String())
-		})
-		srv := &http.Server{Addr: *metrics, Handler: mux}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintln(os.Stderr, "metrics server:", err)
-			}
+		ms := obs.NewMetricsServer(reg.Registry(), *metrics)
+		if err := ms.Start(func(err error) { fmt.Fprintln(stderr, "metrics server:", err) }); err != nil {
+			fmt.Fprintln(stderr, "metrics server:", err)
+			return 2
+		}
+		// Graceful shutdown on every exit path: in-flight scrapes finish and
+		// the port is released before the process ends.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			_ = ms.Shutdown(ctx)
 		}()
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "serving metrics on %s/metrics\n", *metrics)
+		fmt.Fprintf(stderr, "serving metrics on %s/metrics\n", ms.Addr())
 	}
 
 	client := lambdatune.NewSimulatedLLM(*seed)
 	if *rag {
 		client = lambdatune.WithRetrieval(client, nil)
 	}
-	fmt.Printf("Tuning %s (%d queries) on %s with %s...\n", w.Name(), w.Len(), *dbms, client.Name())
+	fmt.Fprintf(stdout, "Tuning %s (%d queries) on %s with %s...\n", w.Name(), w.Len(), *dbms, client.Name())
 	// Ctrl-C cancels the run cleanly: LLM calls abort and evaluation workers
 	// stop within one query execution.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -149,39 +175,50 @@ func main() {
 		// The trace is written even when the run failed: whatever spans were
 		// recorded up to the error are worth inspecting.
 		if werr := trace.WriteFile(*traceOut); werr != nil {
-			fmt.Fprintln(os.Stderr, "trace export:", werr)
+			fmt.Fprintln(stderr, "trace export:", werr)
 		} else {
-			fmt.Fprintf(os.Stderr, "trace: %d spans -> %s\n", trace.Len(), *traceOut)
+			fmt.Fprintf(stderr, "trace: %d spans -> %s\n", trace.Len(), *traceOut)
 		}
+	}
+	if errors.Is(err, lambdatune.ErrKilled) {
+		fmt.Fprintf(stderr, "killed at chaos kill point; checkpoint is durable in %s — rerun with -resume\n", *ckptDir)
+		return killedExitCode
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
-	fmt.Printf("\nBest configuration (%d candidates, %d prompt tokens):\n\n%s\n",
+	if res.Resumed {
+		fmt.Fprintln(stdout, "resumed from durable checkpoint")
+		if res.CheckpointFellBack {
+			fmt.Fprintln(stdout, "(live checkpoint was corrupt; fell back to the previous generation)")
+		}
+	}
+	fmt.Fprintf(stdout, "\nBest configuration (%d candidates, %d prompt tokens):\n\n%s\n",
 		res.Candidates, res.PromptTokens, res.BestScript)
-	fmt.Printf("workload: %.1fs default → %.1fs tuned (%.1fx speedup)\n",
+	fmt.Fprintf(stdout, "workload: %.1fs default → %.1fs tuned (%.1fx speedup)\n",
 		res.DefaultSeconds, res.BestSeconds, res.Speedup())
-	fmt.Printf("tuning cost: %.1fs simulated (bounded by Theorem 4.3)\n", res.TuningSeconds)
+	fmt.Fprintf(stdout, "tuning cost: %.1fs simulated (bounded by Theorem 4.3)\n", res.TuningSeconds)
 	if res.Faults.Any() {
-		fmt.Printf("faults survived: %s\n", res.Faults)
+		fmt.Fprintf(stdout, "faults survived: %s\n", res.Faults)
 	}
 	if *instr {
-		fmt.Printf("\n%s", db.BackendReport())
+		fmt.Fprintf(stdout, "\n%s", db.BackendReport())
 	}
 	if trace != nil {
-		fmt.Printf("\nphase breakdown:\n%s", trace.SummaryTable())
+		fmt.Fprintf(stdout, "\nphase breakdown:\n%s", trace.SummaryTable())
 	}
 	if *verbose {
-		fmt.Println("\nprogress:")
+		fmt.Fprintln(stdout, "\nprogress:")
 		for _, p := range res.Progress {
-			fmt.Printf("  %8.1fs → best %.1fs\n", p.TuningSeconds, p.BestSeconds)
+			fmt.Fprintf(stdout, "  %8.1fs → best %.1fs\n", p.TuningSeconds, p.BestSeconds)
 		}
 		for _, wmsg := range res.Warnings {
-			fmt.Println("warning:", wmsg)
+			fmt.Fprintln(stdout, "warning:", wmsg)
 		}
 	}
+	return 0
 }
 
 // traceSummary implements the `lambdatune trace-summary [-check] <file.jsonl>`

@@ -65,3 +65,72 @@ func TestTraceSummaryErrors(t *testing.T) {
 		t.Errorf("stderr does not report the schema violation: %s", stderr.String())
 	}
 }
+
+// TestRunKillAndResume drives the full CLI through a chaos crash and a
+// resume: the first invocation dies at the checkpoint closing round 2, the
+// second picks the run up from the durable checkpoint and must land on the
+// same configuration as an uninterrupted run.
+func TestRunKillAndResume(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-benchmark", "tpch-1", "-seed", "1", "-checkpoint-dir", dir}
+
+	var out, errb bytes.Buffer
+	if code := run(append(base, "-kill-after-round", "2"), &out, &errb); code != killedExitCode {
+		t.Fatalf("kill run exit %d, want %d (stderr: %s)", code, killedExitCode, errb.String())
+	}
+	if !strings.Contains(errb.String(), "rerun with -resume") {
+		t.Errorf("kill message missing resume hint: %s", errb.String())
+	}
+
+	// An uninterrupted reference run (no checkpointing) for comparison.
+	var ref bytes.Buffer
+	if code := run([]string{"-benchmark", "tpch-1", "-seed", "1"}, &ref, &errb); code != 0 {
+		t.Fatalf("reference run exit %d: %s", code, errb.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run(append(base, "-resume"), &out, &errb); code != 0 {
+		t.Fatalf("resume exit %d (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "resumed from durable checkpoint") {
+		t.Errorf("resume banner missing:\n%s", out.String())
+	}
+	// Same winning script and same speedup line, byte for byte.
+	extract := func(s, anchor string) string {
+		i := strings.Index(s, anchor)
+		if i < 0 {
+			t.Fatalf("output missing %q:\n%s", anchor, s)
+		}
+		return s[i:]
+	}
+	refTail := extract(ref.String(), "Best configuration")
+	gotTail := extract(out.String(), "Best configuration")
+	if refTail != gotTail {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- want\n%s\n--- got\n%s", refTail, gotTail)
+	}
+}
+
+// TestRunResumeWithoutCheckpointDir is a usage error.
+func TestRunResumeWithoutCheckpointDir(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-resume"}, &out, &errb); code != 1 {
+		t.Errorf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "Resume requires CheckpointDir") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+}
+
+// TestRunMetricsServerShutsDown verifies the -metrics-addr listener is
+// gracefully shut down when the run ends: the port must be bindable again
+// immediately after run() returns.
+func TestRunMetricsServerShutsDown(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-benchmark", "tpch-1", "-metrics-addr", "127.0.0.1:0"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "serving metrics on") {
+		t.Errorf("metrics banner missing: %s", errb.String())
+	}
+}

@@ -1,0 +1,126 @@
+// Command lambdatuned is the crash-recoverable tuning service: a
+// long-running daemon that accepts tuning jobs over HTTP/JSON, runs them on
+// a bounded worker pool, and checkpoints every run durably. Kill the
+// process mid-job — SIGTERM, crash, power cut — and the restarted daemon
+// re-adopts the job and resumes it from the last checkpoint.
+//
+// Usage:
+//
+//	lambdatuned -addr :8080 -data-dir /var/lib/lambdatune
+//
+// API:
+//
+//	POST /jobs              {"benchmark": "tpch-1", "seed": 1}  → 202 + job
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         job status and result
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /jobs/{id}/stream  live progress lines until the job ends
+//	GET  /healthz, /readyz  liveness / readiness (503 while draining)
+//	GET  /metrics           Prometheus text exposition
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lambdatune/internal/obs"
+	"lambdatune/internal/service"
+)
+
+func main() {
+	// SIGTERM and SIGINT begin the graceful drain: readiness flips to 503,
+	// in-flight jobs checkpoint and are marked interrupted, then the
+	// listener closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the daemon entrypoint, separated from main so tests can drive the
+// full lifecycle — boot, serve, drain — in-process; canceling ctx is the
+// test's SIGTERM.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lambdatuned", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "HTTP listen address")
+		dataDir    = fs.String("data-dir", "", "durable state directory: job records and run checkpoints (required)")
+		workers    = fs.Int("workers", 2, "concurrently running jobs")
+		queueDepth = fs.Int("queue-depth", 64, "queued-job backlog bound; a full queue rejects enqueues")
+		rateBurst  = fs.Int("rate-burst", 0, "per-tenant enqueue burst (0 = unlimited)")
+		ratePerSec = fs.Float64("rate-per-second", 1, "per-tenant enqueue refill rate, tokens/second")
+		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
+		quiet      = fs.Bool("quiet", false, "suppress per-job operational logs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *dataDir == "" {
+		fmt.Fprintln(stderr, "-data-dir is required (job state must survive restarts)")
+		return 2
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "lambdatuned: "+format+"\n", a...)
+	}
+	joblog := logf
+	if *quiet {
+		joblog = func(string, ...any) {}
+	}
+	reg := obs.NewRegistry()
+	m, err := service.Open(service.Config{
+		DataDir:       *dataDir,
+		Workers:       *workers,
+		QueueDepth:    *queueDepth,
+		RateBurst:     *rateBurst,
+		RatePerSecond: *ratePerSec,
+		Metrics:       reg,
+		Logf:          joblog,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		_ = m.Close()
+		return 1
+	}
+	srv := &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	logf("listening on %s (data dir %s)", ln.Addr(), *dataDir)
+
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, err)
+		_ = m.Close()
+		return 1
+	}
+
+	// Drain before closing the listener: status queries keep working (and
+	// /readyz reports 503) while in-flight jobs checkpoint and stop.
+	logf("draining: in-flight jobs checkpoint and resume on the next start")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := m.Drain(dctx); err != nil {
+		logf("drain: %v", err)
+	}
+	if err := srv.Shutdown(dctx); err != nil {
+		logf("shutdown: %v", err)
+		return 1
+	}
+	logf("stopped")
+	return 0
+}

@@ -6,6 +6,8 @@ import (
 	"lambdatune/internal/core/selector"
 	"lambdatune/internal/core/tuner"
 	"lambdatune/internal/engine"
+	"lambdatune/internal/faults"
+	"lambdatune/internal/runstate"
 )
 
 // Sentinel errors returned by TuneContext and friends; match them with
@@ -27,6 +29,25 @@ var (
 	// ErrBudgetExhausted reports that the evaluation round budget ran out
 	// before any candidate configuration completed the workload.
 	ErrBudgetExhausted = selector.ErrBudgetExhausted
+
+	// ErrKilled reports a simulated crash at a chaos kill point
+	// (FaultPlan.CrashAfterRound / CrashAfterSaves). The checkpoint the run
+	// died after is durable; resume with Options.Resume.
+	ErrKilled = faults.ErrKilled
+
+	// ErrCheckpointCorrupt reports a checkpoint file that failed its
+	// length or CRC-32 verification — a torn write, truncation, or external
+	// damage — with no usable previous generation to fall back to.
+	ErrCheckpointCorrupt = runstate.ErrCheckpointCorrupt
+
+	// ErrCheckpointVersion reports a checkpoint with an unknown schema
+	// version (written by an incompatible build).
+	ErrCheckpointVersion = runstate.ErrCheckpointVersion
+
+	// ErrCheckpointMismatch reports a resume attempt against a checkpoint
+	// taken by a different run — another workload, other selection-relevant
+	// options, or another fault seed.
+	ErrCheckpointMismatch = runstate.ErrCheckpointMismatch
 )
 
 // ConfigRejectedError reports a configuration script (an LLM response or an

@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"lambdatune/internal/core/tuner"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/runstate"
+)
+
+// The chaos harness: kill the E1 run at every checkpoint boundary, resume,
+// and require the resumed selection to land on the golden pre-refactor
+// numbers bit-for-bit. Where golden_test.go pins the uninterrupted run,
+// this file pins every interrupted-and-resumed variant of it — crash
+// recovery must be invisible in the results.
+
+// goldenE1 repeats golden_test.go's pinned outcome strings per parallelism.
+var goldenE1 = map[int]string{
+	1: "p=1 best=llm-1 bestTime=10.136116263704787 default=80.00490240754776 speedup=7.8930529530356512 tuning=272.15842967122728",
+	4: "p=4 best=llm-1 bestTime=10.136116263704787 default=80.00490240754776 speedup=7.8930529530356512 tuning=216.78565701897892",
+}
+
+// errChaosKill simulates the crash at a checkpoint boundary.
+var errChaosKill = errors.New("chaos kill")
+
+// chaosRun executes the E1 scenario with checkpointing into dir, dying after
+// durable save number killAfter (0 = run to completion). It returns the
+// result rendered in the golden format (on success), the run error, and the
+// checkpoint store.
+func chaosRun(t *testing.T, dir string, parallelism, killAfter int) (string, error, *runstate.Store) {
+	t.Helper()
+	sc := Scenario{Benchmark: "tpch-1", Flavor: engine.Postgres, Seed: 1}
+	db, w, err := sc.NewDB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := db.WorkloadSeconds(w.Queries)
+
+	store := runstate.NewStore(dir, "e1")
+	if killAfter > 0 {
+		store.AfterSave = func(*runstate.State) error {
+			if store.Saves() >= killAfter {
+				return errChaosKill
+			}
+			return nil
+		}
+	}
+	opts := tuner.DefaultOptions()
+	opts.Seed = 1
+	opts.Selector.Parallelism = parallelism
+	opts.Checkpoint = store
+
+	// Resume whenever a usable checkpoint is already on disk — the same
+	// decision a restarted service makes.
+	if st, _, lerr := store.Load(); lerr == nil {
+		opts.Resume = st
+	}
+	res, err := tuner.New(db, llm.NewSimClient(1), opts).Tune(context.Background(), w.Queries)
+	if err != nil {
+		return "", err, store
+	}
+	got := fmt.Sprintf("p=%d best=%s bestTime=%.17g default=%.17g speedup=%.17g tuning=%.17g",
+		parallelism, res.Best.ID, res.BestTime, def, def/res.BestTime, res.TuningSeconds)
+	return got, nil, store
+}
+
+// TestChaosKillResumeGoldenE1 crashes the E1 run after every durable
+// checkpoint in turn and resumes it on a fresh engine; every resumed run
+// must reproduce the golden selection string exactly, at parallelism 1
+// and 4.
+func TestChaosKillResumeGoldenE1(t *testing.T) {
+	for _, p := range []int{1, 4} {
+		// One uninterrupted run establishes the boundary count and re-checks
+		// the golden pin with checkpointing active.
+		base := t.TempDir()
+		got, err, store := chaosRun(t, base, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != goldenE1[p] {
+			t.Fatalf("checkpointed run drifted from golden:\n got  %s\n want %s", got, goldenE1[p])
+		}
+		total := store.Saves()
+		if total < 2 {
+			t.Fatalf("p=%d: only %d checkpoint saves", p, total)
+		}
+
+		for killAfter := 1; killAfter <= total; killAfter++ {
+			t.Run(fmt.Sprintf("p%d/kill@%d", p, killAfter), func(t *testing.T) {
+				dir := t.TempDir()
+				if _, err, _ := chaosRun(t, dir, p, killAfter); !errors.Is(err, errChaosKill) {
+					t.Fatalf("kill@%d did not fire: %v", killAfter, err)
+				}
+				got, err, _ := chaosRun(t, dir, p, 0) // resumes from the checkpoint
+				if err != nil {
+					t.Fatalf("resume after kill@%d: %v", killAfter, err)
+				}
+				if got != goldenE1[p] {
+					t.Errorf("resumed run drifted from golden:\n got  %s\n want %s", got, goldenE1[p])
+				}
+			})
+		}
+	}
+}
+
+// TestChaosTornWriteGoldenE1 corrupts the live checkpoint with a simulated
+// torn write after a crash; the resume must detect the corruption by
+// checksum, fall back to the previous generation, and still land on the
+// golden outcome.
+func TestChaosTornWriteGoldenE1(t *testing.T) {
+	dir := t.TempDir()
+	if _, err, _ := chaosRun(t, dir, 1, 3); !errors.Is(err, errChaosKill) {
+		t.Fatalf("kill@3 did not fire: %v", err)
+	}
+	store := runstate.NewStore(dir, "e1")
+	data, err := os.ReadFile(store.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tear := range []int{0, 1, len(data) / 2, len(data) - 1} {
+		if err := os.WriteFile(store.Path(), data[:tear], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, fellBack, err := store.Load()
+		if err != nil {
+			t.Fatalf("tear@%d: load: %v", tear, err)
+		}
+		if !fellBack {
+			t.Fatalf("tear@%d: corruption not detected, no fallback", tear)
+		}
+		if st == nil {
+			t.Fatalf("tear@%d: nil state from fallback", tear)
+		}
+	}
+	// Leave the live file torn and resume: the run continues from the
+	// previous generation to the golden answer.
+	if err := os.WriteFile(store.Path(), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err, _ := chaosRun(t, dir, 1, 0)
+	if err != nil {
+		t.Fatalf("resume from fallback: %v", err)
+	}
+	if got != goldenE1[1] {
+		t.Errorf("fallback resume drifted from golden:\n got  %s\n want %s", got, goldenE1[1])
+	}
+}

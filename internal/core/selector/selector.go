@@ -84,6 +84,13 @@ type RoundState struct {
 	Round int
 	// Timeout is the next round's per-configuration timeout.
 	Timeout float64
+	// BestID / BestTime record the best fully evaluated configuration at
+	// checkpoint time ("" = none yet). A checkpoint taken after the
+	// completion round restores the best directly, so the resumed run jumps
+	// straight to the tightened final pass — exactly where the uninterrupted
+	// run was — instead of re-running a round the original never ran.
+	BestID   string
+	BestTime float64
 	// Metas carries per-configuration progress, keyed by Config.ID (IDs,
 	// not pointers, so a checkpoint survives re-parsing the candidates).
 	Metas map[string]*evaluator.ConfigMeta
@@ -109,6 +116,12 @@ type Selector struct {
 	Reporter obs.ProgressSink
 	Metrics  *obs.Registry
 
+	// OnCheckpoint, when set, runs after every round-state save — the tuner
+	// installs the durable-checkpoint writer here. A non-nil error aborts
+	// the selection with that error (the in-memory checkpoint is already
+	// recorded, so the partial run stays resumable).
+	OnCheckpoint func(*RoundState) error
+
 	resume *RoundState
 	state  *RoundState
 }
@@ -129,16 +142,54 @@ func (s *Selector) Resume(st *RoundState) { s.resume = st }
 // a round that was interrupted by cancellation.
 func (s *Selector) Checkpoint() *RoundState { return s.state }
 
-// saveState records the checkpoint after a finished round and marks the
-// save on the selection span.
-func (s *Selector) saveState(candidates []*engine.Config, rounds int, timeout float64) {
+// saveState records the checkpoint after a finished round, marks the save
+// on the selection span, and hands the state to the OnCheckpoint hook (the
+// durable writer). The hook's error is returned so a failed durable write —
+// or a chaos-harness kill point — aborts the selection.
+func (s *Selector) saveState(candidates []*engine.Config, rounds int, timeout float64, best *Best) error {
 	st := &RoundState{Round: rounds, Timeout: timeout, Metas: map[string]*evaluator.ConfigMeta{}}
+	if best != nil && best.Config != nil && !math.IsInf(best.Time, 1) {
+		st.BestID = best.Config.ID
+		st.BestTime = best.Time
+	}
 	for _, c := range candidates {
 		st.Metas[c.ID] = s.Metas[c]
 	}
 	s.state = st
 	s.Span.Event("checkpoint", s.Eval.DB.Clock().Now(),
 		obs.Int("round", rounds), obs.Float("timeout", timeout))
+	if s.OnCheckpoint != nil {
+		return s.OnCheckpoint(st)
+	}
+	return nil
+}
+
+// resumedBest restores the checkpointed best-so-far configuration, or an
+// infinite sentinel when the checkpoint predates any completion.
+func (s *Selector) resumedBest(candidates []*engine.Config) Best {
+	best := Best{Time: math.Inf(1)}
+	if s.resume != nil && s.resume.BestID != "" {
+		for _, c := range candidates {
+			if c.ID == s.resume.BestID {
+				best = Best{Time: s.resume.BestTime, Config: c}
+				break
+			}
+		}
+	}
+	return best
+}
+
+// incomplete lists the candidates whose bookkeeping has not completed the
+// workload, in original candidate order — the "remaining" set of the
+// tightened final pass when resuming past the completion round.
+func (s *Selector) incomplete(cs []*engine.Config) []*engine.Config {
+	var out []*engine.Config
+	for _, c := range cs {
+		if m := s.Metas[c]; m == nil || !m.IsComplete {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // startRound opens one round's span under the selection span and narrates
@@ -234,12 +285,17 @@ func (s *Selector) Select(ctx context.Context, candidates []*engine.Config) (*en
 // first completion. This is the paper's Algorithm 2 verbatim; Parallelism=1
 // runs reproduce pre-parallelism results byte-identically.
 func (s *Selector) selectSequential(ctx context.Context, candidates []*engine.Config, t, alpha float64, rounds int) (*engine.Config, error) {
-	best := Best{Time: math.Inf(1)}
+	best := s.resumedBest(candidates)
 	var remaining []*engine.Config
+	if !math.IsInf(best.Time, 1) {
+		// Resumed past the completion round: the best is known, and only the
+		// tightened final pass remains — exactly where the uninterrupted run
+		// stood after its post-completion checkpoint.
+		remaining = s.incomplete(candidates)
+	}
 	for math.IsInf(best.Time, 1) {
 		if err := ctx.Err(); err != nil {
-			s.saveState(candidates, rounds, t)
-			return nil, err
+			return nil, errors.Join(err, s.saveState(candidates, rounds, t, &best))
 		}
 		rounds++
 		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
@@ -257,13 +313,14 @@ func (s *Selector) selectSequential(ctx context.Context, candidates []*engine.Co
 			// Mid-round cancellation: checkpoint the partial progress (the
 			// metas record every completed query) so Resume can continue.
 			roundSpan.End(s.Eval.DB.Clock().Now())
-			s.saveState(candidates, rounds-1, t)
-			return nil, err
+			return nil, errors.Join(err, s.saveState(candidates, rounds-1, t, &best))
 		}
 		if !math.IsInf(best.Time, 1) {
 			roundSpan.SetAttrs(obs.Bool("complete_found", true))
 			roundSpan.End(s.Eval.DB.Clock().Now())
-			s.saveState(candidates, rounds, t)
+			if err := s.saveState(candidates, rounds, t, &best); err != nil {
+				return nil, err
+			}
 			break
 		}
 		// Reconfiguration overheads: never let the next round's timeout be
@@ -272,7 +329,9 @@ func (s *Selector) selectSequential(ctx context.Context, candidates []*engine.Co
 		t *= alpha
 		roundSpan.SetAttrs(obs.Bool("complete_found", false))
 		roundSpan.End(s.Eval.DB.Clock().Now())
-		s.saveState(candidates, rounds, t)
+		if err := s.saveState(candidates, rounds, t, &best); err != nil {
+			return nil, err
+		}
 	}
 
 	// Give every remaining configuration one chance with the tightened,
@@ -296,13 +355,16 @@ func (s *Selector) selectSequential(ctx context.Context, candidates []*engine.Co
 // that can complete — while the elapsed tuning time models N replicas
 // working in parallel.
 func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Config, t, alpha float64, rounds int) (*engine.Config, error) {
-	best := Best{Time: math.Inf(1)}
+	best := s.resumedBest(candidates)
 	pool := evaluator.NewPool(s.Eval, s.Opts.Parallelism)
 	var remaining []*engine.Config
+	if !math.IsInf(best.Time, 1) {
+		// Resumed past the completion round (see selectSequential).
+		remaining = s.incomplete(candidates)
+	}
 	for math.IsInf(best.Time, 1) {
 		if err := ctx.Err(); err != nil {
-			s.saveState(candidates, rounds, t)
-			return nil, err
+			return nil, errors.Join(err, s.saveState(candidates, rounds, t, &best))
 		}
 		rounds++
 		if s.Opts.MaxRounds > 0 && rounds > s.Opts.MaxRounds {
@@ -333,8 +395,7 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 		}
 		if _, err := pool.Run(ctx, tasks); err != nil {
 			roundSpan.End(s.Eval.DB.Clock().Now())
-			s.saveState(candidates, rounds-1, t)
-			return nil, err
+			return nil, errors.Join(err, s.saveState(candidates, rounds-1, t, &best))
 		}
 		// Deterministic merge: scan completions in the round's evaluation
 		// order with strict improvement, mirroring the sequential scan.
@@ -357,14 +418,18 @@ func (s *Selector) selectParallel(ctx context.Context, candidates []*engine.Conf
 			}
 			roundSpan.SetAttrs(obs.Bool("complete_found", true))
 			roundSpan.End(s.Eval.DB.Clock().Now())
-			s.saveState(candidates, rounds, t)
+			if err := s.saveState(candidates, rounds, t, &best); err != nil {
+				return nil, err
+			}
 			break
 		}
 		t = s.adaptTimeout(candidates, t, roundSpan)
 		t *= alpha
 		roundSpan.SetAttrs(obs.Bool("complete_found", false))
 		roundSpan.End(s.Eval.DB.Clock().Now())
-		s.saveState(candidates, rounds, t)
+		if err := s.saveState(candidates, rounds, t, &best); err != nil {
+			return nil, err
+		}
 	}
 
 	// Tightened final chance (Algorithm 2 lines 17-18), also in parallel:

@@ -1,0 +1,268 @@
+package tuner
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+
+	"lambdatune/internal/backend"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/runstate"
+	"lambdatune/internal/workload"
+)
+
+// errKill is the sentinel a kill-point hook returns to simulate a crash at a
+// checkpoint boundary.
+var errKill = errors.New("kill point reached")
+
+// ckptOpts returns checkpoint-friendly options with the given parallelism.
+func ckptOpts(parallelism int) Options {
+	opts := DefaultOptions()
+	opts.Selector.Parallelism = parallelism
+	return opts
+}
+
+// runCheckpointed runs a full tuning run that checkpoints into dir, killing
+// the run (via an AfterSave error) after save number killAfter; killAfter <= 0
+// disables the kill. It returns the result, the run error, and the store.
+func runCheckpointed(t *testing.T, dir string, parallelism, killAfter int) (*Result, error, *runstate.Store) {
+	t.Helper()
+	w, err := workload.ByName("tpch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	store := runstate.NewStore(dir, "test-run")
+	if killAfter > 0 {
+		store.AfterSave = func(*runstate.State) error {
+			if store.Saves() >= killAfter {
+				return errKill
+			}
+			return nil
+		}
+	}
+	opts := ckptOpts(parallelism)
+	opts.Checkpoint = store
+	tn := New(db, llm.NewSimClient(42), opts)
+	res, rerr := tn.Tune(context.Background(), w.Queries)
+	return res, rerr, store
+}
+
+// resumeCheckpointed loads the latest checkpoint from dir and resumes the run
+// on a fresh backend at the given parallelism.
+func resumeCheckpointed(t *testing.T, dir string, parallelism int) *Result {
+	t.Helper()
+	w, err := workload.ByName("tpch-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := runstate.NewStore(dir, "test-run")
+	st, fellBack, err := store.Load()
+	if err != nil {
+		t.Fatalf("load checkpoint: %v", err)
+	}
+	if fellBack {
+		t.Fatalf("unexpected fallback to previous checkpoint generation")
+	}
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	opts := ckptOpts(parallelism)
+	opts.Checkpoint = store
+	opts.Resume = st
+	tn := New(db, llm.NewSimClient(42), opts)
+	res, err := tn.Tune(context.Background(), w.Queries)
+	if err != nil {
+		t.Fatalf("resumed run failed: %v", err)
+	}
+	return res
+}
+
+// assertSameOutcome requires the resumed run to reproduce the uninterrupted
+// run's selection exactly — same winner, bit-identical times.
+func assertSameOutcome(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if want.Best == nil || got.Best == nil {
+		t.Fatalf("%s: nil best (want %v, got %v)", label, want.Best, got.Best)
+	}
+	if got.Best.ID != want.Best.ID {
+		t.Errorf("%s: best %q != %q", label, got.Best.ID, want.Best.ID)
+	}
+	if got.BestTime != want.BestTime {
+		t.Errorf("%s: best time %v != %v", label, got.BestTime, want.BestTime)
+	}
+	if got.TuningSeconds != want.TuningSeconds {
+		t.Errorf("%s: tuning seconds %v != %v", label, got.TuningSeconds, want.TuningSeconds)
+	}
+	if got.Prompt.TotalTokens != want.Prompt.TotalTokens {
+		t.Errorf("%s: prompt tokens %d != %d", label, got.Prompt.TotalTokens, want.Prompt.TotalTokens)
+	}
+}
+
+func TestCheckpointingIsPassive(t *testing.T) {
+	plain, _ := run(t, "tpch-1", engine.Postgres, ckptOpts(1))
+	ckpt, err, store := runCheckpointed(t, t.TempDir(), 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "checkpointed vs plain", plain, ckpt)
+	if store.Saves() < 2 {
+		t.Fatalf("expected ≥2 checkpoint saves (post-sampling + rounds), got %d", store.Saves())
+	}
+	if _, err := os.Stat(store.Path()); err != nil {
+		t.Fatalf("live checkpoint missing: %v", err)
+	}
+}
+
+// TestKillResumeEveryBoundary kills the run at every checkpoint boundary in
+// turn and requires each same-parallelism resume to reproduce the
+// uninterrupted outcome byte-for-byte (final checkpoint files included), at
+// parallelism 1 and 4. Cross-parallelism resumes must select the same winner
+// at the same workload time (selection is parallelism-invariant), but their
+// virtual tuning cost legitimately differs — parallel evaluation is the
+// point — so timing identity is only asserted when the parallelism matches.
+func TestKillResumeEveryBoundary(t *testing.T) {
+	wants := map[int]*Result{}
+	finals := map[int][]byte{}
+	totals := map[int]int{}
+	for _, p := range []int{1, 4} {
+		dir := t.TempDir()
+		want, err, store := runCheckpointed(t, dir, p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(store.Path())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[p], finals[p], totals[p] = want, data, store.Saves()
+	}
+	if wants[1].Best.ID != wants[4].Best.ID || wants[1].BestTime != wants[4].BestTime {
+		t.Fatalf("selection not parallelism-invariant: P1 %s/%v vs P4 %s/%v",
+			wants[1].Best.ID, wants[1].BestTime, wants[4].Best.ID, wants[4].BestTime)
+	}
+
+	for _, pair := range []struct{ killP, resumeP int }{{1, 1}, {4, 4}, {1, 4}, {4, 1}} {
+		for killAfter := 1; killAfter <= totals[pair.killP]; killAfter++ {
+			label := "P" + itoa(pair.killP) + "→P" + itoa(pair.resumeP) + " kill@" + itoa(killAfter)
+			dir := t.TempDir()
+			_, rerr, _ := runCheckpointed(t, dir, pair.killP, killAfter)
+			if !errors.Is(rerr, errKill) {
+				t.Fatalf("%s: expected kill error, got %v", label, rerr)
+			}
+			got := resumeCheckpointed(t, dir, pair.resumeP)
+			want := wants[pair.resumeP]
+			if got.Best == nil {
+				t.Fatalf("%s: nil best", label)
+			}
+			if got.Best.ID != want.Best.ID {
+				t.Errorf("%s: best %q != %q", label, got.Best.ID, want.Best.ID)
+			}
+			if got.BestTime != want.BestTime {
+				t.Errorf("%s: best time %v != %v", label, got.BestTime, want.BestTime)
+			}
+			if pair.killP != pair.resumeP {
+				continue
+			}
+			assertSameOutcome(t, label, want, got)
+			// The resumed run's final checkpoint must be byte-identical to the
+			// uninterrupted run's.
+			final, err := os.ReadFile(runstate.NewStore(dir, "test-run").Path())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(final) != string(finals[pair.resumeP]) {
+				t.Errorf("%s: final checkpoint differs from uninterrupted run", label)
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// TestResumeRejectsMismatchedRun refuses a checkpoint taken against different
+// selection-relevant options or a different workload.
+func TestResumeRejectsMismatchedRun(t *testing.T) {
+	dir := t.TempDir()
+	if _, err, _ := runCheckpointed(t, dir, 1, 1); !errors.Is(err, errKill) {
+		t.Fatalf("expected kill, got %v", err)
+	}
+	store := runstate.NewStore(dir, "test-run")
+	st, _, err := store.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, _ := workload.ByName("tpch-1")
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+
+	opts := ckptOpts(1)
+	opts.Seed = 999 // selection-relevant: different fingerprint
+	opts.Resume = st
+	tn := New(db, llm.NewSimClient(42), opts)
+	if _, err := tn.Tune(context.Background(), w.Queries); !errors.Is(err, runstate.ErrCheckpointMismatch) {
+		t.Errorf("option mismatch: got %v, want ErrCheckpointMismatch", err)
+	}
+
+	opts = ckptOpts(1)
+	opts.Resume = st
+	tn = New(backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware), llm.NewSimClient(42), opts)
+	if _, err := tn.Tune(context.Background(), w.Queries[:3]); !errors.Is(err, runstate.ErrCheckpointMismatch) {
+		t.Errorf("workload mismatch: got %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+// TestResumeTornWriteFallsBack truncates the live checkpoint (a torn write)
+// and verifies the store falls back to the previous generation, from which
+// the run still resumes to the correct outcome.
+func TestResumeTornWriteFallsBack(t *testing.T) {
+	baseDir := t.TempDir()
+	want, err, _ := runCheckpointed(t, baseDir, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if _, rerr, _ := runCheckpointed(t, dir, 1, 3); !errors.Is(rerr, errKill) {
+		t.Fatalf("expected kill, got %v", rerr)
+	}
+	store := runstate.NewStore(dir, "test-run")
+	data, err := os.ReadFile(store.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(store.Path(), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st, fellBack, err := store.Load()
+	if err != nil {
+		t.Fatalf("load with torn live file: %v", err)
+	}
+	if !fellBack {
+		t.Fatal("expected fallback to previous generation")
+	}
+
+	w, _ := workload.ByName("tpch-1")
+	db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	opts := ckptOpts(1)
+	opts.Resume = st
+	tn := New(db, llm.NewSimClient(42), opts)
+	got, err := tn.Tune(context.Background(), w.Queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "torn-write fallback resume", want, got)
+}

@@ -17,6 +17,7 @@ import (
 	"lambdatune/internal/engine"
 	"lambdatune/internal/llm"
 	"lambdatune/internal/obs"
+	"lambdatune/internal/runstate"
 )
 
 // ErrNoUsableSample reports that every LLM sample failed or produced an
@@ -68,6 +69,22 @@ type Options struct {
 	// Progress, when set, receives live round/candidate/timeout narration
 	// stamped with virtual timestamps (e.g. obs.NewConsoleReporter).
 	Progress obs.ProgressSink
+	// Checkpoint, when set, durably persists the run's full resumable state
+	// — candidate pool, consumed samples, selector round bookkeeping, clock
+	// position — after LLM sampling completes and after every selector
+	// round (see internal/runstate). A failed durable write aborts the run.
+	Checkpoint *runstate.Store
+	// Resume, when set, continues a checkpointed run: prompt generation and
+	// LLM sampling are skipped (the paid-for samples come from the state),
+	// the virtual clock is restored, and selection continues from the saved
+	// round. The state must match this run's workload and options
+	// (runstate.ErrCheckpointMismatch otherwise). A run killed at any
+	// selector-round boundary and resumed this way selects the same
+	// configuration byte-for-byte as the uninterrupted run.
+	Resume *runstate.State
+	// DecorateState, when set, runs on every checkpoint state before it is
+	// written — the API layer stamps the fault injector's RNG position here.
+	DecorateState func(*runstate.State)
 }
 
 // DefaultOptions matches the paper's experimental setup (§6.1).
@@ -218,7 +235,25 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 		return nil, fmt.Errorf("tuner: empty workload")
 	}
 	clock := t.DB.Clock()
+	// Checkpoint/resume digests: a checkpoint is only resumable onto the same
+	// workload under the same selection-relevant options (Fingerprint).
+	var wdigest, odigest string
+	if t.Opts.Checkpoint != nil || t.Opts.Resume != nil {
+		wdigest = runstate.WorkloadDigest("", queries)
+		odigest = t.fingerprint().Digest()
+	}
+	if st := t.Opts.Resume; st != nil {
+		if err := st.Validate(wdigest, odigest); err != nil {
+			return nil, fmt.Errorf("tuner: resume: %w", err)
+		}
+		// Restore the virtual clock exactly; the run's remaining cost then
+		// accumulates on top of everything already paid before the crash.
+		clock.Set(st.ClockSeconds)
+	}
 	start := clock.Now()
+	if st := t.Opts.Resume; st != nil {
+		start = st.StartClockSeconds
+	}
 	abortsBefore, ixFailsBefore := backend.QueryAborts(t.DB), backend.IndexFailures(t.DB)
 	statsBefore := clientStats(t.Client)
 
@@ -244,55 +279,79 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 			bestID(res), res.TuningSeconds)
 	}
 
-	// Prompt generation (§3). EXPLAIN-based snippet valuation uses the
-	// database's current (default) configuration.
-	promptSpan := tr.Start(runSpan, "prompt", clock.Now())
-	pr, err := prompt.Generate(t.DB, queries, t.DB.Hardware(), t.Opts.Prompt)
-	promptSpan.SetAttrs(obs.Int("tokens", pr.TotalTokens))
-	promptSpan.End(clock.Now())
-	if err != nil {
-		runSpan.End(clock.Now())
-		return nil, err
-	}
-	res := &Result{Prompt: pr}
-
-	// k LLM calls (Algorithm 1 line 3), each retried on transient API
-	// failures or unparseable responses. Each sample's span is carried in
-	// the call context so the resilient client can attach its retry /
-	// breaker / fallback events to it.
-	var sampleErrs []error
-	for i := 0; i < t.Opts.Samples; i++ {
-		if err := ctx.Err(); err != nil {
-			// Cancelled mid-sampling: still hand back the partial result so
-			// the telemetry collected so far survives.
-			t.mergeClientStats(res, statsBefore)
+	var res *Result
+	if st := t.Opts.Resume; st != nil {
+		// Resume path: the prompt accounting and the paid-for LLM samples come
+		// from the checkpoint — no prompt is regenerated, no token spent twice.
+		res = &Result{Prompt: prompt.Result{TotalTokens: st.PromptTokens}}
+		res.Candidates = runstate.RestoreConfigs(st.Candidates)
+		res.Warnings = append(res.Warnings, st.Warnings...)
+		res.Faults.DroppedSamples = st.DroppedSamples
+		round := 0
+		if st.Round != nil {
+			round = st.Round.Round
+		}
+		runSpan.Event("resume", clock.Now(),
+			obs.Int("round", round), obs.Int("candidates", len(res.Candidates)))
+		t.Opts.Metrics.Counter("runstate_resumes_total").Inc()
+		obs.Emitf(t.Opts.Progress, clock.Now(), "resume",
+			"resuming from checkpoint: %d candidates, round %d, clock %.4gs",
+			len(res.Candidates), round, st.ClockSeconds)
+		if len(res.Candidates) == 0 {
 			finish(res)
-			return res, err
+			return res, fmt.Errorf("%w: checkpoint carries no candidates", ErrNoUsableSample)
 		}
-		sampleSpan := tr.Start(runSpan, "llm.sample", clock.Now(), obs.Int("idx", i+1))
-		sctx := obs.ContextWithSpan(ctx, sampleSpan)
-		cfg, warns, err := t.sample(sctx, pr.Text, i+1)
-		sampleSpan.SetAttrs(obs.Bool("ok", err == nil))
-		sampleSpan.End(clock.Now())
+	} else {
+		// Prompt generation (§3). EXPLAIN-based snippet valuation uses the
+		// database's current (default) configuration.
+		promptSpan := tr.Start(runSpan, "prompt", clock.Now())
+		pr, err := prompt.Generate(t.DB, queries, t.DB.Hardware(), t.Opts.Prompt)
+		promptSpan.SetAttrs(obs.Int("tokens", pr.TotalTokens))
+		promptSpan.End(clock.Now())
 		if err != nil {
-			sampleErrs = append(sampleErrs, fmt.Errorf("sample %d: %w", i+1, err))
-			res.Faults.DroppedSamples++
-			res.Warnings = append(res.Warnings, fmt.Sprintf("sample %d dropped: %v", i+1, err))
-			obs.Emitf(t.Opts.Progress, clock.Now(), "llm", "sample %d/%d dropped: %v", i+1, t.Opts.Samples, err)
-			continue
+			runSpan.End(clock.Now())
+			return nil, err
 		}
-		res.Warnings = append(res.Warnings, warns...)
-		res.Candidates = append(res.Candidates, cfg)
-		obs.Emitf(t.Opts.Progress, clock.Now(), "llm", "sample %d/%d ok: %s", i+1, t.Opts.Samples, cfg.ID)
-	}
-	t.mergeClientStats(res, statsBefore)
-	if len(res.Candidates) == 0 {
-		finish(res)
-		if err := ctx.Err(); err != nil {
-			return res, err
+		res = &Result{Prompt: pr}
+
+		// k LLM calls (Algorithm 1 line 3), each retried on transient API
+		// failures or unparseable responses. Each sample's span is carried in
+		// the call context so the resilient client can attach its retry /
+		// breaker / fallback events to it.
+		var sampleErrs []error
+		for i := 0; i < t.Opts.Samples; i++ {
+			if err := ctx.Err(); err != nil {
+				// Cancelled mid-sampling: still hand back the partial result so
+				// the telemetry collected so far survives.
+				t.mergeClientStats(res, statsBefore)
+				finish(res)
+				return res, err
+			}
+			sampleSpan := tr.Start(runSpan, "llm.sample", clock.Now(), obs.Int("idx", i+1))
+			sctx := obs.ContextWithSpan(ctx, sampleSpan)
+			cfg, warns, err := t.sample(sctx, pr.Text, i+1)
+			sampleSpan.SetAttrs(obs.Bool("ok", err == nil))
+			sampleSpan.End(clock.Now())
+			if err != nil {
+				sampleErrs = append(sampleErrs, fmt.Errorf("sample %d: %w", i+1, err))
+				res.Faults.DroppedSamples++
+				res.Warnings = append(res.Warnings, fmt.Sprintf("sample %d dropped: %v", i+1, err))
+				obs.Emitf(t.Opts.Progress, clock.Now(), "llm", "sample %d/%d dropped: %v", i+1, t.Opts.Samples, err)
+				continue
+			}
+			res.Warnings = append(res.Warnings, warns...)
+			res.Candidates = append(res.Candidates, cfg)
+			obs.Emitf(t.Opts.Progress, clock.Now(), "llm", "sample %d/%d ok: %s", i+1, t.Opts.Samples, cfg.ID)
 		}
-		return res, fmt.Errorf("%w: 0 of %d samples usable: %w",
-			ErrNoUsableSample, t.Opts.Samples, errors.Join(sampleErrs...))
+		t.mergeClientStats(res, statsBefore)
+		if len(res.Candidates) == 0 {
+			finish(res)
+			if err := ctx.Err(); err != nil {
+				return res, err
+			}
+			return res, fmt.Errorf("%w: 0 of %d samples usable: %w",
+				ErrNoUsableSample, t.Opts.Samples, errors.Join(sampleErrs...))
+		}
 	}
 
 	// Graceful degradation: the candidate pool is seeded with the live
@@ -317,6 +376,53 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 	sel.Span = tr.Start(runSpan, "selection", clock.Now(), obs.Int("candidates", len(pool)))
 	sel.Reporter = t.Opts.Progress
 	sel.Metrics = t.Opts.Metrics
+	if st := t.Opts.Resume; st != nil && st.Round != nil {
+		sel.Resume(st.Round.Restore())
+	}
+	if store := t.Opts.Checkpoint; store != nil {
+		saveCkpt := func(rs *selector.RoundState) error {
+			st := &runstate.State{
+				RunID:             store.RunID,
+				WorkloadDigest:    wdigest,
+				OptionsDigest:     odigest,
+				StartClockSeconds: start,
+				ClockSeconds:      clock.Now(),
+				PromptTokens:      res.Prompt.TotalTokens,
+				SeedDefault:       t.Opts.SeedDefault,
+				Candidates:        runstate.CaptureConfigs(res.Candidates),
+				Warnings:          res.Warnings,
+				DroppedSamples:    res.Faults.DroppedSamples,
+				Round:             runstate.CaptureRound(rs),
+			}
+			if t.Opts.DecorateState != nil {
+				t.Opts.DecorateState(st)
+			}
+			n, err := store.Save(st)
+			if n > 0 {
+				// Count the write even when a post-save hook (kill point)
+				// errors — the bytes are already durable.
+				t.Opts.Metrics.Counter("runstate_checkpoints_total").Inc()
+				t.Opts.Metrics.Counter("runstate_checkpoint_bytes_total").Add(float64(n))
+				t.Opts.Metrics.Gauge("runstate_last_checkpoint_bytes").Set(float64(n))
+			}
+			round := 0
+			if rs != nil {
+				round = rs.Round
+			}
+			runSpan.Event("checkpoint.saved", clock.Now(),
+				obs.Int("round", round), obs.Int("bytes", n))
+			return err
+		}
+		if t.Opts.Resume == nil {
+			// The post-sampling checkpoint makes the paid-for LLM samples
+			// durable before the first evaluation round runs.
+			if err := saveCkpt(nil); err != nil {
+				finish(res)
+				return res, fmt.Errorf("tuner: checkpoint: %w", err)
+			}
+		}
+		sel.OnCheckpoint = saveCkpt
+	}
 	wallStart := time.Now()
 	best, selErr := sel.Select(ctx, pool)
 	res.EvalWallSeconds = time.Since(wallStart).Seconds()
@@ -343,6 +449,24 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 	t.mergeClientStats(res, statsBefore)
 	finish(res)
 	return res, nil
+}
+
+// fingerprint condenses this run's selection-relevant options for checkpoint
+// validation (see runstate.Fingerprint for what is deliberately excluded).
+func (t *Tuner) fingerprint() runstate.Fingerprint {
+	return runstate.Fingerprint{
+		Flavor:         t.DB.Flavor().String(),
+		Seed:           t.Opts.Seed,
+		Samples:        t.Opts.Samples,
+		Temperature:    t.Opts.Temperature,
+		TokenBudget:    t.Opts.Prompt.TokenBudget,
+		InitialTimeout: t.Opts.Selector.InitialTimeout,
+		Alpha:          t.Opts.Selector.Alpha,
+		Adaptive:       t.Opts.Selector.AdaptiveTimeout,
+		UseScheduler:   t.Opts.UseScheduler,
+		LazyIndexes:    t.Opts.LazyIndexes,
+		SeedDefault:    t.Opts.SeedDefault,
+	}
 }
 
 // exportBackendStats snapshots the backend's observation telemetry onto the

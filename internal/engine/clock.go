@@ -18,5 +18,15 @@ func (c *Clock) Advance(d float64) {
 	}
 }
 
+// Set fast-forwards the clock to v seconds; values at or behind the current
+// time are ignored — the clock never rewinds. Checkpoint resume uses it to
+// restore a crashed run's virtual position on a fresh backend, exactly
+// (Advance would accumulate floating-point error from the subtraction).
+func (c *Clock) Set(v float64) {
+	if v > c.now {
+		c.now = v
+	}
+}
+
 // Reset rewinds the clock to zero.
 func (c *Clock) Reset() { c.now = 0 }

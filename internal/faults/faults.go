@@ -141,9 +141,13 @@ func NewPlan(llmRate, engineRate float64) Plan {
 // do not shift with the (many) per-query engine draws.
 type Injector struct {
 	plan   Plan
+	seed   int64
 	llmRng *rand.Rand
 	engRng *rand.Rand
-	clock  Clock
+	// engDraws counts the engine stream's consumed draws; Snapshot exposes it
+	// so a resumed run can fast-forward a fresh injector to the same position.
+	engDraws int
+	clock    Clock
 	// rateLimitedUntil is the virtual end of the current 429 burst.
 	rateLimitedUntil float64
 	counts           map[Kind]int
@@ -168,11 +172,55 @@ func NewInjector(plan Plan, seed int64, clock Clock) *Injector {
 	}
 	return &Injector{
 		plan:   plan,
+		seed:   seed,
 		llmRng: rand.New(rand.NewSource(seed)),
 		engRng: rand.New(rand.NewSource(seed + 7919)),
 		clock:  clock,
 		counts: map[Kind]int{},
 	}
+}
+
+// Snapshot returns the injector's resumable position: its seed, the number
+// of engine-stream draws consumed, and the per-kind fault counts keyed by
+// Kind.String(). Only the engine stream matters after a selector-round
+// checkpoint — LLM faults can only fire during sampling, which a resumed run
+// skips entirely — so the LLM stream's position is not captured.
+func (in *Injector) Snapshot() (seed int64, engineDraws int, counts map[string]int) {
+	counts = make(map[string]int, len(in.counts))
+	for k, v := range in.counts {
+		counts[k.String()] = v
+	}
+	return in.seed, in.engDraws, counts
+}
+
+// RestoreEngine fast-forwards the engine fault stream by draws and restores
+// the per-kind counts, so a resumed run sees the same remaining fault
+// sequence — and reports cumulative totals — as the uninterrupted one. Call
+// it on a fresh injector created with the same seed and plan.
+func (in *Injector) RestoreEngine(draws int, counts map[string]int) {
+	for i := in.engDraws; i < draws; i++ {
+		in.engRng.Float64()
+	}
+	in.engDraws = draws
+	for name, n := range counts {
+		for k := LLMTransient; k <= IndexFail; k++ {
+			if k.String() == name {
+				in.counts[k] = n
+				break
+			}
+		}
+	}
+}
+
+// engFloat draws from the engine stream, counting the draw for Snapshot.
+func (in *Injector) engFloat() float64 {
+	in.engDraws++
+	return in.engRng.Float64()
+}
+
+// engHit is hit() on the counted engine stream.
+func (in *Injector) engHit(rate float64) bool {
+	return rate > 0 && in.engFloat() < rate
 }
 
 func (in *Injector) now() float64 {
@@ -282,20 +330,20 @@ func (in *Injector) AfterComplete(response string) (string, error) {
 // (timeout-capped) runtime was spent.
 func (in *Injector) QueryFault(q *engine.Query) (wastedFrac float64, abort bool) {
 	_ = q
-	if !in.hit(in.engRng, in.plan.QueryAbortRate) {
+	if !in.engHit(in.plan.QueryAbortRate) {
 		return 0, false
 	}
 	in.record(QueryAbort)
-	return in.engRng.Float64(), true
+	return in.engFloat(), true
 }
 
 // IndexFault implements engine.FaultInjector: with probability
 // IndexFailRate the build fails after a random fraction of its cost.
 func (in *Injector) IndexFault(def engine.IndexDef) (wastedFrac float64, fail bool) {
 	_ = def
-	if !in.hit(in.engRng, in.plan.IndexFailRate) {
+	if !in.engHit(in.plan.IndexFailRate) {
 		return 0, false
 	}
 	in.record(IndexFail)
-	return in.engRng.Float64(), true
+	return in.engFloat(), true
 }

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"time"
+)
+
+// MetricsServer serves a Registry over HTTP: Prometheus text exposition at
+// /metrics and expvar-compatible JSON at /debug/vars. It owns its listener,
+// so tests can bind ":0" and read the resolved address, and it shuts down
+// gracefully — in-flight scrapes finish, the port is released — instead of
+// being abandoned to process exit.
+type MetricsServer struct {
+	reg *Registry
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewMetricsServer creates a server for the registry on addr (e.g. ":9090",
+// "127.0.0.1:0"). Nothing is bound until Start.
+func NewMetricsServer(reg *Registry, addr string) *MetricsServer {
+	m := &MetricsServer{reg: reg}
+	m.srv = &http.Server{Addr: addr, Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	return m
+}
+
+// Handler returns the metrics mux, for embedding into a larger server (the
+// lambdatuned job service mounts it next to its job endpoints).
+func (m *MetricsServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = m.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = io.WriteString(w, m.reg.String())
+	})
+	return mux
+}
+
+// Start binds the address and serves in the background. It returns once the
+// listener is bound, so Addr is immediately valid; serve-loop failures after
+// that are reported to errf when set.
+func (m *MetricsServer) Start(errf func(error)) error {
+	ln, err := net.Listen("tcp", m.srv.Addr)
+	if err != nil {
+		return err
+	}
+	m.ln = ln
+	go func() {
+		if err := m.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			if errf != nil {
+				errf(err)
+			}
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound address ("" before Start) — the resolved port when
+// Start bound ":0".
+func (m *MetricsServer) Addr() string {
+	if m.ln == nil {
+		return ""
+	}
+	return m.ln.Addr().String()
+}
+
+// Shutdown gracefully stops the server: no new connections, in-flight
+// requests get until ctx's deadline to finish, then the listener closes.
+func (m *MetricsServer) Shutdown(ctx context.Context) error {
+	if m.ln == nil {
+		return nil
+	}
+	return m.srv.Shutdown(ctx)
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsServerServesAndShutsDown(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("test_total").Add(3)
+	reg.Gauge("test_gauge").Set(1.5)
+
+	ms := NewMetricsServer(reg, "127.0.0.1:0")
+	if ms.Addr() != "" {
+		t.Error("addr before start should be empty")
+	}
+	if err := ms.Start(nil); err != nil {
+		t.Fatal(err)
+	}
+	addr := ms.Addr()
+	if addr == "" {
+		t.Fatal("no bound address after start")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+	if body := get("/metrics"); !strings.Contains(body, "test_total 3") {
+		t.Errorf("/metrics body:\n%s", body)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, `"test_gauge": 1.5`) {
+		t.Errorf("/debug/vars body:\n%s", body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := ms.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// The port is actually released: a fresh listener can bind it.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port not released after shutdown: %v", err)
+	}
+	ln.Close()
+}
+
+func TestMetricsServerShutdownBeforeStart(t *testing.T) {
+	ms := NewMetricsServer(NewRegistry(), ":0")
+	if err := ms.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown before start: %v", err)
+	}
+}
+
+func TestMetricsServerBadAddr(t *testing.T) {
+	ms := NewMetricsServer(NewRegistry(), "256.256.256.256:99999")
+	if err := ms.Start(nil); err == nil {
+		t.Fatal("expected bind error")
+	}
+}

@@ -1,0 +1,153 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"lambdatune/internal/obs"
+)
+
+// Handler serves the job API over HTTP/JSON:
+//
+//	POST /jobs              enqueue a job (body: JobSpec) → 202 + Job
+//	GET  /jobs              list all jobs
+//	GET  /jobs/{id}         one job's status and result
+//	POST /jobs/{id}/cancel  cancel a queued or running job
+//	GET  /jobs/{id}/stream  live progress lines, chunked, until the job ends
+//	GET  /healthz           liveness (200 while the process serves)
+//	GET  /readyz            readiness (503 while draining)
+//	GET  /metrics           Prometheus text exposition (when metrics are on)
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", m.handleEnqueue)
+	mux.HandleFunc("GET /jobs", m.handleList)
+	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", m.handleCancel)
+	mux.HandleFunc("GET /jobs/{id}/stream", m.handleStream)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if m.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	if m.cfg.Metrics != nil {
+		metrics := obs.NewMetricsServer(m.cfg.Metrics, "").Handler()
+		mux.Handle("GET /metrics", metrics)
+		mux.Handle("GET /debug/vars", metrics)
+	}
+	return mux
+}
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrRateLimited):
+		code = http.StatusTooManyRequests
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		code = http.StatusServiceUnavailable
+	default:
+		// Spec validation problems are the client's fault.
+		code = http.StatusBadRequest
+	}
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+func (m *Manager) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, fmt.Errorf("decoding job spec: %w", err))
+		return
+	}
+	job, err := m.Enqueue(spec)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job)
+}
+
+func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	job, err := m.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := m.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleStream sends the job's progress lines as they happen, one per line,
+// flushing each, and closes when the job reaches a terminal state (or the
+// client goes away).
+func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, cancel, err := m.Subscribe(id)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	flush()
+	for {
+		select {
+		case line, ok := <-ch:
+			if !ok {
+				// Job finished: emit a final status line so the stream is
+				// self-describing.
+				if job, err := m.Get(id); err == nil {
+					fmt.Fprintf(w, "job %s: %s\n", job.ID, job.Status)
+				}
+				flush()
+				return
+			}
+			fmt.Fprintln(w, line)
+			flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

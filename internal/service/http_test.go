@@ -1,0 +1,260 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"lambdatune/internal/obs"
+)
+
+func newTestServer(t *testing.T) (*Manager, *httptest.Server) {
+	t.Helper()
+	cfg := testConfig(t)
+	cfg.Metrics = obs.NewRegistry()
+	m := openManager(t, cfg)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func decodeJob(t *testing.T, resp *http.Response) *Job {
+	t.Helper()
+	defer resp.Body.Close()
+	var job Job
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	return &job
+}
+
+func TestHTTPJobLifecycle(t *testing.T) {
+	m, srv := newTestServer(t)
+
+	// Enqueue.
+	body := `{"benchmark": "tpch-1", "seed": 1, "tenant": "acme"}`
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d", resp.StatusCode)
+	}
+	job := decodeJob(t, resp)
+	if job.ID == "" {
+		t.Fatal("no job ID in response")
+	}
+
+	waitJob(t, m, job.ID)
+
+	// Status.
+	resp, err = http.Get(srv.URL + "/jobs/" + job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s: %d", job.ID, resp.StatusCode)
+	}
+	got := decodeJob(t, resp)
+	if got.Status != StatusSucceeded {
+		t.Fatalf("status = %s (error %q)", got.Status, got.Error)
+	}
+	if got.Result == nil || got.Result.BestScript == "" {
+		t.Error("result missing from response")
+	}
+
+	// List.
+	resp, err = http.Get(srv.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []*Job `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != job.ID {
+		t.Errorf("GET /jobs listed %d jobs", len(list.Jobs))
+	}
+
+	// Metrics went through the mounted registry handler.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(buf.String(), "service_jobs_enqueued_total") {
+		t.Errorf("metrics exposition missing service series:\n%s", buf.String())
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	for _, tc := range []struct {
+		method, path, body string
+		want               int
+	}{
+		{"POST", "/jobs", `{"benchmark": "no-such"}`, http.StatusBadRequest},
+		{"POST", "/jobs", `not json`, http.StatusBadRequest},
+		{"POST", "/jobs", `{"benchmark": "tpch-1", "bogus_field": 1}`, http.StatusBadRequest},
+		{"GET", "/jobs/job-999999", "", http.StatusNotFound},
+		{"POST", "/jobs/job-999999/cancel", "", http.StatusNotFound},
+		{"GET", "/jobs/job-999999/stream", "", http.StatusNotFound},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var apiErr apiError
+		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s: code %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+		if apiErr.Error == "" {
+			t.Errorf("%s %s: no error envelope", tc.method, tc.path)
+		}
+	}
+}
+
+func TestHTTPRateLimited(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.RateBurst = 1
+	cfg.RatePerSecond = 0.001
+	m := openManager(t, cfg)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+
+	post := func() *http.Response {
+		resp, err := http.Post(srv.URL+"/jobs", "application/json",
+			strings.NewReader(`{"benchmark": "tpch-1", "tenant": "acme"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	if resp := post(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first enqueue: %d", resp.StatusCode)
+	}
+	if resp := post(); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second enqueue: %d, want 429", resp.StatusCode)
+	}
+}
+
+func TestHTTPHealthAndReadiness(t *testing.T) {
+	m, srv := newTestServer(t)
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: %d", path, resp.StatusCode)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Draining: alive but not ready, and enqueues are refused.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz while draining: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("readyz while draining: %d, want 503", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"benchmark": "tpch-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("enqueue while draining: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestHTTPStream: the stream endpoint delivers progress lines and terminates
+// with a final status line when the job finishes.
+func TestHTTPStream(t *testing.T) {
+	cfg := testConfig(t)
+	cfg.Workers = 1
+	m := openManager(t, cfg)
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(srv.Close)
+
+	// Hold the job at the start line until the stream is attached, so the
+	// subscription always sees the run's progress.
+	attached := make(chan struct{})
+	m.beforeRun = func(_ *Job, ctx context.Context) {
+		select {
+		case <-attached:
+		case <-ctx.Done():
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"benchmark": "tpch-1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := decodeJob(t, resp)
+
+	stream, err := http.Get(fmt.Sprintf("%s/jobs/%s/stream", srv.URL, job.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if stream.StatusCode != http.StatusOK {
+		t.Fatalf("stream: %d", stream.StatusCode)
+	}
+	close(attached)
+
+	var lines []string
+	sc := bufio.NewScanner(stream.Body)
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("stream delivered no lines")
+	}
+	last := lines[len(lines)-1]
+	if want := fmt.Sprintf("job %s: %s", job.ID, StatusSucceeded); last != want {
+		t.Errorf("final stream line = %q, want %q", last, want)
+	}
+}

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantLimiter is a per-tenant token bucket: each tenant starts with burst
+// tokens, pays one per enqueue, and refills at perSecond. A zero burst
+// disables limiting entirely.
+type tenantLimiter struct {
+	burst     float64
+	perSecond float64
+	// now is injectable so tests can step time deterministically.
+	now func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(burst int, perSecond float64) *tenantLimiter {
+	return &tenantLimiter{
+		burst:     float64(burst),
+		perSecond: perSecond,
+		now:       time.Now,
+		buckets:   map[string]*bucket{},
+	}
+}
+
+// allow spends one token from the tenant's bucket, reporting whether one was
+// available.
+func (l *tenantLimiter) allow(tenant string) bool {
+	if l.burst <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[tenant]
+	if !ok {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.perSecond
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
