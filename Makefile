@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check ci bench scaling chaos
+.PHONY: build vet test race verify fmt-check ci bench scaling bench-race chaos
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,10 @@ bench:
 ## scaling: the E13 parallel-evaluation scaling study.
 scaling:
 	$(GO) run ./cmd/benchrunner -exp scaling
+
+## bench-race: the E14 racing-vs-full evaluation study; refreshes BENCH_race.json.
+bench-race:
+	$(GO) run ./cmd/benchrunner -exp race -race-json BENCH_race.json
 
 ## chaos: the crash-recovery suite under the race detector — kill/resume at
 ## every checkpoint boundary, torn-write fallback, daemon drain/re-adopt.

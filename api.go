@@ -18,7 +18,7 @@ import (
 )
 
 // RunID derives the checkpoint identity of a workload+seed pair — the
-// filename stem checkpoints are stored under in Options.CheckpointDir
+// filename stem checkpoints are stored under in Options.Durability.CheckpointDir
 // (sanitized for the filesystem by the store).
 func RunID(workload string, seed int64) string {
 	return fmt.Sprintf("%s-seed%d", workload, seed)
@@ -209,85 +209,10 @@ func Benchmark(name string, dbms DBMS) (*Database, *Workload, error) {
 // BenchmarkNames lists the built-in benchmark identifiers.
 func BenchmarkNames() []string { return workload.Names() }
 
-// ResilienceOptions hardens the LLM boundary of a tuning run: retries with
-// exponential backoff and seeded jitter, per-call deadlines, a circuit
-// breaker, and an optional fallback client. All waiting is charged to the
-// database's virtual clock, so resilience costs show up in
-// Result.TuningSeconds exactly as real wall-clock retries would. Zero-valued
-// fields fall back to production defaults.
-type ResilienceOptions struct {
-	// MaxRetries is the number of re-attempts after a failed LLM call
-	// (default 3; negative disables retries).
-	MaxRetries int
-	// InitialBackoffSeconds is the virtual wait before the first retry
-	// (default 1); each further retry multiplies it by BackoffFactor
-	// (default 2) up to MaxBackoffSeconds (default 30), randomized by
-	// ±Jitter fraction (default 0.25, seeded — runs stay reproducible).
-	InitialBackoffSeconds float64
-	BackoffFactor         float64
-	MaxBackoffSeconds     float64
-	Jitter                float64
-	// CallTimeoutSeconds is the per-call deadline (default 60): a failed
-	// call never costs more virtual time than this.
-	CallTimeoutSeconds float64
-	// BreakerThreshold trips the circuit breaker after this many
-	// consecutive failed calls (default 4; negative disables it);
-	// BreakerCooldownSeconds is how long it stays open (default 120).
-	BreakerThreshold       int
-	BreakerCooldownSeconds float64
-	// Fallback is consulted when retries are exhausted or the breaker is
-	// open (optional; e.g. a second model or a canned-config client).
-	Fallback Client
-}
-
-func (r *ResilienceOptions) toLLM() *llm.ResilienceOptions {
-	if r == nil {
-		return nil
-	}
-	return &llm.ResilienceOptions{
-		MaxRetries:       r.MaxRetries,
-		InitialBackoff:   r.InitialBackoffSeconds,
-		BackoffFactor:    r.BackoffFactor,
-		MaxBackoff:       r.MaxBackoffSeconds,
-		Jitter:           r.Jitter,
-		CallTimeout:      r.CallTimeoutSeconds,
-		BreakerThreshold: r.BreakerThreshold,
-		BreakerCooldown:  r.BreakerCooldownSeconds,
-		Fallback:         r.Fallback,
-	}
-}
-
-// FaultPlan injects deterministic faults into a tuning run, for resilience
-// testing (see internal/faults for the taxonomy). Rates are probabilities
-// in [0,1]; the aggregate LLM rate is spread over transient errors,
-// rate-limit bursts, truncated scripts, and garbage completions, the engine
-// rate over query aborts and index-build failures.
-type FaultPlan struct {
-	// LLMRate is the per-call probability of an injected LLM fault.
-	LLMRate float64
-	// EngineRate is the per-operation probability of an injected engine
-	// fault (query abort, index-build failure).
-	EngineRate float64
-	// Seed drives the injected fault sequence (0 = Options.Seed).
-	Seed int64
-	// CrashAfterRound, when > 0, simulates a crash immediately after the
-	// durable checkpoint that closes selection round N: the run returns an
-	// error matching ErrKilled with the checkpoint already on disk — exactly
-	// the state a real crash leaves behind. Requires Options.CheckpointDir;
-	// resume the run with Options.Resume.
-	CrashAfterRound int
-	// CrashAfterSaves, when > 0, crashes after the Nth durable checkpoint
-	// save regardless of its content (save 1 is the post-sampling
-	// checkpoint). The chaos harness uses this to sweep every checkpoint
-	// boundary without knowing the round structure in advance. Requires
-	// Options.CheckpointDir.
-	CrashAfterSaves int
-}
-
 // Trace records one tuning run as a hierarchical span tree (run → prompt /
 // llm.sample / selection → round → candidate → query / index.build / schedule)
 // with virtual-clock timestamps and host wall-clock annotations. Pass it in
-// Options.Trace, then export with WriteJSONL/WriteFile or render a per-phase
+// Options.Observability.Trace, then export with WriteJSONL/WriteFile or render a per-phase
 // cost breakdown with SummaryTable. Tracing is passive: a traced run selects
 // the same configuration, byte for byte, as an untraced one, and the span
 // tree itself is deterministic for a fixed workload/seed/parallelism (wall
@@ -316,7 +241,7 @@ func (t *Trace) SummaryTable() string { return obs.SummaryTable(t.tr.Summarize()
 
 // Metrics is a registry of counters, gauges, and histograms a tuning run
 // feeds (tuner_* series, plus backend_* series when the database is
-// instrumented). Pass it in Options.Metrics, then export with
+// instrumented). Pass it in Options.Observability.Metrics, then export with
 // WritePrometheus (text exposition format) or String (expvar-compatible
 // JSON).
 type Metrics struct {
@@ -364,7 +289,7 @@ type Telemetry struct {
 	// Phases is the per-phase cost breakdown, most expensive (virtual) first.
 	Phases []PhaseCost
 	// Metrics is the registry snapshot at the end of the run (nil when
-	// Options.Metrics was not set).
+	// Options.Observability.Metrics was not set).
 	Metrics map[string]float64
 }
 
@@ -378,157 +303,6 @@ func toTelemetry(s *obs.Summary) *Telemetry {
 			Phase: p.Phase, Spans: p.Spans,
 			VirtSeconds: p.VirtSeconds, WallSeconds: p.WallSeconds,
 		})
-	}
-	return t
-}
-
-// Options configures a tuning run; start from DefaultOptions. The zero
-// value of every field is meaningful (documented per field), so a partially
-// filled struct is valid as long as Validate accepts it.
-type Options struct {
-	// Samples is k, the number of candidate configurations requested from
-	// the LLM (paper default: 5). 0 means the default; negative is invalid.
-	Samples int
-	// Temperature controls LLM randomization. 0 is a valid setting and
-	// means greedy decoding; set a negative value to inherit the paper
-	// default (0.7), which DefaultOptions does for you.
-	Temperature float64
-	// TokenBudget bounds the prompt's workload-representation tokens
-	// (0 = fit to the model limit; negative is invalid).
-	TokenBudget int
-	// InitialTimeout is the first evaluation round's per-configuration
-	// timeout in seconds (paper default: 10). 0 means the default;
-	// negative is invalid.
-	InitialTimeout float64
-	// Alpha is the geometric timeout growth factor, ≥ 2 (paper default:
-	// 10). 0 means the default; values in (0, 2) are invalid.
-	Alpha float64
-	// Parallelism is the number of concurrent evaluation workers (simulated
-	// DBMS replicas) used during configuration selection. 0 or 1 evaluates
-	// sequentially; higher values evaluate each round's candidates
-	// concurrently with identical selection decisions (same best
-	// configuration, same speedup) and lower wall-clock time. Negative is
-	// invalid. Runs with Faults installed always evaluate sequentially.
-	Parallelism int
-	// Seed drives the deterministic parts of scheduling (0 is a valid seed).
-	Seed int64
-	// Resilience, when set, hardens the LLM boundary (retries, backoff,
-	// circuit breaker, fallback). Nil leaves the client unwrapped.
-	Resilience *ResilienceOptions
-	// Faults, when set, injects deterministic faults into the run. Nil
-	// injects nothing.
-	Faults *FaultPlan
-	// Trace, when set, records the run as a span tree (see Trace). Injected
-	// faults appear as events on the trace root.
-	Trace *Trace
-	// Metrics, when set, receives the run's tuner_* counters and gauges —
-	// plus the backend_* surface series when the database is instrumented
-	// (see Database.Instrument).
-	Metrics *Metrics
-	// Progress, when set, receives live one-line narration of the run
-	// (rounds, timeouts, best-so-far improvements) stamped with virtual
-	// timestamps — e.g. os.Stderr.
-	Progress io.Writer
-	// CheckpointDir, when set, makes the run crash-recoverable: its full
-	// resumable state (candidate pool, consumed LLM samples, selector round
-	// bookkeeping, virtual clock, fault-injector position) is durably
-	// checkpointed into this directory — fsync'd and atomically renamed —
-	// after LLM sampling completes and after every selection round. The
-	// checkpoint file is named after the workload and seed, so concurrent
-	// runs with different seeds do not collide.
-	CheckpointDir string
-	// Resume, when true, continues a previously checkpointed run from
-	// CheckpointDir instead of starting over: prompt generation and LLM
-	// sampling are skipped, and selection picks up at the saved round. A run
-	// killed at a checkpoint boundary and resumed this way selects the same
-	// configuration — byte for byte — as the uninterrupted run. A corrupt
-	// live checkpoint (torn write) silently falls back to the previous
-	// generation (Result.CheckpointFellBack reports it); a checkpoint from a
-	// different workload or differently configured run is refused with
-	// ErrCheckpointMismatch.
-	Resume bool
-}
-
-// DefaultOptions mirrors the paper's experimental setup (§6.1).
-func DefaultOptions() Options {
-	return Options{Samples: 5, Temperature: 0.7, InitialTimeout: 10, Alpha: 10, Seed: 1}
-}
-
-// Validate reports whether the options describe a runnable configuration.
-// Every violation is wrapped in ErrInvalidOptions (check with errors.Is);
-// the message names the offending field. TuneContext validates for you.
-func (o Options) Validate() error {
-	bad := func(format string, args ...any) error {
-		return fmt.Errorf("%w: %s", ErrInvalidOptions, fmt.Sprintf(format, args...))
-	}
-	if o.Samples < 0 {
-		return bad("Samples must be >= 0, got %d", o.Samples)
-	}
-	if o.TokenBudget < 0 {
-		return bad("TokenBudget must be >= 0, got %d", o.TokenBudget)
-	}
-	if o.InitialTimeout < 0 {
-		return bad("InitialTimeout must be >= 0, got %g", o.InitialTimeout)
-	}
-	if o.Alpha != 0 && o.Alpha < 2 {
-		return bad("Alpha must be 0 (default) or >= 2, got %g", o.Alpha)
-	}
-	if o.Parallelism < 0 {
-		return bad("Parallelism must be >= 0, got %d", o.Parallelism)
-	}
-	if f := o.Faults; f != nil {
-		if f.LLMRate < 0 || f.LLMRate > 1 {
-			return bad("Faults.LLMRate must be in [0,1], got %g", f.LLMRate)
-		}
-		if f.EngineRate < 0 || f.EngineRate > 1 {
-			return bad("Faults.EngineRate must be in [0,1], got %g", f.EngineRate)
-		}
-		if f.CrashAfterRound < 0 {
-			return bad("Faults.CrashAfterRound must be >= 0, got %d", f.CrashAfterRound)
-		}
-		if f.CrashAfterSaves < 0 {
-			return bad("Faults.CrashAfterSaves must be >= 0, got %d", f.CrashAfterSaves)
-		}
-		if (f.CrashAfterRound > 0 || f.CrashAfterSaves > 0) && o.CheckpointDir == "" {
-			return bad("Faults crash kill points require CheckpointDir")
-		}
-	}
-	if o.Resume && o.CheckpointDir == "" {
-		return bad("Resume requires CheckpointDir")
-	}
-	return nil
-}
-
-func (o Options) toTuner() tuner.Options {
-	t := tuner.DefaultOptions()
-	if o.Samples > 0 {
-		t.Samples = o.Samples
-	}
-	// Temperature 0 is meaningful (greedy decoding); only a negative value
-	// falls back to the default.
-	if o.Temperature >= 0 {
-		t.Temperature = o.Temperature
-	}
-	if o.TokenBudget > 0 {
-		t.Prompt.TokenBudget = o.TokenBudget
-	}
-	if o.InitialTimeout > 0 {
-		t.Selector.InitialTimeout = o.InitialTimeout
-	}
-	if o.Alpha >= 2 {
-		t.Selector.Alpha = o.Alpha
-	}
-	t.Selector.Parallelism = o.Parallelism
-	t.Seed = o.Seed
-	t.Resilience = o.Resilience.toLLM()
-	if o.Trace != nil {
-		t.Trace = o.Trace.tr
-	}
-	if o.Metrics != nil {
-		t.Metrics = o.Metrics.reg
-	}
-	if o.Progress != nil {
-		t.Progress = obs.NewConsoleReporter(o.Progress)
 	}
 	return t
 }
@@ -589,12 +363,12 @@ type Result struct {
 	// before tuning.
 	DefaultSeconds float64
 	// TuningSeconds is the total virtual time the run consumed, including
-	// index creations and interrupted evaluations. With Options.Parallelism
+	// index creations and interrupted evaluations. With Options.Evaluation.Parallelism
 	// > 1 it models N replicas evaluating concurrently: each round costs the
 	// slowest replica's elapsed time.
 	TuningSeconds float64
 	// EvalWallSeconds is the real wall-clock time of the configuration
-	// selection phase — the quantity Options.Parallelism reduces.
+	// selection phase — the quantity Options.Evaluation.Parallelism reduces.
 	EvalWallSeconds float64
 	// PromptTokens counts the tokens of the generated prompt.
 	PromptTokens int
@@ -607,10 +381,10 @@ type Result struct {
 	// Faults is the run's resilience telemetry (zero-valued on a clean run).
 	Faults FaultReport
 	// Telemetry condenses the run's trace and metrics. Non-nil whenever
-	// Options.Trace or Options.Metrics was set.
+	// Options.Observability.Trace or Options.Observability.Metrics was set.
 	Telemetry *Telemetry
 	// Resumed reports that the run continued from a durable checkpoint
-	// (Options.Resume) instead of starting fresh.
+	// (Options.Durability.Resume) instead of starting fresh.
 	Resumed bool
 	// CheckpointFellBack reports that the live checkpoint was corrupt (torn
 	// write) and the run resumed from the previous generation instead.
@@ -674,6 +448,9 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
+	// Validate succeeded, so normalization cannot fail; from here on the
+	// grouped fields are authoritative and the flat aliases are zeroed.
+	opts, _ = opts.normalized()
 	if w == nil || len(w.queries) == 0 {
 		return nil, ErrEmptyWorkload
 	}
@@ -686,10 +463,10 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 		store    *runstate.Store
 		fellBack bool
 	)
-	if opts.CheckpointDir != "" {
-		store = runstate.NewStore(opts.CheckpointDir, RunID(w.name, opts.Seed))
+	if opts.Durability.CheckpointDir != "" {
+		store = runstate.NewStore(opts.Durability.CheckpointDir, RunID(w.name, opts.Seed))
 		topts.Checkpoint = store
-		if opts.Resume {
+		if opts.Durability.Resume {
 			st, fb, err := store.Load()
 			if err != nil {
 				return nil, fmt.Errorf("lambdatune: resume: %w", err)
@@ -698,11 +475,11 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 			topts.Resume = st
 		}
 	}
-	if opts.Metrics != nil {
+	if opts.Observability.Metrics != nil {
 		// Instrumented databases feed the backend_* surface series and plan
 		// cache gauges into the run's registry.
 		if am, ok := d.db.(interface{ AttachMetrics(*obs.Registry) }); ok {
-			am.AttachMetrics(opts.Metrics.reg)
+			am.AttachMetrics(opts.Observability.Metrics.reg)
 		}
 	}
 	var inner llm.Client = client
@@ -765,7 +542,7 @@ func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, 
 		Warnings:           res.Warnings,
 		Faults:             FaultReport(res.Faults),
 		Telemetry:          toTelemetry(res.Telemetry),
-		Resumed:            opts.Resume,
+		Resumed:            opts.Durability.Resume,
 		CheckpointFellBack: fellBack,
 		best:               res.Best,
 	}

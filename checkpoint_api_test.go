@@ -37,7 +37,7 @@ func TestCheckpointCrashResumeAPI(t *testing.T) {
 	dir := t.TempDir()
 	db, w = newRun()
 	opts := baseOpts()
-	opts.CheckpointDir = dir
+	opts.Durability.CheckpointDir = dir
 	opts.Faults.CrashAfterRound = 2
 	if _, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), opts); !errors.Is(err, lambdatune.ErrKilled) {
 		t.Fatalf("expected ErrKilled, got %v", err)
@@ -50,8 +50,8 @@ func TestCheckpointCrashResumeAPI(t *testing.T) {
 	// Resume on a fresh database.
 	db, w = newRun()
 	opts = baseOpts()
-	opts.CheckpointDir = dir
-	opts.Resume = true
+	opts.Durability.CheckpointDir = dir
+	opts.Durability.Resume = true
 	got, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), opts)
 	if err != nil {
 		t.Fatalf("resume: %v", err)
@@ -79,7 +79,7 @@ func TestCheckpointValidation(t *testing.T) {
 	client := lambdatune.NewSimulatedLLM(1)
 
 	opts := lambdatune.DefaultOptions()
-	opts.Resume = true
+	opts.Durability.Resume = true
 	if _, err := db.Tune(w, client, opts); !errors.Is(err, lambdatune.ErrInvalidOptions) {
 		t.Errorf("Resume without CheckpointDir: %v", err)
 	}
@@ -92,8 +92,8 @@ func TestCheckpointValidation(t *testing.T) {
 
 	// Resuming from an empty directory fails with a clear error.
 	opts = lambdatune.DefaultOptions()
-	opts.CheckpointDir = t.TempDir()
-	opts.Resume = true
+	opts.Durability.CheckpointDir = t.TempDir()
+	opts.Durability.Resume = true
 	if _, err := db.Tune(w, client, opts); err == nil {
 		t.Error("resume from empty dir succeeded")
 	}
@@ -104,15 +104,15 @@ func TestCheckpointValidation(t *testing.T) {
 	// tests).
 	dir := t.TempDir()
 	opts = lambdatune.DefaultOptions()
-	opts.CheckpointDir = dir
+	opts.Durability.CheckpointDir = dir
 	opts.Faults = &lambdatune.FaultPlan{CrashAfterSaves: 1}
 	if _, err := db.Tune(w, client, opts); !errors.Is(err, lambdatune.ErrKilled) {
 		t.Fatalf("expected ErrKilled, got %v", err)
 	}
 	opts = lambdatune.DefaultOptions()
 	opts.Seed = 2
-	opts.CheckpointDir = dir
-	opts.Resume = true
+	opts.Durability.CheckpointDir = dir
+	opts.Durability.Resume = true
 	if _, err := db.Tune(w, client, opts); err == nil {
 		t.Error("seed-2 resume from seed-1 checkpoint succeeded")
 	}

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling all")
+		exp        = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling race all")
 		trials     = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		burn       = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
@@ -32,6 +32,7 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		traceDir   = flag.String("trace-dir", "", "write one JSONL span trace per λ-Tune run into this directory (inspect with `lambdatune trace-summary`)")
+		raceJSON   = flag.String("race-json", "", "also write the E14 racing study as machine-readable JSON to this file")
 	)
 	flag.Parse()
 
@@ -242,9 +243,23 @@ func main() {
 			return bench.RenderScaling(rows), nil
 		})
 	}
+	if all || *exp == "race" {
+		run("Racing study (E14) — full vs successive-halving candidate evaluation", func() (string, error) {
+			s, err := bench.Race(*seed)
+			if err != nil {
+				return "", err
+			}
+			if *raceJSON != "" {
+				if err := bench.ExportRaceJSON(*raceJSON, s); err != nil {
+					return "", err
+				}
+			}
+			return bench.RenderRace(s), nil
+		})
+	}
 	if !all {
 		switch *exp {
-		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling":
+		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling", "race":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)

@@ -57,6 +57,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		retries   = fs.Int("llm-retries", 3, "LLM retry attempts with exponential backoff (-1 disables)")
 		breaker   = fs.Int("llm-breaker", 4, "consecutive LLM failures that trip the circuit breaker (-1 disables)")
 		parallel  = fs.Int("parallel", 1, "concurrent evaluation workers (simulated DBMS replicas); selection results are identical for any value")
+		strategy  = fs.String("strategy", "full", "candidate evaluation strategy: full (paper-faithful) or racing (successive halving with a cost surrogate)")
 		instr     = fs.Bool("instrument", false, "count and time every backend call, printing a per-surface report after tuning")
 		plancache = fs.Bool("plancache", true, "memoize simulated query plans (host-CPU optimization; results are identical either way)")
 		verbose   = fs.Bool("v", false, "print progress events")
@@ -69,6 +70,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		killSaves = fs.Int("kill-after-saves", 0, "chaos: crash after the Nth durable checkpoint save (requires -checkpoint-dir)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *resume && *ckptDir == "" {
+		fmt.Fprintln(stderr, "-resume requires -checkpoint-dir (there is no checkpoint to resume from)")
+		fs.Usage()
+		return 2
+	}
+
+	evalStrategy := lambdatune.FullEvaluation
+	switch strings.ToLower(*strategy) {
+	case "full", "":
+	case "racing", "race":
+		evalStrategy = lambdatune.Racing
+	default:
+		fmt.Fprintf(stderr, "unknown strategy %q (have: full, racing)\n", *strategy)
 		return 2
 	}
 
@@ -114,9 +130,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	opts.TokenBudget = *budget
 	opts.Seed = *seed
 	opts.Temperature = *temp
-	opts.Parallelism = *parallel
-	opts.CheckpointDir = *ckptDir
-	opts.Resume = *resume
+	opts.Evaluation.Parallelism = *parallel
+	opts.Evaluation.Strategy = evalStrategy
+	opts.Durability.CheckpointDir = *ckptDir
+	opts.Durability.Resume = *resume
 	if *llmFault > 0 || *engFault > 0 {
 		opts.Faults = &lambdatune.FaultPlan{LLMRate: *llmFault, EngineRate: *engFault, Seed: *seed}
 		opts.Resilience = &lambdatune.ResilienceOptions{MaxRetries: *retries, BreakerThreshold: *breaker}
@@ -137,15 +154,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var trace *lambdatune.Trace
 	if *traceOut != "" {
 		trace = lambdatune.NewTrace()
-		opts.Trace = trace
+		opts.Observability.Trace = trace
 	}
 	if *progress {
-		opts.Progress = stderr
+		opts.Observability.Progress = stderr
 	}
 	var reg *lambdatune.Metrics
 	if *metrics != "" {
 		reg = lambdatune.NewMetrics()
-		opts.Metrics = reg
+		opts.Observability.Metrics = reg
 		ms := obs.NewMetricsServer(reg.Registry(), *metrics)
 		if err := ms.Start(func(err error) { fmt.Fprintln(stderr, "metrics server:", err) }); err != nil {
 			fmt.Fprintln(stderr, "metrics server:", err)

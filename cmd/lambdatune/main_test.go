@@ -111,13 +111,28 @@ func TestRunKillAndResume(t *testing.T) {
 	}
 }
 
-// TestRunResumeWithoutCheckpointDir is a usage error.
+// TestRunResumeWithoutCheckpointDir is a usage error: the CLI fails fast
+// with exit 2 and usage text, before any tuning work starts.
 func TestRunResumeWithoutCheckpointDir(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-resume"}, &out, &errb); code != 1 {
-		t.Errorf("exit %d, want 1 (stderr: %s)", code, errb.String())
+	if code := run([]string{"-resume"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2 (stderr: %s)", code, errb.String())
 	}
-	if !strings.Contains(errb.String(), "Resume requires CheckpointDir") {
+	if !strings.Contains(errb.String(), "-resume requires -checkpoint-dir") {
+		t.Errorf("stderr: %s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "Usage of lambdatune") {
+		t.Errorf("usage text missing from stderr: %s", errb.String())
+	}
+}
+
+// TestRunUnknownStrategy: a bad -strategy value is a usage error.
+func TestRunUnknownStrategy(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-strategy", "bogus"}, &out, &errb); code != 2 {
+		t.Errorf("exit %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), `unknown strategy "bogus"`) {
 		t.Errorf("stderr: %s", errb.String())
 	}
 }

@@ -10,13 +10,17 @@
 //
 // API:
 //
-//	POST /jobs              {"benchmark": "tpch-1", "seed": 1}  → 202 + job
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         job status and result
-//	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /jobs/{id}/stream  live progress lines until the job ends
-//	GET  /healthz, /readyz  liveness / readiness (503 while draining)
-//	GET  /metrics           Prometheus text exposition
+//	POST /v1/jobs              {"benchmark": "tpch-1", "seed": 1}  → 202 + job
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         job status and result
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	GET  /v1/jobs/{id}/stream  live progress lines until the job ends
+//
+// Unversioned /jobs* paths from the previous release answer with a 308
+// Permanent Redirect to their /v1 twin.
+//
+//	GET  /healthz, /readyz     liveness / readiness (503 while draining)
+//	GET  /metrics              Prometheus text exposition
 package main
 
 import (

@@ -100,13 +100,13 @@ type jobView struct {
 
 func getJob(t *testing.T, base, id string) *jobView {
 	t.Helper()
-	resp, err := http.Get(base + "/jobs/" + id)
+	resp, err := http.Get(base + "/v1/jobs/" + id)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("GET /jobs/%s: %d", id, resp.StatusCode)
+		t.Fatalf("GET /v1/jobs/%s: %d", id, resp.StatusCode)
 	}
 	var v jobView
 	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
@@ -150,13 +150,13 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 
 	// Enqueue a job and watch it finish.
-	resp, err := http.Post(base+"/jobs", "application/json",
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
 		strings.NewReader(`{"benchmark": "tpch-1", "seed": 1}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("POST /jobs: %d", resp.StatusCode)
+		t.Fatalf("POST /v1/jobs: %d", resp.StatusCode)
 	}
 	var job jobView
 	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
@@ -206,7 +206,7 @@ func TestDaemonRestartResumesCheckpointedJob(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := lambdatune.DefaultOptions()
-	opts.CheckpointDir = jobDir
+	opts.Durability.CheckpointDir = jobDir
 	opts.Faults = &lambdatune.FaultPlan{Seed: opts.Seed, CrashAfterRound: 2}
 	if _, err := db.Tune(w, lambdatune.NewSimulatedLLM(opts.Seed), opts); !errors.Is(err, lambdatune.ErrKilled) {
 		t.Fatalf("expected ErrKilled, got %v", err)
@@ -254,7 +254,7 @@ func TestDaemonDrainLeavesDurableState(t *testing.T) {
 	dir := t.TempDir()
 	base, _, stop := startDaemon(t, "-data-dir", dir, "-quiet")
 
-	resp, err := http.Post(base+"/jobs", "application/json",
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
 		strings.NewReader(`{"benchmark": "tpch-1"}`))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,269 @@
+package lambdatune
+
+// The deprecated-field gate: the flat Options aliases (InitialTimeout,
+// Alpha, Parallelism, Trace, Metrics, Progress, CheckpointDir, Resume) exist
+// only so configurations written against the pre-grouping API keep working.
+// New code must use the grouped fields (Options.Evaluation, .Durability,
+// .Observability). This test parses every Go file in the trees that consume
+// the public API and fails when one touches a flat alias on an
+// Options-typed value — a vet-style check without a build dependency.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// deprecatedOptionFields are the flat aliases; each has a grouped home.
+var deprecatedOptionFields = map[string]string{
+	"InitialTimeout": "Evaluation.InitialTimeout",
+	"Alpha":          "Evaluation.Alpha",
+	"Parallelism":    "Evaluation.Parallelism",
+	"Trace":          "Observability.Trace",
+	"Metrics":        "Observability.Metrics",
+	"Progress":       "Observability.Progress",
+	"CheckpointDir":  "Durability.CheckpointDir",
+	"Resume":         "Durability.Resume",
+}
+
+// deprecatedGateAllowlist names the files that touch the aliases on purpose:
+// their definition, their reconciliation tests, and this gate.
+var deprecatedGateAllowlist = map[string]bool{
+	"options.go":                 true,
+	"options_test.go":            true,
+	"deprecated_options_test.go": true,
+}
+
+func TestNoNewDeprecatedOptionsFieldUses(t *testing.T) {
+	// The trees that build against the public Options type. internal/core
+	// and friends use their own option structs (tuner.Options has a Trace
+	// field too) and are deliberately out of scope.
+	files := []string{}
+	root, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, root...)
+	for _, dir := range []string{"cmd", "examples", filepath.Join("internal", "service")} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".go") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if deprecatedGateAllowlist[filepath.Base(path)] {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for _, use := range deprecatedUses(f) {
+			pos := fset.Position(use.pos)
+			t.Errorf("%s:%d: deprecated flat field Options.%s — set Options.%s instead",
+				pos.Filename, pos.Line, use.field, deprecatedOptionFields[use.field])
+		}
+	}
+}
+
+// TestDeprecatedGateCatches proves the gate detects every tracked shape —
+// otherwise a silent heuristic regression would let flat-field uses back in.
+func TestDeprecatedGateCatches(t *testing.T) {
+	src := `package p
+
+func fromDefault() {
+	opts := DefaultOptions()
+	opts.Parallelism = 4 // flagged
+}
+
+func fromQualifiedDefault() {
+	opts := lambdatune.DefaultOptions()
+	opts.CheckpointDir = "/tmp" // flagged
+}
+
+func fromLiteral() {
+	o := Options{InitialTimeout: 7} // key flagged
+	_ = o.Alpha                     // read flagged
+}
+
+func fromParam(opts lambdatune.Options) {
+	opts.Resume = true // flagged
+}
+
+func fromVar() {
+	var o Options
+	o.Trace = nil // flagged
+}
+
+func groupedIsFine() {
+	opts := DefaultOptions()
+	opts.Evaluation.Parallelism = 4
+	opts.Durability.CheckpointDir = "/tmp"
+	opts.Observability.Progress = nil
+}
+
+func unrelatedIsFine(x Other) {
+	x.Trace = nil // not Options-typed: ignored
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "gate_probe.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, u := range deprecatedUses(f) {
+		got = append(got, u.field)
+	}
+	want := []string{"InitialTimeout", "Parallelism", "CheckpointDir", "Alpha", "Resume", "Trace"}
+	if len(got) != len(want) {
+		t.Fatalf("gate flagged %v, want the six probes %v", got, want)
+	}
+	for _, w := range want {
+		found := false
+		for _, g := range got {
+			found = found || g == w
+		}
+		if !found {
+			t.Errorf("gate missed a %s probe (flagged %v)", w, got)
+		}
+	}
+}
+
+type deprecatedUse struct {
+	field string
+	pos   token.Pos
+}
+
+// isOptionsType reports whether a type expression names the public Options
+// struct: `Options`, `lambdatune.Options`, or a pointer to either. The bare
+// name is checked exactly, so EvaluationOptions/RacingOptions do not match.
+func isOptionsType(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return isOptionsType(e.X)
+	case *ast.Ident:
+		return e.Name == "Options"
+	case *ast.SelectorExpr:
+		return e.Sel.Name == "Options"
+	}
+	return false
+}
+
+// optionsValue reports whether an expression evidently produces an Options
+// value: a DefaultOptions() call or an Options composite literal.
+func optionsValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		switch fn := e.Fun.(type) {
+		case *ast.Ident:
+			return fn.Name == "DefaultOptions"
+		case *ast.SelectorExpr:
+			return fn.Sel.Name == "DefaultOptions"
+		}
+	case *ast.CompositeLit:
+		return e.Type != nil && isOptionsType(e.Type)
+	case *ast.UnaryExpr:
+		return e.Op.String() == "&" && optionsValue(e.X)
+	}
+	return false
+}
+
+// deprecatedUses walks one file and returns every flat-alias touch: a
+// deprecated key in an Options composite literal, or a selector on an
+// identifier that is evidently Options-typed (declared as Options, assigned
+// from DefaultOptions()/Options{…}, or an Options parameter/receiver).
+// It is a heuristic, not a type checker: identifiers are tracked per file
+// without scope analysis, which is exact enough for these trees.
+func deprecatedUses(f *ast.File) []deprecatedUse {
+	tracked := map[string]bool{}
+	track := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			tracked[id.Name] = true
+		}
+	}
+
+	// Pass 1: find Options-typed identifiers.
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i < len(n.Lhs) && optionsValue(rhs) {
+					track(n.Lhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil && isOptionsType(n.Type) {
+				for _, name := range n.Names {
+					track(name)
+				}
+			}
+			for i, v := range n.Values {
+				if i < len(n.Names) && optionsValue(v) {
+					track(n.Names[i])
+				}
+			}
+		case *ast.FuncDecl:
+			fields := []*ast.FieldList{n.Type.Params, n.Recv}
+			for _, fl := range fields {
+				if fl == nil {
+					continue
+				}
+				for _, p := range fl.List {
+					if isOptionsType(p.Type) {
+						for _, name := range p.Names {
+							track(name)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: flag deprecated touches.
+	var uses []deprecatedUse
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if n.Type == nil || !isOptionsType(n.Type) {
+				return true
+			}
+			for _, elt := range n.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok {
+					if _, dep := deprecatedOptionFields[key.Name]; dep {
+						uses = append(uses, deprecatedUse{key.Name, key.Pos()})
+					}
+				}
+			}
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || !tracked[id.Name] {
+				return true
+			}
+			if _, dep := deprecatedOptionFields[n.Sel.Name]; dep {
+				uses = append(uses, deprecatedUse{n.Sel.Name, n.Sel.Pos()})
+			}
+		}
+		return true
+	})
+	return uses
+}

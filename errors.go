@@ -32,7 +32,7 @@ var (
 
 	// ErrKilled reports a simulated crash at a chaos kill point
 	// (FaultPlan.CrashAfterRound / CrashAfterSaves). The checkpoint the run
-	// died after is durable; resume with Options.Resume.
+	// died after is durable; resume with Options.Durability.Resume.
 	ErrKilled = faults.ErrKilled
 
 	// ErrCheckpointCorrupt reports a checkpoint file that failed its

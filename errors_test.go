@@ -16,11 +16,11 @@ func TestOptionsValidate(t *testing.T) {
 		{"defaults", DefaultOptions(), true},
 		{"negative samples", Options{Samples: -1}, false},
 		{"negative token budget", Options{TokenBudget: -5}, false},
-		{"negative timeout", Options{InitialTimeout: -1}, false},
-		{"alpha below two", Options{Alpha: 1.5}, false},
-		{"alpha zero ok", Options{Alpha: 0}, true},
-		{"negative parallelism", Options{Parallelism: -2}, false},
-		{"parallelism ok", Options{Parallelism: 8}, true},
+		{"negative timeout", Options{Evaluation: EvaluationOptions{InitialTimeout: -1}}, false},
+		{"alpha below two", Options{Evaluation: EvaluationOptions{Alpha: 1.5}}, false},
+		{"alpha zero ok", Options{Evaluation: EvaluationOptions{Alpha: 0}}, true},
+		{"negative parallelism", Options{Evaluation: EvaluationOptions{Parallelism: -2}}, false},
+		{"parallelism ok", Options{Evaluation: EvaluationOptions{Parallelism: 8}}, true},
 		{"negative temperature ok", Options{Temperature: -1}, true},
 		{"bad llm fault rate", Options{Faults: &FaultPlan{LLMRate: 1.5}}, false},
 		{"bad engine fault rate", Options{Faults: &FaultPlan{EngineRate: -0.1}}, false},
@@ -47,7 +47,7 @@ func TestTuneContextRejectsInvalidOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := DefaultOptions()
-	opts.Parallelism = -1
+	opts.Evaluation.Parallelism = -1
 	if _, err := db.TuneContext(context.Background(), w, NewSimulatedLLM(1), opts); !errors.Is(err, ErrInvalidOptions) {
 		t.Fatalf("err = %v, want ErrInvalidOptions", err)
 	}

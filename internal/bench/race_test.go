@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestRaceStudyE14 pins the acceptance bars of the racing-evaluation study:
+// ≥ 2x reduction in evaluated query-seconds at k=20 candidates, with the
+// racing-selected configuration within 5% of the full-evaluation speedup.
+func TestRaceStudyE14(t *testing.T) {
+	s, err := Race(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", RenderRace(s))
+	if s.Full.BestID == "" || s.Racing.BestID == "" {
+		t.Fatalf("a strategy selected no configuration: %+v", s)
+	}
+	if s.Full.Speedup <= 1 || s.Racing.Speedup <= 1 {
+		t.Errorf("tuning did not improve on the default: full %.2fx, racing %.2fx",
+			s.Full.Speedup, s.Racing.Speedup)
+	}
+	if s.Reduction < 2 {
+		t.Errorf("racing saved too little evaluation work: %.2fx reduction, want >= 2x", s.Reduction)
+	}
+	if s.SpeedupDelta > 0.05 {
+		t.Errorf("racing quality outside the envelope: speedup delta %.2f%%, want <= 5%%",
+			100*s.SpeedupDelta)
+	}
+}
+
+// TestRaceStudyDeterministic: the study is a pure function of the seed —
+// rerunning it reproduces every number exactly.
+func TestRaceStudyDeterministic(t *testing.T) {
+	a, err := Race(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Race(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b {
+		t.Errorf("study not deterministic:\n first %+v\nsecond %+v", *a, *b)
+	}
+}

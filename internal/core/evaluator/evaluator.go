@@ -28,6 +28,11 @@ type ConfigMeta struct {
 	// Aborts counts query executions killed by injected engine faults;
 	// aborted queries stay un-completed and are retried in a later round.
 	Aborts int
+	// QueryTimes records each completed query's observed execution seconds,
+	// populated only when the evaluator's RecordTimes flag is on (the racing
+	// strategy's cost surrogate fits from these pairs). Nil otherwise, so
+	// non-racing checkpoint encodings are unchanged.
+	QueryTimes map[string]float64
 }
 
 // NewConfigMeta initializes the bookkeeping (paper: ConfigMeta(0,False,0,∅)).
@@ -67,6 +72,18 @@ type Evaluator struct {
 	Trace   *obs.Tracer
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// RecordTimes makes Evaluate record each completed query's execution
+	// seconds in meta.QueryTimes (racing's surrogate fits from them).
+	RecordTimes bool
+	// FreeIndexes lists index keys (engine.IndexDef.Key) whose build cost
+	// another candidate in the same racing rung already paid: they are
+	// created without advancing the virtual clock and dropped when the
+	// Evaluate pass ends. Nil outside racing rungs.
+	FreeIndexes map[string]bool
+
+	// freeCreated tracks the free indexes built during the current Evaluate
+	// pass so they can be dropped on every return path.
+	freeCreated []engine.IndexDef
 }
 
 // startSpan opens a child span under the current candidate span, or returns
@@ -141,6 +158,7 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 	}
 	meta.IsComplete = true
 	clock := e.DB.Clock()
+	defer e.dropFreeIndexes()
 
 	// The scheduling preamble costs no virtual time (host CPU only), so its
 	// span is a point on the virtual axis; the wall annotation carries the
@@ -210,19 +228,62 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 		remaining -= res.Seconds
 		meta.Time += res.Seconds
 		meta.Completed[q.Name] = true
+		if e.RecordTimes {
+			if meta.QueryTimes == nil {
+				meta.QueryTimes = map[string]float64{}
+			}
+			meta.QueryTimes[q.Name] = res.Seconds
+		}
 	}
 }
 
+// Schedule returns the order Evaluate would run queries in under cfg — the
+// query→index relevance map plus the DP schedule (§5.3) — without executing
+// anything or advancing the virtual clock. The caller must have applied cfg
+// first (index-creation estimates read the live configuration). With the
+// scheduler off the given order comes back unchanged.
+func (e *Evaluator) Schedule(queries []*engine.Query, cfg *engine.Config) []*engine.Query {
+	indexMap, _ := e.Memo.queryIndexMap(queries, cfg)
+	if !e.UseScheduler {
+		return queries
+	}
+	ordered, _ := e.Memo.sched().OrderWithHit(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
+	return ordered
+}
+
 // createIndex builds one index under an index.build span and bumps the
-// index-build counter.
+// index-build counter. Indexes listed in FreeIndexes — another candidate in
+// the same racing rung already paid their build cost — are materialized
+// without advancing the virtual clock and torn down when the pass ends.
 func (e *Evaluator) createIndex(ix engine.IndexDef) float64 {
 	clock := e.DB.Clock()
+	if e.FreeIndexes[ix.Key()] {
+		sp := e.startSpan("index.build", clock.Now(),
+			obs.String("index", ix.Key()), obs.Bool("shared", true))
+		e.DB.CreatePermanentIndex(ix)
+		e.freeCreated = append(e.freeCreated, ix)
+		sp.SetAttrs(obs.Float("seconds", 0))
+		sp.End(clock.Now())
+		e.Metrics.Counter("race_shared_index_builds_total").Inc()
+		return 0
+	}
 	sp := e.startSpan("index.build", clock.Now(), obs.String("index", ix.Key()))
 	secs := e.DB.CreateIndex(ix)
 	sp.SetAttrs(obs.Float("seconds", secs))
 	sp.End(clock.Now())
 	e.Metrics.Counter("tuner_index_builds_total").Inc()
 	return secs
+}
+
+// dropFreeIndexes removes the zero-cost shared indexes of the current pass.
+// They are created as permanent (so DropTransientIndexes and per-pass
+// accounting leave them alone mid-pass) and must not leak into later
+// candidates' evaluations.
+func (e *Evaluator) dropFreeIndexes() {
+	for _, ix := range e.freeCreated {
+		e.DB.DropIndex(ix)
+	}
+	e.freeCreated = e.freeCreated[:0]
 }
 
 // Apply switches the database to configuration cfg: transient indexes of the

@@ -46,6 +46,9 @@ type Pool struct {
 	// exactly the one worker its task is statically assigned to.
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+	// RecordTimes mirrors Evaluator.RecordTimes onto every worker (racing's
+	// surrogate needs per-query observations from replica work too).
+	RecordTimes bool
 	// Logf, when set, receives the pool's degradation notices (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -64,6 +67,7 @@ func NewPool(e *Evaluator, workers int) *Pool {
 		Memo:         e.Memo,
 		Trace:        e.Trace,
 		Metrics:      e.Metrics,
+		RecordTimes:  e.RecordTimes,
 	}
 }
 
@@ -80,6 +84,10 @@ type Task struct {
 	// it with its id, fills the verdict attributes, records query and
 	// index-build children under it, and ends it.
 	Span *obs.Span
+	// FreeIndexes lists index keys whose build cost another candidate in the
+	// same racing rung pays; this task creates them at zero virtual cost
+	// (see Evaluator.FreeIndexes). Nil outside racing rungs.
+	FreeIndexes map[string]bool
 }
 
 // Run evaluates one round's tasks. It returns the round's elapsed virtual
@@ -132,6 +140,7 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 				Memo:         p.Memo,
 				Trace:        p.Trace,
 				Metrics:      p.Metrics,
+				RecordTimes:  p.RecordTimes,
 			}
 			start := snap.Clock().Now()
 			for i := w; i < len(tasks); i += workers {
@@ -170,6 +179,7 @@ func (p *Pool) runSequential(ctx context.Context, tasks []Task) (float64, error)
 		Memo:         p.Memo,
 		Trace:        p.Trace,
 		Metrics:      p.Metrics,
+		RecordTimes:  p.RecordTimes,
 	}
 	start := p.DB.Clock().Now()
 	for _, t := range tasks {
@@ -202,6 +212,8 @@ func runTask(ctx context.Context, ev *Evaluator, t Task, worker int) {
 		t.Span.End(clock.Now())
 		return
 	}
+	ev.FreeIndexes = t.FreeIndexes
+	defer func() { ev.FreeIndexes = nil }()
 	ev.Evaluate(ctx, t.Config, t.Queries, t.Timeout, t.Meta)
 	t.Span.SetAttrs(obs.Bool("complete", t.Meta.IsComplete),
 		obs.Float("time", t.Meta.Time), obs.Float("index_time", t.Meta.IndexTime))

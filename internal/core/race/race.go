@@ -1,0 +1,201 @@
+// Package race implements successive-halving ("racing") candidate
+// evaluation: all candidates run on a cheap prefix of the DP-scheduled
+// workload, the surrogate-dominated half is eliminated at each rung, and
+// survivors are promoted to progressively longer prefixes. The exact,
+// paper-faithful selection pass (Algorithm 2) is reserved for the final
+// survivors, so the selected configuration's reported speedup stays exact.
+//
+// The package is deliberately free of evaluator/selector dependencies: it
+// holds the pure racing arithmetic — the rung ladder, the online cost
+// surrogate, and the elimination rule — so each piece is testable in
+// isolation and the checkpoint layer can serialize State without import
+// cycles.
+package race
+
+import (
+	"math"
+	"sort"
+)
+
+// Options tunes the racing strategy. The zero value means "use defaults"
+// for every field, so callers can set only what they care about.
+type Options struct {
+	// StartFraction is the fraction of the workload evaluated at the first
+	// rung (rounded up, at least one query). Default 0.125 — deep enough
+	// that a typical field is eliminated down to FinalSurvivors before the
+	// prefix reaches the full workload, which is where racing's savings
+	// come from.
+	StartFraction float64
+	// Growth multiplies the prefix length between rungs. Default 2.
+	Growth float64
+	// FinalSurvivors is how many candidates are handed to the exact final
+	// selection pass. Default 2.
+	FinalSurvivors int
+	// DisableElimination runs a single rung over the full workload and
+	// eliminates nobody — racing's bookkeeping with none of its
+	// approximation, used by equivalence tests.
+	DisableElimination bool
+}
+
+// DefaultOptions returns the racing defaults.
+func DefaultOptions() Options {
+	return Options{StartFraction: 0.125, Growth: 2, FinalSurvivors: 2}
+}
+
+// Norm fills zero fields with their defaults and clamps nonsense values.
+func (o Options) Norm() Options {
+	if o.StartFraction <= 0 || o.StartFraction > 1 {
+		o.StartFraction = 0.125
+	}
+	if o.Growth < 1 {
+		o.Growth = 2
+	}
+	if o.FinalSurvivors < 1 {
+		o.FinalSurvivors = 2
+	}
+	return o
+}
+
+// Ladder returns the rung prefix lengths for an n-query workload: the
+// first rung covers ceil(StartFraction*n) queries and each following rung
+// grows by Growth until the full workload is reached. The last entry is
+// always n. DisableElimination collapses the ladder to a single full-length
+// rung.
+func Ladder(n int, o Options) []int {
+	o = o.Norm()
+	if n <= 0 {
+		return nil
+	}
+	if o.DisableElimination {
+		return []int{n}
+	}
+	rungs := []int{}
+	l := int(math.Ceil(o.StartFraction * float64(n)))
+	if l < 1 {
+		l = 1
+	}
+	for l < n {
+		rungs = append(rungs, l)
+		next := int(math.Ceil(float64(l) * o.Growth))
+		if next <= l {
+			next = l + 1
+		}
+		l = next
+	}
+	return append(rungs, n)
+}
+
+// Keep returns how many of n racing candidates survive one elimination:
+// half rounded up, but never fewer than FinalSurvivors.
+func Keep(n int, o Options) int {
+	o = o.Norm()
+	k := (n + 1) / 2
+	if k < o.FinalSurvivors {
+		k = o.FinalSurvivors
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// State is the racing strategy's durable bookkeeping, serialized into
+// checkpoints so a crashed run resumes at the rung boundary it last saved.
+// Eliminations are implicit: a candidate absent from Survivors is out.
+type State struct {
+	// Rung is the next rung to run (rungs already completed).
+	Rung int `json:"rung"`
+	// Survivors holds the IDs of candidates still racing, in original
+	// candidate order.
+	Survivors []string `json:"survivors"`
+	// Done marks the rung ladder finished; the run is in (or past) the
+	// exact final pass.
+	Done bool `json:"done,omitempty"`
+}
+
+// Clone returns a deep copy of the state (nil-safe).
+func (s *State) Clone() *State {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	c.Survivors = append([]string(nil), s.Survivors...)
+	return &c
+}
+
+// Surrogate is the online cost model: a single ratio estimator
+// beta = sum(observed seconds) / sum(EXPLAIN plan cost) fitted over every
+// (configuration, query) pair observed so far. Predicted runtime for an
+// unseen pair is beta * PlanCost. With no observations beta falls back to
+// 1.0 — harmless, because then every candidate's observed time is zero and
+// ranking by summed plan cost is invariant to beta's scale.
+type Surrogate struct {
+	SumSeconds float64
+	SumCost    float64
+	Pairs      int
+}
+
+// Observe feeds one (plan cost, observed seconds) pair into the fit.
+func (s *Surrogate) Observe(cost, seconds float64) {
+	if cost <= 0 || math.IsNaN(seconds) || math.IsInf(seconds, 0) {
+		return
+	}
+	s.SumCost += cost
+	s.SumSeconds += seconds
+	s.Pairs++
+}
+
+// Beta returns the fitted seconds-per-cost-unit ratio (1.0 before any
+// observation).
+func (s *Surrogate) Beta() float64 {
+	if s.SumCost <= 0 {
+		return 1.0
+	}
+	return s.SumSeconds / s.SumCost
+}
+
+// Predict estimates the runtime of a query with the given plan cost.
+func (s *Surrogate) Predict(cost float64) float64 {
+	return s.Beta() * cost
+}
+
+// Candidate is one racing candidate's view at an elimination boundary.
+type Candidate struct {
+	ID string
+	// Pos is the candidate's original position — the deterministic
+	// tie-breaker.
+	Pos int
+	// Predicted is the candidate's estimated full-workload seconds:
+	// observed time so far plus the surrogate's estimate for every query
+	// not yet run.
+	Predicted float64
+}
+
+// Eliminate splits candidates into survivors and eliminated. The best
+// Keep(n) candidates by predicted total survive (ties broken by original
+// position); both slices come back in original candidate order.
+func Eliminate(cands []Candidate, o Options) (keep, drop []Candidate) {
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	ranked := append([]Candidate(nil), cands...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Predicted != ranked[j].Predicted {
+			return ranked[i].Predicted < ranked[j].Predicted
+		}
+		return ranked[i].Pos < ranked[j].Pos
+	})
+	k := Keep(len(ranked), o)
+	kept := map[int]bool{}
+	for _, c := range ranked[:k] {
+		kept[c.Pos] = true
+	}
+	for _, c := range cands {
+		if kept[c.Pos] {
+			keep = append(keep, c)
+		} else {
+			drop = append(drop, c)
+		}
+	}
+	return keep, drop
+}

@@ -1,0 +1,132 @@
+package race
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestLadder(t *testing.T) {
+	cases := []struct {
+		n    int
+		opts Options
+		want []int
+	}{
+		{0, Options{}, nil},
+		{1, Options{}, []int{1}},
+		{4, Options{}, []int{1, 2, 4}},
+		{8, Options{}, []int{1, 2, 4, 8}},
+		{22, Options{}, []int{3, 6, 12, 22}},
+		{22, Options{StartFraction: 0.1, Growth: 3}, []int{3, 9, 22}},
+		{10, Options{DisableElimination: true}, []int{10}},
+		{5, Options{StartFraction: 1}, []int{5}},
+	}
+	for _, c := range cases {
+		got := Ladder(c.n, c.opts)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Ladder(%d, %+v) = %v, want %v", c.n, c.opts, got, c.want)
+		}
+	}
+}
+
+func TestLadderMonotoneEndsAtN(t *testing.T) {
+	for n := 1; n <= 200; n++ {
+		l := Ladder(n, Options{})
+		for i := 1; i < len(l); i++ {
+			if l[i] <= l[i-1] {
+				t.Fatalf("n=%d: ladder %v not strictly increasing", n, l)
+			}
+		}
+		if l[len(l)-1] != n {
+			t.Fatalf("n=%d: ladder %v does not end at n", n, l)
+		}
+	}
+}
+
+func TestKeep(t *testing.T) {
+	o := Options{FinalSurvivors: 2}
+	cases := map[int]int{1: 1, 2: 2, 3: 2, 4: 2, 5: 3, 10: 5, 21: 11}
+	for n, want := range cases {
+		if got := Keep(n, o); got != want {
+			t.Errorf("Keep(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := Keep(3, Options{FinalSurvivors: 3}); got != 3 {
+		t.Errorf("Keep(3, final=3) = %d, want 3", got)
+	}
+}
+
+func TestSurrogate(t *testing.T) {
+	var s Surrogate
+	if b := s.Beta(); b != 1.0 {
+		t.Fatalf("empty surrogate beta = %g, want 1", b)
+	}
+	s.Observe(100, 2)
+	s.Observe(300, 6)
+	if b := s.Beta(); math.Abs(b-0.02) > 1e-12 {
+		t.Fatalf("beta = %g, want 0.02", b)
+	}
+	if p := s.Predict(50); math.Abs(p-1.0) > 1e-12 {
+		t.Fatalf("predict(50) = %g, want 1", p)
+	}
+	// Degenerate observations are ignored.
+	s.Observe(0, 99)
+	s.Observe(-5, 99)
+	s.Observe(10, math.Inf(1))
+	if b := s.Beta(); math.Abs(b-0.02) > 1e-12 {
+		t.Fatalf("beta after junk = %g, want 0.02", b)
+	}
+}
+
+func TestEliminate(t *testing.T) {
+	cands := []Candidate{
+		{ID: "a", Pos: 0, Predicted: 5},
+		{ID: "b", Pos: 1, Predicted: 3},
+		{ID: "c", Pos: 2, Predicted: 9},
+		{ID: "d", Pos: 3, Predicted: 3},
+		{ID: "e", Pos: 4, Predicted: 7},
+	}
+	keep, drop := Eliminate(cands, Options{})
+	wantKeep := []string{"a", "b", "d"} // 3 of 5 survive; tie b/d broken by position
+	var gotKeep []string
+	for _, c := range keep {
+		gotKeep = append(gotKeep, c.ID)
+	}
+	if !reflect.DeepEqual(gotKeep, wantKeep) {
+		t.Errorf("keep = %v, want %v", gotKeep, wantKeep)
+	}
+	var gotDrop []string
+	for _, c := range drop {
+		gotDrop = append(gotDrop, c.ID)
+	}
+	if !reflect.DeepEqual(gotDrop, []string{"c", "e"}) {
+		t.Errorf("drop = %v, want [c e]", gotDrop)
+	}
+}
+
+func TestEliminateInfLosesTies(t *testing.T) {
+	cands := []Candidate{
+		{ID: "ok", Pos: 0, Predicted: 1},
+		{ID: "broken", Pos: 1, Predicted: math.Inf(1)},
+	}
+	keep, _ := Eliminate(cands, Options{FinalSurvivors: 1})
+	if len(keep) != 1 || keep[0].ID != "ok" {
+		t.Fatalf("keep = %+v, want just ok", keep)
+	}
+}
+
+func TestStateClone(t *testing.T) {
+	var nilState *State
+	if nilState.Clone() != nil {
+		t.Fatal("nil clone should be nil")
+	}
+	s := &State{Rung: 2, Survivors: []string{"a", "b"}, Done: true}
+	c := s.Clone()
+	c.Survivors[0] = "x"
+	if s.Survivors[0] != "a" {
+		t.Fatal("clone shares survivor slice")
+	}
+	if c.Rung != 2 || !c.Done {
+		t.Fatalf("clone lost fields: %+v", c)
+	}
+}

@@ -1,0 +1,278 @@
+package selector
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lambdatune/internal/backend"
+	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/core/race"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/workload"
+)
+
+// racingOpts returns selector options with racing enabled.
+func racingOpts(parallelism int, ropts race.Options) Options {
+	o := DefaultOptions()
+	o.Strategy = Racing
+	o.Racing = ropts
+	o.Parallelism = parallelism
+	return o
+}
+
+// TestRacingNoEliminationMatchesSequential is the satellite property test:
+// racing with elimination disabled (a single rung over the full prefix, with
+// a timeout large enough to finish it) reproduces the plain sequential
+// evaluator's per-candidate timings exactly — the rung machinery adds zero
+// approximation when it eliminates nobody.
+func TestRacingNoEliminationMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	w := workload.TPCH(1)
+	for trial := 0; trial < 6; trial++ {
+		k := 2 + rng.Intn(5)
+		candidates := make([]*engine.Config, k)
+		for i := range candidates {
+			candidates[i] = randomConfig(rng, fmt.Sprintf("ne%d-%d", trial, i))
+		}
+
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		opts := racingOpts(1, race.Options{DisableElimination: true})
+		opts.InitialTimeout = 1e9 // one rung finishes every candidate
+		s := New(evaluator.New(db), w.Queries, opts)
+		best := sel1(s, candidates)
+		if best == nil {
+			t.Fatalf("trial %d: no configuration selected", trial)
+		}
+
+		// Ground truth: each candidate measured exhaustively on a fresh
+		// instance by the plain evaluator.
+		gt := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		eval := evaluator.New(gt)
+		for i, c := range candidates {
+			m := evaluator.NewConfigMeta()
+			if err := eval.Apply(c); err != nil {
+				if s.Metas[c].IsComplete {
+					t.Errorf("trial %d cand %d: unusable config marked complete", trial, i)
+				}
+				continue
+			}
+			eval.Evaluate(context.Background(), c, w.Queries, math.Inf(1), m)
+			got := s.Metas[c]
+			if got.Time != m.Time {
+				t.Errorf("trial %d cand %s: racing time %v != sequential %v",
+					trial, c.ID, got.Time, m.Time)
+			}
+			if len(got.Completed) != len(m.Completed) {
+				t.Errorf("trial %d cand %s: racing completed %d != sequential %d",
+					trial, c.ID, len(got.Completed), len(m.Completed))
+			}
+			var sum float64
+			for _, secs := range got.QueryTimes {
+				sum += secs
+			}
+			if math.Abs(sum-got.Time) > 1e-9 {
+				t.Errorf("trial %d cand %s: QueryTimes sum %v != Time %v",
+					trial, c.ID, sum, got.Time)
+			}
+		}
+	}
+}
+
+// TestRacingSelectsExactOptimumAmongSurvivors: the racing winner's reported
+// time is exact — it equals the plain evaluator's full-workload measurement
+// for that configuration (the final pass is paper-faithful).
+func TestRacingWinnerTimeIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	w := workload.TPCH(1)
+	for trial := 0; trial < 6; trial++ {
+		k := 4 + rng.Intn(6)
+		candidates := make([]*engine.Config, k)
+		for i := range candidates {
+			candidates[i] = randomConfig(rng, fmt.Sprintf("ex%d-%d", trial, i))
+		}
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		s := New(evaluator.New(db), w.Queries, racingOpts(1, race.Options{}))
+		best := sel1(s, candidates)
+		if best == nil {
+			t.Fatalf("trial %d: no configuration selected", trial)
+		}
+		m := s.Metas[best]
+		if !m.IsComplete || len(m.Completed) != len(w.Queries) {
+			t.Fatalf("trial %d: winner incomplete: %d/%d", trial, len(m.Completed), len(w.Queries))
+		}
+
+		gt := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		eval := evaluator.New(gt)
+		gm := evaluator.NewConfigMeta()
+		if err := eval.Apply(best); err != nil {
+			t.Fatalf("trial %d: winner unusable: %v", trial, err)
+		}
+		eval.Evaluate(context.Background(), best, w.Queries, math.Inf(1), gm)
+		if m.Time != gm.Time {
+			t.Errorf("trial %d: winner time %v != exact measurement %v", trial, m.Time, gm.Time)
+		}
+	}
+}
+
+// TestRacingParallelismInvariance: same seed, any Parallelism — identical
+// eliminations (checkpointed survivor sets), identical winner, identical
+// winner time.
+func TestRacingParallelismInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	w := workload.TPCH(1)
+	k := 9
+	candidates := make([]*engine.Config, k)
+	for i := range candidates {
+		candidates[i] = randomConfig(rng, fmt.Sprintf("pi-%d", i))
+	}
+
+	type outcome struct {
+		bestID    string
+		bestTime  float64
+		survivors [][]string
+	}
+	runAt := func(p int) outcome {
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		s := New(evaluator.New(db), w.Queries, racingOpts(p, race.Options{}))
+		var survivors [][]string
+		s.OnCheckpoint = func(rs *RoundState) error {
+			if rs.Race != nil {
+				survivors = append(survivors, append([]string(nil), rs.Race.Survivors...))
+			}
+			return nil
+		}
+		best := sel1(s, candidates)
+		if best == nil {
+			t.Fatalf("p=%d: no configuration selected", p)
+		}
+		return outcome{bestID: best.ID, bestTime: s.Metas[best].Time, survivors: survivors}
+	}
+
+	ref := runAt(1)
+	for _, p := range []int{2, 4, 8} {
+		got := runAt(p)
+		if got.bestID != ref.bestID || got.bestTime != ref.bestTime {
+			t.Errorf("p=%d: best %s (%v) != p=1 best %s (%v)",
+				p, got.bestID, got.bestTime, ref.bestID, ref.bestTime)
+		}
+		if len(got.survivors) != len(ref.survivors) {
+			t.Fatalf("p=%d: %d rung checkpoints != p=1's %d", p, len(got.survivors), len(ref.survivors))
+		}
+		for r := range ref.survivors {
+			if fmt.Sprint(got.survivors[r]) != fmt.Sprint(ref.survivors[r]) {
+				t.Errorf("p=%d rung %d: survivors %v != %v", p, r, got.survivors[r], ref.survivors[r])
+			}
+		}
+	}
+}
+
+// TestRacingEliminationShrinksEvaluation: racing must evaluate strictly
+// fewer query-seconds than full evaluation on the same candidate set (the
+// whole point), while still returning a complete configuration.
+func TestRacingReducesEvaluatedWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	w := workload.TPCH(1)
+	k := 12
+	candidates := make([]*engine.Config, k)
+	for i := range candidates {
+		candidates[i] = randomConfig(rng, fmt.Sprintf("rw-%d", i))
+	}
+	run := func(strategy Strategy) (float64, string) {
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		opts := DefaultOptions()
+		opts.Strategy = strategy
+		s := New(evaluator.New(db), w.Queries, opts)
+		best := sel1(s, candidates)
+		if best == nil {
+			t.Fatal("no configuration selected")
+		}
+		return db.Clock().Now(), best.ID
+	}
+	fullClock, _ := run(FullEvaluation)
+	raceClock, raceBest := run(Racing)
+	if raceClock >= fullClock {
+		t.Errorf("racing spent %.1f virtual seconds, full evaluation %.1f — no saving", raceClock, fullClock)
+	}
+	if raceBest == "" {
+		t.Error("racing returned empty best id")
+	}
+}
+
+// TestRacingResumeAtRungBoundary: a run killed at each rung-boundary
+// checkpoint and resumed from it must reproduce the uninterrupted run's
+// winner, winner time, and elimination sequence.
+func TestRacingResumeAtRungBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	w := workload.TPCH(1)
+	k := 8
+	candidates := make([]*engine.Config, k)
+	for i := range candidates {
+		candidates[i] = randomConfig(rng, fmt.Sprintf("rb-%d", i))
+	}
+
+	// Uninterrupted reference, collecting every checkpoint.
+	var saved []*RoundState
+	dbRef := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+	sRef := New(evaluator.New(dbRef), w.Queries, racingOpts(1, race.Options{}))
+	sRef.OnCheckpoint = func(rs *RoundState) error {
+		saved = append(saved, cloneRoundState(rs))
+		return nil
+	}
+	bestRef := sel1(sRef, candidates)
+	if bestRef == nil {
+		t.Fatal("reference: no configuration selected")
+	}
+	refTime := sRef.Metas[bestRef].Time
+
+	for i, ckpt := range saved {
+		db := backend.NewSim(engine.Postgres, w.Catalog, engine.DefaultHardware)
+		s := New(evaluator.New(db), w.Queries, racingOpts(1, race.Options{}))
+		s.Resume(ckpt)
+		best := sel1(s, candidates)
+		if best == nil {
+			t.Fatalf("resume from checkpoint %d: no configuration selected", i)
+		}
+		if best.ID != bestRef.ID || s.Metas[best].Time != refTime {
+			t.Errorf("resume from checkpoint %d: best %s (%v) != reference %s (%v)",
+				i, best.ID, s.Metas[best].Time, bestRef.ID, refTime)
+		}
+	}
+}
+
+// cloneRoundState deep-copies a checkpoint the way the durable store's
+// encode/decode round trip would, so resuming from it cannot alias the live
+// run's bookkeeping.
+func cloneRoundState(rs *RoundState) *RoundState {
+	cp := &RoundState{
+		Round: rs.Round, Timeout: rs.Timeout,
+		BestID: rs.BestID, BestTime: rs.BestTime,
+		Metas: map[string]*evaluator.ConfigMeta{},
+		Race:  rs.Race.Clone(),
+	}
+	for id, m := range rs.Metas {
+		if m == nil {
+			continue
+		}
+		nm := evaluator.NewConfigMeta()
+		nm.Time = m.Time
+		nm.IsComplete = m.IsComplete
+		nm.IndexTime = m.IndexTime
+		nm.Aborts = m.Aborts
+		for q, done := range m.Completed {
+			if done {
+				nm.Completed[q] = true
+			}
+		}
+		if len(m.QueryTimes) > 0 {
+			nm.QueryTimes = map[string]float64{}
+			for q, secs := range m.QueryTimes {
+				nm.QueryTimes[q] = secs
+			}
+		}
+		cp.Metas[id] = nm
+	}
+	return cp
+}

@@ -22,8 +22,22 @@ import (
 
 	"lambdatune/internal/backend"
 	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/core/race"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/obs"
+)
+
+// Strategy selects how candidates are evaluated.
+type Strategy int
+
+const (
+	// FullEvaluation is the paper's Algorithm 2 verbatim: every candidate
+	// races the full workload under the geometric timeout schedule.
+	FullEvaluation Strategy = iota
+	// Racing evaluates candidates on growing DP-schedule prefixes and
+	// eliminates the surrogate-dominated half each rung, reserving the exact
+	// Algorithm 2 pass for the final survivors (see the race package).
+	Racing
 )
 
 // ErrBudgetExhausted reports that the evaluation budget (Options.MaxRounds)
@@ -67,6 +81,12 @@ type Options struct {
 	// uses the sequential path — injected fault sequences are defined on the
 	// primary instance's clock and cannot be replayed across replicas.
 	Parallelism int
+	// Strategy selects full (paper-exact) or racing evaluation. Racing is
+	// off by default; the selected configuration's reported workload time is
+	// exact under both strategies.
+	Strategy Strategy
+	// Racing tunes the racing strategy (zero value = race.DefaultOptions).
+	Racing race.Options
 }
 
 // DefaultOptions matches the paper's experimental setup.
@@ -94,6 +114,11 @@ type RoundState struct {
 	// Metas carries per-configuration progress, keyed by Config.ID (IDs,
 	// not pointers, so a checkpoint survives re-parsing the candidates).
 	Metas map[string]*evaluator.ConfigMeta
+	// Race is the racing strategy's rung bookkeeping (nil for full
+	// evaluation): which rung to run next and who is still in the race. A
+	// resumed racing run re-enters the ladder at the checkpointed rung with
+	// the checkpointed survivor set.
+	Race *race.State
 }
 
 // Selector runs Algorithm 2 over a fixed workload and candidate set.
@@ -124,6 +149,9 @@ type Selector struct {
 
 	resume *RoundState
 	state  *RoundState
+	// raceState is the live racing bookkeeping, cloned into every saved
+	// RoundState (nil under full evaluation).
+	raceState *race.State
 }
 
 // New creates a selector.
@@ -147,7 +175,7 @@ func (s *Selector) Checkpoint() *RoundState { return s.state }
 // durable writer). The hook's error is returned so a failed durable write —
 // or a chaos-harness kill point — aborts the selection.
 func (s *Selector) saveState(candidates []*engine.Config, rounds int, timeout float64, best *Best) error {
-	st := &RoundState{Round: rounds, Timeout: timeout, Metas: map[string]*evaluator.ConfigMeta{}}
+	st := &RoundState{Round: rounds, Timeout: timeout, Metas: map[string]*evaluator.ConfigMeta{}, Race: s.raceState.Clone()}
 	if best != nil && best.Config != nil && !math.IsInf(best.Time, 1) {
 		st.BestID = best.Config.ID
 		st.BestTime = best.Time
@@ -274,10 +302,19 @@ func (s *Selector) Select(ctx context.Context, candidates []*engine.Config) (*en
 		rounds = s.resume.Round
 	}
 
-	if s.Opts.Parallelism > 1 && !backend.HasFaultInjector(s.Eval.DB) {
+	if s.Opts.Strategy == Racing {
+		return s.selectRacing(ctx, candidates, t, alpha, rounds)
+	}
+	if s.parallelOK() {
 		return s.selectParallel(ctx, candidates, t, alpha, rounds)
 	}
 	return s.selectSequential(ctx, candidates, t, alpha, rounds)
+}
+
+// parallelOK reports whether snapshot-parallel evaluation applies: requested
+// and no fault injector pinning the run to the primary clock.
+func (s *Selector) parallelOK() bool {
+	return s.Opts.Parallelism > 1 && !backend.HasFaultInjector(s.Eval.DB)
 }
 
 // selectSequential is the single-instance path: one shared database, one

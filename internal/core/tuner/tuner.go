@@ -454,7 +454,7 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 // fingerprint condenses this run's selection-relevant options for checkpoint
 // validation (see runstate.Fingerprint for what is deliberately excluded).
 func (t *Tuner) fingerprint() runstate.Fingerprint {
-	return runstate.Fingerprint{
+	fp := runstate.Fingerprint{
 		Flavor:         t.DB.Flavor().String(),
 		Seed:           t.Opts.Seed,
 		Samples:        t.Opts.Samples,
@@ -467,6 +467,15 @@ func (t *Tuner) fingerprint() runstate.Fingerprint {
 		LazyIndexes:    t.Opts.LazyIndexes,
 		SeedDefault:    t.Opts.SeedDefault,
 	}
+	if t.Opts.Selector.Strategy == selector.Racing {
+		r := t.Opts.Selector.Racing.Norm()
+		fp.Racing = true
+		fp.RaceStart = r.StartFraction
+		fp.RaceGrowth = r.Growth
+		fp.RaceFinal = r.FinalSurvivors
+		fp.RaceNoElim = r.DisableElimination
+	}
+	return fp
 }
 
 // exportBackendStats snapshots the backend's observation telemetry onto the

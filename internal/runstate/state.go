@@ -26,14 +26,20 @@ import (
 	"strings"
 
 	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/core/race"
 	"lambdatune/internal/core/selector"
 	"lambdatune/internal/engine"
 )
 
-// Version is the current checkpoint schema version. Decode rejects any other
-// version with ErrCheckpointVersion — a checkpoint written by a newer build
-// must not be half-understood by an older one.
-const Version = 1
+// Version is the current checkpoint schema version. Decode rejects any
+// version newer than it with ErrCheckpointVersion — a checkpoint written by
+// a newer build must not be half-understood by an older one — while still
+// reading every older supported version (v2 added the racing rung state and
+// per-query times; v1 files decode with those fields absent).
+const Version = 2
+
+// minVersion is the oldest checkpoint schema this build still reads.
+const minVersion = 1
 
 // magic is the first token of every checkpoint file.
 const magic = "lambdatune-checkpoint"
@@ -75,6 +81,10 @@ type MetaState struct {
 	IndexTime  float64  `json:"index_time"`
 	Completed  []string `json:"completed,omitempty"`
 	Aborts     int      `json:"aborts,omitempty"`
+	// QueryTimes carries the per-query observed seconds racing's surrogate
+	// fits from (v2; absent outside racing runs, so non-racing encodings are
+	// unchanged from v1 apart from the header version).
+	QueryTimes map[string]float64 `json:"query_times,omitempty"`
 }
 
 // RoundCheckpoint is the serialized form of selector.RoundState.
@@ -89,6 +99,9 @@ type RoundCheckpoint struct {
 	BestID   string               `json:"best_id,omitempty"`
 	BestTime float64              `json:"best_time,omitempty"`
 	Metas    map[string]MetaState `json:"metas"`
+	// Race is the racing strategy's rung bookkeeping (v2; nil under full
+	// evaluation).
+	Race *race.State `json:"race,omitempty"`
 }
 
 // InjectorState is the fault injector's resumable position (see
@@ -184,8 +197,8 @@ func Decode(data []byte) (*State, error) {
 	if err != nil || !strings.HasPrefix(fields[1], "v") {
 		return nil, fmt.Errorf("%w: bad version field %q", ErrCheckpointCorrupt, fields[1])
 	}
-	if version != Version {
-		return nil, fmt.Errorf("%w: v%d (this build reads v%d)", ErrCheckpointVersion, version, Version)
+	if version < minVersion || version > Version {
+		return nil, fmt.Errorf("%w: v%d (this build reads v%d-v%d)", ErrCheckpointVersion, version, minVersion, Version)
 	}
 	wantCRC, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "crc32="), 16, 32)
 	if err != nil || !strings.HasPrefix(fields[2], "crc32=") {
@@ -208,8 +221,11 @@ func Decode(data []byte) (*State, error) {
 	if err := dec.Decode(&st); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCheckpointCorrupt, err)
 	}
-	if st.Version != Version {
-		return nil, fmt.Errorf("%w: payload v%d (this build reads v%d)", ErrCheckpointVersion, st.Version, Version)
+	if st.Version < minVersion || st.Version > Version {
+		return nil, fmt.Errorf("%w: payload v%d (this build reads v%d-v%d)", ErrCheckpointVersion, st.Version, minVersion, Version)
+	}
+	if st.Version != version {
+		return nil, fmt.Errorf("%w: header says v%d, payload says v%d", ErrCheckpointCorrupt, version, st.Version)
 	}
 	return &st, nil
 }
@@ -255,6 +271,7 @@ func CaptureRound(rs *selector.RoundState) *RoundCheckpoint {
 		Round: rs.Round, Timeout: rs.Timeout,
 		BestID: rs.BestID, BestTime: rs.BestTime,
 		Metas: map[string]MetaState{},
+		Race:  rs.Race.Clone(),
 	}
 	for id, m := range rs.Metas {
 		if m == nil {
@@ -267,6 +284,12 @@ func CaptureRound(rs *selector.RoundState) *RoundCheckpoint {
 			}
 		}
 		sort.Strings(ms.Completed)
+		if len(m.QueryTimes) > 0 {
+			ms.QueryTimes = make(map[string]float64, len(m.QueryTimes))
+			for q, secs := range m.QueryTimes {
+				ms.QueryTimes[q] = secs
+			}
+		}
 		rc.Metas[id] = ms
 	}
 	return rc
@@ -281,6 +304,7 @@ func (rc *RoundCheckpoint) Restore() *selector.RoundState {
 		Round: rc.Round, Timeout: rc.Timeout,
 		BestID: rc.BestID, BestTime: rc.BestTime,
 		Metas: map[string]*evaluator.ConfigMeta{},
+		Race:  rc.Race.Clone(),
 	}
 	for id, ms := range rc.Metas {
 		m := evaluator.NewConfigMeta()
@@ -290,6 +314,12 @@ func (rc *RoundCheckpoint) Restore() *selector.RoundState {
 		m.Aborts = ms.Aborts
 		for _, q := range ms.Completed {
 			m.Completed[q] = true
+		}
+		if len(ms.QueryTimes) > 0 {
+			m.QueryTimes = make(map[string]float64, len(ms.QueryTimes))
+			for q, secs := range ms.QueryTimes {
+				m.QueryTimes[q] = secs
+			}
 		}
 		rs.Metas[id] = m
 	}
@@ -325,6 +355,14 @@ type Fingerprint struct {
 	UseScheduler   bool
 	LazyIndexes    bool
 	SeedDefault    bool
+	// Racing and its tuning knobs join the digest only when racing is on, so
+	// every pre-racing (and non-racing) digest is unchanged: old checkpoints
+	// keep resuming under new builds.
+	Racing     bool
+	RaceStart  float64
+	RaceGrowth float64
+	RaceFinal  int
+	RaceNoElim bool
 }
 
 // Digest condenses the fingerprint.
@@ -333,5 +371,9 @@ func (f Fingerprint) Digest() string {
 	fmt.Fprintf(h, "%s seed=%d k=%d temp=%g budget=%d t0=%g alpha=%g adapt=%t sched=%t lazy=%t seeddef=%t",
 		f.Flavor, f.Seed, f.Samples, f.Temperature, f.TokenBudget,
 		f.InitialTimeout, f.Alpha, f.Adaptive, f.UseScheduler, f.LazyIndexes, f.SeedDefault)
+	if f.Racing {
+		fmt.Fprintf(h, " racing start=%g growth=%g final=%d noelim=%t",
+			f.RaceStart, f.RaceGrowth, f.RaceFinal, f.RaceNoElim)
+	}
 	return fmt.Sprintf("%x", h.Sum(nil)[:16])
 }

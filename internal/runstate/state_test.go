@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/core/race"
 	"lambdatune/internal/core/selector"
 	"lambdatune/internal/engine"
 )
@@ -29,8 +30,10 @@ func sampleState() *State {
 	m.Completed["q1"] = true
 	m.Completed["q9"] = true
 	m.Completed["q3"] = false // not completed: must not serialize
+	m.QueryTimes = map[string]float64{"q1": 1.5, "q9": 41.0}
 	rs.Metas["llm-1"] = m
 	rs.Metas["default"] = evaluator.NewConfigMeta()
+	rs.Race = &race.State{Rung: 1, Survivors: []string{"llm-1", "default"}}
 
 	return &State{
 		RunID:             "golden-run",
@@ -99,10 +102,26 @@ func TestRoundStateRoundTrip(t *testing.T) {
 	if m.Completed["q3"] {
 		t.Error("not-completed query serialized as completed")
 	}
+	if m.QueryTimes["q1"] != 1.5 || m.QueryTimes["q9"] != 41.0 {
+		t.Errorf("query times lost: %v", m.QueryTimes)
+	}
+	if rs.Race == nil || rs.Race.Rung != 1 || len(rs.Race.Survivors) != 2 {
+		t.Errorf("race state lost: %+v", rs.Race)
+	}
 	// Capture(Restore(x)) is a fixed point.
-	if got := CaptureRound(rs); got.Metas["llm-1"].Completed[0] != "q1" ||
+	got := CaptureRound(rs)
+	if got.Metas["llm-1"].Completed[0] != "q1" ||
 		got.Metas["llm-1"].Completed[1] != "q9" {
 		t.Errorf("re-captured completed list: %v", got.Metas["llm-1"].Completed)
+	}
+	if got.Race == nil || got.Race.Survivors[0] != "llm-1" {
+		t.Errorf("re-captured race state: %+v", got.Race)
+	}
+	// The capture deep-copies the race state — mutating the live selector
+	// state must not reach into an already-saved checkpoint.
+	rs.Race.Survivors[0] = "mutated"
+	if got.Race.Survivors[0] != "llm-1" {
+		t.Error("captured race state aliases the live one")
 	}
 }
 
@@ -114,7 +133,7 @@ func TestGoldenCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	path := filepath.Join("testdata", "checkpoint_v1.golden")
+	path := filepath.Join("testdata", "checkpoint_v2.golden")
 	if os.Getenv("UPDATE_GOLDEN") != "" {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
@@ -138,17 +157,45 @@ func TestGoldenCheckpoint(t *testing.T) {
 
 func TestDecodeRejectsUnknownVersion(t *testing.T) {
 	data, _ := Encode(sampleState())
-	bumped := strings.Replace(string(data), "lambdatune-checkpoint v1 ", "lambdatune-checkpoint v9 ", 1)
+	bumped := strings.Replace(string(data), "lambdatune-checkpoint v2 ", "lambdatune-checkpoint v9 ", 1)
 	if _, err := Decode([]byte(bumped)); !errors.Is(err, ErrCheckpointVersion) {
 		t.Errorf("header version bump: got %v, want ErrCheckpointVersion", err)
 	}
-	// A payload whose version disagrees with a valid header is also rejected
-	// (the header CRC covers the payload, so this requires reframing).
+	// A payload whose version is unknown is also rejected (the header CRC
+	// covers the payload, so this requires reframing).
 	st := sampleState()
 	raw, _ := Encode(st)
-	tampered := strings.Replace(string(raw), `"version": 1`, `"version": 3`, 1)
+	tampered := strings.Replace(string(raw), `"version": 2`, `"version": 3`, 1)
 	if _, err := Decode(reframe(t, tampered)); !errors.Is(err, ErrCheckpointVersion) {
 		t.Errorf("payload version mismatch: got %v, want ErrCheckpointVersion", err)
+	}
+	// A supported payload version that disagrees with the header is corruption,
+	// not a version skew.
+	disagree := strings.Replace(string(raw), `"version": 2`, `"version": 1`, 1)
+	if _, err := Decode(reframe(t, disagree)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("header/payload disagreement: got %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestDecodeV1Checkpoint: checkpoints written by v1 builds (pre-racing) must
+// keep decoding — the v1 fixture is frozen for exactly this test.
+func TestDecodeV1Checkpoint(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "checkpoint_v1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Decode(data)
+	if err != nil {
+		t.Fatalf("v1 checkpoint no longer decodes: %v", err)
+	}
+	if st.Version != 1 || st.RunID != "golden-run" {
+		t.Fatalf("v1 decode lost fields: version=%d run=%s", st.Version, st.RunID)
+	}
+	if st.Round == nil || st.Round.Race != nil {
+		t.Fatalf("v1 round state should restore with no racing bookkeeping: %+v", st.Round)
+	}
+	if rs := st.Round.Restore(); rs.Race != nil || rs.Metas["llm-1"].QueryTimes != nil {
+		t.Fatal("v1 restore invented v2 fields")
 	}
 }
 
@@ -223,10 +270,14 @@ func TestFingerprintDigest(t *testing.T) {
 	if base.Digest() != base.Digest() {
 		t.Error("fingerprint not deterministic")
 	}
-	variants := []Fingerprint{base, base, base, base}
+	variants := []Fingerprint{base, base, base, base, base}
 	variants[1].Seed = 2
 	variants[2].Alpha = 5
 	variants[3].Flavor = "mysql"
+	variants[4].Racing = true
+	variants[4].RaceStart = 0.25
+	variants[4].RaceGrowth = 2
+	variants[4].RaceFinal = 2
 	seen := map[string]bool{}
 	for _, v := range variants[1:] {
 		d := v.Digest()
@@ -234,6 +285,14 @@ func TestFingerprintDigest(t *testing.T) {
 			t.Errorf("fingerprint collision for %+v", v)
 		}
 		seen[d] = true
+	}
+	// Racing knobs must not perturb non-racing digests: a pre-racing build's
+	// checkpoints keep validating under this build.
+	withKnobs := base
+	withKnobs.RaceStart = 0.5
+	withKnobs.RaceFinal = 3
+	if withKnobs.Digest() != base.Digest() {
+		t.Error("racing knobs changed a non-racing digest")
 	}
 }
 

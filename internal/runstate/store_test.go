@@ -133,7 +133,7 @@ func TestStoreVersionMismatchNoFallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	data, _ := os.ReadFile(s.Path())
-	bumped := strings.Replace(string(data), " v1 ", " v9 ", 1)
+	bumped := strings.Replace(string(data), " v2 ", " v9 ", 1)
 	if err := os.WriteFile(s.Path(), []byte(bumped), 0o644); err != nil {
 		t.Fatal(err)
 	}

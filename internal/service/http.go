@@ -5,27 +5,40 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 
 	"lambdatune/internal/obs"
 )
 
-// Handler serves the job API over HTTP/JSON:
+// Handler serves the job API over HTTP/JSON, versioned under /v1:
 //
-//	POST /jobs              enqueue a job (body: JobSpec) → 202 + Job
-//	GET  /jobs              list all jobs
-//	GET  /jobs/{id}         one job's status and result
-//	POST /jobs/{id}/cancel  cancel a queued or running job
-//	GET  /jobs/{id}/stream  live progress lines, chunked, until the job ends
-//	GET  /healthz           liveness (200 while the process serves)
-//	GET  /readyz            readiness (503 while draining)
-//	GET  /metrics           Prometheus text exposition (when metrics are on)
+//	POST /v1/jobs              enqueue a job (body: JobSpec) → 202 + Job
+//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs/{id}         one job's status and result
+//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
+//	GET  /v1/jobs/{id}/stream  live progress lines, chunked, until the job ends
+//	GET  /healthz              liveness (200 while the process serves)
+//	GET  /readyz               readiness (503 while draining)
+//	GET  /metrics              Prometheus text exposition (when metrics are on)
+//
+// The unversioned /jobs* paths of the previous release respond with a 308
+// Permanent Redirect to their /v1 twin (kept for one release; clients should
+// move to /v1). Probe and metrics endpoints stay unversioned — they address
+// the process, not the API.
+//
+// Every non-2xx response carries the APIError JSON envelope: a stable
+// machine-readable code, a human message, and a retryable hint.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /jobs", m.handleEnqueue)
-	mux.HandleFunc("GET /jobs", m.handleList)
-	mux.HandleFunc("GET /jobs/{id}", m.handleGet)
-	mux.HandleFunc("POST /jobs/{id}/cancel", m.handleCancel)
-	mux.HandleFunc("GET /jobs/{id}/stream", m.handleStream)
+	mux.HandleFunc("POST /v1/jobs", m.handleEnqueue)
+	mux.HandleFunc("GET /v1/jobs", m.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", m.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", m.handleStream)
+	// Legacy unversioned paths: permanent redirect, method and body
+	// preserved by 308 semantics.
+	mux.HandleFunc("/jobs", redirectV1)
+	mux.HandleFunc("/jobs/", redirectV1)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -44,9 +57,63 @@ func (m *Manager) Handler() http.Handler {
 	return mux
 }
 
-// apiError is the JSON error envelope every non-2xx response carries.
-type apiError struct {
-	Error string `json:"error"`
+// redirectV1 sends legacy unversioned /jobs* requests to their /v1 twin with
+// 308 Permanent Redirect, which preserves the method and body.
+func redirectV1(w http.ResponseWriter, r *http.Request) {
+	target := "/v1" + r.URL.Path
+	if r.URL.RawQuery != "" {
+		target += "?" + r.URL.RawQuery
+	}
+	http.Redirect(w, r, target, http.StatusPermanentRedirect)
+}
+
+// Stable machine-readable error codes carried by APIError.Code.
+const (
+	CodeInvalidRequest = "invalid_request"
+	CodeNotFound       = "not_found"
+	CodeRateLimited    = "rate_limited"
+	CodeQueueFull      = "queue_full"
+	CodeDraining       = "draining"
+	CodeInternal       = "internal"
+)
+
+// APIError is the JSON error envelope every non-2xx response carries. It is
+// also what the client helpers (Client) return for API failures, so callers
+// on both sides of the wire can switch on Code or consult Retryable.
+type APIError struct {
+	// Code is a stable machine-readable identifier (invalid_request,
+	// not_found, rate_limited, queue_full, draining, internal).
+	Code string `json:"code"`
+	// Message is the human-readable cause.
+	Message string `json:"message"`
+	// Retryable hints that the same request may succeed later (backpressure
+	// and drain conditions), as opposed to client errors that never will.
+	Retryable bool `json:"retryable"`
+	// HTTPStatus is the response status code (not serialized; set by the
+	// client helpers for callers that need it).
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s (%s)", e.Message, e.Code)
+}
+
+// toAPIError maps a service error onto the wire envelope.
+func toAPIError(err error) (int, *APIError) {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound, &APIError{Code: CodeNotFound, Message: err.Error()}
+	case errors.Is(err, ErrRateLimited):
+		return http.StatusTooManyRequests, &APIError{Code: CodeRateLimited, Message: err.Error(), Retryable: true}
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusServiceUnavailable, &APIError{Code: CodeQueueFull, Message: err.Error(), Retryable: true}
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable, &APIError{Code: CodeDraining, Message: err.Error(), Retryable: true}
+	default:
+		// Spec validation problems are the client's fault.
+		return http.StatusBadRequest, &APIError{Code: CodeInvalidRequest, Message: err.Error()}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -58,19 +125,8 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, err error) {
-	code := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrNotFound):
-		code = http.StatusNotFound
-	case errors.Is(err, ErrRateLimited):
-		code = http.StatusTooManyRequests
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
-		code = http.StatusServiceUnavailable
-	default:
-		// Spec validation problems are the client's fault.
-		code = http.StatusBadRequest
-	}
-	writeJSON(w, code, apiError{Error: err.Error()})
+	code, envelope := toAPIError(err)
+	writeJSON(w, code, envelope)
 }
 
 func (m *Manager) handleEnqueue(w http.ResponseWriter, r *http.Request) {
@@ -150,4 +206,99 @@ func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// Client is a typed HTTP client for the /v1 job API: the lambdatuned CLI
+// helpers and tests use it instead of hand-rolled requests. API failures
+// come back as *APIError (errors.As), transport failures as plain errors.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil). The
+	// default client follows the legacy 308 redirects transparently.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out, translating
+// non-2xx responses into *APIError.
+func (c *Client) do(method, path string, body any, out any) error {
+	var reqBody *strings.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		reqBody = strings.NewReader(string(data))
+	} else {
+		reqBody = strings.NewReader("")
+	}
+	req, err := http.NewRequest(method, strings.TrimSuffix(c.BaseURL, "/")+path, reqBody)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr APIError
+		if derr := json.NewDecoder(resp.Body).Decode(&apiErr); derr != nil || apiErr.Code == "" {
+			return &APIError{Code: CodeInternal, Message: fmt.Sprintf("HTTP %d", resp.StatusCode), HTTPStatus: resp.StatusCode}
+		}
+		apiErr.HTTPStatus = resp.StatusCode
+		return &apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Enqueue submits a job spec and returns the accepted job record.
+func (c *Client) Enqueue(spec JobSpec) (*Job, error) {
+	var job Job
+	if err := c.do(http.MethodPost, "/v1/jobs", spec, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// Get fetches one job by ID.
+func (c *Client) Get(id string) (*Job, error) {
+	var job Job
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id, nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
+}
+
+// List fetches all jobs in ID order.
+func (c *Client) List() ([]*Job, error) {
+	var out struct {
+		Jobs []*Job `json:"jobs"`
+	}
+	if err := c.do(http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Cancel stops a queued or running job.
+func (c *Client) Cancel(id string) (*Job, error) {
+	var job Job
+	if err := c.do(http.MethodPost, "/v1/jobs/"+id+"/cancel", nil, &job); err != nil {
+		return nil, err
+	}
+	return &job, nil
 }

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -105,13 +106,15 @@ func TestHTTPErrors(t *testing.T) {
 	for _, tc := range []struct {
 		method, path, body string
 		want               int
+		wantCode           string
+		wantRetryable      bool
 	}{
-		{"POST", "/jobs", `{"benchmark": "no-such"}`, http.StatusBadRequest},
-		{"POST", "/jobs", `not json`, http.StatusBadRequest},
-		{"POST", "/jobs", `{"benchmark": "tpch-1", "bogus_field": 1}`, http.StatusBadRequest},
-		{"GET", "/jobs/job-999999", "", http.StatusNotFound},
-		{"POST", "/jobs/job-999999/cancel", "", http.StatusNotFound},
-		{"GET", "/jobs/job-999999/stream", "", http.StatusNotFound},
+		{"POST", "/v1/jobs", `{"benchmark": "no-such"}`, http.StatusBadRequest, CodeInvalidRequest, false},
+		{"POST", "/v1/jobs", `not json`, http.StatusBadRequest, CodeInvalidRequest, false},
+		{"POST", "/v1/jobs", `{"benchmark": "tpch-1", "bogus_field": 1}`, http.StatusBadRequest, CodeInvalidRequest, false},
+		{"GET", "/v1/jobs/job-999999", "", http.StatusNotFound, CodeNotFound, false},
+		{"POST", "/v1/jobs/job-999999/cancel", "", http.StatusNotFound, CodeNotFound, false},
+		{"GET", "/v1/jobs/job-999999/stream", "", http.StatusNotFound, CodeNotFound, false},
 	} {
 		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
 		if err != nil {
@@ -121,15 +124,117 @@ func TestHTTPErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var apiErr apiError
+		var apiErr APIError
 		_ = json.NewDecoder(resp.Body).Decode(&apiErr)
 		resp.Body.Close()
 		if resp.StatusCode != tc.want {
 			t.Errorf("%s %s: code %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
 		}
-		if apiErr.Error == "" {
-			t.Errorf("%s %s: no error envelope", tc.method, tc.path)
+		if apiErr.Code != tc.wantCode {
+			t.Errorf("%s %s: error code %q, want %q", tc.method, tc.path, apiErr.Code, tc.wantCode)
 		}
+		if apiErr.Message == "" {
+			t.Errorf("%s %s: no error message", tc.method, tc.path)
+		}
+		if apiErr.Retryable != tc.wantRetryable {
+			t.Errorf("%s %s: retryable %v, want %v", tc.method, tc.path, apiErr.Retryable, tc.wantRetryable)
+		}
+	}
+}
+
+// TestHTTPLegacyRedirect: the unversioned paths of the previous release
+// answer with 308 Permanent Redirect to their /v1 twin — method and body
+// preserved — and redirect-following clients keep working unchanged.
+func TestHTTPLegacyRedirect(t *testing.T) {
+	m, srv := newTestServer(t)
+
+	noFollow := &http.Client{
+		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+	}
+	for _, tc := range []struct {
+		method, path, wantLocation string
+	}{
+		{"GET", "/jobs", "/v1/jobs"},
+		{"POST", "/jobs", "/v1/jobs"},
+		{"GET", "/jobs/job-000001", "/v1/jobs/job-000001"},
+		{"POST", "/jobs/job-000001/cancel", "/v1/jobs/job-000001/cancel"},
+		{"GET", "/jobs/job-000001/stream", "/v1/jobs/job-000001/stream"},
+	} {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noFollow.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Errorf("%s %s: code %d, want 308", tc.method, tc.path, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != tc.wantLocation {
+			t.Errorf("%s %s: Location %q, want %q", tc.method, tc.path, loc, tc.wantLocation)
+		}
+	}
+
+	// A redirect-following client (the Go default) transparently lands on
+	// /v1: an enqueue POST against the legacy path still works, 308
+	// preserving the method and body.
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"benchmark": "tpch-1", "seed": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("legacy POST /jobs through redirect: %d, want 202", resp.StatusCode)
+	}
+	job := decodeJob(t, resp)
+	waitJob(t, m, job.ID)
+}
+
+// TestHTTPClientHelpers drives the typed Client against a live server,
+// including the *APIError translation of failures.
+func TestHTTPClientHelpers(t *testing.T) {
+	m, srv := newTestServer(t)
+	c := &Client{BaseURL: srv.URL}
+
+	job, err := c.Enqueue(JobSpec{Benchmark: "tpch-1", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, job.ID)
+
+	got, err := c.Get(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusSucceeded || got.Result == nil {
+		t.Fatalf("job = %+v", got)
+	}
+	list, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != job.ID {
+		t.Errorf("List returned %d jobs", len(list))
+	}
+	if _, err := c.Cancel(job.ID); err != nil {
+		t.Errorf("cancel of a terminal job should be a no-op, got %v", err)
+	}
+
+	// Failures surface as *APIError with the stable code.
+	_, err = c.Get("job-999999")
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("want *APIError, got %T: %v", err, err)
+	}
+	if apiErr.Code != CodeNotFound || apiErr.Retryable || apiErr.HTTPStatus != http.StatusNotFound {
+		t.Errorf("APIError = %+v", apiErr)
+	}
+
+	_, err = c.Enqueue(JobSpec{Benchmark: "no-such"})
+	if !errors.As(err, &apiErr) || apiErr.Code != CodeInvalidRequest {
+		t.Errorf("bad spec error = %v", err)
 	}
 }
 

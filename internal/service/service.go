@@ -637,16 +637,16 @@ func (m *Manager) execute(ctx context.Context, job *Job) error {
 	if spec.Samples > 0 {
 		opts.Samples = spec.Samples
 	}
-	opts.Parallelism = spec.Parallelism
-	opts.CheckpointDir = jobDir
-	opts.Progress = &progressWriter{m: m, id: job.ID}
+	opts.Evaluation.Parallelism = spec.Parallelism
+	opts.Durability.CheckpointDir = jobDir
+	opts.Observability.Progress = &progressWriter{m: m, id: job.ID}
 	if spec.LLMFaultRate > 0 || spec.EngineFaultRate > 0 {
 		opts.Faults = &lambdatune.FaultPlan{LLMRate: spec.LLMFaultRate, EngineRate: spec.EngineFaultRate, Seed: opts.Seed}
 	}
 	// Resume when a previous attempt left a checkpoint behind.
 	ckpt := runstate.NewStore(jobDir, lambdatune.RunID(w.Name(), opts.Seed))
 	if _, err := os.Stat(ckpt.Path()); err == nil {
-		opts.Resume = true
+		opts.Durability.Resume = true
 	}
 
 	res, err := db.TuneContext(ctx, w, lambdatune.NewSimulatedLLM(opts.Seed), opts)

@@ -57,7 +57,7 @@ func reference(t *testing.T, spec JobSpec) *lambdatune.Result {
 	if spec.Samples > 0 {
 		opts.Samples = spec.Samples
 	}
-	opts.Parallelism = spec.Parallelism
+	opts.Evaluation.Parallelism = spec.Parallelism
 	res, err := db.Tune(w, lambdatune.NewSimulatedLLM(opts.Seed), opts)
 	if err != nil {
 		t.Fatal(err)
@@ -344,7 +344,7 @@ func TestReadoptResumesFromCheckpoint(t *testing.T) {
 	}
 	opts := lambdatune.DefaultOptions()
 	opts.Seed = spec.seed()
-	opts.CheckpointDir = jobDir
+	opts.Durability.CheckpointDir = jobDir
 	opts.Faults = &lambdatune.FaultPlan{Seed: opts.Seed, CrashAfterRound: 2}
 	if _, err := db.Tune(w, lambdatune.NewSimulatedLLM(opts.Seed), opts); !errors.Is(err, lambdatune.ErrKilled) {
 		t.Fatalf("expected ErrKilled, got %v", err)

@@ -1,0 +1,195 @@
+package lambdatune
+
+// Tests of the Options redesign: grouped fields, deprecated flat aliases,
+// and their reconciliation. This file deliberately reads and writes the
+// deprecated flat fields — it is allowlisted by the deprecated-field gate
+// (TestNoNewDeprecatedOptionsFieldUses).
+
+import (
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestDeprecatedAliasesReconcile(t *testing.T) {
+	tr, m := NewTrace(), NewMetrics()
+	o := Options{
+		InitialTimeout: 7,
+		Alpha:          3,
+		Parallelism:    4,
+		Trace:          tr,
+		Metrics:        m,
+		Progress:       io.Discard,
+		CheckpointDir:  "/tmp/ckpt",
+		Resume:         true,
+	}
+	n, err := o.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, d, ob := n.Evaluation, n.Durability, n.Observability
+	if e.InitialTimeout != 7 || e.Alpha != 3 || e.Parallelism != 4 {
+		t.Errorf("evaluation group not filled from aliases: %+v", e)
+	}
+	if ob.Trace != tr || ob.Metrics != m || ob.Progress != io.Discard {
+		t.Errorf("observability group not filled from aliases: %+v", ob)
+	}
+	if d.CheckpointDir != "/tmp/ckpt" || !d.Resume {
+		t.Errorf("durability group not filled from aliases: %+v", d)
+	}
+	// The flat aliases are zeroed, so only the groups are authoritative.
+	if n.InitialTimeout != 0 || n.Alpha != 0 || n.Parallelism != 0 ||
+		n.Trace != nil || n.Metrics != nil || n.Progress != nil ||
+		n.CheckpointDir != "" || n.Resume {
+		t.Errorf("flat aliases not zeroed after normalization: %+v", n)
+	}
+}
+
+func TestDeprecatedAliasAgreementIsNotAConflict(t *testing.T) {
+	tr := NewTrace()
+	o := Options{
+		InitialTimeout: 7,
+		Trace:          tr,
+		CheckpointDir:  "/tmp/ckpt",
+		Evaluation:     EvaluationOptions{InitialTimeout: 7},
+		Observability:  ObservabilityOptions{Trace: tr},
+		Durability:     DurabilityOptions{CheckpointDir: "/tmp/ckpt"},
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("agreeing alias and group rejected: %v", err)
+	}
+}
+
+func TestDeprecatedAliasConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"InitialTimeout", Options{InitialTimeout: 7, Evaluation: EvaluationOptions{InitialTimeout: 9}}, "InitialTimeout"},
+		{"Alpha", Options{Alpha: 2, Evaluation: EvaluationOptions{Alpha: 3}}, "Alpha"},
+		{"Parallelism", Options{Parallelism: 2, Evaluation: EvaluationOptions{Parallelism: 4}}, "Parallelism"},
+		{"Trace", Options{Trace: NewTrace(), Observability: ObservabilityOptions{Trace: NewTrace()}}, "Trace"},
+		{"Metrics", Options{Metrics: NewMetrics(), Observability: ObservabilityOptions{Metrics: NewMetrics()}}, "Metrics"},
+		// Progress writers are not comparable, so both being set is always a
+		// conflict — even when they are the same writer.
+		{"Progress", Options{Progress: io.Discard, Observability: ObservabilityOptions{Progress: io.Discard}}, "Progress"},
+		{"CheckpointDir", Options{CheckpointDir: "/a", Durability: DurabilityOptions{CheckpointDir: "/b"}}, "CheckpointDir"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.o.Validate()
+			if !errors.Is(err, ErrInvalidOptions) {
+				t.Fatalf("want ErrInvalidOptions, got %v", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not name %s", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateGroupedFields(t *testing.T) {
+	cases := []struct {
+		name string
+		o    Options
+		ok   bool
+	}{
+		{"zero value", Options{}, true},
+		{"racing defaults", Options{Evaluation: EvaluationOptions{Strategy: Racing}}, true},
+		{"racing tuned", Options{Evaluation: EvaluationOptions{
+			Strategy: Racing,
+			Racing:   &RacingOptions{StartFraction: 0.25, Growth: 3, FinalSurvivors: 3},
+		}}, true},
+		{"racing options without racing strategy", Options{Evaluation: EvaluationOptions{
+			Racing: &RacingOptions{StartFraction: 0.25},
+		}}, false},
+		{"bad strategy", Options{Evaluation: EvaluationOptions{Strategy: EvalStrategy(42)}}, false},
+		{"bad start fraction", Options{Evaluation: EvaluationOptions{
+			Strategy: Racing, Racing: &RacingOptions{StartFraction: 1.5},
+		}}, false},
+		{"bad growth", Options{Evaluation: EvaluationOptions{
+			Strategy: Racing, Racing: &RacingOptions{Growth: 0.5},
+		}}, false},
+		{"negative final survivors", Options{Evaluation: EvaluationOptions{
+			Strategy: Racing, Racing: &RacingOptions{FinalSurvivors: -1},
+		}}, false},
+		{"grouped resume without dir", Options{Durability: DurabilityOptions{Resume: true}}, false},
+		{"flat resume without dir", Options{Resume: true}, false},
+		{"flat resume with grouped dir", Options{Resume: true,
+			Durability: DurabilityOptions{CheckpointDir: "/tmp/x"}}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.o.Validate()
+			if c.ok && err != nil {
+				t.Errorf("unexpected error: %v", err)
+			}
+			if !c.ok && !errors.Is(err, ErrInvalidOptions) {
+				t.Errorf("want ErrInvalidOptions, got %v", err)
+			}
+		})
+	}
+}
+
+// TestTuneHonorsDeprecatedAliases: a run configured only through the flat
+// aliases behaves identically to one configured through the groups.
+func TestTuneHonorsDeprecatedAliases(t *testing.T) {
+	run := func(opts Options) float64 {
+		db, w, err := Benchmark("tpch-1", Postgres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Tune(w, NewSimulatedLLM(1), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TuningSeconds
+	}
+	flat := DefaultOptions()
+	flat.Parallelism = 4
+	grouped := DefaultOptions()
+	grouped.Evaluation.Parallelism = 4
+	if f, g := run(flat), run(grouped); f != g {
+		t.Errorf("flat Parallelism run (%v) differs from grouped (%v)", f, g)
+	}
+}
+
+// TestTuneRacingStrategy: the racing strategy is reachable through the
+// public API and returns a complete, exact result.
+func TestTuneRacingStrategy(t *testing.T) {
+	db, w, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.Samples = 8
+	opts.Evaluation.Strategy = Racing
+	res, err := db.Tune(w, NewSimulatedLLM(1), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestScript == "" || res.BestSeconds <= 0 {
+		t.Fatalf("racing run returned no usable configuration: %+v", res)
+	}
+	// The winner's reported time is exact: re-measuring the returned script
+	// on a fresh instance reproduces BestSeconds.
+	db2, w2, err := Benchmark("tpch-1", Postgres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.ApplyScript(res.BestScript); err != nil {
+		t.Fatal(err)
+	}
+	// Summation order differs (DP-schedule order vs workload order), so
+	// allow float reassociation noise and nothing more.
+	if got := db2.WorkloadSeconds(w2); math.Abs(got-res.BestSeconds) > 1e-9 {
+		t.Errorf("re-measured workload time %v != reported BestSeconds %v", got, res.BestSeconds)
+	}
+	if res.Speedup() <= 1 {
+		t.Errorf("racing-selected configuration is not an improvement: speedup %v", res.Speedup())
+	}
+	_ = w
+}

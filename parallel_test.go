@@ -15,7 +15,7 @@ func tuneBench(t *testing.T, name string, parallelism int) *Result {
 		t.Fatal(err)
 	}
 	opts := DefaultOptions()
-	opts.Parallelism = parallelism
+	opts.Evaluation.Parallelism = parallelism
 	res, err := db.Tune(w, NewSimulatedLLM(1), opts)
 	if err != nil {
 		t.Fatalf("%s parallelism=%d: %v", name, parallelism, err)

@@ -1,0 +1,93 @@
+package lambdatune_test
+
+import (
+	"errors"
+	"testing"
+
+	"lambdatune"
+)
+
+// TestRacingCheckpointCrashResumeSweep kills a racing run after every
+// durable checkpoint in turn — including the rung-boundary saves the racing
+// strategy writes inside a selection round — and resumes each killed run;
+// every resumed run must reproduce the uninterrupted reference exactly.
+// It also proves the rung saves exist: a racing run checkpoints strictly
+// more often than a full-evaluation run of the same shape.
+func TestRacingCheckpointCrashResumeSweep(t *testing.T) {
+	const samples = 8
+	newRun := func() (*lambdatune.Database, *lambdatune.Workload) {
+		db, w, err := lambdatune.Benchmark("tpch-1", lambdatune.Postgres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db, w
+	}
+	baseOpts := func(strategy lambdatune.EvalStrategy) lambdatune.Options {
+		opts := lambdatune.DefaultOptions()
+		opts.Samples = samples
+		opts.Evaluation.Strategy = strategy
+		return opts
+	}
+
+	// Uninterrupted racing reference.
+	db, w := newRun()
+	want, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), baseOpts(lambdatune.Racing))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// countSaves runs with CrashAfterSaves = 1, 2, 3, … until the kill no
+	// longer fires (the run completed: every checkpoint has been exercised)
+	// and returns how many checkpoints the run writes. When check is set,
+	// each killed run is resumed and compared against the reference.
+	countSaves := func(strategy lambdatune.EvalStrategy, check bool) int {
+		for saves := 1; ; saves++ {
+			dir := t.TempDir()
+			db, w := newRun()
+			opts := baseOpts(strategy)
+			opts.Durability.CheckpointDir = dir
+			opts.Faults = &lambdatune.FaultPlan{CrashAfterSaves: saves}
+			_, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), opts)
+			if err == nil {
+				// The kill point never fired: saves-1 is the checkpoint count.
+				return saves - 1
+			}
+			if !errors.Is(err, lambdatune.ErrKilled) {
+				t.Fatalf("saves=%d: expected ErrKilled, got %v", saves, err)
+			}
+			if !check {
+				continue
+			}
+			db, w = newRun()
+			opts = baseOpts(strategy)
+			opts.Durability.CheckpointDir = dir
+			opts.Durability.Resume = true
+			opts.Faults = nil
+			got, err := db.Tune(w, lambdatune.NewSimulatedLLM(1), opts)
+			if err != nil {
+				t.Fatalf("saves=%d: resume: %v", saves, err)
+			}
+			if !got.Resumed {
+				t.Errorf("saves=%d: Resumed not reported", saves)
+			}
+			if got.BestScript != want.BestScript {
+				t.Errorf("saves=%d: resumed best script differs:\n--- want\n%s\n--- got\n%s",
+					saves, want.BestScript, got.BestScript)
+			}
+			if got.BestSeconds != want.BestSeconds {
+				t.Errorf("saves=%d: best seconds %v != %v", saves, got.BestSeconds, want.BestSeconds)
+			}
+			if got.TuningSeconds != want.TuningSeconds {
+				t.Errorf("saves=%d: tuning seconds %v != %v", saves, got.TuningSeconds, want.TuningSeconds)
+			}
+		}
+	}
+
+	racingSaves := countSaves(lambdatune.Racing, true)
+	fullSaves := countSaves(lambdatune.FullEvaluation, false)
+	t.Logf("checkpoint saves: racing %d, full %d", racingSaves, fullSaves)
+	if racingSaves <= fullSaves {
+		t.Errorf("racing run saved %d checkpoints, full run %d — rung-boundary saves missing",
+			racingSaves, fullSaves)
+	}
+}

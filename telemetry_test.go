@@ -17,14 +17,14 @@ func tuneTelemetry(t *testing.T, parallelism int) (*Result, *Trace, *Metrics) {
 	}
 	db.Instrument()
 	opts := DefaultOptions()
-	opts.Parallelism = parallelism
-	opts.Trace = NewTrace()
-	opts.Metrics = NewMetrics()
+	opts.Evaluation.Parallelism = parallelism
+	opts.Observability.Trace = NewTrace()
+	opts.Observability.Metrics = NewMetrics()
 	res, err := db.Tune(w, NewSimulatedLLM(1), opts)
 	if err != nil {
 		t.Fatalf("parallelism=%d: %v", parallelism, err)
 	}
-	return res, opts.Trace, opts.Metrics
+	return res, opts.Observability.Trace, opts.Observability.Metrics
 }
 
 // TestTelemetryUnderParallelEvaluation exercises the instrumented backend and
@@ -41,7 +41,7 @@ func TestTelemetryUnderParallelEvaluation(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := DefaultOptions()
-	opts.Parallelism = 4
+	opts.Evaluation.Parallelism = 4
 	plain, err := db.Tune(w, NewSimulatedLLM(1), opts)
 	if err != nil {
 		t.Fatal(err)
