@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check ci bench scaling bench-race chaos
+.PHONY: build vet test race verify fmt-check ci bench scaling bench-race bench-runtime chaos
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,10 @@ scaling:
 ## bench-race: the E14 racing-vs-full evaluation study; refreshes BENCH_race.json.
 bench-race:
 	$(GO) run ./cmd/benchrunner -exp race -race-json BENCH_race.json
+
+## bench-runtime: the E15 shared-runtime reuse study; refreshes BENCH_runtime.json.
+bench-runtime:
+	$(GO) run ./cmd/benchrunner -exp runtime -runtime-json BENCH_runtime.json
 
 ## chaos: the crash-recovery suite under the race detector — kill/resume at
 ## every checkpoint boundary, torn-write fallback, daemon drain/re-adopt.

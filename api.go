@@ -10,10 +10,8 @@ import (
 	"lambdatune/internal/backend/instrumented"
 	"lambdatune/internal/core/tuner"
 	"lambdatune/internal/engine"
-	"lambdatune/internal/faults"
 	"lambdatune/internal/llm"
 	"lambdatune/internal/obs"
-	"lambdatune/internal/runstate"
 	"lambdatune/internal/workload"
 )
 
@@ -121,6 +119,11 @@ func WithRetrieval(inner Client, corpus []Document) Client {
 // the bundled simulator by default (see DESIGN.md §8).
 type Database struct {
 	db backend.Backend
+	// rt / tkey link a database born from Runtime.Benchmark back to its warm
+	// template, so the runtime can adopt the job's plan cache afterwards.
+	// Zero for standalone databases.
+	rt   *Runtime
+	tkey templateKey
 }
 
 // NewDatabase creates a database from a schema description.
@@ -441,118 +444,16 @@ func (d *Database) Tune(w *Workload, client Client, opts Options) (*Result, erro
 // Errors: invalid opts return ErrInvalidOptions, a nil or empty workload
 // ErrEmptyWorkload, and a run whose every LLM sample failed
 // ErrNoUsableSample (all matchable with errors.Is).
+//
+// TuneContext is a one-shot Runtime: it builds a private shared-nothing
+// Runtime for exactly this run and tunes through it, so the standalone and
+// Runtime paths are one code path. Behavior is identical to pre-Runtime
+// releases — no admission gate, no tenant breaker, and a memo nobody else
+// can share.
 func (d *Database) TuneContext(ctx context.Context, w *Workload, client Client, opts Options) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := opts.Validate(); err != nil {
-		return nil, err
-	}
-	// Validate succeeded, so normalization cannot fail; from here on the
-	// grouped fields are authoritative and the flat aliases are zeroed.
-	opts, _ = opts.normalized()
-	if w == nil || len(w.queries) == 0 {
-		return nil, ErrEmptyWorkload
-	}
-	if client == nil {
-		return nil, fmt.Errorf("%w: nil Client", ErrInvalidOptions)
-	}
-	defaultSeconds := d.db.WorkloadSeconds(w.queries)
-	topts := opts.toTuner()
-	var (
-		store    *runstate.Store
-		fellBack bool
-	)
-	if opts.Durability.CheckpointDir != "" {
-		store = runstate.NewStore(opts.Durability.CheckpointDir, RunID(w.name, opts.Seed))
-		topts.Checkpoint = store
-		if opts.Durability.Resume {
-			st, fb, err := store.Load()
-			if err != nil {
-				return nil, fmt.Errorf("lambdatune: resume: %w", err)
-			}
-			fellBack = fb
-			topts.Resume = st
-		}
-	}
-	if opts.Observability.Metrics != nil {
-		// Instrumented databases feed the backend_* surface series and plan
-		// cache gauges into the run's registry.
-		if am, ok := d.db.(interface{ AttachMetrics(*obs.Registry) }); ok {
-			am.AttachMetrics(opts.Observability.Metrics.reg)
-		}
-	}
-	var inner llm.Client = client
-	if opts.Faults != nil {
-		fi, ok := d.db.(backend.FaultInjectable)
-		if !ok {
-			return nil, fmt.Errorf("%w: Faults require a fault-injectable backend, %T is not", ErrInvalidOptions, d.db)
-		}
-		seed := opts.Faults.Seed
-		if seed == 0 {
-			seed = opts.Seed
-		}
-		plan := faults.NewPlan(opts.Faults.LLMRate, opts.Faults.EngineRate)
-		inj := faults.NewInjector(plan, seed, d.db.Clock())
-		inj.SetTracer(topts.Trace)
-		fi.SetFaultInjector(inj)
-		defer fi.SetFaultInjector(nil)
-		// The injector wraps the raw client, so the resilience layer (added
-		// by the tuner on top) sees the injected faults as transport errors.
-		inner = llm.WithInterceptor(inner, inj)
-		// Every checkpoint carries the injector's RNG position, and a resumed
-		// run fast-forwards a fresh injector there — so the fault sequence
-		// after the crash matches the uninterrupted run's.
-		topts.DecorateState = func(st *runstate.State) {
-			s, draws, counts := inj.Snapshot()
-			st.Injector = &runstate.InjectorState{Seed: s, EngineDraws: draws, Counts: counts}
-		}
-		if rs := topts.Resume; rs != nil && rs.Injector != nil {
-			if rs.Injector.Seed != seed {
-				return nil, fmt.Errorf("%w: fault seed %d differs from checkpoint's %d",
-					runstate.ErrCheckpointMismatch, seed, rs.Injector.Seed)
-			}
-			inj.RestoreEngine(rs.Injector.EngineDraws, rs.Injector.Counts)
-		}
-		// Chaos kill points: simulate a crash right after a durable
-		// checkpoint — the bytes are on disk, the process "dies".
-		if k := (&faults.Killer{AfterRound: opts.Faults.CrashAfterRound,
-			AfterSaves: opts.Faults.CrashAfterSaves}); k.Armed() {
-			store.AfterSave = func(st *runstate.State) error {
-				round := 0
-				if st.Round != nil {
-					round = st.Round.Round
-				}
-				return k.AfterCheckpoint(round)
-			}
-		}
-	}
-	tn := tuner.New(d.db, inner, topts)
-	res, err := tn.Tune(ctx, w.queries)
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{
-		BestSeconds:        res.BestTime,
-		DefaultSeconds:     defaultSeconds,
-		TuningSeconds:      res.TuningSeconds,
-		EvalWallSeconds:    res.EvalWallSeconds,
-		PromptTokens:       res.Prompt.TotalTokens,
-		Candidates:         len(res.Candidates),
-		Warnings:           res.Warnings,
-		Faults:             FaultReport(res.Faults),
-		Telemetry:          toTelemetry(res.Telemetry),
-		Resumed:            opts.Durability.Resume,
-		CheckpointFellBack: fellBack,
-		best:               res.Best,
-	}
-	if res.Best != nil {
-		out.BestScript = res.Best.Script(d.db.Flavor())
-	}
-	for _, ev := range res.Progress {
-		out.Progress = append(out.Progress, ProgressPoint{TuningSeconds: ev.Clock, BestSeconds: ev.BestTime})
-	}
-	return out, nil
+	rt := NewRuntime(RuntimeOptions{})
+	defer rt.Close()
+	return rt.TuneContext(ctx, d, w, client, opts)
 }
 
 // Apply installs the tuning result's winning configuration on the database:

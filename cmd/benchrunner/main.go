@@ -19,11 +19,12 @@ import (
 	"time"
 
 	"lambdatune/internal/bench"
+	"lambdatune/internal/bench/runtimestudy"
 )
 
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling race all")
+		exp        = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling race runtime all")
 		trials     = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
 		seed       = flag.Int64("seed", 1, "base random seed")
 		burn       = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
@@ -33,6 +34,7 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		traceDir   = flag.String("trace-dir", "", "write one JSONL span trace per λ-Tune run into this directory (inspect with `lambdatune trace-summary`)")
 		raceJSON   = flag.String("race-json", "", "also write the E14 racing study as machine-readable JSON to this file")
+		rtJSON     = flag.String("runtime-json", "", "also write the E15 shared-runtime study as machine-readable JSON to this file")
 	)
 	flag.Parse()
 
@@ -257,9 +259,23 @@ func main() {
 			return bench.RenderRace(s), nil
 		})
 	}
+	if all || *exp == "runtime" {
+		run("Shared-runtime study (E15) — cross-job memo reuse vs isolated runs", func() (string, error) {
+			s, err := runtimestudy.Run(*seed, runtimestudy.Jobs)
+			if err != nil {
+				return "", err
+			}
+			if *rtJSON != "" {
+				if err := runtimestudy.ExportJSON(*rtJSON, s); err != nil {
+					return "", err
+				}
+			}
+			return runtimestudy.Render(s), nil
+		})
+	}
 	if !all {
 		switch *exp {
-		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling", "race":
+		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling", "race", "runtime":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)

@@ -98,6 +98,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// One runtime hosts the run; for this one-shot CLI it behaves exactly
+	// like the standalone path, and keeps the CLI on the same pipeline the
+	// lambdatuned service uses.
+	rt := lambdatune.NewRuntime(lambdatune.RuntimeOptions{})
+	defer rt.Close()
+
 	var (
 		db  *lambdatune.Database
 		w   *lambdatune.Workload
@@ -118,7 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			w, err = lambdatune.LoadQueriesDir(*queries)
 		}
 	} else {
-		db, w, err = lambdatune.Benchmark(*benchmark, flavor)
+		db, w, err = rt.Benchmark(*benchmark, flavor)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -187,7 +193,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// stop within one query execution.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	res, err := db.TuneContext(ctx, w, client, opts)
+	res, err := rt.TuneContext(ctx, db, w, client, opts)
 	if trace != nil {
 		// The trace is written even when the run failed: whatever spans were
 		// recorded up to the error are worth inspecting.

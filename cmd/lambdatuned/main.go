@@ -16,11 +16,19 @@
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 //	GET  /v1/jobs/{id}/stream  live progress lines until the job ends
 //
-// Unversioned /jobs* paths from the previous release answer with a 308
-// Permanent Redirect to their /v1 twin.
+// Unknown paths — including the removed pre-/v1 unversioned /jobs* routes —
+// answer 404 with the APIError JSON envelope.
 //
-//	GET  /healthz, /readyz     liveness / readiness (503 while draining)
-//	GET  /metrics              Prometheus text exposition
+//	GET  /healthz, /readyz     liveness / readiness (503 + typed draining envelope while draining)
+//	GET  /metrics              Prometheus text exposition (service_* and runtime_* series)
+//
+// All jobs run on one shared tuning runtime: jobs over the same benchmark
+// and DBMS share plan caches and schedule memos (wall-time savings only;
+// per-job results are identical to isolated runs), while per-tenant LLM
+// breaker state and memo namespaces stay isolated. -eval-slots bounds the
+// evaluation workers running concurrently across all jobs, and the
+// -tenant-* flags configure the per-tenant LLM circuit breaker and
+// in-flight bound (all off by default).
 package main
 
 import (
@@ -35,7 +43,7 @@ import (
 	"syscall"
 	"time"
 
-	"lambdatune/internal/obs"
+	"lambdatune"
 	"lambdatune/internal/service"
 )
 
@@ -63,6 +71,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ratePerSec = fs.Float64("rate-per-second", 1, "per-tenant enqueue refill rate, tokens/second")
 		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 		quiet      = fs.Bool("quiet", false, "suppress per-job operational logs")
+
+		evalSlots        = fs.Int("eval-slots", 0, "evaluation workers running concurrently across all jobs (0 = unbounded)")
+		breakerThreshold = fs.Int("tenant-breaker-threshold", 0, "consecutive LLM failures tripping a tenant's circuit breaker (0 = off)")
+		breakerCooldown  = fs.Duration("tenant-breaker-cooldown", 30*time.Second, "wall-clock time a tripped tenant breaker stays open")
+		maxInFlight      = fs.Int("tenant-max-inflight", 0, "per-tenant concurrent LLM calls (0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,7 +92,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *quiet {
 		joblog = func(string, ...any) {}
 	}
-	reg := obs.NewRegistry()
+	// One registry backs both the runtime_* and service_* series, so the
+	// /metrics exposition shows the shared runtime next to the job table.
+	rtMetrics := lambdatune.NewMetrics()
+	reg := rtMetrics.Registry()
+	rt := lambdatune.NewRuntime(lambdatune.RuntimeOptions{
+		EvalSlots:              *evalSlots,
+		TenantBreakerThreshold: *breakerThreshold,
+		TenantBreakerCooldown:  *breakerCooldown,
+		TenantMaxInFlight:      *maxInFlight,
+		Metrics:                rtMetrics,
+	})
+	defer rt.Close()
 	m, err := service.Open(service.Config{
 		DataDir:       *dataDir,
 		Workers:       *workers,
@@ -87,6 +111,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RateBurst:     *rateBurst,
 		RatePerSecond: *ratePerSec,
 		Metrics:       reg,
+		Runtime:       rt,
 		Logf:          joblog,
 	})
 	if err != nil {

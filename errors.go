@@ -48,6 +48,10 @@ var (
 	// taken by a different run — another workload, other selection-relevant
 	// options, or another fault seed.
 	ErrCheckpointMismatch = runstate.ErrCheckpointMismatch
+
+	// ErrRuntimeClosed reports a Benchmark or Tune call on a Runtime after
+	// Close. In-flight jobs at Close time still finish normally.
+	ErrRuntimeClosed = errors.New("lambdatune: runtime closed")
 )
 
 // ConfigRejectedError reports a configuration script (an LLM response or an

@@ -1,0 +1,193 @@
+// Package runtimestudy implements E15 — the shared-runtime reuse study.
+//
+// N similar jobs (same benchmark, same DBMS, same seed) run twice: first
+// isolated, each on its own standalone pipeline; then concurrently on one
+// shared Runtime, one tenant per job. The study pins the two properties the
+// shared runtime promises:
+//
+//  1. Determinism: every job's result (best script, best/default workload
+//     seconds, virtual tuning cost) is byte-identical to its isolated run —
+//     cross-job memo and plan-cache reuse moves host wall time only.
+//  2. Reuse: the cross-job memo hit rate is well above zero (the acceptance
+//     bar is > 50% for N=8 identical jobs: all but the first job's lookups
+//     should land on entries some other job computed).
+//
+// The package lives outside internal/bench because it exercises the public
+// Runtime API: internal/bench is imported by the root package's in-package
+// benches, so importing the root package from there would be a cycle.
+package runtimestudy
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"lambdatune"
+)
+
+// Jobs is N, the job count of the full E15 study.
+const Jobs = 8
+
+// JobRow is one job's outcome under the shared runtime.
+type JobRow struct {
+	Job    int    `json:"job"`
+	Tenant string `json:"tenant"`
+	// BestSeconds / TuningSeconds are virtual-clock results — the fields the
+	// determinism contract pins (along with the best script, compared but
+	// not serialized in full).
+	BestSeconds   float64 `json:"best_time_s"`
+	TuningSeconds float64 `json:"tuning_s"`
+	// Identical reports the job's full result matched its isolated run.
+	Identical bool `json:"identical_to_isolated_run"`
+}
+
+// Study is the E15 artifact.
+type Study struct {
+	Benchmark string `json:"benchmark"`
+	Jobs      int    `json:"jobs"`
+	Seed      int64  `json:"seed"`
+	// IsolatedWallSeconds / SharedWallSeconds are host wall-clock totals for
+	// the N jobs: isolated runs back to back vs concurrent on the shared
+	// runtime. Wall time is hardware-dependent; the JSON records it for
+	// context, never as an acceptance bar.
+	IsolatedWallSeconds float64 `json:"isolated_wall_seconds"`
+	SharedWallSeconds   float64 `json:"shared_wall_seconds"`
+	// Memo counters aggregated over the runtime's namespaces.
+	MemoLookups      uint64 `json:"memo_lookups"`
+	MemoHits         uint64 `json:"memo_hits"`
+	MemoCrossJobHits uint64 `json:"memo_cross_job_hits"`
+	// CrossJobHitRate is MemoCrossJobHits / MemoLookups.
+	CrossJobHitRate float64 `json:"cross_job_hit_rate"`
+	// HitRatePositive / IdenticalToIsolated are the CI smoke booleans.
+	HitRatePositive     bool     `json:"hit_rate_positive"`
+	IdenticalToIsolated bool     `json:"identical_to_isolated"`
+	PerJob              []JobRow `json:"per_job"`
+}
+
+// resultKey condenses a run's deterministic outcome for equality checks.
+func resultKey(r *lambdatune.Result) string {
+	return fmt.Sprintf("best=%q bestSeconds=%.17g defaultSeconds=%.17g tuningSeconds=%.17g candidates=%d",
+		r.BestScript, r.BestSeconds, r.DefaultSeconds, r.TuningSeconds, r.Candidates)
+}
+
+func jobOptions(seed int64, tenant string) lambdatune.Options {
+	opts := lambdatune.DefaultOptions()
+	opts.Seed = seed
+	opts.Evaluation.Parallelism = 2
+	opts.Tenant = tenant
+	return opts
+}
+
+// Run executes the study: jobs isolated runs, then the same jobs concurrent
+// on one shared Runtime.
+func Run(seed int64, jobs int) (*Study, error) {
+	s := &Study{Benchmark: "tpch-1", Jobs: jobs, Seed: seed}
+
+	// Phase 1: isolated baseline, one standalone pipeline per job.
+	isolated := make([]string, jobs)
+	start := time.Now()
+	for i := range isolated {
+		db, w, err := lambdatune.Benchmark(s.Benchmark, lambdatune.Postgres)
+		if err != nil {
+			return nil, err
+		}
+		res, err := db.Tune(w, lambdatune.NewSimulatedLLM(seed), jobOptions(seed, ""))
+		if err != nil {
+			return nil, fmt.Errorf("isolated job %d: %w", i, err)
+		}
+		isolated[i] = resultKey(res)
+	}
+	s.IsolatedWallSeconds = time.Since(start).Seconds()
+
+	// Phase 2: the same jobs, concurrent on one shared runtime, one tenant
+	// each. EvalSlots bounds the combined evaluation workers at the job
+	// count, so the gate sees real contention.
+	rt := lambdatune.NewRuntime(lambdatune.RuntimeOptions{EvalSlots: jobs})
+	defer rt.Close()
+	results := make([]*lambdatune.Result, jobs)
+	errs := make([]error, jobs)
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			db, w, err := rt.Benchmark(s.Benchmark, lambdatune.Postgres)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			tenant := fmt.Sprintf("tenant-%d", i)
+			results[i], errs[i] = rt.TuneContext(context.Background(), db, w,
+				lambdatune.NewSimulatedLLM(seed), jobOptions(seed, tenant))
+		}(i)
+	}
+	wg.Wait()
+	s.SharedWallSeconds = time.Since(start).Seconds()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shared job %d: %w", i, err)
+		}
+	}
+
+	s.IdenticalToIsolated = true
+	for i, res := range results {
+		row := JobRow{
+			Job:           i,
+			Tenant:        fmt.Sprintf("tenant-%d", i),
+			BestSeconds:   res.BestSeconds,
+			TuningSeconds: res.TuningSeconds,
+			Identical:     resultKey(res) == isolated[i],
+		}
+		if !row.Identical {
+			s.IdenticalToIsolated = false
+		}
+		s.PerJob = append(s.PerJob, row)
+	}
+	st := rt.Stats()
+	s.MemoLookups = st.MemoLookups
+	s.MemoHits = st.MemoHits
+	s.MemoCrossJobHits = st.MemoCrossJobHits
+	s.CrossJobHitRate = st.CrossJobHitRate()
+	s.HitRatePositive = s.MemoCrossJobHits > 0
+	return s, nil
+}
+
+// Render prints the study as a table.
+func Render(s *Study) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "E15 shared-runtime reuse, %d × %s / Postgres, seed %d\n",
+		s.Jobs, s.Benchmark, s.Seed)
+	fmt.Fprintf(&b, "%4s %10s %10s %9s %10s\n", "job", "tenant", "best_s", "tuning_s", "identical")
+	for _, r := range s.PerJob {
+		fmt.Fprintf(&b, "%4d %10s %10.3f %9.1f %10v\n", r.Job, r.Tenant, r.BestSeconds, r.TuningSeconds, r.Identical)
+	}
+	fmt.Fprintf(&b, "wall: %.2fs isolated → %.2fs shared (concurrent)\n",
+		s.IsolatedWallSeconds, s.SharedWallSeconds)
+	fmt.Fprintf(&b, "memo: %d lookups, %d hits, %d cross-job hits (rate %.1f%%)\n",
+		s.MemoLookups, s.MemoHits, s.MemoCrossJobHits, 100*s.CrossJobHitRate)
+	return b.String()
+}
+
+// ExportJSON writes the study as the BENCH_runtime.json artifact checked by
+// CI (`make bench-runtime`).
+func ExportJSON(path string, s *Study) error {
+	doc := struct {
+		Description string `json:"description"`
+		Collected   string `json:"collected"`
+		Study       *Study `json:"study"`
+	}{
+		Description: "E15 — cross-job reuse on the shared Runtime: N identical jobs concurrent on one runtime vs isolated, comparing per-job results (must be identical; reuse is wall-time-only) and the cross-job memo hit rate. Regenerate with `make bench-runtime`.",
+		Collected:   time.Now().UTC().Format("2006-01-02"),
+		Study:       s,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

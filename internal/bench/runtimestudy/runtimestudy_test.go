@@ -1,0 +1,26 @@
+package runtimestudy
+
+import "testing"
+
+// TestRuntimeStudySmall runs a reduced E15 (4 jobs) and asserts the
+// determinism and reuse contracts hold.
+func TestRuntimeStudySmall(t *testing.T) {
+	s, err := Run(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IdenticalToIsolated {
+		for _, r := range s.PerJob {
+			if !r.Identical {
+				t.Errorf("job %d diverged from its isolated run", r.Job)
+			}
+		}
+		t.Fatal("shared-runtime results are not identical to isolated runs")
+	}
+	if s.MemoCrossJobHits == 0 {
+		t.Fatalf("no cross-job memo hits across %d identical jobs: %+v", s.Jobs, s)
+	}
+	if !s.HitRatePositive {
+		t.Fatal("hit_rate_positive is false despite cross-job hits")
+	}
+}

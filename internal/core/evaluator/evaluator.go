@@ -75,6 +75,16 @@ type Evaluator struct {
 	// RecordTimes makes Evaluate record each completed query's execution
 	// seconds in meta.QueryTimes (racing's surrogate fits from them).
 	RecordTimes bool
+	// Owner names the tuning job this evaluator works for ("" outside a
+	// shared Runtime). It attributes shared-memo entries and slot leases to
+	// the job for cross-job telemetry and fair scheduling; it never affects
+	// virtual-clock outcomes.
+	Owner string
+	// Slots, when non-nil, is the Runtime's cross-job admission gate: each
+	// Evaluate pass holds one slot while it runs. The gate bounds host
+	// concurrency only — logical parallelism and every virtual-clock outcome
+	// are identical at any slot count.
+	Slots *SharedSlots
 	// FreeIndexes lists index keys (engine.IndexDef.Key) whose build cost
 	// another candidate in the same racing rung already paid: they are
 	// created without advancing the virtual clock and dropped when the
@@ -151,6 +161,13 @@ func queryIndexDefs(q *engine.Query, cfg *engine.Config, cols map[string]bool) [
 // The caller is responsible for having applied cfg's parameters and dropped
 // any transient indexes of prior configurations (see Apply).
 func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []*engine.Query, timeout float64, meta *ConfigMeta) {
+	release, err := e.Slots.Acquire(ctx, e.Owner)
+	if err != nil {
+		// Canceled while waiting for a slot: nothing ran, nothing changes.
+		meta.IsComplete = false
+		return
+	}
+	defer release()
 	remaining := timeout
 	created := map[string]bool{}
 	for _, ix := range e.DB.Indexes() {
@@ -164,11 +181,11 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 	// span is a point on the virtual axis; the wall annotation carries the
 	// real cost, and the memo-hit attributes explain it.
 	schedSpan := e.startSpan("schedule", clock.Now())
-	indexMap, mapHit := e.Memo.queryIndexMap(queries, cfg)
+	indexMap, mapHit := e.Memo.queryIndexMap(queries, cfg, e.Owner)
 	ordered := queries
 	orderHit := false
 	if e.UseScheduler {
-		ordered, orderHit = e.Memo.sched().OrderWithHit(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
+		ordered, orderHit = e.Memo.order(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed, e.Owner)
 	}
 	// Memo hits depend on which pool worker warmed the shared memo first, so
 	// they are annotations, not part of the deterministic trace shape.
@@ -243,11 +260,11 @@ func (e *Evaluator) Evaluate(ctx context.Context, cfg *engine.Config, queries []
 // first (index-creation estimates read the live configuration). With the
 // scheduler off the given order comes back unchanged.
 func (e *Evaluator) Schedule(queries []*engine.Query, cfg *engine.Config) []*engine.Query {
-	indexMap, _ := e.Memo.queryIndexMap(queries, cfg)
+	indexMap, _ := e.Memo.queryIndexMap(queries, cfg, e.Owner)
 	if !e.UseScheduler {
 		return queries
 	}
-	ordered, _ := e.Memo.sched().OrderWithHit(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed)
+	ordered, _ := e.Memo.order(queries, indexMap, e.DB.IndexCreationSeconds, e.Seed, e.Owner)
 	return ordered
 }
 

@@ -1,86 +1,211 @@
 package evaluator
 
 import (
+	"sort"
+	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lambdatune/internal/core/schedule"
 	"lambdatune/internal/engine"
+	"lambdatune/internal/obs"
 )
 
-// Memo caches the evaluator's pure per-round recomputations across rounds.
-// The selector re-evaluates every incomplete configuration each round, and a
-// round's preamble — the query→index relevance map and the DP schedule — is
-// a pure function of inputs that mostly repeat between rounds. Like the
-// engine's plan cache, the memo changes host CPU time only: a hit returns
-// exactly what the recomputation would.
+// Memo caches the evaluator's pure per-round recomputations across rounds —
+// and, when owned by a shared Runtime, across whole tuning jobs. The selector
+// re-evaluates every incomplete configuration each round, and a round's
+// preamble — the query→index relevance map and the DP schedule — is a pure
+// function of inputs that mostly repeat between rounds (and repeat wholesale
+// between jobs tuning the same schema and workload). Like the engine's plan
+// cache, the memo changes host CPU time only: a hit returns exactly what the
+// recomputation would.
 //
 // Two layers live here:
 //
 //   - queryIndexMap memoizes per-(configuration, query) relevance slices.
 //     Relevance reads nothing but the query's analysis and cfg.Indexes, both
-//     immutable after construction, so entries never invalidate.
-//   - sched is the schedule.Memo for DP orderings, which folds every backend
-//     value the DP reads into its key (see schedule.Memo).
+//     immutable after construction, so entries are keyed by content — the
+//     sorted index keys of the configuration plus the query name — and never
+//     invalidate. Within a private (single-run) memo a hit additionally
+//     requires pointer identity on the query, preserving pre-runtime
+//     semantics; a shared memo trusts names because its namespace key (catalog
+//     fingerprint + workload digest) pins each name to one SQL body.
+//   - the schedule.Memo for DP orderings, which folds every backend value the
+//     DP reads into its key (see schedule.Memo and OrderScoped).
 //
 // A Memo is safe for concurrent use and is shared across the parallel
 // evaluator's workers. Construction is gated on the backend's plan-cache
 // toggle (see New), so one switch governs every memoization layer.
 type Memo struct {
 	s *schedule.Memo
+	// shared marks a Runtime-owned memo probed by many jobs (see
+	// NewSharedMemo); ns/reg feed the per-namespace runtime_* counters.
+	shared bool
+	ns     string
+	reg    *obs.Registry
 
 	mu   sync.Mutex
-	maps map[*engine.Config]map[*engine.Query][]engine.IndexDef
-	cols map[string]bool // scratch for queryIndexDefs, guarded by mu
+	maps map[string]map[string]relevanceEntry // config content key → query name
+	keys map[*engine.Config]string            // config → content key, guarded by mu
+	cols map[string]bool                      // scratch for queryIndexDefs, guarded by mu
+
+	lookups      atomic.Uint64
+	hits         atomic.Uint64
+	crossJobHits atomic.Uint64
 }
+
+// relevanceEntry is one memoized relevance slice with the query pointer that
+// computed it (the private-memo identity guard) and the owning job.
+type relevanceEntry struct {
+	q     *engine.Query
+	owner string
+	defs  []engine.IndexDef
+}
+
+// MemoStats is a point-in-time snapshot of the memo's hit accounting,
+// aggregated over both layers (relevance and DP ordering).
+type MemoStats struct {
+	// Lookups counts probes: one per (query, configuration) relevance lookup
+	// plus one per DP-ordering request.
+	Lookups uint64
+	// Hits counts probes served from the memo; Misses = Lookups - Hits.
+	Hits uint64
+	// CrossJobHits counts hits on entries computed by a different job — the
+	// shared Runtime's reuse signal. Always 0 for a private memo.
+	CrossJobHits uint64
+}
+
+// Misses returns Lookups - Hits.
+func (s MemoStats) Misses() uint64 { return s.Lookups - s.Hits }
 
 // memoMaxConfigs bounds the relevance-map layer; overflow clears it (a
 // selector run touches Samples+1 configurations, far below the bound).
 const memoMaxConfigs = 64
 
-// NewMemo returns an empty evaluator memo.
+// NewMemo returns an empty private evaluator memo (single-run semantics).
 func NewMemo() *Memo {
 	return &Memo{s: schedule.NewMemo(), cols: map[string]bool{}}
 }
 
-// sched returns the schedule-order memo (nil for a nil receiver, which
-// schedule.Memo treats as "memoization off").
-func (m *Memo) sched() *schedule.Memo {
+// NewSharedMemo returns a memo owned by a shared Runtime namespace: hits may
+// cross job boundaries (callers pass their job ID as owner), and when reg is
+// non-nil the memo publishes per-namespace counters
+// runtime_memo_{hits,misses,cross_job_hits}_total_<ns>.
+func NewSharedMemo(ns string, reg *obs.Registry) *Memo {
+	m := NewMemo()
+	m.shared = true
+	m.ns = ns
+	m.reg = reg
+	return m
+}
+
+// Stats returns the memo's current hit accounting (zero value for nil).
+func (m *Memo) Stats() MemoStats {
 	if m == nil {
-		return nil
+		return MemoStats{}
 	}
-	return m.s
+	return MemoStats{
+		Lookups:      m.lookups.Load(),
+		Hits:         m.hits.Load(),
+		CrossJobHits: m.crossJobHits.Load(),
+	}
+}
+
+// record folds one batch of probe outcomes into the counters and, for a
+// shared memo with a registry, the per-namespace runtime_* series.
+func (m *Memo) record(lookups, hits, cross uint64) {
+	m.lookups.Add(lookups)
+	m.hits.Add(hits)
+	m.crossJobHits.Add(cross)
+	if m.reg != nil {
+		m.reg.Counter("runtime_memo_hits_total_" + m.ns).Add(float64(hits))
+		m.reg.Counter("runtime_memo_misses_total_" + m.ns).Add(float64(lookups - hits))
+		m.reg.Counter("runtime_memo_cross_job_hits_total_" + m.ns).Add(float64(cross))
+	}
+}
+
+// configKey returns cfg's content key — its index keys, sorted and joined —
+// caching the string per configuration pointer. Relevance reads nothing of a
+// configuration but its index set, so configurations with equal index sets
+// may share relevance entries. Caller holds m.mu.
+func (m *Memo) configKey(cfg *engine.Config) string {
+	if k, ok := m.keys[cfg]; ok {
+		return k
+	}
+	ks := make([]string, len(cfg.Indexes))
+	for i, ix := range cfg.Indexes {
+		ks[i] = ix.Key()
+	}
+	sort.Strings(ks)
+	k := strings.Join(ks, "\x00")
+	if m.keys == nil {
+		m.keys = make(map[*engine.Config]string, 8)
+	}
+	m.keys[cfg] = k
+	return k
 }
 
 // queryIndexMap is the memoizing front of QueryIndexMap. A nil receiver
-// degrades to the plain computation. Cached relevance slices are shared
-// between rounds and must be treated as read-only — every consumer
-// (Evaluate's lazy creation loop, the scheduler) only iterates them.
-// The bool reports a full memo hit (every query served from cache) for
-// telemetry.
-func (m *Memo) queryIndexMap(queries []*engine.Query, cfg *engine.Config) (map[*engine.Query][]engine.IndexDef, bool) {
+// degrades to the plain computation. owner names the probing job ("" for
+// single-run use). Cached relevance slices are shared between rounds (and,
+// on a shared memo, between jobs) and must be treated as read-only — every
+// consumer (Evaluate's lazy creation loop, the scheduler) only iterates
+// them. The bool reports a full memo hit (every query served from cache)
+// for telemetry.
+func (m *Memo) queryIndexMap(queries []*engine.Query, cfg *engine.Config, owner string) (map[*engine.Query][]engine.IndexDef, bool) {
 	if m == nil {
 		return QueryIndexMap(queries, cfg), false
 	}
 	out := make(map[*engine.Query][]engine.IndexDef, len(queries))
+	var hits, cross uint64
 	m.mu.Lock()
-	per := m.maps[cfg]
+	key := m.configKey(cfg)
+	per := m.maps[key]
 	if per == nil {
 		if m.maps == nil || len(m.maps) >= memoMaxConfigs {
-			m.maps = make(map[*engine.Config]map[*engine.Query][]engine.IndexDef, 8)
+			m.maps = make(map[string]map[string]relevanceEntry, 8)
+			m.keys = nil // the key cache is only useful alongside its entries
+			key = m.configKey(cfg)
 		}
-		per = make(map[*engine.Query][]engine.IndexDef, len(queries))
-		m.maps[cfg] = per
+		per = make(map[string]relevanceEntry, len(queries))
+		m.maps[key] = per
 	}
-	hit := true
+	full := true
 	for _, q := range queries {
-		defs, ok := per[q]
-		if !ok {
-			hit = false
-			defs = queryIndexDefs(q, cfg, m.cols)
-			per[q] = defs
+		e, ok := per[q.Name]
+		if ok && (e.q == q || m.shared) {
+			hits++
+			if m.shared && e.owner != owner {
+				cross++
+			}
+			out[q] = e.defs
+			continue
 		}
+		full = false
+		defs := queryIndexDefs(q, cfg, m.cols)
+		per[q.Name] = relevanceEntry{q: q, owner: owner, defs: defs}
 		out[q] = defs
 	}
 	m.mu.Unlock()
+	m.record(uint64(len(queries)), hits, cross)
+	return out, full
+}
+
+// order is the memoizing front of schedule.Order, threading the probing job
+// through to the scoped schedule memo. A nil receiver degrades to the plain
+// DP. The bool reports a memo hit.
+func (m *Memo) order(queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef, cost schedule.IndexCost, seed int64, owner string) ([]*engine.Query, bool) {
+	if m == nil {
+		return schedule.Order(queries, indexMap, cost, seed), false
+	}
+	out, hit, cross := m.s.OrderScoped(owner, queries, indexMap, cost, seed)
+	var h, c uint64
+	if hit {
+		h = 1
+	}
+	if cross {
+		c = 1
+	}
+	m.record(1, h, c)
 	return out, hit
 }

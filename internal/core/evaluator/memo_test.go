@@ -31,7 +31,7 @@ func TestMemoQueryIndexMapMatchesPlain(t *testing.T) {
 		for _, cfg := range []*engine.Config{cfgA, cfgB} {
 			for _, qs := range [][]*engine.Query{queries, queries[:3], queries[2:]} {
 				want := QueryIndexMap(qs, cfg)
-				got, hit := m.queryIndexMap(qs, cfg)
+				got, hit := m.queryIndexMap(qs, cfg, "")
 				if rep > 0 && !hit {
 					t.Fatalf("cfg %s rep %d: expected a full memo hit", cfg.ID, rep)
 				}
@@ -54,7 +54,7 @@ func TestMemoQueryIndexMapNil(t *testing.T) {
 	q := mustQuery(t, "q", "SELECT * FROM t0 WHERE c0 > 5")
 	cfg := &engine.Config{ID: "a", Indexes: []engine.IndexDef{engine.NewIndexDef("t0", "c0")}}
 	var m *Memo
-	got, _ := m.queryIndexMap([]*engine.Query{q}, cfg)
+	got, _ := m.queryIndexMap([]*engine.Query{q}, cfg, "")
 	want := QueryIndexMap([]*engine.Query{q}, cfg)
 	if !reflect.DeepEqual(got[q], want[q]) {
 		t.Fatalf("got %v want %v", got[q], want[q])

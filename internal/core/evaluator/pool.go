@@ -49,6 +49,12 @@ type Pool struct {
 	// RecordTimes mirrors Evaluator.RecordTimes onto every worker (racing's
 	// surrogate needs per-query observations from replica work too).
 	RecordTimes bool
+	// Owner / Slots mirror Evaluator.Owner and Evaluator.Slots onto every
+	// worker: all of a job's workers lease from the Runtime's shared gate
+	// under the job's name. Wall-clock only — worker count and clock merging
+	// are unchanged at any slot capacity.
+	Owner string
+	Slots *SharedSlots
 	// Logf, when set, receives the pool's degradation notices (default
 	// log.Printf).
 	Logf func(format string, args ...any)
@@ -68,6 +74,8 @@ func NewPool(e *Evaluator, workers int) *Pool {
 		Trace:        e.Trace,
 		Metrics:      e.Metrics,
 		RecordTimes:  e.RecordTimes,
+		Owner:        e.Owner,
+		Slots:        e.Slots,
 	}
 }
 
@@ -141,6 +149,8 @@ func (p *Pool) Run(ctx context.Context, tasks []Task) (float64, error) {
 				Trace:        p.Trace,
 				Metrics:      p.Metrics,
 				RecordTimes:  p.RecordTimes,
+				Owner:        p.Owner,
+				Slots:        p.Slots,
 			}
 			start := snap.Clock().Now()
 			for i := w; i < len(tasks); i += workers {
@@ -180,6 +190,8 @@ func (p *Pool) runSequential(ctx context.Context, tasks []Task) (float64, error)
 		Trace:        p.Trace,
 		Metrics:      p.Metrics,
 		RecordTimes:  p.RecordTimes,
+		Owner:        p.Owner,
+		Slots:        p.Slots,
 	}
 	start := p.DB.Clock().Now()
 	for _, t := range tasks {

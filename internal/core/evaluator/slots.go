@@ -1,0 +1,172 @@
+package evaluator
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"lambdatune/internal/obs"
+)
+
+// SharedSlots is the Runtime's cross-job evaluation admission gate: a
+// fair counting semaphore that bounds how many evaluation workers execute
+// simulated queries concurrently across every job sharing a Runtime.
+//
+// The gate is strictly a wall-clock throttle. Each job keeps its logical
+// Parallelism — the pool still spawns Parallelism workers and merges their
+// virtual clocks identically — a slot only decides when a worker's host CPU
+// burst runs. Virtual-clock outcomes are therefore byte-identical at any
+// slot count, including zero contention (see the pool's determinism notes).
+//
+// Fairness is per job, round-robin: each job has a FIFO queue of waiting
+// workers, and a released slot is granted to the next job in rotation, so a
+// job with many workers cannot starve a job with one.
+//
+// A nil *SharedSlots is a no-op gate (Acquire returns immediately), so the
+// single-run path pays one nil check and nothing else.
+type SharedSlots struct {
+	reg *obs.Registry
+
+	mu      sync.Mutex
+	cap     int
+	inUse   int
+	waiters map[string][]chan struct{}
+	ring    []string // jobs with pending waiters, in round-robin rotation
+	next    int      // ring index of the job served next
+}
+
+// NewSharedSlots builds a gate admitting capacity concurrent evaluation
+// workers. capacity <= 0 returns nil — the unbounded no-op gate. When reg is
+// non-nil the gate publishes runtime_pool_* metrics (lease counts, in-use
+// gauge, wall-clock lease wait histogram).
+func NewSharedSlots(capacity int, reg *obs.Registry) *SharedSlots {
+	if capacity <= 0 {
+		return nil
+	}
+	return &SharedSlots{cap: capacity, reg: reg, waiters: make(map[string][]chan struct{})}
+}
+
+// Acquire blocks until a slot is free (fair per-job rotation) or ctx is
+// done, and returns an idempotent release function. job attributes the wait
+// to a fairness queue ("" is a valid shared anonymous queue).
+func (s *SharedSlots) Acquire(ctx context.Context, job string) (func(), error) {
+	if s == nil {
+		return func() {}, nil
+	}
+	start := time.Now()
+	s.mu.Lock()
+	if s.inUse < s.cap {
+		s.inUse++
+		inUse := s.inUse
+		s.mu.Unlock()
+		s.observe(start, inUse)
+		return s.releaseFunc(), nil
+	}
+	ch := make(chan struct{})
+	s.waiters[job] = append(s.waiters[job], ch)
+	if len(s.waiters[job]) == 1 {
+		s.ring = append(s.ring, job)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-ch:
+		// The releaser transferred its slot to us; inUse stays constant.
+		s.observe(start, -1)
+		return s.releaseFunc(), nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		removed := false
+		q := s.waiters[job]
+		for i, c := range q {
+			if c == ch {
+				s.waiters[job] = append(q[:i:i], q[i+1:]...)
+				removed = true
+				break
+			}
+		}
+		if removed && len(s.waiters[job]) == 0 {
+			delete(s.waiters, job)
+			s.dropFromRing(job)
+		}
+		s.mu.Unlock()
+		if !removed {
+			// Lost the race: a slot was granted concurrently with the
+			// cancellation. Hand it straight back.
+			<-ch
+			s.release()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// releaseFunc wraps release in a sync.Once so double-release (defer plus
+// explicit) cannot corrupt the count.
+func (s *SharedSlots) releaseFunc() func() {
+	var once sync.Once
+	return func() { once.Do(s.release) }
+}
+
+// release grants the freed slot to the next waiting job in rotation, or
+// decrements inUse when nobody waits.
+func (s *SharedSlots) release() {
+	s.mu.Lock()
+	for len(s.ring) > 0 {
+		if s.next >= len(s.ring) {
+			s.next = 0
+		}
+		job := s.ring[s.next]
+		q := s.waiters[job]
+		if len(q) == 0 {
+			// Defensive: a job left the ring's queue without leaving the ring.
+			s.ring = append(s.ring[:s.next:s.next], s.ring[s.next+1:]...)
+			delete(s.waiters, job)
+			continue
+		}
+		ch := q[0]
+		s.waiters[job] = q[1:]
+		if len(s.waiters[job]) == 0 {
+			delete(s.waiters, job)
+			s.ring = append(s.ring[:s.next:s.next], s.ring[s.next+1:]...)
+			// next now points at the element after the removed one.
+		} else {
+			s.next++
+		}
+		s.mu.Unlock()
+		close(ch) // transfer the slot without touching inUse
+		return
+	}
+	s.inUse--
+	inUse := s.inUse
+	s.mu.Unlock()
+	if s.reg != nil {
+		s.reg.Gauge("runtime_pool_slots_in_use").Set(float64(inUse))
+	}
+}
+
+// dropFromRing removes job from the rotation, keeping next pointed at the
+// same successor. Caller holds s.mu.
+func (s *SharedSlots) dropFromRing(job string) {
+	for i, j := range s.ring {
+		if j == job {
+			s.ring = append(s.ring[:i:i], s.ring[i+1:]...)
+			if s.next > i {
+				s.next--
+			}
+			return
+		}
+	}
+}
+
+// observe publishes one granted lease: wall wait seconds and, when known,
+// the in-use level (inUse < 0 means "transferred, level unchanged").
+func (s *SharedSlots) observe(start time.Time, inUse int) {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Counter("runtime_pool_leases_total").Inc()
+	s.reg.Histogram("runtime_pool_lease_wait_seconds").Observe(time.Since(start).Seconds())
+	if inUse >= 0 {
+		s.reg.Gauge("runtime_pool_slots_in_use").Set(float64(inUse))
+	}
+}

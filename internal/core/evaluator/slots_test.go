@@ -1,0 +1,162 @@
+package evaluator
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSharedSlotsBound hammers the gate from many goroutines and asserts the
+// concurrent-holder count never exceeds capacity.
+func TestSharedSlotsBound(t *testing.T) {
+	const capacity = 3
+	s := NewSharedSlots(capacity, nil)
+	var inUse, peak atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 24; w++ {
+		job := string(rune('a' + w%4))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				release, err := s.Acquire(context.Background(), job)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := inUse.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				inUse.Add(-1)
+				release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("observed %d concurrent holders, cap %d", p, capacity)
+	}
+}
+
+// TestSharedSlotsFairness saturates the gate with one greedy job and asserts
+// a single-worker job still gets slots: the round-robin grant must alternate
+// between jobs rather than draining the longer queue first.
+func TestSharedSlotsFairness(t *testing.T) {
+	s := NewSharedSlots(1, nil)
+	hold, err := s.Acquire(context.Background(), "seed")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := func(job string, n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				release, err := s.Acquire(context.Background(), job)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				order = append(order, job)
+				mu.Unlock()
+				release()
+			}()
+		}
+	}
+	start("greedy", 8)
+	time.Sleep(20 * time.Millisecond) // let the greedy waiters enqueue first
+	start("meek", 2)
+	time.Sleep(20 * time.Millisecond)
+	hold()
+	wg.Wait()
+
+	// With strict FIFO the meek job would run last; round-robin must grant it
+	// one of the first few slots.
+	pos := -1
+	for i, j := range order {
+		if j == "meek" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 3 {
+		t.Fatalf("meek job first served at position %d of %v; round-robin fairness violated", pos, order)
+	}
+}
+
+// TestSharedSlotsCancel asserts a canceled waiter leaves the gate usable and
+// leaks nothing: the outstanding slot still round-trips.
+func TestSharedSlotsCancel(t *testing.T) {
+	s := NewSharedSlots(1, nil)
+	hold, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "b")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-done; err != context.Canceled {
+		t.Fatalf("canceled Acquire returned %v", err)
+	}
+	hold()
+
+	// The slot must be immediately available again.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	release, err := s.Acquire(ctx2, "c")
+	if err != nil {
+		t.Fatalf("gate unusable after canceled waiter: %v", err)
+	}
+	release()
+}
+
+// TestSharedSlotsNil asserts the nil gate and zero capacity are no-ops.
+func TestSharedSlotsNil(t *testing.T) {
+	if s := NewSharedSlots(0, nil); s != nil {
+		t.Fatal("capacity 0 should return the nil no-op gate")
+	}
+	var s *SharedSlots
+	release, err := s.Acquire(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+}
+
+// TestSharedSlotsDoubleRelease asserts release is idempotent.
+func TestSharedSlotsDoubleRelease(t *testing.T) {
+	s := NewSharedSlots(1, nil)
+	release, err := s.Acquire(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // must not free a second slot
+
+	r1, err := s.Acquire(context.Background(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := s.Acquire(ctx, "c"); err == nil {
+		t.Fatal("double release minted an extra slot")
+	}
+	r1()
+}

@@ -24,15 +24,24 @@ import (
 // CPU time only — a hit returns the exact permutation the DP would compute.
 //
 // A Memo is safe for concurrent use: the parallel evaluator's workers
-// schedule rounds on separate snapshots but share one memo.
+// schedule rounds on separate snapshots but share one memo. A runtime-owned
+// memo is additionally shared across whole jobs via OrderScoped, which
+// attributes entries to their creating job and coalesces concurrent
+// first computations of the same key.
 type Memo struct {
 	mu sync.Mutex
 	m  map[string]memoEntry
+	// inflight coalesces concurrent scoped first computations: the first
+	// caller of a missing key computes, later callers wait for its entry
+	// instead of repeating the DP. Private (unscoped) callers never wait —
+	// they recompute exactly as the pre-runtime memo did.
+	inflight map[string]chan struct{}
 }
 
 type memoEntry struct {
-	in   []*engine.Query
-	perm []int // perm[i] indexes into in
+	in    []*engine.Query
+	perm  []int // perm[i] indexes into in
+	owner string
 }
 
 // memoMaxEntries bounds the memo; overflow clears it (the working set of a
@@ -53,8 +62,31 @@ func (m *Memo) Order(queries []*engine.Query, indexMap map[*engine.Query][]engin
 // OrderWithHit is Order plus a hit report for telemetry: the bool is true
 // when the permutation came from the memo rather than a fresh DP run.
 func (m *Memo) OrderWithHit(queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef, cost IndexCost, seed int64) ([]*engine.Query, bool) {
+	out, hit, _ := m.OrderScoped("", queries, indexMap, cost, seed)
+	return out, hit
+}
+
+// OrderScoped is OrderWithHit for runtime-shared memos: owner names the job
+// probing the memo ("" = private, pre-runtime semantics). The extra bool
+// reports a cross-job hit — the entry was computed by a different owner.
+//
+// Two behaviors are gated on owner != "" because only the runtime can
+// justify them:
+//
+//   - Cross-run reuse. Distinct runs hold distinct *engine.Query pointers
+//     for the same workload, so the pointer-identity check that guards
+//     private memos would never fire across jobs. A runtime memo lives in a
+//     namespace keyed by (catalog fingerprint, workload digest), which
+//     proves that positionally equal query names carry byte-equal SQL —
+//     so on a key match with equal names the stored permutation is replayed
+//     onto the caller's own query pointers.
+//
+//   - Coalescing. Concurrent jobs miss the same key together at startup;
+//     the first computes, the rest wait and then hit. This converts the
+//     thundering herd of N similar jobs into one DP run per key.
+func (m *Memo) OrderScoped(owner string, queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef, cost IndexCost, seed int64) ([]*engine.Query, bool, bool) {
 	if m == nil {
-		return Order(queries, indexMap, cost, seed), false
+		return Order(queries, indexMap, cost, seed), false, false
 	}
 	var b strings.Builder
 	var buf [8]byte
@@ -80,15 +112,50 @@ func (m *Memo) OrderWithHit(queries []*engine.Query, indexMap map[*engine.Query]
 	}
 	key := b.String()
 
-	m.mu.Lock()
-	e, ok := m.m[key]
-	m.mu.Unlock()
-	if ok && sameQueries(e.in, queries) {
-		out := make([]*engine.Query, len(e.perm))
-		for i, idx := range e.perm {
-			out[i] = e.in[idx]
+	for {
+		m.mu.Lock()
+		if e, ok := m.m[key]; ok {
+			if sameQueries(e.in, queries) {
+				m.mu.Unlock()
+				out := make([]*engine.Query, len(e.perm))
+				for i, idx := range e.perm {
+					out[i] = e.in[idx]
+				}
+				return out, true, owner != "" && e.owner != owner
+			}
+			if owner != "" && sameNames(e.in, queries) {
+				m.mu.Unlock()
+				out := make([]*engine.Query, len(e.perm))
+				for i, idx := range e.perm {
+					out[i] = queries[idx]
+				}
+				return out, true, e.owner != owner
+			}
+			// Same key but incompatible query slice (private memo with alien
+			// pointers): fall through and recompute, overwriting the entry.
 		}
-		return out, true
+		if owner != "" {
+			if ch, ok := m.inflight[key]; ok {
+				m.mu.Unlock()
+				<-ch
+				continue // the computing job stored the entry; re-probe
+			}
+			if m.inflight == nil {
+				m.inflight = make(map[string]chan struct{})
+			}
+			ch := make(chan struct{})
+			m.inflight[key] = ch
+			m.mu.Unlock()
+			defer func() {
+				m.mu.Lock()
+				delete(m.inflight, key)
+				m.mu.Unlock()
+				close(ch)
+			}()
+		} else {
+			m.mu.Unlock()
+		}
+		break
 	}
 
 	out := Order(queries, indexMap, cost, seed)
@@ -107,9 +174,9 @@ func (m *Memo) OrderWithHit(queries []*engine.Query, indexMap map[*engine.Query]
 	} else if len(m.m) >= memoMaxEntries {
 		clear(m.m)
 	}
-	m.m[key] = memoEntry{in: in, perm: perm}
+	m.m[key] = memoEntry{in: in, perm: perm, owner: owner}
 	m.mu.Unlock()
-	return out, false
+	return out, false, false
 }
 
 func sameQueries(a, b []*engine.Query) bool {
@@ -118,6 +185,21 @@ func sameQueries(a, b []*engine.Query) bool {
 	}
 	for i := range a {
 		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sameNames reports positional name equality — the cross-run identity test.
+// It is sound only inside a runtime namespace, where the workload digest
+// already pins each name to one SQL body.
+func sameNames(a, b []*engine.Query) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
 			return false
 		}
 	}

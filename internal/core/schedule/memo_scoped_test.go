@@ -1,0 +1,99 @@
+package schedule
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lambdatune/internal/engine"
+)
+
+// cloneFixture rebuilds the fixture's queries as fresh pointers with the
+// same names and positionally identical index sets — the shape of a second
+// job over the same workload digest.
+func cloneFixture(queries []*engine.Query, indexMap map[*engine.Query][]engine.IndexDef) ([]*engine.Query, map[*engine.Query][]engine.IndexDef) {
+	out := make([]*engine.Query, len(queries))
+	m := map[*engine.Query][]engine.IndexDef{}
+	for i, q := range queries {
+		c := &engine.Query{Name: q.Name}
+		out[i] = c
+		m[c] = indexMap[q]
+	}
+	return out, m
+}
+
+// TestOrderScopedCrossOwnerRemap asserts a second owner with fresh query
+// pointers (same names, same key) hits the first owner's entry and gets the
+// permutation replayed onto its own pointers.
+func TestOrderScopedCrossOwnerRemap(t *testing.T) {
+	queries, indexMap := memoFixture(8)
+	m := NewMemo()
+	want, hit, cross := m.OrderScoped("job-a", queries, indexMap, costOf(10), 1)
+	if hit || cross {
+		t.Fatalf("first computation reported hit=%v cross=%v", hit, cross)
+	}
+
+	clone, cloneMap := cloneFixture(queries, indexMap)
+	got, hit, cross := m.OrderScoped("job-b", clone, cloneMap, costOf(10), 1)
+	if !hit || !cross {
+		t.Fatalf("cross-owner probe: hit=%v cross=%v, want true/true", hit, cross)
+	}
+	for i := range got {
+		if got[i] == want[i] {
+			t.Fatalf("pos %d: cross-owner hit leaked the owner's query pointer", i)
+		}
+		if got[i].Name != want[i].Name {
+			t.Fatalf("pos %d: got %s want %s", i, got[i].Name, want[i].Name)
+		}
+	}
+
+	// Same owner re-probing its own pointers: hit, but not cross.
+	if _, hit, cross = m.OrderScoped("job-a", queries, indexMap, costOf(10), 1); !hit || cross {
+		t.Fatalf("same-owner probe: hit=%v cross=%v, want true/false", hit, cross)
+	}
+}
+
+// TestOrderScopedPrivateNoRemap asserts the unscoped (owner "") path keeps
+// pre-runtime semantics: alien pointers with equal names recompute instead
+// of remapping.
+func TestOrderScopedPrivateNoRemap(t *testing.T) {
+	queries, indexMap := memoFixture(6)
+	m := NewMemo()
+	m.Order(queries, indexMap, costOf(10), 1)
+	clone, cloneMap := cloneFixture(queries, indexMap)
+	if _, hit := m.OrderWithHit(clone, cloneMap, costOf(10), 1); hit {
+		t.Fatal("private memo reported a hit for alien query pointers")
+	}
+}
+
+// TestOrderScopedCoalescing runs many owners concurrently on the same key
+// and asserts every result agrees with the plain DP — exercising the
+// inflight wait path under the race detector.
+func TestOrderScopedCoalescing(t *testing.T) {
+	queries, indexMap := memoFixture(10)
+	want := Order(queries, indexMap, costOf(10), 1)
+
+	m := NewMemo()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 16; w++ {
+		owner := fmt.Sprintf("job-%d", w)
+		clone, cloneMap := cloneFixture(queries, indexMap)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, _, _ := m.OrderScoped(owner, clone, cloneMap, costOf(10), 1)
+			for i := range got {
+				if got[i].Name != want[i].Name {
+					errs <- fmt.Errorf("%s pos %d: got %s want %s", owner, i, got[i].Name, want[i].Name)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

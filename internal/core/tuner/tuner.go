@@ -85,6 +85,20 @@ type Options struct {
 	// DecorateState, when set, runs on every checkpoint state before it is
 	// written — the API layer stamps the fault injector's RNG position here.
 	DecorateState func(*runstate.State)
+
+	// SharedMemo, when set, replaces the run-private evaluation memo with a
+	// Runtime-owned cross-job memo (see evaluator.NewSharedMemo). It is
+	// honored only when the backend's plan-cache toggle would have built a
+	// private memo anyway, preserving the one-switch memoization rule.
+	// Memo hits change host CPU time only, never virtual-clock outcomes.
+	SharedMemo *evaluator.Memo
+	// Slots, when set, is the Runtime's cross-job evaluation admission gate:
+	// every Evaluate pass of this run leases one slot. Wall-clock only.
+	Slots *evaluator.SharedSlots
+	// JobID names this run toward the shared memo and slot gate ("" outside
+	// a Runtime): it attributes entries and leases for cross-job telemetry
+	// and fair scheduling.
+	JobID string
 }
 
 // DefaultOptions matches the paper's experimental setup (§6.1).
@@ -371,6 +385,13 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 	eval.Seed = t.Opts.Seed
 	eval.Trace = tr
 	eval.Metrics = t.Opts.Metrics
+	if t.Opts.SharedMemo != nil && eval.Memo != nil {
+		// Borrow the Runtime's namespace memo instead of the run-private one
+		// (only when the plan-cache toggle enabled memoization at all).
+		eval.Memo = t.Opts.SharedMemo
+	}
+	eval.Owner = t.Opts.JobID
+	eval.Slots = t.Opts.Slots
 	sel := selector.New(eval, queries, t.Opts.Selector)
 	sel.Trace = tr
 	sel.Span = tr.Start(runSpan, "selection", clock.Now(), obs.Int("candidates", len(pool)))

@@ -11,6 +11,7 @@
 package engine
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"sort"
 	"strings"
@@ -118,6 +119,23 @@ func (c *Catalog) Tables() []*Table {
 		out[i] = c.tables[n]
 	}
 	return out
+}
+
+// Fingerprint digests the catalog — name, tables, statistics, and key
+// declarations — into a stable hex string. Two catalogs fingerprint equal
+// exactly when the cost model sees the same schema, so the runtime uses it
+// (with the workload digest) to key cross-job memo namespaces: jobs may share
+// memo state only when their simulated plans are provably interchangeable.
+func (c *Catalog) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "catalog %s\n", c.Name)
+	for _, t := range c.Tables() {
+		fmt.Fprintf(h, "table %s rows %d pk %q fk %q\n", t.Name, t.Rows, t.PrimaryKey, t.ForeignKeys)
+		for _, col := range t.Columns {
+			fmt.Fprintf(h, "col %s width %d distinct %d\n", col.Name, col.WidthBytes, col.Distinct)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
 }
 
 // TotalBytes returns the size of all tables.

@@ -1,0 +1,182 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedClient fails while failing is true, else succeeds; counts calls
+// that reach the transport.
+type scriptedClient struct {
+	failing atomic.Bool
+	calls   atomic.Int64
+}
+
+func (c *scriptedClient) Complete(context.Context, string) (string, error) {
+	c.calls.Add(1)
+	if c.failing.Load() {
+		return "", errors.New("transport down")
+	}
+	return "ok", nil
+}
+
+func (c *scriptedClient) Name() string { return "scripted" }
+
+// TestTenantGatewayDisabledPassthrough asserts zero options return the inner
+// client untouched.
+func TestTenantGatewayDisabledPassthrough(t *testing.T) {
+	inner := &scriptedClient{}
+	g := NewTenantGateway(TenantGatewayOptions{})
+	if g.Enabled() {
+		t.Fatal("zero-options gateway reports enabled")
+	}
+	if got := g.Client("a", inner); got != Client(inner) {
+		t.Fatal("disabled gateway wrapped the inner client")
+	}
+}
+
+// TestTenantGatewayBreakerTripAndCooldown walks the breaker through trip,
+// open rejection, and half-open recovery.
+func TestTenantGatewayBreakerTripAndCooldown(t *testing.T) {
+	inner := &scriptedClient{}
+	inner.failing.Store(true)
+	g := NewTenantGateway(TenantGatewayOptions{BreakerThreshold: 2, BreakerCooldown: 30 * time.Millisecond})
+	c := g.Client("acme", inner)
+	ctx := context.Background()
+
+	// Two consecutive failures trip the breaker.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Complete(ctx, "p"); err == nil {
+			t.Fatal("expected transport failure")
+		}
+	}
+	if !g.BreakerOpen("acme") {
+		t.Fatal("breaker should be open after threshold failures")
+	}
+	if g.Trips("acme") != 1 {
+		t.Fatalf("trips = %d, want 1", g.Trips("acme"))
+	}
+
+	// Open breaker rejects without touching the transport, non-retryably.
+	before := inner.calls.Load()
+	_, err := c.Complete(ctx, "p")
+	var reject *TenantBreakerError
+	if !errors.As(err, &reject) {
+		t.Fatalf("open breaker returned %v, want TenantBreakerError", err)
+	}
+	if reject.Retryable() {
+		t.Fatal("breaker rejection must be non-retryable")
+	}
+	if inner.calls.Load() != before {
+		t.Fatal("open breaker let a call reach the transport")
+	}
+
+	// After cooldown the half-open probe goes through and closes the breaker.
+	inner.failing.Store(false)
+	time.Sleep(40 * time.Millisecond)
+	if out, err := c.Complete(ctx, "p"); err != nil || out != "ok" {
+		t.Fatalf("half-open probe: %q, %v", out, err)
+	}
+	if g.BreakerOpen("acme") {
+		t.Fatal("breaker still open after successful probe")
+	}
+}
+
+// TestTenantGatewayIsolation asserts one tenant's tripped breaker leaves
+// another tenant's calls — against the very same shared transport — intact.
+func TestTenantGatewayIsolation(t *testing.T) {
+	inner := &scriptedClient{}
+	g := NewTenantGateway(TenantGatewayOptions{BreakerThreshold: 1, BreakerCooldown: time.Hour})
+	bad := g.Client("bad", inner)
+	good := g.Client("good", inner)
+	ctx := context.Background()
+
+	inner.failing.Store(true)
+	if _, err := bad.Complete(ctx, "p"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if !g.BreakerOpen("bad") {
+		t.Fatal("bad tenant's breaker should be open")
+	}
+
+	inner.failing.Store(false)
+	if out, err := good.Complete(ctx, "p"); err != nil || out != "ok" {
+		t.Fatalf("good tenant blocked by bad tenant's breaker: %q, %v", out, err)
+	}
+	if g.BreakerOpen("good") || g.Trips("good") != 0 {
+		t.Fatal("breaker state leaked across tenants")
+	}
+}
+
+// TestTenantGatewayCancellationNeutral asserts a context-canceled call moves
+// the breaker neither toward tripping nor toward recovery.
+func TestTenantGatewayCancellationNeutral(t *testing.T) {
+	inner := &scriptedClient{}
+	inner.failing.Store(true)
+	g := NewTenantGateway(TenantGatewayOptions{BreakerThreshold: 2, BreakerCooldown: time.Hour})
+	c := g.Client("acme", inner)
+
+	// One real failure: streak 1.
+	if _, err := c.Complete(context.Background(), "p"); err == nil {
+		t.Fatal("expected failure")
+	}
+	// A canceled call must not become failure number 2.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Complete(ctx, "p"); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if g.BreakerOpen("acme") {
+		t.Fatal("cancellation advanced the failure streak")
+	}
+}
+
+// TestTenantGatewayMaxInFlight asserts the per-tenant bound blocks the
+// excess call until a slot frees.
+func TestTenantGatewayMaxInFlight(t *testing.T) {
+	gateCh := make(chan struct{})
+	slow := &gatedClient{gate: gateCh}
+	g := NewTenantGateway(TenantGatewayOptions{MaxInFlight: 1})
+	c := g.Client("acme", slow)
+
+	first := make(chan struct{})
+	go func() {
+		defer close(first)
+		c.Complete(context.Background(), "p")
+	}()
+	// Wait until the first call holds the slot.
+	for slow.started.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := c.Complete(ctx, "p"); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second call: %v, want deadline exceeded while slot held", err)
+	}
+	close(gateCh)
+	<-first
+	if _, err := c.Complete(context.Background(), "p"); err != nil {
+		t.Fatalf("call after slot freed: %v", err)
+	}
+}
+
+// gatedClient blocks Complete until its gate closes.
+type gatedClient struct {
+	gate    chan struct{}
+	started atomic.Int64
+}
+
+func (c *gatedClient) Complete(ctx context.Context, _ string) (string, error) {
+	c.started.Add(1)
+	select {
+	case <-c.gate:
+		return "ok", nil
+	case <-ctx.Done():
+		return "", ctx.Err()
+	}
+}
+
+func (c *gatedClient) Name() string { return "gated" }

@@ -21,13 +21,15 @@ import (
 //	GET  /readyz               readiness (503 while draining)
 //	GET  /metrics              Prometheus text exposition (when metrics are on)
 //
-// The unversioned /jobs* paths of the previous release respond with a 308
-// Permanent Redirect to their /v1 twin (kept for one release; clients should
-// move to /v1). Probe and metrics endpoints stay unversioned — they address
-// the process, not the API.
+// The unversioned /jobs* paths of the pre-/v1 release are gone (their one
+// deprecation release, as 308 redirects, is over): they now 404 like any
+// other unknown path. Probe and metrics endpoints stay unversioned — they
+// address the process, not the API.
 //
 // Every non-2xx response carries the APIError JSON envelope: a stable
-// machine-readable code, a human message, and a retryable hint.
+// machine-readable code, a human message, and a retryable hint. That
+// includes unknown paths, which get a CodeNotFound envelope instead of the
+// default text/plain 404.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", m.handleEnqueue)
@@ -35,16 +37,26 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", m.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", m.handleStream)
-	// Legacy unversioned paths: permanent redirect, method and body
-	// preserved by 308 semantics.
-	mux.HandleFunc("/jobs", redirectV1)
-	mux.HandleFunc("/jobs/", redirectV1)
+	// Catch-all: unknown paths (including the removed unversioned /jobs*
+	// routes) answer with the JSON 404 envelope.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusNotFound, &APIError{
+			Code:    CodeNotFound,
+			Message: fmt.Sprintf("no route for %s %s (the job API lives under /v1)", r.Method, r.URL.Path),
+		})
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
 		if m.Draining() {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			// Typed envelope: readiness probes and clients get the same
+			// machine-readable drain signal as the job endpoints.
+			writeJSON(w, http.StatusServiceUnavailable, &APIError{
+				Code:      CodeDraining,
+				Message:   "service: draining",
+				Retryable: true,
+			})
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
@@ -55,16 +67,6 @@ func (m *Manager) Handler() http.Handler {
 		mux.Handle("GET /debug/vars", metrics)
 	}
 	return mux
-}
-
-// redirectV1 sends legacy unversioned /jobs* requests to their /v1 twin with
-// 308 Permanent Redirect, which preserves the method and body.
-func redirectV1(w http.ResponseWriter, r *http.Request) {
-	target := "/v1" + r.URL.Path
-	if r.URL.RawQuery != "" {
-		target += "?" + r.URL.RawQuery
-	}
-	http.Redirect(w, r, target, http.StatusPermanentRedirect)
 }
 
 // Stable machine-readable error codes carried by APIError.Code.
@@ -214,8 +216,7 @@ func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// HTTP is the underlying client (http.DefaultClient when nil). The
-	// default client follows the legacy 308 redirects transparently.
+	// HTTP is the underlying client (http.DefaultClient when nil).
 	HTTP *http.Client
 }
 

@@ -41,7 +41,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 
 	// Enqueue.
 	body := `{"benchmark": "tpch-1", "seed": 1, "tenant": "acme"}`
-	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(body))
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	waitJob(t, m, job.ID)
 
 	// Status.
-	resp, err = http.Get(srv.URL + "/jobs/" + job.ID)
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + job.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestHTTPJobLifecycle(t *testing.T) {
 	}
 
 	// List.
-	resp, err = http.Get(srv.URL + "/jobs")
+	resp, err = http.Get(srv.URL + "/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,54 +142,51 @@ func TestHTTPErrors(t *testing.T) {
 	}
 }
 
-// TestHTTPLegacyRedirect: the unversioned paths of the previous release
-// answer with 308 Permanent Redirect to their /v1 twin — method and body
-// preserved — and redirect-following clients keep working unchanged.
-func TestHTTPLegacyRedirect(t *testing.T) {
-	m, srv := newTestServer(t)
+// TestHTTPUnknownPath404: the removed unversioned /jobs* paths — and every
+// other unknown path — answer 404 with the APIError JSON envelope, never the
+// old 308 redirect or a text/plain 404.
+func TestHTTPUnknownPath404(t *testing.T) {
+	_, srv := newTestServer(t)
 
-	noFollow := &http.Client{
-		CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
-	}
 	for _, tc := range []struct {
-		method, path, wantLocation string
+		method, path string
 	}{
-		{"GET", "/jobs", "/v1/jobs"},
-		{"POST", "/jobs", "/v1/jobs"},
-		{"GET", "/jobs/job-000001", "/v1/jobs/job-000001"},
-		{"POST", "/jobs/job-000001/cancel", "/v1/jobs/job-000001/cancel"},
-		{"GET", "/jobs/job-000001/stream", "/v1/jobs/job-000001/stream"},
+		{"GET", "/jobs"},
+		{"POST", "/jobs"},
+		{"GET", "/jobs/job-000001"},
+		{"POST", "/jobs/job-000001/cancel"},
+		{"GET", "/jobs/job-000001/stream"},
+		{"GET", "/v2/jobs"},
+		{"GET", "/nonsense"},
 	} {
 		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(""))
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp, err := noFollow.Do(req)
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}
+		var apiErr APIError
+		derr := json.NewDecoder(resp.Body).Decode(&apiErr)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusPermanentRedirect {
-			t.Errorf("%s %s: code %d, want 308", tc.method, tc.path, resp.StatusCode)
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s %s: code %d, want 404", tc.method, tc.path, resp.StatusCode)
 		}
-		if loc := resp.Header.Get("Location"); loc != tc.wantLocation {
-			t.Errorf("%s %s: Location %q, want %q", tc.method, tc.path, loc, tc.wantLocation)
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s: Content-Type %q, want application/json", tc.method, tc.path, ct)
+		}
+		if derr != nil {
+			t.Errorf("%s %s: body is not a JSON envelope: %v", tc.method, tc.path, derr)
+			continue
+		}
+		if apiErr.Code != CodeNotFound {
+			t.Errorf("%s %s: error code %q, want %q", tc.method, tc.path, apiErr.Code, CodeNotFound)
+		}
+		if apiErr.Retryable {
+			t.Errorf("%s %s: 404 marked retryable", tc.method, tc.path)
 		}
 	}
-
-	// A redirect-following client (the Go default) transparently lands on
-	// /v1: an enqueue POST against the legacy path still works, 308
-	// preserving the method and body.
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
-		strings.NewReader(`{"benchmark": "tpch-1", "seed": 1}`))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if resp.StatusCode != http.StatusAccepted {
-		t.Fatalf("legacy POST /jobs through redirect: %d, want 202", resp.StatusCode)
-	}
-	job := decodeJob(t, resp)
-	waitJob(t, m, job.ID)
 }
 
 // TestHTTPClientHelpers drives the typed Client against a live server,
@@ -247,7 +244,7 @@ func TestHTTPRateLimited(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	post := func() *http.Response {
-		resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 			strings.NewReader(`{"benchmark": "tpch-1", "tenant": "acme"}`))
 		if err != nil {
 			t.Fatal(err)
@@ -296,11 +293,18 @@ func TestHTTPHealthAndReadiness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var ready APIError
+	derr := json.NewDecoder(resp.Body).Decode(&ready)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("readyz while draining: %d, want 503", resp.StatusCode)
 	}
-	resp, err = http.Post(srv.URL+"/jobs", "application/json",
+	if derr != nil {
+		t.Errorf("readyz drain body is not a JSON envelope: %v", derr)
+	} else if ready.Code != CodeDraining || !ready.Retryable {
+		t.Errorf("readyz drain envelope: code %q retryable %v, want %q/true", ready.Code, ready.Retryable, CodeDraining)
+	}
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"benchmark": "tpch-1"}`))
 	if err != nil {
 		t.Fatal(err)
@@ -330,14 +334,14 @@ func TestHTTPStream(t *testing.T) {
 		}
 	}
 
-	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json",
 		strings.NewReader(`{"benchmark": "tpch-1"}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	job := decodeJob(t, resp)
 
-	stream, err := http.Get(fmt.Sprintf("%s/jobs/%s/stream", srv.URL, job.ID))
+	stream, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/stream", srv.URL, job.ID))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -158,6 +158,13 @@ type Config struct {
 	// on enqueue (burst 0 = unlimited).
 	RateBurst     int
 	RatePerSecond float64
+	// Runtime, when non-nil, is the shared tuning runtime every job runs on:
+	// jobs of the same tenant over the same benchmark share plan caches and
+	// schedule memos (wall-time savings only — per-job results are identical
+	// to isolated runs), while breaker state and memo namespaces stay
+	// isolated per tenant. nil creates a private runtime owned (and closed)
+	// by the Manager.
+	Runtime *lambdatune.Runtime
 	// Metrics receives the service_* series (nil = discard).
 	Metrics *obs.Registry
 	// Logf receives one-line operational logs (nil = discard).
@@ -193,6 +200,11 @@ type Manager struct {
 	rootCtx context.Context
 	stop    context.CancelFunc
 
+	// rt is the shared tuning runtime all jobs execute on; ownRuntime marks
+	// a Manager-created runtime that Drain must close.
+	rt         *lambdatune.Runtime
+	ownRuntime bool
+
 	limiter *tenantLimiter
 
 	// beforeRun, when set, runs inside the job goroutine right before the
@@ -227,7 +239,12 @@ func Open(cfg Config) (*Manager, error) {
 		subs:    map[string][]chan string{},
 		rootCtx: ctx,
 		stop:    stop,
+		rt:      cfg.Runtime,
 		limiter: newTenantLimiter(cfg.RateBurst, cfg.RatePerSecond),
+	}
+	if m.rt == nil {
+		m.rt = lambdatune.NewRuntime(lambdatune.RuntimeOptions{})
+		m.ownRuntime = true
 	}
 	adopt, err := m.scan()
 	if err != nil {
@@ -506,11 +523,17 @@ func (m *Manager) Drain(ctx context.Context) error {
 	case <-done:
 	case <-ctx.Done():
 		m.stop()
+		if m.ownRuntime {
+			m.rt.Close()
+		}
 		return ctx.Err()
 	}
 	// Queued jobs that never started stay queued on disk; the next process
 	// picks them up.
 	m.stop()
+	if m.ownRuntime {
+		m.rt.Close()
+	}
 	return nil
 }
 
@@ -623,11 +646,12 @@ func (w *progressWriter) Write(p []byte) (int, error) {
 	return len(p), nil
 }
 
-// execute runs the tuning pipeline for one job, checkpointing into the
-// job's directory and resuming when a checkpoint is already there.
+// execute runs the tuning pipeline for one job on the shared runtime,
+// checkpointing into the job's directory and resuming when a checkpoint is
+// already there.
 func (m *Manager) execute(ctx context.Context, job *Job) error {
 	spec := job.Spec
-	db, w, err := lambdatune.Benchmark(spec.Benchmark, spec.flavor())
+	db, w, err := m.rt.Benchmark(spec.Benchmark, spec.flavor())
 	if err != nil {
 		return err
 	}
@@ -638,6 +662,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) error {
 		opts.Samples = spec.Samples
 	}
 	opts.Evaluation.Parallelism = spec.Parallelism
+	opts.Tenant = spec.Tenant
 	opts.Durability.CheckpointDir = jobDir
 	opts.Observability.Progress = &progressWriter{m: m, id: job.ID}
 	if spec.LLMFaultRate > 0 || spec.EngineFaultRate > 0 {
@@ -649,7 +674,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) error {
 		opts.Durability.Resume = true
 	}
 
-	res, err := db.TuneContext(ctx, w, lambdatune.NewSimulatedLLM(opts.Seed), opts)
+	res, err := m.rt.TuneContext(ctx, db, w, lambdatune.NewSimulatedLLM(opts.Seed), opts)
 	if err != nil {
 		return err
 	}

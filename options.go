@@ -141,6 +141,14 @@ type Options struct {
 	TokenBudget int
 	// Seed drives the deterministic parts of scheduling (0 is a valid seed).
 	Seed int64
+	// Tenant attributes the run to a tenant when it executes on a shared
+	// Runtime: LLM circuit-breaker state and in-flight bounds are isolated
+	// per tenant, while memo namespaces are shared across tenants with
+	// identical schema and workload (reuse never leaks data — only
+	// deterministic recomputation results). "" means the default tenant.
+	// Standalone (one-shot) runs ignore it, and it never affects tuning
+	// outcomes — checkpoints taken under one tenant resume under another.
+	Tenant string
 	// Resilience, when set, hardens the LLM boundary (retries, backoff,
 	// circuit breaker, fallback). Nil leaves the client unwrapped.
 	Resilience *ResilienceOptions

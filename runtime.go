@@ -1,0 +1,424 @@
+package lambdatune
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"lambdatune/internal/backend"
+	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/core/tuner"
+	"lambdatune/internal/engine"
+	"lambdatune/internal/faults"
+	"lambdatune/internal/llm"
+	"lambdatune/internal/obs"
+	"lambdatune/internal/runstate"
+	"lambdatune/internal/workload"
+)
+
+// RuntimeOptions configures a shared Runtime (see NewRuntime). The zero
+// value is valid and yields a runtime whose runs behave exactly like
+// standalone Tune calls: no admission gate, no tenant breakers — only the
+// cross-job memo reuse, which changes host CPU time and never outcomes.
+type RuntimeOptions struct {
+	// EvalSlots bounds how many evaluation workers execute concurrently
+	// across every job on the runtime (0 = unbounded). The gate is
+	// wall-clock only: each job keeps its logical Parallelism and its
+	// virtual-clock accounting, so per-job results are identical at any
+	// slot count. Leases are granted fairly, round-robin across jobs.
+	EvalSlots int
+
+	// TenantBreakerThreshold is the number of consecutive failed LLM calls
+	// that trips one tenant's circuit breaker on the shared transport
+	// (0 = breaker off). Breaker state is isolated per Options.Tenant.
+	TenantBreakerThreshold int
+	// TenantBreakerCooldown is how long a tripped breaker stays open, on
+	// the wall clock (tenants' virtual clocks are mutually incomparable).
+	// Defaults to 30s when the breaker is enabled.
+	TenantBreakerCooldown time.Duration
+	// TenantMaxInFlight bounds one tenant's concurrent LLM calls
+	// (0 = unbounded).
+	TenantMaxInFlight int
+
+	// Metrics, when set, receives the runtime_* series: pool lease waits,
+	// per-namespace memo hits/misses/cross-job hits, per-tenant breaker
+	// state. The same registry can back a /metrics endpoint (lambdatuned
+	// mounts it).
+	Metrics *Metrics
+}
+
+// Runtime owns the per-process resources that standalone Tune calls build
+// per run: the evaluation admission gate, the per-tenant LLM gateway, warm
+// benchmark templates (schema + plan cache), and cross-job schedule/relevance
+// memos. Jobs borrow from it via Runtime.Benchmark + Runtime.TuneContext and
+// tenants tuning similar schemas hit warm state instead of recomputing it.
+//
+// Determinism contract: everything the Runtime shares is either provably
+// host-CPU-only (plan caches, schedule memos, relevance maps — pure
+// functions of their keys) or wall-clock-only (evaluation slots, breaker
+// cooldowns). A job's virtual-clock outcome — selection, scripts, tuning
+// seconds — is byte-identical to the same job run standalone, at any
+// parallelism, slot count, and co-tenancy.
+//
+// Isolation contract: memo namespaces are keyed by (DBMS flavor, catalog
+// fingerprint, workload digest), so jobs share memo state only when their
+// simulated plans are interchangeable by construction; LLM breaker state and
+// in-flight bounds are keyed by Options.Tenant and never cross tenants.
+//
+// A Runtime is safe for concurrent use. Close only marks it unusable for
+// new work; in-flight jobs finish normally.
+type Runtime struct {
+	opts    RuntimeOptions
+	reg     *obs.Registry // nil when Metrics unset
+	slots   *evaluator.SharedSlots
+	gateway *llm.TenantGateway
+
+	mu         sync.Mutex
+	closed     bool
+	jobSeq     int
+	templates  map[templateKey]*benchTemplate
+	namespaces map[namespaceKey]*evaluator.Memo
+}
+
+// templateKey identifies a warm benchmark template.
+type templateKey struct {
+	benchmark string
+	flavor    engine.Flavor
+}
+
+// benchTemplate is one warm built-in benchmark: a primary backend whose plan
+// cache accumulates across jobs (jobs run on snapshots of it) and the
+// canonical interned workload, so every job on the template shares query
+// pointers and therefore memo entries.
+type benchTemplate struct {
+	db backend.Backend
+	w  *Workload
+}
+
+// namespaceKey scopes one cross-job memo: jobs share entries only when
+// flavor, schema (catalog fingerprint), and workload (digest over names and
+// SQL) all match — the preconditions under which schedule orderings and
+// relevance maps are interchangeable across jobs.
+type namespaceKey struct {
+	flavor   engine.Flavor
+	catalog  string
+	workload string
+}
+
+// RuntimeStats is a point-in-time snapshot of a Runtime's shared-state
+// telemetry, aggregated over all namespaces.
+type RuntimeStats struct {
+	// Jobs counts runs started on the runtime.
+	Jobs int
+	// Namespaces counts distinct memo namespaces materialized so far.
+	Namespaces int
+	// MemoLookups / MemoHits / MemoCrossJobHits aggregate the namespace
+	// memos' probe accounting (relevance + DP-ordering layers). A cross-job
+	// hit is a hit on an entry computed by a different job.
+	MemoLookups      uint64
+	MemoHits         uint64
+	MemoCrossJobHits uint64
+}
+
+// CrossJobHitRate returns MemoCrossJobHits / MemoLookups (0 when idle).
+func (s RuntimeStats) CrossJobHitRate() float64 {
+	if s.MemoLookups == 0 {
+		return 0
+	}
+	return float64(s.MemoCrossJobHits) / float64(s.MemoLookups)
+}
+
+// NewRuntime builds a shared runtime. RuntimeOptions{} is valid (see its
+// doc); Close the runtime when done with it.
+func NewRuntime(ro RuntimeOptions) *Runtime {
+	rt := &Runtime{
+		opts:       ro,
+		templates:  make(map[templateKey]*benchTemplate),
+		namespaces: make(map[namespaceKey]*evaluator.Memo),
+	}
+	if ro.Metrics != nil {
+		rt.reg = ro.Metrics.reg
+	}
+	rt.slots = evaluator.NewSharedSlots(ro.EvalSlots, rt.reg)
+	rt.gateway = llm.NewTenantGateway(llm.TenantGatewayOptions{
+		BreakerThreshold: ro.TenantBreakerThreshold,
+		BreakerCooldown:  ro.TenantBreakerCooldown,
+		MaxInFlight:      ro.TenantMaxInFlight,
+		Registry:         rt.reg,
+	})
+	return rt
+}
+
+// Close marks the runtime unusable for new jobs. In-flight jobs finish
+// normally; shared memo state is released to the collector with the runtime.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	rt.closed = true
+	rt.mu.Unlock()
+	return nil
+}
+
+// Stats returns the runtime's current shared-state telemetry.
+func (rt *Runtime) Stats() RuntimeStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := RuntimeStats{Jobs: rt.jobSeq, Namespaces: len(rt.namespaces)}
+	for _, m := range rt.namespaces {
+		ms := m.Stats()
+		st.MemoLookups += ms.Lookups
+		st.MemoHits += ms.Hits
+		st.MemoCrossJobHits += ms.CrossJobHits
+	}
+	return st
+}
+
+// Benchmark returns a database and workload for one of the built-in
+// benchmarks, like the package-level Benchmark — but backed by the runtime's
+// warm template: the database is a snapshot sharing the template's catalog
+// and plan cache (host-CPU savings only), and the workload is the canonical
+// interned instance, so all jobs on this (benchmark, dbms) pair share query
+// pointers and memo entries.
+func (rt *Runtime) Benchmark(name string, dbms DBMS) (*Database, *Workload, error) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return nil, nil, ErrRuntimeClosed
+	}
+	key := templateKey{benchmark: strings.ToLower(name), flavor: engine.Flavor(dbms)}
+	tm := rt.templates[key]
+	if tm == nil {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		db, err := backend.Open("sim", backend.Spec{
+			Flavor: engine.Flavor(dbms), Catalog: wl.Catalog, Hardware: engine.DefaultHardware,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		tm = &benchTemplate{db: db, w: &Workload{name: wl.Name, queries: wl.Queries}}
+		rt.templates[key] = tm
+	}
+	jdb := tm.db
+	if sn, ok := tm.db.(backend.Snapshotter); ok {
+		jdb = sn.Snapshot()
+	}
+	return &Database{db: jdb, rt: rt, tkey: key}, tm.w, nil
+}
+
+// Tune is TuneContext with context.Background().
+func (rt *Runtime) Tune(d *Database, w *Workload, client Client, opts Options) (*Result, error) {
+	return rt.TuneContext(context.Background(), d, w, client, opts)
+}
+
+// TuneContext runs the λ-Tune pipeline for one job on the shared runtime.
+// It is Database.TuneContext with the runtime's resources injected: the
+// job's evaluators lease from the shared admission gate, its LLM calls pass
+// through opts.Tenant's breaker scope, and its schedule/relevance memos live
+// in the namespace keyed by (flavor, catalog fingerprint, workload digest).
+// Per-job results are byte-identical to a standalone run; only host wall
+// time changes. See Database.TuneContext for semantics and errors.
+func (rt *Runtime) TuneContext(ctx context.Context, d *Database, w *Workload, client Client, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	// Validate succeeded, so normalization cannot fail; from here on the
+	// grouped fields are authoritative and the flat aliases are zeroed.
+	opts, _ = opts.normalized()
+	if w == nil || len(w.queries) == 0 {
+		return nil, ErrEmptyWorkload
+	}
+	if client == nil {
+		return nil, fmt.Errorf("%w: nil Client", ErrInvalidOptions)
+	}
+	jobID, memo, err := rt.admit(d, w, opts)
+	if err != nil {
+		return nil, err
+	}
+	defaultSeconds := d.db.WorkloadSeconds(w.queries)
+	topts := opts.toTuner()
+	topts.SharedMemo = memo
+	topts.Slots = rt.slots
+	topts.JobID = jobID
+	var (
+		store    *runstate.Store
+		fellBack bool
+	)
+	if opts.Durability.CheckpointDir != "" {
+		store = runstate.NewStore(opts.Durability.CheckpointDir, RunID(w.name, opts.Seed))
+		topts.Checkpoint = store
+		if opts.Durability.Resume {
+			st, fb, lerr := store.Load()
+			if lerr != nil {
+				return nil, fmt.Errorf("lambdatune: resume: %w", lerr)
+			}
+			fellBack = fb
+			topts.Resume = st
+		}
+	}
+	if opts.Observability.Metrics != nil {
+		// Instrumented databases feed the backend_* surface series and plan
+		// cache gauges into the run's registry.
+		if am, ok := d.db.(interface{ AttachMetrics(*obs.Registry) }); ok {
+			am.AttachMetrics(opts.Observability.Metrics.reg)
+		}
+	}
+	var inner llm.Client = client
+	if opts.Faults != nil {
+		decorate, cleanup, ferr := wireFaults(d, opts, topts.Trace, topts.Resume, store, &inner)
+		if ferr != nil {
+			return nil, ferr
+		}
+		topts.DecorateState = decorate
+		defer cleanup()
+	}
+	if rt.gateway.Enabled() {
+		// Tenant scoping sits above the fault interceptor (injected faults
+		// count against the tenant's breaker) and below the per-job
+		// resilience layer the tuner adds (a breaker-open rejection is
+		// non-retryable there, failing the sample immediately).
+		inner = rt.gateway.Client(opts.Tenant, inner)
+	}
+	tn := tuner.New(d.db, inner, topts)
+	res, err := tn.Tune(ctx, w.queries)
+	if err != nil {
+		return nil, err
+	}
+	rt.adoptPlans(d)
+	out := &Result{
+		BestSeconds:        res.BestTime,
+		DefaultSeconds:     defaultSeconds,
+		TuningSeconds:      res.TuningSeconds,
+		EvalWallSeconds:    res.EvalWallSeconds,
+		PromptTokens:       res.Prompt.TotalTokens,
+		Candidates:         len(res.Candidates),
+		Warnings:           res.Warnings,
+		Faults:             FaultReport(res.Faults),
+		Telemetry:          toTelemetry(res.Telemetry),
+		Resumed:            opts.Durability.Resume,
+		CheckpointFellBack: fellBack,
+		best:               res.Best,
+	}
+	if res.Best != nil {
+		out.BestScript = res.Best.Script(d.db.Flavor())
+	}
+	for _, ev := range res.Progress {
+		out.Progress = append(out.Progress, ProgressPoint{TuningSeconds: ev.Clock, BestSeconds: ev.BestTime})
+	}
+	return out, nil
+}
+
+// admit registers one job: it allocates the job ID and resolves the job's
+// memo namespace from the database's flavor, its catalog fingerprint, and
+// the workload digest.
+func (rt *Runtime) admit(d *Database, w *Workload, opts Options) (string, *evaluator.Memo, error) {
+	nsKey := namespaceKey{
+		flavor:   d.db.Flavor(),
+		catalog:  d.db.Catalog().Fingerprint(),
+		workload: runstate.WorkloadDigest(w.name, w.queries),
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		return "", nil, ErrRuntimeClosed
+	}
+	rt.jobSeq++
+	tenant := opts.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	jobID := fmt.Sprintf("%s#%d", tenant, rt.jobSeq)
+	memo := rt.namespaces[nsKey]
+	if memo == nil {
+		ns := fmt.Sprintf("%s_%s_%s", strings.ToLower(nsKey.flavor.String()),
+			nsKey.catalog[:8], nsKey.workload[:8])
+		memo = evaluator.NewSharedMemo(ns, rt.reg)
+		rt.namespaces[nsKey] = memo
+		if rt.reg != nil {
+			rt.reg.Gauge("runtime_memo_namespaces").Set(float64(len(rt.namespaces)))
+		}
+	}
+	if rt.reg != nil {
+		rt.reg.Counter("runtime_jobs_total").Inc()
+	}
+	return jobID, memo, nil
+}
+
+// adoptPlans folds a finished job's plan-cache write layer back into the
+// warm template it was snapshotted from, so later jobs on the same template
+// start with those plans already cached. Content-addressed, deterministic
+// plans merge in any order; the fold is host-CPU-only by the same argument
+// as the plan cache itself. A no-op for databases not born from a template
+// of this runtime (or wrapped since, e.g. by Instrument).
+func (rt *Runtime) adoptPlans(d *Database) {
+	if d.rt != rt {
+		return
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	tm := rt.templates[d.tkey]
+	if tm == nil {
+		return
+	}
+	if sn, ok := tm.db.(backend.Snapshotter); ok {
+		sn.AbsorbSnapshot(d.db)
+	}
+}
+
+// wireFaults installs the fault injector and chaos kill points for one run —
+// extracted from the pre-Runtime TuneContext body verbatim. It wraps *inner
+// with the LLM fault interceptor and returns the checkpoint decorator that
+// stamps the injector's RNG position, plus the cleanup that detaches the
+// injector from the backend. tr is the run's tracer and resume its loaded
+// checkpoint state (both may be nil).
+func wireFaults(d *Database, opts Options, tr *obs.Tracer, resume *runstate.State, store *runstate.Store, inner *llm.Client) (func(*runstate.State), func(), error) {
+	fi, ok := d.db.(backend.FaultInjectable)
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: Faults require a fault-injectable backend, %T is not", ErrInvalidOptions, d.db)
+	}
+	seed := opts.Faults.Seed
+	if seed == 0 {
+		seed = opts.Seed
+	}
+	plan := faults.NewPlan(opts.Faults.LLMRate, opts.Faults.EngineRate)
+	inj := faults.NewInjector(plan, seed, d.db.Clock())
+	inj.SetTracer(tr)
+	fi.SetFaultInjector(inj)
+	// The injector wraps the raw client, so the resilience layer (added
+	// by the tuner on top) sees the injected faults as transport errors.
+	*inner = llm.WithInterceptor(*inner, inj)
+	if resume != nil && resume.Injector != nil {
+		if resume.Injector.Seed != seed {
+			fi.SetFaultInjector(nil)
+			return nil, nil, fmt.Errorf("%w: fault seed %d differs from checkpoint's %d",
+				runstate.ErrCheckpointMismatch, seed, resume.Injector.Seed)
+		}
+		inj.RestoreEngine(resume.Injector.EngineDraws, resume.Injector.Counts)
+	}
+	// Chaos kill points: simulate a crash right after a durable
+	// checkpoint — the bytes are on disk, the process "dies".
+	if k := (&faults.Killer{AfterRound: opts.Faults.CrashAfterRound,
+		AfterSaves: opts.Faults.CrashAfterSaves}); k.Armed() {
+		store.AfterSave = func(st *runstate.State) error {
+			round := 0
+			if st.Round != nil {
+				round = st.Round.Round
+			}
+			return k.AfterCheckpoint(round)
+		}
+	}
+	// Every checkpoint carries the injector's RNG position, and a resumed
+	// run fast-forwards a fresh injector there — so the fault sequence
+	// after the crash matches the uninterrupted run's.
+	decorate := func(st *runstate.State) {
+		s, draws, counts := inj.Snapshot()
+		st.Injector = &runstate.InjectorState{Seed: s, EngineDraws: draws, Counts: counts}
+	}
+	return decorate, func() { fi.SetFaultInjector(nil) }, nil
+}
