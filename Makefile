@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check ci bench scaling bench-race bench-runtime chaos
+.PHONY: build vet test race verify fmt-check ci bench scaling bench-race bench-runtime bench-jobs chaos
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,11 @@ bench-race:
 ## bench-runtime: the E15 shared-runtime reuse study; refreshes BENCH_runtime.json.
 bench-runtime:
 	$(GO) run ./cmd/benchrunner -exp runtime -runtime-json BENCH_runtime.json
+
+## bench-jobs: the E16 job-throughput study (legacy vs segmented-LRU memo
+## lifecycle under a 1000-job daemon stream); refreshes BENCH_jobs.json.
+bench-jobs:
+	$(GO) run ./cmd/benchrunner -exp jobs -jobs-json BENCH_jobs.json
 
 ## chaos: the crash-recovery suite under the race detector — kill/resume at
 ## every checkpoint boundary, torn-write fallback, daemon drain/re-adopt.

@@ -124,6 +124,11 @@ type Database struct {
 	// Zero for standalone databases.
 	rt   *Runtime
 	tkey templateKey
+	// pristine marks a template snapshot whose configuration still matches
+	// the template's defaults: no settings applied, no indexes created, no
+	// backend rewrap. While it holds, default-workload timings equal the
+	// template's and the runtime may serve them from its per-template cache.
+	pristine bool
 }
 
 // NewDatabase creates a database from a schema description.
@@ -463,6 +468,7 @@ func (d *Database) Apply(r *Result) error {
 	if r == nil || r.best == nil {
 		return fmt.Errorf("lambdatune: no configuration to apply")
 	}
+	d.pristine = false
 	d.db.DropTransientIndexes()
 	if err := d.db.ApplyConfig(r.best); err != nil {
 		return err
@@ -479,6 +485,7 @@ func (d *Database) ApplyScript(script string) error {
 	if err != nil {
 		return err
 	}
+	d.pristine = false
 	d.db.DropTransientIndexes()
 	if err := d.db.ApplyConfig(cfg); err != nil {
 		return err
@@ -509,6 +516,7 @@ func (d *Database) QuerySeconds(w *Workload) map[string]float64 {
 // created through tuning. Applying an empty configuration resets every
 // parameter to its default, so this works on any backend.
 func (d *Database) ResetConfiguration() {
+	d.pristine = false
 	d.db.DropTransientIndexes()
 	_ = d.db.ApplyConfig(&engine.Config{ID: "reset"})
 }
@@ -522,6 +530,9 @@ func (d *Database) ClockSeconds() float64 { return d.db.Clock().Now() }
 // tuning; instrumenting an already-instrumented database layers a second
 // decorator. BackendReport returns the accumulated numbers.
 func (d *Database) Instrument() {
+	// The decorator counts every backend call; serving cached timings would
+	// skip those counts, so an instrumented database is never pristine.
+	d.pristine = false
 	d.db = instrumented.Wrap(d.db)
 }
 

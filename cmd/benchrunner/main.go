@@ -19,22 +19,40 @@ import (
 	"time"
 
 	"lambdatune/internal/bench"
+	"lambdatune/internal/bench/jobstudy"
 	"lambdatune/internal/bench/runtimestudy"
 )
 
+// writeProfile dumps the named runtime/pprof profile (mutex, block) to path.
+func writeProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
+}
+
 func main() {
 	var (
-		exp        = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling race runtime all")
-		trials     = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
-		seed       = flag.Int64("seed", 1, "base random seed")
-		burn       = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
-		csvDir     = flag.String("csv", "", "also write machine-readable CSVs to this directory")
-		charts     = flag.Bool("charts", false, "render convergence figures as ASCII charts")
-		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
-		traceDir   = flag.String("trace-dir", "", "write one JSONL span trace per λ-Tune run into this directory (inspect with `lambdatune trace-summary`)")
-		raceJSON   = flag.String("race-json", "", "also write the E14 racing study as machine-readable JSON to this file")
-		rtJSON     = flag.String("runtime-json", "", "also write the E15 shared-runtime study as machine-readable JSON to this file")
+		exp          = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling race runtime jobs all")
+		trials       = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
+		seed         = flag.Int64("seed", 1, "base random seed")
+		burn         = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
+		csvDir       = flag.String("csv", "", "also write machine-readable CSVs to this directory")
+		charts       = flag.Bool("charts", false, "render convergence figures as ASCII charts")
+		cpuProfile   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a pprof mutex-contention profile at exit to this file")
+		blockProfile = flag.String("blockprofile", "", "write a pprof blocking profile at exit to this file")
+		traceDir     = flag.String("trace-dir", "", "write one JSONL span trace per λ-Tune run into this directory (inspect with `lambdatune trace-summary`)")
+		raceJSON     = flag.String("race-json", "", "also write the E14 racing study as machine-readable JSON to this file")
+		rtJSON       = flag.String("runtime-json", "", "also write the E15 shared-runtime study as machine-readable JSON to this file")
+		jobsJSON     = flag.String("jobs-json", "", "also write the E16 job-throughput study as machine-readable JSON to this file")
+		jobCount     = flag.Int("jobs", jobstudy.Jobs, "job count for the E16 job-throughput study")
 	)
 	flag.Parse()
 
@@ -74,6 +92,16 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 			}
 		}()
+	}
+	// The contention profiles sample every event (rate/fraction 1): these are
+	// offline benchmark runs, so fidelity beats sampling overhead.
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeProfile("mutex", *mutexProfile)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeProfile("block", *blockProfile)
 	}
 
 	r := bench.NewRunner()
@@ -259,6 +287,20 @@ func main() {
 			return bench.RenderRace(s), nil
 		})
 	}
+	if all || *exp == "jobs" {
+		run("Job-throughput study (E16) — daemon-scale stream, legacy vs segmented-LRU lifecycle", func() (string, error) {
+			s, err := jobstudy.Run(*seed, *jobCount)
+			if err != nil {
+				return "", err
+			}
+			if *jobsJSON != "" {
+				if err := jobstudy.ExportJSON(*jobsJSON, s); err != nil {
+					return "", err
+				}
+			}
+			return jobstudy.Render(s), nil
+		})
+	}
 	if all || *exp == "runtime" {
 		run("Shared-runtime study (E15) — cross-job memo reuse vs isolated runs", func() (string, error) {
 			s, err := runtimestudy.Run(*seed, runtimestudy.Jobs)
@@ -275,7 +317,7 @@ func main() {
 	}
 	if !all {
 		switch *exp {
-		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling", "race", "runtime":
+		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling", "race", "runtime", "jobs":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)

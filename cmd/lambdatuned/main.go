@@ -26,9 +26,11 @@
 // and DBMS share plan caches and schedule memos (wall-time savings only;
 // per-job results are identical to isolated runs), while per-tenant LLM
 // breaker state and memo namespaces stay isolated. -eval-slots bounds the
-// evaluation workers running concurrently across all jobs, and the
-// -tenant-* flags configure the per-tenant LLM circuit breaker and
-// in-flight bound (all off by default).
+// evaluation workers running concurrently across all jobs, shared under
+// weighted fair scheduling (-tenant-weight name=weight, repeatable), and
+// the remaining -tenant-* flags configure the per-tenant LLM circuit
+// breaker and in-flight bound (all off by default). -pprof-addr serves
+// net/http/pprof on a separate listener for live profiling.
 package main
 
 import (
@@ -38,8 +40,11 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -73,10 +78,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		quiet      = fs.Bool("quiet", false, "suppress per-job operational logs")
 
 		evalSlots        = fs.Int("eval-slots", 0, "evaluation workers running concurrently across all jobs (0 = unbounded)")
+		pprofAddr        = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); kept off the API listener so profiling is never internet-facing")
 		breakerThreshold = fs.Int("tenant-breaker-threshold", 0, "consecutive LLM failures tripping a tenant's circuit breaker (0 = off)")
 		breakerCooldown  = fs.Duration("tenant-breaker-cooldown", 30*time.Second, "wall-clock time a tripped tenant breaker stays open")
 		maxInFlight      = fs.Int("tenant-max-inflight", 0, "per-tenant concurrent LLM calls (0 = unbounded)")
 	)
+	// -tenant-weight is repeatable: each occurrence grants one tenant a
+	// fair-share weight on the evaluation slot scheduler (default 1).
+	tenantWeights := map[string]int{}
+	fs.Func("tenant-weight", "tenant evaluation-slot weight as name=weight (repeatable; unlisted tenants weigh 1)", func(v string) error {
+		name, w, ok := strings.Cut(v, "=")
+		if !ok || name == "" {
+			return fmt.Errorf("want name=weight, got %q", v)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n < 1 {
+			return fmt.Errorf("weight must be a positive integer, got %q", w)
+		}
+		tenantWeights[name] = n
+		return nil
+	})
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -98,6 +119,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	reg := rtMetrics.Registry()
 	rt := lambdatune.NewRuntime(lambdatune.RuntimeOptions{
 		EvalSlots:              *evalSlots,
+		TenantWeights:          tenantWeights,
 		TenantBreakerThreshold: *breakerThreshold,
 		TenantBreakerCooldown:  *breakerCooldown,
 		TenantMaxInFlight:      *maxInFlight,
@@ -124,6 +146,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		_ = m.Close()
 		return 1
+	}
+	if *pprofAddr != "" {
+		// The profiler gets its own mux and listener: the API handler never
+		// exposes /debug/pprof/, and the operator chooses a loopback-only
+		// address for it independently of -addr.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			_ = m.Close()
+			return 1
+		}
+		defer pln.Close()
+		go func() { _ = http.Serve(pln, pmux) }()
+		logf("pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 	srv := &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)

@@ -171,6 +171,14 @@ type PlanCacheQuerier interface {
 	PlanCacheEnabled() bool
 }
 
+// PlanCacheLifecycler is the capability to switch the plan cache's eviction
+// lifecycle between recency-aware compaction (default) and the historical
+// drop-oldest-layer mode. Like the on/off toggle it never changes observable
+// results — it exists so eviction benchmarks can A/B the lifecycles.
+type PlanCacheLifecycler interface {
+	SetPlanCacheLegacyEviction(legacy bool)
+}
+
 // HasFaultInjector reports whether b supports fault injection and has an
 // injector installed. False for backends without the capability.
 func HasFaultInjector(b Backend) bool {
@@ -221,6 +229,14 @@ func PlanCache(b Backend) engine.PlanCacheStats {
 func SetPlanCache(b Backend, on bool) {
 	if t, ok := b.(PlanCacheToggler); ok {
 		t.SetPlanCache(on)
+	}
+}
+
+// SetPlanCacheLegacyEviction switches b's plan-cache eviction lifecycle when
+// supported; a no-op otherwise.
+func SetPlanCacheLegacyEviction(b Backend, legacy bool) {
+	if l, ok := b.(PlanCacheLifecycler); ok {
+		l.SetPlanCacheLegacyEviction(legacy)
 	}
 }
 

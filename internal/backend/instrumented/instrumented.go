@@ -338,6 +338,11 @@ func (b *Backend) PlanCacheStats() engine.PlanCacheStats { return backend.PlanCa
 // SetPlanCache forwards when supported.
 func (b *Backend) SetPlanCache(on bool) { backend.SetPlanCache(b.inner, on) }
 
+// SetPlanCacheLegacyEviction forwards when supported.
+func (b *Backend) SetPlanCacheLegacyEviction(legacy bool) {
+	backend.SetPlanCacheLegacyEviction(b.inner, legacy)
+}
+
 // PlanCacheEnabled reports the inner backend's memoization toggle (true when
 // unsupported).
 func (b *Backend) PlanCacheEnabled() bool { return backend.PlanCacheEnabled(b.inner) }

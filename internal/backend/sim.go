@@ -129,6 +129,9 @@ func (s *Sim) SetPlanCache(on bool) { s.db.SetPlanCache(on) }
 // PlanCacheEnabled implements backend.PlanCacheQuerier.
 func (s *Sim) PlanCacheEnabled() bool { return s.db.PlanCacheEnabled() }
 
+// SetPlanCacheLegacyEviction implements backend.PlanCacheLifecycler.
+func (s *Sim) SetPlanCacheLegacyEviction(legacy bool) { s.db.SetPlanCacheLegacyEviction(legacy) }
+
 // PermanentIndexCount returns the number of initial indexes.
 func (s *Sim) PermanentIndexCount() int { return s.db.PermanentIndexCount() }
 

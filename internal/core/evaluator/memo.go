@@ -33,6 +33,12 @@ import (
 //   - the schedule.Memo for DP orderings, which folds every backend value the
 //     DP reads into its key (see schedule.Memo and OrderScoped).
 //
+// Lifecycle. Both layers evict by recency rather than clearing on overflow:
+// the relevance layer drops its least-recently-probed configuration when the
+// config bound is hit, and the schedule memo runs a sharded segmented LRU
+// (see schedule.Memo). NewLegacySharedMemo restores the historical
+// clear-on-overflow lifecycle as the A/B baseline for eviction benchmarks.
+//
 // A Memo is safe for concurrent use and is shared across the parallel
 // evaluator's workers. Construction is gated on the backend's plan-cache
 // toggle (see New), so one switch governs every memoization layer.
@@ -41,17 +47,23 @@ type Memo struct {
 	// shared marks a Runtime-owned memo probed by many jobs (see
 	// NewSharedMemo); ns/reg feed the per-namespace runtime_* counters.
 	shared bool
+	legacy bool
 	ns     string
 	reg    *obs.Registry
 
 	mu   sync.Mutex
 	maps map[string]map[string]relevanceEntry // config content key → query name
+	lru  []string                             // config content keys, least-recent first
 	keys map[*engine.Config]string            // config → content key, guarded by mu
 	cols map[string]bool                      // scratch for queryIndexDefs, guarded by mu
 
 	lookups      atomic.Uint64
 	hits         atomic.Uint64
 	crossJobHits atomic.Uint64
+	evictions    atomic.Uint64 // relevance-layer entries dropped
+	// evictPublished tracks how much of the combined eviction total has been
+	// flushed to the registry, so record can publish monotone deltas.
+	evictPublished atomic.Uint64
 }
 
 // relevanceEntry is one memoized relevance slice with the query pointer that
@@ -73,14 +85,36 @@ type MemoStats struct {
 	// CrossJobHits counts hits on entries computed by a different job — the
 	// shared Runtime's reuse signal. Always 0 for a private memo.
 	CrossJobHits uint64
+	// Evictions counts entries dropped by the lifecycle across both layers.
+	Evictions uint64
+	// ScheduleHits / ScheduleProtectedHits expose the schedule memo's
+	// segmented-LRU accounting; their ratio is the hit-retention signal.
+	ScheduleHits          uint64
+	ScheduleProtectedHits uint64
 }
 
 // Misses returns Lookups - Hits.
 func (s MemoStats) Misses() uint64 { return s.Lookups - s.Hits }
 
-// memoMaxConfigs bounds the relevance-map layer; overflow clears it (a
-// selector run touches Samples+1 configurations, far below the bound).
+// HitRetention is the fraction of schedule-memo hits served from the
+// protected segment — how much of the hit traffic lands on entries the
+// lifecycle chose to retain (0 when no hits, or under the legacy lifecycle,
+// which has no protected segment).
+func (s MemoStats) HitRetention() float64 {
+	if s.ScheduleHits == 0 {
+		return 0
+	}
+	return float64(s.ScheduleProtectedHits) / float64(s.ScheduleHits)
+}
+
+// memoMaxConfigs bounds the relevance-map layer (a selector run touches
+// Samples+1 configurations, far below the bound; overflow drops the
+// least-recently-probed configuration).
 const memoMaxConfigs = 64
+
+// memoMaxConfigKeys bounds the pointer→content-key cache; it is a pure
+// cache, so overflow just clears it.
+const memoMaxConfigKeys = 4 * memoMaxConfigs
 
 // NewMemo returns an empty private evaluator memo (single-run semantics).
 func NewMemo() *Memo {
@@ -90,12 +124,32 @@ func NewMemo() *Memo {
 // NewSharedMemo returns a memo owned by a shared Runtime namespace: hits may
 // cross job boundaries (callers pass their job ID as owner), and when reg is
 // non-nil the memo publishes per-namespace counters
-// runtime_memo_{hits,misses,cross_job_hits}_total_<ns>.
-func NewSharedMemo(ns string, reg *obs.Registry) *Memo {
+// runtime_memo_{hits,misses,cross_job_hits,evictions}_total_<ns> plus the
+// runtime_memo_hit_retention_<ns> gauge and the aggregate
+// runtime_memo_evictions_total. capacity bounds the schedule layer's entry
+// count per namespace (<= 0 selects the default).
+func NewSharedMemo(ns string, reg *obs.Registry, capacity int) *Memo {
 	m := NewMemo()
+	if capacity > 0 {
+		m.s = schedule.NewMemoCapacity(capacity, false)
+	}
 	m.shared = true
 	m.ns = ns
 	m.reg = reg
+	return m
+}
+
+// NewLegacySharedMemo is NewSharedMemo with the historical clear-on-overflow
+// lifecycle in both layers — the measurable baseline the segmented LRU is
+// benchmarked against (see the E16 job-throughput study).
+func NewLegacySharedMemo(ns string, reg *obs.Registry, capacity int) *Memo {
+	m := NewSharedMemo(ns, reg, 0)
+	m.legacy = true
+	if capacity <= 0 {
+		m.s = schedule.NewLegacyMemo()
+	} else {
+		m.s = schedule.NewMemoCapacity(capacity, true)
+	}
 	return m
 }
 
@@ -104,23 +158,46 @@ func (m *Memo) Stats() MemoStats {
 	if m == nil {
 		return MemoStats{}
 	}
+	ss := m.s.Stats()
 	return MemoStats{
-		Lookups:      m.lookups.Load(),
-		Hits:         m.hits.Load(),
-		CrossJobHits: m.crossJobHits.Load(),
+		Lookups:               m.lookups.Load(),
+		Hits:                  m.hits.Load(),
+		CrossJobHits:          m.crossJobHits.Load(),
+		Evictions:             m.evictions.Load() + uint64(ss.Evictions),
+		ScheduleHits:          uint64(ss.Hits),
+		ScheduleProtectedHits: uint64(ss.ProtectedHits),
 	}
 }
 
 // record folds one batch of probe outcomes into the counters and, for a
-// shared memo with a registry, the per-namespace runtime_* series.
+// shared memo with a registry, the per-namespace runtime_* series (including
+// eviction deltas accumulated by either layer since the last publish).
 func (m *Memo) record(lookups, hits, cross uint64) {
 	m.lookups.Add(lookups)
 	m.hits.Add(hits)
 	m.crossJobHits.Add(cross)
-	if m.reg != nil {
-		m.reg.Counter("runtime_memo_hits_total_" + m.ns).Add(float64(hits))
-		m.reg.Counter("runtime_memo_misses_total_" + m.ns).Add(float64(lookups - hits))
-		m.reg.Counter("runtime_memo_cross_job_hits_total_" + m.ns).Add(float64(cross))
+	if m.reg == nil {
+		return
+	}
+	m.reg.Counter("runtime_memo_hits_total_" + m.ns).Add(float64(hits))
+	m.reg.Counter("runtime_memo_misses_total_" + m.ns).Add(float64(lookups - hits))
+	m.reg.Counter("runtime_memo_cross_job_hits_total_" + m.ns).Add(float64(cross))
+	ss := m.s.Stats()
+	if ss.Hits > 0 {
+		m.reg.Gauge("runtime_memo_hit_retention_" + m.ns).Set(float64(ss.ProtectedHits) / float64(ss.Hits))
+	}
+	total := m.evictions.Load() + uint64(ss.Evictions)
+	for {
+		prev := m.evictPublished.Load()
+		if total <= prev {
+			return
+		}
+		if m.evictPublished.CompareAndSwap(prev, total) {
+			delta := float64(total - prev)
+			m.reg.Counter("runtime_memo_evictions_total").Add(delta)
+			m.reg.Counter("runtime_memo_evictions_total_" + m.ns).Add(delta)
+			return
+		}
 	}
 }
 
@@ -140,9 +217,53 @@ func (m *Memo) configKey(cfg *engine.Config) string {
 	k := strings.Join(ks, "\x00")
 	if m.keys == nil {
 		m.keys = make(map[*engine.Config]string, 8)
+	} else if len(m.keys) >= memoMaxConfigKeys {
+		// The pointer cache is only an accelerator; a long-lived daemon sees
+		// unbounded distinct *Config pointers, so flush rather than leak.
+		clear(m.keys)
 	}
 	m.keys[cfg] = k
 	return k
+}
+
+// touchConfig moves key to the most-recent end of the relevance-layer LRU
+// order. Caller holds m.mu.
+func (m *Memo) touchConfig(key string) {
+	n := len(m.lru)
+	if n > 0 && m.lru[n-1] == key {
+		return
+	}
+	for i := n - 1; i >= 0; i-- {
+		if m.lru[i] == key {
+			copy(m.lru[i:], m.lru[i+1:])
+			m.lru[n-1] = key
+			return
+		}
+	}
+	m.lru = append(m.lru, key)
+}
+
+// evictConfigLocked applies the relevance-layer bound: in legacy mode a full
+// flush, otherwise dropping the least-recently-probed configuration. Caller
+// holds m.mu.
+func (m *Memo) evictConfigLocked() {
+	if m.legacy {
+		for _, per := range m.maps {
+			m.evictions.Add(uint64(len(per)))
+		}
+		m.maps = make(map[string]map[string]relevanceEntry, 8)
+		m.lru = m.lru[:0]
+		m.keys = nil // the key cache is only useful alongside its entries
+		return
+	}
+	for len(m.maps) >= memoMaxConfigs && len(m.lru) > 0 {
+		victim := m.lru[0]
+		m.lru = m.lru[1:]
+		if per, ok := m.maps[victim]; ok {
+			m.evictions.Add(uint64(len(per)))
+			delete(m.maps, victim)
+		}
+	}
 }
 
 // queryIndexMap is the memoizing front of QueryIndexMap. A nil receiver
@@ -162,14 +283,16 @@ func (m *Memo) queryIndexMap(queries []*engine.Query, cfg *engine.Config, owner 
 	key := m.configKey(cfg)
 	per := m.maps[key]
 	if per == nil {
-		if m.maps == nil || len(m.maps) >= memoMaxConfigs {
+		if m.maps == nil {
 			m.maps = make(map[string]map[string]relevanceEntry, 8)
-			m.keys = nil // the key cache is only useful alongside its entries
+		} else if len(m.maps) >= memoMaxConfigs {
+			m.evictConfigLocked()
 			key = m.configKey(cfg)
 		}
 		per = make(map[string]relevanceEntry, len(queries))
 		m.maps[key] = per
 	}
+	m.touchConfig(key)
 	full := true
 	for _, q := range queries {
 		e, ok := per[q.Name]

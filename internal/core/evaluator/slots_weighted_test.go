@@ -1,0 +1,368 @@
+package evaluator
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tenantOfJob is the production mapping used by the Runtime: everything
+// before the first '#' is the tenant.
+func tenantOfJob(job string) string {
+	if i := strings.IndexByte(job, '#'); i >= 0 {
+		return job[:i]
+	}
+	return job
+}
+
+// waitForWaiters blocks until the gate holds exactly n queued waiters, so
+// tests can pin a deterministic arrival order before triggering grants.
+func waitForWaiters(t *testing.T, s *SharedSlots, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.waiterCount() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate never reached %d waiters (have %d)", n, s.waiterCount())
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// enqueueSerial launches one waiter for job and waits until it is queued.
+// Granted waiters append their job label to order and chain the next grant
+// by releasing, so the recorded order is the gate's exact grant order.
+func enqueueSerial(t *testing.T, s *SharedSlots, wg *sync.WaitGroup, mu *sync.Mutex, order *[]string, job string) {
+	t.Helper()
+	before := s.waiterCount()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		release, err := s.Acquire(context.Background(), job)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		*order = append(*order, job)
+		mu.Unlock()
+		release()
+	}()
+	waitForWaiters(t, s, before+1)
+}
+
+// TestWeightedSlotsGrantOrder pins the deficit-round-robin schedule: with
+// tenant alpha at weight 3 and beta at weight 1 both backlogged, grants must
+// follow alpha,alpha,alpha,beta repeating — a deterministic function of the
+// (serialized) arrival order.
+func TestWeightedSlotsGrantOrder(t *testing.T) {
+	weights := map[string]int{"alpha": 3, "beta": 1}
+	s := NewWeightedSlots(SlotsConfig{
+		Capacity: 1,
+		TenantOf: tenantOfJob,
+		Weight:   func(tn string) int { return weights[tn] },
+	})
+	hold, err := s.Acquire(context.Background(), "warm#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	// Arrival order fixes the DRR ring: alpha first, then beta.
+	for i := 0; i < 6; i++ {
+		enqueueSerial(t, s, &wg, &mu, &order, "alpha#1")
+	}
+	for i := 0; i < 2; i++ {
+		enqueueSerial(t, s, &wg, &mu, &order, "beta#1")
+	}
+
+	hold() // kick off the serial grant chain
+	wg.Wait()
+
+	got := make([]string, len(order))
+	for i, j := range order {
+		got[i] = tenantOfJob(j)
+	}
+	want := []string{"alpha", "alpha", "alpha", "beta", "alpha", "alpha", "alpha", "beta"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("grant order = %v, want %v", got, want)
+	}
+}
+
+// TestWeightedSlotsWithinTenantRoundRobin asserts a tenant's own jobs share
+// its slots round-robin: a one-worker job is served on the tenant's second
+// grant even when a sibling job queued four workers first.
+func TestWeightedSlotsWithinTenantRoundRobin(t *testing.T) {
+	s := NewWeightedSlots(SlotsConfig{Capacity: 1, TenantOf: tenantOfJob})
+	hold, err := s.Acquire(context.Background(), "warm#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		enqueueSerial(t, s, &wg, &mu, &order, "acme#big")
+	}
+	enqueueSerial(t, s, &wg, &mu, &order, "acme#small")
+
+	hold()
+	wg.Wait()
+
+	want := []string{"acme#big", "acme#small", "acme#big", "acme#big", "acme#big"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("grant order = %v, want %v", order, want)
+	}
+}
+
+// TestWeightedSlotsCancelMidRotation cancels a queued waiter whose tenant
+// sits mid-rotation and asserts the remaining schedule is unaffected: no
+// lost slot, no stuck rotation pointer.
+func TestWeightedSlotsCancelMidRotation(t *testing.T) {
+	s := NewWeightedSlots(SlotsConfig{Capacity: 1, TenantOf: tenantOfJob})
+	hold, err := s.Acquire(context.Background(), "warm#0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var order []string
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	enqueueSerial(t, s, &wg, &mu, &order, "a#1")
+	enqueueSerial(t, s, &wg, &mu, &order, "b#1")
+	enqueueSerial(t, s, &wg, &mu, &order, "c#1")
+
+	// Cancel tenant b's only waiter while it is queued mid-ring.
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := s.Acquire(ctx, "b#2")
+		errc <- err
+	}()
+	waitForWaiters(t, s, 4)
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("canceled waiter returned %v", err)
+	}
+	waitForWaiters(t, s, 3)
+
+	hold()
+	wg.Wait()
+
+	want := []string{"a#1", "b#1", "c#1"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("grant order after cancel = %v, want %v", order, want)
+	}
+}
+
+// TestWeightedSlotsStress is the weighted-grant stress/fuzz satellite: many
+// goroutines across tenants with random seeded weights, cancels mid-wait,
+// and jobs joining and leaving. Asserts no lost slots (full capacity is
+// re-acquirable afterward), no starvation (every tenant is granted), and a
+// bounded holder count throughout. Run under -race in tier 1.
+func TestWeightedSlotsStress(t *testing.T) {
+	const (
+		capacity = 4
+		tenants  = 5
+		workers  = 40
+		rounds   = 25
+	)
+	rng := rand.New(rand.NewSource(16))
+	weights := make(map[string]int, tenants)
+	for i := 0; i < tenants; i++ {
+		weights[fmt.Sprintf("t%d", i)] = 1 + rng.Intn(5)
+	}
+	s := NewWeightedSlots(SlotsConfig{
+		Capacity: capacity,
+		TenantOf: tenantOfJob,
+		Weight:   func(tn string) int { return weights[tn] },
+	})
+
+	var inUse, peak atomic.Int64
+	grants := make([]atomic.Int64, tenants)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		tenant := w % tenants
+		seed := int64(100 + w)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < rounds; i++ {
+				// Jobs join and leave: the label changes across iterations.
+				job := fmt.Sprintf("t%d#j%d", tenant, r.Intn(3))
+				ctx := context.Background()
+				cancel := context.CancelFunc(func() {})
+				if r.Intn(4) == 0 {
+					// Sometimes cancel mid-wait with a tiny deadline.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(r.Intn(200))*time.Microsecond)
+				}
+				release, err := s.Acquire(ctx, job)
+				cancel()
+				if err != nil {
+					continue // canceled mid-wait; must not leak or lose a slot
+				}
+				n := inUse.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				if r.Intn(8) == 0 {
+					time.Sleep(time.Duration(r.Intn(50)) * time.Microsecond)
+				}
+				grants[tenant].Add(1)
+				inUse.Add(-1)
+				release()
+				if r.Intn(16) == 0 {
+					release() // double release must stay idempotent under load
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("observed %d concurrent holders, cap %d", p, capacity)
+	}
+	for i := range grants {
+		if grants[i].Load() == 0 {
+			t.Fatalf("tenant t%d starved: zero grants (weights %v)", i, weights)
+		}
+	}
+	if w := s.waiterCount(); w != 0 {
+		t.Fatalf("%d waiters leaked after shutdown", w)
+	}
+	// No lost slots: the full capacity must be immediately re-acquirable.
+	ctx, cancelAll := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelAll()
+	var releases []func()
+	for i := 0; i < capacity; i++ {
+		release, err := s.Acquire(ctx, "post#check")
+		if err != nil {
+			t.Fatalf("slot %d lost after stress: %v", i, err)
+		}
+		releases = append(releases, release)
+	}
+	for _, r := range releases {
+		r()
+	}
+}
+
+// FuzzWeightedSlots drives a random operation sequence — acquires across
+// fuzzed tenants/weights, releases, and cancels — and asserts the semaphore
+// invariants hold: holders never exceed capacity, no waiter or slot leaks,
+// and full capacity is re-acquirable at the end.
+func FuzzWeightedSlots(f *testing.F) {
+	f.Add([]byte{2, 0, 1, 5, 2, 9, 1, 1, 0})
+	f.Add([]byte{1, 3, 3, 3, 1, 2, 0, 7, 4, 1, 1, 1})
+	f.Add([]byte{4, 250, 17, 33, 0, 0, 1, 2, 99, 5, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		capacity := 1 + int(data[0])%4
+		s := NewWeightedSlots(SlotsConfig{
+			Capacity: capacity,
+			TenantOf: tenantOfJob,
+			Weight:   func(tn string) int { return len(tn) % 7 }, // exercises <1 clamp
+		})
+
+		type pending struct {
+			cancel  context.CancelFunc
+			done    chan func() // receives the release func, or closes on cancel
+			granted func()
+		}
+		var held []func()
+		var waiting []*pending
+		var inUse, peak atomic.Int64
+
+		settle := func(p *pending) {
+			// After cancel, the Acquire either errored (channel closed) or
+			// had already won the race (release func delivered).
+			if rel, ok := <-p.done; ok && rel != nil {
+				rel()
+			}
+		}
+		for _, b := range data[1:] {
+			switch b % 3 {
+			case 0: // acquire
+				job := fmt.Sprintf("t%d#j%d", int(b)%5, int(b/3)%3)
+				ctx, cancel := context.WithCancel(context.Background())
+				p := &pending{cancel: cancel, done: make(chan func(), 1)}
+				go func() {
+					release, err := s.Acquire(ctx, job)
+					if err != nil {
+						close(p.done)
+						return
+					}
+					n := inUse.Add(1)
+					for {
+						pk := peak.Load()
+						if n <= pk || peak.CompareAndSwap(pk, n) {
+							break
+						}
+					}
+					p.done <- func() {
+						inUse.Add(-1)
+						release()
+					}
+				}()
+				select {
+				case rel, ok := <-p.done:
+					if ok && rel != nil {
+						held = append(held, rel)
+					}
+				case <-time.After(2 * time.Millisecond):
+					waiting = append(waiting, p)
+				}
+			case 1: // release the oldest held slot
+				if len(held) > 0 {
+					held[0]()
+					held = held[1:]
+				}
+			case 2: // cancel the oldest waiter
+				if len(waiting) > 0 {
+					p := waiting[0]
+					waiting = waiting[1:]
+					p.cancel()
+					settle(p)
+				}
+			}
+		}
+		for _, p := range waiting {
+			p.cancel()
+			settle(p)
+		}
+		for _, rel := range held {
+			rel()
+		}
+		if p := peak.Load(); p > int64(capacity) {
+			t.Fatalf("observed %d concurrent holders, cap %d", p, capacity)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		var releases []func()
+		for i := 0; i < capacity; i++ {
+			release, err := s.Acquire(ctx, "post#check")
+			if err != nil {
+				t.Fatalf("slot %d lost: %v", i, err)
+			}
+			releases = append(releases, release)
+		}
+		for _, r := range releases {
+			r()
+		}
+		if w := s.waiterCount(); w != 0 {
+			t.Fatalf("%d waiters leaked", w)
+		}
+	})
+}

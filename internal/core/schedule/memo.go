@@ -3,8 +3,8 @@ package schedule
 import (
 	"encoding/binary"
 	"math"
-	"strings"
 	"sync"
+	"sync/atomic"
 
 	"lambdatune/internal/engine"
 )
@@ -23,33 +23,212 @@ import (
 // so equal names can never alias. Like the plan cache, the memo changes host
 // CPU time only — a hit returns the exact permutation the DP would compute.
 //
+// Lifecycle. The memo is bounded by a sharded segmented LRU rather than the
+// clear-on-overflow of earlier revisions: keys hash onto independent shards
+// (one lock each, so concurrent jobs don't serialize on one mutex), and each
+// shard keeps a probation and a protected segment. New entries enter
+// probation; a re-hit entry is promoted to protected, displacing the
+// protected segment's own least-recent entry back to probation when the
+// segment is full. Overflow evicts from the probation tail first, so a
+// long-lived daemon churning through cold one-shot tenants evicts their
+// never-re-hit entries while hot cross-job entries stay resident. The legacy
+// clear-on-overflow behavior survives behind NewMemoCapacity's legacy flag
+// as the A/B baseline for the lifecycle benchmarks.
+//
 // A Memo is safe for concurrent use: the parallel evaluator's workers
 // schedule rounds on separate snapshots but share one memo. A runtime-owned
 // memo is additionally shared across whole jobs via OrderScoped, which
 // attributes entries to their creating job and coalesces concurrent
 // first computations of the same key.
 type Memo struct {
-	mu sync.Mutex
-	m  map[string]memoEntry
+	shards   []memoShard
+	legacy   bool
+	capacity int // total entry bound across shards
+
+	hits          atomic.Int64
+	protectedHits atomic.Int64
+	evictions     atomic.Int64
+
 	// inflight coalesces concurrent scoped first computations: the first
 	// caller of a missing key computes, later callers wait for its entry
 	// instead of repeating the DP. Private (unscoped) callers never wait —
 	// they recompute exactly as the pre-runtime memo did.
-	inflight map[string]chan struct{}
+	inflightMu sync.Mutex
+	inflight   map[string]chan struct{}
 }
 
+// memoShard is one independently locked slice of the memo's key space.
+type memoShard struct {
+	mu        sync.Mutex
+	entries   map[string]*memoEntry
+	probation lruList
+	protected lruList
+	cap       int // entry bound for this shard
+	protCap   int // protected-segment bound (a fraction of cap)
+}
+
+// memoEntry is one memoized permutation, threaded onto its segment's
+// recency list.
 type memoEntry struct {
+	key   string
 	in    []*engine.Query
 	perm  []int // perm[i] indexes into in
 	owner string
+
+	protected  bool
+	prev, next *memoEntry
 }
 
-// memoMaxEntries bounds the memo; overflow clears it (the working set of a
-// selector run is orders of magnitude smaller).
+// lruList is an intrusive doubly-linked recency list: front = most recent.
+type lruList struct {
+	front, back *memoEntry
+	n           int
+}
+
+func (l *lruList) pushFront(e *memoEntry) {
+	e.prev = nil
+	e.next = l.front
+	if l.front != nil {
+		l.front.prev = e
+	}
+	l.front = e
+	if l.back == nil {
+		l.back = e
+	}
+	l.n++
+}
+
+func (l *lruList) remove(e *memoEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.n--
+}
+
+// memoMaxEntries is the default total entry bound (the working set of one
+// selector run is orders of magnitude smaller; a daemon's cross-job hot set
+// is what the segmented LRU protects within it).
 const memoMaxEntries = 4096
 
-// NewMemo returns an empty Order memo.
-func NewMemo() *Memo { return &Memo{} }
+// memoShardCount is the number of lock shards (power of two for masking).
+const memoShardCount = 8
+
+// NewMemo returns an empty Order memo with the default segmented-LRU
+// lifecycle.
+func NewMemo() *Memo { return NewMemoCapacity(memoMaxEntries, false) }
+
+// NewLegacyMemo returns a memo with the historical clear-on-overflow
+// lifecycle at the default bound — the A/B baseline for eviction benchmarks.
+func NewLegacyMemo() *Memo { return NewMemoCapacity(memoMaxEntries, true) }
+
+// NewMemoCapacity returns a memo bounded to capacity entries. legacy selects
+// the historical clear-on-overflow lifecycle (single shard, full flush at
+// the bound) — kept as the measurable baseline for eviction benchmarks.
+func NewMemoCapacity(capacity int, legacy bool) *Memo {
+	if capacity < 1 {
+		capacity = 1
+	}
+	shards := memoShardCount
+	if legacy || capacity < shards {
+		shards = 1
+	}
+	m := &Memo{
+		shards:   make([]memoShard, shards),
+		legacy:   legacy,
+		capacity: capacity,
+	}
+	per := capacity / shards
+	if per < 1 {
+		per = 1
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.cap = per
+		// Protected holds at most ~80% of a shard, so promotion always
+		// leaves probation room for new entries to prove themselves.
+		s.protCap = per * 4 / 5
+		if s.protCap < 1 {
+			s.protCap = 1
+		}
+	}
+	return m
+}
+
+// MemoStats is a point-in-time snapshot of the memo's lifecycle accounting.
+type MemoStats struct {
+	// Hits counts probes served from the memo.
+	Hits int64
+	// ProtectedHits counts hits on protected-segment entries — entries that
+	// earned residency by re-use. ProtectedHits/Hits is the hit-retention
+	// signal exported by the runtime.
+	ProtectedHits int64
+	// Evictions counts entries dropped by the lifecycle (individual LRU
+	// evictions, or whole flushed entries in legacy mode).
+	Evictions int64
+}
+
+// Stats returns the memo's lifecycle accounting (zero value for nil).
+func (m *Memo) Stats() MemoStats {
+	if m == nil {
+		return MemoStats{}
+	}
+	return MemoStats{
+		Hits:          m.hits.Load(),
+		ProtectedHits: m.protectedHits.Load(),
+		Evictions:     m.evictions.Load(),
+	}
+}
+
+// shardIndex maps a key onto its lock shard. Generic over the key's
+// representation so the probe path can hash the pooled []byte key without
+// first converting it to a string; the FNV-1a loop is written out because
+// hash/fnv's Write would force the key bytes onto the heap.
+func shardIndex[K ~string | ~[]byte](m *Memo, key K) *memoShard {
+	if len(m.shards) == 1 {
+		return &m.shards[0]
+	}
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime32
+	}
+	return &m.shards[h%uint32(len(m.shards))]
+}
+
+// orderKeyBuf is pooled scratch for OrderScoped's key construction: the key
+// bytes plus the first-sight index set used for cost folding. Reusing both
+// removes the dominant allocation on the memo's hit path — a warm probe
+// allocates only the replayed permutation.
+type orderKeyBuf struct {
+	b    []byte
+	seen []engine.IndexDef
+}
+
+var orderKeyPool = sync.Pool{New: func() any { return new(orderKeyBuf) }}
+
+// seenIndex reports whether seen already holds d's key. Name plays no part
+// in IndexDef.Key, so the comparison mirrors it: Table and Columns only. A
+// linear scan replaces the per-call map — index lists are short and a slice
+// probe allocates nothing.
+func seenIndex(seen []engine.IndexDef, d engine.IndexDef) bool {
+	for _, s := range seen {
+		if s.Table == d.Table && s.Columns == d.Columns {
+			return true
+		}
+	}
+	return false
+}
 
 // Order is the memoizing front of the package-level Order function. A nil
 // receiver degrades to the plain DP, so callers can thread an optional memo
@@ -88,75 +267,70 @@ func (m *Memo) OrderScoped(owner string, queries []*engine.Query, indexMap map[*
 	if m == nil {
 		return Order(queries, indexMap, cost, seed), false, false
 	}
-	var b strings.Builder
+	// The key is built into a pooled buffer; probe and the inflight lookup
+	// use the map[string(b)] no-allocation index form, so a hit — the common
+	// case for a warm daemon — materializes no key string at all.
+	kb := orderKeyPool.Get().(*orderKeyBuf)
+	k := kb.b[:0]
+	seen := kb.seen[:0]
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], uint64(seed))
-	b.Write(buf[:])
-	seen := map[string]bool{}
+	k = append(k, buf[:]...)
 	for _, q := range queries {
-		b.WriteString(q.Name)
-		b.WriteByte(1)
+		k = append(k, q.Name...)
+		k = append(k, 1)
 		for _, d := range indexMap[q] {
-			k := d.Key()
-			b.WriteString(k)
-			if !seen[k] {
-				seen[k] = true
+			k = append(k, d.Table...)
+			k = append(k, '(')
+			k = append(k, d.Columns...)
+			k = append(k, ')')
+			if !seenIndex(seen, d) {
+				seen = append(seen, d)
 				// Fold the creation cost in at first sight so the key stays
 				// a deterministic function of the inputs.
 				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(cost(d)))
-				b.Write(buf[:])
+				k = append(k, buf[:]...)
 			}
-			b.WriteByte(2)
+			k = append(k, 2)
 		}
-		b.WriteByte(3)
+		k = append(k, 3)
 	}
-	key := b.String()
+	kb.b, kb.seen = k, seen
 
 	for {
-		m.mu.Lock()
-		if e, ok := m.m[key]; ok {
-			if sameQueries(e.in, queries) {
-				m.mu.Unlock()
-				out := make([]*engine.Query, len(e.perm))
-				for i, idx := range e.perm {
-					out[i] = e.in[idx]
-				}
-				return out, true, owner != "" && e.owner != owner
-			}
-			if owner != "" && sameNames(e.in, queries) {
-				m.mu.Unlock()
-				out := make([]*engine.Query, len(e.perm))
-				for i, idx := range e.perm {
-					out[i] = queries[idx]
-				}
-				return out, true, e.owner != owner
-			}
-			// Same key but incompatible query slice (private memo with alien
-			// pointers): fall through and recompute, overwriting the entry.
+		if out, hit, cross, ok := m.probe(k, owner, queries); ok {
+			orderKeyPool.Put(kb)
+			return out, hit, cross
 		}
-		if owner != "" {
-			if ch, ok := m.inflight[key]; ok {
-				m.mu.Unlock()
-				<-ch
-				continue // the computing job stored the entry; re-probe
-			}
-			if m.inflight == nil {
-				m.inflight = make(map[string]chan struct{})
-			}
-			ch := make(chan struct{})
-			m.inflight[key] = ch
-			m.mu.Unlock()
-			defer func() {
-				m.mu.Lock()
-				delete(m.inflight, key)
-				m.mu.Unlock()
-				close(ch)
-			}()
-		} else {
-			m.mu.Unlock()
+		if owner == "" {
+			break
 		}
+		m.inflightMu.Lock()
+		if ch, ok := m.inflight[string(k)]; ok {
+			m.inflightMu.Unlock()
+			<-ch
+			continue // the computing job stored the entry; re-probe
+		}
+		if m.inflight == nil {
+			m.inflight = make(map[string]chan struct{})
+		}
+		ikey := string(k)
+		ch := make(chan struct{})
+		m.inflight[ikey] = ch
+		m.inflightMu.Unlock()
+		defer func() {
+			m.inflightMu.Lock()
+			delete(m.inflight, ikey)
+			m.inflightMu.Unlock()
+			close(ch)
+		}()
 		break
 	}
+
+	// Compute path: the key string is materialized exactly here, where it is
+	// about to be retained by store.
+	key := string(k)
+	orderKeyPool.Put(kb)
 
 	out := Order(queries, indexMap, cost, seed)
 	pos := make(map[*engine.Query]int, len(queries))
@@ -168,15 +342,107 @@ func (m *Memo) OrderScoped(owner string, queries []*engine.Query, indexMap map[*
 		perm[i] = pos[q]
 	}
 	in := append([]*engine.Query(nil), queries...)
-	m.mu.Lock()
-	if m.m == nil {
-		m.m = make(map[string]memoEntry, 64)
-	} else if len(m.m) >= memoMaxEntries {
-		clear(m.m)
-	}
-	m.m[key] = memoEntry{in: in, perm: perm, owner: owner}
-	m.mu.Unlock()
+	m.store(key, in, perm, owner)
 	return out, false, false
+}
+
+// probe looks key up, replays a compatible entry, and reports ok=false when
+// the caller must (re)compute — either a miss or an entry whose query slice
+// is incompatible with the caller's (private memo with alien pointers).
+func (m *Memo) probe(key []byte, owner string, queries []*engine.Query) ([]*engine.Query, bool, bool, bool) {
+	s := shardIndex(m, key)
+	s.mu.Lock()
+	e, ok := s.entries[string(key)]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false, false, false
+	}
+	switch {
+	case sameQueries(e.in, queries):
+		out := make([]*engine.Query, len(e.perm))
+		for i, idx := range e.perm {
+			out[i] = e.in[idx]
+		}
+		s.touch(e, m)
+		s.mu.Unlock()
+		return out, true, owner != "" && e.owner != owner, true
+	case owner != "" && sameNames(e.in, queries):
+		out := make([]*engine.Query, len(e.perm))
+		for i, idx := range e.perm {
+			out[i] = queries[idx]
+		}
+		cross := e.owner != owner
+		s.touch(e, m)
+		s.mu.Unlock()
+		return out, true, cross, true
+	}
+	s.mu.Unlock()
+	return nil, false, false, false
+}
+
+// touch records a hit on e and promotes it: probation entries move to the
+// protected segment (demoting that segment's coldest entry when full);
+// protected entries move to their segment's front. Caller holds s.mu.
+func (s *memoShard) touch(e *memoEntry, m *Memo) {
+	m.hits.Add(1)
+	if m.legacy {
+		return // legacy lifecycle has no recency structure
+	}
+	if e.protected {
+		m.protectedHits.Add(1)
+		if s.protected.front != e {
+			s.protected.remove(e)
+			s.protected.pushFront(e)
+		}
+		return
+	}
+	s.probation.remove(e)
+	e.protected = true
+	s.protected.pushFront(e)
+	if s.protected.n > s.protCap {
+		demoted := s.protected.back
+		s.protected.remove(demoted)
+		demoted.protected = false
+		s.probation.pushFront(demoted)
+	}
+}
+
+// store inserts (or replaces) key's entry and applies the lifecycle bound:
+// segmented-LRU eviction from the probation tail (falling back to the
+// protected tail when probation is empty), or a full flush in legacy mode.
+func (m *Memo) store(key string, in []*engine.Query, perm []int, owner string) {
+	s := shardIndex(m, key)
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = make(map[string]*memoEntry, 64)
+	} else if m.legacy && len(s.entries) >= s.cap {
+		m.evictions.Add(int64(len(s.entries)))
+		clear(s.entries)
+	}
+	if old, ok := s.entries[key]; ok && !m.legacy {
+		if old.protected {
+			s.protected.remove(old)
+		} else {
+			s.probation.remove(old)
+		}
+	}
+	e := &memoEntry{key: key, in: in, perm: perm, owner: owner}
+	s.entries[key] = e
+	if !m.legacy {
+		s.probation.pushFront(e)
+		for len(s.entries) > s.cap {
+			victim := s.probation.back
+			if victim == nil {
+				victim = s.protected.back
+				s.protected.remove(victim)
+			} else {
+				s.probation.remove(victim)
+			}
+			delete(s.entries, victim.key)
+			m.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
 }
 
 func sameQueries(a, b []*engine.Query) bool {

@@ -99,6 +99,13 @@ type Options struct {
 	// a Runtime): it attributes entries and leases for cross-job telemetry
 	// and fair scheduling.
 	JobID string
+	// SharedPrompt, when set, is a pregenerated prompt for this exact
+	// (workload, default configuration, Prompt options) triple, injected by
+	// the Runtime from its per-template cache. Tune uses it verbatim instead
+	// of calling prompt.Generate — generation is deterministic and touches
+	// neither the virtual clock nor the backend state, so the cached result
+	// is byte-identical to what this run would have produced.
+	SharedPrompt *prompt.Result
 }
 
 // DefaultOptions matches the paper's experimental setup (§6.1).
@@ -317,9 +324,16 @@ func (t *Tuner) Tune(ctx context.Context, queries []*engine.Query) (*Result, err
 		}
 	} else {
 		// Prompt generation (§3). EXPLAIN-based snippet valuation uses the
-		// database's current (default) configuration.
+		// database's current (default) configuration. A Runtime that already
+		// generated this exact prompt for an earlier job hands it in instead.
 		promptSpan := tr.Start(runSpan, "prompt", clock.Now())
-		pr, err := prompt.Generate(t.DB, queries, t.DB.Hardware(), t.Opts.Prompt)
+		var pr prompt.Result
+		var err error
+		if t.Opts.SharedPrompt != nil {
+			pr = *t.Opts.SharedPrompt
+		} else {
+			pr, err = prompt.Generate(t.DB, queries, t.DB.Hardware(), t.Opts.Prompt)
+		}
 		promptSpan.SetAttrs(obs.Int("tokens", pr.TotalTokens))
 		promptSpan.End(clock.Now())
 		if err != nil {

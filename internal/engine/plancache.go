@@ -70,10 +70,13 @@ func (s PlanCacheStats) String() string {
 
 // planCacheCounters is shared by a DB and all its snapshots so telemetry
 // covers replica work; atomics keep concurrent snapshot planning lock-free.
+// gen is the freeze generation: bumped once per freeze, it is the clock that
+// entry touch stamps are read against during compaction.
 type planCacheCounters struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+	gen       atomic.Uint32
 }
 
 const (
@@ -81,11 +84,29 @@ const (
 	// layer is frozen (becoming the newest segment of the frozen chain), so
 	// hot entries survive and eviction happens in oldest-segment granularity.
 	planCacheMaxEntries = 16384
-	// planCacheMaxLayers bounds the frozen-layer chain; overflow drops the
-	// oldest layer. Lookups scan at most this many maps, so total capacity is
-	// (planCacheMaxLayers+1) × planCacheMaxEntries entries.
+	// planCacheMaxLayers bounds the frozen-layer chain; overflow compacts the
+	// oldest two layers, retaining recently-touched entries (legacy mode
+	// drops the oldest layer wholesale). Lookups scan at most this many maps
+	// plus the compacted head, so total capacity is about
+	// (planCacheMaxLayers+2) × planCacheMaxEntries entries.
 	planCacheMaxLayers = 6
+	// planCacheRecentGens is the compaction recency window: an oldest-layer
+	// entry survives compaction only if it was hit within this many freeze
+	// generations. One window ≈ one full trip through the chain.
+	planCacheRecentGens = planCacheMaxLayers
+	// planCacheCompactCap bounds the compacted head layer so repeated merges
+	// cannot accrete unboundedly.
+	planCacheCompactCap = 2 * planCacheMaxEntries
 )
+
+// planEntry wraps a cached *Plan with its recency stamp. touch holds the
+// freeze generation of the entry's most recent hit (0 = never re-hit); it is
+// an atomic because frozen layers are shared read-only across snapshots, and
+// stamping recency is the one mutation the hot path performs on them.
+type planEntry struct {
+	p     *Plan
+	touch atomic.Uint32
+}
 
 // planKey identifies one memoized planning. All three components are exact —
 // there are no collisions, only identical plans.
@@ -96,29 +117,43 @@ type planKey struct {
 }
 
 // planCache is the per-DB memoization state. The frozen layers are immutable
-// and may be shared with snapshots; the write map is private to one DB.
+// (modulo the atomic recency stamps) and may be shared with snapshots; the
+// write map is private to one DB. legacy selects the historical drop-oldest
+// layer lifecycle instead of recency-aware compaction — the A/B baseline for
+// eviction benchmarks.
 type planCache struct {
 	counters *planCacheCounters
-	frozen   []map[planKey]*Plan
-	write    map[planKey]*Plan
-	off      bool
+	frozen   []map[planKey]*planEntry
+	write    map[planKey]*planEntry
+	// ownFrom is the index of the first frozen layer born from THIS
+	// instance's write map (by freeze) rather than inherited from the parent
+	// at snapshot time. Layers at ownFrom and beyond hold plannings the
+	// parent has never seen; absorb folds them back alongside the write map
+	// so a multi-round evaluation loses nothing when its snapshot dies.
+	ownFrom int
+	off     bool
+	legacy  bool
 }
 
-// lookup probes the private write layer, then the frozen chain newest-first.
+// lookup probes the private write layer, then the frozen chain newest-first,
+// stamping the hit entry with the current freeze generation so compaction
+// can tell hot entries from cold ones.
 func (c *planCache) lookup(key planKey) (*Plan, bool) {
-	if p, ok := c.write[key]; ok {
-		return p, true
+	if e, ok := c.write[key]; ok {
+		e.touch.Store(c.counters.gen.Load())
+		return e.p, true
 	}
 	for i := len(c.frozen) - 1; i >= 0; i-- {
-		if p, ok := c.frozen[i][key]; ok {
-			return p, true
+		if e, ok := c.frozen[i][key]; ok {
+			e.touch.Store(c.counters.gen.Load())
+			return e.p, true
 		}
 	}
 	return nil, false
 }
 
 // store inserts into the write layer. At the cap the layer is frozen into
-// the segment chain (evicting at most the chain's oldest segment) rather
+// the segment chain (compacting at most the chain's oldest segments) rather
 // than discarded — long single-instance searches like UDO's would otherwise
 // lose their entire working set at every overflow.
 func (c *planCache) store(key planKey, p *Plan) {
@@ -126,9 +161,9 @@ func (c *planCache) store(key planKey, p *Plan) {
 		c.freeze()
 	}
 	if c.write == nil {
-		c.write = make(map[planKey]*Plan, 64)
+		c.write = make(map[planKey]*planEntry, 64)
 	}
-	c.write[key] = p
+	c.write[key] = &planEntry{p: p}
 }
 
 // freeze turns the write layer into an immutable frozen layer. Called before
@@ -140,9 +175,57 @@ func (c *planCache) freeze() {
 	}
 	c.frozen = append(c.frozen, c.write)
 	c.write = nil
-	if len(c.frozen) > planCacheMaxLayers {
+	c.counters.gen.Add(1)
+	if len(c.frozen) <= planCacheMaxLayers {
+		return
+	}
+	if c.legacy {
 		c.counters.evictions.Add(uint64(len(c.frozen[0])))
 		c.frozen = append(c.frozen[:0], c.frozen[1:]...)
+		if c.ownFrom > 0 {
+			c.ownFrom--
+		}
+		return
+	}
+	c.compactOldest()
+}
+
+// compactOldest merges the chain's two oldest layers into one, keeping every
+// entry of the newer layer and only the recently-touched entries of the
+// older one (bounded by planCacheCompactCap). A daemon churning through
+// cold tenants thus sheds their never-re-hit plans while the hot cross-job
+// working set keeps riding the chain's head — the throughput cliff of
+// dropping a whole layer (legacy mode) never hits entries that are actually
+// being used.
+func (c *planCache) compactOldest() {
+	gen := c.counters.gen.Load()
+	f0, f1 := c.frozen[0], c.frozen[1]
+	merged := make(map[planKey]*planEntry, len(f1))
+	for k, e := range f1 {
+		merged[k] = e
+	}
+	dropped := 0
+	for k, e := range f0 {
+		if _, ok := merged[k]; ok {
+			dropped++ // shadowed by the newer layer: unreachable already
+			continue
+		}
+		if gen-e.touch.Load() <= planCacheRecentGens && len(merged) < planCacheCompactCap {
+			merged[k] = e
+		} else {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		c.counters.evictions.Add(uint64(dropped))
+	}
+	c.frozen[1] = merged
+	c.frozen = append(c.frozen[:0], c.frozen[1:]...)
+	if c.ownFrom > 0 {
+		// The merged head inherits ownership from the newer input: if either
+		// merged layer was own, treating the result as own only means absorb
+		// copies some already-known entries — identical values, so harmless.
+		c.ownFrom--
 	}
 }
 
@@ -156,29 +239,51 @@ func (c *planCache) snapshotCache() planCache {
 	c.freeze()
 	return planCache{
 		counters: c.counters,
-		frozen:   append([]map[planKey]*Plan(nil), c.frozen...),
+		frozen:   append([]map[planKey]*planEntry(nil), c.frozen...),
+		ownFrom:  len(c.frozen), // everything so far is inherited
+		legacy:   c.legacy,
 	}
 }
 
-// absorb folds a snapshot's private writes back into this cache so later
+// absorb folds a snapshot's private plannings back into this cache so later
 // rounds benefit from plans computed on replicas (matching the sequential
-// path's hit profile). Entries are content-addressed and plans deterministic,
-// so merge order cannot change any value; a hard bound keeps a worker fleet
-// from ballooning the parent's write layer.
+// path's hit profile): the write map, plus any layers the snapshot froze out
+// of its own writes along the way — a multi-round evaluation freezes its
+// accumulated plans every time it re-snapshots, and before ownFrom tracking
+// those layers were silently lost with the snapshot, leaving every later job
+// to replan them (legacy mode preserves exactly that historical behavior).
+// Entries are content-addressed and plans deterministic, so merge order
+// cannot change any value; a hard bound keeps a worker fleet from ballooning
+// the parent's write layer.
 func (c *planCache) absorb(o *planCache) {
-	if c.off || o.off || len(o.write) == 0 {
+	if c.off || o.off {
+		return
+	}
+	c.absorbLayer(o.write)
+	if c.legacy {
+		return
+	}
+	for _, l := range o.frozen[min(o.ownFrom, len(o.frozen)):] {
+		c.absorbLayer(l)
+	}
+}
+
+// absorbLayer copies one layer's entries into the write map under the
+// absorb bound.
+func (c *planCache) absorbLayer(l map[planKey]*planEntry) {
+	if len(l) == 0 {
 		return
 	}
 	if c.write == nil {
-		c.write = make(map[planKey]*Plan, len(o.write))
+		c.write = make(map[planKey]*planEntry, len(l))
 	}
 	dropped := 0
-	for k, p := range o.write {
+	for k, e := range l {
 		if len(c.write) >= 2*planCacheMaxEntries {
 			dropped++
 			continue
 		}
-		c.write[k] = p
+		c.write[k] = e
 	}
 	if dropped > 0 {
 		c.counters.evictions.Add(uint64(dropped))
@@ -199,6 +304,12 @@ func (db *DB) SetPlanCache(on bool) {
 
 // PlanCacheEnabled reports whether plan memoization is currently on.
 func (db *DB) PlanCacheEnabled() bool { return !db.cache.off }
+
+// SetPlanCacheLegacyEviction switches the frozen-chain lifecycle between
+// recency-aware compaction (default, false) and the historical drop-oldest-
+// layer eviction. Simulated results are identical either way — the toggle
+// exists so eviction benchmarks can A/B the lifecycles.
+func (db *DB) SetPlanCacheLegacyEviction(legacy bool) { db.cache.legacy = legacy }
 
 // PlanCacheStats returns the memoization counters accumulated by this
 // instance and every snapshot taken from it.

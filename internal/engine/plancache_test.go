@@ -242,8 +242,9 @@ func TestPlanCacheWriteLayerEviction(t *testing.T) {
 	if _, ok := c.lookup(planKey{sig: "0"}); !ok {
 		t.Error("entry from the frozen segment became unreachable")
 	}
-	// Only when the segment chain overflows do entries actually die.
-	for seg := 0; seg < planCacheMaxLayers; seg++ {
+	// Only when the segment chain overflows do entries actually die; the
+	// compaction keeps recently-touched entries, so pin a never-touched one.
+	for seg := 0; seg < planCacheMaxLayers+2; seg++ {
 		for i := 0; i <= planCacheMaxEntries; i++ {
 			c.store(planKey{sig: fmt.Sprintf("s%d-%d", seg, i)}, p)
 		}
@@ -251,15 +252,19 @@ func TestPlanCacheWriteLayerEviction(t *testing.T) {
 	if got := c.counters.evictions.Load(); got == 0 {
 		t.Error("chain overflow evicted nothing")
 	}
-	if _, ok := c.lookup(planKey{sig: "0"}); ok {
-		t.Error("oldest segment survived the chain cap")
+	if _, ok := c.lookup(planKey{sig: "1"}); ok {
+		t.Error("never-touched oldest-segment entry survived compaction")
+	}
+	if len(c.frozen) > planCacheMaxLayers {
+		t.Errorf("frozen chain has %d layers, bound %d", len(c.frozen), planCacheMaxLayers)
 	}
 }
 
-// TestPlanCacheLayerCap: the frozen chain is bounded; the oldest layer is
-// dropped (and counted) when snapshotting has stacked too many.
-func TestPlanCacheLayerCap(t *testing.T) {
-	c := planCache{counters: &planCacheCounters{}}
+// TestPlanCacheLegacyLayerCap: under the legacy lifecycle the frozen chain
+// drops (and counts) its oldest layer wholesale when snapshotting has
+// stacked too many — the baseline behavior the compaction replaces.
+func TestPlanCacheLegacyLayerCap(t *testing.T) {
+	c := planCache{counters: &planCacheCounters{}, legacy: true}
 	p := &Plan{}
 	const extra = 3
 	for i := 0; i < planCacheMaxLayers+extra; i++ {
@@ -277,6 +282,52 @@ func TestPlanCacheLayerCap(t *testing.T) {
 	}
 	if _, ok := c.lookup(planKey{sig: "0"}); ok {
 		t.Error("oldest layer entry survived the cap")
+	}
+}
+
+// TestPlanCacheCompactionRetention: the recency-aware compaction must keep a
+// hot (re-hit) entry reachable across arbitrarily many chain overflows while
+// shedding never-touched entries from the same old layers — and the same
+// churn under the legacy lifecycle loses the hot entry with its layer.
+func TestPlanCacheCompactionRetention(t *testing.T) {
+	p := &Plan{}
+	hot := planKey{sig: "hot"}
+
+	c := planCache{counters: &planCacheCounters{}}
+	c.store(hot, p)
+	c.freeze()
+	for i := 0; i < planCacheMaxLayers+5; i++ {
+		if _, ok := c.lookup(hot); !ok {
+			t.Fatalf("hot entry lost after %d freezes", i)
+		}
+		c.store(planKey{sig: fmt.Sprintf("cold%d", i)}, p)
+		c.freeze()
+	}
+	if _, ok := c.lookup(hot); !ok {
+		t.Error("hot entry evicted despite being touched every generation")
+	}
+	if _, ok := c.lookup(planKey{sig: "cold0"}); ok {
+		t.Error("never-touched cold entry survived compaction")
+	}
+	if got := c.counters.evictions.Load(); got == 0 {
+		t.Error("compaction evicted nothing")
+	}
+	if len(c.frozen) > planCacheMaxLayers {
+		t.Errorf("frozen chain has %d layers, bound %d", len(c.frozen), planCacheMaxLayers)
+	}
+
+	// Same access pattern, legacy lifecycle: the hot entry dies with its
+	// layer no matter how often it was hit.
+	lg := planCache{counters: &planCacheCounters{}, legacy: true}
+	lg.store(hot, p)
+	lg.freeze()
+	for i := 0; i < planCacheMaxLayers+5; i++ {
+		lg.lookup(hot)
+		lg.store(planKey{sig: fmt.Sprintf("cold%d", i)}, p)
+		lg.freeze()
+	}
+	if _, ok := lg.lookup(hot); ok {
+		t.Error("legacy drop-oldest unexpectedly retained the hot entry")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // SimClient is the deterministic GPT-4 stand-in. It parses the λ-Tune prompt
@@ -66,8 +67,39 @@ var (
 	fromRe    = regexp.MustCompile(`(?is)FROM\s+(.+?)(?:WHERE|GROUP|ORDER|$)`)
 )
 
-// parsePrompt extracts the facts the knowledge model conditions on.
+// factsCache memoizes parsePrompt per prompt text. Parsing is a pure
+// function of the prompt, the result is read-only after construction, and a
+// daemon re-submits the same few prompts thousands of times — without the
+// cache the regexp passes were among the hottest per-job constant costs. The
+// bound guards against a pathological stream of unique prompts; on overflow
+// the whole map is dropped (entries are cheap to rebuild).
+var factsCache = struct {
+	sync.RWMutex
+	m map[string]promptFacts
+}{m: make(map[string]promptFacts, 16)}
+
+const factsCacheMax = 128
+
+// parsePrompt extracts the facts the knowledge model conditions on, serving
+// repeat prompts from the shared parse cache.
 func (c *SimClient) parsePrompt(prompt string) promptFacts {
+	factsCache.RLock()
+	f, ok := factsCache.m[prompt]
+	factsCache.RUnlock()
+	if ok {
+		return f
+	}
+	f = parsePromptUncached(prompt)
+	factsCache.Lock()
+	if len(factsCache.m) >= factsCacheMax {
+		factsCache.m = make(map[string]promptFacts, 16)
+	}
+	factsCache.m[prompt] = f
+	factsCache.Unlock()
+	return f
+}
+
+func parsePromptUncached(prompt string) promptFacts {
 	f := promptFacts{joinCols: map[string]float64{}, colOrder: map[string]int{}}
 	note := func(col string) {
 		if _, ok := f.colOrder[col]; !ok {

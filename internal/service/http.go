@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 
 	"lambdatune/internal/obs"
@@ -13,7 +15,7 @@ import (
 // Handler serves the job API over HTTP/JSON, versioned under /v1:
 //
 //	POST /v1/jobs              enqueue a job (body: JobSpec) → 202 + Job
-//	GET  /v1/jobs              list all jobs
+//	GET  /v1/jobs              list jobs; ?limit= and ?after= paginate
 //	GET  /v1/jobs/{id}         one job's status and result
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 //	GET  /v1/jobs/{id}/stream  live progress lines, chunked, until the job ends
@@ -147,8 +149,28 @@ func (m *Manager) handleEnqueue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job)
 }
 
-func (m *Manager) handleList(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": m.List()})
+// handleList serves GET /v1/jobs. Without parameters it returns the full
+// table (the pre-pagination contract). ?limit=N caps the page at N jobs and
+// ?after=ID resumes past a cursor; a non-empty "next_after" in the response
+// is the cursor for the following page, so clients polling a thousand-job
+// daemon can walk the table in bounded chunks.
+func (m *Manager) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErr(w, fmt.Errorf("invalid limit %q: must be a non-negative integer", raw))
+			return
+		}
+		limit = n
+	}
+	jobs, next := m.ListPage(q.Get("after"), limit)
+	resp := map[string]any{"jobs": jobs}
+	if next != "" {
+		resp["next_after"] = next
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -293,6 +315,31 @@ func (c *Client) List() ([]*Job, error) {
 		return nil, err
 	}
 	return out.Jobs, nil
+}
+
+// ListPage fetches up to limit jobs whose IDs sort after the cursor. The
+// returned cursor is "" once the listing is exhausted; pass it back as after
+// to continue.
+func (c *Client) ListPage(after string, limit int) ([]*Job, string, error) {
+	var out struct {
+		Jobs      []*Job `json:"jobs"`
+		NextAfter string `json:"next_after"`
+	}
+	params := url.Values{}
+	if after != "" {
+		params.Set("after", after)
+	}
+	if limit > 0 {
+		params.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/v1/jobs"
+	if len(params) > 0 {
+		path += "?" + params.Encode()
+	}
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, "", err
+	}
+	return out.Jobs, out.NextAfter, nil
 }
 
 // Cancel stops a queued or running job.

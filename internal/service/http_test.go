@@ -367,3 +367,83 @@ func TestHTTPStream(t *testing.T) {
 		t.Errorf("final stream line = %q, want %q", last, want)
 	}
 }
+
+func TestHTTPListPagination(t *testing.T) {
+	m, srv := newTestServer(t)
+
+	const n = 5
+	ids := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		job, err := m.Enqueue(JobSpec{Benchmark: "tpch-1", Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, job.ID)
+	}
+	for _, id := range ids {
+		waitJob(t, m, id)
+	}
+
+	// Walk the table in pages of 2 through the typed client; the pages must
+	// reassemble the full ID-ordered listing exactly once each.
+	c := &Client{BaseURL: srv.URL}
+	var walked []string
+	after := ""
+	pages := 0
+	for {
+		jobs, next, err := c.ListPage(after, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		if len(jobs) > 2 {
+			t.Fatalf("page of %d jobs exceeds limit 2", len(jobs))
+		}
+		for _, j := range jobs {
+			walked = append(walked, j.ID)
+		}
+		if next == "" {
+			break
+		}
+		after = next
+	}
+	if pages != 3 {
+		t.Errorf("walked %d pages, want 3", pages)
+	}
+	if len(walked) != n {
+		t.Fatalf("walked %d jobs, want %d", len(walked), n)
+	}
+	for i, id := range ids {
+		if walked[i] != id {
+			t.Errorf("page walk[%d] = %s, want %s", i, walked[i], id)
+		}
+	}
+
+	// A cursor past the end yields an empty page and no next cursor.
+	jobs, next, err := c.ListPage(ids[n-1], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 0 || next != "" {
+		t.Errorf("page past the end: %d jobs, next %q", len(jobs), next)
+	}
+
+	// Bare GET /v1/jobs keeps the unpaginated contract.
+	all, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != n {
+		t.Errorf("unpaginated list has %d jobs, want %d", len(all), n)
+	}
+
+	// A malformed limit is a typed client error.
+	resp, err := http.Get(srv.URL + "/v1/jobs?limit=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("limit=bogus: HTTP %d, want 400", resp.StatusCode)
+	}
+}

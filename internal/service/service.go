@@ -142,6 +142,13 @@ type Job struct {
 	userCanceled bool
 	cancel       context.CancelFunc
 	done         chan struct{}
+
+	// persistGen numbers record snapshots (under Manager.mu); persistMu and
+	// persistWrote serialize the disk writes happening outside Manager.mu,
+	// newest snapshot wins (see Manager.persistLocked).
+	persistGen   uint64
+	persistMu    sync.Mutex
+	persistWrote uint64
 }
 
 // Config configures a Manager. Zero values get production defaults.
@@ -310,7 +317,7 @@ func (m *Manager) readopt(adopt []*Job) {
 			job.Resumes++
 		}
 		job.Status = StatusQueued
-		m.persist(job)
+		m.persistLocked(job)()
 		m.queue <- job.ID
 		m.counter("service_jobs_readopted_total").Inc()
 		m.cfg.Logf("readopted job %s (%s seed %d, resume #%d)",
@@ -362,11 +369,12 @@ func (m *Manager) Enqueue(spec JobSpec) (*Job, error) {
 	}
 	m.jobs[job.ID] = job
 	m.order = append(m.order, job.ID)
-	m.persist(job)
+	flush := m.persistLocked(job)
 	// Snapshot before unlocking: a worker may grab the job the instant the
 	// lock drops.
 	snap := job.clone()
 	m.mu.Unlock()
+	flush()
 	m.counter("service_jobs_enqueued_total").Inc()
 	m.cfg.Logf("enqueued %s: %s seed %d (tenant %q)", job.ID, spec.Benchmark, spec.seed(), spec.Tenant)
 	return snap, nil
@@ -385,13 +393,40 @@ func (m *Manager) Get(id string) (*Job, error) {
 
 // List returns snapshots of all jobs in ID order.
 func (m *Manager) List() []*Job {
+	jobs, _ := m.ListPage("", 0)
+	return jobs
+}
+
+// ListPage returns up to limit job snapshots whose IDs sort strictly after
+// the cursor, in ID order, plus the cursor for the next page ("" once the
+// listing is exhausted). limit <= 0 means unbounded. Job IDs are zero-padded
+// monotone sequence numbers, so m.order — sorted once on scan and appended
+// in sequence order afterwards — stays sorted and the cursor resolves with a
+// binary search instead of a copy of the whole table. Pagination keeps a
+// thousand-job daemon's poll loops from cloning every record per request.
+func (m *Manager) ListPage(after string, limit int) ([]*Job, string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]*Job, 0, len(m.order))
-	for _, id := range m.order {
+	start := 0
+	if after != "" {
+		start = sort.SearchStrings(m.order, after)
+		if start < len(m.order) && m.order[start] == after {
+			start++
+		}
+	}
+	end := len(m.order)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	out := make([]*Job, 0, end-start)
+	for _, id := range m.order[start:end] {
 		out = append(out, m.jobs[id].clone())
 	}
-	return out
+	next := ""
+	if end < len(m.order) && end > start {
+		next = m.order[end-1]
+	}
+	return out, next
 }
 
 // Cancel stops a queued or running job. Canceling a terminal job is a no-op.
@@ -402,12 +437,14 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 		m.mu.Unlock()
 		return nil, ErrNotFound
 	}
+	flush := func() {}
+	terminal := false
 	switch job.Status {
 	case StatusQueued:
 		job.Status = StatusCanceled
 		job.userCanceled = true
-		close(job.done)
-		m.persist(job)
+		terminal = true
+		flush = m.persistLocked(job)
 		m.counter("service_jobs_canceled_total").Inc()
 	case StatusRunning:
 		job.userCanceled = true
@@ -417,6 +454,11 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	}
 	snap := job.clone()
 	m.mu.Unlock()
+	// As in runJob: the terminal record reaches the disk before waiters wake.
+	flush()
+	if terminal {
+		close(job.done)
+	}
 	return snap, nil
 }
 
@@ -565,8 +607,9 @@ func (m *Manager) runJob(id string) {
 	defer cancel()
 	job.Status = StatusRunning
 	job.cancel = cancel
-	m.persist(job)
+	flush := m.persistLocked(job)
 	m.mu.Unlock()
+	flush()
 	m.gauge("service_jobs_running").Add(1)
 	defer m.gauge("service_jobs_running").Add(-1)
 
@@ -607,10 +650,14 @@ func (m *Manager) runJob(id string) {
 		job.Error = err.Error()
 		m.counter("service_jobs_failed_total").Inc()
 	}
-	close(job.done)
-	m.persist(job)
+	flush = m.persistLocked(job)
 	status := job.Status
 	m.mu.Unlock()
+	// Flush before waking waiters: Wait's contract is that a returned
+	// terminal job is already durable, so a process that reads job.json the
+	// instant Wait returns sees the terminal record.
+	flush()
+	close(job.done)
 	m.closeSubs(id)
 	m.cfg.Logf("job %s: %s%s", id, status, errSuffix(err, status))
 }
@@ -692,22 +739,39 @@ func (m *Manager) execute(ctx context.Context, job *Job) error {
 	return nil
 }
 
-// persist writes the job record atomically into its directory. Callers hold
-// m.mu. Persistence failures are logged, not fatal: the in-memory state
-// stays authoritative for the life of the process.
-func (m *Manager) persist(job *Job) {
-	dir := filepath.Join(m.cfg.DataDir, job.ID)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		m.cfg.Logf("persist %s: %v", job.ID, err)
-		return
-	}
+// persistLocked snapshots the job record under m.mu and returns a closure
+// that writes it to disk. Call the closure after releasing m.mu: the write —
+// a mkdir plus an atomic fsync'd file replace — used to sit inside the
+// manager's one global lock, stalling every Enqueue/Get/List behind each
+// job-state flush. Marshaling stays under the lock (it must see a consistent
+// record); the closures serialize per job on persistMu with newest-snapshot-
+// wins ordering, so concurrent flushes of one job can never regress the
+// on-disk record. Persistence failures are logged, not fatal: the in-memory
+// state stays authoritative for the life of the process.
+func (m *Manager) persistLocked(job *Job) func() {
+	job.persistGen++
+	gen := job.persistGen
 	data, err := json.MarshalIndent(job, "", "  ")
 	if err != nil {
 		m.cfg.Logf("persist %s: %v", job.ID, err)
-		return
+		return func() {}
 	}
-	if err := runstate.WriteFileAtomic(filepath.Join(dir, "job.json"), append(data, '\n')); err != nil {
-		m.cfg.Logf("persist %s: %v", job.ID, err)
+	dir := filepath.Join(m.cfg.DataDir, job.ID)
+	id := job.ID
+	return func() {
+		job.persistMu.Lock()
+		defer job.persistMu.Unlock()
+		if gen <= job.persistWrote {
+			return // a newer snapshot already reached the disk
+		}
+		job.persistWrote = gen
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			m.cfg.Logf("persist %s: %v", id, err)
+			return
+		}
+		if err := runstate.WriteFileAtomic(filepath.Join(dir, "job.json"), append(data, '\n')); err != nil {
+			m.cfg.Logf("persist %s: %v", id, err)
+		}
 	}
 }
 

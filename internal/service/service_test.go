@@ -105,7 +105,7 @@ func TestEnqueueRunsToSuccess(t *testing.T) {
 		t.Fatal(err)
 	}
 	if persisted.Status != StatusSucceeded || persisted.Result == nil {
-		t.Errorf("persisted record not terminal: %+v", persisted)
+		t.Errorf("persisted record not terminal: status %q, result %+v", persisted.Status, persisted.Result)
 	}
 }
 

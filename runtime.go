@@ -9,6 +9,7 @@ import (
 
 	"lambdatune/internal/backend"
 	"lambdatune/internal/core/evaluator"
+	"lambdatune/internal/core/prompt"
 	"lambdatune/internal/core/tuner"
 	"lambdatune/internal/engine"
 	"lambdatune/internal/faults"
@@ -27,8 +28,33 @@ type RuntimeOptions struct {
 	// across every job on the runtime (0 = unbounded). The gate is
 	// wall-clock only: each job keeps its logical Parallelism and its
 	// virtual-clock accounting, so per-job results are identical at any
-	// slot count. Leases are granted fairly, round-robin across jobs.
+	// slot count. Leases are granted by weighted fair share: deficit
+	// round-robin across tenants (see TenantWeights), round-robin across a
+	// tenant's jobs.
 	EvalSlots int
+
+	// TenantWeights assigns per-tenant fair-share weights on the evaluation
+	// slot gate: while backlogged, a tenant receives slots in proportion to
+	// its weight. Unlisted tenants (and weights < 1) count as weight 1, so
+	// no assignment can starve anyone. Nil means every tenant weighs 1 —
+	// equal shares.
+	TenantWeights map[string]int
+
+	// MemoCapacity bounds each namespace's schedule-order memo to this many
+	// entries (0 = the built-in default, 4096). The segmented-LRU lifecycle
+	// evicts cold entries individually once the bound is hit; sizing it below
+	// the cross-job working set trades recompute for memory, never
+	// correctness. The E16 job-throughput study sizes it down deliberately to
+	// measure the lifecycles under overflow.
+	MemoCapacity int
+
+	// LegacyMemoLifecycle reverts every shared cache to its pre-fair-share
+	// lifecycle: clear-on-overflow schedule/relevance memos, drop-oldest
+	// plan-cache layers, and per-admission namespace digests. Simulated
+	// results are identical either way — the switch exists as the measurable
+	// baseline for the E16 job-throughput study and costs throughput under
+	// churn; production runtimes should leave it false.
+	LegacyMemoLifecycle bool
 
 	// TenantBreakerThreshold is the number of consecutive failed LLM calls
 	// that trips one tenant's circuit breaker on the shared transport
@@ -91,10 +117,40 @@ type templateKey struct {
 // benchTemplate is one warm built-in benchmark: a primary backend whose plan
 // cache accumulates across jobs (jobs run on snapshots of it) and the
 // canonical interned workload, so every job on the template shares query
-// pointers and therefore memo entries.
+// pointers and therefore memo entries. The namespace key components are
+// computed once here — both are SHA-256 digests over the full catalog and
+// workload, and recomputing them per admission was the single largest
+// constant cost on the thousand-short-jobs path.
 type benchTemplate struct {
-	db backend.Backend
-	w  *Workload
+	db        backend.Backend
+	w         *Workload
+	catalogFP string // d.db.Catalog().Fingerprint() of the template backend
+	wdigest   string // runstate.WorkloadDigest of the canonical workload
+	// defaultOnce guards defaultSecs: the canonical workload's runtime under
+	// the template's default (never-tuned) configuration. Every job on this
+	// template needs the same number for its Result baseline, so it is
+	// computed once here instead of per admission. Safe because the template
+	// backend itself is never tuned — jobs mutate snapshots — and plan-cache
+	// absorption cannot change deterministic query times.
+	defaultOnce sync.Once
+	defaultSecs float64
+	// prompts caches generated tuning prompts per prompt.Options value.
+	// Generation is a pure function of (default configuration, workload,
+	// hardware, options) — the LLM seed plays no part — so every job on the
+	// template shares one prompt per options value instead of re-running
+	// snippet valuation and compression per admission.
+	promptMu sync.Mutex
+	prompts  map[prompt.Options]*prompt.Result
+}
+
+// tenantOfJobID maps a runtime job ID ("tenant#seq") back to its tenant —
+// the fairness key of the evaluation slot gate. The sequence suffix is
+// stripped at the last '#' so tenant names containing '#' stay intact.
+func tenantOfJobID(job string) string {
+	if i := strings.LastIndexByte(job, '#'); i >= 0 {
+		return job[:i]
+	}
+	return job
 }
 
 // namespaceKey scopes one cross-job memo: jobs share entries only when
@@ -120,6 +176,13 @@ type RuntimeStats struct {
 	MemoLookups      uint64
 	MemoHits         uint64
 	MemoCrossJobHits uint64
+	// MemoEvictions counts entries the memo lifecycles dropped across all
+	// namespaces (segmented-LRU evictions, or flush victims in legacy mode).
+	MemoEvictions uint64
+	// MemoHitRetention is the fraction of schedule-memo hits served from
+	// protected (re-hit) entries — how well the lifecycle keeps the hot set
+	// resident. 0 when idle or under the legacy lifecycle.
+	MemoHitRetention float64
 }
 
 // CrossJobHitRate returns MemoCrossJobHits / MemoLookups (0 when idle).
@@ -141,7 +204,14 @@ func NewRuntime(ro RuntimeOptions) *Runtime {
 	if ro.Metrics != nil {
 		rt.reg = ro.Metrics.reg
 	}
-	rt.slots = evaluator.NewSharedSlots(ro.EvalSlots, rt.reg)
+	rt.slots = evaluator.NewWeightedSlots(evaluator.SlotsConfig{
+		Capacity: ro.EvalSlots,
+		Registry: rt.reg,
+		TenantOf: tenantOfJobID,
+		Weight: func(tenant string) int {
+			return ro.TenantWeights[tenant]
+		},
+	})
 	rt.gateway = llm.NewTenantGateway(llm.TenantGatewayOptions{
 		BreakerThreshold: ro.TenantBreakerThreshold,
 		BreakerCooldown:  ro.TenantBreakerCooldown,
@@ -165,11 +235,18 @@ func (rt *Runtime) Stats() RuntimeStats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	st := RuntimeStats{Jobs: rt.jobSeq, Namespaces: len(rt.namespaces)}
+	var schedHits, schedProtected uint64
 	for _, m := range rt.namespaces {
 		ms := m.Stats()
 		st.MemoLookups += ms.Lookups
 		st.MemoHits += ms.Hits
 		st.MemoCrossJobHits += ms.CrossJobHits
+		st.MemoEvictions += ms.Evictions
+		schedHits += ms.ScheduleHits
+		schedProtected += ms.ScheduleProtectedHits
+	}
+	if schedHits > 0 {
+		st.MemoHitRetention = float64(schedProtected) / float64(schedHits)
 	}
 	return st
 }
@@ -199,14 +276,82 @@ func (rt *Runtime) Benchmark(name string, dbms DBMS) (*Database, *Workload, erro
 		if err != nil {
 			return nil, nil, err
 		}
-		tm = &benchTemplate{db: db, w: &Workload{name: wl.Name, queries: wl.Queries}}
+		if rt.opts.LegacyMemoLifecycle {
+			backend.SetPlanCacheLegacyEviction(db, true)
+		}
+		tm = &benchTemplate{
+			db:        db,
+			w:         &Workload{name: wl.Name, queries: wl.Queries},
+			catalogFP: db.Catalog().Fingerprint(),
+			wdigest:   runstate.WorkloadDigest(wl.Name, wl.Queries),
+		}
 		rt.templates[key] = tm
 	}
 	jdb := tm.db
 	if sn, ok := tm.db.(backend.Snapshotter); ok {
 		jdb = sn.Snapshot()
 	}
-	return &Database{db: jdb, rt: rt, tkey: key}, tm.w, nil
+	return &Database{db: jdb, rt: rt, tkey: key, pristine: true}, tm.w, nil
+}
+
+// defaultWorkloadSeconds returns the workload's runtime under the default
+// configuration for one job, serving the per-template cache when the job's
+// database is a still-pristine snapshot of a runtime template and computing
+// it on the spot otherwise. Pristine snapshots replay the template's
+// deterministic engine state, so the cached number is bit-identical to what
+// every such snapshot would produce itself — and the first caller computes
+// it on its own snapshot, never on the template database, whose caches
+// other jobs may be snapshotting concurrently. LegacyMemoLifecycle
+// recomputes per admission — the pre-lifecycle runtime's constant cost,
+// kept for A/B measurement.
+func (rt *Runtime) defaultWorkloadSeconds(d *Database, w *Workload) float64 {
+	if d.rt == rt && d.pristine && !rt.opts.LegacyMemoLifecycle {
+		rt.mu.Lock()
+		tm := rt.templates[d.tkey]
+		rt.mu.Unlock()
+		if tm != nil && tm.w == w {
+			tm.defaultOnce.Do(func() {
+				tm.defaultSecs = d.db.WorkloadSeconds(w.queries)
+			})
+			return tm.defaultSecs
+		}
+	}
+	return d.db.WorkloadSeconds(w.queries)
+}
+
+// sharedPrompt returns the template-cached tuning prompt for this job's
+// (workload, prompt options) pair, generating and caching it on first use.
+// Nil when the job cannot share one — foreign or already-mutated database,
+// legacy lifecycle (which keeps the pre-lifecycle per-job generation cost),
+// or a generation error (the per-job path will surface it properly).
+// Generation is a pure function of (default configuration, workload,
+// hardware, options), so a pristine snapshot yields the template's prompt;
+// like defaultWorkloadSeconds, the first caller generates from its own
+// snapshot so the shared template database is never touched here.
+func (rt *Runtime) sharedPrompt(d *Database, w *Workload, po prompt.Options) *prompt.Result {
+	if d.rt != rt || !d.pristine || rt.opts.LegacyMemoLifecycle {
+		return nil
+	}
+	rt.mu.Lock()
+	tm := rt.templates[d.tkey]
+	rt.mu.Unlock()
+	if tm == nil || tm.w != w {
+		return nil
+	}
+	tm.promptMu.Lock()
+	defer tm.promptMu.Unlock()
+	if pr, ok := tm.prompts[po]; ok {
+		return pr
+	}
+	res, err := prompt.Generate(d.db, w.queries, d.db.Hardware(), po)
+	if err != nil {
+		return nil
+	}
+	if tm.prompts == nil {
+		tm.prompts = make(map[prompt.Options]*prompt.Result, 2)
+	}
+	tm.prompts[po] = &res
+	return &res
 }
 
 // Tune is TuneContext with context.Background().
@@ -241,8 +386,12 @@ func (rt *Runtime) TuneContext(ctx context.Context, d *Database, w *Workload, cl
 	if err != nil {
 		return nil, err
 	}
-	defaultSeconds := d.db.WorkloadSeconds(w.queries)
+	defaultSeconds := rt.defaultWorkloadSeconds(d, w)
 	topts := opts.toTuner()
+	topts.SharedPrompt = rt.sharedPrompt(d, w, topts.Prompt)
+	// Tuning mutates the job database from here on (configs applied, indexes
+	// created during evaluation), so its timings stop matching the template.
+	d.pristine = false
 	topts.SharedMemo = memo
 	topts.Slots = rt.slots
 	topts.JobID = jobID
@@ -316,12 +465,28 @@ func (rt *Runtime) TuneContext(ctx context.Context, d *Database, w *Workload, cl
 
 // admit registers one job: it allocates the job ID and resolves the job's
 // memo namespace from the database's flavor, its catalog fingerprint, and
-// the workload digest.
+// the workload digest. For databases born from a runtime template with the
+// canonical workload — the entire daemon hot path — both digests come from
+// the template's cached copies; computing two SHA-256s over the full catalog
+// and workload per admission dominated per-job constant cost before.
+// (LegacyMemoLifecycle recomputes per admission, preserving the old cost.)
 func (rt *Runtime) admit(d *Database, w *Workload, opts Options) (string, *evaluator.Memo, error) {
-	nsKey := namespaceKey{
-		flavor:   d.db.Flavor(),
-		catalog:  d.db.Catalog().Fingerprint(),
-		workload: runstate.WorkloadDigest(w.name, w.queries),
+	var nsKey namespaceKey
+	cached := false
+	if d.rt == rt && !rt.opts.LegacyMemoLifecycle {
+		rt.mu.Lock()
+		if tm := rt.templates[d.tkey]; tm != nil && tm.w == w {
+			nsKey = namespaceKey{flavor: d.db.Flavor(), catalog: tm.catalogFP, workload: tm.wdigest}
+			cached = true
+		}
+		rt.mu.Unlock()
+	}
+	if !cached {
+		nsKey = namespaceKey{
+			flavor:   d.db.Flavor(),
+			catalog:  d.db.Catalog().Fingerprint(),
+			workload: runstate.WorkloadDigest(w.name, w.queries),
+		}
 	}
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
@@ -338,7 +503,11 @@ func (rt *Runtime) admit(d *Database, w *Workload, opts Options) (string, *evalu
 	if memo == nil {
 		ns := fmt.Sprintf("%s_%s_%s", strings.ToLower(nsKey.flavor.String()),
 			nsKey.catalog[:8], nsKey.workload[:8])
-		memo = evaluator.NewSharedMemo(ns, rt.reg)
+		if rt.opts.LegacyMemoLifecycle {
+			memo = evaluator.NewLegacySharedMemo(ns, rt.reg, rt.opts.MemoCapacity)
+		} else {
+			memo = evaluator.NewSharedMemo(ns, rt.reg, rt.opts.MemoCapacity)
+		}
 		rt.namespaces[nsKey] = memo
 		if rt.reg != nil {
 			rt.reg.Gauge("runtime_memo_namespaces").Set(float64(len(rt.namespaces)))
