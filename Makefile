@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race verify fmt-check ci bench scaling bench-race bench-runtime bench-jobs chaos
+.PHONY: build vet test race verify fmt-check ci bench scaling bench-race bench-runtime bench-jobs bench-obs chaos
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,11 @@ bench-runtime:
 ## lifecycle under a 1000-job daemon stream); refreshes BENCH_jobs.json.
 bench-jobs:
 	$(GO) run ./cmd/benchrunner -exp jobs -jobs-json BENCH_jobs.json
+
+## bench-obs: the E17 observability-overhead study (telemetry dark vs live on
+## the E16 thousand-job stream); refreshes BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/benchrunner -exp obsoverhead -obs-json BENCH_obs.json
 
 ## chaos: the crash-recovery suite under the race detector — kill/resume at
 ## every checkpoint boundary, torn-write fallback, daemon drain/re-adopt.

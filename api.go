@@ -247,6 +247,12 @@ func (t *Trace) WriteFile(path string) error { return t.tr.WriteFile(path) }
 // SummaryTable renders the per-phase cost breakdown of the recorded spans.
 func (t *Trace) SummaryTable() string { return obs.SummaryTable(t.tr.Summarize()) }
 
+// Tracer exposes the underlying span recorder, so servers (the lambdatuned
+// job service's /v1/jobs/{id}/trace endpoints) can retain per-job traces,
+// export their records, and follow spans live while a run is still in flight.
+// The counterpart of Metrics.Registry.
+func (t *Trace) Tracer() *obs.Tracer { return t.tr }
+
 // Metrics is a registry of counters, gauges, and histograms a tuning run
 // feeds (tuner_* series, plus backend_* series when the database is
 // instrumented). Pass it in Options.Observability.Metrics, then export with

@@ -20,6 +20,7 @@ import (
 
 	"lambdatune/internal/bench"
 	"lambdatune/internal/bench/jobstudy"
+	"lambdatune/internal/bench/obsstudy"
 	"lambdatune/internal/bench/runtimestudy"
 )
 
@@ -38,7 +39,7 @@ func writeProfile(name, path string) {
 
 func main() {
 	var (
-		exp          = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling race runtime jobs all")
+		exp          = flag.String("exp", "all", "experiment: table3 table4 table5 fig3 fig4 fig5 fig6 fig7 fig8 transfer outliers robustness scaling race runtime jobs obsoverhead all")
 		trials       = flag.Int("trials", 3, "repetitions per scenario (the paper uses 3)")
 		seed         = flag.Int64("seed", 1, "base random seed")
 		burn         = flag.Duration("burn", 500*time.Microsecond, "real CPU burned per simulated query execution in the scaling study")
@@ -52,7 +53,8 @@ func main() {
 		raceJSON     = flag.String("race-json", "", "also write the E14 racing study as machine-readable JSON to this file")
 		rtJSON       = flag.String("runtime-json", "", "also write the E15 shared-runtime study as machine-readable JSON to this file")
 		jobsJSON     = flag.String("jobs-json", "", "also write the E16 job-throughput study as machine-readable JSON to this file")
-		jobCount     = flag.Int("jobs", jobstudy.Jobs, "job count for the E16 job-throughput study")
+		jobCount     = flag.Int("jobs", jobstudy.Jobs, "job count for the E16 job-throughput study and the E17 overhead study")
+		obsJSON      = flag.String("obs-json", "", "also write the E17 observability-overhead study as machine-readable JSON to this file")
 	)
 	flag.Parse()
 
@@ -301,6 +303,20 @@ func main() {
 			return jobstudy.Render(s), nil
 		})
 	}
+	if all || *exp == "obsoverhead" {
+		run("Observability-overhead study (E17) — telemetry dark vs live on the E16 stream", func() (string, error) {
+			s, err := obsstudy.Run(*seed, *jobCount)
+			if err != nil {
+				return "", err
+			}
+			if *obsJSON != "" {
+				if err := obsstudy.ExportJSON(*obsJSON, s); err != nil {
+					return "", err
+				}
+			}
+			return obsstudy.Render(s), nil
+		})
+	}
 	if all || *exp == "runtime" {
 		run("Shared-runtime study (E15) — cross-job memo reuse vs isolated runs", func() (string, error) {
 			s, err := runtimestudy.Run(*seed, runtimestudy.Jobs)
@@ -317,7 +333,7 @@ func main() {
 	}
 	if !all {
 		switch *exp {
-		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling", "race", "runtime", "jobs":
+		case "table3", "table4", "table5", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "transfer", "outliers", "robustness", "scaling", "race", "runtime", "jobs", "obsoverhead":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)

@@ -9,6 +9,7 @@
 //	lambdatune -checkpoint-dir ./ckpt                  # crash-recoverable run
 //	lambdatune -checkpoint-dir ./ckpt -resume          # continue after a crash
 //	lambdatune trace-summary -check run.jsonl          # per-phase cost table
+//	lambdatune trace-summary http://127.0.0.1:8080/v1/jobs/job-000001/trace
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -244,9 +246,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// traceSummary implements the `lambdatune trace-summary [-check] <file.jsonl>`
+// traceSummary implements the `lambdatune trace-summary [-check] <source>`
 // subcommand: it reads an exported trace and prints the per-phase cost
-// breakdown; -check first validates the file against the span schema.
+// breakdown; -check first validates the file against the span schema. The
+// source is either a local JSONL file or an http(s) URL — typically a
+// daemon's /v1/jobs/{id}/trace endpoint.
 func traceSummary(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("trace-summary", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -255,10 +259,10 @@ func traceSummary(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: lambdatune trace-summary [-check] <trace.jsonl>")
+		fmt.Fprintln(stderr, "usage: lambdatune trace-summary [-check] <trace.jsonl | http://host/v1/jobs/ID/trace>")
 		return 2
 	}
-	recs, err := obs.ReadFile(fs.Arg(0))
+	recs, err := readTrace(fs.Arg(0))
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
@@ -272,4 +276,22 @@ func traceSummary(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprint(stdout, obs.SummaryTable(obs.Summarize(recs)))
 	return 0
+}
+
+// readTrace loads span records from a local JSONL file or, when source is an
+// http(s) URL, from a trace endpoint over the network.
+func readTrace(source string) ([]obs.SpanRecord, error) {
+	if !strings.HasPrefix(source, "http://") && !strings.HasPrefix(source, "https://") {
+		return obs.ReadFile(source)
+	}
+	resp, err := http.Get(source)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return nil, fmt.Errorf("GET %s: %s: %s", source, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return obs.ReadJSONL(resp.Body)
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -63,6 +65,43 @@ func TestTraceSummaryErrors(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "invalid trace") {
 		t.Errorf("stderr does not report the schema violation: %s", stderr.String())
+	}
+}
+
+// TestTraceSummaryURL: the subcommand accepts an http(s) source and
+// summarizes the fetched JSONL exactly as it would a local file; a non-200
+// response surfaces as an error with the server's body.
+func TestTraceSummaryURL(t *testing.T) {
+	raw, err := os.ReadFile(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs/job-1/trace":
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Write(raw)
+		default:
+			http.Error(w, `{"error":{"code":"not_found"}}`, http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	var stdout, stderr bytes.Buffer
+	if code := traceSummary([]string{"-check", srv.URL + "/v1/jobs/job-1/trace"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "trace ok: 12 spans") {
+		t.Errorf("fetched trace did not validate:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := traceSummary([]string{srv.URL + "/v1/jobs/nope/trace"}, &stdout, &stderr); code != 1 {
+		t.Errorf("404 source exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "not_found") {
+		t.Errorf("stderr does not carry the server's error body: %s", stderr.String())
 	}
 }
 

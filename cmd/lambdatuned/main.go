@@ -15,6 +15,9 @@
 //	GET  /v1/jobs/{id}         job status and result
 //	POST /v1/jobs/{id}/cancel  cancel a queued or running job
 //	GET  /v1/jobs/{id}/stream  live progress lines until the job ends
+//	GET  /v1/jobs/{id}/trace   the job's span tree as JSONL (pipe into `lambdatune trace-summary`)
+//	GET  /v1/jobs/{id}/summary per-phase cost breakdown as JSON
+//	GET  /v1/jobs/{id}/trace/stream  spans streamed live as the job runs
 //
 // Unknown paths — including the removed pre-/v1 unversioned /jobs* routes —
 // answer 404 with the APIError JSON envelope.
@@ -31,6 +34,11 @@
 // the remaining -tenant-* flags configure the per-tenant LLM circuit
 // breaker and in-flight bound (all off by default). -pprof-addr serves
 // net/http/pprof on a separate listener for live profiling.
+//
+// Every log line is structured (log/slog): -log-format selects text or json,
+// -log-level the minimum severity, and job-scoped lines carry consistent
+// job_id/tenant/run_id keys end to end. -quiet suppresses per-job logs while
+// keeping the daemon's own lifecycle lines.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -76,6 +85,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ratePerSec = fs.Float64("rate-per-second", 1, "per-tenant enqueue refill rate, tokens/second")
 		drainWait  = fs.Duration("drain-timeout", 30*time.Second, "graceful-drain budget on shutdown")
 		quiet      = fs.Bool("quiet", false, "suppress per-job operational logs")
+		logFormat  = fs.String("log-format", "text", "structured log encoding: text or json")
+		logLevel   = fs.String("log-level", "info", "minimum log level: debug, info, warn, or error")
 
 		evalSlots        = fs.Int("eval-slots", 0, "evaluation workers running concurrently across all jobs (0 = unbounded)")
 		pprofAddr        = fs.String("pprof-addr", "", "serve net/http/pprof on this address (empty = off); kept off the API listener so profiling is never internet-facing")
@@ -106,12 +117,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	logf := func(format string, a ...any) {
-		fmt.Fprintf(stderr, "lambdatuned: "+format+"\n", a...)
+	// Every daemon log line is structured: -log-format selects the encoding,
+	// -log-level the floor. Job-scoped lines carry job_id/tenant/run_id keys
+	// (added by the service); -quiet silences per-job logs only, keeping the
+	// daemon's own boot/drain lines.
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(stderr, "invalid -log-level %q (want debug, info, warn, or error)\n", *logLevel)
+		return 2
 	}
-	joblog := logf
+	hopts := &slog.HandlerOptions{Level: level}
+	var logg *slog.Logger
+	switch *logFormat {
+	case "text":
+		logg = slog.New(slog.NewTextHandler(stderr, hopts))
+	case "json":
+		logg = slog.New(slog.NewJSONHandler(stderr, hopts))
+	default:
+		fmt.Fprintf(stderr, "invalid -log-format %q (want text or json)\n", *logFormat)
+		return 2
+	}
+	svcLogger := logg
 	if *quiet {
-		joblog = func(string, ...any) {}
+		svcLogger = nil // service falls back to its discard logger
 	}
 	// One registry backs both the runtime_* and service_* series, so the
 	// /metrics exposition shows the shared runtime next to the job table.
@@ -124,6 +152,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		TenantBreakerCooldown:  *breakerCooldown,
 		TenantMaxInFlight:      *maxInFlight,
 		Metrics:                rtMetrics,
+		Logger:                 logg,
 	})
 	defer rt.Close()
 	m, err := service.Open(service.Config{
@@ -134,7 +163,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RatePerSecond: *ratePerSec,
 		Metrics:       reg,
 		Runtime:       rt,
-		Logf:          joblog,
+		Logger:        svcLogger,
 	})
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -165,12 +194,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		defer pln.Close()
 		go func() { _ = http.Serve(pln, pmux) }()
-		logf("pprof on http://%s/debug/pprof/", pln.Addr())
+		logg.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", pln.Addr()))
 	}
 	srv := &http.Server{Handler: m.Handler(), ReadHeaderTimeout: 5 * time.Second}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
-	logf("listening on %s (data dir %s)", ln.Addr(), *dataDir)
+	logg.Info("listening", "addr", ln.Addr().String(), "data_dir", *dataDir)
 
 	select {
 	case <-ctx.Done():
@@ -182,16 +211,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 
 	// Drain before closing the listener: status queries keep working (and
 	// /readyz reports 503) while in-flight jobs checkpoint and stop.
-	logf("draining: in-flight jobs checkpoint and resume on the next start")
+	logg.Info("draining", "note", "in-flight jobs checkpoint and resume on the next start")
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := m.Drain(dctx); err != nil {
-		logf("drain: %v", err)
+		logg.Error("drain failed", "error", err)
 	}
 	if err := srv.Shutdown(dctx); err != nil {
-		logf("shutdown: %v", err)
+		logg.Error("shutdown failed", "error", err)
 		return 1
 	}
-	logf("stopped")
+	logg.Info("stopped")
 	return 0
 }

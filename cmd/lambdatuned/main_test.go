@@ -27,7 +27,10 @@ type lineWatch struct {
 	seen bool
 }
 
-var addrRe = regexp.MustCompile(`listening on ([^ ]+)`)
+// addrRe pulls the resolved listen address out of the boot log in either
+// encoding: `msg=listening addr=127.0.0.1:123` (text) or
+// `"msg":"listening","addr":"127.0.0.1:123"` (json).
+var addrRe = regexp.MustCompile(`"?addr"?[=:]"?([^ "\n]+)"?`)
 
 func (w *lineWatch) Write(p []byte) (int, error) {
 	w.mu.Lock()
@@ -239,7 +242,7 @@ func TestDaemonRestartResumesCheckpointedJob(t *testing.T) {
 		t.Errorf("resumed result differs from uninterrupted run:\n--- want\n%s\n--- got\n%s",
 			want.BestScript, done.Result.BestScript)
 	}
-	if !strings.Contains(watch.String(), "readopted job "+jobID) {
+	if !strings.Contains(watch.String(), "job readopted") || !strings.Contains(watch.String(), "job_id="+jobID) {
 		t.Errorf("boot log does not mention re-adoption:\n%s", watch.String())
 	}
 	if code := stop(); code != 0 {
@@ -284,6 +287,69 @@ func TestDaemonDrainLeavesDurableState(t *testing.T) {
 	case "succeeded", "interrupted", "queued":
 	default:
 		t.Fatalf("persisted status after drain = %q", rec.Status)
+	}
+}
+
+// TestDaemonJSONLogFormat boots the daemon with -log-format json and checks
+// that every log line is a JSON object and that job lifecycle lines carry the
+// identity keys (job_id/tenant/run_id) the observability plane promises.
+func TestDaemonJSONLogFormat(t *testing.T) {
+	dir := t.TempDir()
+	base, watch, stop := startDaemon(t, "-data-dir", dir, "-log-format", "json")
+
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"benchmark": "tpch-1", "seed": 1, "tenant": "acme"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job jobView
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitSucceeded(t, base, job.ID)
+	if code := stop(); code != 0 {
+		t.Fatalf("daemon exit code %d", code)
+	}
+
+	finished := false
+	for _, line := range strings.Split(strings.TrimSpace(watch.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("log line is not JSON: %q: %v", line, err)
+		}
+		if rec["msg"] == "job finished" && rec["job_id"] == job.ID {
+			finished = true
+			if rec["tenant"] != "acme" {
+				t.Errorf("job finished line tenant = %v, want acme: %s", rec["tenant"], line)
+			}
+			if rid, _ := rec["run_id"].(string); rid == "" {
+				t.Errorf("job finished line has no run_id: %s", line)
+			}
+		}
+	}
+	if !finished {
+		t.Errorf("no 'job finished' line for %s in:\n%s", job.ID, watch.String())
+	}
+}
+
+// TestDaemonLogFlagValidation: bad -log-format / -log-level values are usage
+// errors caught before the daemon touches the data dir.
+func TestDaemonLogFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-data-dir", t.TempDir(), "-log-format", "yaml"},
+		{"-data-dir", t.TempDir(), "-log-level", "loud"},
+	} {
+		var out bytes.Buffer
+		if code := run(context.Background(), args, &out, &out); code != 2 {
+			t.Errorf("run(%v) exit %d, want 2 (output: %s)", args, code, out.String())
+		}
+		if !strings.Contains(out.String(), "invalid -log-") {
+			t.Errorf("run(%v) missing usage error: %s", args, out.String())
+		}
 	}
 }
 

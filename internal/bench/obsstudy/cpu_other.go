@@ -1,0 +1,7 @@
+//go:build !unix
+
+package obsstudy
+
+// cpuSeconds is unavailable off unix; phases report zero CPU time and the
+// study falls back to wall-clock-only reporting.
+func cpuSeconds() float64 { return 0 }

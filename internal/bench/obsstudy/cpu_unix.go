@@ -1,0 +1,19 @@
+//go:build unix
+
+package obsstudy
+
+import "syscall"
+
+// cpuSeconds reads the process's cumulative CPU time (user + system) from
+// getrusage. On a multi-tenant measurement host, wall time includes
+// whatever the neighbours steal; process CPU time is the
+// interference-robust view of what a phase actually computed, so the
+// artifact records both.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(t syscall.Timeval) float64 { return float64(t.Sec) + float64(t.Usec)/1e6 }
+	return sec(ru.Utime) + sec(ru.Stime)
+}

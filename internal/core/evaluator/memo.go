@@ -64,7 +64,13 @@ type Memo struct {
 	// evictPublished tracks how much of the combined eviction total has been
 	// flushed to the registry, so record can publish monotone deltas.
 	evictPublished atomic.Uint64
+	// segTick samples the segment-occupancy gauges: every segPublishEvery-th
+	// record call refreshes them (see record).
+	segTick atomic.Uint64
 }
+
+// segPublishEvery is the sampling period of the segment-occupancy gauges.
+const segPublishEvery = 64
 
 // relevanceEntry is one memoized relevance slice with the query pointer that
 // computed it (the private-memo identity guard) and the owning job.
@@ -125,7 +131,8 @@ func NewMemo() *Memo {
 // cross job boundaries (callers pass their job ID as owner), and when reg is
 // non-nil the memo publishes per-namespace counters
 // runtime_memo_{hits,misses,cross_job_hits,evictions}_total_<ns> plus the
-// runtime_memo_hit_retention_<ns> gauge and the aggregate
+// runtime_memo_hit_retention_<ns> and segment-occupancy gauges
+// (runtime_memo_{probation,protected}_entries_<ns>) and the aggregate
 // runtime_memo_evictions_total. capacity bounds the schedule layer's entry
 // count per namespace (<= 0 selects the default).
 func NewSharedMemo(ns string, reg *obs.Registry, capacity int) *Memo {
@@ -185,6 +192,14 @@ func (m *Memo) record(lookups, hits, cross uint64) {
 	ss := m.s.Stats()
 	if ss.Hits > 0 {
 		m.reg.Gauge("runtime_memo_hit_retention_" + m.ns).Set(float64(ss.ProtectedHits) / float64(ss.Hits))
+	}
+	// Segment occupancy is a point-in-time gauge, so publishing a sampled
+	// snapshot loses nothing — and sampling matters: Segments locks every
+	// shard, and record sits on the per-probe hot path of all jobs at once.
+	if m.segTick.Add(1)%segPublishEvery == 0 {
+		seg := m.s.Segments()
+		m.reg.Gauge("runtime_memo_probation_entries_" + m.ns).Set(float64(seg.Probation))
+		m.reg.Gauge("runtime_memo_protected_entries_" + m.ns).Set(float64(seg.Protected))
 	}
 	total := m.evictions.Load() + uint64(ss.Evictions)
 	for {

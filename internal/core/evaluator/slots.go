@@ -2,6 +2,7 @@ package evaluator
 
 import (
 	"context"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 // single-run path pays one nil check and nothing else.
 type SharedSlots struct {
 	reg      *obs.Registry
+	log      *slog.Logger
 	tenantOf func(job string) string
 	weight   func(tenant string) int
 
@@ -50,6 +52,9 @@ type SharedSlots struct {
 	tenants map[string]*slotTenant
 	ring    []string // tenants with pending waiters, in DRR rotation
 	next    int      // ring index of the tenant served next
+	// held counts the slots each tenant currently occupies, feeding the
+	// per-tenant slots_occupancy_* gauges.
+	held map[string]int
 }
 
 // slotTenant is one tenant's fairness state: its deficit-round-robin credit
@@ -72,8 +77,13 @@ type SlotsConfig struct {
 	TenantOf func(job string) string
 	// Weight returns a tenant's fair-share weight. Nil or values < 1 mean 1.
 	Weight func(tenant string) int
-	// Registry, when non-nil, receives the runtime_pool_* series.
+	// Registry, when non-nil, receives the runtime_pool_* series plus the
+	// per-tenant slots_queue_wait_seconds_* histograms and slots_occupancy_*
+	// gauges.
 	Registry *obs.Registry
+	// Logger, when non-nil, records contended scheduler grants at Debug level
+	// (uncontended fast-path acquires stay silent — they are the hot path).
+	Logger *slog.Logger
 }
 
 // NewSharedSlots builds an unweighted gate admitting capacity concurrent
@@ -92,9 +102,11 @@ func NewWeightedSlots(cfg SlotsConfig) *SharedSlots {
 	return &SharedSlots{
 		cap:      cfg.Capacity,
 		reg:      cfg.Registry,
+		log:      cfg.Logger,
 		tenantOf: cfg.TenantOf,
 		weight:   cfg.Weight,
 		tenants:  make(map[string]*slotTenant),
+		held:     make(map[string]int),
 	}
 }
 
@@ -126,15 +138,17 @@ func (s *SharedSlots) Acquire(ctx context.Context, job string) (func(), error) {
 		return func() {}, nil
 	}
 	start := time.Now()
+	tn := s.tenantKey(job)
 	s.mu.Lock()
 	if s.inUse < s.cap {
 		s.inUse++
 		inUse := s.inUse
+		s.held[tn]++
+		held := s.held[tn]
 		s.mu.Unlock()
-		s.observe(start, inUse)
-		return s.releaseFunc(), nil
+		s.observe(start, inUse, tn, held)
+		return s.releaseFunc(tn), nil
 	}
-	tn := s.tenantKey(job)
 	t := s.tenants[tn]
 	if t == nil {
 		t = &slotTenant{name: tn, jobs: make(map[string][]chan struct{}, 2)}
@@ -156,9 +170,13 @@ func (s *SharedSlots) Acquire(ctx context.Context, job string) (func(), error) {
 
 	select {
 	case <-ch:
-		// The releaser transferred its slot to us; inUse stays constant.
-		s.observe(start, -1)
-		return s.releaseFunc(), nil
+		// The releaser transferred its slot to us (and moved the held count
+		// to our tenant); inUse stays constant.
+		s.mu.Lock()
+		held := s.held[tn]
+		s.mu.Unlock()
+		s.observe(start, -1, tn, held)
+		return s.releaseFunc(tn), nil
 	case <-ctx.Done():
 		s.mu.Lock()
 		removed := s.removeWaiter(tn, job, ch)
@@ -171,7 +189,7 @@ func (s *SharedSlots) Acquire(ctx context.Context, job string) (func(), error) {
 			// Lost the race: a slot was granted concurrently with the
 			// cancellation. Hand it straight back.
 			<-ch
-			s.release()
+			s.release(tn)
 		}
 		return nil, ctx.Err()
 	}
@@ -209,28 +227,42 @@ func (s *SharedSlots) removeWaiter(tenant, job string, ch chan struct{}) bool {
 }
 
 // releaseFunc wraps release in a sync.Once so double-release (defer plus
-// explicit) cannot corrupt the count.
-func (s *SharedSlots) releaseFunc() func() {
+// explicit) cannot corrupt the count. tenant is who held the slot.
+func (s *SharedSlots) releaseFunc(tenant string) func() {
 	var once sync.Once
-	return func() { once.Do(s.release) }
+	return func() { once.Do(func() { s.release(tenant) }) }
 }
 
 // release grants the freed slot to the next waiter chosen by the weighted
-// fair-share rotation, or decrements inUse when nobody waits.
-func (s *SharedSlots) release() {
+// fair-share rotation, or decrements inUse when nobody waits. from is the
+// tenant returning the slot; a transfer moves its held count to the grantee.
+func (s *SharedSlots) release(from string) {
 	s.mu.Lock()
+	if s.held[from]--; s.held[from] <= 0 {
+		delete(s.held, from)
+	}
+	fromHeld := s.held[from]
 	ch, tenant := s.grantLocked()
 	if ch != nil {
+		s.held[tenant]++
+		tenantHeld := s.held[tenant]
 		waiting := s.waiting
 		s.mu.Unlock()
+		close(ch) // transfer the slot without touching inUse — wake the
+		// waiter before spending time on telemetry: the grantee's work, not
+		// the granter's metric updates, is on the critical path.
 		if s.reg != nil {
 			s.reg.Gauge("runtime_pool_waiters").Set(float64(waiting))
 			s.reg.Counter("runtime_pool_grants_total").Inc()
 			if s.tenantOf != nil {
 				s.reg.Counter("runtime_pool_tenant_grants_total_" + sanitizeMetric(tenant)).Inc()
 			}
+			s.reg.Gauge("slots_occupancy_" + sanitizeMetric(from)).Set(float64(fromHeld))
+			s.reg.Gauge("slots_occupancy_" + sanitizeMetric(tenant)).Set(float64(tenantHeld))
 		}
-		close(ch) // transfer the slot without touching inUse
+		if s.log != nil {
+			s.log.Debug("slot granted", "tenant", tenant, "from", from, "waiting", waiting)
+		}
 		return
 	}
 	s.inUse--
@@ -238,6 +270,7 @@ func (s *SharedSlots) release() {
 	s.mu.Unlock()
 	if s.reg != nil {
 		s.reg.Gauge("runtime_pool_slots_in_use").Set(float64(inUse))
+		s.reg.Gauge("slots_occupancy_" + sanitizeMetric(from)).Set(float64(fromHeld))
 	}
 }
 
@@ -350,14 +383,19 @@ func sanitizeMetric(name string) string {
 	return string(b)
 }
 
-// observe publishes one granted lease: wall wait seconds and, when known,
-// the in-use level (inUse < 0 means "transferred, level unchanged").
-func (s *SharedSlots) observe(start time.Time, inUse int) {
+// observe publishes one granted lease: wall wait seconds (global and
+// per-tenant), the tenant's slot occupancy, and, when known, the in-use
+// level (inUse < 0 means "transferred, level unchanged").
+func (s *SharedSlots) observe(start time.Time, inUse int, tenant string, held int) {
 	if s.reg == nil {
 		return
 	}
 	s.reg.Counter("runtime_pool_leases_total").Inc()
-	s.reg.Histogram("runtime_pool_lease_wait_seconds").Observe(time.Since(start).Seconds())
+	wait := time.Since(start).Seconds()
+	s.reg.Histogram("runtime_pool_lease_wait_seconds").Observe(wait)
+	ts := sanitizeMetric(tenant)
+	s.reg.Histogram("slots_queue_wait_seconds_" + ts).Observe(wait)
+	s.reg.Gauge("slots_occupancy_" + ts).Set(float64(held))
 	if inUse >= 0 {
 		s.reg.Gauge("runtime_pool_slots_in_use").Set(float64(inUse))
 	}

@@ -175,6 +175,34 @@ type MemoStats struct {
 	Evictions int64
 }
 
+// SegmentStats is a point-in-time snapshot of segment occupancy across every
+// shard: how many entries are still proving themselves (probation) versus
+// earned residency through re-use (protected). Both are zero under the legacy
+// lifecycle, which has no segments.
+type SegmentStats struct {
+	Probation int
+	Protected int
+}
+
+// Segments sums probation/protected occupancy over the shards (zero value
+// for nil or legacy memos). Each shard is locked briefly in turn, so the
+// snapshot is per-shard consistent rather than globally atomic — fine for
+// telemetry, which is its only consumer.
+func (m *Memo) Segments() SegmentStats {
+	var out SegmentStats
+	if m == nil || m.legacy {
+		return out
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		out.Probation += s.probation.n
+		out.Protected += s.protected.n
+		s.mu.Unlock()
+	}
+	return out
+}
+
 // Stats returns the memo's lifecycle accounting (zero value for nil).
 func (m *Memo) Stats() MemoStats {
 	if m == nil {

@@ -3,6 +3,7 @@ package llm
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -52,8 +53,16 @@ type TenantGatewayOptions struct {
 	MaxInFlight int
 	// Registry, when non-nil, receives the per-tenant breaker metrics
 	// (runtime_llm_breaker_open_<tenant>, runtime_llm_breaker_trips_total_<tenant>,
-	// runtime_llm_breaker_rejects_total_<tenant>).
+	// runtime_llm_breaker_rejects_total_<tenant>) plus the gateway depth
+	// series: tenant_gateway_calls_total_<tenant>,
+	// tenant_gateway_inflight_<tenant>, and
+	// tenant_gateway_breaker_transitions_total_<tenant>. A registry alone
+	// makes the gateway Active — calls are counted even with every
+	// enforcement mechanism off.
 	Registry *obs.Registry
+	// Logger, when non-nil, records breaker state changes (opened, half-open
+	// probe) with the tenant key.
+	Logger *slog.Logger
 }
 
 // tenantState is one tenant's isolated gateway state.
@@ -65,6 +74,7 @@ type tenantState struct {
 	consecFails int
 	openUntil   time.Time // zero when closed
 	trips       int
+	inflight    int // calls currently on the shared transport
 }
 
 // NewTenantGateway builds a gateway. The zero options value yields a
@@ -76,10 +86,20 @@ func NewTenantGateway(opts TenantGatewayOptions) *TenantGateway {
 	return &TenantGateway{opts: opts, tenants: make(map[string]*tenantState)}
 }
 
-// Enabled reports whether the gateway does anything at all. A disabled
-// gateway's Client returns the inner client unchanged.
+// Enabled reports whether any enforcement mechanism (breaker, in-flight
+// bound) is on.
 func (g *TenantGateway) Enabled() bool {
 	return g != nil && (g.opts.BreakerThreshold > 0 || g.opts.MaxInFlight > 0)
+}
+
+// Active reports whether Client wraps inner at all: enforcement enabled, or
+// pure instrumentation requested (a registry or logger). With enforcement
+// off the wrapper is a pass-through — the breaker can never trip at
+// threshold 0 and no semaphore exists — so wrapping for instrumentation
+// alone cannot change call outcomes. An inactive gateway's Client returns
+// the inner client untouched.
+func (g *TenantGateway) Active() bool {
+	return g.Enabled() || (g != nil && (g.opts.Registry != nil || g.opts.Logger != nil))
 }
 
 // state returns (creating if needed) the named tenant's isolated state.
@@ -97,10 +117,11 @@ func (g *TenantGateway) state(tenant string) *tenantState {
 	return st
 }
 
-// Client wraps inner with the named tenant's breaker and in-flight bound.
-// With the gateway disabled, inner comes back untouched.
+// Client wraps inner with the named tenant's breaker, in-flight bound, and
+// gateway instrumentation. With the gateway inactive, inner comes back
+// untouched.
 func (g *TenantGateway) Client(tenant string, inner Client) Client {
-	if !g.Enabled() {
+	if !g.Active() {
 		return inner
 	}
 	return &tenantClient{g: g, st: g.state(tenant), inner: inner}
@@ -169,7 +190,8 @@ func (c *tenantClient) CompleteT(ctx context.Context, prompt string, temperature
 	})
 }
 
-// run applies the tenant's breaker and in-flight bound around one call.
+// run applies the tenant's breaker, in-flight bound, and gateway
+// instrumentation around one call.
 func (c *tenantClient) run(ctx context.Context, call func(context.Context) (string, error)) (string, error) {
 	st := c.st
 	st.mu.Lock()
@@ -183,6 +205,10 @@ func (c *tenantClient) run(ctx context.Context, call func(context.Context) (stri
 		// Cooldown elapsed: half-open — let this call probe the transport.
 		st.openUntil = time.Time{}
 		c.g.gauge("runtime_llm_breaker_open_", st.tenant).Set(0)
+		c.g.counter("tenant_gateway_breaker_transitions_total_", st.tenant).Inc()
+		if c.g.opts.Logger != nil {
+			c.g.opts.Logger.Info("tenant breaker half-open", "tenant", st.tenant)
+		}
 	}
 	st.mu.Unlock()
 
@@ -195,10 +221,18 @@ func (c *tenantClient) run(ctx context.Context, call func(context.Context) (stri
 		}
 	}
 
+	st.mu.Lock()
+	st.inflight++
+	c.g.gauge("tenant_gateway_inflight_", st.tenant).Set(float64(st.inflight))
+	st.mu.Unlock()
+	c.g.counter("tenant_gateway_calls_total_", st.tenant).Inc()
+
 	out, err := call(ctx)
 
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.inflight--
+	c.g.gauge("tenant_gateway_inflight_", st.tenant).Set(float64(st.inflight))
 	switch {
 	case err == nil:
 		st.consecFails = 0
@@ -212,7 +246,12 @@ func (c *tenantClient) run(ctx context.Context, call func(context.Context) (stri
 			st.openUntil = time.Now().Add(c.g.opts.BreakerCooldown)
 			st.trips++
 			c.g.counter("runtime_llm_breaker_trips_total_", st.tenant).Inc()
+			c.g.counter("tenant_gateway_breaker_transitions_total_", st.tenant).Inc()
 			c.g.gauge("runtime_llm_breaker_open_", st.tenant).Set(1)
+			if c.g.opts.Logger != nil {
+				c.g.opts.Logger.Warn("tenant breaker opened",
+					"tenant", st.tenant, "trips", st.trips, "cooldown", c.g.opts.BreakerCooldown.String())
+			}
 		}
 	}
 	return out, err

@@ -104,10 +104,14 @@ func ReadFile(path string) ([]SpanRecord, error) {
 }
 
 // ValidateRecords checks the span-schema invariants a well-formed trace
-// export satisfies: ids strictly increase from 1, every parent id refers to
-// an earlier span (parents precede children in DFS order), virtual intervals
-// are non-negative and well-ordered, at least one root exists, and event
-// names are non-empty. CI runs this over freshly produced traces.
+// export satisfies: ids strictly increase from 1 (which also rules out
+// duplicates), every parent id refers to an earlier span (parents precede
+// children in DFS order), virtual intervals are non-negative and well-ordered,
+// virtual clocks are monotone down the tree (a child cannot start before its
+// parent) and within a span (events at non-decreasing virtual times, never
+// before the span opened), at least one root exists, and event names are
+// non-empty. CI runs this over freshly produced traces, and the job trace
+// endpoint runs it over every completed job's export.
 func ValidateRecords(recs []SpanRecord) error {
 	if len(recs) == 0 {
 		return fmt.Errorf("trace is empty")
@@ -124,6 +128,8 @@ func ValidateRecords(recs []SpanRecord) error {
 			roots++
 		} else if r.Parent < 0 || r.Parent >= r.ID {
 			return fmt.Errorf("span %d (%s): parent %d does not precede it", r.ID, r.Name, r.Parent)
+		} else if ps := recs[r.Parent-1]; r.VirtStart < ps.VirtStart {
+			return fmt.Errorf("span %d (%s): virt_start %g before parent %d (%s) start %g", r.ID, r.Name, r.VirtStart, ps.ID, ps.Name, ps.VirtStart)
 		}
 		if r.VirtStart < 0 {
 			return fmt.Errorf("span %d (%s): negative virt_start %g", r.ID, r.Name, r.VirtStart)
@@ -131,6 +137,7 @@ func ValidateRecords(recs []SpanRecord) error {
 		if r.VirtEnd < r.VirtStart {
 			return fmt.Errorf("span %d (%s): virt_end %g < virt_start %g", r.ID, r.Name, r.VirtEnd, r.VirtStart)
 		}
+		prev := r.VirtStart
 		for _, ev := range r.Events {
 			if ev.Name == "" {
 				return fmt.Errorf("span %d (%s): event with empty name", r.ID, r.Name)
@@ -138,6 +145,10 @@ func ValidateRecords(recs []SpanRecord) error {
 			if ev.Virt < 0 {
 				return fmt.Errorf("span %d (%s): event %s at negative virtual time %g", r.ID, r.Name, ev.Name, ev.Virt)
 			}
+			if ev.Virt < prev {
+				return fmt.Errorf("span %d (%s): event %s at virtual time %g is non-monotonic (previous mark %g)", r.ID, r.Name, ev.Name, ev.Virt, prev)
+			}
+			prev = ev.Virt
 		}
 	}
 	if roots == 0 {

@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -67,13 +68,23 @@ func Annot(a Attr) Attr { a.Annot = true; return a }
 
 // Event is a point-in-time occurrence inside a span (a retry, a breaker
 // transition, an injected fault, a checkpoint save). Virt is its virtual
-// timestamp; Wall the host annotation.
+// timestamp; WallNS the host annotation (UnixNano, 0 = unset).
 type Event struct {
-	Name  string
-	Virt  float64
-	Wall  time.Time
-	Attrs []Attr
+	Name   string
+	Virt   float64
+	WallNS int64
+	Attrs  []Attr
 }
+
+// spanAttrBuf sizes the inline attribute storage every span carries. The
+// instrumentation sites attach at most four attributes to the hot span kinds
+// (query: 4, index.build: 3, schedule: 3), so the inline buffer absorbs
+// nearly every attribute without a heap allocation; the rare richer span
+// (the run root) spills into attrExtra. Because Start and SetAttrs copy into
+// this buffer instead of retaining the caller's variadic slice, the
+// compiler's escape analysis keeps those call-site slices on the stack —
+// the dominant per-span allocation before this layout.
+const spanAttrBuf = 4
 
 // Span is one node of the trace tree: a named operation with a virtual-clock
 // interval, a host wall-clock interval (annotation only), typed attributes,
@@ -87,11 +98,80 @@ type Span struct {
 	mu        sync.Mutex
 	virtStart float64
 	virtEnd   float64
-	wallStart time.Time
-	wallEnd   time.Time
-	attrs     []Attr
-	events    []Event
+	// wallStartNS / wallEndNS are UnixNano host stamps (0 = unset). Stored
+	// as integers, not time.Time: spans are allocated by the hundreds per
+	// run, and the monotonic-clock and *Location fields of time.Time would
+	// cost 32 bytes and a GC-scanned pointer per span for an
+	// annotation-only value.
+	wallStartNS int64
+	wallEndNS   int64
+	// attrKeys/attrVals store the inline attributes as parallel arrays
+	// rather than [spanAttrBuf]Attr: packing drops the per-Attr Annot bool
+	// (plus its 7 padding bytes) into one bitmask, shrinking every span by
+	// 32 bytes — real money when a traced run allocates hundreds of spans.
+	attrKeys  [spanAttrBuf]string
+	attrVals  [spanAttrBuf]any
+	id        int32 // creation index + 1, assigned under tr.mu at Start
+	nattr     uint8
+	annotBits uint8
 	ended     bool
+}
+
+// spanExtra holds the rare per-span payloads — point events and attribute
+// overflow past the inline buffer — off the Span itself. A typical trace
+// records a handful of events and spills across hundreds of spans, so
+// keeping these two slice headers out of every span saves 48 bytes per span
+// in exchange for a tracer-side map entry on the few spans that need one.
+type spanExtra struct {
+	attrs  []Attr
+	events []Event
+}
+
+// appendInline copies attrs into the span's inline buffers and returns the
+// overflow tail (a view into attrs, not retained). Callers hold s.mu (or
+// the span is not yet published).
+func (s *Span) appendInline(attrs []Attr) []Attr {
+	i := 0
+	for ; i < len(attrs) && int(s.nattr) < spanAttrBuf; i++ {
+		s.attrKeys[s.nattr] = attrs[i].Key
+		s.attrVals[s.nattr] = attrs[i].Value
+		if attrs[i].Annot {
+			s.annotBits |= 1 << s.nattr
+		}
+		s.nattr++
+	}
+	return attrs[i:]
+}
+
+// attrMaps folds the span's attributes (inline buffers plus any overflow)
+// into the export maps (deterministic attributes and wall-clock
+// annotations), later keys shadowing earlier ones. Returns nil maps when
+// the span has no attributes of that kind. Callers hold s.mu.
+func (s *Span) attrMaps(extra []Attr) (attrs, annots map[string]any) {
+	n := int(s.nattr) + len(extra)
+	if n == 0 {
+		return nil, nil
+	}
+	add := func(key string, val any, annot bool) {
+		if annot {
+			if annots == nil {
+				annots = make(map[string]any, n)
+			}
+			annots[key] = val
+		} else {
+			if attrs == nil {
+				attrs = make(map[string]any, n)
+			}
+			attrs[key] = val
+		}
+	}
+	for i := 0; i < int(s.nattr); i++ {
+		add(s.attrKeys[i], s.attrVals[i], s.annotBits&(1<<i) != 0)
+	}
+	for _, a := range extra {
+		add(a.Key, a.Value, a.Annot)
+	}
+	return attrs, annots
 }
 
 // Name returns the span's name ("" for nil).
@@ -109,8 +189,11 @@ func (s *Span) SetAttrs(attrs ...Attr) {
 		return
 	}
 	s.mu.Lock()
-	s.attrs = append(s.attrs, attrs...)
+	rest := s.appendInline(attrs)
 	s.mu.Unlock()
+	if len(rest) > 0 {
+		s.tr.spill(s, rest)
+	}
 }
 
 // Event records a point event at virtual time virt.
@@ -118,10 +201,12 @@ func (s *Span) Event(name string, virt float64, attrs ...Attr) {
 	if s == nil {
 		return
 	}
-	wall := s.tr.wallNow()
-	s.mu.Lock()
-	s.events = append(s.events, Event{Name: name, Virt: virt, Wall: wall, Attrs: attrs})
-	s.mu.Unlock()
+	t := s.tr
+	wall := t.wallNow()
+	t.mu.Lock()
+	ex := t.extraLocked(s)
+	ex.events = append(ex.events, Event{Name: name, Virt: virt, WallNS: wall, Attrs: attrs})
+	t.mu.Unlock()
 }
 
 // End closes the span at virtual time virt. The first End wins; further calls
@@ -135,7 +220,7 @@ func (s *Span) End(virt float64) {
 	if !s.ended {
 		s.ended = true
 		s.virtEnd = virt
-		s.wallEnd = wall
+		s.wallEndNS = wall
 	}
 	s.mu.Unlock()
 }
@@ -143,17 +228,42 @@ func (s *Span) End(virt float64) {
 // Tracer records one run's spans. The zero value is not usable; construct
 // with NewTracer. A nil *Tracer is valid: Start returns a nil span and every
 // derived call becomes a no-op.
-type Tracer struct {
-	mu    sync.Mutex
-	spans []*Span // creation order
-	root  *Span
+// spanArena batches span allocation: a tuning run starts hundreds of tiny
+// spans, and carving them out of fixed-size chunks instead of one heap object
+// each keeps the traced run's GC object count (and with it the mark cost the
+// telemetry phase pays in E17) close to the untraced run's. Chunks are never
+// grown in place, so handed-out *Span pointers stay stable.
+const spanArena = 64
 
-	// now supplies host wall timestamps; replaceable for tests.
-	now func() time.Time
+type Tracer struct {
+	mu   sync.Mutex
+	root *Span
+	// chunks holds the filled arena chunks and arena the one being carved;
+	// together they store every span in creation order, so the tracer needs
+	// no separate []*Span index — exports walk the chunks directly and a
+	// span's creation ID lives on the span itself. Guarded by mu.
+	chunks    [][]Span
+	arena     []Span
+	arenaUsed int
+	nspans    int
+	// extras maps the few spans carrying events or attribute overflow to
+	// their off-span payload. Lazily allocated; guarded by mu.
+	extras map[*Span]*spanExtra
+
+	// now supplies host wall timestamps; replaceable for tests. Held in an
+	// atomic rather than under mu: every Start/End/Event reads the clock, and
+	// parallel evaluation workers would otherwise serialize on the tracer
+	// mutex just to take a wall annotation.
+	now atomic.Pointer[func() time.Time]
 }
 
 // NewTracer returns an empty run tracer.
-func NewTracer() *Tracer { return &Tracer{now: time.Now} }
+func NewTracer() *Tracer {
+	t := &Tracer{}
+	f := time.Now
+	t.now.Store(&f)
+	return t
+}
 
 // SetWallClock replaces the host wall-clock source (tests pin it to make the
 // full export, not just the shape, reproducible).
@@ -161,19 +271,24 @@ func (t *Tracer) SetWallClock(now func() time.Time) {
 	if t == nil || now == nil {
 		return
 	}
-	t.mu.Lock()
-	t.now = now
-	t.mu.Unlock()
+	t.now.Store(&now)
 }
 
-func (t *Tracer) wallNow() time.Time {
+// wallNow reads the host clock as UnixNano, or 0 when the clock source
+// yields the zero time (matching the "unset" convention of the span fields).
+func (t *Tracer) wallNow() int64 {
 	if t == nil {
-		return time.Time{}
+		return 0
 	}
-	t.mu.Lock()
-	now := t.now
-	t.mu.Unlock()
-	return now()
+	f := t.now.Load()
+	if f == nil {
+		return 0
+	}
+	tm := (*f)()
+	if tm.IsZero() {
+		return 0
+	}
+	return tm.UnixNano()
 }
 
 // Start opens a span under parent (nil parent = a root span) at virtual time
@@ -183,22 +298,86 @@ func (t *Tracer) Start(parent *Span, name string, virt float64, attrs ...Attr) *
 	if t == nil {
 		return nil
 	}
-	s := &Span{
-		tr:        t,
-		parent:    parent,
-		name:      name,
-		virtStart: virt,
-		virtEnd:   virt,
-		wallStart: t.wallNow(),
-		attrs:     attrs,
-	}
+	wall := t.wallNow()
 	t.mu.Lock()
-	t.spans = append(t.spans, s)
+	if t.arenaUsed == len(t.arena) {
+		if t.arenaUsed > 0 {
+			t.chunks = append(t.chunks, t.arena)
+		}
+		t.arena = make([]Span, spanArena)
+		t.arenaUsed = 0
+	}
+	s := &t.arena[t.arenaUsed]
+	t.arenaUsed++
+	t.nspans++
+	// Field-by-field init (not a struct literal assignment): the slot is
+	// fresh zeroed arena memory, and copying a Span value would copy its
+	// mutex.
+	s.tr = t
+	s.parent = parent
+	s.name = name
+	s.id = int32(t.nspans)
+	s.virtStart = virt
+	s.virtEnd = virt
+	s.wallStartNS = wall
+	if rest := s.appendInline(attrs); len(rest) > 0 {
+		t.spillLocked(s, rest)
+	}
 	if t.root == nil && parent == nil {
 		t.root = s
 	}
 	t.mu.Unlock()
 	return s
+}
+
+// extraLocked returns (allocating on first use) the span's off-span payload.
+// Callers hold t.mu.
+func (t *Tracer) extraLocked(s *Span) *spanExtra {
+	ex := t.extras[s]
+	if ex == nil {
+		if t.extras == nil {
+			t.extras = make(map[*Span]*spanExtra)
+		}
+		ex = &spanExtra{}
+		t.extras[s] = ex
+	}
+	return ex
+}
+
+// spill appends attribute overflow to the span's off-span payload.
+func (t *Tracer) spill(s *Span, rest []Attr) {
+	t.mu.Lock()
+	t.spillLocked(s, rest)
+	t.mu.Unlock()
+}
+
+func (t *Tracer) spillLocked(s *Span, rest []Attr) {
+	ex := t.extraLocked(s)
+	ex.attrs = append(ex.attrs, rest...)
+}
+
+// snapshot returns stable views of every span created so far, in creation
+// order, plus a by-value copy of the off-span payload map. Chunk backing
+// arrays never move or shrink once allocated, so the views stay valid after
+// the lock is released; a concurrent Start only writes slots past the
+// returned prefix, and a concurrent spill/Event only writes payload slots
+// past the copied slice lengths.
+func (t *Tracer) snapshot() ([][]Span, map[*Span]spanExtra) {
+	t.mu.Lock()
+	views := make([][]Span, 0, len(t.chunks)+1)
+	views = append(views, t.chunks...)
+	if t.arenaUsed > 0 {
+		views = append(views, t.arena[:t.arenaUsed])
+	}
+	var extras map[*Span]spanExtra
+	if len(t.extras) > 0 {
+		extras = make(map[*Span]spanExtra, len(t.extras))
+		for s, ex := range t.extras {
+			extras[s] = *ex
+		}
+	}
+	t.mu.Unlock()
+	return views, extras
 }
 
 // Root returns the first root span (the "run" span in a tuning run), or nil.
@@ -220,7 +399,7 @@ func (t *Tracer) Len() int {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.spans)
+	return t.nspans
 }
 
 // Records flattens the trace into export records in deterministic order:
@@ -235,27 +414,30 @@ func (t *Tracer) Records() []SpanRecord {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	spans := append([]*Span(nil), t.spans...)
-	t.mu.Unlock()
-
-	children := make(map[*Span][]*Span, len(spans))
-	var roots []*Span
-	for _, s := range spans {
-		if s.parent == nil {
-			roots = append(roots, s)
-			continue
-		}
-		children[s.parent] = append(children[s.parent], s)
+	views, extras := t.snapshot()
+	var total int
+	for _, v := range views {
+		total += len(v)
 	}
 
-	out := make([]SpanRecord, 0, len(spans))
-	ids := make(map[*Span]int, len(spans))
+	children := make(map[*Span][]*Span, total)
+	var roots []*Span
+	for _, v := range views {
+		for i := range v {
+			s := &v[i]
+			if s.parent == nil {
+				roots = append(roots, s)
+				continue
+			}
+			children[s.parent] = append(children[s.parent], s)
+		}
+	}
+
+	out := make([]SpanRecord, 0, total)
 	var walk func(s *Span, parentID int)
 	walk = func(s *Span, parentID int) {
 		id := len(out) + 1
-		ids[s] = id
-		out = append(out, s.record(id, parentID))
+		out = append(out, s.record(id, parentID, extras[s]))
 		for _, c := range children[s] {
 			walk(c, id)
 		}
@@ -266,8 +448,57 @@ func (t *Tracer) Records() []SpanRecord {
 	return out
 }
 
-// record snapshots the span into an export record.
-func (s *Span) record(id, parent int) SpanRecord {
+// CreationRecords flattens the trace in span-creation order — the order the
+// run emitted spans — with IDs that are stable as the trace grows: a span's ID
+// is its creation index + 1 and never changes when later spans arrive, unlike
+// Records' DFS renumbering. Parents always precede their children (a child is
+// started under an already-created parent), so any prefix of the creation
+// order is itself a well-formed trace, which is what lets a live stream emit
+// records incrementally: callers poll with since = number of records already
+// emitted and get only the new tail. Each record snapshots the span's state at
+// call time; spans still open report virt_end == virt_start. The DFS export
+// from Records remains the canonical completed-trace form.
+func (t *Tracer) CreationRecords(since int) []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	views, extras := t.snapshot()
+	var total int
+	for _, v := range views {
+		total += len(v)
+	}
+	if since < 0 {
+		since = 0
+	}
+	if since >= total {
+		return nil
+	}
+	out := make([]SpanRecord, 0, total-since)
+	idx := 0
+	for _, v := range views {
+		if idx+len(v) <= since {
+			idx += len(v)
+			continue
+		}
+		for i := range v {
+			if idx++; idx <= since {
+				continue
+			}
+			s := &v[i]
+			parent := 0
+			if s.parent != nil {
+				parent = int(s.parent.id)
+			}
+			out = append(out, s.record(int(s.id), parent, extras[s]))
+		}
+	}
+	return out
+}
+
+// record snapshots the span into an export record. ex carries the span's
+// off-span payload (events, attribute overflow), already copied out of the
+// tracer by snapshot.
+func (s *Span) record(id, parent int, ex spanExtra) SpanRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r := SpanRecord{
@@ -277,24 +508,14 @@ func (s *Span) record(id, parent int) SpanRecord {
 		VirtStart: s.virtStart,
 		VirtEnd:   s.virtEnd,
 	}
-	if !s.wallStart.IsZero() {
-		r.WallStartNS = s.wallStart.UnixNano()
-	}
-	if !s.wallEnd.IsZero() {
-		r.WallEndNS = s.wallEnd.UnixNano()
-	}
+	r.WallStartNS = s.wallStartNS
+	r.WallEndNS = s.wallEndNS
 	if r.VirtEnd < r.VirtStart {
 		r.VirtEnd = r.VirtStart
 	}
-	if len(s.attrs) > 0 {
-		r.Attrs = attrMap(s.attrs)
-		r.Annots = annotMap(s.attrs)
-	}
-	for _, ev := range s.events {
-		er := EventRecord{Name: ev.Name, Virt: ev.Virt}
-		if !ev.Wall.IsZero() {
-			er.WallNS = ev.Wall.UnixNano()
-		}
+	r.Attrs, r.Annots = s.attrMaps(ex.attrs)
+	for _, ev := range ex.events {
+		er := EventRecord{Name: ev.Name, Virt: ev.Virt, WallNS: ev.WallNS}
 		if len(ev.Attrs) > 0 {
 			er.Attrs = attrMap(ev.Attrs)
 			er.Annots = annotMap(ev.Attrs)

@@ -401,3 +401,43 @@ func TestEndIdempotent(t *testing.T) {
 		t.Fatalf("second End overwrote the first: virt_end=%g", recs[0].VirtEnd)
 	}
 }
+
+// TestTracerSummarizeMatchesRecords pins the direct span-walk Summarize to
+// the record-based aggregation: same spans, same events, same phase buckets
+// in the same order, including the open-span and inverted-interval clamps.
+func TestTracerSummarizeMatchesRecords(t *testing.T) {
+	tr := NewTracer()
+	var tick int64
+	tr.SetWallClock(func() time.Time {
+		tick++
+		return time.Unix(0, tick*1000)
+	})
+	run := tr.Start(nil, "run", 0)
+	l := tr.Start(run, "llm.sample", 0)
+	l.End(60)
+	q := tr.Start(run, "query", 60, String("query", "q1"))
+	q.Event("timeout", 65)
+	q.End(70)
+	ix := tr.Start(run, "index.build", 70)
+	ix.End(68)                    // inverted interval: export clamps end to start
+	tr.Start(run, "schedule", 70) // left open: virt_end == virt_start
+	run.End(70)
+
+	got := tr.Summarize()
+	want := Summarize(tr.Records())
+	if got.Spans != want.Spans || got.Events != want.Events {
+		t.Fatalf("totals = {spans %d, events %d}, want {spans %d, events %d}",
+			got.Spans, got.Events, want.Spans, want.Events)
+	}
+	if len(got.Phases) != len(want.Phases) {
+		t.Fatalf("got %d phases, want %d", len(got.Phases), len(want.Phases))
+	}
+	for i := range want.Phases {
+		g, w := got.Phases[i], want.Phases[i]
+		if g.Phase != w.Phase || g.Spans != w.Spans ||
+			math.Abs(g.VirtSeconds-w.VirtSeconds) > 1e-12 ||
+			math.Abs(g.WallSeconds-w.WallSeconds) > 1e-12 {
+			t.Errorf("phase %d = %+v, want %+v", i, g, w)
+		}
+	}
+}

@@ -87,9 +87,62 @@ func Summarize(recs []SpanRecord) Summary {
 	return s
 }
 
-// Summarize condenses the tracer's current spans.
+// Summarize condenses the tracer's current spans. It walks the spans
+// directly rather than going through Records: the summary needs no IDs, no
+// tree order and no attribute maps, and a full export per traced run is
+// measurable overhead on a busy daemon (every finished job summarizes its
+// trace for Result.Telemetry). The aggregation is identical to
+// Summarize(t.Records()) — same clamps, same phase buckets.
 func (t *Tracer) Summarize() Summary {
-	return Summarize(t.Records())
+	if t == nil {
+		return Summary{}
+	}
+	views, extras := t.snapshot()
+
+	byPhase := map[string]*PhaseCost{}
+	var s Summary
+	for _, ex := range extras {
+		s.Events += len(ex.events)
+	}
+	for _, view := range views {
+		s.Spans += len(view)
+		for i := range view {
+			sp := &view[i]
+			sp.mu.Lock()
+			name := sp.name
+			virtStart, virtEnd := sp.virtStart, sp.virtEnd
+			wallStartNS, wallEndNS := sp.wallStartNS, sp.wallEndNS
+			sp.mu.Unlock()
+
+			phase := spanPhase(name)
+			if phase == "" {
+				continue
+			}
+			pc := byPhase[phase]
+			if pc == nil {
+				pc = &PhaseCost{Phase: phase}
+				byPhase[phase] = pc
+			}
+			pc.Spans++
+			if virtEnd < virtStart { // same clamp Records applies on export
+				virtEnd = virtStart
+			}
+			pc.VirtSeconds += virtEnd - virtStart
+			if wallEndNS > wallStartNS {
+				pc.WallSeconds += float64(wallEndNS-wallStartNS) / 1e9
+			}
+		}
+	}
+	for _, pc := range byPhase {
+		s.Phases = append(s.Phases, *pc)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].VirtSeconds != s.Phases[j].VirtSeconds {
+			return s.Phases[i].VirtSeconds > s.Phases[j].VirtSeconds
+		}
+		return s.Phases[i].Phase < s.Phases[j].Phase
+	})
+	return s
 }
 
 // SummaryTable renders the breakdown as the table trace-summary prints:

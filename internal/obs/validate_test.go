@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateRecordsRejections pins the validator's rejection paths — the
+// contracts the job trace endpoint relies on: duplicate span ids, orphaned
+// parents, and non-monotonic clocks all fail with a diagnostic naming the
+// offending span.
+func TestValidateRecordsRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		recs []SpanRecord
+		want string // substring of the error
+	}{
+		{
+			"duplicate span ids",
+			[]SpanRecord{{ID: 1, Name: "run"}, {ID: 1, Name: "dup"}},
+			"out of sequence",
+		},
+		{
+			"orphaned parent (forward reference)",
+			[]SpanRecord{{ID: 1, Name: "run"}, {ID: 2, Parent: 3, Name: "q"}},
+			"does not precede",
+		},
+		{
+			"orphaned parent (self reference)",
+			[]SpanRecord{{ID: 1, Parent: 1, Name: "run"}},
+			"does not precede",
+		},
+		{
+			"orphaned parent (negative)",
+			[]SpanRecord{{ID: 1, Name: "run"}, {ID: 2, Parent: -1, Name: "q"}},
+			"does not precede",
+		},
+		{
+			"child starts before parent",
+			[]SpanRecord{
+				{ID: 1, Name: "run", VirtStart: 10, VirtEnd: 20},
+				{ID: 2, Parent: 1, Name: "q", VirtStart: 5, VirtEnd: 6},
+			},
+			"before parent",
+		},
+		{
+			"event before span start",
+			[]SpanRecord{{ID: 1, Name: "run", VirtStart: 3, VirtEnd: 9,
+				Events: []EventRecord{{Name: "retry", Virt: 1}}}},
+			"non-monotonic",
+		},
+		{
+			"events out of order within span",
+			[]SpanRecord{{ID: 1, Name: "run", VirtStart: 0, VirtEnd: 9,
+				Events: []EventRecord{{Name: "a", Virt: 5}, {Name: "b", Virt: 2}}}},
+			"non-monotonic",
+		},
+		{
+			"no root",
+			[]SpanRecord{}, // empty doubles as no-root; distinct message below
+			"empty",
+		},
+	}
+	for _, tc := range cases {
+		err := ValidateRecords(tc.recs)
+		if err == nil {
+			t.Errorf("%s: invalid trace accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestValidateRecordsMonotoneAccepts checks the clock rules accept legitimate
+// shapes: equal timestamps (zero-duration spans, simultaneous events) and an
+// event exactly at span start.
+func TestValidateRecordsMonotoneAccepts(t *testing.T) {
+	recs := []SpanRecord{
+		{ID: 1, Name: "run", VirtStart: 0, VirtEnd: 10,
+			Events: []EventRecord{{Name: "a", Virt: 0}, {Name: "b", Virt: 4}, {Name: "c", Virt: 4}}},
+		{ID: 2, Parent: 1, Name: "q", VirtStart: 0, VirtEnd: 0},
+		{ID: 3, Parent: 1, Name: "q", VirtStart: 10, VirtEnd: 10},
+	}
+	if err := ValidateRecords(recs); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+}
+
+// TestCreationRecords covers the streaming export: stable IDs in creation
+// order, parents preceding children, incremental tails via since, and every
+// prefix being a schema-valid trace.
+func TestCreationRecords(t *testing.T) {
+	tr := NewTracer()
+	run := tr.Start(nil, "run", 0)
+	a := tr.Start(run, "a", 1)
+	first := tr.CreationRecords(0)
+	if len(first) != 2 || first[0].Name != "run" || first[1].Name != "a" {
+		t.Fatalf("creation order wrong: %+v", first)
+	}
+	if first[1].Parent != 1 {
+		t.Fatalf("child parent = %d, want 1", first[1].Parent)
+	}
+	// An open span reports a zero-length interval so far.
+	if first[1].VirtEnd != first[1].VirtStart {
+		t.Fatalf("open span interval not clamped: %+v", first[1])
+	}
+
+	b := tr.Start(run, "b", 2)
+	tr.Start(b, "b.child", 3).End(4)
+	a.End(5)
+
+	tail := tr.CreationRecords(len(first))
+	if len(tail) != 2 || tail[0].Name != "b" || tail[1].Name != "b.child" {
+		t.Fatalf("incremental tail wrong: %+v", tail)
+	}
+	// IDs are stable: the tail continues the numbering of the first batch.
+	if tail[0].ID != 3 || tail[1].ID != 4 || tail[1].Parent != 3 {
+		t.Fatalf("tail ids/parents not stable: %+v", tail)
+	}
+
+	all := tr.CreationRecords(0)
+	for n := 1; n <= len(all); n++ {
+		if err := ValidateRecords(all[:n]); err != nil {
+			t.Fatalf("prefix of %d records invalid: %v", n, err)
+		}
+	}
+	if got := tr.CreationRecords(len(all)); got != nil {
+		t.Fatalf("exhausted stream returned %+v", got)
+	}
+	if got := (*Tracer)(nil).CreationRecords(0); got != nil {
+		t.Fatalf("nil tracer returned %+v", got)
+	}
+	run.End(9)
+}

@@ -8,20 +8,30 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"lambdatune/internal/obs"
 )
 
 // Handler serves the job API over HTTP/JSON, versioned under /v1:
 //
-//	POST /v1/jobs              enqueue a job (body: JobSpec) → 202 + Job
-//	GET  /v1/jobs              list jobs; ?limit= and ?after= paginate
-//	GET  /v1/jobs/{id}         one job's status and result
-//	POST /v1/jobs/{id}/cancel  cancel a queued or running job
-//	GET  /v1/jobs/{id}/stream  live progress lines, chunked, until the job ends
-//	GET  /healthz              liveness (200 while the process serves)
-//	GET  /readyz               readiness (503 while draining)
-//	GET  /metrics              Prometheus text exposition (when metrics are on)
+//	POST /v1/jobs                    enqueue a job (body: JobSpec) → 202 + Job
+//	GET  /v1/jobs                    list jobs; ?limit= and ?after= paginate
+//	GET  /v1/jobs/{id}               one job's status and result
+//	POST /v1/jobs/{id}/cancel        cancel a queued or running job
+//	GET  /v1/jobs/{id}/stream        live progress lines, chunked, until the job ends
+//	GET  /v1/jobs/{id}/trace         the job's span trace as JSONL (partial while running)
+//	GET  /v1/jobs/{id}/summary       the trace's per-phase cost table as JSON
+//	GET  /v1/jobs/{id}/trace/stream  spans streamed live, chunked, until the job ends
+//	GET  /healthz                    liveness (200 while the process serves)
+//	GET  /readyz                     readiness (503 while draining)
+//	GET  /metrics                    Prometheus text exposition (when metrics are on)
+//
+// Trace endpoints answer 404 for unknown jobs and 409 (trace_unavailable)
+// for jobs that exist but hold no trace: still queued, re-adopted from a
+// previous process, tracing disabled, or evicted by the retention window. A
+// running job serves its partial trace (the Lambdatune-Trace header says
+// partial vs complete).
 //
 // The unversioned /jobs* paths of the pre-/v1 release are gone (their one
 // deprecation release, as 308 redirects, is over): they now 404 like any
@@ -39,6 +49,9 @@ func (m *Manager) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", m.handleGet)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", m.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", m.handleStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", m.handleTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/summary", m.handleTraceSummary)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace/stream", m.handleTraceStream)
 	// Catch-all: unknown paths (including the removed unversioned /jobs*
 	// routes) answer with the JSON 404 envelope.
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
@@ -73,12 +86,13 @@ func (m *Manager) Handler() http.Handler {
 
 // Stable machine-readable error codes carried by APIError.Code.
 const (
-	CodeInvalidRequest = "invalid_request"
-	CodeNotFound       = "not_found"
-	CodeRateLimited    = "rate_limited"
-	CodeQueueFull      = "queue_full"
-	CodeDraining       = "draining"
-	CodeInternal       = "internal"
+	CodeInvalidRequest   = "invalid_request"
+	CodeNotFound         = "not_found"
+	CodeRateLimited      = "rate_limited"
+	CodeQueueFull        = "queue_full"
+	CodeDraining         = "draining"
+	CodeInternal         = "internal"
+	CodeTraceUnavailable = "trace_unavailable"
 )
 
 // APIError is the JSON error envelope every non-2xx response carries. It is
@@ -108,6 +122,11 @@ func toAPIError(err error) (int, *APIError) {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound, &APIError{Code: CodeNotFound, Message: err.Error()}
+	case errors.Is(err, ErrTraceUnavailable):
+		// 409: the job exists but its current state holds no trace. Retryable
+		// because a queued job gains one the moment it starts running (an
+		// evicted trace, though, is gone for good).
+		return http.StatusConflict, &APIError{Code: CodeTraceUnavailable, Message: err.Error(), Retryable: true}
 	case errors.Is(err, ErrRateLimited):
 		return http.StatusTooManyRequests, &APIError{Code: CodeRateLimited, Message: err.Error(), Retryable: true}
 	case errors.Is(err, ErrQueueFull):
@@ -232,6 +251,85 @@ func (m *Manager) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace serves the job's span trace as JSONL — the exact format
+// `lambdatune trace-summary` and obs.ReadJSONL consume. A running job gets
+// its schema-valid partial trace (DFS order over the spans recorded so far);
+// the Lambdatune-Trace header distinguishes partial from complete.
+func (m *Manager) handleTrace(w http.ResponseWriter, r *http.Request) {
+	recs, status, err := m.TraceRecords(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	if status.Terminal() {
+		w.Header().Set("Lambdatune-Trace", "complete")
+	} else {
+		w.Header().Set("Lambdatune-Trace", "partial")
+	}
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteJSONL(w, recs)
+}
+
+// handleTraceSummary serves the trace's per-phase cost table as JSON.
+func (m *Manager) handleTraceSummary(w http.ResponseWriter, r *http.Request) {
+	s, err := m.TraceSummary(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s)
+}
+
+// traceStreamPoll is how often the trace stream looks for new spans. Spans
+// are emitted in creation order with stable IDs (obs.CreationRecords), so
+// every chunk extends a well-formed trace; the canonical DFS-ordered export
+// from /trace remains the authoritative completed form.
+const traceStreamPoll = 50 * time.Millisecond
+
+// handleTraceStream follows a job's spans live: each new span is written as
+// one JSONL line and flushed, until the job reaches a terminal state or the
+// client goes away. Streaming an already-finished job emits its full trace
+// and closes.
+func (m *Manager) handleTraceStream(w http.ResponseWriter, r *http.Request) {
+	tr, done, _, err := m.traceOf(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	emit := func() {
+		recs := tr.CreationRecords(sent)
+		if len(recs) == 0 {
+			return
+		}
+		sent += len(recs)
+		_ = obs.WriteJSONL(w, recs)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	emit()
+	ticker := time.NewTicker(traceStreamPoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			emit()
+			return
+		case <-ticker.C:
+			emit()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
 // Client is a typed HTTP client for the /v1 job API: the lambdatuned CLI
 // helpers and tests use it instead of hand-rolled requests. API failures
 // come back as *APIError (errors.As), transport failures as plain errors.
@@ -275,17 +373,23 @@ func (c *Client) do(method, path string, body any, out any) error {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		var apiErr APIError
-		if derr := json.NewDecoder(resp.Body).Decode(&apiErr); derr != nil || apiErr.Code == "" {
-			return &APIError{Code: CodeInternal, Message: fmt.Sprintf("HTTP %d", resp.StatusCode), HTTPStatus: resp.StatusCode}
-		}
-		apiErr.HTTPStatus = resp.StatusCode
-		return &apiErr
+		return apiErrFromResponse(resp)
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiErrFromResponse decodes a non-2xx response's APIError envelope, falling
+// back to a bare HTTP-status error for non-envelope bodies.
+func apiErrFromResponse(resp *http.Response) *APIError {
+	var apiErr APIError
+	if derr := json.NewDecoder(resp.Body).Decode(&apiErr); derr != nil || apiErr.Code == "" {
+		return &APIError{Code: CodeInternal, Message: fmt.Sprintf("HTTP %d", resp.StatusCode), HTTPStatus: resp.StatusCode}
+	}
+	apiErr.HTTPStatus = resp.StatusCode
+	return &apiErr
 }
 
 // Enqueue submits a job spec and returns the accepted job record.
@@ -349,4 +453,29 @@ func (c *Client) Cancel(id string) (*Job, error) {
 		return nil, err
 	}
 	return &job, nil
+}
+
+// Trace fetches the job's span trace (the JSONL endpoint, parsed back into
+// records). For a running job this is a partial trace of the run so far.
+// *APIError with Code trace_unavailable means the job exists but holds no
+// trace (queued, evicted, or re-adopted).
+func (c *Client) Trace(id string) ([]obs.SpanRecord, error) {
+	resp, err := c.http().Get(strings.TrimSuffix(c.BaseURL, "/") + "/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, apiErrFromResponse(resp)
+	}
+	return obs.ReadJSONL(resp.Body)
+}
+
+// TraceSummary fetches the job's per-phase cost table.
+func (c *Client) TraceSummary(id string) (*TraceSummary, error) {
+	var s TraceSummary
+	if err := c.do(http.MethodGet, "/v1/jobs/"+id+"/summary", nil, &s); err != nil {
+		return nil, err
+	}
+	return &s, nil
 }

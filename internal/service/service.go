@@ -13,12 +13,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambdatune"
@@ -143,6 +145,13 @@ type Job struct {
 	cancel       context.CancelFunc
 	done         chan struct{}
 
+	// trace retains the job's span recorder for the /v1/jobs/{id}/trace
+	// endpoints; traceHandle is the public wrapper the tuning run records
+	// into. Both are nil while the job is queued, when tracing is disabled,
+	// or after retention evicted the completed trace.
+	trace       *obs.Tracer
+	traceHandle *lambdatune.Trace
+
 	// persistGen numbers record snapshots (under Manager.mu); persistMu and
 	// persistWrote serialize the disk writes happening outside Manager.mu,
 	// newest snapshot wins (see Manager.persistLocked).
@@ -174,8 +183,21 @@ type Config struct {
 	Runtime *lambdatune.Runtime
 	// Metrics receives the service_* series (nil = discard).
 	Metrics *obs.Registry
-	// Logf receives one-line operational logs (nil = discard).
+	// Logf receives one-line operational logs (nil = discard). Deprecated in
+	// favor of Logger; when only Logf is set, structured records are bridged
+	// onto it as "msg key=value" lines.
 	Logf func(format string, args ...any)
+	// Logger receives structured operational logs: job lifecycle transitions,
+	// panic recoveries, trace evictions, and persistence failures, every
+	// job-scoped line carrying consistent job_id/tenant/run_id keys. nil
+	// falls back to the Logf bridge, or discards when Logf is nil too.
+	Logger *slog.Logger
+	// TraceRetention bounds how many completed jobs keep their span trace in
+	// memory for the trace endpoints: 0 means the default (64), oldest
+	// completed trace evicted first; negative disables per-job trace capture
+	// entirely. A running job always keeps its live trace regardless of the
+	// bound.
+	TraceRetention int
 }
 
 // Typed service errors, matchable with errors.Is.
@@ -194,6 +216,7 @@ var (
 // under DataDir.
 type Manager struct {
 	cfg Config
+	log *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -201,6 +224,9 @@ type Manager struct {
 	seq      int
 	draining bool
 	subs     map[string][]chan string
+	// traceDone is the FIFO of completed jobs whose traces are retained;
+	// beyond cfg.TraceRetention the oldest is evicted (trace set to nil).
+	traceDone []string
 
 	queue   chan string
 	wg      sync.WaitGroup
@@ -214,10 +240,22 @@ type Manager struct {
 
 	limiter *tenantLimiter
 
+	// traceCheckTick counts completed traced jobs for the sampled telemetry
+	// self-check (see traceSelfCheckEvery).
+	traceCheckTick atomic.Uint64
+
 	// beforeRun, when set, runs inside the job goroutine right before the
 	// tuning run starts — the panic-isolation and drain tests hook in here.
 	beforeRun func(job *Job, ctx context.Context)
 }
+
+// traceSelfCheckEvery samples the post-completion trace schema self-check:
+// the first completed trace and every Nth after are exported and run through
+// ValidateRecords. Schema breaks are systematic (an instrumentation-site or
+// exporter bug corrupts every trace, not one), so sampling catches them just
+// as surely while keeping the per-job telemetry cost at capture + summary —
+// a full export per completed job is measurable drag on a busy daemon (E17).
+const traceSelfCheckEvery = 16
 
 // Open creates a Manager on DataDir, re-adopting every job a previous
 // process left behind: terminal jobs are loaded read-only; queued, running,
@@ -233,8 +271,8 @@ func Open(cfg Config) (*Manager, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("service: DataDir is required")
 	}
-	if cfg.Logf == nil {
-		cfg.Logf = func(string, ...any) {}
+	if cfg.TraceRetention == 0 {
+		cfg.TraceRetention = 64
 	}
 	if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("service: %w", err)
@@ -242,6 +280,7 @@ func Open(cfg Config) (*Manager, error) {
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
+		log:     resolveLogger(cfg.Logger, cfg.Logf),
 		jobs:    map[string]*Job{},
 		subs:    map[string][]chan string{},
 		rootCtx: ctx,
@@ -287,7 +326,7 @@ func (m *Manager) scan() ([]*Job, error) {
 		}
 		var job Job
 		if err := json.Unmarshal(data, &job); err != nil {
-			m.cfg.Logf("readopt: skipping corrupt job record %s: %v", e.Name(), err)
+			m.log.Warn("readopt: skipping corrupt job record", "dir", e.Name(), "error", err)
 			continue
 		}
 		job.done = make(chan struct{})
@@ -320,8 +359,8 @@ func (m *Manager) readopt(adopt []*Job) {
 		m.persistLocked(job)()
 		m.queue <- job.ID
 		m.counter("service_jobs_readopted_total").Inc()
-		m.cfg.Logf("readopted job %s (%s seed %d, resume #%d)",
-			job.ID, job.Spec.Benchmark, job.Spec.seed(), job.Resumes)
+		m.jobLog(job).Info("job readopted",
+			"benchmark", job.Spec.Benchmark, "seed", job.Spec.seed(), "resumes", job.Resumes)
 	}
 }
 
@@ -349,6 +388,7 @@ func (m *Manager) Enqueue(spec JobSpec) (*Job, error) {
 	if !m.limiter.allow(spec.Tenant) {
 		m.mu.Unlock()
 		m.counter("service_rate_limited_total").Inc()
+		m.log.Warn("enqueue rate limited", "tenant", spec.Tenant, "benchmark", spec.Benchmark)
 		return nil, fmt.Errorf("%w: tenant %q", ErrRateLimited, spec.Tenant)
 	}
 	m.seq++
@@ -376,7 +416,7 @@ func (m *Manager) Enqueue(spec JobSpec) (*Job, error) {
 	m.mu.Unlock()
 	flush()
 	m.counter("service_jobs_enqueued_total").Inc()
-	m.cfg.Logf("enqueued %s: %s seed %d (tenant %q)", job.ID, spec.Benchmark, spec.seed(), spec.Tenant)
+	m.jobLog(job).Info("job enqueued", "benchmark", spec.Benchmark, "seed", spec.seed())
 	return snap, nil
 }
 
@@ -607,9 +647,17 @@ func (m *Manager) runJob(id string) {
 	defer cancel()
 	job.Status = StatusRunning
 	job.cancel = cancel
+	if m.cfg.TraceRetention >= 0 {
+		// The trace exists from the instant the job is running, so the trace
+		// endpoints can follow the run live from its first span.
+		job.traceHandle = lambdatune.NewTrace()
+		job.trace = job.traceHandle.Tracer()
+	}
 	flush := m.persistLocked(job)
 	m.mu.Unlock()
 	flush()
+	jlog := m.jobLog(job)
+	jlog.Info("job running", "benchmark", job.Spec.Benchmark, "seed", job.Spec.seed(), "resumes", job.Resumes)
 	m.gauge("service_jobs_running").Add(1)
 	defer m.gauge("service_jobs_running").Add(-1)
 
@@ -617,10 +665,15 @@ func (m *Manager) runJob(id string) {
 		defer func() {
 			if r := recover(); r != nil {
 				err = fmt.Errorf("panic: %v", r)
+				stack := debug.Stack()
 				m.mu.Lock()
-				job.Stack = string(debug.Stack())
+				job.Stack = string(stack)
 				m.mu.Unlock()
+				// Surface the recovery beyond the persisted job record: a
+				// counter to alert on and a structured error log with the
+				// job's identity keys, visible without polling the job API.
 				m.counter("service_job_panics_total").Inc()
+				jlog.Error("job panicked", "panic", fmt.Sprint(r), "stack", string(stack))
 			}
 		}()
 		if m.beforeRun != nil {
@@ -650,8 +703,10 @@ func (m *Manager) runJob(id string) {
 		job.Error = err.Error()
 		m.counter("service_jobs_failed_total").Inc()
 	}
+	m.retainTraceLocked(job)
 	flush = m.persistLocked(job)
 	status := job.Status
+	tr := job.trace
 	m.mu.Unlock()
 	// Flush before waking waiters: Wait's contract is that a returned
 	// terminal job is already durable, so a process that reads job.json the
@@ -659,14 +714,43 @@ func (m *Manager) runJob(id string) {
 	flush()
 	close(job.done)
 	m.closeSubs(id)
-	m.cfg.Logf("job %s: %s%s", id, status, errSuffix(err, status))
+	if status == StatusSucceeded && tr != nil {
+		// Sampled telemetry self-check: a completed job's export must satisfy
+		// the schema the /trace endpoint advertises (ValidateRecords). The
+		// first trace and every traceSelfCheckEvery-th after are checked.
+		if n := m.traceCheckTick.Add(1); n == 1 || n%traceSelfCheckEvery == 0 {
+			if verr := obs.ValidateRecords(tr.Records()); verr != nil {
+				jlog.Error("trace schema validation failed", "error", verr)
+			}
+		}
+	}
+	if status == StatusFailed {
+		jlog.Error("job finished", "status", string(status), "error", job.Error)
+	} else {
+		jlog.Info("job finished", "status", string(status))
+	}
 }
 
-func errSuffix(err error, status JobStatus) string {
-	if status == StatusFailed && err != nil {
-		return ": " + err.Error()
+// retainTraceLocked moves a finishing job's trace into the bounded retention
+// window: the newest cfg.TraceRetention completed traces stay fetchable, the
+// oldest beyond that bound is dropped (its jobs answer 409 trace_unavailable
+// from then on). Callers hold m.mu.
+func (m *Manager) retainTraceLocked(job *Job) {
+	if job.trace == nil {
+		return
 	}
-	return ""
+	m.traceDone = append(m.traceDone, job.ID)
+	for len(m.traceDone) > m.cfg.TraceRetention {
+		victim := m.traceDone[0]
+		m.traceDone = m.traceDone[1:]
+		if j, ok := m.jobs[victim]; ok {
+			j.trace = nil
+			j.traceHandle = nil
+		}
+		m.counter("service_traces_evicted_total").Inc()
+		m.log.Info("trace evicted", "job_id", victim, "retention", m.cfg.TraceRetention)
+	}
+	m.gauge("service_traces_retained").Set(float64(len(m.traceDone)))
 }
 
 // progressWriter adapts the manager's pub/sub to the tuning run's
@@ -712,6 +796,13 @@ func (m *Manager) execute(ctx context.Context, job *Job) error {
 	opts.Tenant = spec.Tenant
 	opts.Durability.CheckpointDir = jobDir
 	opts.Observability.Progress = &progressWriter{m: m, id: job.ID}
+	m.mu.Lock()
+	if job.traceHandle != nil {
+		// Tracing is passive — the traced run selects the same configuration,
+		// byte for byte, as an untraced one — so every job can afford it.
+		opts.Observability.Trace = job.traceHandle
+	}
+	m.mu.Unlock()
 	if spec.LLMFaultRate > 0 || spec.EngineFaultRate > 0 {
 		opts.Faults = &lambdatune.FaultPlan{LLMRate: spec.LLMFaultRate, EngineRate: spec.EngineFaultRate, Seed: opts.Seed}
 	}
@@ -753,7 +844,7 @@ func (m *Manager) persistLocked(job *Job) func() {
 	gen := job.persistGen
 	data, err := json.MarshalIndent(job, "", "  ")
 	if err != nil {
-		m.cfg.Logf("persist %s: %v", job.ID, err)
+		m.log.Error("persist failed", "job_id", job.ID, "error", err)
 		return func() {}
 	}
 	dir := filepath.Join(m.cfg.DataDir, job.ID)
@@ -766,11 +857,11 @@ func (m *Manager) persistLocked(job *Job) func() {
 		}
 		job.persistWrote = gen
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			m.cfg.Logf("persist %s: %v", id, err)
+			m.log.Error("persist failed", "job_id", id, "error", err)
 			return
 		}
 		if err := runstate.WriteFileAtomic(filepath.Join(dir, "job.json"), append(data, '\n')); err != nil {
-			m.cfg.Logf("persist %s: %v", id, err)
+			m.log.Error("persist failed", "job_id", id, "error", err)
 		}
 	}
 }

@@ -3,6 +3,7 @@ package lambdatune
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 	"time"
@@ -73,6 +74,12 @@ type RuntimeOptions struct {
 	// state. The same registry can back a /metrics endpoint (lambdatuned
 	// mounts it).
 	Metrics *Metrics
+
+	// Logger, when set, receives the runtime's structured operational log:
+	// slot grants on the evaluation gate (Debug) and tenant breaker
+	// transitions (Info/Warn). Purely observational — logging changes no
+	// outcome. Nil discards.
+	Logger *slog.Logger
 }
 
 // Runtime owns the per-process resources that standalone Tune calls build
@@ -207,6 +214,7 @@ func NewRuntime(ro RuntimeOptions) *Runtime {
 	rt.slots = evaluator.NewWeightedSlots(evaluator.SlotsConfig{
 		Capacity: ro.EvalSlots,
 		Registry: rt.reg,
+		Logger:   ro.Logger,
 		TenantOf: tenantOfJobID,
 		Weight: func(tenant string) int {
 			return ro.TenantWeights[tenant]
@@ -217,6 +225,7 @@ func NewRuntime(ro RuntimeOptions) *Runtime {
 		BreakerCooldown:  ro.TenantBreakerCooldown,
 		MaxInFlight:      ro.TenantMaxInFlight,
 		Registry:         rt.reg,
+		Logger:           ro.Logger,
 	})
 	return rt
 }
@@ -427,13 +436,13 @@ func (rt *Runtime) TuneContext(ctx context.Context, d *Database, w *Workload, cl
 		topts.DecorateState = decorate
 		defer cleanup()
 	}
-	if rt.gateway.Enabled() {
-		// Tenant scoping sits above the fault interceptor (injected faults
-		// count against the tenant's breaker) and below the per-job
-		// resilience layer the tuner adds (a breaker-open rejection is
-		// non-retryable there, failing the sample immediately).
-		inner = rt.gateway.Client(opts.Tenant, inner)
-	}
+	// Tenant scoping sits above the fault interceptor (injected faults
+	// count against the tenant's breaker) and below the per-job
+	// resilience layer the tuner adds (a breaker-open rejection is
+	// non-retryable there, failing the sample immediately). Client is a
+	// no-op when the gateway is inactive, and with enforcement off the
+	// wrapper only instruments — it cannot change call outcomes.
+	inner = rt.gateway.Client(opts.Tenant, inner)
 	tn := tuner.New(d.db, inner, topts)
 	res, err := tn.Tune(ctx, w.queries)
 	if err != nil {
